@@ -1,0 +1,97 @@
+"""Ablation beyond the paper: shared vs dedicated repair facilities.
+
+The paper fixes a single shared repair facility (Section 3.3 mentions
+dedicated vs shared repair as an architectural choice but never
+evaluates it).  This bench quantifies the choice with the general
+repairable-group model.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.availability import RepairableGroup
+from repro.reporting import format_table
+
+
+def test_ablation_repair_pool_size(benchmark):
+    units, lam, mu = 4, 0.2, 1.0
+
+    def compute():
+        return {
+            r: RepairableGroup(
+                units=units, failure_rate=lam, repair_rate=mu, repairmen=r
+            )
+            for r in range(1, units + 1)
+        }
+
+    groups = benchmark(compute)
+
+    emit(format_table(
+        ["repairmen", "A(1-of-4)", "A(3-of-4)", "E[operational units]"],
+        [
+            [r,
+             f"{g.availability(1):.8f}",
+             f"{g.availability(3):.6f}",
+             f"{g.expected_operational_units():.4f}"]
+            for r, g in groups.items()
+        ],
+        title=(
+            "Ablation — repair pool size "
+            f"(4 units, lambda = {lam}/h, mu = {mu}/h)"
+        ),
+    ))
+
+    one_of_four = [g.availability(1) for g in groups.values()]
+    three_of_four = [g.availability(3) for g in groups.values()]
+    expected_units = [g.expected_operational_units() for g in groups.values()]
+    # More repairmen never hurt, and the marginal gain shrinks.
+    assert one_of_four == sorted(one_of_four)
+    assert three_of_four == sorted(three_of_four)
+    assert expected_units == sorted(expected_units)
+    gain_first = three_of_four[1] - three_of_four[0]
+    gain_last = three_of_four[-1] - three_of_four[-2]
+    assert gain_first > gain_last
+
+
+def test_ablation_deferred_maintenance(benchmark):
+    """Section 3.3 also names immediate vs deferred maintenance; this
+    quantifies the deferral penalty as a function of the call-out
+    threshold (repairs start only once that many units are down)."""
+    units, lam, mu = 4, 0.1, 1.0
+
+    def compute():
+        return {
+            threshold: RepairableGroup(
+                units=units, failure_rate=lam, repair_rate=mu,
+                repairmen=2, repair_threshold=threshold,
+            )
+            for threshold in (1, 2, 3, 4)
+        }
+
+    groups = benchmark(compute)
+
+    emit(format_table(
+        ["repair threshold", "A(1-of-4)", "A(3-of-4)",
+         "E[operational units]"],
+        [
+            [t,
+             f"{g.availability(1):.8f}",
+             f"{g.availability(3):.6f}",
+             f"{g.expected_operational_units():.4f}"]
+            for t, g in groups.items()
+        ],
+        title=(
+            "Ablation — deferred maintenance "
+            f"(4 units, lambda = {lam}/h, mu = {mu}/h, 2 repairmen)"
+        ),
+    ))
+
+    one_of_four = [g.availability(1) for g in groups.values()]
+    three_of_four = [g.availability(3) for g in groups.values()]
+    # Deferring repairs monotonically erodes availability...
+    assert one_of_four == sorted(one_of_four, reverse=True)
+    assert three_of_four == sorted(three_of_four, reverse=True)
+    # ...and the erosion is catastrophic for tight k-of-n requirements
+    # (at threshold 3 the group permanently runs two units down).
+    assert three_of_four[0] - three_of_four[1] > 0.05
+    assert three_of_four[2] < 0.1

@@ -1,0 +1,82 @@
+"""Extension bench — response-time-aware availability.
+
+The paper's conclusion proposes extending the composite measure with
+latency failures ("the response time exceeds an acceptable threshold").
+This bench evaluates that extension: availability under a latency SLO as
+a function of the deadline and of the number of web servers, showing how
+an SLO changes the optimal farm size found in Fig. 12.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.availability import WebServiceModel
+from repro.reporting import format_series
+
+
+def model(servers, arrival_rate=100.0):
+    return WebServiceModel(
+        servers=servers,
+        arrival_rate=arrival_rate,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=1e-3,
+        repair_rate=1.0,
+        coverage=0.98,
+        reconfiguration_rate=12.0,
+    )
+
+
+def test_extension_deadline_sweep(benchmark):
+    deadlines = (0.01, 0.02, 0.03, 0.05, 0.1, 0.3, 1.0)
+
+    def compute():
+        m = model(servers=4)
+        return [m.deadline_availability(d) for d in deadlines], m.availability()
+
+    values, base = benchmark(compute)
+
+    emit(format_series(
+        "deadline (s)", deadlines,
+        {"A_d (NW = 4)": values},
+        value_format="{:.6f}",
+        title=(
+            "Extension — availability under a latency SLO "
+            f"(base measure without SLO: {base:.6f})"
+        ),
+    ))
+
+    assert list(values) == sorted(values)
+    assert values[-1] == pytest.approx(base, abs=1e-4)
+    assert values[0] < 0.7  # 10 ms budget ~ one mean service time
+
+
+def test_extension_deadline_changes_farm_sizing(benchmark):
+    servers = tuple(range(1, 11))
+    deadline = 0.02  # two mean service times
+
+    def compute():
+        plain = [1.0 - model(n).availability() for n in servers]
+        slo = [1.0 - model(n).deadline_availability(deadline) for n in servers]
+        return plain, slo
+
+    plain, slo = benchmark(compute)
+
+    emit(format_series(
+        "NW", servers,
+        {"unavailability": plain, f"1 - A_d (d = {deadline}s)": slo},
+        log_bars=True, floor_exponent=-10,
+        title="Extension — farm sizing with and without a latency SLO",
+    ))
+
+    best_plain = plain.index(min(plain)) + 1
+    best_slo = slo.index(min(slo)) + 1
+    emit(f"optimal NW: plain measure = {best_plain}, "
+         f"under 20 ms SLO = {best_slo}")
+
+    # Queueing delay punishes small farms much harder under the SLO, so
+    # the SLO optimum needs at least as many servers.
+    assert best_slo >= best_plain
+    # And the SLO measure is pointwise more pessimistic.
+    for p, s in zip(plain, slo):
+        assert s >= p - 1e-12

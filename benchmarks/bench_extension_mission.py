@@ -1,0 +1,89 @@
+"""Extension bench — mission metrics beyond steady state.
+
+The paper evaluates only steady-state availability.  Two complementary
+mission metrics fall out of the same Markov models:
+
+* **time to service loss** — expected time from all-up until the web
+  service first goes down.  Under imperfect coverage a *single*
+  uncovered failure suffices, so this is dramatically shorter than the
+  perfect-coverage farm's time to exhaustion, re-telling the Fig. 12
+  story in the time domain.
+* **availability ramp** — the transient composite measure while a farm
+  recovers from a cold start with one server.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.availability import (
+    ImperfectCoverageFarm,
+    PerfectCoverageFarm,
+    WebServiceModel,
+)
+from repro.reporting import format_series, format_table
+
+
+def test_extension_time_to_service_loss(benchmark):
+    lam, mu, beta = 1e-3, 1.0, 12.0
+
+    def compute():
+        rows = {}
+        for nw in (1, 2, 3, 4, 6, 8):
+            perfect = PerfectCoverageFarm(
+                servers=nw, failure_rate=lam, repair_rate=mu
+            ).mean_time_to_exhaustion()
+            imperfect = ImperfectCoverageFarm(
+                servers=nw, failure_rate=lam, repair_rate=mu,
+                coverage=0.98, reconfiguration_rate=beta,
+            ).mean_time_to_service_loss()
+            rows[nw] = (perfect, imperfect)
+        return rows
+
+    rows = benchmark(compute)
+
+    emit(format_table(
+        ["NW", "E[time to exhaustion], perfect (h)",
+         "E[time to service loss], c = 0.98 (h)"],
+        [[nw, f"{p:.3e}", f"{i:.3e}"] for nw, (p, i) in rows.items()],
+        title="Extension — mission times (lambda = 1e-3/h, mu = 1/h)",
+    ))
+
+    perfect_times = [p for p, _ in rows.values()]
+    imperfect_times = [i for _, i in rows.values()]
+    # Exhaustion time explodes with redundancy...
+    assert perfect_times == sorted(perfect_times)
+    assert perfect_times[-1] > 1e6 * perfect_times[0]
+    # ...but under imperfect coverage, more servers mean *sooner* loss
+    # (more uncovered-failure exposure): monotone decreasing past NW = 1.
+    assert imperfect_times[1:] == sorted(imperfect_times[1:], reverse=True)
+    # And the loss time is orders of magnitude below exhaustion.
+    assert imperfect_times[3] < perfect_times[3] / 1e3
+
+
+def test_extension_recovery_ramp(benchmark):
+    model = WebServiceModel(
+        servers=4, arrival_rate=100.0, service_rate=100.0,
+        buffer_capacity=10, failure_rate=1e-3, repair_rate=1.0,
+        coverage=0.98, reconfiguration_rate=12.0,
+    )
+    times = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+    def compute():
+        return [
+            model.transient_availability(t, initial_servers=1) for t in times
+        ]
+
+    ramp = benchmark(compute)
+
+    emit(format_series(
+        "t (hours)", times, {"A(t) from 1 server": ramp},
+        value_format="{:.6f}",
+        title=(
+            "Extension — availability ramp after a cold start "
+            f"(steady state: {model.availability():.6f})"
+        ),
+    ))
+
+    assert list(ramp) == sorted(ramp)
+    assert ramp[0] == pytest.approx(1.0 - model.blocking_probability(1))
+    assert ramp[-1] == pytest.approx(model.availability(), rel=1e-3)

@@ -1,0 +1,66 @@
+"""Figure 11 — web service unavailability, perfect coverage.
+
+Regenerates the nine curves of Fig. 11: unavailability vs NW in 1..10
+for failure rates {1e-2, 1e-3, 1e-4}/h and arrival rates
+{50, 100, 150}/s, with nu = 100/s, mu = 1/h, K = 10.
+
+Shape checks encode the paper's reading of the figure: unavailability
+decreases monotonically with NW (no reversal under perfect coverage),
+and the failure rate only matters when the load is below one.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.availability import WebServiceModel
+from repro.reporting import format_series
+from repro.sensitivity import grid_sweep
+
+SERVER_RANGE = tuple(range(1, 11))
+FAILURE_RATES = (1e-2, 1e-3, 1e-4)
+ARRIVAL_RATES = (50.0, 100.0, 150.0)
+
+
+def unavailability(failure_rate, arrival_rate, servers):
+    return WebServiceModel(
+        servers=int(servers),
+        arrival_rate=arrival_rate,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=failure_rate,
+        repair_rate=1.0,
+    ).unavailability()
+
+
+@pytest.mark.parametrize("arrival_rate", ARRIVAL_RATES,
+                         ids=["a50", "a100", "a150"])
+def test_fig11_web_service_unavailability_perfect(benchmark, arrival_rate):
+    grid = benchmark(
+        lambda: grid_sweep(
+            lambda lam, nw: unavailability(lam, arrival_rate, nw),
+            "failure rate", FAILURE_RATES,
+            "NW", SERVER_RANGE,
+        )
+    )
+
+    series = {
+        f"lambda={lam:g}/h": grid.row(lam).outputs for lam in FAILURE_RATES
+    }
+    emit(format_series(
+        "NW", SERVER_RANGE, series,
+        log_bars=True, floor_exponent=-14,
+        title=f"Figure 11 — perfect coverage, alpha = {arrival_rate:g}/s",
+    ))
+
+    for lam in FAILURE_RATES:
+        curve = grid.row(lam).outputs
+        # Monotone decreasing: more servers never hurt (Fig. 11).
+        assert all(a >= b - 1e-15 for a, b in zip(curve, curve[1:]))
+    if arrival_rate < 100.0:
+        # Light load: the failure rate separates the curves widely.
+        assert grid.row(1e-2).outputs[3] > 20 * grid.row(1e-4).outputs[3]
+    if arrival_rate > 100.0:
+        # Overload: all curves collapse onto the buffer-loss floor.
+        assert grid.row(1e-2).outputs[0] == pytest.approx(
+            grid.row(1e-4).outputs[0], rel=0.05
+        )

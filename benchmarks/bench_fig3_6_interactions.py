@@ -1,0 +1,65 @@
+"""Figures 3-6 — interaction diagrams of Browse, Search, Book and Pay.
+
+Enumerates each diagram's execution scenarios and regenerates the
+function-availability algebra the figures encode (e.g. the three Browse
+scenarios weighted by q23, q24*q45, q24*q47).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.reporting import format_table
+from repro.ta import TAParameters
+from repro.ta.diagrams import (
+    book_diagram,
+    browse_diagram,
+    pay_diagram,
+    search_diagram,
+)
+
+DIAGRAMS = {
+    "Fig. 3 Browse": browse_diagram,
+    "Fig. 4 Search": search_diagram,
+    "Fig. 5 Book": book_diagram,
+    "Fig. 6 Pay": pay_diagram,
+}
+
+
+def test_fig3_to_6_interaction_diagrams(benchmark):
+    params = TAParameters()
+
+    def compute():
+        return {
+            name: build(params).scenarios()
+            for name, build in DIAGRAMS.items()
+        }
+
+    scenarios = benchmark(compute)
+
+    rows = []
+    for name, scenario_list in scenarios.items():
+        for scenario in scenario_list:
+            rows.append([
+                name,
+                f"{scenario.probability:.2f}",
+                ", ".join(sorted(scenario.services)),
+            ])
+    emit(format_table(
+        ["diagram", "probability", "services touched"],
+        rows,
+        title="Figures 3-6 — function execution scenarios",
+    ))
+
+    browse = scenarios["Fig. 3 Browse"]
+    assert len(browse) == 3
+    probs = sorted(s.probability for s in browse)
+    assert probs == [
+        pytest.approx(0.2),                       # q23
+        pytest.approx(0.8 * 0.4),                 # q24 q45
+        pytest.approx(0.8 * 0.6),                 # q24 q47
+    ]
+    for name in ("Fig. 4 Search", "Fig. 5 Book", "Fig. 6 Pay"):
+        assert len(scenarios[name]) == 1
+        assert scenarios[name][0].probability == pytest.approx(1.0)
+    assert {"flight", "hotel", "car"} <= scenarios["Fig. 4 Search"][0].services
+    assert "payment" in scenarios["Fig. 6 Pay"][0].services

@@ -1,0 +1,65 @@
+"""Figures 9 & 10 — the coverage Markov models.
+
+Solves both farm models (closed forms of eqs. 4 and 6-8 against the
+generic GTH CTMC solver) and prints the steady-state distributions.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.availability import ImperfectCoverageFarm, PerfectCoverageFarm
+from repro.reporting import format_table
+
+CONFIG = dict(servers=4, failure_rate=1e-4, repair_rate=1.0)
+
+
+def test_fig9_perfect_coverage_model(benchmark):
+    farm = PerfectCoverageFarm(**CONFIG)
+
+    def compute():
+        return farm.state_probabilities(), farm.to_ctmc().steady_state()
+
+    closed, numeric = benchmark(compute)
+
+    emit(format_table(
+        ["state i (operational servers)", "Pi_i (eq. 4)", "Pi_i (GTH solver)"],
+        [[i, f"{closed[i]:.3e}", f"{numeric[i]:.3e}"] for i in sorted(closed)],
+        title="Figure 9 — perfect-coverage farm steady state (NW = 4)",
+    ))
+
+    for i in closed:
+        assert closed[i] == pytest.approx(numeric[i], rel=1e-10)
+    assert closed[4] > 0.999
+
+
+def test_fig10_imperfect_coverage_model(benchmark):
+    farm = ImperfectCoverageFarm(
+        coverage=0.98, reconfiguration_rate=12.0, **CONFIG
+    )
+
+    def compute():
+        return farm.state_probabilities(), farm.to_ctmc().steady_state()
+
+    (operational, down), numeric = benchmark(compute)
+
+    rows = [
+        [f"i = {i}", f"{operational[i]:.3e}", f"{numeric[i]:.3e}"]
+        for i in sorted(operational)
+    ] + [
+        [f"y_{i}", f"{down[i]:.3e}", f"{numeric[('y', i)]:.3e}"]
+        for i in sorted(down)
+    ]
+    emit(format_table(
+        ["state", "closed form (eqs. 6-8)", "GTH solver"],
+        rows,
+        title=(
+            "Figure 10 — imperfect-coverage farm steady state "
+            "(NW = 4, c = 0.98, beta = 12/h)"
+        ),
+    ))
+
+    for i in operational:
+        assert operational[i] == pytest.approx(numeric[i], rel=1e-10)
+    for i in down:
+        assert down[i] == pytest.approx(numeric[("y", i)], rel=1e-10)
+    assert sum(down.values()) > 0.0

@@ -1,0 +1,82 @@
+"""Simulation-vs-analytic cross-validation bench.
+
+Runs the three Monte-Carlo estimators against their analytic
+counterparts at bench-friendly sizes: the queueing blocking probability
+(eq. 3), the farm steady state (eqs. 6-8) and the user-perceived
+availability (eq. 10).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.availability import ImperfectCoverageFarm
+from repro.queueing import mmck_blocking_probability
+from repro.reporting import format_table
+from repro.sim import (
+    QueueSimulation,
+    estimate_user_availability,
+    simulate_ctmc_occupancy,
+)
+from repro.ta import CLASS_B, TravelAgencyModel
+
+
+def test_sim_vs_analytic_blocking(benchmark, rng):
+    exact = mmck_blocking_probability(1.0, 2, 10)
+
+    result = benchmark.pedantic(
+        lambda: QueueSimulation(
+            arrival_rate=100.0, service_rate=100.0, servers=2, capacity=10,
+            rng=rng,
+        ).run(num_arrivals=120_000),
+        iterations=1, rounds=1,
+    )
+
+    emit(format_table(
+        ["quantity", "simulated", "analytic (eq. 3)"],
+        [["pK(2)", f"{result.blocking_probability:.5f}", f"{exact:.5f}"]],
+        title="Simulation check — M/M/2/10 blocking probability",
+    ))
+    assert result.blocking_probability == pytest.approx(exact, rel=0.35)
+
+
+def test_sim_vs_analytic_farm(benchmark, rng):
+    farm = ImperfectCoverageFarm(
+        servers=3, failure_rate=0.05, repair_rate=1.0,
+        coverage=0.9, reconfiguration_rate=5.0,
+    )
+    operational, _ = farm.state_probabilities()
+
+    occupancy = benchmark.pedantic(
+        lambda: simulate_ctmc_occupancy(farm.to_ctmc(), 3, 100_000.0, rng),
+        iterations=1, rounds=1,
+    )
+
+    emit(format_table(
+        ["state", "simulated occupancy", "closed form"],
+        [
+            [i, f"{occupancy[i]:.5f}", f"{operational[i]:.5f}"]
+            for i in sorted(operational)
+        ],
+        title="Simulation check — Fig. 10 farm occupancy",
+    ))
+    assert occupancy[3] == pytest.approx(operational[3], abs=0.01)
+
+
+def test_sim_vs_analytic_user_availability(benchmark, rng):
+    ta = TravelAgencyModel()
+    exact = ta.user_availability(CLASS_B).availability
+
+    estimate = benchmark.pedantic(
+        lambda: estimate_user_availability(
+            ta.hierarchical_model, CLASS_B, sessions=25_000, rng=rng
+        ),
+        iterations=1, rounds=1,
+    )
+
+    emit(format_table(
+        ["quantity", "Monte Carlo", "eq. (10)"],
+        [["A(class B users)", f"{estimate:.5f}", f"{exact:.5f}"]],
+        title="Simulation check — user-perceived availability",
+    ))
+    assert estimate == pytest.approx(exact, abs=0.006)

@@ -1,0 +1,35 @@
+"""Table 2 — mapping between functions and services."""
+
+from conftest import emit
+from repro.reporting import format_table
+from repro.ta import FUNCTIONS, build_travel_agency
+
+SERVICE_COLUMNS = (
+    "web", "application", "database", "flight", "hotel", "car", "payment",
+)
+
+
+def test_table2_function_service_mapping(benchmark):
+    mapping = benchmark(
+        lambda: build_travel_agency().function_service_mapping()
+    )
+
+    rows = []
+    for function in FUNCTIONS:
+        used = mapping[function]
+        rows.append(
+            [function]
+            + ["x" if service in used else "" for service in SERVICE_COLUMNS]
+        )
+    emit(format_table(
+        ["function"] + list(SERVICE_COLUMNS),
+        rows,
+        title="Table 2 — functions vs services (net/LAN required everywhere)",
+    ))
+
+    assert mapping["home"] >= {"web"}
+    assert mapping["search"] >= {"web", "application", "database",
+                                 "flight", "hotel", "car"}
+    assert mapping["book"] == mapping["search"]
+    assert "payment" in mapping["pay"]
+    assert "payment" not in mapping["search"]

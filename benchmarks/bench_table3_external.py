@@ -1,0 +1,38 @@
+"""Table 3 — external service availability (1-of-N black boxes)."""
+
+from conftest import emit
+from repro.rbd import parallel, system_availability
+from repro.reporting import format_table
+from repro.ta import TAParameters
+from repro.ta.equations import external_service_availability
+
+
+def test_table3_external_service_availability(benchmark):
+    params = TAParameters()
+
+    def compute():
+        rows = {}
+        for n in (1, 2, 3, 4, 5, 10):
+            closed = external_service_availability(
+                params.reservation_availability, n
+            )
+            block = parallel(*[f"sys-{i}" for i in range(n)])
+            rbd = system_availability(
+                block, {f"sys-{i}": params.reservation_availability
+                        for i in range(n)}
+            )
+            rows[n] = (closed, rbd)
+        return rows
+
+    rows = benchmark(compute)
+
+    emit(format_table(
+        ["N", "A(Flight) = A(Hotel) = A(Car) closed form", "via RBD"],
+        [[n, f"{c:.6f}", f"{r:.6f}"] for n, (c, r) in rows.items()],
+        title="Table 3 — external reservation services (per-system A = 0.9)",
+    ))
+
+    for closed, rbd in rows.values():
+        assert closed == rbd
+    assert rows[1][0] == 0.9
+    assert rows[10][0] > 0.9999999

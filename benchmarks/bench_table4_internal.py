@@ -1,0 +1,56 @@
+"""Table 4 — application and database service availability."""
+
+from conftest import emit
+from repro.reporting import format_table
+from repro.ta import TAParameters
+from repro.ta.equations import (
+    application_service_availability,
+    database_service_availability,
+)
+
+
+def test_table4_internal_service_availability(benchmark):
+    params = TAParameters()
+
+    def compute():
+        return {
+            ("A(AS)", "basic"): application_service_availability(
+                params.application_host_availability, redundant=False
+            ),
+            ("A(AS)", "redundant"): application_service_availability(
+                params.application_host_availability, redundant=True
+            ),
+            ("A(DS)", "basic"): database_service_availability(
+                params.database_host_availability,
+                params.disk_availability,
+                redundant=False,
+            ),
+            ("A(DS)", "redundant"): database_service_availability(
+                params.database_host_availability,
+                params.disk_availability,
+                redundant=True,
+            ),
+        }
+
+    values = benchmark(compute)
+
+    emit(format_table(
+        ["service", "basic architecture", "redundant architecture"],
+        [
+            ["A(AS)", f"{values[('A(AS)', 'basic')]:.6f}",
+             f"{values[('A(AS)', 'redundant')]:.6f}"],
+            ["A(DS)", f"{values[('A(DS)', 'basic')]:.6f}",
+             f"{values[('A(DS)', 'redundant')]:.6f}"],
+        ],
+        title=(
+            "Table 4 — application and database services "
+            "(A(C_AS) = A(C_DS) = 0.996, A(Disk) = 0.9; the scan's "
+            "'1-2(1-A)' is read as two-unit parallel redundancy)"
+        ),
+    ))
+
+    assert values[("A(AS)", "basic")] == 0.996
+    assert values[("A(AS)", "redundant")] > 0.99998
+    # The single 0.9 disk dominates the basic database service.
+    assert values[("A(DS)", "basic")] < 0.9
+    assert values[("A(DS)", "redundant")] > 0.98

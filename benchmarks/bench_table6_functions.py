@@ -1,0 +1,38 @@
+"""Table 6 — function-level availabilities.
+
+Evaluates the five TA functions through the generic hierarchical engine
+and through the paper's closed-form equations; the two paths must agree
+to machine precision.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.reporting import format_downtime, format_table
+from repro.ta import FUNCTIONS, TAParameters, TravelAgencyModel
+from repro.ta import equations as eq
+
+
+def test_table6_function_availability(benchmark):
+    params = TAParameters()
+    ta = TravelAgencyModel(params)
+
+    engine = benchmark(ta.function_availabilities)
+    closed = eq.function_availabilities(
+        params, eq.service_availabilities(params)
+    )
+
+    emit(format_table(
+        ["function", "engine", "paper closed form", "downtime"],
+        [
+            [name, f"{engine[name]:.6f}", f"{closed[name]:.6f}",
+             format_downtime(engine[name])]
+            for name in FUNCTIONS
+        ],
+        title="Table 6 — function availabilities (Table 7 parameters)",
+    ))
+
+    for name in FUNCTIONS:
+        assert engine[name] == pytest.approx(closed[name], rel=1e-13)
+    assert engine["home"] > engine["browse"] > engine["search"]
+    assert engine["book"] == pytest.approx(engine["search"])

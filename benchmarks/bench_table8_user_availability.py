@@ -1,0 +1,50 @@
+"""Table 8 — user-perceived availability vs number of reservation systems.
+
+The headline result: A(user) for classes A and B with
+N_F = N_H = N_C in {1, 2, 3, 4, 5, 10}, NW = 4 web servers with imperfect
+coverage.  The paper's published values are printed alongside ours; the
+class-A column agrees within the rounding of the published pi_i, the
+class-B residual is documented in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.reporting import format_table
+from repro.ta import CLASS_A, CLASS_B, TravelAgencyModel
+
+COUNTS = (1, 2, 3, 4, 5, 10)
+PAPER_A = {1: 0.84235, 2: 0.96509, 3: 0.97867, 4: 0.98004, 5: 0.98018,
+           10: 0.98020}
+PAPER_B = {1: 0.76875, 2: 0.95529, 3: 0.97593, 4: 0.97802, 5: 0.97822,
+           10: 0.97825}
+
+
+def test_table8_user_availability(benchmark):
+    ta = TravelAgencyModel()
+
+    def compute():
+        return (
+            dict(ta.reservation_sweep(CLASS_A, COUNTS)),
+            dict(ta.reservation_sweep(CLASS_B, COUNTS)),
+        )
+
+    ours_a, ours_b = benchmark(compute)
+
+    emit(format_table(
+        ["N_F = N_H = N_C", "A(A users)", "paper", "A(B users)", "paper"],
+        [
+            [n, f"{ours_a[n]:.5f}", f"{PAPER_A[n]:.5f}",
+             f"{ours_b[n]:.5f}", f"{PAPER_B[n]:.5f}"]
+            for n in COUNTS
+        ],
+        title="Table 8 — user availability vs reservation-system count",
+    ))
+
+    for n in COUNTS:
+        assert ours_a[n] == pytest.approx(PAPER_A[n], abs=2.5e-3)
+        assert ours_b[n] == pytest.approx(PAPER_B[n], abs=1.5e-2)
+        assert ours_b[n] < ours_a[n]
+    # Rise from N = 1 to 4, then saturation.
+    assert ours_a[4] - ours_a[1] > 0.13
+    assert ours_a[10] - ours_a[5] < 1e-4

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table or figure of the paper: the benchmark
+fixture times the computation, and the printed output (visible with
+``pytest benchmarks/ --benchmark-only -s``) reproduces the rows or
+series the paper reports.  Where the paper publishes numbers, they are
+printed side by side with ours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for simulation benches."""
+    return np.random.default_rng(709718)  # the paper's page range
+
+
+def emit(text: str) -> None:
+    """Print a rendered table with surrounding whitespace."""
+    print()
+    print(text)

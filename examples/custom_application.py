@@ -1,0 +1,148 @@
+"""Modeling a different application: an online brokerage.
+
+The hierarchical framework is not TA-specific.  This example models a
+stock-trading site from scratch — its own functions (quote, portfolio,
+trade), interaction diagrams, a redundant matching-engine service, an
+external market-data feed — and evaluates two user populations
+(occasional checkers vs day traders), demonstrating every public API a
+new application needs.
+
+Run:  python examples/custom_application.py
+"""
+
+from repro.availability import TwoStateAvailability, WebServiceModel
+from repro.core import HierarchicalModel, InteractionDiagram
+from repro.profiles import UserClass
+from repro.rbd import k_of_n, parallel, series
+from repro.reporting import format_downtime, format_table
+from repro.ta.economics import RevenueModel
+
+
+def build_brokerage() -> HierarchicalModel:
+    model = HierarchicalModel()
+
+    # ------------------------------------------------------------------
+    # Resource level
+    # ------------------------------------------------------------------
+    model.add_resource("internet-link", 0.9995)
+    model.add_resource("lan-segment", 0.9998)
+    # Front-end farm: composite performance + availability model.
+    model.add_resource("web-farm", WebServiceModel(
+        servers=6, arrival_rate=800.0, service_rate=200.0,
+        buffer_capacity=40, failure_rate=5e-4, repair_rate=2.0,
+        coverage=0.99, reconfiguration_rate=20.0,
+    ))
+    # Matching engine: 2-of-3 quorum of replicas.
+    for i in (1, 2, 3):
+        model.add_resource(
+            f"engine-{i}",
+            TwoStateAvailability(failure_rate=2e-4, repair_rate=0.5),
+        )
+    # Account database: primary/standby pair with mirrored disks.
+    for i in (1, 2):
+        model.add_resource(f"db-host-{i}", 0.998)
+        model.add_resource(f"db-disk-{i}", 0.995)
+    # External market-data vendors: either of two feeds suffices.
+    model.add_resource("feed-bloomberg", 0.995)
+    model.add_resource("feed-refinitiv", 0.993)
+    # Clearing house: single external black box.
+    model.add_resource("clearing-house", 0.9990)
+
+    # ------------------------------------------------------------------
+    # Service level
+    # ------------------------------------------------------------------
+    model.add_service("net", "internet-link")
+    model.add_service("lan", "lan-segment")
+    model.add_service("web", "web-farm")
+    model.add_service("matching", k_of_n(2, ["engine-1", "engine-2", "engine-3"]))
+    model.add_service("accounts", series(
+        parallel("db-host-1", "db-host-2"),
+        parallel("db-disk-1", "db-disk-2"),
+    ))
+    model.add_service("market-data", parallel("feed-bloomberg", "feed-refinitiv"))
+    model.add_service("clearing", "clearing-house")
+
+    # ------------------------------------------------------------------
+    # Function level
+    # ------------------------------------------------------------------
+    # Quote: usually served from cache; 30% of requests hit market data.
+    quote = InteractionDiagram("quote")
+    quote.add_node("cache-hit", services=["web"])
+    quote.add_node("feed-lookup", services=["web", "market-data"])
+    quote.add_edge("Begin", "cache-hit", 0.7)
+    quote.add_edge("Begin", "feed-lookup", 0.3)
+    quote.add_edge("cache-hit", "End")
+    quote.add_edge("feed-lookup", "End")
+    model.add_function("quote", diagram=quote)
+
+    model.add_function("portfolio", services=["web", "accounts"])
+    model.add_function(
+        "trade",
+        services=["web", "accounts", "matching", "market-data", "clearing"],
+    )
+
+    model.require_everywhere(["net", "lan"])
+    return model
+
+
+CHECKERS = UserClass.from_probabilities("occasional checkers", {
+    frozenset({"quote"}): 0.55,
+    frozenset({"quote", "portfolio"}): 0.35,
+    frozenset({"quote", "portfolio", "trade"}): 0.10,
+})
+
+DAY_TRADERS = UserClass.from_probabilities("day traders", {
+    frozenset({"quote"}): 0.10,
+    frozenset({"quote", "portfolio"}): 0.15,
+    frozenset({"quote", "trade"}): 0.30,
+    frozenset({"quote", "portfolio", "trade"}): 0.45,
+})
+
+
+def main() -> None:
+    model = build_brokerage()
+
+    print("=== Function availabilities ===")
+    print(format_table(
+        ["function", "availability", "downtime"],
+        [
+            [name, f"{model.function_availability(name):.6f}",
+             format_downtime(model.function_availability(name))]
+            for name in model.functions
+        ],
+    ))
+
+    print()
+    print("=== User-perceived availability by population ===")
+    rows = []
+    for users in (CHECKERS, DAY_TRADERS):
+        result = model.user_availability(users)
+        rows.append([
+            users.name,
+            f"{result.availability:.6f}",
+            format_downtime(result.availability),
+        ])
+    print(format_table(["population", "A(user)", "downtime"], rows))
+
+    print()
+    print("=== Business impact (trade sessions lost) ===")
+    revenue = RevenueModel(session_rate=250.0, average_revenue=12.0)
+    for users in (CHECKERS, DAY_TRADERS):
+        estimate = revenue.estimate(
+            model.user_availability(users), pay_function="trade"
+        )
+        print(
+            f"  {users.name:22s}: "
+            f"{estimate.lost_payment_sessions_per_year:,.0f} lost trades/yr "
+            f"(${estimate.lost_revenue_per_year:,.0f})"
+        )
+
+    print()
+    print("=== What to fix first (service importance, day traders) ===")
+    importance = model.service_importance(DAY_TRADERS)
+    for name, value in sorted(importance.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:12s} {value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

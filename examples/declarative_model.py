@@ -1,0 +1,70 @@
+"""The whole Travel Agency as a JSON file — no Python modeling code.
+
+`examples/travel_agency.json` declares the complete Fig. 8 model:
+resources (including the composite web farm), RBD service structures,
+interaction diagrams and both Table 1 user classes.  This script loads
+it with :func:`repro.spec.load_model` and verifies that the declarative
+route reproduces the programmatic `repro.ta` model exactly.
+
+The same file drives the CLI:
+
+    python -m repro evaluate examples/travel_agency.json
+
+Run:  python examples/declarative_model.py
+"""
+
+from pathlib import Path
+
+from repro.reporting import format_table
+from repro.spec import load_model
+from repro.ta import CLASS_A, CLASS_B, TravelAgencyModel
+
+SPEC = Path(__file__).parent / "travel_agency.json"
+
+
+def main() -> None:
+    declared, user_classes = load_model(SPEC)
+    programmatic = TravelAgencyModel()
+
+    print(f"Loaded {SPEC.name}: "
+          f"{len(declared.resources)} resources, "
+          f"{len(declared.services)} services, "
+          f"{len(declared.functions)} functions, "
+          f"{len(user_classes)} user classes\n")
+
+    rows = []
+    for name in declared.functions:
+        rows.append([
+            name,
+            f"{declared.function_availability(name):.9f}",
+            f"{programmatic.hierarchical_model.function_availability(name):.9f}",
+        ])
+    print(format_table(
+        ["function", "declarative (JSON)", "programmatic (repro.ta)"],
+        rows,
+        title="Function availabilities — two routes, same numbers",
+    ))
+
+    print()
+    rows = []
+    for paper_class, declared_class in (
+        (CLASS_A, user_classes["class A"]),
+        (CLASS_B, user_classes["class B"]),
+    ):
+        from_json = declared.user_availability(declared_class).availability
+        from_code = programmatic.user_availability(paper_class).availability
+        rows.append([
+            paper_class.name, f"{from_json:.6f}", f"{from_code:.6f}",
+            f"{abs(from_json - from_code):.1e}",
+        ])
+    print(format_table(
+        ["user class", "declarative", "programmatic", "|diff|"],
+        rows,
+        title="User-perceived availability (eq. 10)",
+    ))
+    print("\nThe JSON route matches the programmatic model to float rounding")
+    print("(the JSON stores the three Browse branch products explicitly).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Shared argument-validation helpers.
+
+Every public entry point of the library validates its numeric arguments
+through these helpers so that error messages are uniform ("name must be
+..., got ...") and every failure raises :class:`repro.errors.ValidationError`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = [
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_rate",
+    "check_in_range",
+    "check_distribution",
+]
+
+_EPS = 1e-12
+
+
+def _fail(name: str, requirement: str, value) -> None:
+    raise ValidationError(f"{name} must be {requirement}, got {value!r}")
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that *value* is a probability in [0, 1] and return it as float."""
+    value = _as_float(value, name)
+    if not 0.0 <= value <= 1.0:
+        _fail(name, "in [0, 1]", value)
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that *value* is a finite, strictly positive number."""
+    value = _as_float(value, name)
+    if value <= 0.0:
+        _fail(name, "> 0", value)
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate that *value* is a finite number >= 0."""
+    value = _as_float(value, name)
+    if value < 0.0:
+        _fail(name, ">= 0", value)
+    return value
+
+
+def check_positive_int(value: int, name: str = "value") -> int:
+    """Validate that *value* is an integer >= 1."""
+    value = _as_int(value, name)
+    if value < 1:
+        _fail(name, "an integer >= 1", value)
+    return value
+
+
+def check_non_negative_int(value: int, name: str = "value") -> int:
+    """Validate that *value* is an integer >= 0."""
+    value = _as_int(value, name)
+    if value < 0:
+        _fail(name, "an integer >= 0", value)
+    return value
+
+
+def check_rate(value: float, name: str = "rate") -> float:
+    """Validate a transition/event rate: finite and strictly positive."""
+    return check_positive(value, name)
+
+
+def check_in_range(
+    value: float, low: float, high: float, name: str = "value"
+) -> float:
+    """Validate that *value* lies in the closed interval [low, high]."""
+    value = _as_float(value, name)
+    if not low <= value <= high:
+        _fail(name, f"in [{low}, {high}]", value)
+    return value
+
+
+def check_distribution(
+    values: Iterable[float], name: str = "distribution", tol: float = 1e-9
+) -> np.ndarray:
+    """Validate that *values* form a probability distribution.
+
+    Entries must be non-negative and sum to one within *tol*.  Returns the
+    values as a float numpy array (a copy — callers may mutate freely).
+    """
+    arr = np.asarray(list(values) if not isinstance(values, (np.ndarray, Sequence)) else values, dtype=float)
+    if arr.ndim != 1:
+        _fail(name, "a one-dimensional sequence", arr.shape)
+    if not np.all(np.isfinite(arr)):
+        _fail(name, "finite", arr)
+    if np.any(arr < -_EPS):
+        _fail(name, "non-negative", arr.min())
+    total = float(arr.sum())
+    if abs(total - 1.0) > tol:
+        _fail(name, f"normalized (sum to 1 within {tol})", total)
+    arr = np.clip(arr, 0.0, None)
+    return arr.copy()
+
+
+def _as_float(value, name: str) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        _fail(name, "a real number", value)
+    if math.isnan(value) or math.isinf(value):
+        _fail(name, "finite", value)
+    return value
+
+
+def _as_int(value, name: str) -> int:
+    if isinstance(value, bool):
+        _fail(name, "an integer", value)
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError):
+        _fail(name, "an integer", value)
+        raise  # unreachable; keeps type-checkers happy
+    if as_int != value:
+        _fail(name, "an integer", value)
+    return as_int

@@ -1,0 +1,31 @@
+"""Resource-level availability models.
+
+This subpackage implements the failure/repair models of the paper's
+resource level:
+
+* :class:`TwoStateAvailability` — the up/down model used for hosts,
+  disks, the LAN and black-box external systems.
+* :class:`PerfectCoverageFarm` / :class:`ImperfectCoverageFarm` — the
+  Markov models of Figs. 9 and 10: a farm of NW web servers with a shared
+  repair facility, with or without automatic failover coverage.
+* :class:`RepairableGroup` — the general N-unit birth-death availability
+  model (shared or dedicated repair, k-of-n service requirement), used
+  for ablations beyond the paper.
+* :class:`WebServiceModel` — the composite performance-availability
+  combination of eqs. (2), (5) and (9): web-service availability
+  accounting for both server failures and requests lost to full buffers.
+"""
+
+from .twostate import TwoStateAvailability
+from .coverage import PerfectCoverageFarm, ImperfectCoverageFarm
+from .repairable import RepairableGroup
+from .webservice import WebServiceModel, WebServiceLossBreakdown
+
+__all__ = [
+    "TwoStateAvailability",
+    "PerfectCoverageFarm",
+    "ImperfectCoverageFarm",
+    "RepairableGroup",
+    "WebServiceModel",
+    "WebServiceLossBreakdown",
+]

@@ -1,0 +1,239 @@
+"""Markov availability models of a redundant server farm (paper Figs. 9, 10).
+
+Both models track the number ``i`` of operational web servers out of
+``NW``.  Failures occur at rate ``i * lambda`` (each operational server
+fails independently at rate ``lambda``); a single shared repair facility
+restores one server at rate ``mu``.
+
+*Perfect coverage* (Fig. 9): every failure is detected and the farm is
+reconfigured automatically, so the chain is a pure birth-death process on
+``i`` with steady state (eq. 4)::
+
+    Pi_i = (1 / i!) (mu / lambda)^i  Pi_0
+
+*Imperfect coverage* (Fig. 10): a failure is *covered* with probability
+``c`` (automatic reconfiguration, ``i -> i-1`` at rate ``i c lambda``)
+and *uncovered* with probability ``1 - c``: the farm enters a down state
+``y_i`` (rate ``i (1-c) lambda``) and requires a manual reconfiguration,
+exponential with rate ``beta``, before resuming with ``i - 1`` servers.
+The steady state is given by eqs. (6)-(8); the down states satisfy::
+
+    Pi_{y_i} = (mu (1-c) / beta) * (1 / (i-1)!) (mu / lambda)^(i-1)  Pi_0
+
+Note on the published equations: the summation ranges printed in the
+paper stop at ``NW - 2`` for the ``y`` states, but the model description
+and the paper's own numeric results (A(WS) = 0.999995587 for NW = 4)
+require down states ``y_i`` for every ``i = 1 .. NW``; this module uses
+the consistent version and its tests verify both the closed forms against
+a numerically solved CTMC and the paper's quoted value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from .._validation import check_positive_int, check_probability, check_rate
+from ..markov import CTMC, CTMCBuilder
+
+__all__ = ["PerfectCoverageFarm", "ImperfectCoverageFarm"]
+
+
+@dataclass(frozen=True)
+class PerfectCoverageFarm:
+    """Fig. 9: redundant farm with perfect failure coverage.
+
+    Parameters
+    ----------
+    servers:
+        Number of web servers ``NW``.
+    failure_rate:
+        Per-server failure rate ``lambda``.
+    repair_rate:
+        Shared repair rate ``mu`` (one repair at a time).
+
+    Examples
+    --------
+    >>> farm = PerfectCoverageFarm(servers=2, failure_rate=1e-3,
+    ...                            repair_rate=1.0)
+    >>> probs = farm.state_probabilities()
+    >>> abs(sum(probs.values()) - 1.0) < 1e-12
+    True
+    """
+
+    servers: int
+    failure_rate: float
+    repair_rate: float
+
+    def __post_init__(self):
+        check_positive_int(self.servers, "servers")
+        check_rate(self.failure_rate, "failure_rate")
+        check_rate(self.repair_rate, "repair_rate")
+
+    def state_probabilities(self) -> Dict[int, float]:
+        """Steady-state probability of each operational-count state (eq. 4).
+
+        Returns ``{i: Pi_i}`` for ``i = 0 .. NW``.
+        """
+        ratio = self.repair_rate / self.failure_rate
+        weights = {
+            i: ratio**i / math.factorial(i) for i in range(self.servers + 1)
+        }
+        total = sum(weights.values())
+        return {i: w / total for i, w in weights.items()}
+
+    def all_up_probability(self) -> float:
+        """Probability that every server is operational."""
+        return self.state_probabilities()[self.servers]
+
+    def all_down_probability(self) -> float:
+        """Probability ``Pi_0`` that no server is operational."""
+        return self.state_probabilities()[0]
+
+    def to_ctmc(self) -> CTMC:
+        """The underlying birth-death CTMC (states = operational count)."""
+        builder = CTMCBuilder()
+        for i in range(self.servers + 1):
+            builder.add_state(i)
+        for i in range(1, self.servers + 1):
+            builder.add_transition(i, i - 1, i * self.failure_rate)
+        for i in range(self.servers):
+            builder.add_transition(i, i + 1, self.repair_rate)
+        return builder.build()
+
+    def mean_time_to_exhaustion(self) -> float:
+        """Expected time from all-up until *every* server is down.
+
+        The farm-level MTTF: a mission metric complementing the
+        steady-state availability (first passage NW -> 0 with repairs
+        racing failures).
+        """
+        from ..markov import mean_first_passage_time
+
+        return mean_first_passage_time(self.to_ctmc(), self.servers, [0])
+
+    def exhaustion_probability_by(self, time: float) -> float:
+        """``P(total farm outage occurs within *time* | all up at 0)``."""
+        from ..markov import first_passage_probability_by
+
+        return first_passage_probability_by(
+            self.to_ctmc(), self.servers, [0], time
+        )
+
+
+@dataclass(frozen=True)
+class ImperfectCoverageFarm:
+    """Fig. 10: redundant farm with imperfect failure coverage.
+
+    Parameters
+    ----------
+    servers:
+        Number of web servers ``NW``.
+    failure_rate:
+        Per-server failure rate ``lambda``.
+    repair_rate:
+        Shared repair rate ``mu``.
+    coverage:
+        Probability ``c`` that a failure is covered (automatic failover).
+    reconfiguration_rate:
+        Rate ``beta`` of the manual reconfiguration that follows an
+        uncovered failure (mean duration ``1 / beta``).
+
+    Examples
+    --------
+    The paper's configuration (Section 5.2):
+
+    >>> farm = ImperfectCoverageFarm(servers=4, failure_rate=1e-4,
+    ...                              repair_rate=1.0, coverage=0.98,
+    ...                              reconfiguration_rate=12.0)
+    >>> probs, downs = farm.state_probabilities()
+    >>> abs(sum(probs.values()) + sum(downs.values()) - 1.0) < 1e-12
+    True
+    """
+
+    servers: int
+    failure_rate: float
+    repair_rate: float
+    coverage: float
+    reconfiguration_rate: float
+
+    def __post_init__(self):
+        check_positive_int(self.servers, "servers")
+        check_rate(self.failure_rate, "failure_rate")
+        check_rate(self.repair_rate, "repair_rate")
+        check_probability(self.coverage, "coverage")
+        check_rate(self.reconfiguration_rate, "reconfiguration_rate")
+
+    def state_probabilities(self) -> Tuple[Dict[int, float], Dict[int, float]]:
+        """Steady-state probabilities (eqs. 6-8).
+
+        Returns
+        -------
+        (operational, down):
+            ``operational[i] = Pi_i`` for ``i = 0 .. NW`` and
+            ``down[i] = Pi_{y_i}`` for ``i = 1 .. NW`` (empty when
+            coverage is perfect).
+        """
+        ratio = self.repair_rate / self.failure_rate
+        op_weights = {
+            i: ratio**i / math.factorial(i) for i in range(self.servers + 1)
+        }
+        # Pi_{y_i} = i (1-c) lambda / beta * Pi_i  (flow balance on y_i)
+        down_weights = {
+            i: i
+            * (1.0 - self.coverage)
+            * self.failure_rate
+            / self.reconfiguration_rate
+            * op_weights[i]
+            for i in range(1, self.servers + 1)
+        }
+        total = sum(op_weights.values()) + sum(down_weights.values())
+        operational = {i: w / total for i, w in op_weights.items()}
+        down = {i: w / total for i, w in down_weights.items()}
+        return operational, down
+
+    def down_state_probability(self) -> float:
+        """Total probability of the farm being unusable.
+
+        The sum of ``Pi_0`` (all servers failed) and every manual
+        reconfiguration state ``Pi_{y_i}``.
+        """
+        operational, down = self.state_probabilities()
+        return operational[0] + sum(down.values())
+
+    def to_ctmc(self) -> CTMC:
+        """The underlying CTMC with states ``0..NW`` and ``("y", i)``."""
+        builder = CTMCBuilder()
+        for i in range(self.servers + 1):
+            builder.add_state(i)
+        for i in range(1, self.servers + 1):
+            covered_rate = i * self.coverage * self.failure_rate
+            uncovered_rate = i * (1.0 - self.coverage) * self.failure_rate
+            if covered_rate > 0:
+                builder.add_transition(i, i - 1, covered_rate)
+            if uncovered_rate > 0:
+                builder.add_transition(i, ("y", i), uncovered_rate)
+                builder.add_transition(("y", i), i - 1, self.reconfiguration_rate)
+        for i in range(self.servers):
+            builder.add_transition(i, i + 1, self.repair_rate)
+        return builder.build()
+
+    def mean_time_to_service_loss(self) -> float:
+        """Expected time from all-up until the web service first goes down.
+
+        Service is lost on reaching state 0 *or* any manual
+        reconfiguration state ``y_i`` — with imperfect coverage a single
+        uncovered failure suffices, which is why this is typically orders
+        of magnitude shorter than the perfect-coverage farm's
+        time-to-exhaustion.
+        """
+        from ..markov import mean_first_passage_time
+
+        chain = self.to_ctmc()
+        down_states = [0] + [
+            ("y", i)
+            for i in range(1, self.servers + 1)
+            if self.coverage < 1.0
+        ]
+        return mean_first_passage_time(chain, self.servers, down_states)

@@ -1,0 +1,104 @@
+"""The two-state (up/down) availability model.
+
+The simplest repairable-component model: exponential times to failure
+(rate ``lambda``) and to repair (rate ``mu``), giving steady-state
+availability ``mu / (lambda + mu)``.  The paper uses it for every
+resource that is not the web-server farm: hosts, disks, the LAN, the
+Internet connection, and each black-box external reservation or payment
+system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_probability, check_rate
+from ..errors import ValidationError
+from ..markov import CTMC
+
+__all__ = ["TwoStateAvailability"]
+
+
+@dataclass(frozen=True)
+class TwoStateAvailability:
+    """A repairable component alternating between up and down.
+
+    Parameters
+    ----------
+    failure_rate:
+        Rate ``lambda`` of up -> down transitions (1 / MTTF).
+    repair_rate:
+        Rate ``mu`` of down -> up transitions (1 / MTTR).
+
+    Examples
+    --------
+    >>> model = TwoStateAvailability(failure_rate=1e-3, repair_rate=1.0)
+    >>> round(model.availability, 6)
+    0.999001
+    """
+
+    failure_rate: float
+    repair_rate: float
+
+    def __post_init__(self):
+        check_rate(self.failure_rate, "failure_rate")
+        check_rate(self.repair_rate, "repair_rate")
+
+    @classmethod
+    def from_availability(
+        cls, availability: float, repair_rate: float = 1.0
+    ) -> "TwoStateAvailability":
+        """Build a model with a given steady-state availability.
+
+        Useful for black-box components where only a measured availability
+        is known (the paper's external suppliers): the failure rate is
+        derived as ``mu * (1 - A) / A``.
+        """
+        availability = check_probability(availability, "availability")
+        if not 0.0 < availability < 1.0:
+            raise ValidationError(
+                f"availability must be strictly between 0 and 1, got {availability}"
+            )
+        repair_rate = check_rate(repair_rate, "repair_rate")
+        failure_rate = repair_rate * (1.0 - availability) / availability
+        return cls(failure_rate=failure_rate, repair_rate=repair_rate)
+
+    @property
+    def availability(self) -> float:
+        """Steady-state availability ``mu / (lambda + mu)``."""
+        return self.repair_rate / (self.failure_rate + self.repair_rate)
+
+    @property
+    def unavailability(self) -> float:
+        """Steady-state unavailability ``lambda / (lambda + mu)``."""
+        return self.failure_rate / (self.failure_rate + self.repair_rate)
+
+    @property
+    def mttf(self) -> float:
+        """Mean time to failure, ``1 / lambda``."""
+        return 1.0 / self.failure_rate
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to repair, ``1 / mu``."""
+        return 1.0 / self.repair_rate
+
+    def to_ctmc(self) -> CTMC:
+        """The underlying two-state CTMC with states ``"up"`` and ``"down"``."""
+        return CTMC.from_rates(
+            {("up", "down"): self.failure_rate, ("down", "up"): self.repair_rate}
+        )
+
+    def transient_availability(self, time: float, initially_up: bool = True) -> float:
+        """Point availability at *time*, in closed form.
+
+        ``A(t) = A + (A0 - A) exp(-(lambda + mu) t)`` where ``A`` is the
+        steady-state availability and ``A0`` is 1 or 0 depending on the
+        initial state.
+        """
+        import math
+
+        steady = self.availability
+        initial = 1.0 if initially_up else 0.0
+        total_rate = self.failure_rate + self.repair_rate
+        return steady + (initial - steady) * math.exp(-total_rate * time)

@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing Python:
+
+``repro ta``
+    Evaluate the paper's Travel Agency: user availability per class,
+    function availabilities, Table 8 sweeps.
+
+``repro web``
+    Evaluate a web-server farm's composite availability (the Table 5
+    models), optionally under a latency deadline.
+
+``repro evaluate``
+    Evaluate a custom model from a JSON specification file
+    (see :mod:`repro.spec`).
+
+Run ``python -m repro <command> --help`` for the options of each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .reporting import format_downtime, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "User-perceived availability evaluation of web-based "
+            "applications (DSN 2003 travel-agency framework)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ta = commands.add_parser(
+        "ta", help="evaluate the paper's Travel Agency case study"
+    )
+    ta.add_argument(
+        "--architecture", choices=("basic", "redundant"), default="redundant",
+        help="Fig. 7 (basic) or Fig. 8 (redundant) architecture",
+    )
+    ta.add_argument(
+        "--user-class", choices=("A", "B", "both"), default="both",
+        help="which Table 1 user class to evaluate",
+    )
+    ta.add_argument(
+        "--reservations", type=int, default=None, metavar="N",
+        help="set N_F = N_H = N_C (defaults to the paper's 5)",
+    )
+    ta.add_argument(
+        "--sweep", action="store_true",
+        help="print the Table 8 sweep over N in {1,2,3,4,5,10}",
+    )
+    ta.add_argument(
+        "--categories", action="store_true",
+        help="print the Fig. 13 SC1-SC4 breakdown",
+    )
+    ta.add_argument(
+        "--report", action="store_true",
+        help="print the full five-section availability report",
+    )
+
+    web = commands.add_parser(
+        "web", help="evaluate a web-server farm (Table 5 models)"
+    )
+    web.add_argument("--servers", type=int, default=4)
+    web.add_argument("--arrival-rate", type=float, default=100.0,
+                     help="requests per second")
+    web.add_argument("--service-rate", type=float, default=100.0,
+                     help="requests per second per server")
+    web.add_argument("--buffer", type=int, default=10,
+                     help="total capacity K")
+    web.add_argument("--failure-rate", type=float, default=1e-4,
+                     help="per-server failures per hour")
+    web.add_argument("--repair-rate", type=float, default=1.0,
+                     help="repairs per hour (shared facility)")
+    web.add_argument("--coverage", type=float, default=None,
+                     help="failure coverage c (omit for perfect coverage)")
+    web.add_argument("--reconfiguration-rate", type=float, default=12.0,
+                     help="manual reconfigurations per hour")
+    web.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="also report availability under a latency SLO")
+
+    evaluate = commands.add_parser(
+        "evaluate", help="evaluate a custom model from a JSON spec file"
+    )
+    evaluate.add_argument("spec", help="path to the JSON model specification")
+    evaluate.add_argument(
+        "--user-class", default=None,
+        help="evaluate one declared user class (default: all)",
+    )
+    return parser
+
+
+def _cmd_ta(args) -> int:
+    from .ta import CLASS_A, CLASS_B, TAParameters, TravelAgencyModel
+
+    params = TAParameters()
+    if args.reservations is not None:
+        params = params.with_reservation_systems(args.reservations)
+    model = TravelAgencyModel(params, architecture=args.architecture)
+
+    classes = {"A": [CLASS_A], "B": [CLASS_B], "both": [CLASS_A, CLASS_B]}[
+        args.user_class
+    ]
+
+    if args.report:
+        from .ta.report import availability_report
+
+        print(availability_report(model, classes))
+        return 0
+
+    print(f"Travel Agency — {args.architecture} architecture, "
+          f"N_F = N_H = N_C = {params.n_flight}")
+    print(f"A(Web service) = {model.web_service_availability():.9f}")
+    print()
+
+    rows = []
+    for users in classes:
+        result = model.user_availability(users)
+        rows.append([
+            users.name,
+            f"{result.availability:.5f}",
+            format_downtime(result.availability),
+        ])
+    print(format_table(["user class", "A(user)", "downtime"], rows))
+
+    if args.sweep:
+        print()
+        counts = (1, 2, 3, 4, 5, 10)
+        header = ["N"] + [users.name for users in classes]
+        sweeps = [dict(model.reservation_sweep(u, counts)) for u in classes]
+        print(format_table(
+            header,
+            [[n] + [f"{s[n]:.5f}" for s in sweeps] for n in counts],
+            title="Table 8 sweep",
+        ))
+
+    if args.categories:
+        print()
+        rows = []
+        for users in classes:
+            breakdown = model.category_breakdown(users)
+            for category in ("SC1", "SC2", "SC3", "SC4"):
+                rows.append([
+                    users.name, category,
+                    f"{breakdown[category] * 8760.0:.1f}",
+                ])
+        print(format_table(
+            ["user class", "category", "hours/year"],
+            rows,
+            title="Fig. 13 scenario-category breakdown",
+        ))
+    return 0
+
+
+def _cmd_web(args) -> int:
+    from .availability import WebServiceModel
+
+    model = WebServiceModel(
+        servers=args.servers,
+        arrival_rate=args.arrival_rate,
+        service_rate=args.service_rate,
+        buffer_capacity=args.buffer,
+        failure_rate=args.failure_rate,
+        repair_rate=args.repair_rate,
+        coverage=args.coverage,
+        reconfiguration_rate=(
+            args.reconfiguration_rate
+            if args.coverage is not None and args.coverage < 1.0
+            else None
+        ),
+    )
+    breakdown = model.loss_breakdown()
+    print(f"{model!r}")
+    print(f"A(Web service)          = {breakdown.availability:.9f} "
+          f"({format_downtime(breakdown.availability)})")
+    print(f"  buffer-full loss      = {breakdown.buffer_full:.3e}")
+    print(f"  all servers down      = {breakdown.all_servers_down:.3e}")
+    print(f"  manual reconfiguration= {breakdown.manual_reconfiguration:.3e}")
+    if args.deadline is not None:
+        value = model.deadline_availability(args.deadline)
+        print(f"A(served within {args.deadline:g}s) = {value:.9f} "
+              f"({format_downtime(value)})")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .spec import load_model
+
+    model, user_classes = load_model(args.spec)
+
+    print("Services:")
+    for name, value in sorted(
+        model.service_availabilities().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:20s} {value:.9f}")
+    print("Functions:")
+    for name in model.functions:
+        value = model.function_availability(name)
+        print(f"  {name:20s} {value:.9f}  ({format_downtime(value)})")
+
+    if args.user_class is not None:
+        if args.user_class not in user_classes:
+            print(
+                f"error: user class {args.user_class!r} is not declared in "
+                f"{args.spec} (available: {sorted(user_classes)})",
+                file=sys.stderr,
+            )
+            return 2
+        selected = {args.user_class: user_classes[args.user_class]}
+    else:
+        selected = user_classes
+
+    if selected:
+        print("User classes:")
+        for name, users in selected.items():
+            result = model.user_availability(users)
+            print(f"  {name:20s} {result.availability:.6f}  "
+                  f"({format_downtime(result.availability)})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"ta": _cmd_ta, "web": _cmd_web, "evaluate": _cmd_evaluate}
+    from .errors import ReproError
+
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The hierarchical availability-modeling framework (the paper's core).
+
+Modeling proceeds over four levels (Fig. 1 of the paper):
+
+* **resource level** — availability models of hardware/software
+  resources (hosts, disks, LAN, black-box external systems, the
+  web-server farm);
+* **service level** — services assembled from resources through
+  reliability block diagrams;
+* **function level** — site functions whose execution follows an
+  :class:`InteractionDiagram` across services;
+* **user level** — a :class:`~repro.profiles.UserClass` scenario mix,
+  producing the *user-perceived availability*.
+
+:class:`HierarchicalModel` ties the levels together: outputs of each
+level feed the next, exactly as in the paper's Fig. 1, and the user-level
+evaluation accounts for services shared between functions (the
+dependency analysis of Section 4.3) by working with the distribution of
+the *union* of services a scenario touches.
+"""
+
+from .interaction import InteractionDiagram, FunctionScenario
+from .levels import Resource, Service, Function
+from .model import HierarchicalModel, UserLevelResult, ScenarioAvailability
+
+__all__ = [
+    "InteractionDiagram",
+    "FunctionScenario",
+    "Resource",
+    "Service",
+    "Function",
+    "HierarchicalModel",
+    "UserLevelResult",
+    "ScenarioAvailability",
+]

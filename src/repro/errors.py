@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so a
+caller embedding the library can catch every library-specific failure with
+a single ``except`` clause while still letting genuine programming errors
+(``TypeError`` from bad call signatures, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ModelStructureError",
+    "SolverError",
+    "NotIrreducibleError",
+    "CalibrationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed domain validation (negative rate, bad probability, ...).
+
+    Inherits :class:`ValueError` so code written against the standard
+    library conventions keeps working.
+    """
+
+
+class ModelStructureError(ReproError):
+    """A model is structurally ill-formed (dangling node, no absorbing state, ...)."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a usable solution."""
+
+
+class NotIrreducibleError(SolverError):
+    """A steady-state solve was requested for a reducible chain.
+
+    The steady-state distribution of a finite CTMC/DTMC is unique only when
+    the chain is irreducible (a single recurrent class reachable from every
+    state); this error reports which states are unreachable or transient.
+    """
+
+    def __init__(self, message: str, problem_states: tuple = ()):
+        super().__init__(message)
+        self.problem_states = tuple(problem_states)
+
+
+class CalibrationError(ReproError):
+    """A model-calibration routine could not fit the requested targets."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation was configured or driven incorrectly."""

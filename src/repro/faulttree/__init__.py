@@ -1,0 +1,29 @@
+"""Fault-tree analysis.
+
+Fault trees are one of the modeling techniques the paper's framework
+admits at every level (Section 2).  This subpackage provides coherent
+fault trees (AND / OR / k-of-n gates over basic events), exact top-event
+probability (with shared basic events handled by Shannon decomposition),
+and minimal cut sets — the qualitative complement used to explain *why*
+a service fails.
+
+A fault tree is the failure-space dual of a reliability block diagram;
+:func:`from_rbd` converts an RBD into the equivalent tree, and the test
+suite checks the two evaluations agree on both representations.
+"""
+
+from .nodes import BasicEvent, AndGate, OrGate, KofNGate, GateNode, FaultTreeNode
+from .evaluate import top_event_probability, from_rbd
+from .cutsets import minimal_cut_sets
+
+__all__ = [
+    "BasicEvent",
+    "AndGate",
+    "OrGate",
+    "KofNGate",
+    "GateNode",
+    "FaultTreeNode",
+    "top_event_probability",
+    "from_rbd",
+    "minimal_cut_sets",
+]

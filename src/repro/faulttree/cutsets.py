@@ -1,0 +1,89 @@
+"""Minimal cut sets of a coherent fault tree.
+
+A *cut set* is a set of basic events whose joint occurrence guarantees
+the top event; it is *minimal* when no proper subset is a cut set.
+Minimal cut sets are the standard qualitative result of fault-tree
+analysis: for the TA's Search function they immediately show that the
+LAN alone, the Internet link alone, or the joint failure of all N_F
+flight systems each take the function down.
+
+The implementation is a top-down expansion (the classic MOCUS scheme)
+over AND/OR/k-of-n gates followed by subset minimization.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Set, Tuple
+
+from ..errors import ValidationError
+from .nodes import AndGate, BasicEvent, FaultTreeNode, KofNGate, OrGate
+
+__all__ = ["minimal_cut_sets"]
+
+_MAX_CUT_SETS = 200_000
+
+
+def minimal_cut_sets(tree: FaultTreeNode) -> Tuple[FrozenSet[str], ...]:
+    """All minimal cut sets, smallest first.
+
+    Examples
+    --------
+    >>> from repro.faulttree import AndGate, BasicEvent, OrGate
+    >>> tree = OrGate(BasicEvent("lan"),
+    ...               AndGate(BasicEvent("f1"), BasicEvent("f2")))
+    >>> sorted(sorted(cs) for cs in minimal_cut_sets(tree))
+    [['f1', 'f2'], ['lan']]
+    """
+    raw = _expand(tree)
+    minimal = _minimize(raw)
+    return tuple(
+        sorted(minimal, key=lambda cs: (len(cs), sorted(cs)))
+    )
+
+
+def _expand(node: FaultTreeNode) -> Set[FrozenSet[str]]:
+    if isinstance(node, BasicEvent):
+        return {frozenset({node.name})}
+    if isinstance(node, OrGate):
+        result: Set[FrozenSet[str]] = set()
+        for child in node.children:
+            result |= _expand(child)
+            _check_budget(result)
+        return result
+    if isinstance(node, AndGate):
+        return _conjoin([_expand(child) for child in node.children])
+    if isinstance(node, KofNGate):
+        # k-of-n = OR over all k-subsets of an AND of the subset.
+        child_sets = [_expand(child) for child in node.children]
+        result = set()
+        for combo in combinations(range(len(child_sets)), node.k):
+            result |= _conjoin([child_sets[i] for i in combo])
+            _check_budget(result)
+        return result
+    raise ValidationError(f"unsupported node type {type(node).__name__}")
+
+
+def _conjoin(groups: List[Set[FrozenSet[str]]]) -> Set[FrozenSet[str]]:
+    result: Set[FrozenSet[str]] = {frozenset()}
+    for group in groups:
+        result = {base | extra for base in result for extra in group}
+        _check_budget(result)
+    return result
+
+
+def _check_budget(candidates: Set[FrozenSet[str]]) -> None:
+    if len(candidates) > _MAX_CUT_SETS:
+        raise ValidationError(
+            f"cut-set expansion exceeded {_MAX_CUT_SETS} candidate sets; "
+            "the tree is too large for exact enumeration"
+        )
+
+
+def _minimize(candidates: Set[FrozenSet[str]]) -> List[FrozenSet[str]]:
+    ordered = sorted(candidates, key=len)
+    minimal: List[FrozenSet[str]] = []
+    for candidate in ordered:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal

@@ -1,0 +1,116 @@
+"""Exact top-event probability and RBD-to-fault-tree conversion."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Mapping, Optional
+
+from .._validation import check_probability
+from ..errors import ValidationError
+from ..rbd.blocks import Block, Component, KofN, Parallel, Series
+from .nodes import AndGate, BasicEvent, FaultTreeNode, KofNGate, OrGate
+
+__all__ = ["top_event_probability", "from_rbd"]
+
+_MAX_PIVOTS = 25
+
+
+def _collect_probabilities(
+    tree: FaultTreeNode, probabilities: Optional[Mapping[str, float]]
+) -> Dict[str, float]:
+    provided = dict(probabilities or {})
+    resolved: Dict[str, float] = {}
+    for name in tree.event_names():
+        if name in resolved:
+            continue
+        if name in provided:
+            resolved[name] = check_probability(provided[name], f"probability({name})")
+        else:
+            default = _default_probability(tree, name)
+            if default is None:
+                raise ValidationError(
+                    f"no probability provided for basic event {name!r}"
+                )
+            resolved[name] = default
+    return resolved
+
+
+def _default_probability(tree: FaultTreeNode, name: str) -> Optional[float]:
+    if isinstance(tree, BasicEvent):
+        if tree.name == name and tree.probability is not None:
+            return tree.probability
+        return None
+    for child in getattr(tree, "children", ()):
+        found = _default_probability(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def top_event_probability(
+    tree: FaultTreeNode, probabilities: Optional[Mapping[str, float]] = None
+) -> float:
+    """Exact probability of the top event.
+
+    Basic events are assumed independent; events shared between branches
+    are handled exactly by Shannon decomposition (pivoting), as in
+    :func:`repro.rbd.system_availability`.
+
+    Examples
+    --------
+    >>> from repro.faulttree import AndGate, BasicEvent
+    >>> tree = AndGate(BasicEvent("a"), BasicEvent("b"))
+    >>> round(top_event_probability(tree, {"a": 0.1, "b": 0.1}), 4)
+    0.01
+    """
+    probs = _collect_probabilities(tree, probabilities)
+    counts = Counter(tree.event_names())
+    duplicated = sorted(name for name, count in counts.items() if count > 1)
+    if len(duplicated) > _MAX_PIVOTS:
+        raise ValidationError(
+            f"tree shares {len(duplicated)} events; exact evaluation supports "
+            f"at most {_MAX_PIVOTS} shared events"
+        )
+    return _pivoted(tree, probs, duplicated)
+
+
+def _pivoted(tree: FaultTreeNode, probs: Dict[str, float], pivots) -> float:
+    if not pivots:
+        return tree._probability(probs)
+    name, rest = pivots[0], pivots[1:]
+    p = probs[name]
+    occurs = dict(probs, **{name: 1.0})
+    absent = dict(probs, **{name: 0.0})
+    return p * _pivoted(tree, occurs, rest) + (1.0 - p) * _pivoted(tree, absent, rest)
+
+
+def from_rbd(block: Block) -> FaultTreeNode:
+    """Convert an RBD into the equivalent fault tree (its failure dual).
+
+    * a series block fails when *any* part fails → OR gate;
+    * a parallel block fails when *all* parts fail → AND gate;
+    * a k-of-n block fails when more than ``n - k`` parts fail →
+      (n - k + 1)-of-n gate;
+    * a component's failure is a basic event of the same name, with
+      probability ``1 - availability`` when a default was set.
+
+    The resulting tree satisfies
+    ``top_event_probability(tree, {x: 1 - A_x}) ==
+    1 - system_availability(block, {x: A_x})``.
+    """
+    if isinstance(block, Component):
+        probability = (
+            None if block.availability is None else 1.0 - block.availability
+        )
+        return BasicEvent(block.name, probability=probability)
+    if isinstance(block, Series):
+        return OrGate(*[from_rbd(child) for child in block.children])
+    if isinstance(block, Parallel):
+        return AndGate(*[from_rbd(child) for child in block.children])
+    if isinstance(block, KofN):
+        n = len(block.children)
+        failures_to_break = n - block.k + 1
+        return KofNGate(
+            failures_to_break, *[from_rbd(child) for child in block.children]
+        )
+    raise ValidationError(f"cannot convert {type(block).__name__} to a fault tree")

@@ -1,0 +1,196 @@
+"""Fault-tree node types.
+
+A fault tree describes the *failure* of a system: the top event occurs
+when the gate logic over basic events (component failures) is satisfied.
+Only coherent gates are provided (AND, OR, k-of-n) — negation does not
+occur in availability models of repairable systems and would break the
+monotonicity properties the cut-set algorithms rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .._validation import check_positive_int, check_probability
+from ..errors import ValidationError
+
+__all__ = ["FaultTreeNode", "BasicEvent", "GateNode", "AndGate", "OrGate", "KofNGate"]
+
+
+class FaultTreeNode:
+    """Abstract base of fault-tree nodes."""
+
+    def event_names(self) -> Tuple[str, ...]:
+        """All basic-event names in the subtree (with repetitions)."""
+        return tuple(self._iter_names())
+
+    def _iter_names(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def _probability(self, probs: dict) -> float:
+        """Failure probability assuming independent leaf references."""
+        raise NotImplementedError
+
+    def _occurs(self, states: dict) -> bool:
+        """Does the event occur for a deterministic failure assignment?"""
+        raise NotImplementedError
+
+
+class BasicEvent(FaultTreeNode):
+    """A leaf: the failure of one component.
+
+    Parameters
+    ----------
+    name:
+        Identifier used to look up the failure probability.
+    probability:
+        Optional default failure probability (= component
+        *unavailability*).
+
+    Examples
+    --------
+    >>> event = BasicEvent("disk-failed", probability=0.1)
+    >>> event.event_names()
+    ('disk-failed',)
+    """
+
+    __slots__ = ("name", "probability")
+
+    def __init__(self, name: str, probability: Optional[float] = None):
+        if not isinstance(name, str) or not name:
+            raise ValidationError(
+                f"basic event name must be a non-empty string, got {name!r}"
+            )
+        self.name = name
+        self.probability = (
+            None
+            if probability is None
+            else check_probability(probability, f"probability({name})")
+        )
+
+    def _iter_names(self) -> Iterator[str]:
+        yield self.name
+
+    def _probability(self, probs: dict) -> float:
+        try:
+            return probs[self.name]
+        except KeyError:
+            raise ValidationError(
+                f"no probability provided for basic event {self.name!r}"
+            ) from None
+
+    def _occurs(self, states: dict) -> bool:
+        try:
+            return bool(states[self.name])
+        except KeyError:
+            raise ValidationError(
+                f"no state provided for basic event {self.name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        if self.probability is None:
+            return f"BasicEvent({self.name!r})"
+        return f"BasicEvent({self.name!r}, probability={self.probability})"
+
+
+class GateNode(FaultTreeNode):
+    """Shared machinery for gates."""
+
+    _label = "?"
+    __slots__ = ("children",)
+
+    def __init__(self, *children: FaultTreeNode):
+        flat = []
+        for child in children:
+            if not isinstance(child, FaultTreeNode):
+                raise ValidationError(
+                    f"{self._label} children must be fault-tree nodes, got "
+                    f"{type(child).__name__}"
+                )
+            if type(child) is type(self) and not isinstance(child, KofNGate):
+                flat.extend(child.children)  # type: ignore[attr-defined]
+            else:
+                flat.append(child)
+        if not flat:
+            raise ValidationError(f"{self._label} gate needs at least one child")
+        self.children: Tuple[FaultTreeNode, ...] = tuple(flat)
+
+    def _iter_names(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child._iter_names()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{self._label}({inner})"
+
+
+class AndGate(GateNode):
+    """Occurs when *all* children occur (redundant parts all failed)."""
+
+    _label = "AndGate"
+    __slots__ = ()
+
+    def _probability(self, probs: dict) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child._probability(probs)
+        return result
+
+    def _occurs(self, states: dict) -> bool:
+        return all(child._occurs(states) for child in self.children)
+
+
+class OrGate(GateNode):
+    """Occurs when *any* child occurs (a series part failed)."""
+
+    _label = "OrGate"
+    __slots__ = ()
+
+    def _probability(self, probs: dict) -> float:
+        complement = 1.0
+        for child in self.children:
+            complement *= 1.0 - child._probability(probs)
+        return 1.0 - complement
+
+    def _occurs(self, states: dict) -> bool:
+        return any(child._occurs(states) for child in self.children)
+
+
+class KofNGate(GateNode):
+    """Occurs when at least *k* of the children occur.
+
+    Examples
+    --------
+    >>> gate = KofNGate(2, BasicEvent("a"), BasicEvent("b"), BasicEvent("c"))
+    >>> round(gate._probability({"a": 0.1, "b": 0.1, "c": 0.1}), 4)
+    0.028
+    """
+
+    __slots__ = ("k",)
+    _label = "KofNGate"
+
+    def __init__(self, k: int, *children: FaultTreeNode):
+        super().__init__(*children)
+        k = check_positive_int(k, "k")
+        if k > len(self.children):
+            raise ValidationError(
+                f"k ({k}) cannot exceed the number of children ({len(self.children)})"
+            )
+        self.k = k
+
+    def _probability(self, probs: dict) -> float:
+        dp = [1.0] + [0.0] * len(self.children)
+        for child in self.children:
+            p = child._probability(probs)
+            for j in range(len(dp) - 1, 0, -1):
+                dp[j] = dp[j] * (1.0 - p) + dp[j - 1] * p
+            dp[0] *= 1.0 - p
+        return sum(dp[self.k:])
+
+    def _occurs(self, states: dict) -> bool:
+        happened = sum(1 for child in self.children if child._occurs(states))
+        return happened >= self.k
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"KofNGate({self.k}, {inner})"

@@ -1,0 +1,54 @@
+"""Markov-chain substrate: DTMCs, CTMCs, solvers, transient analysis, rewards.
+
+This subpackage provides the general-purpose Markov machinery on which the
+availability models of the paper are built:
+
+* :class:`DTMC` — discrete-time chains, used for user operational-profile
+  graphs (Fig. 2 of the paper) and interaction diagrams (Figs. 3-6).
+* :class:`CTMC` — continuous-time chains, used for the failure/repair
+  availability models (Figs. 9 and 10).
+* :class:`CTMCBuilder` / :func:`birth_death_chain` — ergonomic model
+  construction helpers.
+* :class:`MarkovRewardModel` — steady-state expected reward, the formal
+  backbone of the paper's composite performance-availability measure
+  (eqs. 2, 5 and 9).
+* :func:`steady_state_derivative` — parametric sensitivity of steady-state
+  distributions, used by the sensitivity-analysis layer.
+"""
+
+from .dtmc import DTMC, AbsorptionAnalysis
+from .ctmc import CTMC
+from .builder import CTMCBuilder, birth_death_chain
+from .solvers import (
+    steady_state_gth,
+    steady_state_linear,
+    steady_state_power,
+    strongly_connected_components,
+)
+from .transient import transient_distribution, uniformization
+from .rewards import MarkovRewardModel
+from .sensitivity import steady_state_derivative
+from .passage import (
+    first_passage_probability_by,
+    mean_first_passage_steps,
+    mean_first_passage_time,
+)
+
+__all__ = [
+    "DTMC",
+    "AbsorptionAnalysis",
+    "CTMC",
+    "CTMCBuilder",
+    "birth_death_chain",
+    "steady_state_gth",
+    "steady_state_linear",
+    "steady_state_power",
+    "strongly_connected_components",
+    "transient_distribution",
+    "uniformization",
+    "MarkovRewardModel",
+    "steady_state_derivative",
+    "first_passage_probability_by",
+    "mean_first_passage_steps",
+    "mean_first_passage_time",
+]

@@ -1,0 +1,117 @@
+"""Ergonomic construction of CTMCs.
+
+:class:`CTMCBuilder` accumulates states and transitions imperatively —
+the natural style when translating a drawn Markov model such as the
+paper's Figs. 9 and 10 — and :func:`birth_death_chain` captures the
+ubiquitous birth-death skeleton shared by queueing models and redundant
+server farms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .._validation import check_rate
+from ..errors import ModelStructureError, ValidationError
+from .ctmc import CTMC
+
+__all__ = ["CTMCBuilder", "birth_death_chain"]
+
+State = Hashable
+
+
+class CTMCBuilder:
+    """Incremental builder for labelled CTMCs.
+
+    States are registered explicitly or implicitly (first use in a
+    transition); transition rates between the same pair of states
+    accumulate, which lets independent causes of the same state change be
+    added separately.
+
+    Examples
+    --------
+    >>> b = CTMCBuilder()
+    >>> _ = b.add_transition("up", "down", 1e-3)     # failure
+    >>> _ = b.add_transition("down", "up", 0.5)      # repair
+    >>> chain = b.build()
+    >>> chain.states
+    ('up', 'down')
+    """
+
+    def __init__(self):
+        self._order: List[State] = []
+        self._seen: set = set()
+        self._rates: Dict[Tuple[State, State], float] = {}
+
+    def add_state(self, state: State) -> "CTMCBuilder":
+        """Register a state (idempotent); returns self for chaining."""
+        if state not in self._seen:
+            self._seen.add(state)
+            self._order.append(state)
+        return self
+
+    def add_transition(self, src: State, dst: State, rate: float) -> "CTMCBuilder":
+        """Add a transition; rates on the same edge accumulate."""
+        if src == dst:
+            raise ValidationError(f"self-transition on {src!r} is not allowed")
+        check_rate(rate, f"rate({src!r}->{dst!r})")
+        self.add_state(src)
+        self.add_state(dst)
+        self._rates[(src, dst)] = self._rates.get((src, dst), 0.0) + rate
+        return self
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """States registered so far, in registration order."""
+        return tuple(self._order)
+
+    def build(self) -> CTMC:
+        """Construct the CTMC.  At least one transition is required."""
+        if not self._order:
+            raise ModelStructureError("no states registered")
+        return CTMC.from_rates(self._rates, states=self._order)
+
+
+def birth_death_chain(
+    birth_rates: Sequence[float],
+    death_rates: Sequence[float],
+    states: Optional[Sequence[State]] = None,
+) -> CTMC:
+    """A birth-death CTMC on states ``0 .. n``.
+
+    Parameters
+    ----------
+    birth_rates:
+        ``birth_rates[i]`` is the rate of ``i -> i+1``; length ``n``.
+    death_rates:
+        ``death_rates[i]`` is the rate of ``i+1 -> i``; length ``n``.
+    states:
+        Optional labels for the ``n + 1`` states; defaults to ``0 .. n``.
+
+    Notes
+    -----
+    Both M/M/c/K queues (state = number of requests present) and
+    repairable server farms (state = number of operational servers) are
+    birth-death chains; this helper is the shared construction for both.
+    """
+    if len(birth_rates) != len(death_rates):
+        raise ValidationError(
+            f"birth_rates (len {len(birth_rates)}) and death_rates "
+            f"(len {len(death_rates)}) must have equal length"
+        )
+    n = len(birth_rates)
+    if n == 0:
+        raise ValidationError("a birth-death chain needs at least one transition")
+    if states is None:
+        states = list(range(n + 1))
+    if len(states) != n + 1:
+        raise ValidationError(
+            f"expected {n + 1} state labels, got {len(states)}"
+        )
+    builder = CTMCBuilder()
+    for label in states:
+        builder.add_state(label)
+    for i in range(n):
+        builder.add_transition(states[i], states[i + 1], check_rate(birth_rates[i], f"birth_rates[{i}]"))
+        builder.add_transition(states[i + 1], states[i], check_rate(death_rates[i], f"death_rates[{i}]"))
+    return builder.build()

@@ -1,0 +1,108 @@
+"""First-passage analysis for labelled Markov chains.
+
+Mean first-passage times answer questions steady-state probabilities
+cannot: *how long until* the farm first reaches a degraded state, or
+until a failed system first returns to full strength.  Both DTMC and
+CTMC variants reduce to an absorbing-chain solve with the target states
+made absorbing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+import numpy as np
+
+from ..errors import ModelStructureError, ValidationError
+from .ctmc import CTMC
+from .dtmc import DTMC
+
+__all__ = [
+    "mean_first_passage_time",
+    "mean_first_passage_steps",
+    "first_passage_probability_by",
+]
+
+State = Hashable
+
+
+def mean_first_passage_time(
+    chain: CTMC, start: State, targets: Iterable[State]
+) -> float:
+    """Expected time for a CTMC to first hit any of *targets* from *start*.
+
+    Returns 0 when *start* is itself a target.
+
+    Examples
+    --------
+    MTTF of a two-state component is ``1 / lambda``:
+
+    >>> chain = CTMC(["up", "down"], [[-0.25, 0.25], [1.0, -1.0]])
+    >>> mean_first_passage_time(chain, "up", ["down"])
+    4.0
+    """
+    target_set = {chain.index_of(t) for t in targets}
+    if not target_set:
+        raise ValidationError("at least one target state is required")
+    if chain.index_of(start) in target_set:
+        return 0.0
+    q = chain.generator
+    for t in target_set:
+        q[t, :] = 0.0
+    modified = CTMC(chain.states, q)
+    return modified.mean_time_to_absorption(start)
+
+
+def mean_first_passage_steps(
+    chain: DTMC, start: State, targets: Iterable[State]
+) -> float:
+    """Expected number of steps for a DTMC to first hit any of *targets*.
+
+    Examples
+    --------
+    >>> chain = DTMC(["a", "b"], [[0.5, 0.5], [1.0, 0.0]])
+    >>> mean_first_passage_steps(chain, "a", ["b"])
+    2.0
+    """
+    target_set = {chain.index_of(t) for t in targets}
+    if not target_set:
+        raise ValidationError("at least one target state is required")
+    if chain.index_of(start) in target_set:
+        return 0.0
+    p = chain.transition_matrix
+    for t in target_set:
+        p[t, :] = 0.0
+        p[t, t] = 1.0
+    modified = DTMC(chain.states, p)
+    analysis = modified.absorption_analysis()
+    if start not in analysis.transient_states:
+        raise ModelStructureError(
+            f"state {start!r} cannot reach the targets"
+        )
+    index = analysis.transient_states.index(start)
+    return float(analysis.expected_steps[index])
+
+
+def first_passage_probability_by(
+    chain: CTMC, start: State, targets: Iterable[State], time: float
+) -> float:
+    """``P(hit any target by *time* | start)`` for a CTMC.
+
+    Computed as the absorbed mass of the transient distribution of the
+    chain with targets made absorbing — the CDF of the first-passage
+    time, useful for mission-reliability statements like "probability
+    the farm suffers a total outage within a year".
+    """
+    target_set = {chain.index_of(t) for t in targets}
+    if not target_set:
+        raise ValidationError("at least one target state is required")
+    if chain.index_of(start) in target_set:
+        return 1.0
+    q = chain.generator
+    for t in target_set:
+        q[t, :] = 0.0
+    modified = CTMC(chain.states, q)
+    distribution = modified.transient_distribution({start: 1.0}, time)
+    return float(
+        sum(distribution[chain.states[t]] for t in target_set)
+    )

@@ -1,0 +1,37 @@
+"""Estimating dependability parameters from measurements.
+
+The paper's introduction points out that an e-business provider cannot
+model its external suppliers white-box: *"only limited information is
+generally available... remote measurements can be used to evaluate some
+parameters characterizing the dependability of these services.  These
+parameters can then be incorporated into the models."*  This subpackage
+implements that measurement-to-model pipeline:
+
+* :func:`fit_two_state` — maximum-likelihood failure/repair rates from
+  observed up/down durations, with exact gamma confidence intervals;
+* :func:`availability_confidence_interval` — Wilson interval for
+  probe-based availability estimates;
+* :class:`ProbeLog` — a timeline of probe results (the raw output of a
+  remote monitor), reduced to durations, rates and availabilities;
+* :mod:`repro.measurement.uncertainty` — propagation of parameter
+  uncertainty through any availability model by Monte-Carlo sampling,
+  turning measured confidence intervals into confidence intervals on
+  the user-perceived availability.
+"""
+
+from .estimators import (
+    TwoStateFit,
+    availability_confidence_interval,
+    fit_two_state,
+)
+from .probes import ProbeLog
+from .uncertainty import UncertaintyResult, propagate_uncertainty
+
+__all__ = [
+    "TwoStateFit",
+    "availability_confidence_interval",
+    "fit_two_state",
+    "ProbeLog",
+    "UncertaintyResult",
+    "propagate_uncertainty",
+]

@@ -1,0 +1,126 @@
+"""Probe logs: reducing raw monitoring data to dependability parameters.
+
+A remote monitor periodically probes an external service and records
+up/down verdicts.  :class:`ProbeLog` turns such a timeline into the
+quantities the models need: point availability with a confidence
+interval, observed up/down episodes, and a fitted two-state model ready
+to plug into a :class:`~repro.core.HierarchicalModel` resource slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from .estimators import (
+    TwoStateFit,
+    availability_confidence_interval,
+    fit_two_state,
+)
+
+__all__ = ["ProbeLog"]
+
+
+class ProbeLog:
+    """A chronological series of probe results for one service.
+
+    Parameters
+    ----------
+    timestamps:
+        Strictly increasing probe times (any consistent unit).
+    states:
+        Boolean verdicts aligned with *timestamps* (True = service up).
+
+    Examples
+    --------
+    >>> log = ProbeLog([0, 1, 2, 3, 4, 5], [True, True, False, False,
+    ...                                     True, True])
+    >>> log.observed_availability()
+    0.6666666666666666
+    >>> log.episodes()
+    [(True, 2.0), (False, 2.0), (True, 1.0)]
+    """
+
+    def __init__(self, timestamps: Sequence[float], states: Sequence[bool]):
+        times = np.asarray(timestamps, dtype=float)
+        verdicts = [bool(s) for s in states]
+        if times.ndim != 1 or times.size != len(verdicts):
+            raise ValidationError(
+                "timestamps and states must be one-dimensional and aligned"
+            )
+        if times.size < 2:
+            raise ValidationError("a probe log needs at least two probes")
+        if not np.all(np.isfinite(times)) or np.any(np.diff(times) <= 0):
+            raise ValidationError("timestamps must be finite and increasing")
+        self._times = times
+        self._states = verdicts
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    @property
+    def span(self) -> float:
+        """Total observed time span."""
+        return float(self._times[-1] - self._times[0])
+
+    # ------------------------------------------------------------------
+    def observed_availability(self) -> float:
+        """Fraction of probes that found the service up."""
+        return sum(self._states) / len(self._states)
+
+    def availability_interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """Wilson interval for the probe-based availability.
+
+        Treats probes as independent Bernoulli trials — optimistic when
+        probes are much denser than the failure/repair dynamics; use
+        :meth:`fit` for a duration-based view.
+        """
+        return availability_confidence_interval(
+            sum(self._states), len(self._states), confidence
+        )
+
+    # ------------------------------------------------------------------
+    def episodes(self) -> List[Tuple[bool, float]]:
+        """Maximal constant-state runs as ``(state, duration)`` pairs.
+
+        The duration of a run is measured between the first probe of the
+        run and the first probe of the next run (probe-resolution
+        censoring applies at both ends of the log).
+        """
+        result: List[Tuple[bool, float]] = []
+        run_start = self._times[0]
+        current = self._states[0]
+        for time, state in zip(self._times[1:], self._states[1:]):
+            if state != current:
+                result.append((current, float(time - run_start)))
+                run_start = time
+                current = state
+        result.append((current, float(self._times[-1] - run_start)))
+        return result
+
+    def fit(self, confidence: float = 0.95) -> TwoStateFit:
+        """Fit a two-state model from the completed episodes.
+
+        The trailing episode is censored (its end was not observed) and
+        is excluded, as is the leading one when the log starts
+        mid-episode — standard practice for alternating renewal data.
+
+        Raises
+        ------
+        ValidationError
+            If the log does not contain at least one *complete* up and
+            one complete down episode.
+        """
+        episodes = self.episodes()
+        complete = episodes[:-1]  # last episode is right-censored
+        ups = [d for state, d in complete if state]
+        downs = [d for state, d in complete if not state]
+        if not ups or not downs:
+            raise ValidationError(
+                "need at least one complete up and one complete down episode "
+                f"(observed {len(ups)} up, {len(downs)} down)"
+            )
+        return fit_two_state(ups, downs, confidence=confidence)

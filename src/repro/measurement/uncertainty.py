@@ -1,0 +1,108 @@
+"""Propagating parameter uncertainty through availability models.
+
+Measured inputs come with confidence intervals; the user-perceived
+availability inherits that uncertainty.  :func:`propagate_uncertainty`
+samples the uncertain parameters, re-evaluates an arbitrary model
+function, and summarizes the output distribution — the bridge between
+the measurement layer and the modeling layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from .._validation import check_in_range, check_positive_int
+from ..errors import ValidationError
+
+__all__ = ["UncertaintyResult", "propagate_uncertainty"]
+
+#: A sampler takes the shared Generator and returns one parameter draw.
+Sampler = Callable[[np.random.Generator], float]
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Summary of a Monte-Carlo uncertainty propagation.
+
+    Attributes
+    ----------
+    mean / std:
+        Moments of the output distribution.
+    interval:
+        Equal-tailed credible interval at the requested level.
+    samples:
+        The raw output samples (callers may compute further statistics).
+    """
+
+    mean: float
+    std: float
+    interval: Tuple[float, float]
+    samples: np.ndarray
+
+    @property
+    def half_width(self) -> float:
+        """Half the credible-interval width — a scalar "error bar"."""
+        return (self.interval[1] - self.interval[0]) / 2.0
+
+
+def propagate_uncertainty(
+    model: Callable[[Mapping[str, float]], float],
+    samplers: Mapping[str, Sampler],
+    rng: np.random.Generator,
+    draws: int = 1000,
+    confidence: float = 0.95,
+) -> UncertaintyResult:
+    """Monte-Carlo propagation of parameter uncertainty.
+
+    Parameters
+    ----------
+    model:
+        Callable evaluating the measure from a full ``{name: value}``
+        parameter draw.
+    samplers:
+        Per-parameter samplers, e.g. a beta posterior for a probe-based
+        availability or a gamma posterior for a fitted rate.  Values
+        returned by samplers are passed to *model* untouched.
+    rng:
+        Random generator (caller owns seeding).
+    draws:
+        Number of Monte-Carlo evaluations.
+    confidence:
+        Level of the equal-tailed output interval.
+
+    Examples
+    --------
+    Uncertainty on two independent 0.9-ish availabilities propagated
+    through a series system:
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> result = propagate_uncertainty(
+    ...     lambda p: p["a"] * p["b"],
+    ...     {"a": lambda g: g.beta(90, 10), "b": lambda g: g.beta(90, 10)},
+    ...     rng, draws=2000)
+    >>> abs(result.mean - 0.81) < 0.01
+    True
+    """
+    draws = check_positive_int(draws, "draws")
+    confidence = check_in_range(confidence, 0.5, 0.9999, "confidence")
+    if not samplers:
+        raise ValidationError("at least one parameter sampler is required")
+
+    outputs = np.empty(draws)
+    for i in range(draws):
+        point: Dict[str, float] = {
+            name: float(sampler(rng)) for name, sampler in samplers.items()
+        }
+        outputs[i] = float(model(point))
+    alpha = 1.0 - confidence
+    lower, upper = np.quantile(outputs, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return UncertaintyResult(
+        mean=float(outputs.mean()),
+        std=float(outputs.std(ddof=1)) if draws > 1 else 0.0,
+        interval=(float(lower), float(upper)),
+        samples=outputs,
+    )

@@ -1,0 +1,30 @@
+"""User operational profiles (the paper's *user level*).
+
+An operational profile describes how users traverse a web site: a session
+graph with a Start node, an Exit node and one node per site function,
+with transition probabilities ``p_ij`` (Fig. 2 of the paper).  The
+*scenario distribution* — the probability that a session invokes exactly
+a given set of functions, Table 1 of the paper — is computed exactly by
+tracking the visited-function set alongside the current node, which
+handles the cycles ({Home-Browse}*, {Search-Book}*) that make naive path
+enumeration impossible.
+
+:mod:`repro.profiles.calibrate` solves the inverse problem: fitting the
+transition probabilities to observed scenario frequencies, which is how a
+profile graph is recovered from web-server logs that only record which
+functions each session touched.
+"""
+
+from .graph import OperationalProfile
+from .scenarios import Scenario, ScenarioDistribution
+from .classes import UserClass
+from .calibrate import calibrate_profile, CalibrationResult
+
+__all__ = [
+    "OperationalProfile",
+    "Scenario",
+    "ScenarioDistribution",
+    "UserClass",
+    "calibrate_profile",
+    "CalibrationResult",
+]

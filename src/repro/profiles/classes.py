@@ -1,0 +1,87 @@
+"""User classes: named operational profiles given as scenario mixes.
+
+The paper's Table 1 publishes, for two customer populations (class A,
+information seekers; class B, buyers), the probability of each user
+scenario rather than the underlying transition graph.  :class:`UserClass`
+captures exactly that data and is the input the user-level availability
+evaluation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from ..errors import ValidationError
+from .scenarios import Scenario, ScenarioDistribution
+
+__all__ = ["UserClass"]
+
+
+@dataclass(frozen=True)
+class UserClass:
+    """A named user population with a scenario distribution.
+
+    Parameters
+    ----------
+    name:
+        Display name (e.g. ``"class A"``).
+    distribution:
+        The scenario mix observed for (or assumed of) this population.
+
+    Examples
+    --------
+    >>> mix = ScenarioDistribution([
+    ...     Scenario(frozenset({"home"}), 0.7),
+    ...     Scenario(frozenset({"home", "pay"}), 0.3),
+    ... ])
+    >>> buyers = UserClass("buyers", mix)
+    >>> round(buyers.buying_intent("pay"), 2)
+    0.3
+    """
+
+    name: str
+    distribution: ScenarioDistribution
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("user class name must be non-empty")
+
+    @classmethod
+    def from_probabilities(
+        cls,
+        name: str,
+        scenario_probabilities: Mapping[FrozenSet[str], float],
+        normalize: bool = False,
+    ) -> "UserClass":
+        """Build from a ``{function set: probability}`` mapping.
+
+        Parameters
+        ----------
+        normalize:
+            Rescale probabilities to sum to one — convenient for data
+            published in rounded percent (the paper's Table 1).
+        """
+        items = {
+            frozenset(fs): float(p) for fs, p in scenario_probabilities.items()
+        }
+        total = sum(items.values())
+        if normalize:
+            if total <= 0:
+                raise ValidationError("probabilities must have a positive sum")
+            items = {fs: p / total for fs, p in items.items()}
+        scenarios = [Scenario(fs, p) for fs, p in items.items()]
+        return cls(name, ScenarioDistribution(scenarios))
+
+    @property
+    def scenarios(self) -> Tuple[Scenario, ...]:
+        """The scenarios of this class's distribution."""
+        return self.distribution.scenarios
+
+    def buying_intent(self, pay_function: str = "pay") -> float:
+        """Share of sessions that reach the payment function.
+
+        The paper uses this to contrast class A (~7.5%) with class B
+        (~20%).
+        """
+        return self.distribution.activation_probability(pay_function)

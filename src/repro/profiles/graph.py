@@ -1,0 +1,208 @@
+"""Session graphs: the operational-profile model of Fig. 2."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_probability
+from ..errors import ModelStructureError, ValidationError
+from ..markov import DTMC
+from .scenarios import Scenario, ScenarioDistribution
+
+__all__ = ["OperationalProfile"]
+
+START = "Start"
+EXIT = "Exit"
+
+
+class OperationalProfile:
+    """A user session graph with probabilistic transitions.
+
+    Sessions begin at the reserved ``"Start"`` node, move between
+    function nodes according to the transition probabilities, and finish
+    at the reserved ``"Exit"`` node.
+
+    Parameters
+    ----------
+    transitions:
+        ``{(src, dst): probability}``.  ``src`` is ``"Start"`` or a
+        function name; ``dst`` is a function name or ``"Exit"``.
+        Outgoing probabilities of Start and of every function must sum
+        to one.
+
+    Examples
+    --------
+    A two-function site where users always look at the home page and
+    then leave or search once:
+
+    >>> profile = OperationalProfile({
+    ...     ("Start", "home"): 1.0,
+    ...     ("home", "search"): 0.4,
+    ...     ("home", "Exit"): 0.6,
+    ...     ("search", "Exit"): 1.0,
+    ... })
+    >>> sorted(profile.functions)
+    ['home', 'search']
+    """
+
+    def __init__(self, transitions: Mapping[Tuple[str, str], float]):
+        self._transitions: Dict[Tuple[str, str], float] = {}
+        functions: List[str] = []
+        for (src, dst), prob in transitions.items():
+            prob = check_probability(prob, f"p({src!r}->{dst!r})")
+            if src == EXIT:
+                raise ModelStructureError("Exit must have no outgoing transitions")
+            if dst == START:
+                raise ModelStructureError("Start must have no incoming transitions")
+            if prob == 0.0:
+                continue
+            self._transitions[(src, dst)] = self._transitions.get((src, dst), 0.0) + prob
+            for node in (src, dst):
+                if node not in (START, EXIT) and node not in functions:
+                    functions.append(node)
+        if not self._transitions:
+            raise ModelStructureError("profile has no transitions")
+        self._functions: Tuple[str, ...] = tuple(functions)
+        self._validate()
+
+    def _validate(self) -> None:
+        outgoing: Dict[str, float] = {}
+        for (src, _), prob in self._transitions.items():
+            outgoing[src] = outgoing.get(src, 0.0) + prob
+        if START not in outgoing:
+            raise ModelStructureError("profile must define transitions out of Start")
+        for node in (START, *self._functions):
+            total = outgoing.get(node, 0.0)
+            if abs(total - 1.0) > 1e-9:
+                raise ModelStructureError(
+                    f"outgoing probabilities of {node!r} sum to {total}, expected 1"
+                )
+        # Every session must be able to terminate.
+        chain = self.to_dtmc()
+        if not chain.is_absorbing_chain():
+            raise ModelStructureError(
+                "some function cannot reach Exit: sessions could last forever"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def functions(self) -> Tuple[str, ...]:
+        """Function nodes, in first-seen order."""
+        return self._functions
+
+    @property
+    def transitions(self) -> Dict[Tuple[str, str], float]:
+        """Transition probabilities (copy)."""
+        return dict(self._transitions)
+
+    def probability(self, src: str, dst: str) -> float:
+        """Transition probability from *src* to *dst* (0 when absent)."""
+        return self._transitions.get((src, dst), 0.0)
+
+    def to_dtmc(self) -> DTMC:
+        """The session DTMC with Exit absorbing."""
+        states = (START, *self._functions, EXIT)
+        edges = dict(self._transitions)
+        edges[(EXIT, EXIT)] = 1.0
+        return DTMC.from_edges(edges, states=states)
+
+    def __repr__(self) -> str:
+        return (
+            f"OperationalProfile(functions={list(self._functions)}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Session statistics
+    # ------------------------------------------------------------------
+    def expected_visits(self, function: str) -> float:
+        """Expected number of invocations of *function* per session."""
+        if function not in self._functions:
+            raise ValidationError(f"unknown function {function!r}")
+        analysis = self.to_dtmc().absorption_analysis()
+        return analysis.expected_visits(START, function)
+
+    def expected_session_length(self) -> float:
+        """Expected number of function invocations per session.
+
+        The Start and Exit pseudo-nodes are not counted.
+        """
+        analysis = self.to_dtmc().absorption_analysis()
+        return sum(
+            analysis.expected_visits(START, f) for f in self._functions
+        )
+
+    def activation_probability(self, function: str) -> float:
+        """Probability that a session invokes *function* at least once."""
+        if function not in self._functions:
+            raise ValidationError(f"unknown function {function!r}")
+        return self.to_dtmc().hitting_probability(START, [function])
+
+    # ------------------------------------------------------------------
+    # Scenario distribution (Table 1)
+    # ------------------------------------------------------------------
+    def scenario_distribution(self) -> ScenarioDistribution:
+        """Exact distribution of the set of functions a session invokes.
+
+        The computation runs the session chain on an enlarged state space
+        ``(current node, set of functions visited so far)`` and reads the
+        distribution of the visited set at absorption.  Cycles in the
+        profile graph (repeat visits) are handled exactly: revisiting a
+        function does not change the visited set, so the enlarged chain
+        remains finite and absorbing.
+
+        Returns
+        -------
+        ScenarioDistribution
+            One :class:`Scenario` per visited set with positive
+            probability.
+        """
+        functions = self._functions
+        f_index = {f: i for i, f in enumerate(functions)}
+
+        # Enlarged states: ("at", node, visited_mask) plus absorbing
+        # ("done", visited_mask).
+        edges: Dict[Tuple, float] = {}
+        seen: set = set()
+        frontier: List[Tuple[str, int]] = [(START, 0)]
+        seen.add((START, 0))
+        while frontier:
+            node, mask = frontier.pop()
+            src = ("at", node, mask)
+            for (u, v), prob in self._transitions.items():
+                if u != node:
+                    continue
+                if v == EXIT:
+                    dst: Tuple = ("done", mask)
+                else:
+                    new_mask = mask | (1 << f_index[v])
+                    dst = ("at", v, new_mask)
+                    if (v, new_mask) not in seen:
+                        seen.add((v, new_mask))
+                        frontier.append((v, new_mask))
+                edges[(src, dst)] = edges.get((src, dst), 0.0) + prob
+
+        chain = DTMC.from_edges(edges)
+        analysis = chain.absorption_analysis()
+        start = ("at", START, 0)
+        scenarios = []
+        for done_state in analysis.absorbing_states:
+            mask = done_state[1]
+            prob = analysis.absorption_probability(start, done_state)
+            if prob <= 0.0:
+                continue
+            visited = frozenset(
+                f for f, i in f_index.items() if mask & (1 << i)
+            )
+            scenarios.append(Scenario(functions=visited, probability=prob))
+        return ScenarioDistribution(scenarios)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def sample_session(self, rng: np.random.Generator) -> Tuple[str, ...]:
+        """Sample one session: the sequence of functions invoked."""
+        path = self.to_dtmc().sample_path(START, rng, stop_states=[EXIT])
+        return tuple(node for node in path if node not in (START, EXIT))

@@ -1,0 +1,160 @@
+"""Scenario types: visited-function sets and their probabilities.
+
+A *user scenario* in the paper's sense is characterized by the set of
+functions a session invokes (Table 1): cycles such as {Home-Browse}* are
+collapsed because repeat invocations do not change which services must be
+available for the session to succeed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
+
+from .._validation import check_probability
+from ..errors import ValidationError
+
+__all__ = ["Scenario", "ScenarioDistribution"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One user scenario: a set of invoked functions and its probability.
+
+    Attributes
+    ----------
+    functions:
+        The set of functions invoked at least once in the session; empty
+        for sessions that bounce straight from Start to Exit.
+    probability:
+        Activation probability ``pi`` of the scenario.
+    """
+
+    functions: FrozenSet[str]
+    probability: float
+
+    def __post_init__(self):
+        check_probability(self.probability, "probability")
+        object.__setattr__(self, "functions", frozenset(self.functions))
+
+    def involves(self, function: str) -> bool:
+        """True when the scenario invokes *function*."""
+        return function in self.functions
+
+    def label(self, order: Iterable[str] = ()) -> str:
+        """Readable label such as ``"{home, search}"``.
+
+        Parameters
+        ----------
+        order:
+            Preferred ordering of function names; unknown names sort last
+            alphabetically.
+        """
+        ordering = {name: i for i, name in enumerate(order)}
+        names = sorted(
+            self.functions, key=lambda f: (ordering.get(f, len(ordering)), f)
+        )
+        return "{" + ", ".join(names) + "}"
+
+
+class ScenarioDistribution:
+    """A probability distribution over user scenarios.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenarios with distinct function sets; probabilities must sum to
+        one within a small tolerance.
+
+    Examples
+    --------
+    >>> dist = ScenarioDistribution([
+    ...     Scenario(frozenset({"home"}), 0.6),
+    ...     Scenario(frozenset({"home", "search"}), 0.4),
+    ... ])
+    >>> dist.probability_of({"home"})
+    0.6
+    >>> round(dist.activation_probability("search"), 4)
+    0.4
+    """
+
+    def __init__(self, scenarios: Iterable[Scenario], tol: float = 1e-9):
+        by_set: Dict[FrozenSet[str], float] = {}
+        for scenario in scenarios:
+            if scenario.functions in by_set:
+                raise ValidationError(
+                    f"duplicate scenario for functions {set(scenario.functions)!r}"
+                )
+            by_set[scenario.functions] = scenario.probability
+        total = sum(by_set.values())
+        if abs(total - 1.0) > tol:
+            raise ValidationError(
+                f"scenario probabilities sum to {total}, expected 1"
+            )
+        self._scenarios: Tuple[Scenario, ...] = tuple(
+            Scenario(fs, p)
+            for fs, p in sorted(
+                by_set.items(), key=lambda kv: (len(kv[0]), sorted(kv[0]))
+            )
+        )
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios)
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __repr__(self) -> str:
+        return f"ScenarioDistribution(scenarios={len(self._scenarios)})"
+
+    @property
+    def scenarios(self) -> Tuple[Scenario, ...]:
+        """All scenarios, smallest function sets first."""
+        return self._scenarios
+
+    def probability_of(self, functions: Iterable[str]) -> float:
+        """Probability of the scenario with exactly this function set."""
+        wanted = frozenset(functions)
+        for scenario in self._scenarios:
+            if scenario.functions == wanted:
+                return scenario.probability
+        return 0.0
+
+    def activation_probability(self, function: str) -> float:
+        """Probability that a session invokes *function* at least once."""
+        return sum(
+            s.probability for s in self._scenarios if s.involves(function)
+        )
+
+    def group_by(
+        self, classifier: Callable[[Scenario], str]
+    ) -> Dict[str, float]:
+        """Total probability per category assigned by *classifier*.
+
+        Used for the paper's SC1-SC4 grouping (Fig. 13): scenarios are
+        bucketed by the "deepest" function they reach.
+        """
+        groups: Dict[str, float] = {}
+        for scenario in self._scenarios:
+            key = classifier(scenario)
+            groups[key] = groups.get(key, 0.0) + scenario.probability
+        return groups
+
+    def restricted_to(self, predicate: Callable[[Scenario], bool]) -> "ScenarioDistribution":
+        """Conditional distribution over scenarios satisfying *predicate*."""
+        kept = [s for s in self._scenarios if predicate(s)]
+        total = sum(s.probability for s in kept)
+        if total <= 0.0:
+            raise ValidationError("no scenario satisfies the predicate")
+        return ScenarioDistribution(
+            [Scenario(s.functions, s.probability / total) for s in kept]
+        )
+
+    def total_variation_distance(self, other: "ScenarioDistribution") -> float:
+        """Total-variation distance to another scenario distribution."""
+        sets = {s.functions for s in self._scenarios} | {
+            s.functions for s in other._scenarios
+        }
+        return 0.5 * sum(
+            abs(self.probability_of(fs) - other.probability_of(fs)) for fs in sets
+        )

@@ -1,0 +1,63 @@
+"""Erlang B and Erlang C formulas with numerically stable recursions.
+
+Erlang B is the blocking probability of an M/M/c/c loss system; Erlang C
+is the waiting probability of an M/M/c system.  Both are computed from
+the classic recurrence ``B(0) = 1, B(c) = a B(c-1) / (c + a B(c-1))``,
+which never overflows regardless of offered load.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_non_negative, check_positive_int
+
+__all__ = ["erlang_b", "erlang_c"]
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability of an M/M/c/c loss system.
+
+    Parameters
+    ----------
+    servers:
+        Number of servers (trunks) ``c >= 1``.
+    offered_load:
+        Traffic intensity ``a = lambda / mu`` in Erlangs (>= 0).
+
+    Examples
+    --------
+    >>> round(erlang_b(2, 1.0), 4)
+    0.2
+    """
+    servers = check_positive_int(servers, "servers")
+    a = check_non_negative(offered_load, "offered_load")
+    if a == 0.0:
+        return 0.0
+    blocking = 1.0
+    for c in range(1, servers + 1):
+        blocking = a * blocking / (c + a * blocking)
+    return blocking
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability of waiting in an M/M/c system.
+
+    Requires ``offered_load < servers`` (a stable system).
+
+    Examples
+    --------
+    >>> round(erlang_c(1, 0.5), 4)   # M/M/1: waiting prob = rho
+    0.5
+    """
+    servers = check_positive_int(servers, "servers")
+    a = check_non_negative(offered_load, "offered_load")
+    if a == 0.0:
+        return 0.0
+    if a >= servers:
+        from ..errors import ValidationError
+
+        raise ValidationError(
+            f"Erlang C requires offered_load < servers, got {a} >= {servers}"
+        )
+    b = erlang_b(servers, a)
+    rho = a / servers
+    return b / (1.0 - rho * (1.0 - b))

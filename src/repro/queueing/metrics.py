@@ -1,0 +1,78 @@
+"""Common result type for queueing models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["QueueMetrics"]
+
+
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Steady-state metrics of a queueing system.
+
+    All first-moment quantities follow the standard Kendall notation
+    conventions; Little's law (``L = lambda_eff * W``) holds between them
+    by construction and is asserted in the test suite.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Offered arrival rate ``lambda`` (customers per unit time).
+    service_rate:
+        Per-server service rate ``mu``.
+    servers:
+        Number of parallel servers ``c``.
+    capacity:
+        Maximum number of customers in the system (``None`` = unlimited).
+    blocking_probability:
+        Probability an arriving customer is lost (0 for infinite queues).
+    utilization:
+        Fraction of time each server is busy
+        (``lambda_eff / (c * mu)``).
+    mean_number_in_system:
+        ``L``, expected customers present (waiting + in service).
+    mean_number_in_queue:
+        ``Lq``, expected customers waiting.
+    mean_response_time:
+        ``W``, expected sojourn time of an *accepted* customer.
+    mean_waiting_time:
+        ``Wq``, expected queueing delay of an accepted customer.
+    throughput:
+        Rate of customers actually served, ``lambda * (1 - blocking)``.
+    state_distribution:
+        Steady-state probability of ``n`` customers in system, for finite
+        systems (empty tuple when not computed).
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+    capacity: Optional[int]
+    blocking_probability: float
+    utilization: float
+    mean_number_in_system: float
+    mean_number_in_queue: float
+    mean_response_time: float
+    mean_waiting_time: float
+    throughput: float
+    state_distribution: Tuple[float, ...] = field(default=())
+
+    @property
+    def effective_arrival_rate(self) -> float:
+        """Rate of customers admitted to the system."""
+        return self.arrival_rate * (1.0 - self.blocking_probability)
+
+    @property
+    def loss_rate(self) -> float:
+        """Rate of customers rejected (lost transactions per unit time)."""
+        return self.arrival_rate * self.blocking_probability
+
+    def probability_of(self, n: int) -> float:
+        """Steady-state probability of exactly *n* customers in system."""
+        if not self.state_distribution:
+            raise ValueError("state distribution was not computed for this model")
+        if not 0 <= n < len(self.state_distribution):
+            return 0.0
+        return self.state_distribution[n]

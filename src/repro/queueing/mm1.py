@@ -1,0 +1,70 @@
+"""The M/M/1 queue (infinite buffer, single server)."""
+
+from __future__ import annotations
+
+from .._validation import check_rate
+from ..errors import ValidationError
+from .metrics import QueueMetrics
+
+__all__ = ["MM1Queue"]
+
+
+class MM1Queue:
+    """Single-server queue with Poisson arrivals and exponential service.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda``.
+    service_rate:
+        Exponential service rate ``mu``; stability requires
+        ``lambda < mu``.
+
+    Examples
+    --------
+    >>> q = MM1Queue(arrival_rate=0.5, service_rate=1.0)
+    >>> q.metrics().mean_number_in_system
+    1.0
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float):
+        self.arrival_rate = check_rate(arrival_rate, "arrival_rate")
+        self.service_rate = check_rate(service_rate, "service_rate")
+        if self.arrival_rate >= self.service_rate:
+            raise ValidationError(
+                "M/M/1 requires arrival_rate < service_rate for stability; "
+                f"got rho = {self.arrival_rate / self.service_rate:.4g}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Traffic intensity ``rho = lambda / mu`` (< 1)."""
+        return self.arrival_rate / self.service_rate
+
+    def probability_of(self, n: int) -> float:
+        """Steady-state probability of *n* customers in system."""
+        if n < 0:
+            return 0.0
+        rho = self.utilization
+        return (1.0 - rho) * rho**n
+
+    def metrics(self) -> QueueMetrics:
+        """Full steady-state metric set."""
+        rho = self.utilization
+        l_system = rho / (1.0 - rho)
+        l_queue = rho**2 / (1.0 - rho)
+        w_system = 1.0 / (self.service_rate - self.arrival_rate)
+        w_queue = rho / (self.service_rate - self.arrival_rate)
+        return QueueMetrics(
+            arrival_rate=self.arrival_rate,
+            service_rate=self.service_rate,
+            servers=1,
+            capacity=None,
+            blocking_probability=0.0,
+            utilization=rho,
+            mean_number_in_system=l_system,
+            mean_number_in_queue=l_queue,
+            mean_response_time=w_system,
+            mean_waiting_time=w_queue,
+            throughput=self.arrival_rate,
+        )

@@ -1,0 +1,93 @@
+"""The M/M/c queue (infinite buffer, multiple servers)."""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_positive_int, check_rate
+from ..errors import ValidationError
+from .erlang import erlang_c
+from .metrics import QueueMetrics
+
+__all__ = ["MMCQueue"]
+
+
+class MMCQueue:
+    """Multi-server queue with Poisson arrivals and exponential service.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda``.
+    service_rate:
+        Per-server exponential service rate ``mu``.
+    servers:
+        Number of parallel servers ``c``; stability requires
+        ``lambda < c * mu``.
+
+    Examples
+    --------
+    >>> q = MMCQueue(arrival_rate=3.0, service_rate=1.0, servers=4)
+    >>> 0 < q.probability_of_waiting() < 1
+    True
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float, servers: int):
+        self.arrival_rate = check_rate(arrival_rate, "arrival_rate")
+        self.service_rate = check_rate(service_rate, "service_rate")
+        self.servers = check_positive_int(servers, "servers")
+        if self.arrival_rate >= self.servers * self.service_rate:
+            raise ValidationError(
+                "M/M/c requires arrival_rate < servers * service_rate; "
+                f"got rho = {self.arrival_rate / (self.servers * self.service_rate):.4g}"
+            )
+
+    @property
+    def offered_load(self) -> float:
+        """``a = lambda / mu`` in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        """Per-server utilization ``rho = a / c`` (< 1)."""
+        return self.offered_load / self.servers
+
+    def probability_of_waiting(self) -> float:
+        """Erlang-C probability that an arriving customer must queue."""
+        return erlang_c(self.servers, self.offered_load)
+
+    def probability_of(self, n: int) -> float:
+        """Steady-state probability of *n* customers in system."""
+        if n < 0:
+            return 0.0
+        a, c = self.offered_load, self.servers
+        # p0 from the standard normalization.
+        idle_weight = sum(a**j / math.factorial(j) for j in range(c))
+        queue_weight = a**c / (math.factorial(c) * (1.0 - self.utilization))
+        p0 = 1.0 / (idle_weight + queue_weight)
+        if n < c:
+            return p0 * a**n / math.factorial(n)
+        return p0 * a**n / (math.factorial(c) * c ** (n - c))
+
+    def metrics(self) -> QueueMetrics:
+        """Full steady-state metric set."""
+        a, c = self.offered_load, self.servers
+        rho = self.utilization
+        wait_prob = self.probability_of_waiting()
+        l_queue = wait_prob * rho / (1.0 - rho)
+        l_system = l_queue + a
+        w_queue = l_queue / self.arrival_rate
+        w_system = w_queue + 1.0 / self.service_rate
+        return QueueMetrics(
+            arrival_rate=self.arrival_rate,
+            service_rate=self.service_rate,
+            servers=c,
+            capacity=None,
+            blocking_probability=0.0,
+            utilization=rho,
+            mean_number_in_system=l_system,
+            mean_number_in_queue=l_queue,
+            mean_response_time=w_system,
+            mean_waiting_time=w_queue,
+            throughput=self.arrival_rate,
+        )

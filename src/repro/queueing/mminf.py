@@ -1,0 +1,63 @@
+"""The M/M/infinity queue (infinite-server, no waiting).
+
+A useful modeling limit: with one server per request, the number in
+system is Poisson with mean ``lambda / mu``, nothing blocks and nothing
+waits.  It upper-bounds what any finite farm can achieve and provides
+the natural sanity limit for the M/M/c/K family as ``c -> infinity``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_rate
+from .metrics import QueueMetrics
+
+__all__ = ["MMInfQueue"]
+
+
+class MMInfQueue:
+    """Infinite-server Markovian queue.
+
+    Examples
+    --------
+    >>> q = MMInfQueue(arrival_rate=3.0, service_rate=1.0)
+    >>> q.metrics().mean_number_in_system
+    3.0
+    >>> q.metrics().mean_waiting_time
+    0.0
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float):
+        self.arrival_rate = check_rate(arrival_rate, "arrival_rate")
+        self.service_rate = check_rate(service_rate, "service_rate")
+
+    @property
+    def offered_load(self) -> float:
+        """Mean number in system, ``a = lambda / mu``."""
+        return self.arrival_rate / self.service_rate
+
+    def probability_of(self, n: int) -> float:
+        """Poisson occupancy: ``P(N = n) = e^-a a^n / n!``."""
+        if n < 0:
+            return 0.0
+        a = self.offered_load
+        # Log-space evaluation: factorials overflow floats near n ~ 170.
+        return math.exp(-a + n * math.log(a) - math.lgamma(n + 1))
+
+    def metrics(self) -> QueueMetrics:
+        """Full steady-state metric set (waiting is identically zero)."""
+        a = self.offered_load
+        return QueueMetrics(
+            arrival_rate=self.arrival_rate,
+            service_rate=self.service_rate,
+            servers=0,  # conventionally "unbounded"
+            capacity=None,
+            blocking_probability=0.0,
+            utilization=0.0,
+            mean_number_in_system=a,
+            mean_number_in_queue=0.0,
+            mean_response_time=1.0 / self.service_rate,
+            mean_waiting_time=0.0,
+            throughput=self.arrival_rate,
+        )

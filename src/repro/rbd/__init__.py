@@ -1,0 +1,37 @@
+"""Reliability block diagrams (RBDs).
+
+The paper's service-level equations are small RBDs: external reservation
+services are 1-of-N parallel structures over black-box systems (Table 3),
+the redundant application/database services are two-unit parallel
+structures (Table 4), and whole function availabilities are series
+compositions of services (Table 6).  This subpackage provides the block
+algebra, exact evaluation (including shared components appearing in
+several places, handled by Shannon decomposition), and classical
+importance measures.
+"""
+
+from .blocks import Block, Component, Series, Parallel, KofN, series, parallel, k_of_n
+from .evaluate import system_availability, structure_function
+from .importance import (
+    birnbaum_importance,
+    criticality_importance,
+    improvement_potential,
+    rank_components,
+)
+
+__all__ = [
+    "Block",
+    "Component",
+    "Series",
+    "Parallel",
+    "KofN",
+    "series",
+    "parallel",
+    "k_of_n",
+    "system_availability",
+    "structure_function",
+    "birnbaum_importance",
+    "criticality_importance",
+    "improvement_potential",
+    "rank_components",
+]

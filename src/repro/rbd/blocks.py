@@ -1,0 +1,287 @@
+"""Block types for reliability block diagrams.
+
+An RBD is a tree whose leaves are named components and whose internal
+nodes are series, parallel or k-of-n compositions.  Blocks are immutable
+and hashable; ``&`` composes in series and ``|`` in parallel, mirroring
+the intuition that a series system needs *both* sides and a parallel
+system needs *either*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .._validation import check_positive_int, check_probability
+from ..errors import ValidationError
+
+__all__ = ["Block", "Component", "Series", "Parallel", "KofN", "series", "parallel", "k_of_n"]
+
+
+class Block:
+    """Abstract base of all RBD nodes."""
+
+    def component_names(self) -> Tuple[str, ...]:
+        """All leaf component names in the subtree, in left-to-right order
+        (with repetitions when a component appears several times)."""
+        return tuple(self._iter_names())
+
+    def _iter_names(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def _structural(self, probs: dict) -> float:
+        """Availability assuming all leaf references are independent."""
+        raise NotImplementedError
+
+    def _evaluate_bool(self, states: dict) -> bool:
+        """Structure function on a deterministic component-state mapping."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Block") -> "Series":
+        if not isinstance(other, Block):
+            return NotImplemented
+        return Series(self, other)
+
+    def __or__(self, other: "Block") -> "Parallel":
+        if not isinstance(other, Block):
+            return NotImplemented
+        return Parallel(self, other)
+
+
+class Component(Block):
+    """A leaf component identified by name.
+
+    Parameters
+    ----------
+    name:
+        Identifier used to look up the component's availability at
+        evaluation time.
+    availability:
+        Optional default availability used when the evaluation call does
+        not provide one.
+
+    Examples
+    --------
+    >>> ws = Component("web", availability=0.999)
+    >>> lan = Component("lan", availability=0.9966)
+    >>> (ws & lan).component_names()
+    ('web', 'lan')
+    """
+
+    __slots__ = ("name", "availability")
+
+    def __init__(self, name: str, availability: Optional[float] = None):
+        if not isinstance(name, str) or not name:
+            raise ValidationError(f"component name must be a non-empty string, got {name!r}")
+        self.name = name
+        self.availability = (
+            None if availability is None else check_probability(availability, f"availability({name})")
+        )
+
+    def _iter_names(self) -> Iterator[str]:
+        yield self.name
+
+    def _structural(self, probs: dict) -> float:
+        try:
+            return probs[self.name]
+        except KeyError:
+            raise ValidationError(
+                f"no availability provided for component {self.name!r}"
+            ) from None
+
+    def _evaluate_bool(self, states: dict) -> bool:
+        try:
+            return bool(states[self.name])
+        except KeyError:
+            raise ValidationError(
+                f"no state provided for component {self.name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        if self.availability is None:
+            return f"Component({self.name!r})"
+        return f"Component({self.name!r}, availability={self.availability})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Component)
+            and other.name == self.name
+            and other.availability == self.availability
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Component", self.name, self.availability))
+
+
+class _Composite(Block):
+    """Shared machinery for series/parallel nodes."""
+
+    _label = "?"
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Block):
+        flat = []
+        for child in children:
+            if not isinstance(child, Block):
+                raise ValidationError(
+                    f"{self._label} children must be Blocks, got {type(child).__name__}"
+                )
+            # Flatten nested nodes of the same kind: Series(Series(a,b),c)
+            # and Series(a,b,c) are the same diagram.
+            if type(child) is type(self):
+                flat.extend(child.children)  # type: ignore[attr-defined]
+            else:
+                flat.append(child)
+        if len(flat) < 1:
+            raise ValidationError(f"{self._label} needs at least one child")
+        self.children: Tuple[Block, ...] = tuple(flat)
+
+    def _iter_names(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child._iter_names()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{self._label}({inner})"
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.children == self.children
+
+    def __hash__(self) -> int:
+        return hash((self._label, self.children))
+
+
+class Series(_Composite):
+    """All children must be available (product of availabilities).
+
+    Examples
+    --------
+    >>> block = Series(Component("a"), Component("b"))
+    >>> block._structural({"a": 0.9, "b": 0.9})
+    0.81
+    """
+
+    _label = "Series"
+    __slots__ = ()
+
+    def _structural(self, probs: dict) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child._structural(probs)
+        return result
+
+    def _evaluate_bool(self, states: dict) -> bool:
+        return all(child._evaluate_bool(states) for child in self.children)
+
+
+class Parallel(_Composite):
+    """At least one child must be available (1 - product of unavailabilities).
+
+    Examples
+    --------
+    >>> block = Parallel(Component("a"), Component("b"))
+    >>> round(block._structural({"a": 0.9, "b": 0.9}), 4)
+    0.99
+    """
+
+    _label = "Parallel"
+    __slots__ = ()
+
+    def _structural(self, probs: dict) -> float:
+        complement = 1.0
+        for child in self.children:
+            complement *= 1.0 - child._structural(probs)
+        return 1.0 - complement
+
+    def _evaluate_bool(self, states: dict) -> bool:
+        return any(child._evaluate_bool(states) for child in self.children)
+
+
+class KofN(Block):
+    """At least *k* of the children must be available.
+
+    Children may be arbitrary sub-blocks; availability is computed by the
+    standard dynamic program over "number of available children so far",
+    which is exact when the children are independent.
+
+    Examples
+    --------
+    >>> block = KofN(2, [Component("a"), Component("b"), Component("c")])
+    >>> round(block._structural({"a": 0.9, "b": 0.9, "c": 0.9}), 4)
+    0.972
+    """
+
+    __slots__ = ("k", "children")
+
+    def __init__(self, k: int, children):
+        children = tuple(children)
+        if not children:
+            raise ValidationError("KofN needs at least one child")
+        for child in children:
+            if not isinstance(child, Block):
+                raise ValidationError(
+                    f"KofN children must be Blocks, got {type(child).__name__}"
+                )
+        k = check_positive_int(k, "k")
+        if k > len(children):
+            raise ValidationError(
+                f"k ({k}) cannot exceed the number of children ({len(children)})"
+            )
+        self.k = k
+        self.children = children
+
+    def _iter_names(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child._iter_names()
+
+    def _structural(self, probs: dict) -> float:
+        # dp[j] = P(exactly j of the children examined so far are up)
+        dp = [1.0] + [0.0] * len(self.children)
+        for child in self.children:
+            p = child._structural(probs)
+            for j in range(len(dp) - 1, 0, -1):
+                dp[j] = dp[j] * (1.0 - p) + dp[j - 1] * p
+            dp[0] *= 1.0 - p
+        return sum(dp[self.k:])
+
+    def _evaluate_bool(self, states: dict) -> bool:
+        up = sum(1 for child in self.children if child._evaluate_bool(states))
+        return up >= self.k
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"KofN({self.k}, [{inner}])"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, KofN)
+            and other.k == self.k
+            and other.children == self.children
+        )
+
+    def __hash__(self) -> int:
+        return hash(("KofN", self.k, self.children))
+
+
+def series(*blocks) -> Block:
+    """Series composition; accepts Blocks or bare component-name strings."""
+    return Series(*[_coerce(b) for b in blocks])
+
+
+def parallel(*blocks) -> Block:
+    """Parallel composition; accepts Blocks or bare component-name strings."""
+    return Parallel(*[_coerce(b) for b in blocks])
+
+
+def k_of_n(k: int, blocks) -> KofN:
+    """k-of-n composition; accepts Blocks or bare component-name strings."""
+    return KofN(k, [_coerce(b) for b in blocks])
+
+
+def _coerce(block) -> Block:
+    if isinstance(block, Block):
+        return block
+    if isinstance(block, str):
+        return Component(block)
+    raise ValidationError(
+        f"expected a Block or component name, got {type(block).__name__}"
+    )

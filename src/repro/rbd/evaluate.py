@@ -1,0 +1,119 @@
+"""Exact evaluation of reliability block diagrams.
+
+The structural product rules implemented on the block types are exact
+only when every leaf refers to a *distinct* physical component.  Real
+diagrams share components — in the paper, the LAN and the Internet
+connection appear in every function's diagram — so
+:func:`system_availability` detects repeated names and pivots on them
+with Shannon decomposition::
+
+    A = p_x * A | (x up)  +  (1 - p_x) * A | (x down)
+
+which restores exactness at a cost of ``2^d`` structural evaluations for
+``d`` duplicated components (small in practice).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Mapping, Optional
+
+from .._validation import check_probability
+from ..errors import ValidationError
+from .blocks import Block, Component
+
+__all__ = ["system_availability", "structure_function", "collect_availabilities"]
+
+_MAX_PIVOTS = 25
+
+
+def collect_availabilities(
+    block: Block, availabilities: Optional[Mapping[str, float]] = None
+) -> Dict[str, float]:
+    """Resolve the availability of every component in *block*.
+
+    Explicit values in *availabilities* win over per-component defaults;
+    a component with neither raises :class:`ValidationError`.
+    """
+    availabilities = dict(availabilities or {})
+    resolved: Dict[str, float] = {}
+    for name in block.component_names():
+        if name in resolved:
+            continue
+        if name in availabilities:
+            resolved[name] = check_probability(availabilities[name], f"availability({name})")
+        else:
+            default = _default_availability(block, name)
+            if default is None:
+                raise ValidationError(
+                    f"no availability provided for component {name!r}"
+                )
+            resolved[name] = default
+    return resolved
+
+
+def _default_availability(block: Block, name: str) -> Optional[float]:
+    if isinstance(block, Component):
+        if block.name == name and block.availability is not None:
+            return block.availability
+        return None
+    for child in getattr(block, "children", ()):
+        found = _default_availability(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def system_availability(
+    block: Block, availabilities: Optional[Mapping[str, float]] = None
+) -> float:
+    """Exact availability of an RBD with independent components.
+
+    Parameters
+    ----------
+    block:
+        Root of the diagram.
+    availabilities:
+        Component-name -> availability.  Components constructed with a
+        default availability may be omitted.
+
+    Examples
+    --------
+    A 1-of-3 parallel group of reservation systems, each 0.9 available —
+    the paper's Table 3 structure:
+
+    >>> from repro.rbd import parallel
+    >>> round(system_availability(parallel("f1", "f2", "f3"),
+    ...       {"f1": 0.9, "f2": 0.9, "f3": 0.9}), 4)
+    0.999
+    """
+    probs = collect_availabilities(block, availabilities)
+    counts = Counter(block.component_names())
+    duplicated = sorted(name for name, count in counts.items() if count > 1)
+    if len(duplicated) > _MAX_PIVOTS:
+        raise ValidationError(
+            f"diagram shares {len(duplicated)} components; exact evaluation "
+            f"supports at most {_MAX_PIVOTS} shared components"
+        )
+    return _pivoted(block, probs, duplicated)
+
+
+def _pivoted(block: Block, probs: Dict[str, float], pivots) -> float:
+    if not pivots:
+        return block._structural(probs)
+    name, rest = pivots[0], pivots[1:]
+    p = probs[name]
+    up = dict(probs, **{name: 1.0})
+    down = dict(probs, **{name: 0.0})
+    return p * _pivoted(block, up, rest) + (1.0 - p) * _pivoted(block, down, rest)
+
+
+def structure_function(block: Block, states: Mapping[str, bool]) -> bool:
+    """Deterministic structure function: is the system up for these states?
+
+    Parameters
+    ----------
+    states:
+        Component-name -> up/down.  Every component must be present.
+    """
+    return block._evaluate_bool(dict(states))

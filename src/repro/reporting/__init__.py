@@ -1,0 +1,31 @@
+"""Reporting helpers: downtime conversions and text tables/series.
+
+The paper discusses results in operational terms ("unavailability lower
+than 5 min/year", "173 hours per year"); :mod:`repro.reporting.downtime`
+converts between availabilities and downtime budgets.  The table and
+series formatters produce the text output of the benchmark harness — the
+same rows and curves the paper's tables and figures report.
+"""
+
+from .downtime import (
+    DowntimeBudget,
+    availability_from_downtime,
+    downtime_hours_per_year,
+    downtime_minutes_per_year,
+    format_downtime,
+    nines,
+)
+from .tables import format_table
+from .series import format_series, log_bucket_label
+
+__all__ = [
+    "DowntimeBudget",
+    "availability_from_downtime",
+    "downtime_hours_per_year",
+    "downtime_minutes_per_year",
+    "format_downtime",
+    "nines",
+    "format_table",
+    "format_series",
+    "log_bucket_label",
+]

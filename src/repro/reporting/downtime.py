@@ -1,0 +1,130 @@
+"""Conversions between availability and yearly downtime budgets."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import check_non_negative, check_probability
+
+__all__ = [
+    "MINUTES_PER_YEAR",
+    "HOURS_PER_YEAR",
+    "DowntimeBudget",
+    "downtime_hours_per_year",
+    "downtime_minutes_per_year",
+    "availability_from_downtime",
+    "format_downtime",
+    "nines",
+]
+
+HOURS_PER_YEAR = 8760.0
+MINUTES_PER_YEAR = HOURS_PER_YEAR * 60.0
+
+
+def downtime_hours_per_year(availability: float) -> float:
+    """Expected downtime in hours per year for a steady-state availability."""
+    availability = check_probability(availability, "availability")
+    return (1.0 - availability) * HOURS_PER_YEAR
+
+
+def downtime_minutes_per_year(availability: float) -> float:
+    """Expected downtime in minutes per year."""
+    availability = check_probability(availability, "availability")
+    return (1.0 - availability) * MINUTES_PER_YEAR
+
+
+def availability_from_downtime(
+    downtime: float, unit: str = "minutes"
+) -> float:
+    """The availability corresponding to a yearly downtime budget.
+
+    Parameters
+    ----------
+    downtime:
+        Allowed downtime per year.
+    unit:
+        ``"minutes"`` or ``"hours"``.
+
+    Examples
+    --------
+    The paper's "5 min/year" requirement corresponds to roughly five
+    nines:
+
+    >>> availability_from_downtime(5.0) > 0.99999
+    True
+    """
+    downtime = check_non_negative(downtime, "downtime")
+    if unit == "minutes":
+        total = MINUTES_PER_YEAR
+    elif unit == "hours":
+        total = HOURS_PER_YEAR
+    else:
+        from ..errors import ValidationError
+
+        raise ValidationError(f"unknown unit {unit!r}; expected 'minutes' or 'hours'")
+    if downtime > total:
+        from ..errors import ValidationError
+
+        raise ValidationError(
+            f"downtime ({downtime} {unit}) exceeds a full year ({total} {unit})"
+        )
+    return 1.0 - downtime / total
+
+
+def nines(availability: float) -> float:
+    """The "number of nines": ``-log10(1 - A)``; ``inf`` for A = 1."""
+    availability = check_probability(availability, "availability")
+    if availability == 1.0:
+        return float("inf")
+    return -math.log10(1.0 - availability)
+
+
+def format_downtime(availability: float) -> str:
+    """Human-readable yearly downtime, choosing a sensible unit.
+
+    Examples
+    --------
+    >>> format_downtime(0.99999)
+    '5.3 min/year'
+    """
+    minutes = downtime_minutes_per_year(availability)
+    if minutes < 1.0:
+        return f"{minutes * 60.0:.1f} s/year"
+    if minutes < 120.0:
+        return f"{minutes:.1f} min/year"
+    hours = minutes / 60.0
+    if hours < 48.0:
+        return f"{hours:.1f} h/year"
+    return f"{hours / 24.0:.1f} days/year"
+
+
+@dataclass(frozen=True)
+class DowntimeBudget:
+    """A yearly downtime requirement, comparable against model results.
+
+    Examples
+    --------
+    >>> budget = DowntimeBudget(minutes_per_year=5.0)
+    >>> budget.met_by(0.999999)
+    True
+    >>> budget.met_by(0.999)
+    False
+    """
+
+    minutes_per_year: float
+
+    def __post_init__(self):
+        check_non_negative(self.minutes_per_year, "minutes_per_year")
+
+    @property
+    def required_availability(self) -> float:
+        """Minimum availability meeting the budget."""
+        return availability_from_downtime(self.minutes_per_year, unit="minutes")
+
+    def met_by(self, availability: float) -> bool:
+        """Does *availability* satisfy the budget?"""
+        return (
+            check_probability(availability, "availability")
+            >= self.required_availability
+        )

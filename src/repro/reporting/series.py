@@ -1,0 +1,82 @@
+"""Plain-text rendering of figure-style data series.
+
+The paper's Figs. 11-13 plot unavailability on logarithmic axes; the
+benchmark harness prints the same series as rows of numbers plus a
+coarse log-scale bar so that curve shapes (the U-shape of imperfect
+coverage, the exponential drop of perfect coverage) are visible in text
+output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ValidationError
+
+__all__ = ["format_series", "log_bucket_label"]
+
+
+def log_bucket_label(value: float, floor_exponent: int = -12) -> str:
+    """A crude log-scale bar: one ``#`` per decade above the floor.
+
+    Examples
+    --------
+    >>> log_bucket_label(1e-3, floor_exponent=-6)
+    '###'
+    """
+    if value <= 0.0:
+        return ""
+    exponent = math.log10(value)
+    bars = int(round(exponent - floor_exponent))
+    return "#" * max(bars, 0)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.3e}",
+    log_bars: bool = False,
+    floor_exponent: int = -12,
+    title: str = "",
+) -> str:
+    """Render one or more aligned data series as text.
+
+    Parameters
+    ----------
+    x_label / x_values:
+        The shared abscissa.
+    series:
+        ``{curve name: y values}``; each must match ``len(x_values)``.
+    value_format:
+        Format applied to each y value.
+    log_bars:
+        Append a log-scale bar column per curve (useful for
+        unavailability curves spanning decades).
+    floor_exponent:
+        The log-bar floor (see :func:`log_bucket_label`).
+    title:
+        Optional title line.
+    """
+    from .tables import format_table
+
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValidationError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+    headers = [x_label]
+    for name in series:
+        headers.append(name)
+        if log_bars:
+            headers.append(f"{name} (log)")
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for name, values in series.items():
+            row.append(value_format.format(values[i]))
+            if log_bars:
+                row.append(log_bucket_label(values[i], floor_exponent))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

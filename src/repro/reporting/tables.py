@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import ValidationError
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cell values; each row must match the header width.  Floats
+        render with ``repr``-free ``str`` formatting — pre-format cells
+        that need specific precision.
+    title:
+        Optional title line printed above the table.
+
+    Examples
+    --------
+    >>> print(format_table(["N", "A"], [[1, "0.84235"], [2, "0.96509"]],
+    ...                    title="Table 8"))
+    Table 8
+    N | A
+    --+--------
+    1 | 0.84235
+    2 | 0.96509
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValidationError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        body.append(cells)
+    widths = [
+        max(len(header_cells[i]), *(len(r[i]) for r in body)) if body else len(header_cells[i])
+        for i in range(len(header_cells))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(header_cells, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for cells in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip())
+    return "\n".join(lines)

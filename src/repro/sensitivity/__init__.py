@@ -1,0 +1,28 @@
+"""Sensitivity-analysis utilities.
+
+Section 5 of the paper is a sequence of sensitivity studies: web-service
+unavailability against the number of servers, failure rates and arrival
+rates (Figs. 11-12), user availability against the number of reservation
+systems (Table 8).  This subpackage provides the generic machinery those
+studies are built from:
+
+* :func:`sweep` / :func:`grid_sweep` — evaluate a model over one or two
+  parameter axes;
+* :func:`tornado` — rank parameters by the output range they induce
+  when varied between bounds (the classical tornado diagram);
+* :func:`elasticity` — normalized local sensitivities
+  ``(dA / A) / (dp / p)`` by central finite differences.
+"""
+
+from .sweep import sweep, grid_sweep, SweepResult, GridSweepResult
+from .tornado import tornado, elasticity, TornadoEntry
+
+__all__ = [
+    "sweep",
+    "grid_sweep",
+    "SweepResult",
+    "GridSweepResult",
+    "tornado",
+    "elasticity",
+    "TornadoEntry",
+]

@@ -1,0 +1,141 @@
+"""Parameter sweeps over model evaluation functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["sweep", "grid_sweep", "SweepResult", "GridSweepResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Result of a one-dimensional parameter sweep.
+
+    Attributes
+    ----------
+    parameter:
+        The swept parameter's name.
+    values:
+        Parameter values, in evaluation order.
+    outputs:
+        Model outputs, aligned with *values*.
+    """
+
+    parameter: str
+    values: Tuple[float, ...]
+    outputs: Tuple[float, ...]
+
+    def as_pairs(self) -> List[Tuple[float, float]]:
+        """``[(value, output), ...]`` pairs."""
+        return list(zip(self.values, self.outputs))
+
+    def argbest(self, maximize: bool = True) -> Tuple[float, float]:
+        """The (value, output) pair with the best output."""
+        chooser = max if maximize else min
+        return chooser(self.as_pairs(), key=lambda pair: pair[1])
+
+    def first_crossing(self, threshold: float, above: bool = True) -> Tuple[float, float]:
+        """First (value, output) whose output crosses *threshold*.
+
+        Used for design questions like "how many web servers to reach an
+        unavailability below 5 minutes per year?".
+
+        Raises
+        ------
+        ValidationError
+            If no swept point crosses the threshold.
+        """
+        for value, output in self.as_pairs():
+            if (output >= threshold) if above else (output <= threshold):
+                return value, output
+        side = ">=" if above else "<="
+        raise ValidationError(
+            f"no swept value of {self.parameter!r} yields output {side} {threshold}"
+        )
+
+
+@dataclass(frozen=True)
+class GridSweepResult:
+    """Result of a two-dimensional parameter sweep.
+
+    Attributes
+    ----------
+    row_parameter / column_parameter:
+        Names of the two axes.
+    row_values / column_values:
+        Axis values.
+    outputs:
+        ``outputs[i][j]`` is the model output at
+        ``(row_values[i], column_values[j])``.
+    """
+
+    row_parameter: str
+    column_parameter: str
+    row_values: Tuple[float, ...]
+    column_values: Tuple[float, ...]
+    outputs: Tuple[Tuple[float, ...], ...]
+
+    def row(self, row_value: float) -> SweepResult:
+        """One row of the grid as a one-dimensional sweep."""
+        try:
+            index = self.row_values.index(row_value)
+        except ValueError:
+            raise ValidationError(
+                f"{row_value!r} is not a swept value of {self.row_parameter!r}"
+            ) from None
+        return SweepResult(
+            parameter=self.column_parameter,
+            values=self.column_values,
+            outputs=self.outputs[index],
+        )
+
+
+def sweep(
+    model: Callable[[float], float],
+    parameter: str,
+    values: Iterable[float],
+) -> SweepResult:
+    """Evaluate ``model(value)`` over *values*.
+
+    Examples
+    --------
+    >>> result = sweep(lambda n: 1 - 0.1 ** n, "servers", [1, 2, 3])
+    >>> result.outputs
+    (0.9, 0.99, 0.999)
+    """
+    values = tuple(values)
+    if not values:
+        raise ValidationError("sweep needs at least one value")
+    outputs = tuple(float(model(v)) for v in values)
+    return SweepResult(parameter=parameter, values=values, outputs=outputs)
+
+
+def grid_sweep(
+    model: Callable[[float, float], float],
+    row_parameter: str,
+    row_values: Iterable[float],
+    column_parameter: str,
+    column_values: Iterable[float],
+) -> GridSweepResult:
+    """Evaluate ``model(row_value, column_value)`` over a grid.
+
+    The Fig. 11/12 studies are grid sweeps: failure rate x number of
+    servers, one curve per row.
+    """
+    row_values = tuple(row_values)
+    column_values = tuple(column_values)
+    if not row_values or not column_values:
+        raise ValidationError("grid sweep needs at least one value per axis")
+    outputs = tuple(
+        tuple(float(model(r, c)) for c in column_values) for r in row_values
+    )
+    return GridSweepResult(
+        row_parameter=row_parameter,
+        column_parameter=column_parameter,
+        row_values=row_values,
+        column_values=column_values,
+        outputs=outputs,
+    )

@@ -1,0 +1,112 @@
+"""Tornado analysis and elasticities: which parameters matter most."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["TornadoEntry", "tornado", "elasticity"]
+
+
+@dataclass(frozen=True)
+class TornadoEntry:
+    """One bar of a tornado diagram.
+
+    Attributes
+    ----------
+    parameter:
+        The varied parameter's name.
+    low_output / high_output:
+        Model outputs at the parameter's low/high bound (all other
+        parameters held at their base values).
+    base_output:
+        Model output at the base point.
+    """
+
+    parameter: str
+    low_output: float
+    high_output: float
+    base_output: float
+
+    @property
+    def swing(self) -> float:
+        """Total output range induced by the parameter."""
+        return abs(self.high_output - self.low_output)
+
+
+def tornado(
+    model: Callable[[Mapping[str, float]], float],
+    base: Mapping[str, float],
+    bounds: Mapping[str, Tuple[float, float]],
+) -> List[TornadoEntry]:
+    """One-at-a-time tornado analysis.
+
+    Parameters
+    ----------
+    model:
+        Callable taking a full ``{parameter: value}`` mapping.
+    base:
+        Base values for every parameter.
+    bounds:
+        ``{parameter: (low, high)}`` for the parameters to vary; each
+        must also appear in *base*.
+
+    Returns
+    -------
+    list of TornadoEntry, sorted by decreasing swing.
+    """
+    missing = [p for p in bounds if p not in base]
+    if missing:
+        raise ValidationError(f"bounds given for parameters not in base: {missing}")
+    base_output = float(model(dict(base)))
+    entries = []
+    for parameter, (low, high) in bounds.items():
+        low_point = dict(base, **{parameter: low})
+        high_point = dict(base, **{parameter: high})
+        entries.append(
+            TornadoEntry(
+                parameter=parameter,
+                low_output=float(model(low_point)),
+                high_output=float(model(high_point)),
+                base_output=base_output,
+            )
+        )
+    return sorted(entries, key=lambda e: -e.swing)
+
+
+def elasticity(
+    model: Callable[[Mapping[str, float]], float],
+    base: Mapping[str, float],
+    parameters: Tuple[str, ...] = (),
+    relative_step: float = 1e-4,
+) -> Dict[str, float]:
+    """Normalized local sensitivities by central finite differences.
+
+    The elasticity of the output ``A`` with respect to parameter ``p``
+    is ``(dA / dp) * (p / A)`` — the percentage output change per
+    percent parameter change, comparable across parameters of different
+    magnitudes (failure rates vs probabilities).
+
+    Parameters with base value 0 are skipped (elasticity undefined).
+    """
+    if relative_step <= 0:
+        raise ValidationError(f"relative_step must be > 0, got {relative_step}")
+    parameters = parameters or tuple(base)
+    base_output = float(model(dict(base)))
+    if base_output == 0.0:
+        raise ValidationError("model output at the base point is zero")
+    result: Dict[str, float] = {}
+    for parameter in parameters:
+        if parameter not in base:
+            raise ValidationError(f"unknown parameter {parameter!r}")
+        value = float(base[parameter])
+        if value == 0.0:
+            continue
+        step = abs(value) * relative_step
+        up = dict(base, **{parameter: value + step})
+        down = dict(base, **{parameter: value - step})
+        derivative = (float(model(up)) - float(model(down))) / (2.0 * step)
+        result[parameter] = derivative * value / base_output
+    return result

@@ -1,0 +1,42 @@
+"""Discrete-event simulation used to cross-validate the analytic models.
+
+The paper's results are entirely analytic.  This subpackage provides an
+independent check: an event-driven simulation kernel plus three
+simulators aligned with the three analytic layers —
+
+* :class:`QueueSimulation` — an M/M/c/K queue; its observed blocking
+  frequency converges to eq. (3)'s ``pK(i)``;
+* :func:`simulate_ctmc_occupancy` / :func:`simulate_web_service_availability`
+  — trajectory simulation of the coverage farms of Figs. 9-10 and of the
+  composite web-service measure;
+* :class:`SessionSimulation` — user sessions sampled from an operational
+  profile; the observed scenario mix converges to the exact visited-set
+  distribution, and a Monte-Carlo user-availability estimator converges
+  to eq. (10).
+
+All simulators take an explicit :class:`numpy.random.Generator`; the
+caller owns seeding and reproducibility.
+"""
+
+from .des import Simulator
+from .queues import (
+    QueueSimulation,
+    QueueSimulationResult,
+    simulate_mm1k_response_times,
+)
+from .failures import simulate_ctmc_occupancy, simulate_web_service_availability
+from .sessions import SessionSimulation, estimate_user_availability
+from .endtoend import EndToEndResult, simulate_user_availability_over_time
+
+__all__ = [
+    "Simulator",
+    "QueueSimulation",
+    "QueueSimulationResult",
+    "simulate_mm1k_response_times",
+    "simulate_ctmc_occupancy",
+    "simulate_web_service_availability",
+    "SessionSimulation",
+    "estimate_user_availability",
+    "EndToEndResult",
+    "simulate_user_availability_over_time",
+]

@@ -1,0 +1,298 @@
+"""Declarative model specifications (dict / JSON) for hierarchical models.
+
+A whole four-level model can be described as plain data — convenient for
+configuration files, experiment sweeps and sharing models between teams
+without writing Python.  :func:`model_from_dict` builds a
+:class:`~repro.core.HierarchicalModel` from a specification dictionary;
+:func:`load_model` reads the same structure from a JSON file.
+
+Specification schema::
+
+    {
+      "resources": {
+        "<name>": 0.99,                                   # fixed availability
+        "<name>": {"type": "two-state",
+                   "failure_rate": 1e-3, "repair_rate": 1.0},
+        "<name>": {"type": "two-state", "availability": 0.9966,
+                   "repair_rate": 1.0},                   # derived lambda
+        "<name>": {"type": "repairable-group", "units": 4,
+                   "failure_rate": 0.1, "repair_rate": 1.0,
+                   "repairmen": 2, "repair_threshold": 1,
+                   "required": 1},                        # k-of-n group
+        "<name>": {"type": "web-service", "servers": 4,
+                   "arrival_rate": 100.0, "service_rate": 100.0,
+                   "buffer_capacity": 10, "failure_rate": 1e-4,
+                   "repair_rate": 1.0, "coverage": 0.98,
+                   "reconfiguration_rate": 12.0}
+      },
+      "services": {
+        "<name>": "<resource>",                           # black box
+        "<name>": {"parallel": [<structure>, ...]},
+        "<name>": {"series":   [<structure>, ...]},
+        "<name>": {"k_of_n":   {"k": 2, "of": [<structure>, ...]}}
+      },
+      "functions": {
+        "<name>": {"services": ["web", "database"]},      # series shortcut
+        "<name>": {"diagram": {
+            "nodes": {"<node>": ["service", ...], ...},
+            "edges": [["Begin", "<node>", 0.2],            # prob optional
+                      ["<node>", "End"]]
+        }}
+      },
+      "require_everywhere": ["net", "lan"],
+      "user_classes": {
+        "<name>": {"home": 0.6, "home+search": 0.4}       # '+'-joined sets
+      }
+    }
+
+Structures nest arbitrarily; a bare string inside a structure refers to
+a resource.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Tuple
+
+from .availability import TwoStateAvailability, WebServiceModel
+from .core import HierarchicalModel, InteractionDiagram
+from .errors import ValidationError
+from .profiles import UserClass
+from .rbd import Block, Component, KofN, Parallel, Series
+
+__all__ = [
+    "model_from_dict",
+    "user_classes_from_dict",
+    "load_model",
+]
+
+_RESOURCE_BUILDERS = {}
+
+
+def _resource_builder(type_name):
+    def register(fn):
+        _RESOURCE_BUILDERS[type_name] = fn
+        return fn
+
+    return register
+
+
+@_resource_builder("two-state")
+def _build_two_state(spec: Mapping[str, Any]):
+    if "availability" in spec:
+        return TwoStateAvailability.from_availability(
+            spec["availability"], repair_rate=spec.get("repair_rate", 1.0)
+        )
+    return TwoStateAvailability(
+        failure_rate=spec["failure_rate"], repair_rate=spec["repair_rate"]
+    )
+
+
+@_resource_builder("repairable-group")
+def _build_repairable_group(spec: Mapping[str, Any]):
+    from .availability import RepairableGroup
+
+    kwargs = {
+        key: spec[key] for key in ("units", "failure_rate", "repair_rate")
+    }
+    for optional in ("repairmen", "repair_threshold"):
+        if optional in spec:
+            kwargs[optional] = spec[optional]
+    group = RepairableGroup(**kwargs)
+    required = spec.get("required", 1)
+
+    class _GroupAvailability:
+        """Adapter exposing the k-of-n availability as a resource."""
+
+        def availability(self) -> float:
+            return group.availability(required=required)
+
+    return _GroupAvailability()
+
+
+@_resource_builder("web-service")
+def _build_web_service(spec: Mapping[str, Any]):
+    kwargs = {
+        key: spec[key]
+        for key in (
+            "servers",
+            "arrival_rate",
+            "service_rate",
+            "buffer_capacity",
+            "failure_rate",
+            "repair_rate",
+        )
+    }
+    for optional in ("coverage", "reconfiguration_rate"):
+        if optional in spec:
+            kwargs[optional] = spec[optional]
+    return WebServiceModel(**kwargs)
+
+
+def _build_resource(name: str, spec) -> Any:
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return float(spec)
+    if isinstance(spec, Mapping):
+        type_name = spec.get("type")
+        if type_name not in _RESOURCE_BUILDERS:
+            raise ValidationError(
+                f"resource {name!r}: unknown type {type_name!r}; expected "
+                f"one of {sorted(_RESOURCE_BUILDERS)} or a bare number"
+            )
+        try:
+            return _RESOURCE_BUILDERS[type_name](spec)
+        except KeyError as exc:
+            raise ValidationError(
+                f"resource {name!r}: missing field {exc.args[0]!r}"
+            ) from None
+    raise ValidationError(
+        f"resource {name!r}: expected a number or a typed mapping, got "
+        f"{type(spec).__name__}"
+    )
+
+
+def _build_structure(spec) -> Block:
+    if isinstance(spec, str):
+        return Component(spec)
+    if isinstance(spec, Mapping):
+        if len(spec) != 1:
+            raise ValidationError(
+                f"structure mapping must have exactly one key, got {sorted(spec)}"
+            )
+        kind, inner = next(iter(spec.items()))
+        if kind == "series":
+            return Series(*[_build_structure(child) for child in inner])
+        if kind == "parallel":
+            return Parallel(*[_build_structure(child) for child in inner])
+        if kind == "k_of_n":
+            return KofN(
+                inner["k"], [_build_structure(child) for child in inner["of"]]
+            )
+        raise ValidationError(
+            f"unknown structure kind {kind!r}; expected series/parallel/k_of_n"
+        )
+    raise ValidationError(
+        f"structure must be a resource name or a mapping, got "
+        f"{type(spec).__name__}"
+    )
+
+
+def _build_diagram(name: str, spec: Mapping[str, Any]) -> InteractionDiagram:
+    diagram = InteractionDiagram(name)
+    nodes = spec.get("nodes", {})
+    if not isinstance(nodes, Mapping):
+        raise ValidationError(f"function {name!r}: 'nodes' must be a mapping")
+    for node, services in nodes.items():
+        diagram.add_node(node, services=services)
+    for edge in spec.get("edges", ()):
+        if len(edge) == 2:
+            src, dst = edge
+            diagram.add_edge(src, dst)
+        elif len(edge) == 3:
+            src, dst, probability = edge
+            diagram.add_edge(src, dst, probability)
+        else:
+            raise ValidationError(
+                f"function {name!r}: edge {edge!r} must be "
+                "[src, dst] or [src, dst, probability]"
+            )
+    return diagram
+
+
+def model_from_dict(spec: Mapping[str, Any]) -> HierarchicalModel:
+    """Build a :class:`HierarchicalModel` from a specification dict.
+
+    See the module docstring for the schema.
+
+    Examples
+    --------
+    >>> model = model_from_dict({
+    ...     "resources": {"host": 0.999},
+    ...     "services": {"web": "host"},
+    ...     "functions": {"home": {"services": ["web"]}},
+    ... })
+    >>> round(model.function_availability("home"), 3)
+    0.999
+    """
+    if not isinstance(spec, Mapping):
+        raise ValidationError(
+            f"model spec must be a mapping, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - {
+        "resources", "services", "functions", "require_everywhere",
+        "user_classes", "name",
+    }
+    if unknown:
+        raise ValidationError(f"unknown top-level keys: {sorted(unknown)}")
+
+    model = HierarchicalModel()
+    for name, resource_spec in spec.get("resources", {}).items():
+        model.add_resource(name, _build_resource(name, resource_spec))
+    for name, service_spec in spec.get("services", {}).items():
+        model.add_service(name, _build_structure(service_spec))
+    for name, function_spec in spec.get("functions", {}).items():
+        if not isinstance(function_spec, Mapping):
+            raise ValidationError(
+                f"function {name!r}: expected a mapping with 'services' or "
+                "'diagram'"
+            )
+        if "diagram" in function_spec:
+            model.add_function(
+                name, diagram=_build_diagram(name, function_spec["diagram"])
+            )
+        elif "services" in function_spec:
+            model.add_function(name, services=function_spec["services"])
+        else:
+            raise ValidationError(
+                f"function {name!r}: needs 'services' or 'diagram'"
+            )
+    common = spec.get("require_everywhere", ())
+    if common:
+        model.require_everywhere(common)
+    return model
+
+
+def user_classes_from_dict(
+    spec: Mapping[str, Any]
+) -> Dict[str, UserClass]:
+    """Build the user classes declared under ``"user_classes"``.
+
+    Scenario keys join function names with ``+``; an empty string means
+    the empty scenario.  Probabilities are normalized, so percentages
+    work directly.
+
+    Examples
+    --------
+    >>> classes = user_classes_from_dict({
+    ...     "user_classes": {"buyers": {"home": 70, "home+pay": 30}}})
+    >>> round(classes["buyers"].buying_intent(), 2)
+    0.3
+    """
+    result: Dict[str, UserClass] = {}
+    for name, mix in spec.get("user_classes", {}).items():
+        scenarios = {}
+        for key, probability in mix.items():
+            functions = frozenset(
+                part for part in key.split("+") if part
+            )
+            scenarios[functions] = float(probability)
+        result[name] = UserClass.from_probabilities(
+            name, scenarios, normalize=True
+        )
+    return result
+
+
+def load_model(path) -> Tuple[HierarchicalModel, Dict[str, UserClass]]:
+    """Load a model and its user classes from a JSON file.
+
+    Returns
+    -------
+    (model, user_classes)
+    """
+    text = Path(path).read_text()
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: invalid JSON ({exc})") from exc
+    return model_from_dict(spec), user_classes_from_dict(spec)

@@ -1,0 +1,19 @@
+"""Generalized stochastic Petri nets (GSPNs).
+
+Stochastic Petri nets are the third modeling technique the paper's
+framework names (Section 2).  This subpackage provides a GSPN engine:
+places, timed (exponential) and immediate transitions, input / output /
+inhibitor arcs, reachability-graph generation with vanishing-marking
+elimination, and steady-state analysis through the CTMC machinery of
+:mod:`repro.markov`.
+
+The availability models of the paper are small enough to write as CTMCs
+directly, but the SPN route is how such models scale: the test suite
+rebuilds the Fig. 9 / Fig. 10 farms as Petri nets and checks that the
+resulting steady states match the closed forms.
+"""
+
+from .net import StochasticPetriNet, Place, Transition
+from .analysis import SPNAnalysis
+
+__all__ = ["StochasticPetriNet", "Place", "Transition", "SPNAnalysis"]

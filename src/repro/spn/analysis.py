@@ -1,0 +1,100 @@
+"""Steady-state analysis of a GSPN."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ValidationError
+from .net import Marking, StochasticPetriNet
+from .reachability import ReachabilityGraph, explore
+
+__all__ = ["SPNAnalysis"]
+
+
+class SPNAnalysis:
+    """Steady-state results of a stochastic Petri net.
+
+    The reachability graph and the steady-state solve are performed once
+    at construction; the query methods are cheap.
+
+    Parameters
+    ----------
+    net:
+        The net to analyze.
+    max_markings:
+        Exploration budget (guards against unbounded nets).
+
+    Examples
+    --------
+    >>> net = StochasticPetriNet("component")
+    >>> _ = net.add_place("up", tokens=1)
+    >>> _ = net.add_place("down")
+    >>> _ = net.add_timed_transition("fail", rate=1.0)
+    >>> _ = net.add_timed_transition("repair", rate=3.0)
+    >>> net.add_input_arc("up", "fail");    net.add_output_arc("fail", "down")
+    >>> net.add_input_arc("down", "repair"); net.add_output_arc("repair", "up")
+    >>> round(SPNAnalysis(net).probability(lambda m: m["up"] == 1), 4)
+    0.75
+    """
+
+    def __init__(self, net: StochasticPetriNet, max_markings: int = 100_000):
+        self._net = net
+        self._graph: ReachabilityGraph = explore(net, max_markings=max_markings)
+        self._steady: Dict[Marking, float] = self._graph.chain.steady_state()
+
+    @property
+    def net(self) -> StochasticPetriNet:
+        """The analyzed net."""
+        return self._net
+
+    @property
+    def reachability(self) -> ReachabilityGraph:
+        """The underlying reachability graph and tangible CTMC."""
+        return self._graph
+
+    @property
+    def tangible_count(self) -> int:
+        """Number of tangible markings."""
+        return len(self._graph.tangible)
+
+    def steady_state(self) -> Dict[Marking, float]:
+        """Steady-state probability of each tangible marking (copy)."""
+        return dict(self._steady)
+
+    def probability(self, predicate: Callable[[Dict[str, int]], bool]) -> float:
+        """Steady-state probability that the marking satisfies *predicate*.
+
+        The predicate receives a ``{place: tokens}`` mapping.
+        """
+        total = 0.0
+        for marking, prob in self._steady.items():
+            if predicate(self._net.marking_dict(marking)):
+                total += prob
+        return total
+
+    def expected_tokens(self, place: str) -> float:
+        """Expected steady-state token count of *place*."""
+        if place not in self._net.place_names:
+            raise ValidationError(f"unknown place {place!r}")
+        index = self._net.place_names.index(place)
+        return sum(marking[index] * prob for marking, prob in self._steady.items())
+
+    def throughput(self, transition: str) -> float:
+        """Steady-state firing rate of a *timed* transition.
+
+        ``sum over tangible markings m of  pi(m) * rate(t, m) * 1{t enabled}``.
+        """
+        candidates = [t for t in self._net.transitions if t.name == transition]
+        if not candidates:
+            raise ValidationError(f"unknown transition {transition!r}")
+        t = candidates[0]
+        if t.immediate:
+            raise ValidationError(
+                f"throughput of immediate transition {transition!r} is not defined "
+                "on the tangible chain"
+            )
+        total = 0.0
+        for marking, prob in self._steady.items():
+            if self._net.is_enabled(transition, marking):
+                total += prob * t.firing_rate(self._net.marking_dict(marking))
+        return total

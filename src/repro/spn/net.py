@@ -1,0 +1,283 @@
+"""Definition of generalized stochastic Petri nets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .._validation import (
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_rate,
+)
+from ..errors import ModelStructureError, ValidationError
+
+__all__ = ["Place", "Transition", "StochasticPetriNet"]
+
+Marking = Tuple[int, ...]
+
+#: Signature of a marking-dependent rate: receives ``{place: tokens}``.
+RateFunction = Callable[[Dict[str, int]], float]
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place: a token holder.
+
+    Attributes
+    ----------
+    name:
+        Unique place name.
+    tokens:
+        Initial token count.
+    capacity:
+        Optional maximum tokens; transitions that would exceed it are
+        disabled.
+    """
+
+    name: str
+    tokens: int = 0
+    capacity: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("place name must be non-empty")
+        check_non_negative_int(self.tokens, f"tokens({self.name})")
+        if self.capacity is not None:
+            check_positive_int(self.capacity, f"capacity({self.name})")
+            if self.tokens > self.capacity:
+                raise ValidationError(
+                    f"place {self.name!r}: initial tokens ({self.tokens}) exceed "
+                    f"capacity ({self.capacity})"
+                )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition: timed (exponential) or immediate.
+
+    Attributes
+    ----------
+    name:
+        Unique transition name.
+    rate:
+        Firing rate for timed transitions (ignored when *rate_function*
+        is given).
+    rate_function:
+        Optional marking-dependent rate, e.g. ``lambda m: m["up"] * lam``
+        for infinite-server semantics.
+    weight:
+        Relative firing weight for immediate transitions.
+    priority:
+        Among enabled immediate transitions only the highest priority
+        class fires.
+    immediate:
+        True for immediate transitions.
+    """
+
+    name: str
+    rate: Optional[float] = None
+    rate_function: Optional[RateFunction] = None
+    weight: float = 1.0
+    priority: int = 1
+    immediate: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("transition name must be non-empty")
+        if self.immediate:
+            check_positive(self.weight, f"weight({self.name})")
+            check_positive_int(self.priority, f"priority({self.name})")
+        else:
+            if self.rate is None and self.rate_function is None:
+                raise ValidationError(
+                    f"timed transition {self.name!r} needs a rate or rate_function"
+                )
+            if self.rate is not None:
+                check_rate(self.rate, f"rate({self.name})")
+
+    def firing_rate(self, marking: Dict[str, int]) -> float:
+        """Resolve the (possibly marking-dependent) firing rate."""
+        if self.immediate:
+            raise ValidationError(
+                f"immediate transition {self.name!r} has no firing rate"
+            )
+        if self.rate_function is not None:
+            return check_rate(self.rate_function(marking), f"rate({self.name})")
+        return float(self.rate)  # validated in __post_init__
+
+
+class StochasticPetriNet:
+    """A generalized stochastic Petri net.
+
+    Examples
+    --------
+    A two-state failure/repair component as a Petri net:
+
+    >>> net = StochasticPetriNet("component")
+    >>> _ = net.add_place("up", tokens=1)
+    >>> _ = net.add_place("down")
+    >>> _ = net.add_timed_transition("fail", rate=1e-3)
+    >>> _ = net.add_timed_transition("repair", rate=0.5)
+    >>> net.add_input_arc("up", "fail");    net.add_output_arc("fail", "down")
+    >>> net.add_input_arc("down", "repair"); net.add_output_arc("repair", "up")
+    >>> sorted(p.name for p in net.places)
+    ['down', 'up']
+    """
+
+    def __init__(self, name: str = "net"):
+        if not name:
+            raise ValidationError("net name must be non-empty")
+        self.name = name
+        self._places: List[Place] = []
+        self._place_index: Dict[str, int] = {}
+        self._transitions: Dict[str, Transition] = {}
+        self._inputs: Dict[str, Dict[str, int]] = {}      # transition -> {place: mult}
+        self._outputs: Dict[str, Dict[str, int]] = {}
+        self._inhibitors: Dict[str, Dict[str, int]] = {}  # transition -> {place: threshold}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_place(
+        self, name: str, tokens: int = 0, capacity: Optional[int] = None
+    ) -> Place:
+        """Add a place; returns it."""
+        if name in self._place_index:
+            raise ValidationError(f"place {name!r} already defined")
+        place = Place(name=name, tokens=tokens, capacity=capacity)
+        self._place_index[name] = len(self._places)
+        self._places.append(place)
+        return place
+
+    def add_timed_transition(
+        self,
+        name: str,
+        rate: Optional[float] = None,
+        rate_function: Optional[RateFunction] = None,
+    ) -> Transition:
+        """Add an exponentially timed transition."""
+        return self._add_transition(
+            Transition(name=name, rate=rate, rate_function=rate_function)
+        )
+
+    def add_immediate_transition(
+        self, name: str, weight: float = 1.0, priority: int = 1
+    ) -> Transition:
+        """Add an immediate transition (fires in zero time)."""
+        return self._add_transition(
+            Transition(name=name, weight=weight, priority=priority, immediate=True)
+        )
+
+    def _add_transition(self, transition: Transition) -> Transition:
+        if transition.name in self._transitions:
+            raise ValidationError(f"transition {transition.name!r} already defined")
+        self._transitions[transition.name] = transition
+        self._inputs[transition.name] = {}
+        self._outputs[transition.name] = {}
+        self._inhibitors[transition.name] = {}
+        return transition
+
+    def add_input_arc(self, place: str, transition: str, multiplicity: int = 1) -> None:
+        """Arc place -> transition: tokens consumed on firing."""
+        self._check_arc(place, transition)
+        check_positive_int(multiplicity, "multiplicity")
+        self._inputs[transition][place] = multiplicity
+
+    def add_output_arc(self, transition: str, place: str, multiplicity: int = 1) -> None:
+        """Arc transition -> place: tokens produced on firing."""
+        self._check_arc(place, transition)
+        check_positive_int(multiplicity, "multiplicity")
+        self._outputs[transition][place] = multiplicity
+
+    def add_inhibitor_arc(self, place: str, transition: str, threshold: int = 1) -> None:
+        """Inhibitor arc: the transition is disabled when the place holds
+        at least *threshold* tokens."""
+        self._check_arc(place, transition)
+        check_positive_int(threshold, "threshold")
+        self._inhibitors[transition][place] = threshold
+
+    def _check_arc(self, place: str, transition: str) -> None:
+        if place not in self._place_index:
+            raise ValidationError(f"unknown place {place!r}")
+        if transition not in self._transitions:
+            raise ValidationError(f"unknown transition {transition!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def places(self) -> Tuple[Place, ...]:
+        """Places in definition order."""
+        return tuple(self._places)
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        """Transitions in definition order."""
+        return tuple(self._transitions.values())
+
+    @property
+    def place_names(self) -> Tuple[str, ...]:
+        """Place names in marking order."""
+        return tuple(p.name for p in self._places)
+
+    def initial_marking(self) -> Marking:
+        """The initial marking as a token-count tuple."""
+        return tuple(p.tokens for p in self._places)
+
+    def marking_dict(self, marking: Marking) -> Dict[str, int]:
+        """A marking tuple as a ``{place: tokens}`` mapping."""
+        return dict(zip(self.place_names, marking))
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def is_enabled(self, transition: str, marking: Marking) -> bool:
+        """Is *transition* enabled in *marking*?"""
+        if transition not in self._transitions:
+            raise ValidationError(f"unknown transition {transition!r}")
+        for place, needed in self._inputs[transition].items():
+            if marking[self._place_index[place]] < needed:
+                return False
+        for place, threshold in self._inhibitors[transition].items():
+            if marking[self._place_index[place]] >= threshold:
+                return False
+        # Capacity check on the successor marking.
+        for place, produced in self._outputs[transition].items():
+            index = self._place_index[place]
+            capacity = self._places[index].capacity
+            if capacity is None:
+                continue
+            consumed = self._inputs[transition].get(place, 0)
+            if marking[index] - consumed + produced > capacity:
+                return False
+        return True
+
+    def fire(self, transition: str, marking: Marking) -> Marking:
+        """Successor marking after firing *transition*."""
+        if not self.is_enabled(transition, marking):
+            raise ModelStructureError(
+                f"transition {transition!r} is not enabled in marking {marking}"
+            )
+        tokens = list(marking)
+        for place, consumed in self._inputs[transition].items():
+            tokens[self._place_index[place]] -= consumed
+        for place, produced in self._outputs[transition].items():
+            tokens[self._place_index[place]] += produced
+        return tuple(tokens)
+
+    def enabled_transitions(self, marking: Marking) -> List[Transition]:
+        """Enabled transitions; immediate priority rules applied.
+
+        When immediate transitions are enabled they preempt timed ones,
+        and only the highest-priority immediate class is returned.
+        """
+        enabled = [
+            t for t in self._transitions.values() if self.is_enabled(t.name, marking)
+        ]
+        immediates = [t for t in enabled if t.immediate]
+        if immediates:
+            top = max(t.priority for t in immediates)
+            return [t for t in immediates if t.priority == top]
+        return enabled

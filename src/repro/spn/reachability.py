@@ -1,0 +1,182 @@
+"""Reachability analysis of a GSPN: tangible CTMC construction.
+
+Markings split into *tangible* (only timed transitions enabled — time
+passes there) and *vanishing* (an immediate transition is enabled — left
+in zero time).  The tangible CTMC is obtained by eliminating vanishing
+markings: the probability of reaching each tangible marking from a
+vanishing one is the absorption probability of the embedded
+immediate-firing chain, computed by one linear solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ModelStructureError
+from ..markov import CTMC
+from .net import Marking, StochasticPetriNet
+
+__all__ = ["ReachabilityGraph", "explore"]
+
+_DEFAULT_MAX_MARKINGS = 100_000
+
+
+@dataclass(frozen=True)
+class ReachabilityGraph:
+    """The result of GSPN state-space exploration.
+
+    Attributes
+    ----------
+    tangible:
+        Tangible markings, in discovery order.
+    vanishing:
+        Vanishing markings, in discovery order.
+    chain:
+        The tangible-marking CTMC (states are marking tuples).
+    initial_distribution:
+        Probability over tangible markings at time zero (non-degenerate
+        when the initial marking is vanishing).
+    """
+
+    tangible: Tuple[Marking, ...]
+    vanishing: Tuple[Marking, ...]
+    chain: CTMC
+    initial_distribution: Dict[Marking, float]
+
+
+def explore(
+    net: StochasticPetriNet, max_markings: int = _DEFAULT_MAX_MARKINGS
+) -> ReachabilityGraph:
+    """Explore the reachability set and build the tangible CTMC.
+
+    Raises
+    ------
+    ModelStructureError
+        If the reachable state space exceeds *max_markings* (an unbounded
+        net), if no tangible marking exists, or if immediate transitions
+        form a trap (a vanishing cycle with no exit to a tangible
+        marking).
+    """
+    initial = net.initial_marking()
+    discovered: Dict[Marking, bool] = {}  # marking -> is_tangible
+    # successor structure: marking -> list of (successor, rate_or_prob)
+    timed_successors: Dict[Marking, List[Tuple[Marking, float]]] = {}
+    immediate_successors: Dict[Marking, List[Tuple[Marking, float]]] = {}
+
+    frontier = [initial]
+    while frontier:
+        marking = frontier.pop()
+        if marking in discovered:
+            continue
+        if len(discovered) >= max_markings:
+            raise ModelStructureError(
+                f"reachability exploration exceeded {max_markings} markings; "
+                "the net may be unbounded (add place capacities)"
+            )
+        enabled = net.enabled_transitions(marking)
+        marking_map = net.marking_dict(marking)
+        if enabled and enabled[0].immediate:
+            discovered[marking] = False
+            total_weight = sum(t.weight for t in enabled)
+            successors = []
+            for transition in enabled:
+                nxt = net.fire(transition.name, marking)
+                successors.append((nxt, transition.weight / total_weight))
+                frontier.append(nxt)
+            immediate_successors[marking] = successors
+        else:
+            discovered[marking] = True
+            successors = []
+            for transition in enabled:
+                rate = transition.firing_rate(marking_map)
+                nxt = net.fire(transition.name, marking)
+                successors.append((nxt, rate))
+                frontier.append(nxt)
+            timed_successors[marking] = successors
+
+    tangible = tuple(m for m, is_t in discovered.items() if is_t)
+    vanishing = tuple(m for m, is_t in discovered.items() if not is_t)
+    if not tangible:
+        raise ModelStructureError(
+            "no tangible marking is reachable: immediate transitions never rest"
+        )
+
+    absorption = _vanishing_absorption(vanishing, tangible, immediate_successors)
+
+    # Assemble the tangible CTMC, redirecting rates that enter vanishing
+    # markings through their absorption distributions.
+    t_index = {m: i for i, m in enumerate(tangible)}
+    n = len(tangible)
+    q = np.zeros((n, n))
+    for marking in tangible:
+        i = t_index[marking]
+        for nxt, rate in timed_successors[marking]:
+            if nxt in t_index:
+                if nxt != marking:
+                    q[i, t_index[nxt]] += rate
+            else:
+                for target, prob in absorption[nxt].items():
+                    if target != marking:
+                        q[i, t_index[target]] += rate * prob
+    np.fill_diagonal(q, -q.sum(axis=1))
+    chain = CTMC(tangible, q)
+
+    if discovered[initial]:
+        initial_distribution = {initial: 1.0}
+    else:
+        initial_distribution = dict(absorption[initial])
+    return ReachabilityGraph(
+        tangible=tangible,
+        vanishing=vanishing,
+        chain=chain,
+        initial_distribution=initial_distribution,
+    )
+
+
+def _vanishing_absorption(
+    vanishing: Tuple[Marking, ...],
+    tangible: Tuple[Marking, ...],
+    immediate_successors: Dict[Marking, List[Tuple[Marking, float]]],
+) -> Dict[Marking, Dict[Marking, float]]:
+    """Absorption probabilities from each vanishing to tangible markings.
+
+    Solves ``(I - P_VV) B = P_VT`` where ``P_VV``/``P_VT`` are the
+    immediate-firing probabilities among vanishing markings and into
+    tangible ones.
+    """
+    if not vanishing:
+        return {}
+    v_index = {m: i for i, m in enumerate(vanishing)}
+    t_index = {m: i for i, m in enumerate(tangible)}
+    nv, nt = len(vanishing), len(tangible)
+    p_vv = np.zeros((nv, nv))
+    p_vt = np.zeros((nv, nt))
+    for marking, successors in immediate_successors.items():
+        i = v_index[marking]
+        for nxt, prob in successors:
+            if nxt in v_index:
+                p_vv[i, v_index[nxt]] += prob
+            else:
+                p_vt[i, t_index[nxt]] += prob
+    try:
+        b = np.linalg.solve(np.eye(nv) - p_vv, p_vt)
+    except np.linalg.LinAlgError as exc:
+        raise ModelStructureError(
+            "immediate transitions form a trap: a vanishing cycle has no "
+            "exit to a tangible marking"
+        ) from exc
+    row_sums = b.sum(axis=1)
+    if np.any(row_sums < 1.0 - 1e-9):
+        raise ModelStructureError(
+            "immediate transitions form a trap: a vanishing cycle has no "
+            "exit to a tangible marking"
+        )
+    result: Dict[Marking, Dict[Marking, float]] = {}
+    for marking, i in v_index.items():
+        result[marking] = {
+            tangible[j]: float(b[i, j]) for j in range(nt) if b[i, j] > 0.0
+        }
+    return result

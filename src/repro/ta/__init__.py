@@ -1,0 +1,46 @@
+"""The web-based Travel Agency (TA) case study of the paper.
+
+This subpackage instantiates the hierarchical framework on the paper's
+running example:
+
+* :class:`TAParameters` — every model parameter, defaulting to the
+  paper's Table 7 values and Section 5 configuration.
+* :data:`CLASS_A` / :data:`CLASS_B` — the Table 1 user classes.
+* :func:`build_travel_agency` / :class:`TravelAgencyModel` — the basic
+  (Fig. 7) and redundant (Fig. 8) architectures assembled into a
+  :class:`~repro.core.HierarchicalModel`.
+* :mod:`repro.ta.equations` — the paper's closed-form equations
+  (Tables 3-6 and eq. 10), kept as an independent implementation that
+  the test suite cross-checks against the generic engine.
+* :mod:`repro.ta.economics` — the lost-transaction / lost-revenue
+  analysis of Section 5.2.
+"""
+
+from .parameters import TAParameters
+from .userclasses import (
+    CLASS_A,
+    CLASS_B,
+    FUNCTIONS,
+    PAPER_SCENARIO_LABELS,
+    SCENARIO_FUNCTION_SETS,
+    TA_PROFILE_EDGES,
+    scenario_category,
+)
+from .architecture import build_travel_agency
+from .model import TravelAgencyModel
+from .economics import RevenueModel, RevenueLossEstimate
+
+__all__ = [
+    "TAParameters",
+    "CLASS_A",
+    "CLASS_B",
+    "FUNCTIONS",
+    "PAPER_SCENARIO_LABELS",
+    "SCENARIO_FUNCTION_SETS",
+    "TA_PROFILE_EDGES",
+    "scenario_category",
+    "build_travel_agency",
+    "TravelAgencyModel",
+    "RevenueModel",
+    "RevenueLossEstimate",
+]

@@ -1,0 +1,172 @@
+"""Assembling the TA architectures (Figs. 7 and 8) into hierarchical models.
+
+Both architectures share the external resources (flight/hotel/car
+reservation systems and the payment system, each a black box) and the
+LAN / Internet connectivity.  They differ in the internal resources:
+
+* **basic** (Fig. 7): one dedicated host per server — a single web
+  server, one application host, one database host with one disk;
+* **redundant** (Fig. 8): a farm of ``NW`` load-balanced web servers,
+  two application hosts, two database hosts with two mirrored disks.
+"""
+
+from __future__ import annotations
+
+from ..availability import WebServiceModel
+from ..core import HierarchicalModel
+from ..errors import ValidationError
+from ..rbd import parallel, series
+from . import diagrams
+from .diagrams import (
+    APPLICATION,
+    CAR,
+    DATABASE,
+    FLIGHT,
+    HOTEL,
+    LAN,
+    NET,
+    PAYMENT,
+    WEB,
+)
+from .parameters import TAParameters
+from .userclasses import BOOK, BROWSE, HOME, PAY, SEARCH
+
+__all__ = ["build_travel_agency", "web_service_model", "ARCHITECTURES"]
+
+#: Supported architecture names.
+ARCHITECTURES = ("basic", "redundant")
+
+
+def web_service_model(params: TAParameters, architecture: str) -> WebServiceModel:
+    """The composite web-service model for an architecture.
+
+    The basic architecture runs one web server (perfect coverage is
+    irrelevant with a single server *plus* no automatic failover to
+    model, matching eq. 2); the redundant architecture uses ``NW``
+    servers with the configured coverage.
+    """
+    if architecture == "basic":
+        return WebServiceModel(
+            servers=1,
+            arrival_rate=params.arrival_rate,
+            service_rate=params.service_rate,
+            buffer_capacity=params.buffer_size,
+            failure_rate=params.web_failure_rate,
+            repair_rate=params.web_repair_rate,
+        )
+    if architecture == "redundant":
+        return WebServiceModel(
+            servers=params.web_servers,
+            arrival_rate=params.arrival_rate,
+            service_rate=params.service_rate,
+            buffer_capacity=params.buffer_size,
+            failure_rate=params.web_failure_rate,
+            repair_rate=params.web_repair_rate,
+            coverage=params.web_coverage,
+            reconfiguration_rate=params.web_reconfiguration_rate,
+        )
+    raise ValidationError(
+        f"unknown architecture {architecture!r}; expected one of {ARCHITECTURES}"
+    )
+
+
+def build_travel_agency(
+    params: TAParameters = TAParameters(),
+    architecture: str = "redundant",
+) -> HierarchicalModel:
+    """Build the full four-level TA model.
+
+    Parameters
+    ----------
+    params:
+        Model parameters (defaults to the paper's values).
+    architecture:
+        ``"basic"`` (Fig. 7) or ``"redundant"`` (Fig. 8).
+
+    Returns
+    -------
+    HierarchicalModel
+        With resources, the nine services of Table 2, the five functions,
+        and the ``net``/``lan`` services marked as required everywhere.
+
+    Examples
+    --------
+    >>> model = build_travel_agency()
+    >>> sorted(model.functions)
+    ['book', 'browse', 'home', 'pay', 'search']
+    """
+    if architecture not in ARCHITECTURES:
+        raise ValidationError(
+            f"unknown architecture {architecture!r}; expected one of {ARCHITECTURES}"
+        )
+    model = HierarchicalModel()
+
+    # ------------------------------------------------------------------
+    # Resource level
+    # ------------------------------------------------------------------
+    model.add_resource("internet-link", params.internet_availability)
+    model.add_resource("lan-segment", params.lan_availability)
+    model.add_resource("web-farm", web_service_model(params, architecture))
+
+    if architecture == "basic":
+        model.add_resource("app-host", params.application_host_availability)
+        model.add_resource("db-host", params.database_host_availability)
+        model.add_resource("db-disk", params.disk_availability)
+        application_structure = series("app-host")
+        database_structure = series("db-host", "db-disk")
+    else:
+        model.add_resource("app-host-1", params.application_host_availability)
+        model.add_resource("app-host-2", params.application_host_availability)
+        model.add_resource("db-host-1", params.database_host_availability)
+        model.add_resource("db-host-2", params.database_host_availability)
+        model.add_resource("db-disk-1", params.disk_availability)
+        model.add_resource("db-disk-2", params.disk_availability)
+        application_structure = parallel("app-host-1", "app-host-2")
+        database_structure = series(
+            parallel("db-host-1", "db-host-2"),
+            parallel("db-disk-1", "db-disk-2"),
+        )
+
+    for kind, count, availability in (
+        ("flight", params.n_flight, params.reservation_availability),
+        ("hotel", params.n_hotel, params.reservation_availability),
+        ("car", params.n_car, params.reservation_availability),
+    ):
+        for index in range(1, count + 1):
+            model.add_resource(f"{kind}-system-{index}", availability)
+    model.add_resource("payment-system", params.payment_availability)
+
+    # ------------------------------------------------------------------
+    # Service level (Table 2 columns)
+    # ------------------------------------------------------------------
+    model.add_service(NET, "internet-link")
+    model.add_service(LAN, "lan-segment")
+    model.add_service(WEB, "web-farm")
+    model.add_service(APPLICATION, application_structure)
+    model.add_service(DATABASE, database_structure)
+    model.add_service(
+        FLIGHT,
+        parallel(*[f"flight-system-{i}" for i in range(1, params.n_flight + 1)]),
+    )
+    model.add_service(
+        HOTEL,
+        parallel(*[f"hotel-system-{i}" for i in range(1, params.n_hotel + 1)]),
+    )
+    model.add_service(
+        CAR,
+        parallel(*[f"car-system-{i}" for i in range(1, params.n_car + 1)]),
+    )
+    model.add_service(PAYMENT, "payment-system")
+
+    # ------------------------------------------------------------------
+    # Function level (Figs. 3-6, Table 2 rows)
+    # ------------------------------------------------------------------
+    model.add_function(HOME, services=[WEB])
+    model.add_function(BROWSE, diagram=diagrams.browse_diagram(params))
+    model.add_function(SEARCH, diagram=diagrams.search_diagram(params))
+    model.add_function(BOOK, diagram=diagrams.book_diagram(params))
+    model.add_function(PAY, diagram=diagrams.pay_diagram(params))
+
+    # Connectivity is needed by every function (Section 4.2).
+    model.require_everywhere([NET, LAN])
+    return model

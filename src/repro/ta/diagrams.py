@@ -1,0 +1,132 @@
+"""Interaction diagrams of the TA functions (Figs. 3-6 of the paper).
+
+Service names used throughout the TA model:
+
+================  =============================================
+``"web"``         the web service (server farm + queueing)
+``"application"`` the application service
+``"database"``    the database service
+``"flight"``      flight reservation (1-of-N_F external systems)
+``"hotel"``       hotel reservation (1-of-N_H external systems)
+``"car"``         car rental (1-of-N_C external systems)
+``"payment"``     the external payment system
+``"net"``         the TA's Internet connectivity
+``"lan"``         the internal LAN
+================  =============================================
+"""
+
+from __future__ import annotations
+
+from ..core import InteractionDiagram
+from .parameters import TAParameters
+
+__all__ = [
+    "browse_diagram",
+    "search_diagram",
+    "book_diagram",
+    "pay_diagram",
+    "WEB",
+    "APPLICATION",
+    "DATABASE",
+    "FLIGHT",
+    "HOTEL",
+    "CAR",
+    "PAYMENT",
+    "NET",
+    "LAN",
+]
+
+WEB = "web"
+APPLICATION = "application"
+DATABASE = "database"
+FLIGHT = "flight"
+HOTEL = "hotel"
+CAR = "car"
+PAYMENT = "payment"
+NET = "net"
+LAN = "lan"
+
+
+def browse_diagram(params: TAParameters) -> InteractionDiagram:
+    """Fig. 3: the Browse function's three execution scenarios.
+
+    * cache hit (probability ``q23``): web server only;
+    * dynamic page (``q24 * q45``): web + application servers;
+    * database-backed page (``q24 * q47``): web + application + database.
+    """
+    d = InteractionDiagram("browse")
+    d.add_node("request", services=[WEB])
+    d.add_node("cache-hit", services=[WEB])
+    d.add_node("app-processing", services=[APPLICATION])
+    d.add_node("dynamic-page", services=[WEB])
+    d.add_node("db-query", services=[DATABASE])
+    d.add_node("db-page", services=[WEB])
+    d.add_edge("Begin", "request")
+    d.add_edge("request", "cache-hit", params.q_cache)
+    d.add_edge("request", "app-processing", params.q_application)
+    d.add_edge("cache-hit", "End")
+    d.add_edge("app-processing", "dynamic-page", params.q_app_direct)
+    d.add_edge("app-processing", "db-query", params.q_app_database)
+    d.add_edge("dynamic-page", "End")
+    d.add_edge("db-query", "db-page")
+    d.add_edge("db-page", "End")
+    return d
+
+
+def search_diagram(params: TAParameters) -> InteractionDiagram:
+    """Fig. 4: Search — web, application, database, then the AND-split
+    query to the flight, hotel and car reservation services.
+
+    The paper's node 3 (input-format exception returned to the user) is
+    a successful *service* outcome that touches only the web server; its
+    probability is not quantified in the paper, so the diagram models
+    the nominal path (the exception path would only raise the Search
+    availability by routing around the backend).
+    """
+    d = InteractionDiagram("search")
+    d.add_node("validate", services=[WEB])
+    d.add_node("query-db", services=[APPLICATION, DATABASE])
+    d.add_node("fan-out", services=[FLIGHT, HOTEL, CAR])
+    d.add_node("format", services=[APPLICATION])
+    d.add_node("respond", services=[WEB])
+    d.add_edge("Begin", "validate")
+    d.add_edge("validate", "query-db")
+    d.add_edge("query-db", "fan-out")
+    d.add_edge("fan-out", "format")
+    d.add_edge("format", "respond")
+    d.add_edge("respond", "End")
+    return d
+
+
+def book_diagram(params: TAParameters) -> InteractionDiagram:
+    """Fig. 5: Book — same service set as Search (the paper assumes Book
+    succeeds whenever Search did, using a subset of its resources)."""
+    d = InteractionDiagram("book")
+    d.add_node("order", services=[WEB])
+    d.add_node("book-items", services=[APPLICATION, FLIGHT, HOTEL, CAR])
+    d.add_node("store-refs", services=[DATABASE])
+    d.add_node("confirm", services=[WEB])
+    d.add_edge("Begin", "order")
+    d.add_edge("order", "book-items")
+    d.add_edge("book-items", "store-refs")
+    d.add_edge("store-refs", "confirm")
+    d.add_edge("confirm", "End")
+    return d
+
+
+def pay_diagram(params: TAParameters) -> InteractionDiagram:
+    """Fig. 6: Pay — web, application, the external payment service, and
+    the order update in the database."""
+    d = InteractionDiagram("pay")
+    d.add_node("payment-call", services=[WEB])
+    d.add_node("check-booking", services=[APPLICATION])
+    d.add_node("authorize", services=[PAYMENT])
+    d.add_node("update-orders", services=[DATABASE])
+    d.add_node("confirm", services=[WEB])
+    d.add_edge("Begin", "payment-call")
+    d.add_edge("payment-call", "check-booking")
+    d.add_edge("check-booking", "authorize")
+    d.add_edge("authorize", "update-orders")
+    d.add_edge("update-orders", "confirm")
+    d.add_edge("confirm", "End")
+    return d

@@ -1,0 +1,96 @@
+"""Business-impact analysis: lost transactions and lost revenue.
+
+Section 5.2 of the paper translates the unavailability of the
+payment-reaching scenarios (category SC4) into lost transactions and
+lost revenue: with a transaction rate of 100 sessions per second, class
+A loses millions of payment transactions per year, class B roughly three
+times more — the argument for why the operational profile matters to the
+business case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_non_negative, check_rate
+from ..core import UserLevelResult
+from .userclasses import PAY
+
+__all__ = ["RevenueModel", "RevenueLossEstimate"]
+
+SECONDS_PER_YEAR = 365.0 * 24.0 * 3600.0
+
+
+@dataclass(frozen=True)
+class RevenueLossEstimate:
+    """Yearly business impact of user-perceived unavailability.
+
+    Attributes
+    ----------
+    user_class:
+        Name of the evaluated user class.
+    payment_scenario_share:
+        Share of sessions that try to reach payment (SC4 mass).
+    lost_payment_sessions_per_year:
+        Expected payment-reaching sessions that fail per year.
+    lost_revenue_per_year:
+        Lost sessions multiplied by the average revenue.
+    """
+
+    user_class: str
+    payment_scenario_share: float
+    lost_payment_sessions_per_year: float
+    lost_revenue_per_year: float
+
+
+class RevenueModel:
+    """Converts availability results into yearly business impact.
+
+    Parameters
+    ----------
+    session_rate:
+        User sessions per second (the paper uses 100/s).
+    average_revenue:
+        Revenue per completed payment session (the paper uses $100).
+
+    Examples
+    --------
+    >>> from repro.ta import CLASS_B, TravelAgencyModel
+    >>> estimate = RevenueModel(100.0, 100.0).estimate(
+    ...     TravelAgencyModel().user_availability(CLASS_B))
+    >>> estimate.lost_payment_sessions_per_year > 0
+    True
+    """
+
+    def __init__(self, session_rate: float, average_revenue: float):
+        self.session_rate = check_rate(session_rate, "session_rate")
+        self.average_revenue = check_non_negative(
+            average_revenue, "average_revenue"
+        )
+
+    def sessions_per_year(self) -> float:
+        """Total user sessions per year."""
+        return self.session_rate * SECONDS_PER_YEAR
+
+    def estimate(
+        self, result: UserLevelResult, pay_function: str = PAY
+    ) -> RevenueLossEstimate:
+        """Estimate yearly lost payment sessions and revenue.
+
+        A payment-reaching session is *lost* when any function it
+        invokes is unavailable, so the loss rate of category SC4 is its
+        unavailability contribution ``sum_{i in SC4} pi_i (1 - A_i)``.
+        """
+        share = 0.0
+        loss_probability = 0.0
+        for item in result.per_scenario:
+            if pay_function in item.scenario.functions:
+                share += item.scenario.probability
+                loss_probability += item.unavailability_contribution
+        lost_sessions = self.sessions_per_year() * loss_probability
+        return RevenueLossEstimate(
+            user_class=result.user_class,
+            payment_scenario_share=share,
+            lost_payment_sessions_per_year=lost_sessions,
+            lost_revenue_per_year=lost_sessions * self.average_revenue,
+        )

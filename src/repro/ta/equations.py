@@ -1,0 +1,178 @@
+"""The paper's closed-form availability equations (Tables 3-6, eq. 10).
+
+These are transcribed directly from the paper as an *independent*
+implementation: the test suite checks that the generic hierarchical
+engine (:mod:`repro.core`) reproduces them exactly, which validates both
+the engine and the transcription.
+
+Two OCR corrections are applied, documented in DESIGN.md:
+
+* Table 4's redundant forms read ``1 - 2(1 - A)`` in the scan; the
+  two-unit parallel redundancy described in the text is
+  ``1 - (1 - A)^2``, which is what the functions below compute.
+* The web-service equations of Table 5 live in
+  :mod:`repro.availability.webservice`; the imperfect-coverage down-state
+  sums run over every ``y_i`` (i = 1..NW).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .._validation import check_probability
+from ..availability import WebServiceModel
+from .parameters import TAParameters
+from .userclasses import SCENARIO_FUNCTION_SETS
+
+__all__ = [
+    "external_service_availability",
+    "application_service_availability",
+    "database_service_availability",
+    "service_availabilities",
+    "function_availabilities",
+    "user_availability",
+]
+
+
+def external_service_availability(per_system: float, count: int) -> float:
+    """Table 3: 1-of-N availability, ``1 - (1 - A)^N``."""
+    per_system = check_probability(per_system, "per_system")
+    return 1.0 - (1.0 - per_system) ** count
+
+
+def application_service_availability(
+    host_availability: float, redundant: bool
+) -> float:
+    """Table 4: ``A(C_AS)`` (basic) or ``1 - (1 - A(C_AS))^2`` (redundant)."""
+    a = check_probability(host_availability, "host_availability")
+    if redundant:
+        return 1.0 - (1.0 - a) ** 2
+    return a
+
+
+def database_service_availability(
+    host_availability: float, disk_availability: float, redundant: bool
+) -> float:
+    """Table 4: host and disk in series; duplicated when redundant."""
+    host = check_probability(host_availability, "host_availability")
+    disk = check_probability(disk_availability, "disk_availability")
+    if redundant:
+        return (1.0 - (1.0 - host) ** 2) * (1.0 - (1.0 - disk) ** 2)
+    return host * disk
+
+
+def service_availabilities(
+    params: TAParameters, architecture: str = "redundant"
+) -> Dict[str, float]:
+    """All nine service availabilities under the closed forms.
+
+    Keys match the service names of :mod:`repro.ta.diagrams`.
+    """
+    from .architecture import web_service_model  # local import avoids a cycle
+
+    redundant = architecture == "redundant"
+    return {
+        "net": params.internet_availability,
+        "lan": params.lan_availability,
+        "web": web_service_model(params, architecture).availability(),
+        "application": application_service_availability(
+            params.application_host_availability, redundant
+        ),
+        "database": database_service_availability(
+            params.database_host_availability, params.disk_availability, redundant
+        ),
+        "flight": external_service_availability(
+            params.reservation_availability, params.n_flight
+        ),
+        "hotel": external_service_availability(
+            params.reservation_availability, params.n_hotel
+        ),
+        "car": external_service_availability(
+            params.reservation_availability, params.n_car
+        ),
+        "payment": params.payment_availability,
+    }
+
+
+def function_availabilities(
+    params: TAParameters, services: Mapping[str, float]
+) -> Dict[str, float]:
+    """Table 6: the five function availabilities.
+
+    ``services`` maps service names to availabilities (as produced by
+    :func:`service_availabilities`).  Every equation carries the common
+    factor ``A_net * A_LAN``.
+    """
+    common = services["net"] * services["lan"]
+    a_ws = services["web"]
+    a_as = services["application"]
+    a_ds = services["database"]
+    browse_term = params.q_cache + a_as * (
+        params.q_application * params.q_app_direct
+        + params.q_application * params.q_app_database * a_ds
+    )
+    search = (
+        common
+        * a_ws
+        * a_as
+        * a_ds
+        * services["flight"]
+        * services["hotel"]
+        * services["car"]
+    )
+    return {
+        "home": common * a_ws,
+        "browse": common * a_ws * browse_term,
+        "search": search,
+        "book": search,  # Book succeeds whenever Search did (Section 4.2)
+        "pay": common * a_ws * a_as * a_ds * services["payment"],
+    }
+
+
+def user_availability(
+    params: TAParameters,
+    scenario_probabilities: Mapping[int, float],
+    architecture: str = "redundant",
+) -> float:
+    """Equation (10): the user-perceived availability.
+
+    Parameters
+    ----------
+    scenario_probabilities:
+        ``{scenario id (1-12): probability}`` following the Table 1
+        numbering; probabilities must cover all twelve scenarios.
+
+    Returns
+    -------
+    float
+        ``A(user) = A_net A_LAN A(WS) [ pi_1
+        + (pi_2 + pi_3) {q23 + A(AS)(q24 q45 + q24 q47 A(DS))}
+        + A(AS) A(DS) A(F) A(H) A(C) {(pi_4..pi_9)
+        + (pi_10..pi_12) A(PS)} ]``
+    """
+    missing = [i for i in SCENARIO_FUNCTION_SETS if i not in scenario_probabilities]
+    if missing:
+        from ..errors import ValidationError
+
+        raise ValidationError(f"missing scenario probabilities for ids {missing}")
+    services = service_availabilities(params, architecture)
+    pi = {i: float(scenario_probabilities[i]) for i in SCENARIO_FUNCTION_SETS}
+    a_as = services["application"]
+    a_ds = services["database"]
+    browse_term = params.q_cache + a_as * (
+        params.q_application * params.q_app_direct
+        + params.q_application * params.q_app_database * a_ds
+    )
+    reservation_product = (
+        a_as * a_ds * services["flight"] * services["hotel"] * services["car"]
+    )
+    bracket = (
+        pi[1]
+        + (pi[2] + pi[3]) * browse_term
+        + reservation_product
+        * (
+            (pi[4] + pi[5] + pi[6] + pi[7] + pi[8] + pi[9])
+            + (pi[10] + pi[11] + pi[12]) * services["payment"]
+        )
+    )
+    return services["net"] * services["lan"] * services["web"] * bracket

@@ -1,0 +1,153 @@
+"""Model parameters for the Travel Agency study.
+
+Defaults reproduce the paper's Table 7 together with the web-service
+configuration stated in Section 5.2 (NW = 4 servers, imperfect coverage
+c = 0.98, arrival rate alpha = 100/s, failure rate lambda = 1e-4/h,
+service rate nu = 100/s, repair rate mu = 1/h, reconfiguration rate
+beta = 12/h, buffer size K = 10).
+
+Rate units: the availability-model rates (``web_failure_rate``,
+``web_repair_rate``, ``web_reconfiguration_rate``) are per *hour*; the
+performance-model rates (``arrival_rate``, ``service_rate``) are per
+*second*.  The composite model only combines dimensionless probabilities
+from the two sides, so the units never mix (see
+:mod:`repro.availability.webservice`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .._validation import (
+    check_positive_int,
+    check_probability,
+    check_rate,
+)
+from ..errors import ValidationError
+
+__all__ = ["TAParameters"]
+
+
+@dataclass(frozen=True)
+class TAParameters:
+    """All parameters of the Travel Agency availability model.
+
+    Attributes
+    ----------
+    internet_availability:
+        ``A_net``, availability of the TA's Internet connectivity.
+    lan_availability:
+        ``A_LAN``, availability of the internal LAN.
+    application_host_availability:
+        ``A(C_AS)``, availability of one application-server host.
+    database_host_availability:
+        ``A(C_DS)``, availability of one database-server host.
+    disk_availability:
+        ``A(Disk)``, availability of one database disk.
+    payment_availability:
+        ``A_PS``, availability of the external payment system.
+    reservation_availability:
+        Availability of each individual flight/hotel/car reservation
+        system (the paper assumes a common value 0.9).
+    n_flight, n_hotel, n_car:
+        ``N_F, N_H, N_C`` — number of reservation systems per trip item.
+    q_cache, q_application, q_app_direct, q_app_database:
+        Browse-diagram branch probabilities ``q23, q24, q45, q47``
+        (Fig. 3): cache hit; forward to application server; answer
+        without the database; involve the database.
+    web_servers:
+        ``NW``, number of web servers (1 = the basic architecture's
+        single host).
+    arrival_rate:
+        Request arrival rate ``alpha`` (per second).
+    service_rate:
+        Per-server request service rate ``nu`` (per second).
+    buffer_size:
+        Web input-buffer capacity ``K``.
+    web_failure_rate:
+        Per-server failure rate ``lambda`` (per hour).
+    web_repair_rate:
+        Shared repair rate ``mu`` (per hour).
+    web_coverage:
+        Failure coverage ``c``; 1.0 selects the perfect-coverage model.
+    web_reconfiguration_rate:
+        Manual reconfiguration rate ``beta`` (per hour).
+    """
+
+    # Table 7 availabilities
+    internet_availability: float = 0.9966
+    lan_availability: float = 0.9966
+    application_host_availability: float = 0.996
+    database_host_availability: float = 0.996
+    disk_availability: float = 0.9
+    payment_availability: float = 0.9
+    reservation_availability: float = 0.9
+    # External supplier counts (Table 8 sweeps these)
+    n_flight: int = 5
+    n_hotel: int = 5
+    n_car: int = 5
+    # Browse interaction-diagram branch probabilities (Fig. 3 / Table 7)
+    q_cache: float = 0.2
+    q_application: float = 0.8
+    q_app_direct: float = 0.4
+    q_app_database: float = 0.6
+    # Web service configuration (Section 5.2)
+    web_servers: int = 4
+    arrival_rate: float = 100.0
+    service_rate: float = 100.0
+    buffer_size: int = 10
+    web_failure_rate: float = 1e-4
+    web_repair_rate: float = 1.0
+    web_coverage: float = 0.98
+    web_reconfiguration_rate: float = 12.0
+
+    def __post_init__(self):
+        for name in (
+            "internet_availability",
+            "lan_availability",
+            "application_host_availability",
+            "database_host_availability",
+            "disk_availability",
+            "payment_availability",
+            "reservation_availability",
+            "q_cache",
+            "q_application",
+            "q_app_direct",
+            "q_app_database",
+            "web_coverage",
+        ):
+            check_probability(getattr(self, name), name)
+        for name in ("n_flight", "n_hotel", "n_car", "web_servers", "buffer_size"):
+            check_positive_int(getattr(self, name), name)
+        for name in (
+            "arrival_rate",
+            "service_rate",
+            "web_failure_rate",
+            "web_repair_rate",
+            "web_reconfiguration_rate",
+        ):
+            check_rate(getattr(self, name), name)
+        if abs(self.q_cache + self.q_application - 1.0) > 1e-9:
+            raise ValidationError(
+                "q_cache + q_application must equal 1 "
+                f"(got {self.q_cache} + {self.q_application})"
+            )
+        if abs(self.q_app_direct + self.q_app_database - 1.0) > 1e-9:
+            raise ValidationError(
+                "q_app_direct + q_app_database must equal 1 "
+                f"(got {self.q_app_direct} + {self.q_app_database})"
+            )
+
+    def replace(self, **changes) -> "TAParameters":
+        """A copy with the given fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def offered_load(self) -> float:
+        """Web system load ``alpha / nu``."""
+        return self.arrival_rate / self.service_rate
+
+    def with_reservation_systems(self, count: int) -> "TAParameters":
+        """A copy with ``N_F = N_H = N_C = count`` (the Table 8 sweep)."""
+        return self.replace(n_flight=count, n_hotel=count, n_car=count)

@@ -1,0 +1,133 @@
+"""A complete text report of a Travel Agency evaluation.
+
+Bundles everything an availability review needs into one rendered
+document: per-level availabilities, the user-class results with downtime
+budgets, the scenario-category breakdown, service importance and the
+business impact — the artifact a provider would circulate after running
+the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..profiles import UserClass
+from ..reporting import format_downtime, format_table
+from .economics import RevenueModel
+from .model import TravelAgencyModel
+from .userclasses import CLASS_A, CLASS_B, FUNCTIONS
+
+__all__ = ["availability_report"]
+
+
+def availability_report(
+    model: TravelAgencyModel,
+    user_classes: Iterable[UserClass] = (CLASS_A, CLASS_B),
+    session_rate: float = 100.0,
+    average_revenue: float = 100.0,
+) -> str:
+    """Render the full evaluation as a text document.
+
+    Parameters
+    ----------
+    model:
+        The Travel Agency model to report on.
+    user_classes:
+        Populations to evaluate (defaults to the paper's classes A and B).
+    session_rate / average_revenue:
+        Economics assumptions for the lost-revenue section (the paper
+        uses 100 sessions/s and $100 per completed payment session).
+    """
+    user_classes = list(user_classes)
+    sections: List[str] = []
+
+    header = (
+        f"USER-PERCEIVED AVAILABILITY REPORT\n"
+        f"architecture: {model.architecture};  "
+        f"web farm: NW = {model.params.web_servers}, "
+        f"coverage = {model.params.web_coverage};  "
+        f"reservation systems per item: "
+        f"{model.params.n_flight}/{model.params.n_hotel}/{model.params.n_car}"
+    )
+    sections.append(header)
+
+    # --- user level ----------------------------------------------------
+    rows = []
+    results = {}
+    for users in user_classes:
+        result = model.user_availability(users)
+        results[users.name] = result
+        rows.append([
+            users.name,
+            f"{result.availability:.5f}",
+            format_downtime(result.availability),
+            f"{users.buying_intent() * 100:.1f}%",
+        ])
+    sections.append(format_table(
+        ["user class", "A(user)", "downtime", "buyers"],
+        rows,
+        title="1. User-perceived availability (eq. 10)",
+    ))
+
+    # --- category breakdown ---------------------------------------------
+    rows = []
+    for users in user_classes:
+        breakdown = model.category_breakdown(users)
+        for category in sorted(breakdown):
+            rows.append([
+                users.name, category,
+                f"{breakdown[category] * 8760.0:.1f}",
+            ])
+    sections.append(format_table(
+        ["user class", "scenario category", "downtime share (h/year)"],
+        rows,
+        title="2. Where the downtime comes from (Fig. 13 grouping)",
+    ))
+
+    # --- function level --------------------------------------------------
+    functions = model.function_availabilities()
+    sections.append(format_table(
+        ["function", "availability", "downtime"],
+        [
+            [name, f"{functions[name]:.6f}", format_downtime(functions[name])]
+            for name in FUNCTIONS
+            if name in functions
+        ],
+        title="3. Function availabilities (Table 6)",
+    ))
+
+    # --- service level + importance --------------------------------------
+    services = model.service_availabilities()
+    importance = model.service_importance(user_classes[0])
+    sections.append(format_table(
+        ["service", "availability", f"importance ({user_classes[0].name})"],
+        [
+            [name, f"{services[name]:.9f}", f"{importance[name]:.4f}"]
+            for name, _ in sorted(
+                importance.items(), key=lambda kv: -kv[1]
+            )
+        ],
+        title="4. Services, ranked by influence on user availability",
+    ))
+
+    # --- economics --------------------------------------------------------
+    revenue = RevenueModel(session_rate=session_rate,
+                           average_revenue=average_revenue)
+    rows = []
+    for users in user_classes:
+        estimate = revenue.estimate(results[users.name])
+        rows.append([
+            users.name,
+            f"{estimate.lost_payment_sessions_per_year:.3e}",
+            f"${estimate.lost_revenue_per_year:.3e}",
+        ])
+    sections.append(format_table(
+        ["user class", "lost payment sessions / year", "lost revenue / year"],
+        rows,
+        title=(
+            f"5. Business impact ({session_rate:g} sessions/s, "
+            f"${average_revenue:g} per transaction)"
+        ),
+    ))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,132 @@
+"""Functions, scenarios and user classes of the Travel Agency (Table 1).
+
+The paper fixes five site functions and twelve user scenarios.  Class A
+models information seekers (few purchases); class B models buyers
+(about 20% of sessions end in a payment).  Scenario probabilities are
+published in percent rounded to one decimal; they sum to exactly 100 for
+both classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..profiles import Scenario, UserClass
+
+__all__ = [
+    "FUNCTIONS",
+    "HOME",
+    "BROWSE",
+    "SEARCH",
+    "BOOK",
+    "PAY",
+    "SCENARIO_FUNCTION_SETS",
+    "PAPER_SCENARIO_LABELS",
+    "CLASS_A",
+    "CLASS_B",
+    "TA_PROFILE_EDGES",
+    "scenario_category",
+]
+
+HOME = "home"
+BROWSE = "browse"
+SEARCH = "search"
+BOOK = "book"
+PAY = "pay"
+
+#: The five TA functions, in the paper's presentation order.
+FUNCTIONS: Tuple[str, ...] = (HOME, BROWSE, SEARCH, BOOK, PAY)
+
+#: Function set of each of the paper's twelve scenarios (Table 1 row -> set).
+SCENARIO_FUNCTION_SETS: Dict[int, FrozenSet[str]] = {
+    1: frozenset({HOME}),
+    2: frozenset({BROWSE}),
+    3: frozenset({HOME, BROWSE}),
+    4: frozenset({HOME, SEARCH}),
+    5: frozenset({BROWSE, SEARCH}),
+    6: frozenset({HOME, BROWSE, SEARCH}),
+    7: frozenset({HOME, SEARCH, BOOK}),
+    8: frozenset({BROWSE, SEARCH, BOOK}),
+    9: frozenset({HOME, BROWSE, SEARCH, BOOK}),
+    10: frozenset({HOME, SEARCH, BOOK, PAY}),
+    11: frozenset({BROWSE, SEARCH, BOOK, PAY}),
+    12: frozenset({HOME, BROWSE, SEARCH, BOOK, PAY}),
+}
+
+#: The paper's path-style labels for the twelve scenarios.
+PAPER_SCENARIO_LABELS: Dict[int, str] = {
+    1: "St-Ho-Ex",
+    2: "St-Br-Ex",
+    3: "St-{Ho-Br}*-Ex",
+    4: "St-Ho-Se-Ex",
+    5: "St-Br-Se-Ex",
+    6: "St-{Ho-Br}*-Se-Ex",
+    7: "St-Ho-{Se-Bo}*-Ex",
+    8: "St-Br-{Se-Bo}*-Ex",
+    9: "St-{Ho-Br}*-{Se-Bo}*-Ex",
+    10: "St-Ho-{Se-Bo}*-Pa-Ex",
+    11: "St-Br-{Se-Bo}*-Pa-Ex",
+    12: "St-{Ho-Br}*-{Se-Bo}*-Pa-Ex",
+}
+
+_CLASS_A_PERCENT = {
+    1: 10.0, 2: 26.7, 3: 11.3, 4: 18.4, 5: 12.2, 6: 7.6,
+    7: 3.0, 8: 2.0, 9: 1.3, 10: 3.6, 11: 2.4, 12: 1.5,
+}
+_CLASS_B_PERCENT = {
+    1: 10.0, 2: 6.6, 3: 4.2, 4: 13.9, 5: 20.4, 6: 9.7,
+    7: 4.7, 8: 6.9, 9: 3.3, 10: 6.4, 11: 9.4, 12: 4.5,
+}
+
+
+def _user_class(name: str, percents: Dict[int, float]) -> UserClass:
+    return UserClass.from_probabilities(
+        name,
+        {
+            SCENARIO_FUNCTION_SETS[i]: percents[i] / 100.0
+            for i in SCENARIO_FUNCTION_SETS
+        },
+    )
+
+
+#: Table 1 class A: mostly information seekers (~7.5% reach payment).
+CLASS_A: UserClass = _user_class("class A", _CLASS_A_PERCENT)
+
+#: Table 1 class B: buyers (~20% of sessions reach payment).
+CLASS_B: UserClass = _user_class("class B", _CLASS_B_PERCENT)
+
+#: Allowed transitions of the Fig. 2 operational-profile graph, used when
+#: calibrating transition probabilities from the published scenario mix.
+TA_PROFILE_EDGES: Tuple[Tuple[str, str], ...] = (
+    ("Start", HOME),
+    ("Start", BROWSE),
+    (HOME, BROWSE),
+    (HOME, SEARCH),
+    (HOME, "Exit"),
+    (BROWSE, HOME),
+    (BROWSE, SEARCH),
+    (BROWSE, "Exit"),
+    (SEARCH, BOOK),
+    (SEARCH, "Exit"),
+    (BOOK, SEARCH),
+    (BOOK, PAY),
+    (BOOK, "Exit"),
+    (PAY, "Exit"),
+)
+
+
+def scenario_category(scenario: Scenario) -> str:
+    """The paper's SC1-SC4 grouping of user scenarios (Fig. 13).
+
+    * ``"SC1"`` — Home/Browse only (scenarios 1-3);
+    * ``"SC2"`` — reaches Search but not Book (scenarios 4-6);
+    * ``"SC3"`` — reaches Book but not Pay (scenarios 7-9);
+    * ``"SC4"`` — reaches Pay (scenarios 10-12).
+    """
+    if PAY in scenario.functions:
+        return "SC4"
+    if BOOK in scenario.functions:
+        return "SC3"
+    if SEARCH in scenario.functions:
+        return "SC2"
+    return "SC1"

@@ -1,0 +1,147 @@
+"""Tests for the coverage farm models (paper Figs. 9 and 10, eqs. 4, 6-8)."""
+
+import math
+
+import pytest
+
+from repro.availability import ImperfectCoverageFarm, PerfectCoverageFarm
+from repro.errors import ValidationError
+
+
+class TestPerfectCoverage:
+    def test_equation_4_closed_form(self):
+        nw, lam, mu = 4, 1e-3, 1.0
+        farm = PerfectCoverageFarm(servers=nw, failure_rate=lam, repair_rate=mu)
+        probs = farm.state_probabilities()
+        ratio = mu / lam
+        pi0 = probs[0]
+        for i in range(nw + 1):
+            expected = pi0 * ratio**i / math.factorial(i)
+            assert probs[i] == pytest.approx(expected, rel=1e-12)
+
+    def test_distribution_normalized(self):
+        farm = PerfectCoverageFarm(servers=6, failure_rate=0.01, repair_rate=0.5)
+        assert sum(farm.state_probabilities().values()) == pytest.approx(1.0)
+
+    def test_single_server_is_two_state(self):
+        lam, mu = 1e-3, 1.0
+        farm = PerfectCoverageFarm(servers=1, failure_rate=lam, repair_rate=mu)
+        probs = farm.state_probabilities()
+        assert probs[1] == pytest.approx(mu / (lam + mu), abs=1e-14)
+
+    def test_closed_form_matches_ctmc(self):
+        farm = PerfectCoverageFarm(servers=5, failure_rate=0.02, repair_rate=0.8)
+        pi = farm.to_ctmc().steady_state()
+        probs = farm.state_probabilities()
+        for i in range(6):
+            assert pi[i] == pytest.approx(probs[i], abs=1e-14)
+
+    def test_all_down_probability_decreases_with_servers(self):
+        values = [
+            PerfectCoverageFarm(
+                servers=n, failure_rate=1e-2, repair_rate=1.0
+            ).all_down_probability()
+            for n in range(1, 8)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_accessors(self):
+        farm = PerfectCoverageFarm(servers=2, failure_rate=0.1, repair_rate=1.0)
+        probs = farm.state_probabilities()
+        assert farm.all_up_probability() == probs[2]
+        assert farm.all_down_probability() == probs[0]
+
+
+class TestImperfectCoverage:
+    def test_equations_6_to_8_closed_forms(self):
+        nw, lam, mu, c, beta = 4, 1e-4, 1.0, 0.98, 12.0
+        farm = ImperfectCoverageFarm(
+            servers=nw,
+            failure_rate=lam,
+            repair_rate=mu,
+            coverage=c,
+            reconfiguration_rate=beta,
+        )
+        operational, down = farm.state_probabilities()
+        ratio = mu / lam
+        pi0 = operational[0]
+        for i in range(nw + 1):
+            assert operational[i] == pytest.approx(
+                pi0 * ratio**i / math.factorial(i), rel=1e-12
+            )
+        # Eq. 7: Pi_{y_i} = mu (1-c) / beta * (1/(i-1)!) (mu/lam)^(i-1) Pi_0.
+        for i in range(1, nw + 1):
+            expected = (
+                mu
+                * (1 - c)
+                / beta
+                * ratio ** (i - 1)
+                / math.factorial(i - 1)
+                * pi0
+            )
+            assert down[i] == pytest.approx(expected, rel=1e-12)
+
+    def test_normalization(self):
+        farm = ImperfectCoverageFarm(
+            servers=5, failure_rate=0.01, repair_rate=1.0,
+            coverage=0.9, reconfiguration_rate=6.0,
+        )
+        operational, down = farm.state_probabilities()
+        assert sum(operational.values()) + sum(down.values()) == pytest.approx(1.0)
+
+    def test_closed_form_matches_ctmc(self):
+        farm = ImperfectCoverageFarm(
+            servers=4, failure_rate=1e-3, repair_rate=0.7,
+            coverage=0.95, reconfiguration_rate=10.0,
+        )
+        pi = farm.to_ctmc().steady_state()
+        operational, down = farm.state_probabilities()
+        for i in range(5):
+            assert pi[i] == pytest.approx(operational[i], rel=1e-10)
+        for i in range(1, 5):
+            assert pi[("y", i)] == pytest.approx(down[i], rel=1e-10)
+
+    def test_perfect_coverage_limit(self):
+        """At c = 1 the imperfect model degenerates to the perfect one."""
+        nw, lam, mu = 3, 1e-3, 1.0
+        imperfect = ImperfectCoverageFarm(
+            servers=nw, failure_rate=lam, repair_rate=mu,
+            coverage=1.0, reconfiguration_rate=12.0,
+        )
+        perfect = PerfectCoverageFarm(servers=nw, failure_rate=lam, repair_rate=mu)
+        operational, down = imperfect.state_probabilities()
+        assert sum(down.values()) == 0.0
+        expected = perfect.state_probabilities()
+        for i in range(nw + 1):
+            assert operational[i] == pytest.approx(expected[i], rel=1e-12)
+
+    def test_down_probability_grows_with_uncoverage(self):
+        def down_prob(c):
+            return ImperfectCoverageFarm(
+                servers=4, failure_rate=1e-3, repair_rate=1.0,
+                coverage=c, reconfiguration_rate=12.0,
+            ).down_state_probability()
+
+        values = [down_prob(c) for c in (0.999, 0.99, 0.9, 0.5)]
+        assert values == sorted(values)
+
+    def test_slower_reconfiguration_hurts(self):
+        def down_prob(beta):
+            return ImperfectCoverageFarm(
+                servers=4, failure_rate=1e-3, repair_rate=1.0,
+                coverage=0.95, reconfiguration_rate=beta,
+            ).down_state_probability()
+
+        assert down_prob(1.0) > down_prob(12.0) > down_prob(120.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ImperfectCoverageFarm(
+                servers=0, failure_rate=1e-3, repair_rate=1.0,
+                coverage=0.9, reconfiguration_rate=12.0,
+            )
+        with pytest.raises(ValidationError):
+            ImperfectCoverageFarm(
+                servers=2, failure_rate=1e-3, repair_rate=1.0,
+                coverage=1.5, reconfiguration_rate=12.0,
+            )

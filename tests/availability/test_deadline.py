@@ -1,0 +1,111 @@
+"""Tests for the deadline-aware availability extension (the paper's
+conclusion: also fail requests whose response time exceeds a threshold)."""
+
+import pytest
+
+from repro.availability import WebServiceModel
+from repro.errors import ValidationError
+
+
+def paper_model(**overrides):
+    config = dict(
+        servers=4,
+        arrival_rate=100.0,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=1e-4,
+        repair_rate=1.0,
+        coverage=0.98,
+        reconfiguration_rate=12.0,
+    )
+    config.update(overrides)
+    return WebServiceModel(**config)
+
+
+class TestDeadlineAvailability:
+    def test_infinite_deadline_recovers_base_measure(self):
+        model = paper_model()
+        assert model.deadline_availability(float("inf")) == pytest.approx(
+            model.availability(), abs=1e-12
+        )
+
+    def test_monotone_in_deadline(self):
+        model = paper_model()
+        deadlines = (0.005, 0.01, 0.02, 0.05, 0.2, 1.0)
+        values = [model.deadline_availability(d) for d in deadlines]
+        assert values == sorted(values)
+
+    def test_never_exceeds_base_availability(self):
+        model = paper_model()
+        base = model.availability()
+        for deadline in (0.01, 0.05, 0.5):
+            assert model.deadline_availability(deadline) <= base + 1e-12
+
+    def test_tight_deadline_collapses_availability(self):
+        model = paper_model()
+        # Mean service time is 10 ms; a 1 ms budget fails most requests.
+        assert model.deadline_availability(0.001) < 0.15
+
+    def test_generous_deadline_approaches_base(self):
+        model = paper_model()
+        assert model.deadline_availability(2.0) == pytest.approx(
+            model.availability(), abs=1e-6
+        )
+
+    def test_late_probability_consistency(self):
+        """deadline availability == manual combination over states."""
+        model = paper_model()
+        farm = model.farm()
+        operational, _ = farm.state_probabilities()
+        deadline = 0.03
+        manual = sum(
+            operational[i]
+            * (1.0 - model.blocking_probability(i))
+            * (1.0 - model.late_probability(i, deadline))
+            for i in range(1, 5)
+        )
+        assert model.deadline_availability(deadline) == pytest.approx(
+            manual, rel=1e-12
+        )
+
+    def test_perfect_coverage_variant(self):
+        model = paper_model(coverage=1.0, reconfiguration_rate=None)
+        assert model.deadline_availability(0.05) < model.availability()
+
+    def test_degraded_states_are_slower(self):
+        """Fewer operational servers -> higher late probability."""
+        model = paper_model()
+        deadline = 0.03
+        lates = [model.late_probability(i, deadline) for i in (1, 2, 3, 4)]
+        assert lates == sorted(lates, reverse=True)
+
+    def test_validation(self):
+        model = paper_model()
+        with pytest.raises(ValidationError):
+            model.deadline_availability(0.0)
+        with pytest.raises(ValidationError):
+            model.late_probability(0, 0.1)
+
+
+class TestDeadlineTradeoffs:
+    def test_more_servers_help_under_deadline(self):
+        """Extra capacity cuts queueing delay, so deadline availability
+        keeps improving with NW longer than the plain measure does."""
+        deadline = 0.02
+
+        def value(nw):
+            return paper_model(servers=nw).deadline_availability(deadline)
+
+        assert value(4) > value(2) > value(1)
+
+    def test_deadline_reshapes_optimum(self):
+        """Under a latency SLO the buffer is a liability: requests that
+        sit in a long buffer are served but late.  A tighter deadline
+        shifts blame from blocking to lateness."""
+        model = paper_model(servers=1, arrival_rate=95.0)
+        base = model.availability()
+        with_slo = model.deadline_availability(0.05)
+        # The plain measure only sees ~blocking; the SLO measure is
+        # strictly more pessimistic.
+        assert with_slo < base
+        assert base - with_slo > 0.1

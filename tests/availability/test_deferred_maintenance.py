@@ -1,0 +1,74 @@
+"""Tests for the deferred-maintenance option (paper Section 3.3)."""
+
+import pytest
+
+from repro.availability import RepairableGroup
+from repro.errors import ValidationError
+
+
+def group(threshold=1, **overrides):
+    config = dict(units=4, failure_rate=0.1, repair_rate=1.0, repairmen=2)
+    config.update(overrides)
+    return RepairableGroup(repair_threshold=threshold, **config)
+
+
+class TestDeferredMaintenance:
+    def test_threshold_one_is_immediate(self):
+        immediate = group(threshold=1)
+        baseline = RepairableGroup(units=4, failure_rate=0.1,
+                                   repair_rate=1.0, repairmen=2)
+        probs = immediate.state_probabilities()
+        expected = baseline.state_probabilities()
+        for i in range(5):
+            assert probs[i] == pytest.approx(expected[i], rel=1e-12)
+
+    def test_deferring_reduces_availability(self):
+        values = [group(threshold=t).availability(required=1)
+                  for t in (1, 2, 3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_states_become_unreachable(self):
+        deferred = group(threshold=2)
+        probs = deferred.state_probabilities()
+        # With repairs starting at 2 failures, the all-up state is never
+        # re-entered after the first failure.
+        assert probs[4] == 0.0
+        assert probs[3] > 0.5
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_kofn_requirement_suffers_more(self):
+        """Deferral barely hurts 1-of-4 service but badly hurts 3-of-4:
+        the group now *lives* one failure down."""
+        immediate = group(threshold=1)
+        deferred = group(threshold=2)
+        loss_loose = immediate.availability(1) - deferred.availability(1)
+        loss_tight = immediate.availability(4) - deferred.availability(4)
+        assert loss_tight > 100 * loss_loose
+
+    def test_expected_units_drop(self):
+        assert group(threshold=3).expected_operational_units() < (
+            group(threshold=1).expected_operational_units()
+        )
+
+    def test_ctmc_marks_top_states_transient(self):
+        from repro.errors import NotIrreducibleError
+
+        chain = group(threshold=2).to_ctmc()
+        with pytest.raises(NotIrreducibleError):
+            chain.steady_state()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValidationError):
+            group(threshold=5)
+        with pytest.raises(ValidationError):
+            group(threshold=0)
+
+    def test_mean_recovery_time_to_operational(self):
+        """First-passage sanity: from all-down, the deferred group still
+        recovers (repairs are active while failures exceed the
+        threshold)."""
+        from repro.markov import mean_first_passage_time
+
+        chain = group(threshold=2).to_ctmc()
+        recovery = mean_first_passage_time(chain, 0, [3])
+        assert 0.0 < recovery < 10.0

@@ -1,0 +1,73 @@
+"""Tests for the general repairable group model."""
+
+import pytest
+
+from repro.availability import PerfectCoverageFarm, RepairableGroup
+from repro.errors import ValidationError
+
+
+class TestRepairableGroup:
+    def test_shared_repair_matches_perfect_farm(self):
+        """With one repairman the group is exactly the Fig. 9 model."""
+        group = RepairableGroup(units=4, failure_rate=1e-3, repair_rate=1.0)
+        farm = PerfectCoverageFarm(servers=4, failure_rate=1e-3, repair_rate=1.0)
+        group_probs = group.state_probabilities()
+        farm_probs = farm.state_probabilities()
+        for i in range(5):
+            assert group_probs[i] == pytest.approx(farm_probs[i], rel=1e-12)
+
+    def test_dedicated_repair_is_binomial(self):
+        """With n repairmen the units are independent: binomial occupancy."""
+        import math
+
+        n, lam, mu = 3, 0.5, 1.0
+        group = RepairableGroup(units=n, failure_rate=lam, repair_rate=mu,
+                                repairmen=n)
+        a = mu / (lam + mu)
+        probs = group.state_probabilities()
+        for i in range(n + 1):
+            expected = math.comb(n, i) * a**i * (1 - a) ** (n - i)
+            assert probs[i] == pytest.approx(expected, rel=1e-10)
+
+    def test_more_repairmen_improve_availability(self):
+        results = [
+            RepairableGroup(
+                units=4, failure_rate=0.5, repair_rate=1.0, repairmen=r
+            ).availability()
+            for r in range(1, 5)
+        ]
+        assert results == sorted(results)
+
+    def test_kofn_requirement(self):
+        group = RepairableGroup(units=3, failure_rate=0.5, repair_rate=1.0,
+                                repairmen=3)
+        a1 = group.availability(required=1)
+        a2 = group.availability(required=2)
+        a3 = group.availability(required=3)
+        assert a1 > a2 > a3
+
+    def test_required_validation(self):
+        group = RepairableGroup(units=2, failure_rate=0.1, repair_rate=1.0)
+        with pytest.raises(ValidationError):
+            group.availability(required=3)
+        with pytest.raises(ValidationError):
+            group.availability(required=0)
+
+    def test_expected_operational_units(self):
+        group = RepairableGroup(units=2, failure_rate=1.0, repair_rate=1.0,
+                                repairmen=2)
+        # Independent units, each up half the time.
+        assert group.expected_operational_units() == pytest.approx(1.0)
+
+    def test_to_ctmc_consistent(self):
+        group = RepairableGroup(units=3, failure_rate=0.2, repair_rate=0.9,
+                                repairmen=2)
+        pi = group.to_ctmc().steady_state()
+        probs = group.state_probabilities()
+        for i in range(4):
+            assert pi[i] == pytest.approx(probs[i], rel=1e-12)
+
+    def test_repairmen_cannot_exceed_units(self):
+        with pytest.raises(ValidationError):
+            RepairableGroup(units=2, failure_rate=0.1, repair_rate=1.0,
+                            repairmen=3)

@@ -1,0 +1,74 @@
+"""Tests for the transient web-service availability extension."""
+
+import pytest
+
+from repro.availability import WebServiceModel
+from repro.errors import ValidationError
+
+
+def paper_model(**overrides):
+    config = dict(
+        servers=4,
+        arrival_rate=100.0,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=1e-4,
+        repair_rate=1.0,
+        coverage=0.98,
+        reconfiguration_rate=12.0,
+    )
+    config.update(overrides)
+    return WebServiceModel(**config)
+
+
+class TestTransientAvailability:
+    def test_at_time_zero_full_farm(self):
+        model = paper_model()
+        value = model.transient_availability(0.0)
+        # All four servers up: availability = 1 - pK(4).
+        assert value == pytest.approx(
+            1.0 - model.blocking_probability(4), abs=1e-12
+        )
+
+    def test_converges_to_steady_state(self):
+        model = paper_model(failure_rate=1e-2)
+        steady = model.availability()
+        assert model.transient_availability(5000.0) == pytest.approx(
+            steady, abs=1e-9
+        )
+
+    def test_recovery_ramp_from_one_server(self):
+        """Starting with one server, the measure climbs as repairs land."""
+        model = paper_model(failure_rate=1e-3)
+        values = [
+            model.transient_availability(t, initial_servers=1)
+            for t in (0.0, 0.5, 1.0, 2.0, 5.0, 20.0)
+        ]
+        assert values == sorted(values)
+        # At t = 0, one server at load 1 drops ~1/11 of requests.
+        assert values[0] == pytest.approx(
+            1.0 - model.blocking_probability(1), abs=1e-12
+        )
+        assert values[-1] == pytest.approx(model.availability(), rel=1e-3)
+
+    def test_degradation_from_full_farm(self):
+        """Starting from all-up, availability decays toward steady state."""
+        model = paper_model(failure_rate=0.05)
+        early = model.transient_availability(0.01)
+        late = model.transient_availability(200.0)
+        assert early > late
+        assert late == pytest.approx(model.availability(), rel=1e-6)
+
+    def test_initial_servers_validation(self):
+        model = paper_model()
+        with pytest.raises(ValidationError):
+            model.transient_availability(1.0, initial_servers=9)
+        with pytest.raises(ValidationError):
+            model.transient_availability(-1.0)
+
+    def test_start_all_down(self):
+        model = paper_model(failure_rate=1e-3)
+        value = model.transient_availability(0.0, initial_servers=0)
+        assert value == 0.0
+        # Repairs restore service over time.
+        assert model.transient_availability(3.0, initial_servers=0) > 0.8

@@ -1,0 +1,56 @@
+"""Tests for the two-state availability model."""
+
+import pytest
+
+from repro.availability import TwoStateAvailability
+from repro.errors import ValidationError
+
+
+class TestTwoState:
+    def test_steady_state_availability(self):
+        model = TwoStateAvailability(failure_rate=1e-3, repair_rate=1.0)
+        assert model.availability == pytest.approx(1.0 / 1.001)
+        assert model.availability + model.unavailability == pytest.approx(1.0)
+
+    def test_mttf_mttr(self):
+        model = TwoStateAvailability(failure_rate=0.25, repair_rate=2.0)
+        assert model.mttf == pytest.approx(4.0)
+        assert model.mttr == pytest.approx(0.5)
+
+    def test_from_availability_roundtrip(self):
+        model = TwoStateAvailability.from_availability(0.9966, repair_rate=2.0)
+        assert model.availability == pytest.approx(0.9966, abs=1e-12)
+        assert model.repair_rate == 2.0
+
+    def test_from_availability_rejects_extremes(self):
+        with pytest.raises(ValidationError):
+            TwoStateAvailability.from_availability(1.0)
+        with pytest.raises(ValidationError):
+            TwoStateAvailability.from_availability(0.0)
+
+    def test_to_ctmc_matches_closed_form(self):
+        model = TwoStateAvailability(failure_rate=0.1, repair_rate=0.7)
+        pi = model.to_ctmc().steady_state()
+        assert pi["up"] == pytest.approx(model.availability, abs=1e-14)
+
+    def test_transient_availability(self):
+        model = TwoStateAvailability(failure_rate=0.5, repair_rate=1.5)
+        assert model.transient_availability(0.0) == pytest.approx(1.0)
+        assert model.transient_availability(0.0, initially_up=False) == 0.0
+        assert model.transient_availability(1e9) == pytest.approx(
+            model.availability
+        )
+
+    def test_transient_matches_ctmc(self):
+        model = TwoStateAvailability(failure_rate=0.3, repair_rate=1.1)
+        t = 2.5
+        dist = model.to_ctmc().transient_distribution({"up": 1.0}, t)
+        assert model.transient_availability(t) == pytest.approx(
+            dist["up"], abs=1e-10
+        )
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValidationError):
+            TwoStateAvailability(failure_rate=0.0, repair_rate=1.0)
+        with pytest.raises(ValidationError):
+            TwoStateAvailability(failure_rate=1.0, repair_rate=-1.0)

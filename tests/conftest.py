@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ta import TAParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded random generator."""
+    return np.random.default_rng(20030625)  # DSN 2003 conference date
+
+
+@pytest.fixture
+def paper_params() -> TAParameters:
+    """The paper's Table 7 / Section 5.2 parameter set."""
+    return TAParameters()

@@ -1,0 +1,160 @@
+"""Tests for interaction diagrams."""
+
+import pytest
+
+from repro.core import InteractionDiagram
+from repro.errors import ModelStructureError, ValidationError
+
+
+def browse_like(q_cache=0.2, q_app=0.8, q_direct=0.4, q_db=0.6):
+    d = InteractionDiagram("browse")
+    d.add_node("cache", services=["web"])
+    d.add_node("app", services=["web", "application"])
+    d.add_node("db", services=["web", "application", "database"])
+    d.add_edge("Begin", "cache", q_cache)
+    d.add_edge("Begin", "app", q_app * q_direct)
+    d.add_edge("Begin", "db", q_app * q_db)
+    for node in ("cache", "app", "db"):
+        d.add_edge(node, "End")
+    return d
+
+
+class TestConstruction:
+    def test_reserved_names_rejected(self):
+        d = InteractionDiagram("f")
+        with pytest.raises(ValidationError, match="reserved"):
+            d.add_node("Begin")
+
+    def test_duplicate_node_rejected(self):
+        d = InteractionDiagram("f")
+        d.add_node("a")
+        with pytest.raises(ValidationError, match="already exists"):
+            d.add_node("a")
+
+    def test_edge_to_unknown_node(self):
+        d = InteractionDiagram("f")
+        with pytest.raises(ValidationError, match="unknown node"):
+            d.add_edge("Begin", "ghost")
+
+    def test_edge_out_of_end_rejected(self):
+        d = InteractionDiagram("f")
+        d.add_node("a")
+        with pytest.raises(ModelStructureError):
+            d.add_edge("End", "a")
+
+    def test_edge_into_begin_rejected(self):
+        d = InteractionDiagram("f")
+        d.add_node("a")
+        with pytest.raises(ModelStructureError):
+            d.add_edge("a", "Begin")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            InteractionDiagram("")
+
+
+class TestValidation:
+    def test_unnormalized_branching_rejected(self):
+        d = InteractionDiagram("f")
+        d.add_node("a")
+        d.add_edge("Begin", "a", 0.5)
+        d.add_edge("a", "End")
+        with pytest.raises(ModelStructureError, match="sum"):
+            d.validate()
+
+    def test_dead_end_rejected(self):
+        d = InteractionDiagram("f")
+        d.add_node("a")
+        d.add_node("trap")
+        d.add_edge("Begin", "a", 0.5)
+        d.add_edge("Begin", "trap", 0.5)
+        d.add_edge("a", "End")
+        with pytest.raises(ModelStructureError, match="dead end"):
+            d.validate()
+
+    def test_cycle_rejected(self):
+        d = InteractionDiagram("f")
+        d.add_node("a")
+        d.add_node("b")
+        d.add_edge("Begin", "a")
+        d.add_edge("a", "b", 0.5)
+        d.add_edge("a", "End", 0.5)
+        d.add_edge("b", "a")
+        with pytest.raises(ModelStructureError, match="cycle"):
+            d.validate()
+
+    def test_missing_begin_edges_rejected(self):
+        d = InteractionDiagram("f")
+        with pytest.raises(ModelStructureError, match="Begin"):
+            d.validate()
+
+
+class TestScenarios:
+    def test_three_browse_scenarios(self):
+        scenarios = browse_like().scenarios()
+        assert len(scenarios) == 3
+        assert sum(s.probability for s in scenarios) == pytest.approx(1.0)
+
+    def test_service_sets(self):
+        usage = browse_like().service_usage_distribution()
+        assert usage[frozenset({"web"})] == pytest.approx(0.2)
+        assert usage[frozenset({"web", "application"})] == pytest.approx(0.32)
+        assert usage[frozenset({"web", "application", "database"})] == (
+            pytest.approx(0.48)
+        )
+
+    def test_scenarios_with_same_services_merge(self):
+        d = InteractionDiagram("f")
+        d.add_node("a", services=["s"])
+        d.add_node("b", services=["s"])
+        d.add_edge("Begin", "a", 0.5)
+        d.add_edge("Begin", "b", 0.5)
+        d.add_edge("a", "End")
+        d.add_edge("b", "End")
+        assert len(d.scenarios()) == 2
+        assert d.service_usage_distribution() == {frozenset({"s"}): pytest.approx(1.0)}
+
+    def test_zero_probability_branch_skipped(self):
+        d = InteractionDiagram("f")
+        d.add_node("a", services=["s"])
+        d.add_node("never", services=["t"])
+        d.add_edge("Begin", "a", 1.0)
+        d.add_edge("Begin", "never", 0.0)
+        d.add_edge("a", "End")
+        d.add_edge("never", "End")
+        # "never" is unreachable in practice but must not break validation
+        # of outgoing sums (Begin sums to 1.0).
+        assert d.all_services() == frozenset({"s", "t"})
+        usage = d.service_usage_distribution()
+        assert frozenset({"t"}) not in usage
+
+
+class TestAvailability:
+    def test_paper_browse_equation(self):
+        """A(Browse)/A(WS) = q23 + A_AS (q24 q45 + q24 q47 A_DS)."""
+        d = browse_like()
+        a_ws, a_as, a_ds = 0.999, 0.99, 0.98
+        expected = a_ws * (0.2 + a_as * (0.32 + 0.48 * a_ds))
+        value = d.availability(
+            {"web": a_ws, "application": a_as, "database": a_ds}
+        )
+        assert value == pytest.approx(expected, rel=1e-12)
+
+    def test_perfect_services_give_one(self):
+        d = browse_like()
+        assert d.availability(
+            {"web": 1.0, "application": 1.0, "database": 1.0}
+        ) == pytest.approx(1.0)
+
+    def test_missing_service_raises(self):
+        d = browse_like()
+        with pytest.raises(ValidationError, match="no availability"):
+            d.availability({"web": 1.0})
+
+    def test_and_split_multiplies_all(self):
+        d = InteractionDiagram("search")
+        d.add_node("fan", services=["flight", "hotel", "car"])
+        d.add_edge("Begin", "fan")
+        d.add_edge("fan", "End")
+        value = d.availability({"flight": 0.9, "hotel": 0.8, "car": 0.7})
+        assert value == pytest.approx(0.9 * 0.8 * 0.7)

@@ -1,0 +1,100 @@
+"""Tests for resource/service/function level entities."""
+
+import pytest
+
+from repro.availability import TwoStateAvailability, WebServiceModel
+from repro.core import Function, InteractionDiagram, Resource, Service
+from repro.errors import ValidationError
+from repro.rbd import parallel, series
+
+
+class TestResource:
+    def test_float_model(self):
+        assert Resource("lan", 0.9966).availability() == 0.9966
+
+    def test_attribute_model(self):
+        model = TwoStateAvailability(failure_rate=1e-3, repair_rate=1.0)
+        resource = Resource("host", model)
+        assert resource.availability() == pytest.approx(model.availability)
+
+    def test_method_model(self):
+        web = WebServiceModel(
+            servers=1, arrival_rate=50.0, service_rate=100.0,
+            buffer_capacity=10, failure_rate=1e-3, repair_rate=1.0,
+        )
+        resource = Resource("web", web)
+        assert resource.availability() == pytest.approx(web.availability())
+
+    def test_callable_model(self):
+        assert Resource("x", lambda: 0.5).availability() == 0.5
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            Resource("x", 1.2)
+
+    def test_unusable_model_rejected_eagerly(self):
+        with pytest.raises(ValidationError):
+            Resource("x", object())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Resource("", 0.5)
+
+
+class TestService:
+    def test_single_resource_service(self):
+        service = Service("net", "internet-link")
+        assert service.resource_names() == ("internet-link",)
+        assert service.availability({"internet-link": 0.9966}) == 0.9966
+
+    def test_rbd_service(self):
+        service = Service("flight", parallel("f1", "f2"))
+        assert service.availability({"f1": 0.9, "f2": 0.9}) == pytest.approx(0.99)
+
+    def test_resource_names_deduped(self):
+        service = Service("s", series("a", parallel("a", "b")))
+        assert service.resource_names() == ("a", "b")
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(ValidationError):
+            Service("s", 42)
+
+
+class TestFunction:
+    def test_series_shortcut(self):
+        fn = Function("search", services=["web", "db"])
+        assert fn.availability({"web": 0.9, "db": 0.9}) == pytest.approx(0.81)
+        assert fn.service_names() == frozenset({"web", "db"})
+
+    def test_diagram_function(self):
+        d = InteractionDiagram("browse")
+        d.add_node("hit", services=["web"])
+        d.add_edge("Begin", "hit")
+        d.add_edge("hit", "End")
+        fn = Function("browse", diagram=d)
+        assert fn.availability({"web": 0.9}) == pytest.approx(0.9)
+        assert fn.service_usage_distribution() == {
+            frozenset({"web"}): pytest.approx(1.0)
+        }
+
+    def test_diagram_and_services_mutually_exclusive(self):
+        d = InteractionDiagram("f")
+        d.add_node("a", services=["s"])
+        d.add_edge("Begin", "a")
+        d.add_edge("a", "End")
+        with pytest.raises(ValidationError, match="not both"):
+            Function("f", diagram=d, services=["s"])
+
+    def test_needs_something(self):
+        with pytest.raises(ValidationError):
+            Function("f")
+
+    def test_missing_service_availability(self):
+        fn = Function("f", services=["web"])
+        with pytest.raises(ValidationError, match="no availability"):
+            fn.availability({})
+
+    def test_invalid_diagram_rejected_eagerly(self):
+        d = InteractionDiagram("f")  # no edges: invalid
+        with pytest.raises(Exception):
+            Function("f", diagram=d)

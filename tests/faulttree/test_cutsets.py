@@ -1,0 +1,76 @@
+"""Tests for minimal cut sets."""
+
+import pytest
+
+from repro.faulttree import (
+    AndGate,
+    BasicEvent,
+    KofNGate,
+    OrGate,
+    from_rbd,
+    minimal_cut_sets,
+)
+
+
+class TestMinimalCutSets:
+    def test_single_event(self):
+        assert minimal_cut_sets(BasicEvent("a")) == (frozenset({"a"}),)
+
+    def test_or_of_ands(self):
+        tree = OrGate(
+            BasicEvent("lan"),
+            AndGate(BasicEvent("f1"), BasicEvent("f2")),
+        )
+        cut_sets = minimal_cut_sets(tree)
+        assert frozenset({"lan"}) in cut_sets
+        assert frozenset({"f1", "f2"}) in cut_sets
+        assert len(cut_sets) == 2
+
+    def test_ordering_smallest_first(self):
+        tree = OrGate(
+            AndGate(BasicEvent("a"), BasicEvent("b"), BasicEvent("c")),
+            BasicEvent("d"),
+            AndGate(BasicEvent("e"), BasicEvent("f")),
+        )
+        sizes = [len(cs) for cs in minimal_cut_sets(tree)]
+        assert sizes == sorted(sizes)
+
+    def test_non_minimal_sets_removed(self):
+        # {a} subsumes {a, b}.
+        tree = OrGate(BasicEvent("a"), AndGate(BasicEvent("a"), BasicEvent("b")))
+        assert minimal_cut_sets(tree) == (frozenset({"a"}),)
+
+    def test_kofn_expansion(self):
+        tree = KofNGate(2, BasicEvent("a"), BasicEvent("b"), BasicEvent("c"))
+        cut_sets = minimal_cut_sets(tree)
+        assert set(cut_sets) == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_ta_search_function_cut_sets(self):
+        """The Search function's single points of failure are visible."""
+        from repro.rbd import parallel, series
+
+        search = series(
+            "net",
+            "lan",
+            "web",
+            parallel("f1", "f2"),
+            parallel("h1", "h2"),
+        )
+        cut_sets = minimal_cut_sets(from_rbd(search))
+        singletons = {next(iter(cs)) for cs in cut_sets if len(cs) == 1}
+        assert singletons == {"net", "lan", "web"}
+        assert frozenset({"f1", "f2"}) in cut_sets
+
+    def test_duplicated_event_across_branches(self):
+        tree = AndGate(
+            OrGate(BasicEvent("x"), BasicEvent("a")),
+            OrGate(BasicEvent("x"), BasicEvent("b")),
+        )
+        cut_sets = minimal_cut_sets(tree)
+        assert frozenset({"x"}) in cut_sets
+        assert frozenset({"a", "b"}) in cut_sets
+        assert len(cut_sets) == 2

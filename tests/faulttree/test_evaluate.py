@@ -1,0 +1,91 @@
+"""Tests for fault-tree evaluation and the RBD duality."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faulttree import (
+    AndGate,
+    BasicEvent,
+    OrGate,
+    from_rbd,
+    top_event_probability,
+)
+from repro.rbd import Component, k_of_n, parallel, series, system_availability
+
+
+class TestTopEventProbability:
+    def test_simple_and(self):
+        tree = AndGate(BasicEvent("a"), BasicEvent("b"))
+        assert top_event_probability(tree, {"a": 0.5, "b": 0.5}) == pytest.approx(
+            0.25
+        )
+
+    def test_uses_event_defaults(self):
+        tree = OrGate(BasicEvent("a", 0.1), BasicEvent("b", 0.2))
+        assert top_event_probability(tree) == pytest.approx(0.28)
+
+    def test_shared_event_exact(self):
+        # "x" feeds two AND branches of an OR: naive evaluation
+        # double-counts its randomness.
+        tree = OrGate(
+            AndGate(BasicEvent("x"), BasicEvent("a")),
+            AndGate(BasicEvent("x"), BasicEvent("b")),
+        )
+        probs = {"x": 0.5, "a": 0.5, "b": 0.5}
+        # Exact: P(x and (a or b)) = 0.5 * 0.75 = 0.375.
+        assert top_event_probability(tree, probs) == pytest.approx(0.375)
+
+    def test_missing_probability(self):
+        with pytest.raises(ValidationError):
+            top_event_probability(AndGate(BasicEvent("a")), {})
+
+
+class TestRBDDuality:
+    @pytest.mark.parametrize(
+        "block",
+        [
+            series("a", "b", "c"),
+            parallel("a", "b", "c"),
+            series("a", parallel("b", "c")),
+            parallel(series("a", "b"), series("c", "d")),
+            k_of_n(2, ["a", "b", "c", "d"]),
+            series("lan", k_of_n(2, ["a", "b", "c"]), parallel("d", "e")),
+        ],
+    )
+    def test_failure_probability_complements_availability(self, block):
+        names = sorted(set(block.component_names()))
+        avail = {name: 0.6 + 0.05 * i for i, name in enumerate(names)}
+        tree = from_rbd(block)
+        failure = top_event_probability(
+            tree, {name: 1.0 - a for name, a in avail.items()}
+        )
+        assert failure == pytest.approx(
+            1.0 - system_availability(block, avail), abs=1e-12
+        )
+
+    def test_default_probabilities_carried_over(self):
+        block = series(Component("a", availability=0.9))
+        tree = from_rbd(block)
+        assert top_event_probability(tree) == pytest.approx(0.1)
+
+    def test_shared_components_stay_exact(self):
+        block = parallel(series("x", "a"), series("x", "b"))
+        avail = {"x": 0.9, "a": 0.8, "b": 0.7}
+        tree = from_rbd(block)
+        failure = top_event_probability(
+            tree, {k: 1.0 - v for k, v in avail.items()}
+        )
+        assert failure == pytest.approx(1.0 - system_availability(block, avail))
+
+    def test_boolean_duality_exhaustive(self):
+        from repro.rbd import structure_function
+
+        block = series("a", parallel("b", k_of_n(2, ["c", "d", "e"])))
+        tree = from_rbd(block)
+        names = sorted(set(block.component_names()))
+        for states in itertools.product([False, True], repeat=len(names)):
+            up = dict(zip(names, states))
+            failed = {n: not s for n, s in up.items()}
+            assert tree._occurs(failed) == (not structure_function(block, up))

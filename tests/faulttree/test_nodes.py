@@ -1,0 +1,75 @@
+"""Tests for fault-tree node types."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faulttree import AndGate, BasicEvent, KofNGate, OrGate
+
+
+class TestBasicEvent:
+    def test_default_probability_validated(self):
+        with pytest.raises(ValidationError):
+            BasicEvent("e", probability=-0.1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            BasicEvent("")
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(ValidationError, match="no probability"):
+            BasicEvent("e")._probability({})
+
+    def test_missing_state_raises(self):
+        with pytest.raises(ValidationError, match="no state"):
+            BasicEvent("e")._occurs({})
+
+
+class TestGates:
+    def test_and_gate_product(self):
+        gate = AndGate(BasicEvent("a"), BasicEvent("b"))
+        assert gate._probability({"a": 0.1, "b": 0.2}) == pytest.approx(0.02)
+
+    def test_or_gate_complement(self):
+        gate = OrGate(BasicEvent("a"), BasicEvent("b"))
+        assert gate._probability({"a": 0.1, "b": 0.2}) == pytest.approx(0.28)
+
+    def test_nested_gates_flatten(self):
+        gate = OrGate(OrGate(BasicEvent("a"), BasicEvent("b")), BasicEvent("c"))
+        assert len(gate.children) == 3
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(ValidationError):
+            AndGate()
+
+    def test_non_node_child_rejected(self):
+        with pytest.raises(ValidationError):
+            OrGate("not a node")
+
+    def test_boolean_semantics(self):
+        gate = AndGate(BasicEvent("a"), OrGate(BasicEvent("b"), BasicEvent("c")))
+        assert gate._occurs({"a": True, "b": False, "c": True})
+        assert not gate._occurs({"a": False, "b": True, "c": True})
+
+
+class TestKofNGate:
+    def test_two_of_three(self):
+        gate = KofNGate(2, BasicEvent("a"), BasicEvent("b"), BasicEvent("c"))
+        probs = {"a": 0.1, "b": 0.1, "c": 0.1}
+        # exactly two: 3 * 0.01 * 0.9; all three: 0.001
+        assert gate._probability(probs) == pytest.approx(0.028)
+
+    def test_k_validation(self):
+        with pytest.raises(ValidationError):
+            KofNGate(3, BasicEvent("a"), BasicEvent("b"))
+
+    def test_one_of_n_is_or(self):
+        events = [BasicEvent(c) for c in "abc"]
+        probs = {"a": 0.2, "b": 0.3, "c": 0.4}
+        assert KofNGate(1, *events)._probability(probs) == pytest.approx(
+            OrGate(*events)._probability(probs)
+        )
+
+    def test_boolean_semantics(self):
+        gate = KofNGate(2, BasicEvent("a"), BasicEvent("b"), BasicEvent("c"))
+        assert gate._occurs({"a": True, "b": True, "c": False})
+        assert not gate._occurs({"a": True, "b": False, "c": False})

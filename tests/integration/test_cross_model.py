@@ -1,0 +1,151 @@
+"""Cross-model integration tests.
+
+The same systems are modeled through several independent routes — closed
+forms, the generic CTMC solver, reliability block diagrams, fault trees,
+stochastic Petri nets, the hierarchical engine and Monte-Carlo
+simulation — and the answers must agree.  Any transcription error in one
+layer breaks one of these equalities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.availability import ImperfectCoverageFarm, WebServiceModel
+from repro.faulttree import from_rbd, top_event_probability
+from repro.markov import MarkovRewardModel
+from repro.rbd import parallel, series, system_availability
+from repro.spn import SPNAnalysis, StochasticPetriNet
+from repro.ta import CLASS_A, CLASS_B, TAParameters, TravelAgencyModel
+
+
+class TestSearchFunctionFourWays:
+    """The TA Search function evaluated via RBD, fault tree and engine."""
+
+    @pytest.fixture(scope="class")
+    def pieces(self):
+        params = TAParameters()
+        ta = TravelAgencyModel(params)
+        services = ta.service_availabilities()
+        block = series("net", "lan", "web", "application", "database",
+                       "flight", "hotel", "car")
+        return ta, services, block
+
+    def test_rbd_matches_engine(self, pieces):
+        ta, services, block = pieces
+        rbd_value = system_availability(block, services)
+        assert ta.hierarchical_model.function_availability("search") == (
+            pytest.approx(rbd_value, rel=1e-12)
+        )
+
+    def test_fault_tree_matches_rbd(self, pieces):
+        _, services, block = pieces
+        tree = from_rbd(block)
+        failure = top_event_probability(
+            tree, {k: 1 - v for k, v in services.items()}
+        )
+        assert failure == pytest.approx(
+            1 - system_availability(block, services), abs=1e-12
+        )
+
+
+class TestFarmFourWays:
+    """The Fig. 10 farm via closed forms, CTMC, SPN and simulation."""
+
+    CONFIG = dict(
+        servers=3, failure_rate=0.02, repair_rate=1.0,
+        coverage=0.95, reconfiguration_rate=6.0,
+    )
+
+    @pytest.fixture(scope="class")
+    def farm(self):
+        return ImperfectCoverageFarm(**self.CONFIG)
+
+    def test_closed_form_vs_ctmc(self, farm):
+        operational, down = farm.state_probabilities()
+        pi = farm.to_ctmc().steady_state()
+        for i in operational:
+            assert operational[i] == pytest.approx(pi[i], rel=1e-10)
+
+    def test_closed_form_vs_spn(self, farm):
+        cfg = self.CONFIG
+        net = StochasticPetriNet("farm")
+        net.add_place("up", tokens=cfg["servers"])
+        net.add_place("failed")
+        net.add_place("manual")
+        net.add_timed_transition(
+            "covered",
+            rate_function=lambda m: m["up"] * cfg["coverage"] * cfg["failure_rate"],
+        )
+        net.add_input_arc("up", "covered")
+        net.add_output_arc("covered", "failed")
+        net.add_timed_transition(
+            "uncovered",
+            rate_function=lambda m: m["up"]
+            * (1 - cfg["coverage"])
+            * cfg["failure_rate"],
+        )
+        net.add_input_arc("up", "uncovered")
+        net.add_output_arc("uncovered", "manual")
+        net.add_timed_transition("reconfigure", rate=cfg["reconfiguration_rate"])
+        net.add_input_arc("manual", "reconfigure")
+        net.add_output_arc("reconfigure", "failed")
+        net.add_timed_transition("repair", rate=cfg["repair_rate"])
+        net.add_input_arc("failed", "repair")
+        net.add_output_arc("repair", "up")
+        for blocked in ("repair", "covered", "uncovered"):
+            net.add_inhibitor_arc("manual", blocked)
+        analysis = SPNAnalysis(net)
+        assert analysis.probability(
+            lambda m: m["up"] == 0 or m["manual"] > 0
+        ) == pytest.approx(farm.down_state_probability(), rel=1e-9)
+
+    def test_closed_form_vs_simulation(self, farm, rng):
+        from repro.sim import simulate_ctmc_occupancy
+
+        occupancy = simulate_ctmc_occupancy(
+            farm.to_ctmc(), self.CONFIG["servers"], 150_000.0, rng
+        )
+        operational, _ = farm.state_probabilities()
+        assert occupancy[3] == pytest.approx(operational[3], abs=0.01)
+
+
+class TestUserAvailabilityThreeWays:
+    def test_engine_closed_form_and_simulation_agree(self, rng):
+        ta = TravelAgencyModel()
+        for users in (CLASS_A, CLASS_B):
+            engine = ta.user_availability(users).availability
+            closed = ta.closed_form_user_availability(users)
+            assert engine == pytest.approx(closed, abs=1e-14)
+        from repro.sim import estimate_user_availability
+
+        monte_carlo = estimate_user_availability(
+            ta.hierarchical_model, CLASS_A, sessions=30_000, rng=rng
+        )
+        assert monte_carlo == pytest.approx(
+            ta.user_availability(CLASS_A).availability, abs=0.005
+        )
+
+
+class TestWebServiceThreeWays:
+    def test_composite_reward_and_queue_agreement(self):
+        model = WebServiceModel(
+            servers=4, arrival_rate=100.0, service_rate=100.0,
+            buffer_capacity=10, failure_rate=1e-4, repair_rate=1.0,
+            coverage=0.98, reconfiguration_rate=12.0,
+        )
+        # Route 1: the loss-breakdown combination (eq. 9).
+        direct = model.availability()
+        # Route 2: the generic Markov reward model.
+        reward = model.reward_model().steady_state_reward()
+        # Route 3: manual combination from the raw pieces.
+        farm = model.farm()
+        operational, down = farm.state_probabilities()
+        from repro.queueing import mmck_blocking_probability
+
+        manual = sum(
+            operational[i]
+            * (1.0 - mmck_blocking_probability(1.0, i, 10))
+            for i in range(1, 5)
+        )
+        assert direct == pytest.approx(reward, abs=1e-14)
+        assert direct == pytest.approx(manual, abs=1e-12)

@@ -1,0 +1,127 @@
+"""Failure-injection integration tests.
+
+Force individual resources/services to total failure or perfection and
+check that the whole hierarchy responds exactly as the model structure
+dictates — single points of failure zero the system, redundant elements
+degrade it gracefully, and irrelevant elements change nothing.
+"""
+
+import pytest
+
+from repro.core import HierarchicalModel
+from repro.profiles import UserClass
+from repro.rbd import parallel
+from repro.ta import CLASS_A, CLASS_B, TAParameters, TravelAgencyModel
+
+
+def ta_with(**param_changes):
+    return TravelAgencyModel(TAParameters().replace(**param_changes))
+
+
+class TestSinglePointsOfFailure:
+    def test_dead_lan_kills_everything(self):
+        model = ta_with(lan_availability=1e-12)
+        result = model.user_availability(CLASS_A)
+        assert result.availability < 1e-10
+        for name, value in model.function_availabilities().items():
+            assert value < 1e-10, name
+
+    def test_dead_internet_kills_everything(self):
+        model = ta_with(internet_availability=1e-12)
+        assert model.user_availability(CLASS_B).availability < 1e-10
+
+    def test_dead_payment_only_kills_pay_scenarios(self):
+        healthy = TravelAgencyModel()
+        broken = ta_with(payment_availability=1e-12)
+        healthy_result = healthy.user_availability(CLASS_B)
+        broken_result = broken.user_availability(CLASS_B)
+        # Only the SC4 mass (0.203) can be lost.
+        lost = healthy_result.availability - broken_result.availability
+        sc4_mass = 0.203
+        assert 0.0 < lost < sc4_mass
+        # Pay function itself is dead; the others are untouched.
+        assert broken.function_availabilities()["pay"] < 1e-10
+        assert broken.function_availabilities()["home"] == pytest.approx(
+            healthy.function_availabilities()["home"]
+        )
+
+
+class TestRedundancyDegradation:
+    def test_one_dead_reservation_system_is_absorbed(self):
+        """With N = 5 systems per item, one dead system barely matters."""
+        healthy = TravelAgencyModel()
+
+        # Rebuild with one flight system dead via the generic engine.
+        model = healthy.hierarchical_model
+        services = model.service_availabilities()
+        degraded = dict(services)
+        # A(flight) with 4 live systems instead of 5:
+        degraded["flight"] = 1.0 - (1.0 - 0.9) ** 4
+        base = healthy.user_availability(CLASS_A).availability
+        weakened = sum(
+            s.probability
+            * model.scenario_availability(s.functions, degraded)
+            for s in CLASS_A.scenarios
+        )
+        assert weakened < base
+        # A(flight) drops by 9e-5 (1-of-5 -> 1-of-4), weighted by the
+        # ~52% of sessions that touch the backend.
+        assert base - weakened < 1e-4
+
+    def test_all_reservation_systems_dead_kills_search(self):
+        model = ta_with(reservation_availability=1e-12)
+        functions = model.function_availabilities()
+        assert functions["search"] < 1e-10
+        assert functions["home"] > 0.9
+        # Users still complete SC1 scenarios.
+        result = model.user_availability(CLASS_A)
+        sc1_mass = 0.48
+        assert 0.3 < result.availability < sc1_mass + 0.1
+
+    def test_database_disk_mirroring_matters(self):
+        mirrored = TravelAgencyModel()  # redundant: two mirrored disks
+        fragile = ta_with(disk_availability=0.5)
+        # Even at 50% disk availability, mirroring keeps A(DS) at ~0.75.
+        assert fragile.service_availabilities()["database"] == pytest.approx(
+            (1 - 0.004**2) * (1 - 0.25), rel=1e-6
+        )
+        assert fragile.user_availability(CLASS_A).availability < (
+            mirrored.user_availability(CLASS_A).availability
+        )
+
+
+class TestPerfection:
+    def test_perfect_services_leave_only_profile_mass(self):
+        """With every availability forced to 1, users see 1.0."""
+        model = HierarchicalModel()
+        model.add_resource("r", 1.0)
+        model.add_service("s", "r")
+        model.add_function("f", services=["s"])
+        users = UserClass.from_probabilities("all", {frozenset({"f"}): 1.0})
+        assert model.user_availability(users).availability == 1.0
+
+    def test_upper_bound_is_common_services(self):
+        """No scenario can beat A_net * A_LAN * A(WS)."""
+        ta = TravelAgencyModel()
+        services = ta.service_availabilities()
+        cap = services["net"] * services["lan"] * services["web"]
+        result = ta.user_availability(CLASS_A)
+        for item in result.per_scenario:
+            assert item.availability <= cap + 1e-12
+
+
+class TestImportanceUnderInjection:
+    def test_importance_of_dead_service_is_unchanged_slope(self):
+        """Birnbaum importance is availability-independent for the LAN
+        (it multiplies every scenario), so injection doesn't change it."""
+        healthy = TravelAgencyModel()
+        degraded = ta_with(lan_availability=0.5)
+        imp_healthy = healthy.service_importance(CLASS_A)["lan"]
+        imp_degraded = degraded.service_importance(CLASS_A)["lan"]
+        assert imp_healthy == pytest.approx(imp_degraded, rel=1e-9)
+
+    def test_payment_importance_scales_with_buyer_share(self):
+        ta = TravelAgencyModel()
+        imp_a = ta.service_importance(CLASS_A)["payment"]
+        imp_b = ta.service_importance(CLASS_B)["payment"]
+        assert imp_b / imp_a == pytest.approx(0.203 / 0.075, rel=1e-6)

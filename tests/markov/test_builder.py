@@ -1,0 +1,79 @@
+"""Tests for repro.markov.builder."""
+
+import pytest
+
+from repro.errors import ModelStructureError, ValidationError
+from repro.markov import CTMCBuilder, birth_death_chain
+
+
+class TestCTMCBuilder:
+    def test_builds_two_state_chain(self):
+        chain = (
+            CTMCBuilder()
+            .add_transition("up", "down", 1e-3)
+            .add_transition("down", "up", 0.5)
+            .build()
+        )
+        assert chain.states == ("up", "down")
+        assert chain.rate("up", "down") == pytest.approx(1e-3)
+
+    def test_rates_accumulate(self):
+        builder = CTMCBuilder()
+        builder.add_transition("a", "b", 1.0)
+        builder.add_transition("a", "b", 0.5)
+        assert builder.build().rate("a", "b") == pytest.approx(1.5)
+
+    def test_state_registration_order_preserved(self):
+        builder = CTMCBuilder()
+        builder.add_state("z")
+        builder.add_transition("a", "z", 1.0)
+        builder.add_transition("z", "a", 1.0)
+        assert builder.build().states == ("z", "a")
+
+    def test_add_state_idempotent(self):
+        builder = CTMCBuilder()
+        builder.add_state("a").add_state("a")
+        assert builder.states == ("a",)
+
+    def test_rejects_self_transition(self):
+        with pytest.raises(ValidationError, match="self-transition"):
+            CTMCBuilder().add_transition("a", "a", 1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValidationError):
+            CTMCBuilder().add_transition("a", "b", 0.0)
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ModelStructureError):
+            CTMCBuilder().build()
+
+
+class TestBirthDeathChain:
+    def test_builds_expected_rates(self):
+        chain = birth_death_chain([2.0, 2.0], [3.0, 6.0])
+        assert chain.states == (0, 1, 2)
+        assert chain.rate(0, 1) == 2.0
+        assert chain.rate(2, 1) == 6.0
+
+    def test_steady_state_product_form(self):
+        chain = birth_death_chain([1.0, 1.0], [2.0, 2.0])
+        pi = chain.steady_state()
+        total = 1 + 0.5 + 0.25
+        assert pi[0] == pytest.approx(1 / total)
+        assert pi[2] == pytest.approx(0.25 / total)
+
+    def test_custom_labels(self):
+        chain = birth_death_chain([1.0], [1.0], states=["empty", "full"])
+        assert chain.states == ("empty", "full")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="equal length"):
+            birth_death_chain([1.0, 1.0], [1.0])
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="state labels"):
+            birth_death_chain([1.0], [1.0], states=["only-one"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            birth_death_chain([], [])

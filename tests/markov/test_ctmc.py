@@ -1,0 +1,170 @@
+"""Tests for repro.markov.ctmc."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelStructureError, ValidationError
+from repro.markov import CTMC
+
+
+@pytest.fixture
+def component():
+    lam, mu = 1e-3, 0.5
+    return CTMC(["up", "down"], [[-lam, lam], [mu, -mu]])
+
+
+@pytest.fixture
+def mm1_truncated():
+    """An M/M/1/2 queue as a CTMC (states 0, 1, 2)."""
+    lam, mu = 1.0, 2.0
+    return CTMC.from_rates(
+        {(0, 1): lam, (1, 2): lam, (1, 0): mu, (2, 1): mu}
+    )
+
+
+class TestConstruction:
+    def test_from_rates_builds_diagonal(self, mm1_truncated):
+        q = mm1_truncated.generator
+        assert np.allclose(q.sum(axis=1), 0.0)
+        assert mm1_truncated.rate(0, 1) == 1.0
+
+    def test_from_rates_rejects_self_loop(self):
+        with pytest.raises(ValidationError, match="self-transition"):
+            CTMC.from_rates({("a", "a"): 1.0})
+
+    def test_from_rates_accumulates(self):
+        chain = CTMC.from_rates({("a", "b"): 1.0})
+        other = CTMC.from_rates({("a", "b"): 0.4, ("b", "a"): 1.0})
+        assert other.rate("a", "b") == pytest.approx(0.4)
+        assert chain.states == ("a", "b")
+
+    def test_explicit_states_allow_absorbing(self):
+        chain = CTMC.from_rates({("a", "b"): 1.0}, states=["a", "b", "c"])
+        assert chain.absorbing_states() == ("b", "c")
+
+    def test_rejects_bad_generator(self):
+        with pytest.raises(ValidationError):
+            CTMC(["a", "b"], [[-1.0, 2.0], [1.0, -1.0]])
+
+    def test_rejects_duplicate_states(self):
+        with pytest.raises(ValidationError, match="distinct"):
+            CTMC(["a", "a"], np.zeros((2, 2)))
+
+
+class TestAccessors:
+    def test_exit_rate_and_holding_time(self, component):
+        assert component.exit_rate("up") == pytest.approx(1e-3)
+        assert component.holding_time("up") == pytest.approx(1000.0)
+
+    def test_holding_time_absorbing_is_inf(self):
+        chain = CTMC.from_rates({("a", "b"): 1.0}, states=["a", "b"])
+        assert chain.holding_time("b") == float("inf")
+
+    def test_rate_diagonal_rejected(self, component):
+        with pytest.raises(ValidationError):
+            component.rate("up", "up")
+
+    def test_unknown_state(self, component):
+        with pytest.raises(ValidationError, match="unknown state"):
+            component.exit_rate("sideways")
+
+
+class TestDerivedChains:
+    def test_embedded_dtmc_of_component(self, component):
+        jump = component.embedded_dtmc()
+        assert jump.probability("up", "down") == 1.0
+        assert jump.probability("down", "up") == 1.0
+
+    def test_embedded_dtmc_absorbing(self):
+        chain = CTMC.from_rates({("a", "b"): 2.0}, states=["a", "b"])
+        jump = chain.embedded_dtmc()
+        assert jump.probability("b", "b") == 1.0
+
+    def test_uniformized_dtmc_default_rate(self, mm1_truncated):
+        dtmc, rate = mm1_truncated.uniformized_dtmc()
+        assert rate >= 3.0  # max exit rate is lam + mu = 3
+        pi_c = mm1_truncated.steady_state()
+        pi_d = dtmc.stationary_distribution()
+        for state in mm1_truncated.states:
+            assert pi_d[state] == pytest.approx(pi_c[state], abs=1e-10)
+
+    def test_uniformized_rate_below_max_rejected(self, mm1_truncated):
+        with pytest.raises(ValidationError, match="below the maximum"):
+            mm1_truncated.uniformized_dtmc(rate=0.5)
+
+
+class TestSteadyState:
+    def test_component_availability(self, component):
+        pi = component.steady_state()
+        assert pi["up"] == pytest.approx(0.5 / 0.501, abs=1e-12)
+
+    def test_methods_agree(self, mm1_truncated):
+        gth = mm1_truncated.steady_state("gth")
+        linear = mm1_truncated.steady_state("linear")
+        for state in mm1_truncated.states:
+            assert gth[state] == pytest.approx(linear[state], abs=1e-12)
+
+    def test_mm1_2_closed_form(self, mm1_truncated):
+        # rho = 1/2: pi_n proportional to rho^n.
+        pi = mm1_truncated.steady_state()
+        total = 1 + 0.5 + 0.25
+        assert pi[0] == pytest.approx(1 / total)
+        assert pi[2] == pytest.approx(0.25 / total)
+
+    def test_unknown_method(self, component):
+        with pytest.raises(ValidationError):
+            component.steady_state("bogus")
+
+
+class TestTransient:
+    def test_transient_matches_closed_form(self, component):
+        # Two-state availability: A(t) = A + (1 - A) exp(-(lam+mu) t).
+        lam, mu = 1e-3, 0.5
+        t = 3.7
+        dist = component.transient_distribution({"up": 1.0}, t)
+        steady = mu / (lam + mu)
+        expected = steady + (1 - steady) * np.exp(-(lam + mu) * t)
+        assert dist["up"] == pytest.approx(expected, abs=1e-10)
+
+    def test_transient_at_zero(self, component):
+        dist = component.transient_distribution({"down": 1.0}, 0.0)
+        assert dist["down"] == 1.0
+
+    def test_probability_in(self, component):
+        dist = component.transient_distribution({"up": 1.0}, 1.0)
+        total = component.probability_in(["up", "down"], dist)
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+
+class TestAbsorption:
+    def test_mean_time_to_absorption_exponential(self):
+        chain = CTMC.from_rates({("up", "down"): 0.25}, states=["up", "down"])
+        assert chain.mean_time_to_absorption("up") == pytest.approx(4.0)
+
+    def test_mtta_series_of_stages(self):
+        # Erlang-3: three sequential exponential stages of rate 1.
+        chain = CTMC.from_rates(
+            {("a", "b"): 1.0, ("b", "c"): 1.0, ("c", "done"): 1.0},
+            states=["a", "b", "c", "done"],
+        )
+        assert chain.mean_time_to_absorption("a") == pytest.approx(3.0)
+
+    def test_mtta_from_absorbing_state_is_zero(self):
+        chain = CTMC.from_rates({("a", "b"): 1.0}, states=["a", "b"])
+        assert chain.mean_time_to_absorption("b") == 0.0
+
+    def test_mtta_without_absorbing_state(self, component):
+        with pytest.raises(ModelStructureError):
+            component.mean_time_to_absorption("up")
+
+
+class TestSampling:
+    def test_sample_sojourn_mean(self, component, rng):
+        samples = [component.sample_sojourn("down", rng)[0] for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_sample_sojourn_absorbing(self, rng):
+        chain = CTMC.from_rates({("a", "b"): 1.0}, states=["a", "b"])
+        dwell, nxt = chain.sample_sojourn("b", rng)
+        assert dwell == float("inf")
+        assert nxt is None

@@ -1,0 +1,167 @@
+"""Tests for repro.markov.dtmc."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelStructureError, ValidationError
+from repro.markov import DTMC
+
+
+@pytest.fixture
+def weather():
+    return DTMC(["sunny", "rainy"], [[0.9, 0.1], [0.5, 0.5]])
+
+
+@pytest.fixture
+def gambler():
+    """Gambler's ruin on {0..3} with p = 0.5; 0 and 3 absorbing."""
+    return DTMC(
+        [0, 1, 2, 3],
+        [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.5, 0.0, 0.5, 0.0],
+            [0.0, 0.5, 0.0, 0.5],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    )
+
+
+class TestConstruction:
+    def test_rejects_duplicate_states(self):
+        with pytest.raises(ValidationError, match="distinct"):
+            DTMC(["a", "a"], [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            DTMC([], np.zeros((0, 0)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="shape"):
+            DTMC(["a", "b"], [[1.0]])
+
+    def test_rejects_non_stochastic_rows(self):
+        with pytest.raises(ValidationError):
+            DTMC(["a", "b"], [[0.9, 0.2], [0.5, 0.5]])
+
+    def test_from_edges_infers_states_and_absorbing(self):
+        chain = DTMC.from_edges({("a", "b"): 1.0})
+        assert chain.states == ("a", "b")
+        assert chain.probability("b", "b") == 1.0  # b made absorbing
+
+    def test_from_edges_rejects_dangling_without_absorbing(self):
+        with pytest.raises(ModelStructureError):
+            DTMC.from_edges({("a", "b"): 1.0}, allow_absorbing=False)
+
+    def test_from_edges_accumulates_parallel_edges(self):
+        chain = DTMC.from_edges({("a", "b"): 0.5, ("a", "a"): 0.5})
+        assert chain.probability("a", "b") == 0.5
+
+    def test_from_edges_unknown_state_in_explicit_list(self):
+        with pytest.raises(ValidationError, match="unknown state"):
+            DTMC.from_edges({("a", "b"): 1.0}, states=["a"])
+
+
+class TestAccessors:
+    def test_probability_and_successors(self, weather):
+        assert weather.probability("sunny", "rainy") == pytest.approx(0.1)
+        assert weather.successors("rainy") == {"sunny": 0.5, "rainy": 0.5}
+
+    def test_unknown_state(self, weather):
+        with pytest.raises(ValidationError, match="unknown state"):
+            weather.probability("foggy", "sunny")
+
+    def test_len_and_repr(self, weather):
+        assert len(weather) == 2
+        assert "2" in repr(weather)
+
+    def test_transition_matrix_is_copy(self, weather):
+        m = weather.transition_matrix
+        m[0, 0] = 0.0
+        assert weather.probability("sunny", "sunny") == pytest.approx(0.9)
+
+
+class TestStationary:
+    def test_weather_closed_form(self, weather):
+        pi = weather.stationary_distribution()
+        assert pi["sunny"] == pytest.approx(5.0 / 6.0, abs=1e-12)
+
+    def test_power_matches_direct(self, weather):
+        direct = weather.stationary_distribution("direct")
+        power = weather.stationary_distribution("power")
+        for state in weather.states:
+            assert power[state] == pytest.approx(direct[state], abs=1e-9)
+
+    def test_unknown_method(self, weather):
+        with pytest.raises(ValidationError):
+            weather.stationary_distribution("magic")
+
+    def test_transient_distribution_converges_to_stationary(self, weather):
+        dist = weather.transient_distribution({"sunny": 1.0}, 200)
+        pi = weather.stationary_distribution()
+        assert dist["sunny"] == pytest.approx(pi["sunny"], abs=1e-10)
+
+    def test_transient_zero_steps_is_initial(self, weather):
+        dist = weather.transient_distribution({"rainy": 1.0}, 0)
+        assert dist["rainy"] == 1.0
+
+    def test_transient_rejects_negative_steps(self, weather):
+        with pytest.raises(ValidationError):
+            weather.transient_distribution({"rainy": 1.0}, -1)
+
+
+class TestAbsorption:
+    def test_absorbing_states_detected(self, gambler):
+        assert gambler.absorbing_states() == (0, 3)
+
+    def test_gamblers_ruin_probabilities(self, gambler):
+        analysis = gambler.absorption_analysis()
+        # From fortune 1, ruin probability is 2/3 in the fair game on {0..3}.
+        assert analysis.absorption_probability(1, 0) == pytest.approx(2.0 / 3.0)
+        assert analysis.absorption_probability(1, 3) == pytest.approx(1.0 / 3.0)
+
+    def test_expected_steps(self, gambler):
+        analysis = gambler.absorption_analysis()
+        # E[steps] from state 1 is 1*(3-1) = 2 for the fair gambler's ruin.
+        index = analysis.transient_states.index(1)
+        assert analysis.expected_steps[index] == pytest.approx(2.0)
+
+    def test_expected_visits(self, gambler):
+        analysis = gambler.absorption_analysis()
+        assert analysis.expected_visits(1, 1) == pytest.approx(4.0 / 3.0)
+
+    def test_no_absorbing_state_raises(self, weather):
+        with pytest.raises(ModelStructureError, match="no absorbing"):
+            weather.absorption_analysis()
+
+    def test_unreachable_absorption_raises(self):
+        chain = DTMC(
+            ["a", "b", "sink"],
+            [[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]],
+        )
+        with pytest.raises(ModelStructureError, match="cannot reach"):
+            chain.absorption_analysis()
+
+    def test_hitting_probability(self, gambler):
+        assert gambler.hitting_probability(1, [3]) == pytest.approx(1.0 / 3.0)
+        assert gambler.hitting_probability(2, [2]) == 1.0
+
+
+class TestSampling:
+    def test_sample_path_terminates_at_absorbing(self, gambler, rng):
+        path = gambler.sample_path(1, rng)
+        assert path[-1] in (0, 3)
+        assert path[0] == 1
+
+    def test_sample_path_respects_stop_states(self, weather, rng):
+        path = weather.sample_path("sunny", rng, stop_states=["rainy"])
+        assert path[-1] == "rainy"
+
+    def test_sample_path_caps_steps(self, weather, rng):
+        with pytest.raises(ModelStructureError, match="exceeded"):
+            weather.sample_path("sunny", rng, max_steps=3)
+
+    def test_empirical_absorption_matches_analysis(self, gambler, rng):
+        wins = sum(
+            gambler.sample_path(1, rng)[-1] == 3 for _ in range(3000)
+        )
+        assert wins / 3000 == pytest.approx(1.0 / 3.0, abs=0.03)

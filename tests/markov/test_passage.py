@@ -1,0 +1,180 @@
+"""Tests for first-passage analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.markov import (
+    CTMC,
+    DTMC,
+    first_passage_probability_by,
+    mean_first_passage_steps,
+    mean_first_passage_time,
+)
+
+
+@pytest.fixture
+def component():
+    return CTMC(["up", "down"], [[-0.25, 0.25], [1.0, -1.0]])
+
+
+class TestCTMCPassage:
+    def test_two_state_mttf(self, component):
+        assert mean_first_passage_time(component, "up", ["down"]) == (
+            pytest.approx(4.0)
+        )
+
+    def test_two_state_mttr(self, component):
+        assert mean_first_passage_time(component, "down", ["up"]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_start_in_targets(self, component):
+        assert mean_first_passage_time(component, "up", ["up"]) == 0.0
+
+    def test_multiple_targets(self):
+        chain = CTMC.from_rates({
+            ("a", "b"): 1.0, ("a", "c"): 1.0,
+            ("b", "a"): 1.0, ("c", "a"): 1.0,
+        })
+        # From a, exit rate to {b, c} is 2 => expected 0.5.
+        assert mean_first_passage_time(chain, "a", ["b", "c"]) == (
+            pytest.approx(0.5)
+        )
+
+    def test_passage_through_intermediate(self):
+        # a -> b -> c chain with no shortcuts: E = 1/r1 + 1/r2.
+        chain = CTMC.from_rates({("a", "b"): 2.0, ("b", "c"): 4.0},
+                                states=["a", "b", "c"])
+        assert mean_first_passage_time(chain, "a", ["c"]) == (
+            pytest.approx(0.5 + 0.25)
+        )
+
+    def test_empty_targets(self, component):
+        with pytest.raises(ValidationError):
+            mean_first_passage_time(component, "up", [])
+
+    def test_matches_simulation(self, component, rng):
+        times = []
+        for _ in range(3000):
+            clock, state = 0.0, "up"
+            while state != "down":
+                dwell, state = component.sample_sojourn(state, rng)
+                clock += dwell
+            times.append(clock)
+        assert np.mean(times) == pytest.approx(4.0, rel=0.1)
+
+
+class TestDTMCPassage:
+    def test_geometric_hitting(self):
+        chain = DTMC(["a", "b"], [[0.5, 0.5], [1.0, 0.0]])
+        assert mean_first_passage_steps(chain, "a", ["b"]) == pytest.approx(2.0)
+
+    def test_start_in_targets(self):
+        chain = DTMC(["a", "b"], [[0.5, 0.5], [0.5, 0.5]])
+        assert mean_first_passage_steps(chain, "b", ["b"]) == 0.0
+
+    def test_kemeny_style_consistency(self):
+        """For an irreducible DTMC, E_pi[steps to hit j] relates to the
+        stationary distribution via the return-time identity
+        m_jj = 1 / pi_j (expected return time)."""
+        rng = np.random.default_rng(4)
+        p = rng.uniform(0.1, 1.0, size=(4, 4))
+        p /= p.sum(axis=1, keepdims=True)
+        chain = DTMC(list("abcd"), p)
+        pi = chain.stationary_distribution()
+        for j, target in enumerate("abcd"):
+            # Return time: 1 + sum_k P[j,k] * m_k,target.
+            expected_return = 1.0 + sum(
+                p[j, k] * mean_first_passage_steps(chain, source, [target])
+                for k, source in enumerate("abcd")
+            )
+            assert expected_return == pytest.approx(
+                1.0 / pi[target], rel=1e-9
+            )
+
+
+class TestPassageProbability:
+    def test_cdf_limits(self, component):
+        assert first_passage_probability_by(component, "up", ["down"], 0.0) == (
+            pytest.approx(0.0)
+        )
+        assert first_passage_probability_by(
+            component, "up", ["down"], 1e4
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    def test_exponential_first_passage(self, component):
+        # up -> down is a single exponential stage: CDF = 1 - e^{-0.25 t}.
+        import math
+
+        t = 3.0
+        assert first_passage_probability_by(
+            component, "up", ["down"], t
+        ) == pytest.approx(1.0 - math.exp(-0.25 * t), abs=1e-10)
+
+    def test_start_in_targets(self, component):
+        assert first_passage_probability_by(
+            component, "down", ["down"], 0.0
+        ) == 1.0
+
+    def test_monotone_in_time(self, component):
+        values = [
+            first_passage_probability_by(component, "up", ["down"], t)
+            for t in (0.5, 1.0, 2.0, 5.0)
+        ]
+        assert values == sorted(values)
+
+
+class TestFarmMissionMetrics:
+    def test_perfect_farm_exhaustion_time(self):
+        from repro.availability import PerfectCoverageFarm
+
+        farm = PerfectCoverageFarm(servers=2, failure_rate=0.1,
+                                   repair_rate=1.0)
+        # Hand solve: E2 = 1/(2l) + E1; E1 = 1/(l+m) + m/(l+m) E2
+        # with l = 0.1, m = 1.0: E2 = 5 + E1, E1 = (1 + E2 m) / (l + m)
+        lam, mu = 0.1, 1.0
+        e2 = (1.0 / (2 * lam)) * (1 + (lam + mu) / lam) - 0.0
+        # Solve properly: E1 = (1 + mu * E2)/(lam + mu); E2 = 1/(2 lam) + E1.
+        # => E1 = (1 + mu (1/(2 lam) + E1))/(lam+mu)
+        # => E1 (lam + mu - mu) = 1 + mu/(2 lam) => E1 = (1 + mu/(2 lam))/lam
+        e1 = (1 + mu / (2 * lam)) / lam
+        e2 = 1 / (2 * lam) + e1
+        assert farm.mean_time_to_exhaustion() == pytest.approx(e2, rel=1e-10)
+
+    def test_redundancy_extends_exhaustion_time(self):
+        from repro.availability import PerfectCoverageFarm
+
+        times = [
+            PerfectCoverageFarm(servers=n, failure_rate=0.01,
+                                repair_rate=1.0).mean_time_to_exhaustion()
+            for n in (1, 2, 3)
+        ]
+        assert times[0] < times[1] < times[2]
+        assert times[1] / times[0] > 10  # repair races make it superlinear
+
+    def test_exhaustion_probability_cdf(self):
+        from repro.availability import PerfectCoverageFarm
+
+        farm = PerfectCoverageFarm(servers=2, failure_rate=0.1,
+                                   repair_rate=1.0)
+        p_short = farm.exhaustion_probability_by(1.0)
+        p_long = farm.exhaustion_probability_by(1000.0)
+        assert 0.0 < p_short < p_long <= 1.0
+
+    def test_imperfect_service_loss_much_sooner(self):
+        from repro.availability import ImperfectCoverageFarm, PerfectCoverageFarm
+
+        imperfect = ImperfectCoverageFarm(
+            servers=4, failure_rate=1e-3, repair_rate=1.0,
+            coverage=0.98, reconfiguration_rate=12.0,
+        )
+        perfect = PerfectCoverageFarm(servers=4, failure_rate=1e-3,
+                                      repair_rate=1.0)
+        # A single uncovered failure downs the service, so the loss time
+        # is near 1 / (NW (1-c) lambda), vastly below full exhaustion.
+        loss = imperfect.mean_time_to_service_loss()
+        exhaustion = perfect.mean_time_to_exhaustion()
+        assert loss < exhaustion / 1e3
+        approx_uncovered = 1.0 / (4 * 0.02 * 1e-3)
+        assert loss == pytest.approx(approx_uncovered, rel=0.2)

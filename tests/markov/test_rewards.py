@@ -1,0 +1,94 @@
+"""Tests for repro.markov.rewards."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.markov import CTMC, MarkovRewardModel
+
+
+@pytest.fixture
+def component():
+    return CTMC(["up", "down"], [[-1e-3, 1e-3], [0.5, -0.5]])
+
+
+class TestConstruction:
+    def test_mapping_rewards_default_zero(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        assert model.reward_of("down") == 0.0
+
+    def test_callable_rewards(self, component):
+        model = MarkovRewardModel(component, lambda s: 1.0 if s == "up" else 0.0)
+        assert model.reward_of("up") == 1.0
+
+    def test_unknown_state_in_mapping_rejected(self, component):
+        with pytest.raises(ValidationError, match="unknown states"):
+            MarkovRewardModel(component, {"sideways": 1.0})
+
+    def test_bad_rewards_type_rejected(self, component):
+        with pytest.raises(ValidationError):
+            MarkovRewardModel(component, "not rewards")
+
+    def test_reward_of_unknown_state(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        with pytest.raises(ValidationError):
+            model.reward_of("sideways")
+
+
+class TestSteadyStateReward:
+    def test_binary_reward_is_availability(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        assert model.steady_state_reward() == pytest.approx(0.5 / 0.501)
+
+    def test_general_rewards(self, component):
+        model = MarkovRewardModel(component, {"up": 2.0, "down": -1.0})
+        pi = component.steady_state()
+        expected = 2.0 * pi["up"] - 1.0 * pi["down"]
+        assert model.steady_state_reward() == pytest.approx(expected)
+
+    def test_web_service_reward_model_matches_closed_form(self):
+        from repro.availability import WebServiceModel
+
+        model = WebServiceModel(
+            servers=3,
+            arrival_rate=100.0,
+            service_rate=100.0,
+            buffer_capacity=10,
+            failure_rate=1e-3,
+            repair_rate=1.0,
+            coverage=0.95,
+            reconfiguration_rate=12.0,
+        )
+        assert model.reward_model().steady_state_reward() == pytest.approx(
+            model.availability(), abs=1e-14
+        )
+
+
+class TestTransientReward:
+    def test_expected_reward_at_time_zero(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        assert model.expected_reward_at({"up": 1.0}, 0.0) == pytest.approx(1.0)
+
+    def test_accumulated_reward_short_horizon(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        # Over a horizon much shorter than 1/lambda the system stays up.
+        accumulated = model.accumulated_reward({"up": 1.0}, 0.1, steps=20)
+        assert accumulated == pytest.approx(0.1, rel=1e-3)
+
+    def test_accumulated_reward_zero_horizon(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        assert model.accumulated_reward({"up": 1.0}, 0.0) == 0.0
+
+    def test_interval_availability_converges_to_steady(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        interval = model.interval_availability({"up": 1.0}, 5000.0, steps=400)
+        assert interval == pytest.approx(0.5 / 0.501, rel=1e-3)
+
+    def test_interval_availability_rejects_zero_horizon(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        with pytest.raises(ValidationError):
+            model.interval_availability({"up": 1.0}, 0.0)
+
+    def test_negative_horizon_rejected(self, component):
+        model = MarkovRewardModel(component, {"up": 1.0})
+        with pytest.raises(ValidationError):
+            model.accumulated_reward({"up": 1.0}, -1.0)

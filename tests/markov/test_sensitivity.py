@@ -1,0 +1,80 @@
+"""Tests for repro.markov.sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.markov import CTMC, steady_state_derivative
+from repro.markov.sensitivity import reward_derivative
+
+
+def two_state(lam, mu):
+    return np.array([[-lam, lam], [mu, -mu]])
+
+
+class TestSteadyStateDerivative:
+    def test_matches_closed_form_two_state(self):
+        lam, mu = 0.2, 1.0
+        q = two_state(lam, mu)
+        pi = np.array([mu, lam]) / (lam + mu)
+        dq_dlam = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        d_pi = steady_state_derivative(q, dq_dlam, pi)
+        # d/dlam [mu/(lam+mu)] = -mu/(lam+mu)^2
+        assert d_pi[0] == pytest.approx(-mu / (lam + mu) ** 2, abs=1e-12)
+        assert d_pi.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_finite_difference_random_chain(self):
+        rng = np.random.default_rng(9)
+        n = 6
+        base = rng.uniform(0.2, 1.5, size=(n, n))
+        np.fill_diagonal(base, 0.0)
+
+        def generator(theta):
+            q = base.copy()
+            q[0, 1] = theta
+            np.fill_diagonal(q, 0.0)
+            np.fill_diagonal(q, -q.sum(axis=1))
+            return q
+
+        from repro.markov.solvers import steady_state_gth
+
+        theta = 0.7
+        q = generator(theta)
+        pi = steady_state_gth(q)
+        dq = np.zeros((n, n))
+        dq[0, 1] = 1.0
+        dq[0, 0] = -1.0
+        analytic = steady_state_derivative(q, dq, pi)
+        h = 1e-6
+        numeric = (
+            steady_state_gth(generator(theta + h))
+            - steady_state_gth(generator(theta - h))
+        ) / (2 * h)
+        assert analytic == pytest.approx(numeric, abs=1e-6)
+
+    def test_rejects_shape_mismatch(self):
+        q = two_state(0.1, 1.0)
+        with pytest.raises(ValidationError, match="shape"):
+            steady_state_derivative(q, np.zeros((3, 3)), np.array([0.9, 0.1]))
+
+    def test_rejects_nonzero_row_sums_in_derivative(self):
+        q = two_state(0.1, 1.0)
+        bad = np.array([[1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValidationError, match="sum to zero"):
+            steady_state_derivative(q, bad, np.array([0.9, 0.1]))
+
+
+class TestRewardDerivative:
+    def test_availability_sensitivity_to_repair_rate(self):
+        lam, mu = 1e-3, 0.5
+        chain = CTMC(["up", "down"], two_state(lam, mu))
+        dq_dmu = np.array([[0.0, 0.0], [1.0, -1.0]])
+        derivative = reward_derivative(chain, {"up": 1.0}, dq_dmu)
+        # d/dmu [mu/(lam+mu)] = lam/(lam+mu)^2
+        assert derivative == pytest.approx(lam / (lam + mu) ** 2, abs=1e-10)
+
+    def test_zero_derivative_for_constant_reward(self):
+        chain = CTMC(["up", "down"], two_state(0.3, 0.7))
+        dq = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        derivative = reward_derivative(chain, {"up": 1.0, "down": 1.0}, dq)
+        assert derivative == pytest.approx(0.0, abs=1e-12)

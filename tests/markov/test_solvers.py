@@ -1,0 +1,153 @@
+"""Tests for repro.markov.solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotIrreducibleError, SolverError, ValidationError
+from repro.markov.solvers import (
+    check_generator,
+    steady_state_gth,
+    steady_state_linear,
+    steady_state_power,
+    strongly_connected_components,
+)
+
+
+def two_state_generator(lam=0.2, mu=1.0):
+    return np.array([[-lam, lam], [mu, -mu]])
+
+
+class TestCheckGenerator:
+    def test_accepts_valid_generator(self):
+        q = check_generator(two_state_generator())
+        assert q.shape == (2, 2)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_generator(np.zeros((2, 3)))
+
+    def test_rejects_negative_off_diagonal(self):
+        with pytest.raises(ValidationError, match="negative off-diagonal"):
+            check_generator(np.array([[0.5, -0.5], [1.0, -1.0]]))
+
+    def test_rejects_nonzero_row_sums(self):
+        with pytest.raises(ValidationError, match="sum to zero"):
+            check_generator(np.array([[-1.0, 2.0], [1.0, -1.0]]))
+
+    def test_accepts_all_absorbing(self):
+        q = check_generator(np.zeros((3, 3)))
+        assert np.all(q == 0.0)
+
+
+class TestGTH:
+    def test_two_state_closed_form(self):
+        lam, mu = 0.2, 1.0
+        pi = steady_state_gth(two_state_generator(lam, mu))
+        assert pi[0] == pytest.approx(mu / (lam + mu), abs=1e-14)
+        assert pi[1] == pytest.approx(lam / (lam + mu), abs=1e-14)
+
+    def test_single_state(self):
+        pi = steady_state_gth(np.zeros((1, 1)))
+        assert pi.tolist() == [1.0]
+
+    def test_balance_and_normalization(self):
+        rng = np.random.default_rng(3)
+        n = 8
+        q = rng.uniform(0.1, 2.0, size=(n, n))
+        np.fill_diagonal(q, 0.0)
+        np.fill_diagonal(q, -q.sum(axis=1))
+        pi = steady_state_gth(q)
+        assert pi.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.abs(pi @ q).max() < 1e-12
+        assert np.all(pi >= 0)
+
+    def test_stiff_generator_stays_positive(self):
+        # Rates spanning nine orders of magnitude: the regime where naive
+        # elimination loses positivity.
+        q = np.array(
+            [
+                [-1e-9, 1e-9, 0.0],
+                [1.0, -1.0 - 1e-9, 1e-9],
+                [0.0, 1.0, -1.0],
+            ]
+        )
+        pi = steady_state_gth(q)
+        assert np.all(pi > 0)
+        assert np.abs(pi @ q).max() < 1e-18
+
+    def test_reducible_chain_rejected(self):
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])  # absorbing second state
+        with pytest.raises(NotIrreducibleError):
+            steady_state_gth(q)
+
+    def test_disconnected_chain_rejected(self):
+        q = np.zeros((4, 4))
+        q[0, 1] = q[1, 0] = 1.0
+        q[2, 3] = q[3, 2] = 1.0
+        np.fill_diagonal(q, -q.sum(axis=1))
+        with pytest.raises(NotIrreducibleError):
+            steady_state_gth(q)
+
+
+class TestLinear:
+    def test_matches_gth(self):
+        rng = np.random.default_rng(11)
+        n = 10
+        q = rng.uniform(0.0, 1.0, size=(n, n))
+        np.fill_diagonal(q, 0.0)
+        np.fill_diagonal(q, -q.sum(axis=1))
+        assert steady_state_linear(q) == pytest.approx(
+            steady_state_gth(q), abs=1e-10
+        )
+
+    def test_sparse_path_matches_dense(self):
+        q = two_state_generator()
+        assert steady_state_linear(q, sparse=True) == pytest.approx(
+            steady_state_linear(q, sparse=False), abs=1e-12
+        )
+
+    def test_reducible_chain_rejected(self):
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(NotIrreducibleError):
+            steady_state_linear(q)
+
+
+class TestPower:
+    def test_matches_direct_on_random_chain(self):
+        rng = np.random.default_rng(5)
+        p = rng.uniform(0.05, 1.0, size=(6, 6))
+        p /= p.sum(axis=1, keepdims=True)
+        pi, iterations = steady_state_power(p)
+        assert iterations > 0
+        direct = steady_state_gth(p - np.eye(6))
+        assert pi == pytest.approx(direct, abs=1e-9)
+
+    def test_periodic_chain_converges(self):
+        # A two-cycle: plain power iteration oscillates; ours averages.
+        p = np.array([[0.0, 1.0], [1.0, 0.0]])
+        pi, _ = steady_state_power(p)
+        assert pi == pytest.approx([0.5, 0.5], abs=1e-9)
+
+    def test_iteration_cap(self):
+        p = np.array([[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(SolverError):
+            steady_state_power(p, tol=0.0, max_iterations=3)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            steady_state_power(np.zeros((2, 3)))
+
+
+class TestSCC:
+    def test_identifies_components_in_topological_order(self):
+        # 0 <-> 1 form a transient class draining into absorbing 2.
+        adjacency = np.array(
+            [[0, 1, 0], [1, 0, 1], [0, 0, 0]], dtype=float
+        )
+        components = strongly_connected_components(adjacency)
+        assert sorted(components[0]) == [0, 1]
+        assert components[-1] == [2]
+
+    def test_single_component(self):
+        adjacency = np.array([[0, 1], [1, 0]], dtype=float)
+        assert len(strongly_connected_components(adjacency)) == 1

@@ -1,0 +1,76 @@
+"""Tests for repro.markov.transient (uniformization)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.errors import ValidationError
+from repro.markov.transient import transient_distribution, uniformization
+
+
+def random_generator(n, seed):
+    rng = np.random.default_rng(seed)
+    q = rng.uniform(0.0, 2.0, size=(n, n))
+    np.fill_diagonal(q, 0.0)
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return q
+
+
+class TestUniformization:
+    def test_matches_matrix_exponential(self):
+        q = random_generator(6, seed=1)
+        p0 = np.zeros(6)
+        p0[0] = 1.0
+        for t in (0.1, 1.0, 7.5):
+            expected = p0 @ expm(q * t)
+            result = uniformization(q, p0, t)
+            assert result == pytest.approx(expected, abs=1e-10)
+
+    def test_time_zero_returns_initial(self):
+        q = random_generator(4, seed=2)
+        p0 = np.array([0.25, 0.25, 0.25, 0.25])
+        assert uniformization(q, p0, 0.0).tolist() == p0.tolist()
+
+    def test_large_time_reaches_steady_state(self):
+        from repro.markov.solvers import steady_state_gth
+
+        q = random_generator(5, seed=3)
+        p0 = np.zeros(5)
+        p0[2] = 1.0
+        result = uniformization(q, p0, 500.0)
+        assert result == pytest.approx(steady_state_gth(q), abs=1e-8)
+
+    def test_large_poisson_rate_underflow_handled(self):
+        # Lambda * t around 2000: naive exp(-Lambda t) underflows to zero.
+        q = np.array([[-100.0, 100.0], [100.0, -100.0]])
+        p0 = np.array([1.0, 0.0])
+        result = uniformization(q, p0, 10.0)
+        assert result == pytest.approx([0.5, 0.5], abs=1e-9)
+
+    def test_all_absorbing_generator(self):
+        q = np.zeros((3, 3))
+        p0 = np.array([0.2, 0.3, 0.5])
+        assert uniformization(q, p0, 42.0).tolist() == p0.tolist()
+
+    def test_rejects_negative_time(self):
+        q = random_generator(3, seed=4)
+        with pytest.raises(ValidationError):
+            uniformization(q, np.array([1.0, 0.0, 0.0]), -1.0)
+
+    def test_distribution_stays_normalized(self):
+        q = random_generator(7, seed=5)
+        p0 = np.full(7, 1.0 / 7.0)
+        result = uniformization(q, p0, 3.0)
+        assert result.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(result >= 0)
+
+
+class TestVectorized:
+    def test_multiple_times(self):
+        q = random_generator(4, seed=6)
+        p0 = np.array([1.0, 0.0, 0.0, 0.0])
+        times = [0.0, 0.5, 2.0]
+        result = transient_distribution(q, p0, np.array(times))
+        assert result.shape == (3, 4)
+        for row, t in zip(result, times):
+            assert row == pytest.approx(uniformization(q, p0, t), abs=1e-12)

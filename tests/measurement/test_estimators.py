@@ -1,0 +1,97 @@
+"""Tests for dependability-parameter estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.measurement import availability_confidence_interval, fit_two_state
+
+
+class TestFitTwoState:
+    def test_point_estimates_are_mle(self):
+        fit = fit_two_state([10.0, 20.0, 30.0], [1.0, 3.0])
+        assert fit.model.failure_rate == pytest.approx(3.0 / 60.0)
+        assert fit.model.repair_rate == pytest.approx(2.0 / 4.0)
+
+    def test_recovers_true_rates(self, rng):
+        true_lam, true_mu = 0.01, 0.5
+        ups = rng.exponential(1.0 / true_lam, size=2000)
+        downs = rng.exponential(1.0 / true_mu, size=2000)
+        fit = fit_two_state(ups, downs)
+        assert fit.model.failure_rate == pytest.approx(true_lam, rel=0.1)
+        assert fit.model.repair_rate == pytest.approx(true_mu, rel=0.1)
+        low, high = fit.availability_interval
+        assert low <= true_mu / (true_lam + true_mu) <= high
+
+    def test_interval_coverage(self, rng):
+        """~95% of fits should cover the true failure rate."""
+        true_lam = 0.1
+        covered = 0
+        runs = 300
+        for _ in range(runs):
+            ups = rng.exponential(1.0 / true_lam, size=40)
+            downs = rng.exponential(1.0, size=40)
+            fit = fit_two_state(ups, downs)
+            low, high = fit.failure_rate_interval
+            covered += low <= true_lam <= high
+        assert covered / runs == pytest.approx(0.95, abs=0.04)
+
+    def test_more_data_tightens_interval(self, rng):
+        small = fit_two_state(
+            rng.exponential(10.0, 20), rng.exponential(1.0, 20)
+        )
+        large = fit_two_state(
+            rng.exponential(10.0, 2000), rng.exponential(1.0, 2000)
+        )
+        small_width = small.failure_rate_interval[1] - small.failure_rate_interval[0]
+        large_width = large.failure_rate_interval[1] - large.failure_rate_interval[0]
+        assert large_width < small_width / 5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_two_state([], [1.0])
+        with pytest.raises(ValidationError):
+            fit_two_state([1.0, -1.0], [1.0])
+        with pytest.raises(ValidationError):
+            fit_two_state([1.0], [1.0], confidence=0.3)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = availability_confidence_interval(9920, 10000)
+        assert low < 0.992 < high
+
+    def test_bounded_by_unit_interval(self):
+        low, high = availability_confidence_interval(10000, 10000)
+        assert low > 0.999
+        assert high == 1.0
+        low, high = availability_confidence_interval(0, 100)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert high < 0.05
+
+    def test_width_shrinks_with_trials(self):
+        narrow = availability_confidence_interval(990, 1000)
+        wide = availability_confidence_interval(99, 100)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_higher_confidence_wider(self):
+        ci95 = availability_confidence_interval(90, 100, confidence=0.95)
+        ci99 = availability_confidence_interval(90, 100, confidence=0.99)
+        assert ci99[1] - ci99[0] > ci95[1] - ci95[0]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            availability_confidence_interval(5, 0)
+        with pytest.raises(ValidationError):
+            availability_confidence_interval(11, 10)
+
+    def test_empirical_coverage(self, rng):
+        """~95% of Wilson intervals should cover the true probability."""
+        true_p = 0.9
+        covered = 0
+        runs = 400
+        for _ in range(runs):
+            successes = int(rng.binomial(200, true_p))
+            low, high = availability_confidence_interval(successes, 200)
+            covered += low <= true_p <= high
+        assert covered / runs == pytest.approx(0.95, abs=0.04)

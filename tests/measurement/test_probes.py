@@ -1,0 +1,102 @@
+"""Tests for probe logs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.measurement import ProbeLog
+
+
+class TestConstruction:
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValidationError):
+            ProbeLog([0, 1, 2], [True, False])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValidationError):
+            ProbeLog([0, 2, 1], [True, True, True])
+
+    def test_rejects_single_probe(self):
+        with pytest.raises(ValidationError):
+            ProbeLog([0], [True])
+
+
+class TestSummaries:
+    def test_observed_availability(self):
+        log = ProbeLog([0, 1, 2, 3], [True, True, False, True])
+        assert log.observed_availability() == 0.75
+
+    def test_span(self):
+        log = ProbeLog([10.0, 12.0, 20.0], [True, True, True])
+        assert log.span == 10.0
+
+    def test_availability_interval_brackets_estimate(self):
+        states = [True] * 95 + [False] * 5
+        log = ProbeLog(list(range(100)), states)
+        low, high = log.availability_interval()
+        assert low < 0.95 < high
+
+
+class TestEpisodes:
+    def test_episode_extraction(self):
+        log = ProbeLog(
+            [0, 1, 2, 3, 4, 5],
+            [True, True, False, False, True, True],
+        )
+        assert log.episodes() == [(True, 2.0), (False, 2.0), (True, 1.0)]
+
+    def test_constant_log_single_episode(self):
+        log = ProbeLog([0, 5, 10], [True, True, True])
+        assert log.episodes() == [(True, 10.0)]
+
+    def test_fit_requires_complete_episodes(self):
+        log = ProbeLog([0, 5, 10], [True, True, True])
+        with pytest.raises(ValidationError, match="complete"):
+            log.fit()
+
+    def test_fit_from_synthetic_process(self, rng):
+        """Generate a long alternating-renewal path, probe it densely,
+        and recover the generating rates."""
+        # Probe interval (0.5) well below the mean down time (5.0), so
+        # probe-resolution aliasing (missed short episodes) is mild.
+        true_lam, true_mu = 0.05, 0.2
+        clock, state = 0.0, True
+        change_points = []
+        while clock < 40_000.0:
+            rate = true_lam if state else true_mu
+            clock += rng.exponential(1.0 / rate)
+            change_points.append((clock, state))
+            state = not state
+        probe_times = np.arange(0.0, 40_000.0, 0.5)
+        states = []
+        idx = 0
+        current = True
+        for t in probe_times:
+            while idx < len(change_points) and change_points[idx][0] <= t:
+                current = not change_points[idx][1]
+                idx += 1
+            states.append(current)
+        log = ProbeLog(probe_times, states)
+        fit = log.fit()
+        assert fit.model.failure_rate == pytest.approx(true_lam, rel=0.2)
+        assert fit.model.repair_rate == pytest.approx(true_mu, rel=0.3)
+        assert log.observed_availability() == pytest.approx(
+            true_mu / (true_lam + true_mu), abs=0.02
+        )
+
+    def test_fitted_model_plugs_into_hierarchy(self):
+        """The measurement-to-model pipeline of the paper's Section 1."""
+        from repro.core import HierarchicalModel
+
+        log = ProbeLog(
+            list(range(12)),
+            [True, True, True, False, True, True, True, True, False, True,
+             True, True],
+        )
+        fit = log.fit()
+        model = HierarchicalModel()
+        model.add_resource("supplier", fit.model)
+        model.add_service("external", "supplier")
+        model.add_function("lookup", services=["external"])
+        value = model.function_availability("lookup")
+        assert value == pytest.approx(fit.model.availability)

@@ -1,0 +1,84 @@
+"""Tests for uncertainty propagation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.measurement import propagate_uncertainty
+
+
+class TestPropagation:
+    def test_deterministic_samplers_give_point_mass(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"] * 2.0,
+            {"x": lambda g: 0.5},
+            rng,
+            draws=50,
+        )
+        assert result.mean == 1.0
+        assert result.std == 0.0
+        assert result.interval == (1.0, 1.0)
+        assert result.half_width == 0.0
+
+    def test_series_system_mean(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["a"] * p["b"],
+            {"a": lambda g: g.beta(90, 10), "b": lambda g: g.beta(90, 10)},
+            rng,
+            draws=4000,
+        )
+        assert result.mean == pytest.approx(0.81, abs=0.01)
+        low, high = result.interval
+        assert low < 0.81 < high
+
+    def test_interval_level(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"],
+            {"x": lambda g: g.normal(0.0, 1.0)},
+            rng,
+            draws=20_000,
+            confidence=0.95,
+        )
+        assert result.interval[0] == pytest.approx(-1.96, abs=0.1)
+        assert result.interval[1] == pytest.approx(1.96, abs=0.1)
+
+    def test_samples_exposed(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"], {"x": lambda g: g.random()}, rng, draws=10
+        )
+        assert result.samples.shape == (10,)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            propagate_uncertainty(lambda p: 0.0, {}, rng)
+        with pytest.raises(ValidationError):
+            propagate_uncertainty(
+                lambda p: 0.0, {"x": lambda g: 0.0}, rng, draws=0
+            )
+
+    def test_user_availability_with_measured_suppliers(self, rng):
+        """End to end: measured reservation-system availability with
+        uncertainty propagated to the user-perceived availability."""
+        from repro.ta import CLASS_A, TAParameters, TravelAgencyModel
+
+        def model(params):
+            ta = TravelAgencyModel(TAParameters(
+                reservation_availability=params["reservation"],
+                payment_availability=params["payment"],
+            ))
+            return ta.user_availability(CLASS_A).availability
+
+        result = propagate_uncertainty(
+            model,
+            {
+                # Posterior-style samplers around the paper's 0.9 values.
+                "reservation": lambda g: g.beta(900, 100),
+                "payment": lambda g: g.beta(900, 100),
+            },
+            rng,
+            draws=200,
+        )
+        nominal = model({"reservation": 0.9, "payment": 0.9})
+        low, high = result.interval
+        assert low < nominal < high
+        assert result.half_width < 0.01  # tight posteriors, tight answer

@@ -1,0 +1,93 @@
+"""Tests for profile calibration."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.profiles import OperationalProfile, calibrate_profile
+
+
+@pytest.fixture
+def small_edges():
+    return [
+        ("Start", "home"),
+        ("home", "search"),
+        ("home", "Exit"),
+        ("search", "Exit"),
+    ]
+
+
+class TestCalibration:
+    def test_recovers_known_profile(self, small_edges):
+        truth = OperationalProfile({
+            ("Start", "home"): 1.0,
+            ("home", "search"): 0.35,
+            ("home", "Exit"): 0.65,
+            ("search", "Exit"): 1.0,
+        })
+        target = truth.scenario_distribution()
+        result = calibrate_profile(small_edges, target)
+        assert result.total_variation_distance < 1e-6
+        assert result.profile.probability("home", "search") == pytest.approx(
+            0.35, abs=1e-4
+        )
+
+    def test_recovers_cyclic_profile(self):
+        edges = [
+            ("Start", "home"), ("Start", "browse"),
+            ("home", "browse"), ("home", "Exit"),
+            ("browse", "home"), ("browse", "Exit"),
+        ]
+        truth = OperationalProfile({
+            ("Start", "home"): 0.6, ("Start", "browse"): 0.4,
+            ("home", "browse"): 0.25, ("home", "Exit"): 0.75,
+            ("browse", "home"): 0.3, ("browse", "Exit"): 0.7,
+        })
+        result = calibrate_profile(edges, truth.scenario_distribution())
+        assert result.total_variation_distance < 1e-5
+
+    def test_warm_start_from_initial_profile(self, small_edges):
+        truth = OperationalProfile({
+            ("Start", "home"): 1.0,
+            ("home", "search"): 0.2,
+            ("home", "Exit"): 0.8,
+            ("search", "Exit"): 1.0,
+        })
+        result = calibrate_profile(
+            small_edges, truth.scenario_distribution(), initial_profile=truth
+        )
+        assert result.total_variation_distance < 1e-9
+        assert result.iterations <= 5
+
+    def test_deterministic_graph_without_parameters(self):
+        edges = [("Start", "home"), ("home", "Exit")]
+        truth = OperationalProfile({
+            ("Start", "home"): 1.0, ("home", "Exit"): 1.0,
+        })
+        result = calibrate_profile(edges, truth.scenario_distribution())
+        assert result.total_variation_distance == pytest.approx(0.0)
+        assert result.iterations == 1
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            calibrate_profile(
+                [("Start", "a"), ("Start", "a"), ("a", "Exit")],
+                OperationalProfile(
+                    {("Start", "a"): 1.0, ("a", "Exit"): 1.0}
+                ).scenario_distribution(),
+            )
+
+    def test_fits_paper_class_a_approximately(self):
+        """Table 1's class A can be approximated by a Fig. 2 graph.
+
+        The fit is over-determined (8 free probabilities vs 11 scenario
+        frequencies), so we only require a loose fit — the point is that
+        the pipeline profile -> scenarios can be inverted usefully.
+        """
+        from repro.ta import CLASS_A, TA_PROFILE_EDGES
+
+        result = calibrate_profile(
+            TA_PROFILE_EDGES, CLASS_A.distribution, max_evaluations=400
+        )
+        assert result.total_variation_distance < 0.05
+        fitted = result.profile.scenario_distribution()
+        assert len(fitted) == 12

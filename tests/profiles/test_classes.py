@@ -1,0 +1,62 @@
+"""Tests for user classes."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.profiles import Scenario, ScenarioDistribution, UserClass
+
+
+class TestUserClass:
+    def test_from_probabilities(self):
+        users = UserClass.from_probabilities(
+            "shoppers",
+            {frozenset({"home"}): 0.7, frozenset({"home", "pay"}): 0.3},
+        )
+        assert users.name == "shoppers"
+        assert users.distribution.probability_of({"home"}) == pytest.approx(0.7)
+
+    def test_normalize_handles_percent_data(self):
+        users = UserClass.from_probabilities(
+            "percent",
+            {frozenset({"a"}): 60.0, frozenset({"b"}): 40.0},
+            normalize=True,
+        )
+        assert users.distribution.probability_of({"a"}) == pytest.approx(0.6)
+
+    def test_normalize_rejects_zero_sum(self):
+        with pytest.raises(ValidationError):
+            UserClass.from_probabilities(
+                "broken", {frozenset({"a"}): 0.0}, normalize=True
+            )
+
+    def test_empty_name_rejected(self):
+        dist = ScenarioDistribution([Scenario(frozenset({"a"}), 1.0)])
+        with pytest.raises(ValidationError):
+            UserClass("", dist)
+
+    def test_buying_intent(self):
+        users = UserClass.from_probabilities(
+            "mixed",
+            {
+                frozenset({"home"}): 0.8,
+                frozenset({"home", "pay"}): 0.15,
+                frozenset({"browse", "pay"}): 0.05,
+            },
+        )
+        assert users.buying_intent() == pytest.approx(0.2)
+
+    def test_paper_classes_buying_intent(self):
+        """Class B buys ~20%, class A ~3x less (Section 3.1)."""
+        from repro.ta import CLASS_A, CLASS_B
+
+        intent_a = CLASS_A.buying_intent()
+        intent_b = CLASS_B.buying_intent()
+        assert intent_a == pytest.approx(0.075, abs=1e-9)
+        assert intent_b == pytest.approx(0.203, abs=1e-9)
+        assert 2.5 < intent_b / intent_a < 3.0
+
+    def test_scenarios_accessor(self):
+        users = UserClass.from_probabilities(
+            "one", {frozenset({"a"}): 1.0}
+        )
+        assert len(users.scenarios) == 1

@@ -1,0 +1,173 @@
+"""Tests for operational-profile session graphs."""
+
+import pytest
+
+from repro.errors import ModelStructureError, ValidationError
+from repro.profiles import OperationalProfile
+
+
+@pytest.fixture
+def simple():
+    return OperationalProfile({
+        ("Start", "home"): 1.0,
+        ("home", "search"): 0.4,
+        ("home", "Exit"): 0.6,
+        ("search", "Exit"): 1.0,
+    })
+
+
+@pytest.fixture
+def cyclic():
+    """Home <-> Browse cycles like the paper's Fig. 2."""
+    return OperationalProfile({
+        ("Start", "home"): 0.5,
+        ("Start", "browse"): 0.5,
+        ("home", "browse"): 0.3,
+        ("home", "Exit"): 0.7,
+        ("browse", "home"): 0.4,
+        ("browse", "Exit"): 0.6,
+    })
+
+
+class TestConstruction:
+    def test_functions_listed(self, simple):
+        assert set(simple.functions) == {"home", "search"}
+
+    def test_zero_probability_edges_dropped(self):
+        profile = OperationalProfile({
+            ("Start", "a"): 1.0,
+            ("a", "Exit"): 1.0,
+            ("a", "b"): 0.0,
+        })
+        assert profile.functions == ("a",)
+
+    def test_rejects_unnormalized_node(self):
+        with pytest.raises(ModelStructureError, match="sum to"):
+            OperationalProfile({
+                ("Start", "a"): 1.0,
+                ("a", "Exit"): 0.5,
+            })
+
+    def test_rejects_missing_start(self):
+        with pytest.raises(ModelStructureError, match="Start"):
+            OperationalProfile({("a", "Exit"): 1.0})
+
+    def test_rejects_outgoing_from_exit(self):
+        with pytest.raises(ModelStructureError, match="Exit"):
+            OperationalProfile({
+                ("Start", "a"): 1.0,
+                ("a", "Exit"): 1.0,
+                ("Exit", "a"): 1.0,
+            })
+
+    def test_rejects_incoming_to_start(self):
+        with pytest.raises(ModelStructureError, match="Start"):
+            OperationalProfile({
+                ("Start", "a"): 1.0,
+                ("a", "Start"): 1.0,
+            })
+
+    def test_rejects_inescapable_cycle(self):
+        with pytest.raises(ModelStructureError, match="Exit"):
+            OperationalProfile({
+                ("Start", "a"): 1.0,
+                ("a", "b"): 1.0,
+                ("b", "a"): 1.0,
+            })
+
+    def test_parallel_edges_accumulate(self):
+        profile = OperationalProfile({
+            ("Start", "a"): 1.0,
+            ("a", "Exit"): 1.0,
+        })
+        assert profile.probability("a", "Exit") == 1.0
+
+
+class TestSessionStatistics:
+    def test_expected_visits_simple(self, simple):
+        assert simple.expected_visits("home") == pytest.approx(1.0)
+        assert simple.expected_visits("search") == pytest.approx(0.4)
+
+    def test_expected_visits_with_cycles(self, cyclic):
+        # Solve by hand: v_home = 0.5 + 0.4 v_browse,
+        # v_browse = 0.5 + 0.3 v_home  =>  v_home = 0.7955, v_browse = 0.7386
+        assert cyclic.expected_visits("home") == pytest.approx(0.70 / 0.88)
+        assert cyclic.expected_visits("browse") == pytest.approx(0.65 / 0.88)
+
+    def test_session_length(self, cyclic):
+        expected = cyclic.expected_visits("home") + cyclic.expected_visits("browse")
+        assert cyclic.expected_session_length() == pytest.approx(expected)
+
+    def test_activation_probability(self, simple):
+        assert simple.activation_probability("home") == 1.0
+        assert simple.activation_probability("search") == pytest.approx(0.4)
+
+    def test_activation_probability_with_cycles(self, cyclic):
+        # P(visit home) = 0.5 + 0.5 * 0.4 = 0.7 (Start->Br->Ho path).
+        assert cyclic.activation_probability("home") == pytest.approx(0.7)
+
+    def test_unknown_function(self, simple):
+        with pytest.raises(ValidationError):
+            simple.expected_visits("pay")
+        with pytest.raises(ValidationError):
+            simple.activation_probability("pay")
+
+
+class TestScenarioDistribution:
+    def test_simple_profile(self, simple):
+        dist = simple.scenario_distribution()
+        assert dist.probability_of({"home"}) == pytest.approx(0.6)
+        assert dist.probability_of({"home", "search"}) == pytest.approx(0.4)
+
+    def test_probabilities_sum_to_one(self, cyclic):
+        dist = cyclic.scenario_distribution()
+        assert sum(s.probability for s in dist) == pytest.approx(1.0)
+
+    def test_cyclic_profile_closed_form(self, cyclic):
+        dist = cyclic.scenario_distribution()
+        # P({home} only): start->home, then never browse:
+        # from home, exit immediately or loop home<->... can't revisit home
+        # without browse, so P = 0.5 * 0.7.
+        assert dist.probability_of({"home"}) == pytest.approx(0.35)
+        # P({browse} only) = 0.5 * 0.6.
+        assert dist.probability_of({"browse"}) == pytest.approx(0.30)
+        # Everything else visits both.
+        assert dist.probability_of({"home", "browse"}) == pytest.approx(0.35)
+
+    def test_matches_simulation(self, cyclic, rng):
+        from repro.sim import SessionSimulation
+
+        exact = cyclic.scenario_distribution()
+        empirical = SessionSimulation(cyclic, rng).empirical_scenario_distribution(
+            8000
+        )
+        assert exact.total_variation_distance(empirical) < 0.03
+
+    def test_twelve_scenarios_for_ta_shape(self):
+        """A full TA-shaped graph yields exactly the paper's 12 scenarios."""
+        profile = OperationalProfile({
+            ("Start", "home"): 0.6, ("Start", "browse"): 0.4,
+            ("home", "browse"): 0.2, ("home", "search"): 0.3,
+            ("home", "Exit"): 0.5,
+            ("browse", "home"): 0.1, ("browse", "search"): 0.4,
+            ("browse", "Exit"): 0.5,
+            ("search", "book"): 0.3, ("search", "Exit"): 0.7,
+            ("book", "search"): 0.2, ("book", "pay"): 0.4,
+            ("book", "Exit"): 0.4,
+            ("pay", "Exit"): 1.0,
+        })
+        dist = profile.scenario_distribution()
+        assert len(dist) == 12
+        # No scenario may contain book without search, or pay without book.
+        for scenario in dist:
+            if "pay" in scenario.functions:
+                assert "book" in scenario.functions
+            if "book" in scenario.functions:
+                assert "search" in scenario.functions
+
+
+class TestSampling:
+    def test_sample_session_returns_functions_only(self, simple, rng):
+        session = simple.sample_session(rng)
+        assert set(session) <= {"home", "search"}
+        assert len(session) >= 1

@@ -1,0 +1,85 @@
+"""Tests for scenario types and distributions."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.profiles import Scenario, ScenarioDistribution
+
+
+@pytest.fixture
+def mix():
+    return ScenarioDistribution([
+        Scenario(frozenset(), 0.1),
+        Scenario(frozenset({"home"}), 0.5),
+        Scenario(frozenset({"home", "search"}), 0.4),
+    ])
+
+
+class TestScenario:
+    def test_probability_validated(self):
+        with pytest.raises(ValidationError):
+            Scenario(frozenset({"a"}), 1.2)
+
+    def test_functions_coerced_to_frozenset(self):
+        scenario = Scenario({"a", "b"}, 0.5)
+        assert isinstance(scenario.functions, frozenset)
+
+    def test_involves(self):
+        scenario = Scenario(frozenset({"home"}), 0.5)
+        assert scenario.involves("home")
+        assert not scenario.involves("pay")
+
+    def test_label_ordering(self):
+        scenario = Scenario(frozenset({"search", "home"}), 0.5)
+        assert scenario.label(order=["home", "search"]) == "{home, search}"
+        assert scenario.label() == "{home, search}"  # alphabetical fallback
+
+
+class TestScenarioDistribution:
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            ScenarioDistribution([
+                Scenario(frozenset({"a"}), 0.5),
+                Scenario(frozenset({"a"}), 0.5),
+            ])
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValidationError, match="sum"):
+            ScenarioDistribution([Scenario(frozenset({"a"}), 0.5)])
+
+    def test_probability_of(self, mix):
+        assert mix.probability_of({"home"}) == 0.5
+        assert mix.probability_of({"pay"}) == 0.0
+        assert mix.probability_of([]) == pytest.approx(0.1)
+
+    def test_activation_probability(self, mix):
+        assert mix.activation_probability("home") == pytest.approx(0.9)
+        assert mix.activation_probability("search") == pytest.approx(0.4)
+
+    def test_iteration_order_smallest_sets_first(self, mix):
+        sizes = [len(s.functions) for s in mix]
+        assert sizes == sorted(sizes)
+
+    def test_group_by(self, mix):
+        groups = mix.group_by(
+            lambda s: "deep" if "search" in s.functions else "shallow"
+        )
+        assert groups == {"shallow": pytest.approx(0.6), "deep": pytest.approx(0.4)}
+
+    def test_restricted_to(self, mix):
+        conditional = mix.restricted_to(lambda s: "home" in s.functions)
+        assert conditional.probability_of({"home"}) == pytest.approx(0.5 / 0.9)
+        assert sum(s.probability for s in conditional) == pytest.approx(1.0)
+
+    def test_restricted_to_empty_rejected(self, mix):
+        with pytest.raises(ValidationError):
+            mix.restricted_to(lambda s: "pay" in s.functions)
+
+    def test_total_variation_distance(self, mix):
+        assert mix.total_variation_distance(mix) == 0.0
+        other = ScenarioDistribution([
+            Scenario(frozenset(), 0.1),
+            Scenario(frozenset({"home"}), 0.4),
+            Scenario(frozenset({"home", "search"}), 0.5),
+        ])
+        assert mix.total_variation_distance(other) == pytest.approx(0.1)

@@ -1,0 +1,125 @@
+"""Property-based tests for the availability layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import (
+    ImperfectCoverageFarm,
+    PerfectCoverageFarm,
+    WebServiceModel,
+)
+
+small_rates = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+server_counts = st.integers(min_value=1, max_value=8)
+
+
+class TestFarmInvariants:
+    @given(server_counts, small_rates, small_rates)
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_farm_matches_ctmc(self, servers, lam, mu):
+        farm = PerfectCoverageFarm(
+            servers=servers, failure_rate=lam, repair_rate=mu
+        )
+        closed = farm.state_probabilities()
+        numeric = farm.to_ctmc().steady_state()
+        for i in range(servers + 1):
+            assert closed[i] == pytest.approx(numeric[i], abs=1e-9)
+
+    @given(
+        server_counts,
+        small_rates,
+        small_rates,
+        st.floats(min_value=0.0, max_value=1.0),
+        small_rates,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_imperfect_farm_matches_ctmc(self, servers, lam, mu, c, beta):
+        farm = ImperfectCoverageFarm(
+            servers=servers, failure_rate=lam, repair_rate=mu,
+            coverage=c, reconfiguration_rate=beta,
+        )
+        operational, down = farm.state_probabilities()
+        total = sum(operational.values()) + sum(down.values())
+        assert total == pytest.approx(1.0, abs=1e-9)
+        numeric = farm.to_ctmc().steady_state()
+        for i in range(servers + 1):
+            assert operational[i] == pytest.approx(numeric[i], abs=1e-9)
+
+    @given(server_counts, small_rates, small_rates, small_rates)
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_monotone(self, servers, lam, mu, beta):
+        """Better coverage never increases the down-state probability."""
+        def down(c):
+            return ImperfectCoverageFarm(
+                servers=servers, failure_rate=lam, repair_rate=mu,
+                coverage=c, reconfiguration_rate=beta,
+            ).down_state_probability()
+
+        assert down(0.99) <= down(0.5) + 1e-12
+
+
+class TestWebServiceInvariants:
+    @given(
+        server_counts,
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=1e-6, max_value=1.0),
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.5, max_value=1.0),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_availability_in_unit_interval(
+        self, servers, alpha, nu, lam, mu, coverage, data
+    ):
+        capacity = data.draw(st.integers(servers, servers + 30))
+        model = WebServiceModel(
+            servers=servers, arrival_rate=alpha, service_rate=nu,
+            buffer_capacity=capacity, failure_rate=lam, repair_rate=mu,
+            coverage=coverage, reconfiguration_rate=12.0,
+        )
+        breakdown = model.loss_breakdown()
+        assert 0.0 <= model.availability() <= 1.0
+        assert breakdown.buffer_full >= 0.0
+        assert breakdown.all_servers_down >= 0.0
+        assert breakdown.manual_reconfiguration >= 0.0
+        assert breakdown.total_unavailability == pytest.approx(
+            1.0 - model.availability(), abs=1e-12
+        )
+
+    @given(
+        st.floats(min_value=0.001, max_value=0.5),
+        st.floats(min_value=0.001, max_value=0.5),
+        st.floats(min_value=10.0, max_value=200.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deadline_availability_monotone_and_bounded(
+        self, deadline_a, deadline_b, alpha
+    ):
+        model = WebServiceModel(
+            servers=3, arrival_rate=alpha, service_rate=100.0,
+            buffer_capacity=10, failure_rate=1e-3, repair_rate=1.0,
+            coverage=0.95, reconfiguration_rate=12.0,
+        )
+        low, high = sorted((deadline_a, deadline_b))
+        a_low = model.deadline_availability(low)
+        a_high = model.deadline_availability(high)
+        assert 0.0 <= a_low <= a_high + 1e-12
+        assert a_high <= model.availability() + 1e-12
+
+    @given(
+        st.floats(min_value=1.0, max_value=200.0),
+        st.floats(min_value=1e-6, max_value=0.1),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reward_model_consistency(self, alpha, lam, mu):
+        model = WebServiceModel(
+            servers=3, arrival_rate=alpha, service_rate=100.0,
+            buffer_capacity=10, failure_rate=lam, repair_rate=mu,
+            coverage=0.95, reconfiguration_rate=12.0,
+        )
+        assert model.reward_model().steady_state_reward() == pytest.approx(
+            model.availability(), abs=1e-10
+        )

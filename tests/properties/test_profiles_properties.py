@@ -1,0 +1,83 @@
+"""Property-based tests for operational profiles."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelStructureError
+from repro.profiles import OperationalProfile
+
+FUNCTIONS = ["f1", "f2", "f3"]
+
+
+@st.composite
+def profiles(draw):
+    """Random valid profiles over up to three functions.
+
+    Every function gets an Exit edge with probability mass >= 0.2, which
+    guarantees sessions terminate.
+    """
+    n = draw(st.integers(1, 3))
+    functions = FUNCTIONS[:n]
+    transitions = {}
+    # Start edges.
+    weights = [draw(st.floats(0.05, 1.0)) for _ in functions]
+    total = sum(weights)
+    for f, w in zip(functions, weights):
+        transitions[("Start", f)] = w / total
+    # Function edges: to other functions and Exit.
+    for f in functions:
+        targets = [g for g in functions if g != f] + ["Exit"]
+        weights = [draw(st.floats(0.0, 1.0)) for _ in targets]
+        weights[-1] = max(weights[-1], 0.2)  # ensure escape
+        total = sum(weights)
+        for target, w in zip(targets, weights):
+            if w > 0:
+                transitions[(f, target)] = w / total
+    return OperationalProfile(transitions)
+
+
+class TestScenarioDistributionInvariants:
+    @given(profiles())
+    @settings(max_examples=50, deadline=None)
+    def test_distribution_normalized(self, profile):
+        dist = profile.scenario_distribution()
+        assert sum(s.probability for s in dist) == pytest.approx(1.0, abs=1e-9)
+
+    @given(profiles())
+    @settings(max_examples=50, deadline=None)
+    def test_activation_probabilities_agree(self, profile):
+        """Two independent computations of P(visit f): hitting analysis
+        on the session chain vs marginalization of the scenario
+        distribution."""
+        dist = profile.scenario_distribution()
+        for function in profile.functions:
+            direct = profile.activation_probability(function)
+            marginal = dist.activation_probability(function)
+            assert direct == pytest.approx(marginal, abs=1e-9)
+
+    @given(profiles())
+    @settings(max_examples=50, deadline=None)
+    def test_expected_visits_at_least_activation(self, profile):
+        """E[visits] >= P(visit at least once)."""
+        for function in profile.functions:
+            assert (
+                profile.expected_visits(function)
+                >= profile.activation_probability(function) - 1e-9
+            )
+
+    @given(profiles())
+    @settings(max_examples=50, deadline=None)
+    def test_scenarios_only_reference_known_functions(self, profile):
+        dist = profile.scenario_distribution()
+        known = set(profile.functions)
+        for scenario in dist:
+            assert scenario.functions <= known
+
+    @given(profiles())
+    @settings(max_examples=30, deadline=None)
+    def test_session_length_is_sum_of_visits(self, profile):
+        total = sum(
+            profile.expected_visits(f) for f in profile.functions
+        )
+        assert profile.expected_session_length() == pytest.approx(total)

@@ -1,0 +1,84 @@
+"""Property-based tests for the queueing layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    MMCKQueue,
+    erlang_b,
+    mm1k_blocking_probability,
+    mmck_blocking_probability,
+)
+
+loads = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+capacities = st.integers(min_value=1, max_value=60)
+
+
+class TestBlockingProbabilityBounds:
+    @given(loads, capacities)
+    @settings(max_examples=100, deadline=None)
+    def test_mm1k_in_unit_interval(self, load, capacity):
+        p = mm1k_blocking_probability(load, capacity)
+        assert 0.0 <= p <= 1.0
+
+    @given(loads, st.integers(1, 10), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_mmck_in_unit_interval(self, load, servers, data):
+        capacity = data.draw(st.integers(servers, servers + 50))
+        p = mmck_blocking_probability(load, servers, capacity)
+        assert 0.0 <= p <= 1.0
+
+    @given(loads, st.integers(1, 8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_extra_capacity_never_hurts(self, load, servers, data):
+        capacity = data.draw(st.integers(servers, servers + 30))
+        p_small = mmck_blocking_probability(load, servers, capacity)
+        p_large = mmck_blocking_probability(load, servers, capacity + 1)
+        assert p_large <= p_small + 1e-12
+
+    @given(loads, st.integers(1, 8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_extra_server_never_hurts(self, load, servers, data):
+        capacity = data.draw(st.integers(servers + 1, servers + 30))
+        p_few = mmck_blocking_probability(load, servers, capacity)
+        p_more = mmck_blocking_probability(load, servers + 1, capacity)
+        assert p_more <= p_few + 1e-12
+
+
+class TestMetricsInvariants:
+    @given(
+        st.floats(min_value=0.1, max_value=300.0),
+        st.floats(min_value=0.1, max_value=300.0),
+        st.integers(1, 6),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_littles_law_and_bounds(self, arrival, service, servers, data):
+        capacity = data.draw(st.integers(servers, servers + 25))
+        metrics = MMCKQueue(
+            arrival_rate=arrival,
+            service_rate=service,
+            servers=servers,
+            capacity=capacity,
+        ).metrics()
+        assert 0.0 <= metrics.blocking_probability <= 1.0
+        assert 0.0 <= metrics.utilization <= 1.0
+        assert metrics.mean_number_in_system <= capacity + 1e-9
+        assert metrics.mean_number_in_queue >= -1e-12
+        assert metrics.mean_number_in_system == pytest.approx(
+            metrics.effective_arrival_rate * metrics.mean_response_time,
+            rel=1e-6,
+        )
+
+
+class TestErlangInvariants:
+    @given(st.integers(1, 30), st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_erlang_b_bounds_and_recursion(self, servers, load):
+        b = erlang_b(servers, load)
+        assert 0.0 <= b <= 1.0
+        if servers > 1 and load > 0:
+            prev = erlang_b(servers - 1, load)
+            expected = load * prev / (servers + load * prev)
+            assert b == pytest.approx(expected, rel=1e-9)

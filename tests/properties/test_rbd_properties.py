@@ -1,0 +1,102 @@
+"""Property-based tests for RBDs and their fault-tree duals."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faulttree import from_rbd, top_event_probability
+from repro.rbd import (
+    Component,
+    KofN,
+    Parallel,
+    Series,
+    structure_function,
+    system_availability,
+)
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def blocks(draw, depth=0):
+    """Random RBD trees over a fixed small component pool."""
+    if depth >= 2 or draw(st.booleans()):
+        return Component(draw(st.sampled_from(NAMES)))
+    kind = draw(st.sampled_from(["series", "parallel", "kofn"]))
+    n_children = draw(st.integers(2, 3))
+    children = [draw(blocks(depth=depth + 1)) for _ in range(n_children)]
+    if kind == "series":
+        return Series(*children)
+    if kind == "parallel":
+        return Parallel(*children)
+    k = draw(st.integers(1, n_children))
+    return KofN(k, children)
+
+
+@st.composite
+def availabilities(draw):
+    return {
+        name: draw(st.floats(min_value=0.0, max_value=1.0))
+        for name in NAMES
+    }
+
+
+def brute_force(block, probs):
+    names = sorted(set(block.component_names()))
+    total = 0.0
+    for states in itertools.product([False, True], repeat=len(names)):
+        assignment = dict(zip(names, states))
+        weight = 1.0
+        for name, up in assignment.items():
+            weight *= probs[name] if up else 1.0 - probs[name]
+        if structure_function(block, assignment):
+            total += weight
+    return total
+
+
+class TestExactness:
+    @given(blocks(), availabilities())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, block, probs):
+        assert system_availability(block, probs) == pytest.approx(
+            brute_force(block, probs), abs=1e-9
+        )
+
+    @given(blocks(), availabilities())
+    @settings(max_examples=60, deadline=None)
+    def test_fault_tree_dual(self, block, probs):
+        tree = from_rbd(block)
+        failure = top_event_probability(
+            tree, {n: 1.0 - p for n, p in probs.items()}
+        )
+        assert failure == pytest.approx(
+            1.0 - system_availability(block, probs), abs=1e-9
+        )
+
+
+class TestMonotonicity:
+    @given(blocks(), availabilities(), st.sampled_from(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_coherent_in_every_component(self, block, probs, name):
+        """Raising any component's availability never lowers the system's."""
+        if name not in set(block.component_names()):
+            return
+        lower = dict(probs, **{name: probs[name] * 0.5})
+        higher = dict(probs, **{name: probs[name] * 0.5 + 0.5})
+        assert system_availability(block, higher) >= (
+            system_availability(block, lower) - 1e-12
+        )
+
+    @given(blocks(), availabilities())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, block, probs):
+        value = system_availability(block, probs)
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+    @given(blocks())
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_components_perfect_system(self, block):
+        probs = {n: 1.0 for n in NAMES}
+        assert system_availability(block, probs) == pytest.approx(1.0)

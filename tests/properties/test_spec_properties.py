@@ -1,0 +1,96 @@
+"""Property-based tests for declarative model specifications."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec import model_from_dict
+
+availabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def structures(draw, resource_names, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        return draw(st.sampled_from(resource_names))
+    kind = draw(st.sampled_from(["series", "parallel", "k_of_n"]))
+    n = draw(st.integers(2, 3))
+    children = [
+        draw(structures(resource_names, depth=depth + 1)) for _ in range(n)
+    ]
+    if kind == "k_of_n":
+        return {"k_of_n": {"k": draw(st.integers(1, n)), "of": children}}
+    return {kind: children}
+
+
+@st.composite
+def specs(draw):
+    resource_names = ["r1", "r2", "r3", "r4"]
+    resources = {name: draw(availabilities) for name in resource_names}
+    service_names = ["s1", "s2", "s3"]
+    services = {
+        name: draw(structures(resource_names)) for name in service_names
+    }
+    functions = {}
+    for fname in ["f1", "f2"]:
+        count = draw(st.integers(1, 3))
+        functions[fname] = {
+            "services": draw(
+                st.lists(
+                    st.sampled_from(service_names),
+                    min_size=1, max_size=count, unique=True,
+                )
+            )
+        }
+    return {
+        "resources": resources,
+        "services": services,
+        "functions": functions,
+    }
+
+
+class TestSpecInvariants:
+    @given(specs())
+    @settings(max_examples=50, deadline=None)
+    def test_builds_and_evaluates_in_bounds(self, spec):
+        model = model_from_dict(spec)
+        for name in model.functions:
+            value = model.function_availability(name)
+            assert -1e-12 <= value <= 1.0 + 1e-12
+
+    @given(specs())
+    @settings(max_examples=50, deadline=None)
+    def test_service_availability_bounded_by_best_resource_structure(
+        self, spec
+    ):
+        """Series <= min child; parallel >= max child (coherence)."""
+        model = model_from_dict(spec)
+        resources = spec["resources"]
+        for name, structure in spec["services"].items():
+            value = model.service_availability(name)
+            if isinstance(structure, dict) and "series" in structure:
+                children = structure["series"]
+                bare = [c for c in children if isinstance(c, str)]
+                if bare:
+                    assert value <= min(resources[c] for c in bare) + 1e-12
+            if isinstance(structure, dict) and "parallel" in structure:
+                children = structure["parallel"]
+                bare = [c for c in children if isinstance(c, str)]
+                if bare:
+                    assert value >= max(resources[c] for c in bare) - 1e-12
+
+    @given(spec=specs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_through_json(self, spec, tmp_path_factory):
+        import json
+
+        from repro.spec import load_model
+
+        path = tmp_path_factory.mktemp("specs") / "model.json"
+        path.write_text(json.dumps(spec))
+        loaded, _ = load_model(path)
+        direct = model_from_dict(spec)
+        for name in direct.functions:
+            assert loaded.function_availability(name) == pytest.approx(
+                direct.function_availability(name), abs=1e-14
+            )

@@ -1,0 +1,73 @@
+"""Property-based tests for the GSPN engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import birth_death_distribution
+from repro.spn import SPNAnalysis, StochasticPetriNet
+
+rates = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def birth_death_nets(draw):
+    """A random bounded birth-death net plus the matching rate lists."""
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    births = [draw(rates) for _ in range(capacity)]
+    deaths = [draw(rates) for _ in range(capacity)]
+
+    net = StochasticPetriNet("bd")
+    net.add_place("tokens", tokens=0, capacity=capacity)
+    # Marking-dependent rates realize arbitrary birth/death profiles.
+    net.add_timed_transition(
+        "birth",
+        rate_function=lambda m, b=births, c=capacity: (
+            b[m["tokens"]] if m["tokens"] < c else b[-1]
+        ),
+    )
+    net.add_output_arc("birth", "tokens")
+    net.add_timed_transition(
+        "death",
+        rate_function=lambda m, d=deaths: d[m["tokens"] - 1],
+    )
+    net.add_input_arc("tokens", "death")
+    return net, births, deaths, capacity
+
+
+class TestBirthDeathEquivalence:
+    @given(birth_death_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_product_form(self, data):
+        net, births, deaths, capacity = data
+        analysis = SPNAnalysis(net)
+        expected = birth_death_distribution(births, deaths)
+        assert analysis.tangible_count == capacity + 1
+        for n in range(capacity + 1):
+            probability = analysis.probability(
+                lambda m, n=n: m["tokens"] == n
+            )
+            assert probability == pytest.approx(
+                float(expected[n]), abs=1e-9
+            )
+
+    @given(birth_death_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_flow_balance(self, data):
+        """Steady-state birth and death throughputs must be equal."""
+        net, *_ = data
+        analysis = SPNAnalysis(net)
+        assert analysis.throughput("birth") == pytest.approx(
+            analysis.throughput("death"), rel=1e-8
+        )
+
+    @given(birth_death_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_expected_tokens_consistent(self, data):
+        net, births, deaths, capacity = data
+        analysis = SPNAnalysis(net)
+        expected = birth_death_distribution(births, deaths)
+        mean = sum(n * float(expected[n]) for n in range(capacity + 1))
+        assert analysis.expected_tokens("tokens") == pytest.approx(
+            mean, abs=1e-9
+        )

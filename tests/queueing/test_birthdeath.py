@@ -1,0 +1,49 @@
+"""Tests for the generic birth-death steady-state solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import birth_death_distribution
+
+
+class TestBirthDeathDistribution:
+    def test_two_state_closed_form(self):
+        dist = birth_death_distribution([2.0], [3.0])
+        assert dist == pytest.approx([0.6, 0.4])
+
+    def test_matches_ctmc_steady_state(self):
+        from repro.markov import birth_death_chain
+
+        births = [3.0, 2.0, 1.0]
+        deaths = [1.0, 2.0, 3.0]
+        dist = birth_death_distribution(births, deaths)
+        pi = birth_death_chain(births, deaths).steady_state()
+        for i in range(4):
+            assert dist[i] == pytest.approx(pi[i], abs=1e-12)
+
+    def test_zero_birth_truncates(self):
+        dist = birth_death_distribution([1.0, 0.0, 1.0], [1.0, 1.0, 1.0])
+        assert dist[2] == 0.0
+        assert dist[3] == 0.0
+        assert dist[:2].sum() == pytest.approx(1.0)
+
+    def test_normalization(self):
+        rng = np.random.default_rng(2)
+        births = rng.uniform(0.1, 5.0, 20)
+        deaths = rng.uniform(0.1, 5.0, 20)
+        dist = birth_death_distribution(births, deaths)
+        assert dist.sum() == pytest.approx(1.0)
+        assert np.all(dist >= 0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError, match="equal length"):
+            birth_death_distribution([1.0], [1.0, 2.0])
+
+    def test_rejects_nonpositive_death(self):
+        with pytest.raises(ValidationError):
+            birth_death_distribution([1.0], [0.0])
+
+    def test_rejects_negative_birth(self):
+        with pytest.raises(ValidationError):
+            birth_death_distribution([-1.0], [1.0])

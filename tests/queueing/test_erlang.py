@@ -1,0 +1,59 @@
+"""Tests for the Erlang B / Erlang C formulas."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import erlang_b, erlang_c
+
+
+class TestErlangB:
+    def test_textbook_value(self):
+        # B(2, 1) = (1/2!)/(1 + 1 + 1/2) = 0.2
+        assert erlang_b(2, 1.0) == pytest.approx(0.2)
+
+    def test_direct_formula(self):
+        c, a = 5, 3.0
+        direct = (a**c / math.factorial(c)) / sum(
+            a**j / math.factorial(j) for j in range(c + 1)
+        )
+        assert erlang_b(c, a) == pytest.approx(direct, rel=1e-12)
+
+    def test_zero_load(self):
+        assert erlang_b(3, 0.0) == 0.0
+
+    def test_monotone_decreasing_in_servers(self):
+        values = [erlang_b(c, 4.0) for c in range(1, 12)]
+        assert values == sorted(values, reverse=True)
+
+    def test_huge_load_does_not_overflow(self):
+        assert 0.9 < erlang_b(10, 1e6) < 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            erlang_b(0, 1.0)
+        with pytest.raises(ValidationError):
+            erlang_b(2, -1.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+
+    def test_direct_formula(self):
+        c, a = 4, 3.0
+        b = erlang_b(c, a)
+        expected = b / (1.0 - (a / c) * (1.0 - b))
+        assert erlang_c(c, a) == pytest.approx(expected)
+
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_c_at_least_b(self):
+        for a in (0.5, 1.5, 2.9):
+            assert erlang_c(3, a) >= erlang_b(3, a)
+
+    def test_rejects_saturated_load(self):
+        with pytest.raises(ValidationError):
+            erlang_c(2, 2.0)

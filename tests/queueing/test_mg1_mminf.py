@@ -1,0 +1,87 @@
+"""Tests for the M/G/1 and M/M/infinity queues."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import MG1Queue, MM1Queue, MMInfQueue
+
+
+class TestMG1:
+    def test_exponential_service_reduces_to_mm1(self):
+        mg1 = MG1Queue(0.7, 1.0, service_scv=1.0).metrics()
+        mm1 = MM1Queue(0.7, 1.0).metrics()
+        assert mg1.mean_waiting_time == pytest.approx(mm1.mean_waiting_time)
+        assert mg1.mean_number_in_system == pytest.approx(
+            mm1.mean_number_in_system
+        )
+
+    def test_deterministic_service_halves_waiting(self):
+        md1 = MG1Queue(0.8, 1.0, service_scv=0.0)
+        mm1 = MG1Queue(0.8, 1.0, service_scv=1.0)
+        assert md1.mean_waiting_time() == pytest.approx(
+            mm1.mean_waiting_time() / 2.0
+        )
+
+    def test_high_variability_hurts(self):
+        waits = [
+            MG1Queue(0.8, 1.0, service_scv=scv).mean_waiting_time()
+            for scv in (0.0, 1.0, 4.0, 16.0)
+        ]
+        assert waits == sorted(waits)
+
+    def test_littles_law(self):
+        m = MG1Queue(0.6, 1.0, service_scv=2.5).metrics()
+        assert m.mean_number_in_queue == pytest.approx(
+            m.arrival_rate * m.mean_waiting_time
+        )
+
+    def test_pollaczek_khinchine_formula(self):
+        lam, mu, scv = 0.5, 1.0, 3.0
+        rho = lam / mu
+        expected = rho * (1 + scv) / (2 * (mu - lam))
+        assert MG1Queue(lam, mu, scv).mean_waiting_time() == pytest.approx(
+            expected
+        )
+
+    def test_stability_required(self):
+        with pytest.raises(ValidationError):
+            MG1Queue(1.0, 1.0)
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ValidationError):
+            MG1Queue(0.5, 1.0, service_scv=-0.1)
+
+
+class TestMMInf:
+    def test_poisson_occupancy(self):
+        q = MMInfQueue(arrival_rate=3.0, service_rate=1.0)
+        assert q.probability_of(0) == pytest.approx(math.exp(-3.0))
+        assert q.probability_of(3) == pytest.approx(
+            math.exp(-3.0) * 27.0 / 6.0
+        )
+        assert q.probability_of(-1) == 0.0
+
+    def test_occupancy_sums_to_one(self):
+        q = MMInfQueue(arrival_rate=2.0, service_rate=0.5)
+        assert sum(q.probability_of(n) for n in range(200)) == pytest.approx(
+            1.0
+        )
+
+    def test_no_waiting(self):
+        m = MMInfQueue(arrival_rate=5.0, service_rate=1.0).metrics()
+        assert m.mean_waiting_time == 0.0
+        assert m.mean_response_time == pytest.approx(1.0)
+        assert m.blocking_probability == 0.0
+
+    def test_bounds_the_mmck_family(self):
+        """M/M/c/K blocking tends to 0 as c grows toward the M/M/inf limit."""
+        from repro.queueing import mmck_blocking_probability
+
+        load = 3.0
+        blockings = [
+            mmck_blocking_probability(load, c, c + 30) for c in (1, 2, 4, 8, 16)
+        ]
+        assert blockings == sorted(blockings, reverse=True)
+        assert blockings[-1] < 1e-9

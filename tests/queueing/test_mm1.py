@@ -1,0 +1,48 @@
+"""Tests for the M/M/1 queue."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import MM1Queue
+
+
+class TestMM1:
+    def test_rejects_unstable_load(self):
+        with pytest.raises(ValidationError, match="stability"):
+            MM1Queue(arrival_rate=1.0, service_rate=1.0)
+
+    def test_utilization(self):
+        q = MM1Queue(arrival_rate=0.5, service_rate=2.0)
+        assert q.utilization == pytest.approx(0.25)
+
+    def test_textbook_metrics(self):
+        q = MM1Queue(arrival_rate=1.0, service_rate=2.0)
+        m = q.metrics()
+        assert m.mean_number_in_system == pytest.approx(1.0)
+        assert m.mean_number_in_queue == pytest.approx(0.5)
+        assert m.mean_response_time == pytest.approx(1.0)
+        assert m.mean_waiting_time == pytest.approx(0.5)
+        assert m.blocking_probability == 0.0
+        assert m.throughput == pytest.approx(1.0)
+
+    def test_littles_law(self):
+        q = MM1Queue(arrival_rate=3.0, service_rate=4.0)
+        m = q.metrics()
+        assert m.mean_number_in_system == pytest.approx(
+            m.arrival_rate * m.mean_response_time
+        )
+
+    def test_state_probabilities_geometric(self):
+        q = MM1Queue(arrival_rate=1.0, service_rate=2.0)
+        assert q.probability_of(0) == pytest.approx(0.5)
+        assert q.probability_of(3) == pytest.approx(0.5 * 0.5**3)
+        assert q.probability_of(-1) == 0.0
+
+    def test_state_probabilities_sum_to_one(self):
+        q = MM1Queue(arrival_rate=1.0, service_rate=2.0)
+        assert sum(q.probability_of(n) for n in range(200)) == pytest.approx(1.0)
+
+    def test_waiting_time_explodes_near_saturation(self):
+        light = MM1Queue(arrival_rate=0.5, service_rate=1.0).metrics()
+        heavy = MM1Queue(arrival_rate=0.99, service_rate=1.0).metrics()
+        assert heavy.mean_waiting_time > 50 * light.mean_waiting_time

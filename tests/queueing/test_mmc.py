@@ -1,0 +1,53 @@
+"""Tests for the M/M/c queue."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import MMCQueue, MM1Queue
+
+
+class TestMMC:
+    def test_rejects_unstable_load(self):
+        with pytest.raises(ValidationError):
+            MMCQueue(arrival_rate=4.0, service_rate=1.0, servers=4)
+
+    def test_single_server_reduces_to_mm1(self):
+        mmc = MMCQueue(arrival_rate=0.7, service_rate=1.0, servers=1).metrics()
+        mm1 = MM1Queue(arrival_rate=0.7, service_rate=1.0).metrics()
+        assert mmc.mean_number_in_system == pytest.approx(
+            mm1.mean_number_in_system
+        )
+        assert mmc.mean_waiting_time == pytest.approx(mm1.mean_waiting_time)
+
+    def test_waiting_probability_is_erlang_c(self):
+        from repro.queueing import erlang_c
+
+        q = MMCQueue(arrival_rate=3.0, service_rate=1.0, servers=4)
+        assert q.probability_of_waiting() == pytest.approx(erlang_c(4, 3.0))
+
+    def test_littles_law(self):
+        q = MMCQueue(arrival_rate=5.0, service_rate=2.0, servers=4)
+        m = q.metrics()
+        assert m.mean_number_in_system == pytest.approx(
+            m.arrival_rate * m.mean_response_time
+        )
+
+    def test_state_probabilities_sum_to_one(self):
+        q = MMCQueue(arrival_rate=3.0, service_rate=1.0, servers=4)
+        assert sum(q.probability_of(n) for n in range(300)) == pytest.approx(1.0)
+
+    def test_state_probabilities_match_finite_approximation(self):
+        from repro.queueing import MMCKQueue
+
+        q = MMCQueue(arrival_rate=2.0, service_rate=1.0, servers=3)
+        finite = MMCKQueue(
+            arrival_rate=2.0, service_rate=1.0, servers=3, capacity=80
+        )
+        dist = finite.state_distribution()
+        for n in range(6):
+            assert q.probability_of(n) == pytest.approx(float(dist[n]), abs=1e-9)
+
+    def test_more_servers_cut_waiting(self):
+        few = MMCQueue(arrival_rate=3.0, service_rate=1.0, servers=4).metrics()
+        many = MMCQueue(arrival_rate=3.0, service_rate=1.0, servers=8).metrics()
+        assert many.mean_waiting_time < few.mean_waiting_time

@@ -1,0 +1,119 @@
+"""Tests for the M/M/c/K queue (paper eq. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import (
+    MMCKQueue,
+    mm1k_blocking_probability,
+    mmck_blocking_probability,
+)
+
+
+def paper_equation_3(a, i, k):
+    """Literal transcription of eq. (3) for cross-checking."""
+    numerator = a**k / (i ** (k - i) * math.factorial(i))
+    denominator = sum(a**j / math.factorial(j) for j in range(i)) + sum(
+        a**j / (i ** (j - i) * math.factorial(i)) for j in range(i, k + 1)
+    )
+    return numerator / denominator
+
+
+class TestBlockingFormula:
+    @pytest.mark.parametrize("servers", [2, 3, 4, 7, 10])
+    @pytest.mark.parametrize("load", [0.5, 1.0, 1.5])
+    def test_matches_literal_paper_equation(self, servers, load):
+        k = 10
+        assert mmck_blocking_probability(load, servers, k) == pytest.approx(
+            paper_equation_3(load, servers, k), rel=1e-12
+        )
+
+    def test_single_server_reduces_to_equation_1(self):
+        for load in (0.5, 1.0, 1.7):
+            assert mmck_blocking_probability(load, 1, 10) == pytest.approx(
+                mm1k_blocking_probability(load, 10)
+            )
+
+    def test_capacity_equal_servers_is_erlang_b(self):
+        from repro.queueing import erlang_b
+
+        assert mmck_blocking_probability(2.0, 3, 3) == pytest.approx(
+            erlang_b(3, 2.0)
+        )
+
+    def test_more_servers_block_less(self):
+        values = [
+            mmck_blocking_probability(1.0, i, 10) for i in range(1, 11)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_birth_death_solution(self):
+        # Independent check through the generic birth-death chain.
+        from repro.queueing import birth_death_distribution
+
+        alpha, nu, servers, k = 120.0, 100.0, 3, 10
+        births = [alpha] * k
+        deaths = [nu * min(n + 1, servers) for n in range(k)]
+        dist = birth_death_distribution(births, deaths)
+        assert mmck_blocking_probability(alpha / nu, servers, k) == pytest.approx(
+            float(dist[-1]), rel=1e-12
+        )
+
+    def test_rejects_capacity_below_servers(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            mmck_blocking_probability(1.0, 5, 3)
+
+    def test_numerical_stability_large_capacity(self):
+        value = mmck_blocking_probability(0.9, 4, 2000)
+        assert 0.0 <= value < 1e-300 or value == 0.0
+
+
+class TestMMCKQueue:
+    def test_paper_footnote_value(self):
+        # Four servers at aggregate load 1 barely ever block.
+        q = MMCKQueue(arrival_rate=100.0, service_rate=100.0, servers=4,
+                      capacity=10)
+        assert q.blocking_probability() == pytest.approx(
+            mmck_blocking_probability(1.0, 4, 10)
+        )
+        assert q.blocking_probability() < 1e-3
+
+    def test_state_distribution_sums_to_one(self):
+        q = MMCKQueue(arrival_rate=150.0, service_rate=100.0, servers=2,
+                      capacity=8)
+        assert q.state_distribution().sum() == pytest.approx(1.0)
+
+    def test_metrics_littles_law(self):
+        q = MMCKQueue(arrival_rate=150.0, service_rate=100.0, servers=2,
+                      capacity=8)
+        m = q.metrics()
+        assert m.mean_number_in_system == pytest.approx(
+            m.effective_arrival_rate * m.mean_response_time
+        )
+        assert m.mean_number_in_queue == pytest.approx(
+            m.effective_arrival_rate * m.mean_waiting_time
+        )
+
+    def test_utilization_below_one_even_overloaded(self):
+        q = MMCKQueue(arrival_rate=500.0, service_rate=100.0, servers=2,
+                      capacity=6)
+        assert 0.0 < q.metrics().utilization <= 1.0
+
+    def test_blocking_consistent_with_metrics(self):
+        q = MMCKQueue(arrival_rate=100.0, service_rate=100.0, servers=3,
+                      capacity=12)
+        assert q.metrics().blocking_probability == pytest.approx(
+            q.blocking_probability()
+        )
+
+    def test_rejects_capacity_below_servers(self):
+        with pytest.raises(ValidationError):
+            MMCKQueue(arrival_rate=1.0, service_rate=1.0, servers=4, capacity=2)
+
+    def test_offered_load(self):
+        q = MMCKQueue(arrival_rate=150.0, service_rate=100.0, servers=2,
+                      capacity=8)
+        assert q.offered_load == pytest.approx(1.5)

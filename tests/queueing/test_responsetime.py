@@ -1,0 +1,196 @@
+"""Tests for M/M/c/K response-time distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import MMCKQueue
+from repro.queueing.responsetime import (
+    erlang_cdf,
+    erlang_survival,
+    hypoexponential_survival,
+    mean_conditional_response_time,
+    response_time_quantile,
+    response_time_survival,
+    waiting_time_survival,
+)
+
+
+class TestErlang:
+    def test_single_stage_is_exponential(self):
+        assert erlang_survival(1, 2.0, 0.5) == pytest.approx(math.exp(-1.0))
+
+    def test_survival_plus_cdf(self):
+        assert erlang_survival(3, 1.5, 2.0) + erlang_cdf(3, 1.5, 2.0) == (
+            pytest.approx(1.0)
+        )
+
+    def test_poisson_sum_identity(self):
+        # P(Erlang(m, v) > t) = sum_{j<m} e^{-vt} (vt)^j / j!.
+        m, v, t = 4, 2.0, 1.3
+        direct = sum(
+            math.exp(-v * t) * (v * t) ** j / math.factorial(j)
+            for j in range(m)
+        )
+        assert erlang_survival(m, v, t) == pytest.approx(direct, rel=1e-12)
+
+    def test_at_zero(self):
+        assert erlang_survival(5, 1.0, 0.0) == 1.0
+
+    def test_more_stages_longer(self):
+        assert erlang_survival(4, 1.0, 2.0) > erlang_survival(2, 1.0, 2.0)
+
+
+class TestHypoexponential:
+    def test_matches_numerical_integration(self):
+        # Erlang(2, 3) + Exp(1): integrate the convolution numerically.
+        from scipy import integrate
+
+        stages, stage_rate, final_rate, t = 2, 3.0, 1.0, 1.7
+
+        def integrand(u):
+            density = (
+                stage_rate**stages
+                * u ** (stages - 1)
+                * math.exp(-stage_rate * u)
+                / math.factorial(stages - 1)
+            )
+            return density * math.exp(-final_rate * (t - u))
+
+        late_service, _ = integrate.quad(integrand, 0.0, t)
+        expected = erlang_survival(stages, stage_rate, t) + late_service
+        assert hypoexponential_survival(
+            stages, stage_rate, final_rate, t
+        ) == pytest.approx(expected, rel=1e-9)
+
+    def test_equal_rates_collapse_to_erlang(self):
+        assert hypoexponential_survival(2, 1.0, 1.0, 3.0) == pytest.approx(
+            erlang_survival(3, 1.0, 3.0)
+        )
+
+    def test_final_rate_larger_fallback(self):
+        # final_rate > stage_rate exercises the phase-type fallback.
+        from scipy import integrate
+
+        stages, stage_rate, final_rate, t = 3, 1.0, 4.0, 2.0
+
+        def integrand(u):
+            density = (
+                stage_rate**stages
+                * u ** (stages - 1)
+                * math.exp(-stage_rate * u)
+                / math.factorial(stages - 1)
+            )
+            return density * math.exp(-final_rate * (t - u))
+
+        late_service, _ = integrate.quad(integrand, 0.0, t)
+        expected = erlang_survival(stages, stage_rate, t) + late_service
+        assert hypoexponential_survival(
+            stages, stage_rate, final_rate, t
+        ) == pytest.approx(expected, rel=1e-6)
+
+    def test_at_zero(self):
+        assert hypoexponential_survival(2, 3.0, 1.0, 0.0) == 1.0
+
+
+@pytest.fixture
+def single_server():
+    return MMCKQueue(arrival_rate=80.0, service_rate=100.0, servers=1,
+                     capacity=10)
+
+
+@pytest.fixture
+def multi_server():
+    return MMCKQueue(arrival_rate=250.0, service_rate=100.0, servers=3,
+                     capacity=12)
+
+
+class TestResponseTimeSurvival:
+    def test_monotone_decreasing_in_t(self, multi_server):
+        times = [0.0, 0.005, 0.01, 0.02, 0.05, 0.1]
+        values = [response_time_survival(multi_server, t) for t in times]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 1.0
+
+    def test_bounded_by_service_survival(self, single_server):
+        # Response time >= service time, so P(T > t) >= e^{-mu t}.
+        for t in (0.001, 0.01, 0.05):
+            assert response_time_survival(single_server, t) >= math.exp(
+                -100.0 * t
+            ) - 1e-12
+
+    def test_idle_queue_is_pure_service(self):
+        # Nearly always idle: response time ~ Exp(mu).
+        queue = MMCKQueue(arrival_rate=0.001, service_rate=100.0, servers=1,
+                          capacity=10)
+        t = 0.02
+        assert response_time_survival(queue, t) == pytest.approx(
+            math.exp(-100.0 * t), rel=1e-3
+        )
+
+    def test_mean_matches_littles_law(self, single_server, multi_server):
+        for queue in (single_server, multi_server):
+            metrics = queue.metrics()
+            assert mean_conditional_response_time(queue) == pytest.approx(
+                metrics.mean_response_time, rel=1e-10
+            )
+
+    def test_saturated_queue_rejected(self):
+        # An M/M/1/1 with astronomical load still accepts some requests;
+        # validation only trips on pK == 1, which cannot happen for
+        # finite rates — so check the validation path directly.
+        queue = MMCKQueue(arrival_rate=1.0, service_rate=1.0, servers=1,
+                          capacity=1)
+        assert 0.0 <= response_time_survival(queue, 1.0) <= 1.0
+
+    def test_matches_simulation_single_server(self, rng):
+        from repro.sim import simulate_mm1k_response_times
+
+        queue = MMCKQueue(arrival_rate=80.0, service_rate=100.0, servers=1,
+                          capacity=10)
+        samples = simulate_mm1k_response_times(
+            80.0, 100.0, 10, num_arrivals=120_000, rng=rng
+        )
+        for t in (0.01, 0.03, 0.06):
+            empirical = float(np.mean(samples > t))
+            analytic = response_time_survival(queue, t)
+            assert empirical == pytest.approx(analytic, abs=0.01)
+
+
+class TestWaitingTimeSurvival:
+    def test_zero_when_servers_idle(self):
+        queue = MMCKQueue(arrival_rate=0.001, service_rate=100.0, servers=2,
+                          capacity=10)
+        assert waiting_time_survival(queue, 0.0) < 1e-4
+
+    def test_atom_at_zero(self, multi_server):
+        # P(W > 0) = P(arrive when all servers busy) < 1.
+        value = waiting_time_survival(multi_server, 0.0)
+        assert 0.0 < value < 1.0
+
+    def test_below_response_survival(self, multi_server):
+        for t in (0.0, 0.01, 0.05):
+            assert waiting_time_survival(multi_server, t) <= (
+                response_time_survival(multi_server, t) + 1e-12
+            )
+
+
+class TestQuantile:
+    def test_roundtrip(self, single_server):
+        q99 = response_time_quantile(single_server, 0.99)
+        assert response_time_survival(single_server, q99) == pytest.approx(
+            0.01, abs=1e-9
+        )
+
+    def test_monotone_in_probability(self, multi_server):
+        q50 = response_time_quantile(multi_server, 0.5)
+        q95 = response_time_quantile(multi_server, 0.95)
+        q999 = response_time_quantile(multi_server, 0.999)
+        assert q50 < q95 < q999
+
+    def test_extremes(self, single_server):
+        assert response_time_quantile(single_server, 0.0) == 0.0
+        with pytest.raises(ValidationError):
+            response_time_quantile(single_server, 1.0)

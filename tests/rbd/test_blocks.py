@@ -1,0 +1,139 @@
+"""Tests for RBD block types."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.rbd import Component, KofN, Parallel, Series, k_of_n, parallel, series
+
+
+class TestComponent:
+    def test_default_availability_validated(self):
+        with pytest.raises(ValidationError):
+            Component("x", availability=1.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Component("")
+
+    def test_equality_and_hash(self):
+        assert Component("a", 0.9) == Component("a", 0.9)
+        assert Component("a") != Component("b")
+        assert len({Component("a", 0.9), Component("a", 0.9)}) == 1
+
+    def test_structural_requires_value(self):
+        with pytest.raises(ValidationError, match="no availability"):
+            Component("a")._structural({})
+
+
+class TestSeries:
+    def test_product_rule(self):
+        block = Series(Component("a"), Component("b"))
+        assert block._structural({"a": 0.9, "b": 0.8}) == pytest.approx(0.72)
+
+    def test_flattens_nested_series(self):
+        nested = Series(Series(Component("a"), Component("b")), Component("c"))
+        assert len(nested.children) == 3
+
+    def test_operator_sugar(self):
+        block = Component("a") & Component("b") & Component("c")
+        assert isinstance(block, Series)
+        assert block.component_names() == ("a", "b", "c")
+
+    def test_boolean_evaluation(self):
+        block = Series(Component("a"), Component("b"))
+        assert block._evaluate_bool({"a": True, "b": True})
+        assert not block._evaluate_bool({"a": True, "b": False})
+
+
+class TestParallel:
+    def test_complement_rule(self):
+        block = Parallel(Component("a"), Component("b"))
+        assert block._structural({"a": 0.9, "b": 0.9}) == pytest.approx(0.99)
+
+    def test_flattens_nested_parallel(self):
+        nested = Parallel(Parallel(Component("a"), Component("b")), Component("c"))
+        assert len(nested.children) == 3
+
+    def test_operator_sugar(self):
+        block = Component("a") | Component("b")
+        assert isinstance(block, Parallel)
+
+    def test_mixed_structure_preserved(self):
+        block = Parallel(Series(Component("a"), Component("b")), Component("c"))
+        assert len(block.children) == 2
+
+    def test_boolean_evaluation(self):
+        block = Parallel(Component("a"), Component("b"))
+        assert block._evaluate_bool({"a": False, "b": True})
+        assert not block._evaluate_bool({"a": False, "b": False})
+
+
+class TestKofN:
+    def test_two_of_three(self):
+        block = KofN(2, [Component(c) for c in "abc"])
+        probs = {"a": 0.9, "b": 0.9, "c": 0.9}
+        # 3 * 0.9^2 * 0.1 + 0.9^3
+        assert block._structural(probs) == pytest.approx(0.972)
+
+    def test_one_of_n_equals_parallel(self):
+        names = ["a", "b", "c", "d"]
+        probs = {n: 0.7 for n in names}
+        kofn = KofN(1, [Component(n) for n in names])
+        par = Parallel(*[Component(n) for n in names])
+        assert kofn._structural(probs) == pytest.approx(par._structural(probs))
+
+    def test_n_of_n_equals_series(self):
+        names = ["a", "b", "c"]
+        probs = {"a": 0.9, "b": 0.8, "c": 0.7}
+        kofn = KofN(3, [Component(n) for n in names])
+        ser = Series(*[Component(n) for n in names])
+        assert kofn._structural(probs) == pytest.approx(ser._structural(probs))
+
+    def test_heterogeneous_probabilities(self):
+        block = KofN(2, [Component("a"), Component("b"), Component("c")])
+        probs = {"a": 0.5, "b": 0.6, "c": 0.7}
+        expected = (
+            0.5 * 0.6 * 0.3
+            + 0.5 * 0.4 * 0.7
+            + 0.5 * 0.6 * 0.7
+            + 0.5 * 0.6 * 0.7  # a&b, a&c, b&c exactly-two terms + all three
+        )
+        # Compute directly by enumeration instead.
+        exact = 0.0
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    if a + b + c >= 2:
+                        exact += (
+                            (0.5 if a else 0.5)
+                            * (0.6 if b else 0.4)
+                            * (0.7 if c else 0.3)
+                        )
+        assert block._structural(probs) == pytest.approx(exact)
+
+    def test_boolean_evaluation(self):
+        block = KofN(2, [Component(c) for c in "abc"])
+        assert block._evaluate_bool({"a": True, "b": True, "c": False})
+        assert not block._evaluate_bool({"a": True, "b": False, "c": False})
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValidationError):
+            KofN(4, [Component(c) for c in "abc"])
+
+    def test_rejects_empty_children(self):
+        with pytest.raises(ValidationError):
+            KofN(1, [])
+
+
+class TestHelpers:
+    def test_string_coercion(self):
+        block = series("a", parallel("b", "c"))
+        assert block.component_names() == ("a", "b", "c")
+
+    def test_k_of_n_helper(self):
+        block = k_of_n(2, ["a", "b", "c"])
+        assert isinstance(block, KofN)
+
+    def test_rejects_non_block(self):
+        with pytest.raises(ValidationError):
+            series(42)

@@ -1,0 +1,91 @@
+"""Tests for exact RBD evaluation (including shared components)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.rbd import (
+    Component,
+    parallel,
+    series,
+    structure_function,
+    system_availability,
+)
+
+
+def brute_force_availability(block, probs):
+    """Enumerate all component states; exact for any sharing pattern."""
+    names = sorted(set(block.component_names()))
+    total = 0.0
+    for states in itertools.product([False, True], repeat=len(names)):
+        assignment = dict(zip(names, states))
+        weight = 1.0
+        for name, up in assignment.items():
+            weight *= probs[name] if up else 1.0 - probs[name]
+        if structure_function(block, assignment):
+            total += weight
+    return total
+
+
+class TestSystemAvailability:
+    def test_table3_structure(self):
+        # 1-of-N reservation systems at 0.9 each (the paper's Table 3).
+        for n in range(1, 6):
+            block = parallel(*[f"s{i}" for i in range(n)])
+            probs = {f"s{i}": 0.9 for i in range(n)}
+            assert system_availability(block, probs) == pytest.approx(
+                1.0 - 0.1**n
+            )
+
+    def test_uses_component_defaults(self):
+        block = Component("a", availability=0.9) & Component("b", availability=0.8)
+        assert system_availability(block) == pytest.approx(0.72)
+
+    def test_explicit_values_override_defaults(self):
+        block = Component("a", availability=0.9)
+        assert system_availability(block, {"a": 0.5}) == pytest.approx(0.5)
+
+    def test_missing_availability_raises(self):
+        with pytest.raises(ValidationError, match="no availability"):
+            system_availability(series("a", "b"), {"a": 0.9})
+
+    def test_shared_component_exact(self):
+        # "shared" appears on both parallel branches: the naive product
+        # rule would treat the two references as independent.
+        block = parallel(series("shared", "a"), series("shared", "b"))
+        probs = {"shared": 0.9, "a": 0.8, "b": 0.7}
+        exact = brute_force_availability(block, probs)
+        assert system_availability(block, probs) == pytest.approx(exact)
+        # And the naive rule is indeed wrong here.
+        naive = block._structural(probs)
+        assert abs(naive - exact) > 1e-3
+
+    def test_multiple_shared_components(self):
+        block = parallel(
+            series("x", "y", "a"),
+            series("x", "b"),
+            series("y", "c"),
+        )
+        probs = {n: 0.8 for n in ("x", "y", "a", "b", "c")}
+        assert system_availability(block, probs) == pytest.approx(
+            brute_force_availability(block, probs)
+        )
+
+    def test_bounds(self):
+        block = series("a", parallel("b", "c"))
+        probs = {"a": 0.95, "b": 0.9, "c": 0.5}
+        value = system_availability(block, probs)
+        assert 0.0 <= value <= 1.0
+        assert value <= probs["a"]  # series with 'a' caps at A(a)
+
+
+class TestStructureFunction:
+    def test_series_parallel(self):
+        block = series("a", parallel("b", "c"))
+        assert structure_function(block, {"a": True, "b": False, "c": True})
+        assert not structure_function(block, {"a": False, "b": True, "c": True})
+
+    def test_missing_state_raises(self):
+        with pytest.raises(ValidationError, match="no state"):
+            structure_function(series("a"), {})

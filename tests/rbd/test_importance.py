@@ -1,0 +1,104 @@
+"""Tests for RBD importance measures."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.rbd import (
+    birnbaum_importance,
+    criticality_importance,
+    improvement_potential,
+    parallel,
+    rank_components,
+    series,
+    system_availability,
+)
+
+
+@pytest.fixture
+def ta_like():
+    """LAN in series with a 1-of-2 reservation pair — a TA-like shape."""
+    return series("lan", parallel("f1", "f2")), {
+        "lan": 0.9966,
+        "f1": 0.9,
+        "f2": 0.9,
+    }
+
+
+class TestBirnbaum:
+    def test_series_component(self, ta_like):
+        block, probs = ta_like
+        # For lan in series: I_B = A(rest) = 1 - 0.1^2.
+        assert birnbaum_importance(block, "lan", probs) == pytest.approx(0.99)
+
+    def test_is_partial_derivative(self, ta_like):
+        block, probs = ta_like
+        h = 1e-7
+        up = dict(probs, f1=probs["f1"] + h)
+        down = dict(probs, f1=probs["f1"] - h)
+        numeric = (
+            system_availability(block, up) - system_availability(block, down)
+        ) / (2 * h)
+        assert birnbaum_importance(block, "f1", probs) == pytest.approx(
+            numeric, abs=1e-6
+        )
+
+    def test_series_dominates_redundant(self, ta_like):
+        block, probs = ta_like
+        assert birnbaum_importance(block, "lan", probs) > birnbaum_importance(
+            block, "f1", probs
+        )
+
+    def test_unknown_component(self, ta_like):
+        block, probs = ta_like
+        with pytest.raises(ValidationError):
+            birnbaum_importance(block, "nope", probs)
+
+
+class TestCriticality:
+    def test_in_unit_interval(self, ta_like):
+        block, probs = ta_like
+        for name in ("lan", "f1"):
+            value = criticality_importance(block, name, probs)
+            assert 0.0 <= value <= 1.0
+
+    def test_perfect_system_yields_zero(self):
+        block = series("a")
+        assert criticality_importance(block, "a", {"a": 1.0}) == 0.0
+
+    def test_single_component_system(self):
+        block = series("a")
+        # The only component is always the cause of failure.
+        assert criticality_importance(block, "a", {"a": 0.9}) == pytest.approx(1.0)
+
+
+class TestImprovementPotential:
+    def test_perfect_component_gains_nothing(self, ta_like):
+        block, probs = ta_like
+        probs = dict(probs, lan=1.0)
+        assert improvement_potential(block, "lan", probs) == pytest.approx(0.0)
+
+    def test_matches_definition(self, ta_like):
+        block, probs = ta_like
+        base = system_availability(block, probs)
+        improved = system_availability(block, dict(probs, lan=1.0))
+        assert improvement_potential(block, "lan", probs) == pytest.approx(
+            improved - base
+        )
+
+
+class TestRanking:
+    def test_series_component_ranks_first(self, ta_like):
+        block, probs = ta_like
+        ranking = rank_components(block, probs)
+        assert ranking[0][0] == "lan"
+
+    def test_all_measures_supported(self, ta_like):
+        block, probs = ta_like
+        for measure in ("birnbaum", "criticality", "improvement"):
+            ranking = rank_components(block, probs, measure=measure)
+            assert len(ranking) == 3
+
+    def test_unknown_measure(self, ta_like):
+        block, probs = ta_like
+        with pytest.raises(ValidationError, match="unknown measure"):
+            rank_components(block, probs, measure="voodoo")

@@ -1,0 +1,74 @@
+"""Tests for downtime conversions."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.reporting import (
+    DowntimeBudget,
+    availability_from_downtime,
+    downtime_hours_per_year,
+    downtime_minutes_per_year,
+    format_downtime,
+    nines,
+)
+
+
+class TestConversions:
+    def test_hours_per_year(self):
+        assert downtime_hours_per_year(0.5) == pytest.approx(4380.0)
+        assert downtime_hours_per_year(1.0) == 0.0
+
+    def test_minutes_per_year(self):
+        assert downtime_minutes_per_year(0.99999) == pytest.approx(5.256)
+
+    def test_roundtrip(self):
+        availability = 0.98018  # the paper's class A steady value
+        minutes = downtime_minutes_per_year(availability)
+        assert availability_from_downtime(minutes) == pytest.approx(availability)
+
+    def test_paper_class_a_downtime(self):
+        """Section 5.2: ~173 hours/year at A = 0.98018."""
+        assert downtime_hours_per_year(0.98018) == pytest.approx(173.6, abs=0.1)
+
+    def test_hours_unit(self):
+        assert availability_from_downtime(87.6, unit="hours") == pytest.approx(
+            0.99
+        )
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValidationError):
+            availability_from_downtime(1.0, unit="fortnights")
+
+    def test_downtime_beyond_year_rejected(self):
+        with pytest.raises(ValidationError):
+            availability_from_downtime(1e9, unit="minutes")
+
+
+class TestNines:
+    def test_standard_values(self):
+        assert nines(0.9) == pytest.approx(1.0)
+        assert nines(0.999) == pytest.approx(3.0)
+        assert nines(1.0) == float("inf")
+
+    def test_paper_web_service_is_five_nines(self):
+        assert 5.0 < nines(0.999995587) < 6.0
+
+
+class TestFormatDowntime:
+    def test_unit_selection(self):
+        assert format_downtime(0.99999).endswith("min/year")
+        assert format_downtime(0.9999999).endswith("s/year")
+        assert format_downtime(0.999).endswith("h/year")
+        assert format_downtime(0.9).endswith("days/year")
+
+
+class TestBudget:
+    def test_five_minute_budget(self):
+        budget = DowntimeBudget(minutes_per_year=5.0)
+        assert budget.required_availability == pytest.approx(1 - 5 / 525600.0)
+        assert budget.met_by(0.9999999)
+        assert not budget.met_by(0.999)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            DowntimeBudget(minutes_per_year=-1.0)

@@ -1,0 +1,66 @@
+"""Tests for text table/series rendering."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.reporting import format_series, format_table, log_bucket_label
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["N", "A"], [[1, "0.84"], [10, "0.98"]])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "N"
+        assert "0.84" in lines[2]
+        assert "0.98" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 8")
+        assert text.startswith("Table 8\n")
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-name", 1], ["s", 22]])
+        lines = text.splitlines()
+        pipes = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipes)) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_body(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestLogBucketLabel:
+    def test_decades(self):
+        assert log_bucket_label(1e-6, floor_exponent=-6) == ""
+        assert log_bucket_label(1e-3, floor_exponent=-6) == "###"
+        assert log_bucket_label(1.0, floor_exponent=-6) == "######"
+
+    def test_zero_value(self):
+        assert log_bucket_label(0.0) == ""
+
+
+class TestFormatSeries:
+    def test_aligned_series(self):
+        text = format_series(
+            "NW",
+            [1, 2, 3],
+            {"ua": [1e-2, 1e-4, 1e-6]},
+            log_bars=True,
+            floor_exponent=-8,
+        )
+        assert "1.000e-02" in text
+        assert "######" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="points"):
+            format_series("x", [1, 2], {"y": [1.0]})
+
+    def test_multiple_series(self):
+        text = format_series(
+            "x", [1], {"a": [0.5], "b": [0.25]}, value_format="{:.2f}"
+        )
+        assert "0.50" in text and "0.25" in text

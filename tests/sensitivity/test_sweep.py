@@ -1,0 +1,79 @@
+"""Tests for parameter sweeps."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sensitivity import grid_sweep, sweep
+
+
+class TestSweep:
+    def test_basic_sweep(self):
+        result = sweep(lambda x: x * 2.0, "x", [1, 2, 3])
+        assert result.values == (1, 2, 3)
+        assert result.outputs == (2.0, 4.0, 6.0)
+        assert result.as_pairs() == [(1, 2.0), (2, 4.0), (3, 6.0)]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep(lambda x: x, "x", [])
+
+    def test_argbest(self):
+        result = sweep(lambda x: -((x - 2) ** 2), "x", [0, 1, 2, 3])
+        assert result.argbest() == (2, 0.0)
+        assert result.argbest(maximize=False)[0] == 0
+
+    def test_first_crossing_above(self):
+        result = sweep(lambda n: 1 - 0.1**n, "servers", [1, 2, 3, 4])
+        value, output = result.first_crossing(0.99, above=True)
+        assert value == 2
+
+    def test_first_crossing_below(self):
+        result = sweep(lambda n: 0.1**n, "servers", [1, 2, 3])
+        value, _ = result.first_crossing(0.005, above=False)
+        assert value == 3
+
+    def test_first_crossing_never(self):
+        result = sweep(lambda n: 0.5, "x", [1, 2])
+        with pytest.raises(ValidationError, match="no swept value"):
+            result.first_crossing(0.9, above=True)
+
+    def test_paper_design_question(self):
+        """How many web servers for < 5 min/year? (Section 5.1)"""
+        from repro.availability import WebServiceModel
+
+        result = sweep(
+            lambda nw: WebServiceModel(
+                servers=int(nw), arrival_rate=50.0, service_rate=100.0,
+                buffer_capacity=10, failure_rate=1e-3, repair_rate=1.0,
+                coverage=0.98, reconfiguration_rate=12.0,
+            ).unavailability(),
+            "web servers",
+            range(1, 8),
+        )
+        value, _ = result.first_crossing(1e-5, above=False)
+        assert value == 2
+
+
+class TestGridSweep:
+    def test_grid_shape(self):
+        result = grid_sweep(
+            lambda r, c: r * 10 + c, "row", [1, 2], "col", [3, 4, 5]
+        )
+        assert result.outputs == ((13, 14, 15), (23, 24, 25))
+
+    def test_row_extraction(self):
+        result = grid_sweep(
+            lambda r, c: r + c, "row", [1, 2], "col", [10, 20]
+        )
+        row = result.row(2)
+        assert row.parameter == "col"
+        assert row.outputs == (12, 22)
+
+    def test_row_unknown_value(self):
+        result = grid_sweep(lambda r, c: 0.0, "row", [1], "col", [2])
+        with pytest.raises(ValidationError):
+            result.row(99)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValidationError):
+            grid_sweep(lambda r, c: 0.0, "row", [], "col", [1])

@@ -1,0 +1,84 @@
+"""Tests for tornado and elasticity analyses."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sensitivity import elasticity, tornado
+
+
+def linear_model(params):
+    return 2.0 * params["a"] + 0.5 * params["b"]
+
+
+class TestTornado:
+    def test_entries_sorted_by_swing(self):
+        entries = tornado(
+            linear_model,
+            base={"a": 1.0, "b": 1.0},
+            bounds={"a": (0.5, 1.5), "b": (0.0, 2.0)},
+        )
+        # a swings 2*(1.5-0.5) = 2.0; b swings 0.5*2 = 1.0.
+        assert [e.parameter for e in entries] == ["a", "b"]
+        assert entries[0].swing == pytest.approx(2.0)
+        assert entries[1].swing == pytest.approx(1.0)
+
+    def test_base_output_recorded(self):
+        entries = tornado(
+            linear_model, {"a": 1.0, "b": 2.0}, {"a": (0.0, 2.0)}
+        )
+        assert entries[0].base_output == pytest.approx(3.0)
+
+    def test_bounds_for_unknown_parameter(self):
+        with pytest.raises(ValidationError, match="not in base"):
+            tornado(linear_model, {"a": 1.0}, {"ghost": (0, 1)})
+
+    def test_ta_user_availability_tornado(self):
+        """The LAN/net/web dominate the TA tornado, as Section 4.3 says."""
+        from repro.ta import CLASS_A, TAParameters, TravelAgencyModel
+
+        def model(params):
+            ta = TravelAgencyModel(TAParameters(
+                internet_availability=params["net"],
+                lan_availability=params["lan"],
+                payment_availability=params["payment"],
+            ))
+            return ta.user_availability(CLASS_A).availability
+
+        base = {"net": 0.9966, "lan": 0.9966, "payment": 0.9}
+        bounds = {k: (v - 0.003, min(v + 0.003, 1.0)) for k, v in base.items()}
+        entries = tornado(model, base, bounds)
+        assert entries[0].parameter in ("net", "lan")
+        assert entries[-1].parameter == "payment"
+
+
+class TestElasticity:
+    def test_power_law_elasticities(self):
+        # f = a^2 * b^0.5: elasticities are the exponents.
+        def model(params):
+            return params["a"] ** 2 * params["b"] ** 0.5
+
+        result = elasticity(model, {"a": 3.0, "b": 4.0})
+        assert result["a"] == pytest.approx(2.0, rel=1e-5)
+        assert result["b"] == pytest.approx(0.5, rel=1e-5)
+
+    def test_zero_valued_parameter_skipped(self):
+        result = elasticity(lambda p: 1.0 + p["a"], {"a": 0.0, "b": 1.0})
+        assert "a" not in result
+
+    def test_explicit_parameter_subset(self):
+        result = elasticity(
+            linear_model, {"a": 1.0, "b": 1.0}, parameters=("a",)
+        )
+        assert set(result) == {"a"}
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValidationError):
+            elasticity(linear_model, {"a": 1.0, "b": 1.0}, parameters=("c",))
+
+    def test_zero_output_rejected(self):
+        with pytest.raises(ValidationError, match="zero"):
+            elasticity(lambda p: 0.0, {"a": 1.0})
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValidationError):
+            elasticity(linear_model, {"a": 1.0, "b": 1.0}, relative_step=0.0)

@@ -1,0 +1,86 @@
+"""Tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.sim import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+        assert sim.events_processed == 3
+
+    def test_ties_break_fifo(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run_until(2.0)
+        assert log == [1]
+        assert sim.now == 2.0
+        # The late event is still queued.
+        sim.run()
+        assert log == [1, 5]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        sim.run(max_events=10)
+        assert sim.events_processed == 10
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_event_loop_guard(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError, match="event loop"):
+            sim.run_until(1.0, max_events=100)
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False

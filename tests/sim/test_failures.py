@@ -1,0 +1,52 @@
+"""Failure/repair trajectory simulation vs analytic steady states."""
+
+import numpy as np
+import pytest
+
+from repro.availability import ImperfectCoverageFarm, WebServiceModel
+from repro.markov import CTMC
+from repro.sim import simulate_ctmc_occupancy, simulate_web_service_availability
+
+
+class TestOccupancy:
+    def test_two_state_occupancy(self, rng):
+        chain = CTMC(["up", "down"], [[-1.0, 1.0], [3.0, -3.0]])
+        occupancy = simulate_ctmc_occupancy(chain, "up", 20_000.0, rng)
+        assert occupancy["up"] == pytest.approx(0.75, abs=0.02)
+        assert sum(occupancy.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_farm_occupancy_matches_closed_form(self, rng):
+        farm = ImperfectCoverageFarm(
+            servers=3, failure_rate=0.05, repair_rate=1.0,
+            coverage=0.9, reconfiguration_rate=5.0,
+        )
+        occupancy = simulate_ctmc_occupancy(
+            farm.to_ctmc(), 3, 200_000.0, rng
+        )
+        operational, _ = farm.state_probabilities()
+        for i in (2, 3):
+            assert occupancy[i] == pytest.approx(operational[i], abs=0.01)
+
+    def test_absorbing_state_traps_forever(self, rng):
+        chain = CTMC.from_rates({("a", "b"): 10.0}, states=["a", "b"])
+        occupancy = simulate_ctmc_occupancy(chain, "a", 1000.0, rng)
+        assert occupancy["b"] > 0.99
+
+    def test_horizon_validation(self, rng):
+        chain = CTMC(["up", "down"], [[-1.0, 1.0], [1.0, -1.0]])
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            simulate_ctmc_occupancy(chain, "up", 0.0, rng)
+
+
+class TestWebServiceSimulation:
+    def test_matches_analytic_availability(self, rng):
+        # Rates inflated so failures actually happen within the horizon.
+        model = WebServiceModel(
+            servers=3, arrival_rate=100.0, service_rate=100.0,
+            buffer_capacity=10, failure_rate=0.01, repair_rate=1.0,
+            coverage=0.95, reconfiguration_rate=12.0,
+        )
+        estimate = simulate_web_service_availability(model, 300_000.0, rng)
+        assert estimate == pytest.approx(model.availability(), abs=5e-4)

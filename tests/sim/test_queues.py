@@ -1,0 +1,66 @@
+"""Queue simulation vs the analytic M/M/c/K results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import MMCKQueue, mmck_blocking_probability
+from repro.sim import QueueSimulation
+
+
+class TestQueueSimulation:
+    def test_blocking_converges_to_equation_3(self, rng):
+        sim = QueueSimulation(
+            arrival_rate=100.0, service_rate=100.0, servers=2, capacity=10,
+            rng=rng,
+        )
+        result = sim.run(num_arrivals=300_000)
+        exact = mmck_blocking_probability(1.0, 2, 10)
+        assert result.blocking_probability == pytest.approx(exact, rel=0.2)
+
+    def test_single_server_blocking(self, rng):
+        sim = QueueSimulation(
+            arrival_rate=1.0, service_rate=1.0, servers=1, capacity=5, rng=rng
+        )
+        result = sim.run(num_arrivals=100_000)
+        assert result.blocking_probability == pytest.approx(1.0 / 6.0, rel=0.05)
+
+    def test_mean_number_matches_analytic(self, rng):
+        sim = QueueSimulation(
+            arrival_rate=90.0, service_rate=100.0, servers=1, capacity=8,
+            rng=rng,
+        )
+        result = sim.run(num_arrivals=150_000)
+        analytic = MMCKQueue(
+            arrival_rate=90.0, service_rate=100.0, servers=1, capacity=8
+        ).metrics()
+        assert result.mean_number_in_system == pytest.approx(
+            analytic.mean_number_in_system, rel=0.05
+        )
+        assert result.utilization == pytest.approx(
+            analytic.utilization, rel=0.05
+        )
+
+    def test_conservation(self, rng):
+        sim = QueueSimulation(
+            arrival_rate=5.0, service_rate=1.0, servers=2, capacity=4, rng=rng
+        )
+        result = sim.run(num_arrivals=20_000)
+        # Everyone who arrived was either blocked, served, or still inside.
+        in_flight = result.arrivals - result.blocked - result.served
+        assert 0 <= in_flight <= 4
+
+    def test_no_blocking_when_capacity_ample(self, rng):
+        sim = QueueSimulation(
+            arrival_rate=1.0, service_rate=10.0, servers=4, capacity=400,
+            rng=rng,
+        )
+        result = sim.run(num_arrivals=5_000)
+        assert result.blocking_probability == 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            QueueSimulation(1.0, 1.0, servers=4, capacity=2, rng=rng)
+        sim = QueueSimulation(1.0, 1.0, servers=1, capacity=2, rng=rng)
+        with pytest.raises(ValidationError):
+            sim.run(num_arrivals=0)

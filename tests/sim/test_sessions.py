@@ -1,0 +1,63 @@
+"""Session simulation vs exact scenario and availability computations."""
+
+import numpy as np
+import pytest
+
+from repro.profiles import OperationalProfile
+from repro.sim import SessionSimulation, estimate_user_availability
+from repro.ta import CLASS_A, CLASS_B, TravelAgencyModel
+
+
+@pytest.fixture
+def ta_profile():
+    return OperationalProfile({
+        ("Start", "home"): 0.6, ("Start", "browse"): 0.4,
+        ("home", "browse"): 0.2, ("home", "search"): 0.3,
+        ("home", "Exit"): 0.5,
+        ("browse", "home"): 0.1, ("browse", "search"): 0.4,
+        ("browse", "Exit"): 0.5,
+        ("search", "book"): 0.3, ("search", "Exit"): 0.7,
+        ("book", "search"): 0.2, ("book", "pay"): 0.4,
+        ("book", "Exit"): 0.4,
+        ("pay", "Exit"): 1.0,
+    })
+
+
+class TestSessionSimulation:
+    def test_empirical_matches_exact(self, ta_profile, rng):
+        exact = ta_profile.scenario_distribution()
+        empirical = SessionSimulation(ta_profile, rng).empirical_scenario_distribution(
+            15_000
+        )
+        assert exact.total_variation_distance(empirical) < 0.02
+
+    def test_sample_counts(self, ta_profile, rng):
+        tally = SessionSimulation(ta_profile, rng).sample_sessions(500)
+        assert sum(tally.values()) == 500
+
+    def test_count_validation(self, ta_profile, rng):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            SessionSimulation(ta_profile, rng).sample_sessions(0)
+
+
+class TestUserAvailabilityEstimate:
+    def test_converges_to_equation_10(self, rng):
+        ta = TravelAgencyModel()
+        exact = ta.user_availability(CLASS_B).availability
+        estimate = estimate_user_availability(
+            ta.hierarchical_model, CLASS_B, sessions=40_000, rng=rng
+        )
+        # Binomial std at n = 40k is ~0.0009; allow 4 sigma.
+        assert estimate == pytest.approx(exact, abs=0.004)
+
+    def test_class_ordering_visible_in_simulation(self, rng):
+        ta = TravelAgencyModel()
+        est_a = estimate_user_availability(
+            ta.hierarchical_model, CLASS_A, sessions=30_000, rng=rng
+        )
+        est_b = estimate_user_availability(
+            ta.hierarchical_model, CLASS_B, sessions=30_000, rng=rng
+        )
+        assert est_a > est_b

@@ -1,0 +1,199 @@
+"""Tests for SPN reachability and steady-state analysis."""
+
+import pytest
+
+from repro.errors import ModelStructureError
+from repro.spn import SPNAnalysis, StochasticPetriNet
+
+
+def two_state_net(lam=1.0, mu=3.0):
+    net = StochasticPetriNet("component")
+    net.add_place("up", tokens=1)
+    net.add_place("down")
+    net.add_timed_transition("fail", rate=lam)
+    net.add_timed_transition("repair", rate=mu)
+    net.add_input_arc("up", "fail")
+    net.add_output_arc("fail", "down")
+    net.add_input_arc("down", "repair")
+    net.add_output_arc("repair", "up")
+    return net
+
+
+class TestTwoStateNet:
+    def test_availability(self):
+        analysis = SPNAnalysis(two_state_net())
+        assert analysis.probability(lambda m: m["up"] == 1) == pytest.approx(0.75)
+
+    def test_expected_tokens(self):
+        analysis = SPNAnalysis(two_state_net())
+        assert analysis.expected_tokens("up") == pytest.approx(0.75)
+        assert analysis.expected_tokens("down") == pytest.approx(0.25)
+
+    def test_throughput_balance(self):
+        analysis = SPNAnalysis(two_state_net())
+        # In steady state, failures and repairs happen at the same rate.
+        assert analysis.throughput("fail") == pytest.approx(
+            analysis.throughput("repair")
+        )
+
+    def test_tangible_count(self):
+        assert SPNAnalysis(two_state_net()).tangible_count == 2
+
+
+class TestQueueAsNet:
+    def test_mm1k_blocking_matches_queueing(self):
+        from repro.queueing import mm1k_blocking_probability
+
+        alpha, nu, k = 0.8, 1.0, 5
+        net = StochasticPetriNet("mm1k")
+        net.add_place("queue", tokens=0, capacity=k)
+        net.add_timed_transition("arrive", rate=alpha)
+        net.add_timed_transition("serve", rate=nu)
+        net.add_output_arc("arrive", "queue")
+        net.add_input_arc("queue", "serve")
+        analysis = SPNAnalysis(net)
+        blocking = analysis.probability(lambda m: m["queue"] == k)
+        assert blocking == pytest.approx(mm1k_blocking_probability(alpha, k))
+
+
+class TestImmediateTransitions:
+    def test_coverage_branching(self):
+        """A failure immediately branches covered/uncovered by weight."""
+        net = StochasticPetriNet("coverage")
+        net.add_place("up", tokens=1)
+        net.add_place("deciding")
+        net.add_place("auto")
+        net.add_place("manual")
+        net.add_timed_transition("fail", rate=1.0)
+        net.add_input_arc("up", "fail")
+        net.add_output_arc("fail", "deciding")
+        net.add_immediate_transition("covered", weight=0.98)
+        net.add_immediate_transition("uncovered", weight=0.02)
+        net.add_input_arc("deciding", "covered")
+        net.add_input_arc("deciding", "uncovered")
+        net.add_output_arc("covered", "auto")
+        net.add_output_arc("uncovered", "manual")
+        net.add_timed_transition("restart-auto", rate=100.0)
+        net.add_timed_transition("restart-manual", rate=1.0)
+        net.add_input_arc("auto", "restart-auto")
+        net.add_output_arc("restart-auto", "up")
+        net.add_input_arc("manual", "restart-manual")
+        net.add_output_arc("restart-manual", "up")
+
+        analysis = SPNAnalysis(net)
+        # Vanishing marking (deciding) is eliminated.
+        assert all(
+            net.marking_dict(m)["deciding"] == 0
+            for m in analysis.reachability.tangible
+        )
+        # Flow into manual is 2% of failures.
+        fail_rate = analysis.throughput("fail")
+        manual_rate = analysis.throughput("restart-manual")
+        assert manual_rate == pytest.approx(0.02 * fail_rate, rel=1e-9)
+
+    def test_vanishing_initial_marking(self):
+        net = StochasticPetriNet("vanishing-start")
+        net.add_place("start", tokens=1)
+        net.add_place("left")
+        net.add_place("right")
+        net.add_immediate_transition("go-left", weight=3.0)
+        net.add_immediate_transition("go-right", weight=1.0)
+        net.add_input_arc("start", "go-left")
+        net.add_input_arc("start", "go-right")
+        net.add_output_arc("go-left", "left")
+        net.add_output_arc("go-right", "right")
+        # Make the tangible part ergodic.
+        net.add_timed_transition("swap-l", rate=1.0)
+        net.add_timed_transition("swap-r", rate=1.0)
+        net.add_input_arc("left", "swap-l")
+        net.add_output_arc("swap-l", "right")
+        net.add_input_arc("right", "swap-r")
+        net.add_output_arc("swap-r", "left")
+        analysis = SPNAnalysis(net)
+        initial = analysis.reachability.initial_distribution
+        assert sum(initial.values()) == pytest.approx(1.0)
+        left_mass = sum(
+            p for m, p in initial.items() if net.marking_dict(m)["left"] == 1
+        )
+        assert left_mass == pytest.approx(0.75)
+
+
+class TestStructuralErrors:
+    def test_unbounded_net_detected(self):
+        net = StochasticPetriNet("unbounded")
+        net.add_place("p")
+        net.add_timed_transition("spawn", rate=1.0)
+        net.add_output_arc("spawn", "p")
+        with pytest.raises(ModelStructureError, match="unbounded|markings"):
+            SPNAnalysis(net, max_markings=50)
+
+    def test_immediate_trap_detected(self):
+        net = StochasticPetriNet("trap")
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_immediate_transition("ab")
+        net.add_immediate_transition("ba")
+        net.add_input_arc("a", "ab")
+        net.add_output_arc("ab", "b")
+        net.add_input_arc("b", "ba")
+        net.add_output_arc("ba", "a")
+        with pytest.raises(ModelStructureError, match="tangible|trap"):
+            SPNAnalysis(net)
+
+    def test_throughput_of_immediate_rejected(self):
+        net = two_state_net()
+        analysis = SPNAnalysis(net)
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="unknown transition"):
+            analysis.throughput("nope")
+
+
+class TestFarmEquivalence:
+    def test_imperfect_coverage_farm_as_net(self):
+        """The Fig. 10 model rebuilt as a GSPN matches the closed forms."""
+        from repro.availability import ImperfectCoverageFarm
+
+        nw, lam, mu, beta, c = 3, 1e-3, 1.0, 12.0, 0.95
+        net = StochasticPetriNet("farm")
+        net.add_place("up", tokens=nw)
+        net.add_place("failed")
+        net.add_place("manual")
+        net.add_timed_transition("covered", rate_function=lambda m: m["up"] * c * lam)
+        net.add_input_arc("up", "covered")
+        net.add_output_arc("covered", "failed")
+        net.add_timed_transition(
+            "uncovered", rate_function=lambda m: m["up"] * (1 - c) * lam
+        )
+        net.add_input_arc("up", "uncovered")
+        net.add_output_arc("uncovered", "manual")
+        net.add_timed_transition("reconfigure", rate=beta)
+        net.add_input_arc("manual", "reconfigure")
+        net.add_output_arc("reconfigure", "failed")
+        net.add_timed_transition("repair", rate=mu)
+        net.add_input_arc("failed", "repair")
+        net.add_output_arc("repair", "up")
+        # In the paper's model nothing else happens during a manual
+        # reconfiguration (states y_i have only the beta transition out).
+        net.add_inhibitor_arc("manual", "repair")
+        net.add_inhibitor_arc("manual", "covered")
+        net.add_inhibitor_arc("manual", "uncovered")
+
+        analysis = SPNAnalysis(net)
+        farm = ImperfectCoverageFarm(
+            servers=nw,
+            failure_rate=lam,
+            repair_rate=mu,
+            coverage=c,
+            reconfiguration_rate=beta,
+        )
+        spn_down = analysis.probability(
+            lambda m: m["manual"] > 0 or m["up"] == 0
+        )
+        assert spn_down == pytest.approx(farm.down_state_probability(), rel=1e-9)
+        operational, _ = farm.state_probabilities()
+        for i in range(nw + 1):
+            spn_prob = analysis.probability(
+                lambda m, i=i: m["up"] == i and m["manual"] == 0
+            )
+            assert spn_prob == pytest.approx(operational[i], rel=1e-9, abs=1e-15)

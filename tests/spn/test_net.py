@@ -1,0 +1,128 @@
+"""Tests for SPN definition and firing semantics."""
+
+import pytest
+
+from repro.errors import ModelStructureError, ValidationError
+from repro.spn import StochasticPetriNet
+
+
+@pytest.fixture
+def component_net():
+    net = StochasticPetriNet("component")
+    net.add_place("up", tokens=1)
+    net.add_place("down")
+    net.add_timed_transition("fail", rate=1.0)
+    net.add_timed_transition("repair", rate=3.0)
+    net.add_input_arc("up", "fail")
+    net.add_output_arc("fail", "down")
+    net.add_input_arc("down", "repair")
+    net.add_output_arc("repair", "up")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place_rejected(self, component_net):
+        with pytest.raises(ValidationError):
+            component_net.add_place("up")
+
+    def test_duplicate_transition_rejected(self, component_net):
+        with pytest.raises(ValidationError):
+            component_net.add_timed_transition("fail", rate=1.0)
+
+    def test_timed_transition_needs_rate(self):
+        net = StochasticPetriNet()
+        with pytest.raises(ValidationError, match="rate"):
+            net.add_timed_transition("t")
+
+    def test_arc_to_unknown_place(self, component_net):
+        with pytest.raises(ValidationError, match="unknown place"):
+            component_net.add_input_arc("nowhere", "fail")
+
+    def test_initial_tokens_respect_capacity(self):
+        net = StochasticPetriNet()
+        with pytest.raises(ValidationError, match="capacity"):
+            net.add_place("p", tokens=3, capacity=2)
+
+    def test_initial_marking(self, component_net):
+        assert component_net.initial_marking() == (1, 0)
+        assert component_net.marking_dict((1, 0)) == {"up": 1, "down": 0}
+
+
+class TestEnablingAndFiring:
+    def test_enabled_when_tokens_present(self, component_net):
+        assert component_net.is_enabled("fail", (1, 0))
+        assert not component_net.is_enabled("fail", (0, 1))
+
+    def test_fire_moves_tokens(self, component_net):
+        assert component_net.fire("fail", (1, 0)) == (0, 1)
+        assert component_net.fire("repair", (0, 1)) == (1, 0)
+
+    def test_fire_disabled_raises(self, component_net):
+        with pytest.raises(ModelStructureError, match="not enabled"):
+            component_net.fire("fail", (0, 1))
+
+    def test_capacity_disables_transition(self):
+        net = StochasticPetriNet()
+        net.add_place("src", tokens=2)
+        net.add_place("dst", tokens=1, capacity=1)
+        net.add_timed_transition("move", rate=1.0)
+        net.add_input_arc("src", "move")
+        net.add_output_arc("move", "dst")
+        assert not net.is_enabled("move", (2, 1))
+        assert net.is_enabled("move", (2, 0))
+
+    def test_inhibitor_arc(self):
+        net = StochasticPetriNet()
+        net.add_place("work", tokens=1)
+        net.add_place("blocker", tokens=1)
+        net.add_timed_transition("go", rate=1.0)
+        net.add_input_arc("work", "go")
+        net.add_inhibitor_arc("blocker", "go")
+        assert not net.is_enabled("go", (1, 1))
+        assert net.is_enabled("go", (1, 0))
+
+    def test_multiplicity(self):
+        net = StochasticPetriNet()
+        net.add_place("pool", tokens=3)
+        net.add_place("pair")
+        net.add_timed_transition("take-two", rate=1.0)
+        net.add_input_arc("pool", "take-two", multiplicity=2)
+        net.add_output_arc("take-two", "pair")
+        assert net.fire("take-two", (3, 0)) == (1, 1)
+        assert not net.is_enabled("take-two", (1, 1))
+
+    def test_immediate_preempts_timed(self):
+        net = StochasticPetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_timed_transition("slow", rate=1.0)
+        net.add_immediate_transition("instant")
+        net.add_input_arc("p", "slow")
+        net.add_input_arc("p", "instant")
+        net.add_output_arc("slow", "q")
+        net.add_output_arc("instant", "q")
+        enabled = net.enabled_transitions((1, 0))
+        assert [t.name for t in enabled] == ["instant"]
+
+    def test_immediate_priority_classes(self):
+        net = StochasticPetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_immediate_transition("low", priority=1)
+        net.add_immediate_transition("high", priority=2)
+        net.add_input_arc("p", "low")
+        net.add_input_arc("p", "high")
+        net.add_output_arc("low", "q")
+        net.add_output_arc("high", "q")
+        enabled = net.enabled_transitions((1, 0))
+        assert [t.name for t in enabled] == ["high"]
+
+    def test_marking_dependent_rate(self):
+        net = StochasticPetriNet()
+        net.add_place("up", tokens=3)
+        net.add_place("down")
+        net.add_timed_transition("fail", rate_function=lambda m: m["up"] * 0.5)
+        net.add_input_arc("up", "fail")
+        net.add_output_arc("fail", "down")
+        transition = net.transitions[0]
+        assert transition.firing_rate({"up": 3, "down": 0}) == pytest.approx(1.5)

@@ -1,0 +1,84 @@
+"""Tests for the TA architecture assembly."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ta import TAParameters, build_travel_agency
+from repro.ta import equations as eq
+from repro.ta.architecture import web_service_model
+
+
+class TestBuild:
+    def test_functions_and_services_present(self):
+        model = build_travel_agency()
+        assert set(model.functions) == {"home", "browse", "search", "book", "pay"}
+        assert set(model.services) == {
+            "net", "lan", "web", "application", "database",
+            "flight", "hotel", "car", "payment",
+        }
+
+    def test_common_services(self):
+        model = build_travel_agency()
+        assert set(model.common_services) == {"net", "lan"}
+
+    def test_reservation_resources_scale_with_counts(self):
+        params = TAParameters(n_flight=2, n_hotel=3, n_car=1)
+        model = build_travel_agency(params)
+        flights = [r for r in model.resources if r.startswith("flight-system")]
+        hotels = [r for r in model.resources if r.startswith("hotel-system")]
+        cars = [r for r in model.resources if r.startswith("car-system")]
+        assert (len(flights), len(hotels), len(cars)) == (2, 3, 1)
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValidationError, match="architecture"):
+            build_travel_agency(architecture="triple-modular")
+
+
+class TestServiceAvailabilitiesMatchClosedForms:
+    @pytest.mark.parametrize("architecture", ["basic", "redundant"])
+    def test_engine_matches_equations(self, paper_params, architecture):
+        model = build_travel_agency(paper_params, architecture)
+        engine = model.service_availabilities()
+        closed = eq.service_availabilities(paper_params, architecture)
+        for name, expected in closed.items():
+            assert engine[name] == pytest.approx(expected, rel=1e-12), name
+
+    def test_function_availabilities_match_table6(self, paper_params):
+        model = build_travel_agency(paper_params)
+        services = eq.service_availabilities(paper_params)
+        closed = eq.function_availabilities(paper_params, services)
+        for name, expected in closed.items():
+            assert model.function_availability(name) == pytest.approx(
+                expected, rel=1e-12
+            ), name
+
+    def test_table2_mapping(self, paper_params):
+        """The function -> service mapping of Table 2."""
+        model = build_travel_agency(paper_params)
+        mapping = model.function_service_mapping()
+        common = {"net", "lan"}
+        assert mapping["home"] == common | {"web"}
+        assert mapping["browse"] == common | {"web", "application", "database"}
+        assert mapping["search"] == common | {
+            "web", "application", "database", "flight", "hotel", "car",
+        }
+        assert mapping["book"] == mapping["search"]
+        assert mapping["pay"] == common | {
+            "web", "application", "database", "payment",
+        }
+
+
+class TestWebServiceModel:
+    def test_basic_is_single_server(self, paper_params):
+        model = web_service_model(paper_params, "basic")
+        assert model.servers == 1
+        assert model.has_perfect_coverage
+
+    def test_redundant_uses_configured_coverage(self, paper_params):
+        model = web_service_model(paper_params, "redundant")
+        assert model.servers == 4
+        assert model.coverage == 0.98
+
+    def test_unknown_architecture(self, paper_params):
+        with pytest.raises(ValidationError):
+            web_service_model(paper_params, "hexagonal")

@@ -1,0 +1,73 @@
+"""Tests for the TA interaction diagrams (Figs. 3-6)."""
+
+import pytest
+
+from repro.ta import TAParameters
+from repro.ta.diagrams import (
+    APPLICATION,
+    CAR,
+    DATABASE,
+    FLIGHT,
+    HOTEL,
+    PAYMENT,
+    WEB,
+    book_diagram,
+    browse_diagram,
+    pay_diagram,
+    search_diagram,
+)
+
+
+@pytest.fixture
+def params():
+    return TAParameters()
+
+
+class TestBrowseDiagram:
+    def test_three_scenarios_with_paper_probabilities(self, params):
+        usage = browse_diagram(params).service_usage_distribution()
+        assert usage[frozenset({WEB})] == pytest.approx(0.2)
+        assert usage[frozenset({WEB, APPLICATION})] == pytest.approx(0.32)
+        assert usage[frozenset({WEB, APPLICATION, DATABASE})] == (
+            pytest.approx(0.48)
+        )
+
+    def test_custom_branch_probabilities_flow_through(self):
+        params = TAParameters(q_cache=0.5, q_application=0.5,
+                              q_app_direct=0.6, q_app_database=0.4)
+        usage = browse_diagram(params).service_usage_distribution()
+        assert usage[frozenset({WEB})] == pytest.approx(0.5)
+        assert usage[frozenset({WEB, APPLICATION})] == pytest.approx(0.3)
+
+    def test_availability_reproduces_table6_term(self, params):
+        services = {WEB: 0.99, APPLICATION: 0.98, DATABASE: 0.97}
+        value = browse_diagram(params).availability(services)
+        expected = 0.99 * (0.2 + 0.98 * (0.32 + 0.48 * 0.97))
+        assert value == pytest.approx(expected, rel=1e-12)
+
+
+class TestBackendDiagrams:
+    def test_search_touches_all_reservation_services(self, params):
+        services = search_diagram(params).all_services()
+        assert {WEB, APPLICATION, DATABASE, FLIGHT, HOTEL, CAR} <= services
+        assert PAYMENT not in services
+
+    def test_search_single_scenario(self, params):
+        scenarios = search_diagram(params).scenarios()
+        assert len(scenarios) == 1
+        assert scenarios[0].probability == 1.0
+
+    def test_book_uses_search_service_set(self, params):
+        book = book_diagram(params).all_services()
+        search = search_diagram(params).all_services()
+        assert book == search
+
+    def test_pay_includes_payment_not_reservations(self, params):
+        services = pay_diagram(params).all_services()
+        assert PAYMENT in services
+        assert FLIGHT not in services
+
+    def test_all_diagrams_validate(self, params):
+        for build in (browse_diagram, search_diagram, book_diagram,
+                      pay_diagram):
+            build(params).validate()

@@ -1,0 +1,59 @@
+"""Tests for the revenue-loss analysis."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ta import CLASS_A, CLASS_B, RevenueModel, TravelAgencyModel
+from repro.ta.economics import SECONDS_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def ta():
+    return TravelAgencyModel()
+
+
+class TestRevenueModel:
+    def test_sessions_per_year(self):
+        model = RevenueModel(session_rate=100.0, average_revenue=100.0)
+        assert model.sessions_per_year() == pytest.approx(100.0 * SECONDS_PER_YEAR)
+
+    def test_estimate_structure(self, ta):
+        model = RevenueModel(100.0, 100.0)
+        estimate = model.estimate(ta.user_availability(CLASS_A))
+        assert estimate.user_class == "class A"
+        assert estimate.payment_scenario_share == pytest.approx(0.075)
+        assert estimate.lost_revenue_per_year == pytest.approx(
+            estimate.lost_payment_sessions_per_year * 100.0
+        )
+
+    def test_loss_matches_sc4_contribution(self, ta):
+        """The lost-session probability is exactly the SC4 contribution."""
+        model = RevenueModel(100.0, 100.0)
+        result = ta.user_availability(CLASS_B)
+        estimate = model.estimate(result)
+        sc4 = ta.category_breakdown(CLASS_B)["SC4"]
+        assert estimate.lost_payment_sessions_per_year == pytest.approx(
+            model.sessions_per_year() * sc4, rel=1e-12
+        )
+
+    def test_class_b_loses_more(self, ta):
+        """Section 5.2: class B's buying profile amplifies revenue loss."""
+        model = RevenueModel(100.0, 100.0)
+        loss_a = model.estimate(ta.user_availability(CLASS_A))
+        loss_b = model.estimate(ta.user_availability(CLASS_B))
+        ratio = (
+            loss_b.lost_payment_sessions_per_year
+            / loss_a.lost_payment_sessions_per_year
+        )
+        assert 2.2 < ratio < 3.2
+
+    def test_zero_revenue_allowed(self, ta):
+        model = RevenueModel(100.0, 0.0)
+        estimate = model.estimate(ta.user_availability(CLASS_A))
+        assert estimate.lost_revenue_per_year == 0.0
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValidationError):
+            RevenueModel(0.0, 100.0)
+        with pytest.raises(ValidationError):
+            RevenueModel(100.0, -1.0)

@@ -1,0 +1,116 @@
+"""Tests for the paper's closed-form equations (Tables 3-6, eq. 10)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ta import TAParameters
+from repro.ta import equations as eq
+
+
+class TestTable3External:
+    def test_one_of_n(self):
+        assert eq.external_service_availability(0.9, 1) == pytest.approx(0.9)
+        assert eq.external_service_availability(0.9, 3) == pytest.approx(0.999)
+
+    def test_saturation(self):
+        assert eq.external_service_availability(0.9, 10) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+
+class TestTable4Internal:
+    def test_application_basic(self):
+        assert eq.application_service_availability(0.996, redundant=False) == 0.996
+
+    def test_application_redundant(self):
+        assert eq.application_service_availability(0.996, redundant=True) == (
+            pytest.approx(1 - 0.004**2)
+        )
+
+    def test_database_basic(self):
+        assert eq.database_service_availability(0.996, 0.9, redundant=False) == (
+            pytest.approx(0.996 * 0.9)
+        )
+
+    def test_database_redundant(self):
+        expected = (1 - 0.004**2) * (1 - 0.1**2)
+        assert eq.database_service_availability(0.996, 0.9, redundant=True) == (
+            pytest.approx(expected)
+        )
+
+
+class TestServiceAvailabilities:
+    def test_all_services_present(self, paper_params):
+        services = eq.service_availabilities(paper_params)
+        assert set(services) == {
+            "net", "lan", "web", "application", "database",
+            "flight", "hotel", "car", "payment",
+        }
+
+    def test_web_matches_table7_quote(self, paper_params):
+        services = eq.service_availabilities(paper_params)
+        assert services["web"] == pytest.approx(0.999995587, abs=5e-10)
+
+    def test_basic_architecture_weaker(self, paper_params):
+        redundant = eq.service_availabilities(paper_params, "redundant")
+        basic = eq.service_availabilities(paper_params, "basic")
+        assert basic["application"] < redundant["application"]
+        assert basic["database"] < redundant["database"]
+        assert basic["web"] < redundant["web"]
+
+
+class TestTable6Functions:
+    def test_home_equation(self, paper_params):
+        services = eq.service_availabilities(paper_params)
+        functions = eq.function_availabilities(paper_params, services)
+        expected = 0.9966 * 0.9966 * services["web"]
+        assert functions["home"] == pytest.approx(expected, rel=1e-12)
+
+    def test_book_equals_search(self, paper_params):
+        services = eq.service_availabilities(paper_params)
+        functions = eq.function_availabilities(paper_params, services)
+        assert functions["book"] == functions["search"]
+
+    def test_browse_between_home_and_search(self, paper_params):
+        services = eq.service_availabilities(paper_params)
+        functions = eq.function_availabilities(paper_params, services)
+        assert functions["search"] < functions["browse"] < functions["home"]
+
+    def test_pay_includes_payment_system(self, paper_params):
+        services = eq.service_availabilities(paper_params)
+        functions = eq.function_availabilities(paper_params, services)
+        common = services["net"] * services["lan"]
+        expected = (
+            common
+            * services["web"]
+            * services["application"]
+            * services["database"]
+            * services["payment"]
+        )
+        assert functions["pay"] == pytest.approx(expected, rel=1e-12)
+
+
+class TestEquation10:
+    def test_requires_all_twelve_scenarios(self, paper_params):
+        with pytest.raises(ValidationError, match="missing scenario"):
+            eq.user_availability(paper_params, {1: 1.0})
+
+    def test_reduces_to_home_function_when_only_scenario_1(self, paper_params):
+        pi = {i: 0.0 for i in range(1, 13)}
+        pi[1] = 1.0
+        services = eq.service_availabilities(paper_params)
+        functions = eq.function_availabilities(paper_params, services)
+        assert eq.user_availability(paper_params, pi) == pytest.approx(
+            functions["home"], rel=1e-12
+        )
+
+    def test_pay_scenarios_weighted_by_payment_availability(self, paper_params):
+        pi_book = {i: 0.0 for i in range(1, 13)}
+        pi_book[7] = 1.0
+        pi_pay = {i: 0.0 for i in range(1, 13)}
+        pi_pay[10] = 1.0
+        a_book = eq.user_availability(paper_params, pi_book)
+        a_pay = eq.user_availability(paper_params, pi_pay)
+        assert a_pay == pytest.approx(
+            a_book * paper_params.payment_availability, rel=1e-12
+        )

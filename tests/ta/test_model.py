@@ -1,0 +1,88 @@
+"""Tests for the TravelAgencyModel facade."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ta import CLASS_A, CLASS_B, TAParameters, TravelAgencyModel
+
+
+@pytest.fixture(scope="module")
+def ta():
+    return TravelAgencyModel()
+
+
+class TestFacade:
+    def test_engine_matches_closed_form_exactly(self, ta):
+        for users in (CLASS_A, CLASS_B):
+            engine = ta.user_availability(users).availability
+            closed = ta.closed_form_user_availability(users)
+            assert engine == pytest.approx(closed, abs=1e-14)
+
+    def test_basic_architecture_engine_matches_closed_form(self):
+        basic = TravelAgencyModel(architecture="basic")
+        for users in (CLASS_A, CLASS_B):
+            assert basic.user_availability(users).availability == pytest.approx(
+                basic.closed_form_user_availability(users), abs=1e-14
+            )
+
+    def test_with_params(self, ta):
+        changed = ta.with_params(disk_availability=0.99)
+        assert changed.params.disk_availability == 0.99
+        assert changed.user_availability(CLASS_A).availability > (
+            ta.user_availability(CLASS_A).availability
+        )
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValidationError):
+            TravelAgencyModel(architecture="planar")
+
+    def test_repr(self, ta):
+        assert "redundant" in repr(ta)
+
+
+class TestAnalyses:
+    def test_reservation_sweep_monotone_then_flat(self, ta):
+        sweep = ta.reservation_sweep(CLASS_A, [1, 2, 3, 4, 5, 10])
+        values = [a for _, a in sweep]
+        assert values == sorted(values)
+        # Stabilizes: the last step gains almost nothing.
+        assert values[-1] - values[-2] < 2e-5
+        # The first step is the big one.
+        assert values[1] - values[0] > 0.1
+
+    def test_category_breakdown_sums_to_unavailability(self, ta):
+        for users in (CLASS_A, CLASS_B):
+            breakdown = ta.category_breakdown(users)
+            result = ta.user_availability(users)
+            assert set(breakdown) == {"SC1", "SC2", "SC3", "SC4"}
+            assert sum(breakdown.values()) == pytest.approx(
+                result.unavailability, rel=1e-12
+            )
+
+    def test_sc4_hurts_class_b_more(self, ta):
+        """Fig. 13: the payment category costs class B ~2.7x class A."""
+        a = ta.category_breakdown(CLASS_A)["SC4"]
+        b = ta.category_breakdown(CLASS_B)["SC4"]
+        assert 2.2 < b / a < 3.2
+
+    def test_service_importance_order(self, ta):
+        """Section 4.3: net, LAN and web dominate (first-order factors)."""
+        importance = ta.service_importance(CLASS_A)
+        first_order = {"net", "lan", "web"}
+        others = set(importance) - first_order
+        weakest_first_order = min(importance[s] for s in first_order)
+        strongest_other = max(importance[s] for s in others)
+        assert weakest_first_order > strongest_other
+
+    def test_redundant_beats_basic(self):
+        basic = TravelAgencyModel(architecture="basic")
+        redundant = TravelAgencyModel(architecture="redundant")
+        for users in (CLASS_A, CLASS_B):
+            assert redundant.user_availability(users).availability > (
+                basic.user_availability(users).availability
+            )
+
+    def test_function_availabilities_ordering(self, ta):
+        functions = ta.function_availabilities()
+        assert functions["home"] > functions["browse"] > functions["search"]
+        assert functions["book"] == pytest.approx(functions["search"])

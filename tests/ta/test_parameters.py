@@ -1,0 +1,68 @@
+"""Tests for TAParameters."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ta import TAParameters
+
+
+class TestDefaults:
+    def test_table7_values(self):
+        p = TAParameters()
+        assert p.internet_availability == 0.9966
+        assert p.lan_availability == 0.9966
+        assert p.application_host_availability == 0.996
+        assert p.database_host_availability == 0.996
+        assert p.disk_availability == 0.9
+        assert p.payment_availability == 0.9
+        assert p.reservation_availability == 0.9
+        assert (p.q_cache, p.q_application) == (0.2, 0.8)
+        assert (p.q_app_direct, p.q_app_database) == (0.4, 0.6)
+
+    def test_section52_web_configuration(self):
+        p = TAParameters()
+        assert p.web_servers == 4
+        assert p.web_coverage == 0.98
+        assert p.arrival_rate == 100.0
+        assert p.service_rate == 100.0
+        assert p.buffer_size == 10
+        assert p.web_failure_rate == 1e-4
+        assert p.web_repair_rate == 1.0
+        assert p.web_reconfiguration_rate == 12.0
+
+    def test_offered_load(self):
+        assert TAParameters().offered_load == 1.0
+
+
+class TestValidation:
+    def test_branch_probabilities_must_be_complementary(self):
+        with pytest.raises(ValidationError, match="q_cache"):
+            TAParameters(q_cache=0.3, q_application=0.8)
+        with pytest.raises(ValidationError, match="q_app_direct"):
+            TAParameters(q_app_direct=0.5, q_app_database=0.6)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValidationError):
+            TAParameters(disk_availability=1.1)
+
+    def test_positive_counts(self):
+        with pytest.raises(ValidationError):
+            TAParameters(n_flight=0)
+
+    def test_positive_rates(self):
+        with pytest.raises(ValidationError):
+            TAParameters(arrival_rate=0.0)
+
+
+class TestHelpers:
+    def test_replace_revalidates(self):
+        p = TAParameters()
+        q = p.replace(disk_availability=0.95)
+        assert q.disk_availability == 0.95
+        assert p.disk_availability == 0.9  # original untouched
+        with pytest.raises(ValidationError):
+            p.replace(disk_availability=2.0)
+
+    def test_with_reservation_systems(self):
+        p = TAParameters().with_reservation_systems(3)
+        assert (p.n_flight, p.n_hotel, p.n_car) == (3, 3, 3)

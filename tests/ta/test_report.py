@@ -1,0 +1,59 @@
+"""Tests for the full availability report."""
+
+import pytest
+
+from repro.ta import CLASS_A, CLASS_B, TravelAgencyModel
+from repro.ta.report import availability_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return availability_report(TravelAgencyModel())
+
+
+class TestReport:
+    def test_all_sections_present(self, report):
+        for marker in (
+            "1. User-perceived availability",
+            "2. Where the downtime comes from",
+            "3. Function availabilities",
+            "4. Services, ranked by influence",
+            "5. Business impact",
+        ):
+            assert marker in report
+
+    def test_headline_numbers_present(self, report):
+        assert "0.97882" in report   # class A
+        assert "0.96482" in report   # class B
+        assert "0.999995587" in report  # A(WS)
+
+    def test_both_classes_reported(self, report):
+        assert "class A" in report and "class B" in report
+
+    def test_importance_ranking_order(self, report):
+        """net/lan/web must appear before payment in the ranked table."""
+        section = report.split("4. Services")[1]
+        assert section.index("net") < section.index("payment")
+        assert section.index("web") < section.index("payment")
+
+    def test_single_class_report(self):
+        text = availability_report(
+            TravelAgencyModel(), user_classes=[CLASS_B]
+        )
+        assert "class B" in text
+        assert "class A" not in text
+
+    def test_custom_economics(self):
+        text = availability_report(
+            TravelAgencyModel(), session_rate=10.0, average_revenue=250.0
+        )
+        assert "10 sessions/s" in text
+        assert "$250 per transaction" in text
+
+    def test_cli_report_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["ta", "--report", "--user-class", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "USER-PERCEIVED AVAILABILITY REPORT" in out
+        assert "5. Business impact" in out

@@ -1,0 +1,42 @@
+"""Tests for point-in-time user availability."""
+
+import pytest
+
+from repro.ta import CLASS_A, CLASS_B, TAParameters, TravelAgencyModel
+
+
+@pytest.fixture(scope="module")
+def ta():
+    # A larger failure rate makes the transient visible on short horizons.
+    return TravelAgencyModel(TAParameters(web_failure_rate=1e-2))
+
+
+class TestUserAvailabilityAt:
+    def test_converges_to_steady_state(self, ta):
+        steady = ta.user_availability(CLASS_A).availability
+        late = ta.user_availability_at(CLASS_A, time=2000.0)
+        assert late == pytest.approx(steady, rel=1e-4)
+
+    def test_cold_start_ramp_is_monotone(self, ta):
+        values = [
+            ta.user_availability_at(CLASS_A, t, initial_servers=1)
+            for t in (0.0, 0.5, 1.0, 2.0, 5.0, 50.0)
+        ]
+        assert values == sorted(values)
+
+    def test_cold_start_hurts_users_initially(self, ta):
+        steady = ta.user_availability(CLASS_B).availability
+        cold = ta.user_availability_at(CLASS_B, 0.0, initial_servers=1)
+        # One server at load 1 drops ~1/11 of requests; users feel it.
+        assert cold < steady - 0.05
+
+    def test_full_farm_start_slightly_above_steady(self, ta):
+        steady = ta.user_availability(CLASS_A).availability
+        fresh = ta.user_availability_at(CLASS_A, 0.0)
+        assert fresh >= steady - 1e-12
+
+    def test_class_ordering_preserved_through_transient(self, ta):
+        for t in (0.0, 1.0, 10.0):
+            a = ta.user_availability_at(CLASS_A, t, initial_servers=2)
+            b = ta.user_availability_at(CLASS_B, t, initial_servers=2)
+            assert a > b

@@ -1,0 +1,92 @@
+"""Tests for the Table 1 user classes and scenario structure."""
+
+import pytest
+
+from repro.ta import (
+    CLASS_A,
+    CLASS_B,
+    FUNCTIONS,
+    PAPER_SCENARIO_LABELS,
+    SCENARIO_FUNCTION_SETS,
+    scenario_category,
+)
+from repro.ta.userclasses import BOOK, BROWSE, HOME, PAY, SEARCH
+
+
+class TestScenarioStructure:
+    def test_twelve_scenarios(self):
+        assert len(SCENARIO_FUNCTION_SETS) == 12
+        assert len(PAPER_SCENARIO_LABELS) == 12
+
+    def test_scenarios_are_consistent_with_graph_constraints(self):
+        for functions in SCENARIO_FUNCTION_SETS.values():
+            if PAY in functions:
+                assert BOOK in functions
+            if BOOK in functions:
+                assert SEARCH in functions
+            assert HOME in functions or BROWSE in functions
+
+    def test_function_order(self):
+        assert FUNCTIONS == (HOME, BROWSE, SEARCH, BOOK, PAY)
+
+    def test_labels_reference_functions(self):
+        assert PAPER_SCENARIO_LABELS[1] == "St-Ho-Ex"
+        assert "Pa" in PAPER_SCENARIO_LABELS[12]
+
+
+class TestUserClasses:
+    def test_probabilities_sum_to_one(self):
+        for users in (CLASS_A, CLASS_B):
+            assert sum(s.probability for s in users.scenarios) == pytest.approx(
+                1.0, abs=1e-12
+            )
+
+    def test_table1_spot_values(self):
+        assert CLASS_A.distribution.probability_of(
+            SCENARIO_FUNCTION_SETS[2]
+        ) == pytest.approx(0.267)
+        assert CLASS_B.distribution.probability_of(
+            SCENARIO_FUNCTION_SETS[5]
+        ) == pytest.approx(0.204)
+
+    def test_class_b_reaches_backend_more(self):
+        """Section 3.1: 80% of class B sessions invoke Search/Book/Pay,
+        about 50% for class A."""
+        def backend_share(users):
+            return sum(
+                s.probability
+                for s in users.scenarios
+                if SEARCH in s.functions
+            )
+
+        assert backend_share(CLASS_A) == pytest.approx(0.52, abs=1e-9)
+        assert backend_share(CLASS_B) == pytest.approx(0.792, abs=1e-9)
+
+    def test_names(self):
+        assert CLASS_A.name == "class A"
+        assert CLASS_B.name == "class B"
+
+
+class TestCategories:
+    def test_category_assignment(self):
+        expectations = {
+            1: "SC1", 2: "SC1", 3: "SC1",
+            4: "SC2", 5: "SC2", 6: "SC2",
+            7: "SC3", 8: "SC3", 9: "SC3",
+            10: "SC4", 11: "SC4", 12: "SC4",
+        }
+        for scenario in CLASS_A.scenarios:
+            matching = [
+                i
+                for i, fs in SCENARIO_FUNCTION_SETS.items()
+                if fs == scenario.functions
+            ]
+            assert len(matching) == 1
+            assert scenario_category(scenario) == expectations[matching[0]]
+
+    def test_category_masses(self):
+        groups_b = CLASS_B.distribution.group_by(scenario_category)
+        assert groups_b["SC1"] == pytest.approx(0.208)
+        assert groups_b["SC2"] == pytest.approx(0.440)
+        assert groups_b["SC3"] == pytest.approx(0.149)
+        assert groups_b["SC4"] == pytest.approx(0.203)

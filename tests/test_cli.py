@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestTaCommand:
+    def test_default_run(self, capsys):
+        assert main(["ta"]) == 0
+        out = capsys.readouterr().out
+        assert "0.999995587" in out
+        assert "class A" in out and "class B" in out
+
+    def test_single_class(self, capsys):
+        assert main(["ta", "--user-class", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "class A" in out
+        assert "class B" not in out
+
+    def test_sweep(self, capsys):
+        assert main(["ta", "--sweep", "--user-class", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8 sweep" in out
+        assert "0.84227" in out  # N = 1 value
+
+    def test_categories(self, capsys):
+        assert main(["ta", "--categories", "--user-class", "B"]) == 0
+        out = capsys.readouterr().out
+        assert "SC4" in out
+
+    def test_reservations_override(self, capsys):
+        assert main(["ta", "--reservations", "1", "--user-class", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "N_F = N_H = N_C = 1" in out
+        assert "0.84227" in out
+
+    def test_basic_architecture(self, capsys):
+        assert main(["ta", "--architecture", "basic"]) == 0
+        out = capsys.readouterr().out
+        assert "basic architecture" in out
+
+
+class TestWebCommand:
+    def test_paper_configuration(self, capsys):
+        assert main([
+            "web", "--servers", "4", "--coverage", "0.98",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0.999995587" in out
+        assert "manual reconfiguration" in out
+
+    def test_perfect_coverage_default(self, capsys):
+        assert main(["web", "--servers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "A(Web service)" in out
+
+    def test_deadline_report(self, capsys):
+        assert main([
+            "web", "--servers", "4", "--coverage", "0.98",
+            "--deadline", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "within 0.05s" in out
+
+    def test_invalid_parameters_exit_code(self, capsys):
+        # capacity below servers is a model validation error -> exit 2.
+        assert main(["web", "--servers", "12", "--buffer", "10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluateCommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        spec = {
+            "resources": {"host": 0.999, "link": 0.99},
+            "services": {"web": "host", "net": "link"},
+            "functions": {"home": {"services": ["web"]}},
+            "require_everywhere": ["net"],
+            "user_classes": {"all": {"home": 1.0}},
+        }
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_evaluates_spec(self, spec_file, capsys):
+        assert main(["evaluate", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "home" in out
+        assert "all" in out
+
+    def test_selects_user_class(self, spec_file, capsys):
+        assert main(["evaluate", spec_file, "--user-class", "all"]) == 0
+        assert "all" in capsys.readouterr().out
+
+    def test_unknown_user_class(self, spec_file, capsys):
+        assert main(["evaluate", spec_file, "--user-class", "ghost"]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_broken_spec_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        assert main(["evaluate", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "ta", "--user-class", "A"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "class A" in completed.stdout

@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    ModelStructureError,
+    NotIrreducibleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            ValidationError,
+            ModelStructureError,
+            SolverError,
+            NotIrreducibleError,
+            CalibrationError,
+            SimulationError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        """Standard-library compatibility: callers catching ValueError
+        keep working."""
+        assert issubclass(ValidationError, ValueError)
+        with pytest.raises(ValueError):
+            raise ValidationError("bad input")
+
+    def test_not_irreducible_is_solver_error(self):
+        assert issubclass(NotIrreducibleError, SolverError)
+
+    def test_not_irreducible_carries_problem_states(self):
+        error = NotIrreducibleError("reducible", problem_states=(1, 2))
+        assert error.problem_states == (1, 2)
+        assert "reducible" in str(error)
+
+    def test_single_except_catches_library_failures(self):
+        """The documented embedding pattern: one except clause."""
+        from repro.queueing import MM1Queue
+
+        caught = None
+        try:
+            MM1Queue(arrival_rate=2.0, service_rate=1.0)
+        except ReproError as exc:
+            caught = exc
+        assert isinstance(caught, ValidationError)
+
+    def test_solver_errors_surface_as_repro_errors(self):
+        import numpy as np
+
+        from repro.markov.solvers import steady_state_gth
+
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ReproError):
+            steady_state_gth(q)

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts must run and print their headlines.
+
+The slowest examples (full simulation sweeps) are exercised by the
+benchmark harness instead; here we guard the fast ones against API
+drift.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": "A(Web service) = 0.999995587",
+    "capacity_planning.py": "Smallest farm meeting 5 min/year",
+    "architecture_comparison.py": "Tornado",
+    "custom_application.py": "day traders",
+    "declarative_model.py": "two routes, same numbers",
+    "latency_slo.py": "Percentile latencies",
+}
+
+
+@pytest.mark.parametrize("script", sorted(FAST_EXAMPLES))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert FAST_EXAMPLES[script] in completed.stdout
+
+
+def test_all_examples_are_listed_somewhere():
+    """Every example script is either smoke-tested here or known-slow."""
+    known_slow = {
+        "simulation_validation.py",  # covered by bench_sim_validation
+        "profile_calibration.py",    # covered by bench_table1_scenarios
+        "measured_suppliers.py",     # covered by tests/measurement
+    }
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | known_slow

@@ -1,0 +1,253 @@
+"""Tests for declarative model specifications."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.spec import load_model, model_from_dict, user_classes_from_dict
+
+
+@pytest.fixture
+def small_spec():
+    return {
+        "resources": {
+            "link": 0.99,
+            "host-1": 0.9,
+            "host-2": 0.9,
+            "engine": {"type": "two-state", "failure_rate": 1e-3,
+                       "repair_rate": 1.0},
+            "farm": {"type": "web-service", "servers": 2,
+                     "arrival_rate": 50.0, "service_rate": 100.0,
+                     "buffer_capacity": 10, "failure_rate": 1e-4,
+                     "repair_rate": 1.0, "coverage": 0.98,
+                     "reconfiguration_rate": 12.0},
+        },
+        "services": {
+            "net": "link",
+            "web": "farm",
+            "application": {"parallel": ["host-1", "host-2"]},
+            "matching": "engine",
+        },
+        "functions": {
+            "home": {"services": ["web"]},
+            "trade": {"services": ["web", "application", "matching"]},
+        },
+        "require_everywhere": ["net"],
+        "user_classes": {
+            "mixed": {"home": 70, "home+trade": 30},
+        },
+    }
+
+
+class TestModelFromDict:
+    def test_builds_all_levels(self, small_spec):
+        model = model_from_dict(small_spec)
+        assert set(model.functions) == {"home", "trade"}
+        assert set(model.services) == {"net", "web", "application", "matching"}
+        assert model.common_services == ("net",)
+
+    def test_resource_types_resolved(self, small_spec):
+        model = model_from_dict(small_spec)
+        assert model.resource_availability("link") == 0.99
+        assert model.resource_availability("engine") == pytest.approx(
+            1.0 / 1.001
+        )
+        assert 0.999 < model.resource_availability("farm") < 1.0
+
+    def test_repairable_group_resource(self):
+        from repro.availability import RepairableGroup
+
+        model = model_from_dict({
+            "resources": {
+                "farm": {"type": "repairable-group", "units": 3,
+                         "failure_rate": 0.1, "repair_rate": 1.0,
+                         "repairmen": 2, "required": 2},
+            },
+            "services": {"compute": "farm"},
+            "functions": {"job": {"services": ["compute"]}},
+        })
+        expected = RepairableGroup(
+            units=3, failure_rate=0.1, repair_rate=1.0, repairmen=2
+        ).availability(required=2)
+        assert model.resource_availability("farm") == pytest.approx(expected)
+
+    def test_repairable_group_deferred(self):
+        model = model_from_dict({
+            "resources": {
+                "farm": {"type": "repairable-group", "units": 3,
+                         "failure_rate": 0.1, "repair_rate": 1.0,
+                         "repair_threshold": 2},
+            },
+            "services": {"compute": "farm"},
+            "functions": {"job": {"services": ["compute"]}},
+        })
+        immediate = model_from_dict({
+            "resources": {
+                "farm": {"type": "repairable-group", "units": 3,
+                         "failure_rate": 0.1, "repair_rate": 1.0},
+            },
+            "services": {"compute": "farm"},
+            "functions": {"job": {"services": ["compute"]}},
+        })
+        assert model.resource_availability("farm") < (
+            immediate.resource_availability("farm")
+        )
+
+    def test_two_state_from_availability(self):
+        model = model_from_dict({
+            "resources": {"lan": {"type": "two-state", "availability": 0.9966}},
+            "services": {"lan": "lan"},
+            "functions": {"ping": {"services": ["lan"]}},
+        })
+        assert model.resource_availability("lan") == pytest.approx(0.9966)
+
+    def test_nested_structures(self):
+        model = model_from_dict({
+            "resources": {"a": 0.9, "b": 0.9, "c": 0.9, "d": 0.8},
+            "services": {
+                "svc": {"series": [
+                    {"k_of_n": {"k": 2, "of": ["a", "b", "c"]}},
+                    "d",
+                ]},
+            },
+            "functions": {"f": {"services": ["svc"]}},
+        })
+        # 2-of-3 at 0.9 = 0.972; times 0.8.
+        assert model.service_availability("svc") == pytest.approx(0.972 * 0.8)
+
+    def test_diagram_function(self):
+        model = model_from_dict({
+            "resources": {"w": 0.9, "a": 0.8},
+            "services": {"web": "w", "app": "a"},
+            "functions": {
+                "browse": {"diagram": {
+                    "nodes": {"hit": ["web"], "miss": ["web", "app"]},
+                    "edges": [
+                        ["Begin", "hit", 0.3],
+                        ["Begin", "miss", 0.7],
+                        ["hit", "End"],
+                        ["miss", "End"],
+                    ],
+                }},
+            },
+        })
+        assert model.function_availability("browse") == pytest.approx(
+            0.3 * 0.9 + 0.7 * 0.9 * 0.8
+        )
+
+    def test_evaluation_matches_handwritten_model(self, small_spec):
+        from repro.core import HierarchicalModel
+        from repro.rbd import parallel
+
+        declared = model_from_dict(small_spec)
+
+        manual = HierarchicalModel()
+        manual.add_resource("link", 0.99)
+        manual.add_resource("host-1", 0.9)
+        manual.add_resource("host-2", 0.9)
+        from repro.availability import TwoStateAvailability, WebServiceModel
+
+        manual.add_resource(
+            "engine", TwoStateAvailability(failure_rate=1e-3, repair_rate=1.0)
+        )
+        manual.add_resource("farm", WebServiceModel(
+            servers=2, arrival_rate=50.0, service_rate=100.0,
+            buffer_capacity=10, failure_rate=1e-4, repair_rate=1.0,
+            coverage=0.98, reconfiguration_rate=12.0,
+        ))
+        manual.add_service("net", "link")
+        manual.add_service("web", "farm")
+        manual.add_service("application", parallel("host-1", "host-2"))
+        manual.add_service("matching", "engine")
+        manual.add_function("home", services=["web"])
+        manual.add_function("trade", services=["web", "application", "matching"])
+        manual.require_everywhere(["net"])
+
+        for name in ("home", "trade"):
+            assert declared.function_availability(name) == pytest.approx(
+                manual.function_availability(name), rel=1e-14
+            )
+
+
+class TestSpecValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ValidationError, match="unknown top-level"):
+            model_from_dict({"resourcez": {}})
+
+    def test_unknown_resource_type(self):
+        with pytest.raises(ValidationError, match="unknown type"):
+            model_from_dict({"resources": {"x": {"type": "quantum"}}})
+
+    def test_missing_resource_field(self):
+        with pytest.raises(ValidationError, match="missing field"):
+            model_from_dict({
+                "resources": {"x": {"type": "two-state", "failure_rate": 1.0}},
+            })
+
+    def test_bad_structure_kind(self):
+        with pytest.raises(ValidationError, match="unknown structure kind"):
+            model_from_dict({
+                "resources": {"a": 0.9},
+                "services": {"s": {"xor": ["a"]}},
+            })
+
+    def test_structure_with_two_keys(self):
+        with pytest.raises(ValidationError, match="exactly one key"):
+            model_from_dict({
+                "resources": {"a": 0.9},
+                "services": {"s": {"series": ["a"], "parallel": ["a"]}},
+            })
+
+    def test_function_without_body(self):
+        with pytest.raises(ValidationError, match="'services' or 'diagram'"):
+            model_from_dict({
+                "resources": {"a": 0.9},
+                "services": {"s": "a"},
+                "functions": {"f": {}},
+            })
+
+    def test_bad_edge_arity(self):
+        with pytest.raises(ValidationError, match="edge"):
+            model_from_dict({
+                "resources": {"a": 0.9},
+                "services": {"s": "a"},
+                "functions": {"f": {"diagram": {
+                    "nodes": {"n": ["s"]},
+                    "edges": [["Begin"]],
+                }}},
+            })
+
+    def test_boolean_resource_rejected(self):
+        with pytest.raises(ValidationError):
+            model_from_dict({"resources": {"x": True}})
+
+
+class TestUserClasses:
+    def test_percent_normalization(self, small_spec):
+        classes = user_classes_from_dict(small_spec)
+        mixed = classes["mixed"]
+        assert mixed.distribution.probability_of({"home"}) == pytest.approx(0.7)
+        assert mixed.buying_intent("trade") == pytest.approx(0.3)
+
+    def test_empty_scenario_key(self):
+        classes = user_classes_from_dict({
+            "user_classes": {"bouncy": {"": 0.5, "home": 0.5}},
+        })
+        assert classes["bouncy"].distribution.probability_of([]) == 0.5
+
+
+class TestLoadModel:
+    def test_roundtrip_through_json(self, small_spec, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(small_spec))
+        model, classes = load_model(path)
+        assert set(model.functions) == {"home", "trade"}
+        result = model.user_availability(classes["mixed"])
+        assert 0.9 < result.availability < 1.0
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            load_model(path)

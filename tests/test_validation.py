@@ -1,0 +1,99 @@
+"""Tests for the shared validation helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    check_distribution,
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_rate,
+)
+from repro.errors import ValidationError
+
+
+class TestScalarChecks:
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        for bad in (-0.1, 1.1, float("nan"), float("inf")):
+            with pytest.raises(ValidationError):
+                check_probability(bad)
+
+    def test_positive(self):
+        assert check_positive(0.5) == 0.5
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValidationError):
+                check_positive(bad)
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(ValidationError):
+            check_non_negative(-1e-9)
+
+    def test_rate_alias(self):
+        assert check_rate(2.5) == 2.5
+        with pytest.raises(ValidationError):
+            check_rate(0.0)
+
+    def test_in_range(self):
+        assert check_in_range(5, 0, 10) == 5.0
+        with pytest.raises(ValidationError):
+            check_in_range(11, 0, 10)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive("two")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValidationError, match="my_rate"):
+            check_rate(-1.0, "my_rate")
+
+
+class TestIntChecks:
+    def test_positive_int(self):
+        assert check_positive_int(3) == 3
+        assert check_positive_int(3.0) == 3
+        for bad in (0, -1, 1.5, True, "3"):
+            with pytest.raises(ValidationError):
+                check_positive_int(bad)
+
+    def test_non_negative_int(self):
+        assert check_non_negative_int(0) == 0
+        with pytest.raises(ValidationError):
+            check_non_negative_int(-1)
+
+
+class TestDistribution:
+    def test_valid_distribution(self):
+        arr = check_distribution([0.25, 0.75])
+        assert isinstance(arr, np.ndarray)
+        assert arr.sum() == 1.0
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValidationError):
+            check_distribution([0.5, 0.4])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            check_distribution([1.1, -0.1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_distribution([float("nan"), 1.0])
+
+    def test_returns_copy(self):
+        source = np.array([0.5, 0.5])
+        arr = check_distribution(source)
+        arr[0] = 0.0
+        assert source[0] == 0.5
+
+    def test_tiny_negative_clipped(self):
+        arr = check_distribution([1.0, -1e-15], tol=1e-9)
+        assert arr[1] == 0.0
