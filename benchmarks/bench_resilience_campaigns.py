@@ -1,0 +1,140 @@
+"""Fault-injection campaign bench — stressing eq. (10)'s assumptions.
+
+Three campaigns against the redundant TA, all through the resilience
+campaign engine:
+
+* the **null campaign** (no injected faults) must reproduce the
+  analytic eq.-(10) value within two standard errors — the engine's
+  calibration criterion;
+* a **correlated LAN + application-host outage** (resources forced down
+  together, violating the independence assumption behind eq. 10) must
+  show a measurable availability drop;
+* a **web-service degradation** campaign (coverage-mode capacity loss
+  expressed as a conditional-success factor) sits between the two.
+
+A fourth section evaluates graceful-degradation admission policies on
+the web farm: shedding a low-value class in degraded farm states must
+never hurt the protected class.
+"""
+
+from conftest import emit
+from repro.availability import WebServiceModel
+from repro.resilience import (
+    AdmitAll,
+    ClassLoad,
+    NullScenario,
+    RecurrentDegradation,
+    RecurrentOutage,
+    ShedClasses,
+    compare_policies,
+    format_campaign_table,
+    format_policy_table,
+    run_campaigns,
+)
+from repro.ta import CLASS_A, CLASS_B, TravelAgencyModel
+
+CORRELATED = RecurrentOutage(
+    frozenset({"lan-segment", "app-host-1", "app-host-2"}),
+    episode_rate=0.01,
+    mean_duration=5.0,
+)
+DEGRADED_WEB = RecurrentDegradation(
+    "web", factor=0.9, episode_rate=0.02, mean_duration=10.0
+)
+
+
+def test_fault_injection_campaigns(benchmark):
+    ta = TravelAgencyModel()
+
+    def compute():
+        return run_campaigns(
+            ta.hierarchical_model,
+            (CLASS_A, CLASS_B),
+            (NullScenario(), CORRELATED, DEGRADED_WEB),
+            horizon=10_000.0,
+            replications=6,
+            seed=709718,
+        )
+
+    results = benchmark.pedantic(compute, iterations=1, rounds=1)
+    emit(format_campaign_table(
+        results,
+        title="Fault-injection campaigns (6 x 10,000 h per cell)",
+    ))
+
+    by_key = {(r.user_class, r.scenario): r for r in results}
+    for users in (CLASS_A, CLASS_B):
+        null = by_key[(users.name, "null")]
+        correlated = by_key[(users.name, "recurrent-outage")]
+        degraded = by_key[(users.name, "recurrent-degradation")]
+
+        # Calibration: with no injected faults the campaign mean must
+        # agree with analytic eq. (10) within 2 standard errors.
+        assert null.agrees_with_analytic(sigmas=2.0)
+
+        # The correlated LAN+host outage violates independence; the
+        # measured drop must be large compared to Monte-Carlo noise.
+        assert correlated.availability_drop > 0.01
+        assert correlated.availability_drop > 4.0 * correlated.stderr
+
+        # Capacity degradation hurts, but less than a hard outage: the
+        # service stays up and only a fraction of sessions is lost.
+        assert 0.0 < degraded.availability_drop < correlated.availability_drop
+
+        # Reproducibility: campaigns are deterministic given the seed.
+        assert null.values == run_campaigns(
+            ta.hierarchical_model,
+            (users,),
+            (NullScenario(),),
+            horizon=10_000.0,
+            replications=6,
+            seed=null.seed,
+        )[0].values
+
+
+def test_graceful_degradation_policies(benchmark):
+    web = WebServiceModel(
+        servers=4,
+        arrival_rate=350.0,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=1e-2,
+        repair_rate=1.0,
+        coverage=0.98,
+        reconfiguration_rate=12.0,
+    )
+    loads = [
+        ClassLoad("class A", 250.0, value=1.0),
+        ClassLoad("class B", 100.0, value=5.0),
+    ]
+    policies = [
+        AdmitAll(),
+        ShedClasses(frozenset({"class A"}), below_servers=3),
+    ]
+
+    evaluations = benchmark.pedantic(
+        lambda: compare_policies(web, loads, policies),
+        iterations=1,
+        rounds=1,
+    )
+    emit(format_policy_table(
+        evaluations,
+        title="Admission control on a degraded farm (high load, high MTTR)",
+    ))
+
+    admit_all, shedding = evaluations
+    # Shedding the low-value class in degraded states must improve the
+    # protected class and never change it for the worse.
+    assert (
+        shedding.class_availability["class B"]
+        >= admit_all.class_availability["class B"]
+    )
+    # The shed class pays for it.
+    assert (
+        shedding.class_availability["class A"]
+        < admit_all.class_availability["class A"]
+    )
+    # Outcomes are probabilities.
+    for ev in evaluations:
+        for value in ev.class_availability.values():
+            assert 0.0 <= value <= 1.0

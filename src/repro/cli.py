@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows without writing Python:
+Five subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -14,7 +14,19 @@ Three subcommands cover the common workflows without writing Python:
     Evaluate a custom model from a JSON specification file
     (see :mod:`repro.spec`).
 
+``repro inject``
+    Run a fault-injection campaign against the Travel Agency: simulated
+    user-perceived availability under scripted/stochastic faults,
+    compared with the analytic eq.-(10) value.
+
+``repro retries``
+    Retry-adjusted user-perceived availability — the closed-form
+    extension of eq. (10) with bounded user retries, optionally
+    cross-validated by discrete-event simulation.
+
 Run ``python -m repro <command> --help`` for the options of each.
+Errors are reported as a one-line message with exit code 2; pass
+``--debug`` (before the subcommand) to get the full traceback instead.
 """
 
 from __future__ import annotations
@@ -36,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
             "User-perceived availability evaluation of web-based "
             "applications (DSN 2003 travel-agency framework)."
         ),
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="print full tracebacks instead of one-line error messages",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -96,7 +112,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--user-class", default=None,
         help="evaluate one declared user class (default: all)",
     )
+
+    inject = commands.add_parser(
+        "inject",
+        help="run a fault-injection campaign against the Travel Agency",
+    )
+    inject.add_argument(
+        "--scenario", choices=sorted(FAULT_SCENARIOS), default="null",
+        help="fault scenario to inject (null = calibration campaign)",
+    )
+    inject.add_argument(
+        "--architecture", choices=("basic", "redundant"), default="redundant",
+    )
+    inject.add_argument(
+        "--user-class", choices=("A", "B", "both"), default="both",
+    )
+    inject.add_argument(
+        "--horizon", type=float, default=5000.0,
+        help="simulated hours per replication",
+    )
+    inject.add_argument(
+        "--replications", type=int, default=6,
+        help="independent replications per campaign",
+    )
+    inject.add_argument("--seed", type=int, default=0)
+
+    retries = commands.add_parser(
+        "retries",
+        help="retry-adjusted user-perceived availability (eq. 10 + retries)",
+    )
+    retries.add_argument(
+        "--architecture", choices=("basic", "redundant"), default="redundant",
+    )
+    retries.add_argument(
+        "--user-class", choices=("A", "B", "both"), default="both",
+    )
+    retries.add_argument(
+        "--max-retries", type=int, default=3,
+        help="retry budget k (0 reproduces the paper's measure)",
+    )
+    retries.add_argument(
+        "--persistence", type=float, default=1.0,
+        help="probability the user retries after each failure",
+    )
+    retries.add_argument(
+        "--sweep", action="store_true",
+        help="print Table 8 with a retry-adjusted column",
+    )
+    retries.add_argument(
+        "--simulate", type=int, default=None, metavar="SESSIONS",
+        help="cross-validate with a discrete-event retry simulation",
+    )
+    retries.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _fault_scenarios():
+    """Named fault scenarios for ``repro inject`` (built lazily)."""
+    from .resilience import (
+        NullScenario,
+        RecurrentDegradation,
+        RecurrentOutage,
+        ScheduledOutage,
+    )
+
+    def lan_host(model):
+        hosts = frozenset(
+            name for name in model.resources if name.startswith("app-host")
+        )
+        return RecurrentOutage(
+            frozenset({"lan-segment"}) | hosts,
+            episode_rate=0.01,
+            mean_duration=5.0,
+        )
+
+    return {
+        "null": lambda model: NullScenario(),
+        "lan-host": lan_host,
+        "net-outage": lambda model: ScheduledOutage(
+            frozenset({"internet-link"}), start=1000.0, duration=50.0
+        ),
+        "web-degraded": lambda model: RecurrentDegradation(
+            "web", factor=0.9, episode_rate=0.02, mean_duration=10.0
+        ),
+    }
+
+
+#: Scenario names accepted by ``repro inject --scenario``.
+FAULT_SCENARIOS = ("null", "lan-host", "net-outage", "web-degraded")
 
 
 def _cmd_ta(args) -> int:
@@ -228,16 +331,129 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _selected_classes(spec: str):
+    from .ta import CLASS_A, CLASS_B
+
+    return {"A": [CLASS_A], "B": [CLASS_B], "both": [CLASS_A, CLASS_B]}[spec]
+
+
+def _cmd_inject(args) -> int:
+    from .resilience import format_campaign_table, run_campaigns
+    from .ta import TravelAgencyModel
+
+    model = TravelAgencyModel(architecture=args.architecture)
+    scenario = _fault_scenarios()[args.scenario](model.hierarchical_model)
+    results = run_campaigns(
+        model.hierarchical_model,
+        _selected_classes(args.user_class),
+        [scenario],
+        horizon=args.horizon,
+        replications=args.replications,
+        seed=args.seed,
+    )
+    print(format_campaign_table(
+        results,
+        title=(
+            f"Fault-injection campaign — scenario {args.scenario!r}, "
+            f"{args.replications} x {args.horizon:g} h, seed {args.seed}"
+        ),
+    ))
+    if args.scenario == "null":
+        calibrated = all(r.agrees_with_analytic() for r in results)
+        print()
+        print(
+            "calibration: simulated availability "
+            + ("agrees with" if calibrated else "DISAGREES with")
+            + " the analytic eq.-(10) value within 2 standard errors"
+        )
+        return 0 if calibrated else 1
+    return 0
+
+
+def _cmd_retries(args) -> int:
+    from ._validation import check_positive_int
+    from .resilience import RetryPolicy, format_retry_table
+
+    if args.simulate is not None:
+        check_positive_int(args.simulate, "sessions")
+    policy = RetryPolicy(
+        max_retries=args.max_retries, persistence=args.persistence
+    )
+    from .ta import TravelAgencyModel
+
+    model = TravelAgencyModel(architecture=args.architecture)
+    classes = _selected_classes(args.user_class)
+
+    results = [
+        model.retry_adjusted_availability(users, policy) for users in classes
+    ]
+    print(format_retry_table(results))
+
+    if args.sweep:
+        print()
+        counts = (1, 2, 3, 4, 5, 10)
+        header = ["N"]
+        columns = []
+        for users in classes:
+            header += [f"{users.name} (eq. 10)", f"{users.name} (retries)"]
+            sweep = model.reservation_sweep_with_retries(users, counts, policy)
+            columns.append({n: (base, adj) for n, base, adj in sweep})
+        rows = []
+        for n in counts:
+            row = [n]
+            for column in columns:
+                base, adjusted = column[n]
+                row += [f"{base:.5f}", f"{adjusted:.7f}"]
+            rows.append(row)
+        print(format_table(header, rows, title="Table 8 with retries"))
+
+    if args.simulate is not None:
+        import numpy as np
+
+        from .sim import estimate_user_availability_with_retries
+
+        print()
+        rows = []
+        for users, analytic in zip(classes, results):
+            sim = estimate_user_availability_with_retries(
+                model.hierarchical_model,
+                users,
+                policy,
+                args.simulate,
+                np.random.default_rng(args.seed),
+            )
+            rows.append([
+                users.name,
+                f"{analytic.adjusted_availability:.6f}",
+                f"{sim.served_fraction:.6f}",
+                f"{sim.mean_attempts:.4f}",
+            ])
+        print(format_table(
+            ["class", "closed form", "simulated", "attempts"],
+            rows,
+            title=f"DES cross-validation ({args.simulate} sessions)",
+        ))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"ta": _cmd_ta, "web": _cmd_web, "evaluate": _cmd_evaluate}
+    handlers = {
+        "ta": _cmd_ta,
+        "web": _cmd_web,
+        "evaluate": _cmd_evaluate,
+        "inject": _cmd_inject,
+        "retries": _cmd_retries,
+    }
     from .errors import ReproError
 
     try:
         return handlers[args.command](args)
     except ReproError as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -17,7 +17,12 @@ import numpy as np
 from .._validation import check_distribution, check_positive, check_probability, check_rate
 from ..errors import ModelStructureError, ValidationError
 from .dtmc import DTMC
-from .solvers import check_generator, steady_state_gth, steady_state_linear
+from .solvers import (
+    check_generator,
+    steady_state_gth,
+    steady_state_linear,
+    steady_state as _robust_steady_state,
+)
 from . import transient as _transient
 
 __all__ = ["CTMC"]
@@ -195,19 +200,24 @@ class CTMC:
     # ------------------------------------------------------------------
     # Steady-state and transient analysis
     # ------------------------------------------------------------------
-    def steady_state(self, method: str = "gth") -> Dict[State, float]:
+    def steady_state(self, method: str = "auto") -> Dict[State, float]:
         """Steady-state distribution of an irreducible chain.
 
         Parameters
         ----------
         method:
-            ``"gth"`` (default, subtraction-free, robust for stiff models)
-            or ``"linear"`` (direct solve, faster for large chains).
+            ``"auto"`` (default; the robust fallback chain
+            :func:`~repro.markov.solvers.steady_state`: linear, then GTH,
+            then power iteration, warning which fallback was taken),
+            ``"gth"`` (subtraction-free, robust for stiff models) or
+            ``"linear"`` (direct solve, faster for large chains).
         """
         if method == "gth":
             pi = steady_state_gth(self._q)
         elif method == "linear":
             pi = steady_state_linear(self._q)
+        elif method == "auto":
+            pi = _robust_steady_state(self._q)
         else:
             raise ValidationError(f"unknown method {method!r}")
         return dict(zip(self._states, pi.tolist()))

@@ -12,10 +12,17 @@ Three solution strategies are provided, trading robustness for speed:
   equation.  Faster for large sparse generators.
 * :func:`steady_state_power` — power iteration on a DTMC transition
   matrix; useful when only an approximate stationary vector is needed.
+
+:func:`steady_state` chains the three with a componentwise-residual
+acceptance check, warning which fallback was taken.  Small dense
+generators lead with GTH (no speed penalty, immune to stiffness); large
+generators lead with the sparse linear solve.  It is the recommended
+entry point when the generator's conditioning is unknown.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Tuple
 
 import numpy as np
@@ -26,6 +33,7 @@ import scipy.sparse.linalg as spla
 from ..errors import NotIrreducibleError, SolverError, ValidationError
 
 __all__ = [
+    "steady_state",
     "steady_state_gth",
     "steady_state_linear",
     "steady_state_power",
@@ -217,4 +225,105 @@ def steady_state_power(
         pi = smoothed
     raise SolverError(
         f"power iteration did not converge within {max_iterations} iterations"
+    )
+
+
+def _residual(q: np.ndarray, pi: np.ndarray) -> float:
+    """Componentwise balance-equation residual ``max_j |pi Q|_j / (|pi| |Q|)_j``.
+
+    A max-norm residual (``max|pi Q| / max|Q|``) hides inaccuracy in the
+    small components of stiff chains: a direct solve can satisfy it to
+    machine precision while the probability of a rare state is off by six
+    digits.  Scaling each balance equation by the mass that flows through
+    it exposes exactly that loss, so the stiff case falls back to GTH.
+    """
+    numerator = np.abs(pi @ q)
+    denominator = np.abs(pi) @ np.abs(q)
+    floor = float(np.abs(q).max()) * np.finfo(float).tiny + np.finfo(float).tiny
+    return float(np.max(numerator / np.maximum(denominator, floor)))
+
+
+#: Below this state count a dense O(n^3) solve is cheap either way, so the
+#: subtraction-free GTH elimination leads; above it the linear solve's
+#: sparse path is worth trying first.
+_SMALL_DENSE_CUTOFF = 256
+
+
+def steady_state(generator: np.ndarray, residual_tol: float = 1e-9) -> np.ndarray:
+    """Steady-state distribution with automatic solver fallback.
+
+    For small dense generators (``n <= 256``, the regime of availability
+    models) the strategy order is GTH elimination, then the linear solve,
+    then power iteration: at this size a direct solve is no faster than
+    GTH, and a direct solve of a stiff chain can lose several digits in
+    the rare-state probabilities in ways no cheap residual check can
+    certify against.  For larger generators the order is linear solve
+    (sparse), then GTH, then power iteration.
+
+    A solution is accepted only when every balance equation is satisfied
+    to *residual_tol* relative to the probability mass flowing through it
+    (a componentwise residual, so accuracy is demanded even in the tiny
+    steady-state components of stiff chains); otherwise the next solver
+    is tried and a :class:`UserWarning` names the fallback taken.
+
+    Raises
+    ------
+    NotIrreducibleError
+        Immediately (no fallback can help) when the chain has no unique
+        steady state.
+    SolverError
+        When every strategy fails.
+    """
+    q = check_generator(generator)
+    _require_irreducible(q)
+    n = q.shape[0]
+
+    def _linear() -> np.ndarray:
+        return steady_state_linear(q, sparse=n > _SMALL_DENSE_CUTOFF)
+
+    def _gth() -> np.ndarray:
+        return steady_state_gth(q)
+
+    def _power() -> np.ndarray:
+        max_exit = float(np.max(-np.diag(q)))
+        rate = max_exit * 1.05 if max_exit > 0 else 1.0
+        p = np.eye(n) + q / rate
+        pi, _iterations = steady_state_power(p)
+        return pi
+
+    if n <= _SMALL_DENSE_CUTOFF:
+        strategies = [
+            ("GTH elimination", _gth),
+            ("linear solve", _linear),
+            ("power iteration", _power),
+        ]
+    else:
+        strategies = [
+            ("linear solve", _linear),
+            ("GTH elimination", _gth),
+            ("power iteration", _power),
+        ]
+
+    failures: List[str] = []
+    for index, (name, solve) in enumerate(strategies):
+        try:
+            pi = solve()
+            res = _residual(q, pi)
+            if not np.isfinite(res) or res > residual_tol:
+                raise SolverError(
+                    f"{name} solution has residual {res:.3e} > {residual_tol:.3e}"
+                )
+            return pi
+        except NotIrreducibleError:
+            raise
+        except SolverError as exc:
+            failures.append(f"{name}: {exc}")
+            if index + 1 < len(strategies):
+                warnings.warn(
+                    f"steady_state: {name} failed ({exc}); "
+                    f"falling back to {strategies[index + 1][0]}",
+                    stacklevel=2,
+                )
+    raise SolverError(
+        "all steady-state strategies failed: " + "; ".join(failures)
     )

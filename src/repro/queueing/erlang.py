@@ -1,12 +1,26 @@
 """Erlang B and Erlang C formulas with numerically stable recursions.
 
 Erlang B is the blocking probability of an M/M/c/c loss system; Erlang C
-is the waiting probability of an M/M/c system.  Both are computed from
-the classic recurrence ``B(0) = 1, B(c) = a B(c-1) / (c + a B(c-1))``,
-which never overflows regardless of offered load.
+is the waiting probability of an M/M/c system.  Naive evaluation of the
+textbook formulas ``B(c) = (a^c / c!) / sum_j a^j / j!`` overflows
+``float`` factorials past ``c ~ 170``; both functions here work on the
+*inverse* of the blocking probability instead::
+
+    1/B(0) = 1
+    1/B(c) = 1 + (c / a) * 1/B(c-1)
+
+Every iterate is a sum of non-negative terms bounded by ``c!/a^c``
+growth in the *inverse* — representable as long as the final answer is,
+so the recursion is overflow-free far beyond ``c = 170`` (the regression
+suite exercises ``c = 500``) and subtraction-free, hence also immune to
+cancellation.  ``1/B`` can itself overflow only when ``B`` underflows
+``float`` entirely (``B < ~1e-308``), in which case 0.0 is returned —
+the correctly rounded result.
 """
 
 from __future__ import annotations
+
+import math
 
 from .._validation import check_non_negative, check_positive_int
 
@@ -27,21 +41,28 @@ def erlang_b(servers: int, offered_load: float) -> float:
     --------
     >>> round(erlang_b(2, 1.0), 4)
     0.2
+    >>> erlang_b(500, 450.0) > 0.0   # far beyond 170! with no overflow
+    True
     """
     servers = check_positive_int(servers, "servers")
     a = check_non_negative(offered_load, "offered_load")
     if a == 0.0:
         return 0.0
-    blocking = 1.0
+    inverse = 1.0
     for c in range(1, servers + 1):
-        blocking = a * blocking / (c + a * blocking)
-    return blocking
+        inverse = 1.0 + inverse * c / a
+        if math.isinf(inverse):
+            # B underflows double precision: report it as exactly 0.
+            return 0.0
+    return 1.0 / inverse
 
 
 def erlang_c(servers: int, offered_load: float) -> float:
     """Erlang-C probability of waiting in an M/M/c system.
 
-    Requires ``offered_load < servers`` (a stable system).
+    Requires ``offered_load < servers`` (a stable system).  Computed from
+    the Erlang-B value through ``C = B / (1 - rho (1 - B))``, which keeps
+    the evaluation stable for hundreds of servers.
 
     Examples
     --------

@@ -39,10 +39,12 @@ def mmck_blocking_probability(offered_load: float, servers: int, capacity: int) 
 
     Notes
     -----
-    Computed with weights normalized by the ``j = 0`` term accumulated in
-    a numerically benign left-to-right recurrence; exact for the state
-    spaces used in the paper (K = 10) and stable up to thousands of
-    states.
+    Computed with a left-to-right recurrence over the birth-death weights
+    ``w_j``, renormalized by the running weight whenever it grows large —
+    only the ratio ``w_K / sum_j w_j`` is ever needed, so rescaling both
+    keeps the computation exact while preventing the ``a^j / j!`` terms
+    from overflowing ``float`` for large farms (c = 500 is exercised by
+    the regression suite).
     """
     a = check_rate(offered_load, "offered_load")
     servers = check_positive_int(servers, "servers")
@@ -55,12 +57,16 @@ def mmck_blocking_probability(offered_load: float, servers: int, capacity: int) 
         return mm1k_blocking_probability(a, capacity)
     # w_j = a^j / j!            for j < c   (all c servers not yet busy)
     # w_j = a^j / (c^(j-c) c!)  for j >= c  (queueing behind c busy servers)
-    weights = np.empty(capacity + 1)
-    weights[0] = 1.0
+    weight = 1.0
+    total = 1.0
     for j in range(1, capacity + 1):
         divisor = j if j <= servers else servers
-        weights[j] = weights[j - 1] * a / divisor
-    return float(weights[capacity] / weights.sum())
+        weight *= a / divisor
+        total += weight
+        if weight > 1e250 or total > 1e250:
+            total /= weight
+            weight = 1.0
+    return float(weight / total)
 
 
 class MMCKQueue:

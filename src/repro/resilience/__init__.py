@@ -1,0 +1,83 @@
+"""Robustness studies on top of the availability models.
+
+Three pillars, all probing what the paper's analytic eq.-(10) measure
+leaves out:
+
+* **fault injection** (:mod:`~repro.resilience.faults`,
+  :mod:`~repro.resilience.campaign`) — scripted and stochastic fault
+  scenarios driven through the end-to-end simulator, with campaign
+  statistics comparing simulated user-perceived availability against
+  the analytic value;
+* **user retries** (:mod:`~repro.resilience.retry`) — the closed-form
+  retry/abandonment extension of eq. (10), cross-validated by the
+  discrete-event retry simulation in :mod:`repro.sim.sessions`;
+* **graceful degradation** (:mod:`~repro.resilience.degradation`) —
+  admission-control policies that shed low-value classes in degraded
+  farm states, evaluated through the M/M/c/K loss model.
+"""
+
+from .campaign import CampaignResult, run_campaign, run_campaigns
+from .degradation import (
+    AdmissionPolicy,
+    AdmitAll,
+    ClassLoad,
+    PolicyEvaluation,
+    ShedClasses,
+    compare_policies,
+    conditional_class_availability,
+    degraded_service_factor,
+    evaluate_policy,
+)
+from .faults import (
+    CompositeScenario,
+    FaultScenario,
+    NullScenario,
+    RecurrentDegradation,
+    RecurrentOutage,
+    ScheduledOutage,
+    ServiceDegradation,
+)
+from .report import (
+    format_campaign_table,
+    format_policy_table,
+    format_retry_table,
+)
+from .retry import (
+    RetryAdjustedResult,
+    RetryAdjustedScenario,
+    RetryOutcome,
+    RetryPolicy,
+    retry_adjusted_user_availability,
+    session_outcome,
+)
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "run_campaigns",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "ClassLoad",
+    "PolicyEvaluation",
+    "ShedClasses",
+    "compare_policies",
+    "conditional_class_availability",
+    "degraded_service_factor",
+    "evaluate_policy",
+    "CompositeScenario",
+    "FaultScenario",
+    "NullScenario",
+    "RecurrentDegradation",
+    "RecurrentOutage",
+    "ScheduledOutage",
+    "ServiceDegradation",
+    "format_campaign_table",
+    "format_policy_table",
+    "format_retry_table",
+    "RetryAdjustedResult",
+    "RetryAdjustedScenario",
+    "RetryOutcome",
+    "RetryPolicy",
+    "retry_adjusted_user_availability",
+    "session_outcome",
+]

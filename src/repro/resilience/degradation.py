@@ -1,0 +1,316 @@
+"""Graceful-degradation policies: admission control under farm faults.
+
+When the web farm is degraded — servers down, or limping in an
+uncovered-failure coverage mode — the M/M/c/K buffer overflows more
+often and *every* user class suffers.  A graceful-degradation policy
+trades fairness for value: it sheds the load of low-value user classes
+while the farm is below a capacity threshold, recomputing the M/M/c/K
+loss (:func:`repro.queueing.mmck.mmck_blocking_probability`) with only
+the admitted load, so the classes that are kept see a lower blocking
+probability.
+
+Evaluation is analytic and per farm state: the farm availability model
+supplies the state probabilities, the queueing model the per-state loss
+under the admitted load, and the policy decides who is admitted where.
+The campaign engine uses the same per-state machinery to score policies
+under scripted fault states (``conditional_class_availability``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .._validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+)
+from ..availability.webservice import WebServiceModel
+from ..errors import ValidationError
+from ..queueing.mmck import mmck_blocking_probability
+
+__all__ = [
+    "ClassLoad",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "ShedClasses",
+    "PolicyEvaluation",
+    "evaluate_policy",
+    "compare_policies",
+    "conditional_class_availability",
+    "degraded_service_factor",
+]
+
+
+@dataclass(frozen=True)
+class ClassLoad:
+    """The request load and business value one user class contributes.
+
+    Attributes
+    ----------
+    name:
+        Class name (e.g. ``"class A"``).
+    arrival_rate:
+        Request rate this class offers, in the performance-model unit
+        (requests per second in the paper's parameterization).
+    value:
+        Relative value of one served request of this class; admission
+        policies shed low-value classes first and evaluations report a
+        value-weighted served rate.
+    """
+
+    name: str
+    arrival_rate: float
+    value: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("class load name must be non-empty")
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_non_negative(self.value, "value")
+
+
+class AdmissionPolicy:
+    """Base class: decides which classes are admitted per farm state."""
+
+    name: str = "policy"
+
+    def admits(self, class_name: str, operational_servers: int) -> bool:
+        """True when *class_name* is admitted with that many servers up."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AdmitAll(AdmissionPolicy):
+    """The no-shedding baseline: everyone admitted in every state."""
+
+    name: str = "admit-all"
+
+    def admits(self, class_name: str, operational_servers: int) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ShedClasses(AdmissionPolicy):
+    """Shed the named classes while the farm is below a server threshold.
+
+    Parameters
+    ----------
+    shed:
+        Names of the classes to shed.
+    below_servers:
+        Shedding triggers when strictly fewer than this many servers are
+        operational (``below_servers = 3`` sheds in states 1 and 2).
+    """
+
+    shed: FrozenSet[str]
+    below_servers: int
+    name: str = "shed-low-value"
+
+    def __post_init__(self):
+        object.__setattr__(self, "shed", frozenset(self.shed))
+        if not self.shed:
+            raise ValidationError("ShedClasses needs at least one class name")
+        check_non_negative_int(self.below_servers, "below_servers")
+
+    def admits(self, class_name: str, operational_servers: int) -> bool:
+        if class_name not in self.shed:
+            return True
+        return operational_servers >= self.below_servers
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Steady-state outcome of one admission policy.
+
+    Attributes
+    ----------
+    policy:
+        Name of the evaluated policy.
+    class_availability:
+        Per class, the probability a request of that class is served:
+        admitted in the current farm state *and* not lost to the buffer.
+    served_rate:
+        Total served request rate (performance-model unit).
+    value_rate:
+        Value-weighted served request rate — the quantity shedding
+        policies are designed to protect.
+    offered_rate:
+        Total offered request rate, for reference.
+    """
+
+    policy: str
+    class_availability: Dict[str, float]
+    served_rate: float
+    value_rate: float
+    offered_rate: float
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of offered requests served, all classes combined."""
+        return self.served_rate / self.offered_rate
+
+
+def _operational_state_probabilities(web: WebServiceModel) -> Dict[int, float]:
+    """``{i: Pi_i}`` for the operational states ``i = 0 .. NW``."""
+    farm = web.farm()
+    if web.has_perfect_coverage:
+        return dict(farm.state_probabilities())
+    operational, _down = farm.state_probabilities()
+    return dict(operational)
+
+
+def _admitted_loss(
+    web: WebServiceModel,
+    loads: Sequence[ClassLoad],
+    policy: AdmissionPolicy,
+    servers_up: int,
+) -> Tuple[float, Dict[str, bool]]:
+    """Blocking probability and admission map with *servers_up* servers."""
+    admitted = {
+        load.name: policy.admits(load.name, servers_up) for load in loads
+    }
+    admitted_rate = sum(
+        load.arrival_rate for load in loads if admitted[load.name]
+    )
+    if admitted_rate <= 0.0 or servers_up <= 0:
+        return 1.0, admitted
+    loss = mmck_blocking_probability(
+        admitted_rate / web.service_rate, servers_up, web.buffer_capacity
+    )
+    return loss, admitted
+
+
+def conditional_class_availability(
+    web: WebServiceModel,
+    loads: Sequence[ClassLoad],
+    policy: AdmissionPolicy,
+    servers_up: int,
+) -> Dict[str, float]:
+    """Per-class served probability *given* a farm fault state.
+
+    This is the per-state building block the campaign engine scores
+    policies with: with ``servers_up`` servers operational, a class is
+    served iff the policy admits it and the buffer (loaded only by the
+    admitted classes) does not overflow.
+    """
+    servers_up = check_non_negative_int(servers_up, "servers_up")
+    if servers_up == 0:
+        return {load.name: 0.0 for load in loads}
+    loss, admitted = _admitted_loss(web, loads, policy, servers_up)
+    return {
+        load.name: (1.0 - loss) if admitted[load.name] else 0.0
+        for load in loads
+    }
+
+
+def evaluate_policy(
+    web: WebServiceModel,
+    loads: Sequence[ClassLoad],
+    policy: AdmissionPolicy,
+) -> PolicyEvaluation:
+    """Steady-state evaluation of an admission policy.
+
+    Weighs :func:`conditional_class_availability` by the farm's
+    availability-model state probabilities (down states serve nobody).
+
+    Examples
+    --------
+    >>> web = WebServiceModel(servers=4, arrival_rate=100.0,
+    ...                       service_rate=100.0, buffer_capacity=10,
+    ...                       failure_rate=1e-4, repair_rate=1.0)
+    >>> loads = [ClassLoad("A", 60.0, value=1.0),
+    ...          ClassLoad("B", 40.0, value=5.0)]
+    >>> full = evaluate_policy(web, loads, AdmitAll())
+    >>> 0.999 < full.class_availability["B"] <= 1.0
+    True
+    """
+    if not loads:
+        raise ValidationError("evaluate_policy needs at least one ClassLoad")
+    names = [load.name for load in loads]
+    if len(set(names)) != len(names):
+        raise ValidationError(f"duplicate class load names: {names}")
+    states = _operational_state_probabilities(web)
+    availability = {load.name: 0.0 for load in loads}
+    for servers_up, probability in states.items():
+        if servers_up < 1 or probability <= 0.0:
+            continue
+        conditional = conditional_class_availability(
+            web, loads, policy, servers_up
+        )
+        for name in availability:
+            availability[name] += probability * conditional[name]
+    served_rate = sum(
+        load.arrival_rate * availability[load.name] for load in loads
+    )
+    value_rate = sum(
+        load.value * load.arrival_rate * availability[load.name]
+        for load in loads
+    )
+    offered = sum(load.arrival_rate for load in loads)
+    return PolicyEvaluation(
+        policy=policy.name,
+        class_availability=availability,
+        served_rate=served_rate,
+        value_rate=value_rate,
+        offered_rate=offered,
+    )
+
+
+def compare_policies(
+    web: WebServiceModel,
+    loads: Sequence[ClassLoad],
+    policies: Iterable[AdmissionPolicy],
+) -> List[PolicyEvaluation]:
+    """Evaluate several policies on the same farm and load mix."""
+    return [evaluate_policy(web, loads, policy) for policy in policies]
+
+
+def degraded_service_factor(
+    web: WebServiceModel,
+    servers_up: Optional[int] = None,
+    buffer_capacity: Optional[int] = None,
+    arrival_rate: Optional[float] = None,
+) -> float:
+    """Served-fraction ratio of a degraded farm configuration.
+
+    The end-to-end simulator models degradation as a multiplicative
+    factor on the conditional session-success probability
+    (:class:`~repro.sim.endtoend.FaultEvent` ``service_factors``).  This
+    helper derives that factor from the queueing model: the ratio of the
+    buffer-survival probability in the degraded configuration (fewer
+    servers up, a shrunk buffer, or a latency-inflated arrival rate) to
+    the nominal full-capacity one.
+
+    Examples
+    --------
+    A four-server farm limping on one server at full load drops ~9% of
+    requests (M/M/1/10 at rho = 1):
+
+    >>> web = WebServiceModel(servers=4, arrival_rate=100.0,
+    ...                       service_rate=100.0, buffer_capacity=10,
+    ...                       failure_rate=1e-4, repair_rate=1.0)
+    >>> round(degraded_service_factor(web, servers_up=1), 4)
+    0.9091
+    """
+    servers = web.servers if servers_up is None else servers_up
+    servers = check_non_negative_int(servers, "servers_up")
+    capacity = (
+        web.buffer_capacity if buffer_capacity is None else buffer_capacity
+    )
+    if arrival_rate is None:
+        rate = web.arrival_rate
+    else:
+        rate = check_positive(arrival_rate, "arrival_rate")
+    if servers == 0:
+        return 0.0
+    nominal = 1.0 - mmck_blocking_probability(
+        web.offered_load, web.servers, web.buffer_capacity
+    )
+    degraded = 1.0 - mmck_blocking_probability(
+        rate / web.service_rate, servers, max(capacity, servers)
+    )
+    if nominal <= 0.0:
+        return 0.0
+    return min(1.0, degraded / nominal)

@@ -1,0 +1,111 @@
+"""Plain-text reports for campaigns, retry studies and policy benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from ..reporting import format_table
+from .campaign import CampaignResult
+from .degradation import PolicyEvaluation
+from .retry import RetryAdjustedResult
+
+__all__ = [
+    "format_campaign_table",
+    "format_retry_table",
+    "format_policy_table",
+]
+
+
+def _sig(value: float, digits: int = 6) -> str:
+    if math.isnan(value):
+        return "n/a"
+    return f"{value:.{digits}g}"
+
+
+def format_campaign_table(
+    results: Iterable[CampaignResult],
+    title: str = "Fault-injection campaigns",
+) -> str:
+    """One row per campaign: analytic vs simulated availability.
+
+    Columns: user class, scenario, the analytic eq.-(10) value, the
+    campaign mean with its standard error, the availability drop caused
+    by the injected faults, and the z-score against the analytic value
+    (meaningful for the null scenario, where |z| <= 2 is the
+    calibration criterion).
+    """
+    rows: List[Sequence[object]] = []
+    for r in results:
+        rows.append(
+            [
+                r.user_class,
+                r.scenario,
+                _sig(r.analytic_availability, 9),
+                f"{_sig(r.mean_availability, 9)} +/- {_sig(r.stderr, 3)}",
+                _sig(r.availability_drop, 4),
+                _sig(r.z_score, 3),
+            ]
+        )
+    return format_table(
+        ["class", "scenario", "analytic", "simulated", "drop", "z"],
+        rows,
+        title=title,
+    )
+
+
+def format_retry_table(
+    results: Iterable[RetryAdjustedResult],
+    title: str = "Retry-adjusted user-perceived availability",
+) -> str:
+    """One row per (user class, policy) retry evaluation."""
+    rows: List[Sequence[object]] = []
+    for r in results:
+        rows.append(
+            [
+                r.user_class,
+                r.policy.max_retries,
+                _sig(r.policy.persistence, 4),
+                _sig(r.availability, 9),
+                _sig(r.adjusted_availability, 9),
+                _sig(r.abandonment_probability, 4),
+                _sig(r.expected_attempts, 5),
+            ]
+        )
+    return format_table(
+        [
+            "class",
+            "retries",
+            "persist",
+            "A (eq. 10)",
+            "A adjusted",
+            "abandon",
+            "attempts",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def format_policy_table(
+    evaluations: Iterable[PolicyEvaluation],
+    title: str = "Admission-control policies",
+) -> str:
+    """One row per (policy, class): per-class availability and rates."""
+    rows: List[Sequence[object]] = []
+    for ev in evaluations:
+        for name in sorted(ev.class_availability):
+            rows.append(
+                [
+                    ev.policy,
+                    name,
+                    _sig(ev.class_availability[name], 9),
+                    _sig(ev.served_rate, 6),
+                    _sig(ev.value_rate, 6),
+                ]
+            )
+    return format_table(
+        ["policy", "class", "availability", "served rate", "value rate"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,259 @@
+"""Closed-form user retry/abandonment model extending eq. (10).
+
+The paper's user-perceived availability assumes every session is
+submitted exactly once.  Real users retry: after a failed session they
+try again (possibly after a backoff pause), give up with some
+probability, and stop after a bounded number of attempts.  This module
+derives the *retry-adjusted* user-perceived availability in closed form.
+
+Model.  A session of scenario ``i`` succeeds per attempt with
+probability ``A_i`` — the eq.-(10) scenario availability, attempts being
+independent draws from the steady state.  After a failed attempt the
+user *persists* (retries) with probability ``p`` and abandons with
+probability ``1 - p``, up to ``k`` retries (``k + 1`` attempts total).
+With ``q = (1 - A_i) p`` the session outcome probabilities are::
+
+    P(served)    = A_i (1 - q^(k+1)) / (1 - q)        [geometric series]
+    P(abandoned) = (1 - A_i)(1 - p)(1 - q^k) / (1 - q)
+    P(exhausted) = (1 - A_i) q^k
+
+and the retry-adjusted class availability is ``sum_i pi_i P_i(served)``
+— eq. (10) evaluated through the same scenario mix.  Three properties
+the test suite enforces:
+
+* at ``k = 0`` the measure *equals* eq. (10);
+* it is monotone non-decreasing in ``k`` (each extra retry adds the
+  non-negative term ``A_i q^(k+1)``);
+* with ``p = 1`` it tends to 1 as ``k`` grows whenever every ``A_i > 0``
+  — which is exactly the assumption fault injection breaks: during a
+  correlated outage the *conditional* per-attempt availability is 0 and
+  no retry budget helps (see :mod:`repro.resilience.campaign`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .._validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_probability,
+)
+from ..core import HierarchicalModel
+from ..profiles import Scenario, UserClass
+
+__all__ = [
+    "RetryPolicy",
+    "RetryOutcome",
+    "RetryAdjustedScenario",
+    "RetryAdjustedResult",
+    "session_outcome",
+    "retry_adjusted_user_availability",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded-retry policy with exponential backoff.
+
+    Parameters
+    ----------
+    max_retries:
+        Maximum number of *retries* ``k`` after the first attempt
+        (``k = 0`` reproduces the paper's single-submission model).
+    persistence:
+        Probability the user retries after a failed attempt (``1 -
+        persistence`` is the per-failure abandonment probability, the
+        timeout/abandonment ingredient of the model).
+    backoff_base:
+        Delay before the first retry, in the caller's time unit.
+    backoff_factor:
+        Multiplier applied per further retry (2.0 = classic exponential
+        backoff).
+    backoff_cap:
+        Upper bound on any single backoff delay.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_retries=3, backoff_base=0.5)
+    >>> [policy.backoff_delay(i) for i in range(3)]
+    [0.5, 1.0, 2.0]
+    """
+
+    max_retries: int = 3
+    persistence: float = 1.0
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = math.inf
+
+    def __post_init__(self):
+        check_non_negative_int(self.max_retries, "max_retries")
+        check_probability(self.persistence, "persistence")
+        check_non_negative(self.backoff_base, "backoff_base")
+        from ..errors import ValidationError
+
+        if self.backoff_factor < 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        # backoff_cap may be inf (no cap), so check_rate does not apply.
+        if math.isnan(self.backoff_cap) or self.backoff_cap <= 0.0:
+            raise ValidationError(
+                f"backoff_cap must be > 0 (inf allowed), got {self.backoff_cap}"
+            )
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """Backoff before retry number *retry_index* (0-based)."""
+        retry_index = check_non_negative_int(retry_index, "retry_index")
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor**retry_index,
+        )
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """Session outcome distribution under a retry policy.
+
+    ``served + abandoned + exhausted == 1`` exactly.
+    """
+
+    served: float
+    abandoned: float
+    exhausted: float
+    expected_attempts: float
+
+
+def session_outcome(availability: float, policy: RetryPolicy) -> RetryOutcome:
+    """Outcome distribution of one session with per-attempt availability *A*.
+
+    Examples
+    --------
+    No retries reproduces the single-submission measure:
+
+    >>> session_outcome(0.9, RetryPolicy(max_retries=0)).served
+    0.9
+
+    One persistent retry squares the failure probability:
+
+    >>> round(session_outcome(0.9, RetryPolicy(max_retries=1)).served, 4)
+    0.99
+    """
+    a = check_probability(availability, "availability")
+    k = policy.max_retries
+    p = policy.persistence
+    u = 1.0 - a
+    q = u * p
+    if q >= 1.0:  # only reachable when A == 0 and persistence == 1
+        return RetryOutcome(
+            served=0.0, abandoned=0.0, exhausted=1.0,
+            expected_attempts=float(k + 1),
+        )
+    geometric = (1.0 - q ** (k + 1)) / (1.0 - q)
+    served = a * geometric
+    abandoned = u * (1.0 - p) * (1.0 - q**k) / (1.0 - q)
+    exhausted = u * q**k
+    return RetryOutcome(
+        served=served,
+        abandoned=abandoned,
+        exhausted=exhausted,
+        expected_attempts=geometric,
+    )
+
+
+@dataclass(frozen=True)
+class RetryAdjustedScenario:
+    """Per-scenario detail of a retry-adjusted evaluation."""
+
+    scenario: Scenario
+    availability: float
+    outcome: RetryOutcome
+
+
+@dataclass(frozen=True)
+class RetryAdjustedResult:
+    """Retry-adjusted user-perceived availability for one user class.
+
+    Attributes
+    ----------
+    user_class:
+        Name of the evaluated class.
+    policy:
+        The retry policy applied.
+    availability:
+        The per-attempt eq.-(10) value (zero-retry baseline).
+    adjusted_availability:
+        ``sum_i pi_i P_i(served)`` — the headline retry-adjusted measure.
+    abandonment_probability:
+        Class-level probability a session ends in user abandonment.
+    exhaustion_probability:
+        Class-level probability a session fails every allowed attempt.
+    expected_attempts:
+        Class-level mean number of attempts per session.
+    per_scenario:
+        Detailed per-scenario outcomes.
+    """
+
+    user_class: str
+    policy: RetryPolicy
+    availability: float
+    adjusted_availability: float
+    abandonment_probability: float
+    exhaustion_probability: float
+    expected_attempts: float
+    per_scenario: Tuple[RetryAdjustedScenario, ...]
+
+    @property
+    def improvement(self) -> float:
+        """Availability gained by retrying, ``A_adjusted - A``."""
+        return self.adjusted_availability - self.availability
+
+
+def retry_adjusted_user_availability(
+    model: HierarchicalModel,
+    user_class: UserClass,
+    policy: RetryPolicy,
+) -> RetryAdjustedResult:
+    """Eq. (10) extended with bounded user retries (closed form).
+
+    Examples
+    --------
+    >>> from repro.ta import CLASS_A, TravelAgencyModel
+    >>> ta = TravelAgencyModel()
+    >>> result = retry_adjusted_user_availability(
+    ...     ta.hierarchical_model, CLASS_A, RetryPolicy(max_retries=2))
+    >>> result.adjusted_availability > result.availability
+    True
+    """
+    base = model.user_availability(user_class)
+    per_scenario = []
+    adjusted = 0.0
+    abandoned = 0.0
+    exhausted = 0.0
+    attempts = 0.0
+    for item in base.per_scenario:
+        outcome = session_outcome(item.availability, policy)
+        weight = item.scenario.probability
+        adjusted += weight * outcome.served
+        abandoned += weight * outcome.abandoned
+        exhausted += weight * outcome.exhausted
+        attempts += weight * outcome.expected_attempts
+        per_scenario.append(
+            RetryAdjustedScenario(
+                scenario=item.scenario,
+                availability=item.availability,
+                outcome=outcome,
+            )
+        )
+    return RetryAdjustedResult(
+        user_class=user_class.name,
+        policy=policy,
+        availability=base.availability,
+        adjusted_availability=adjusted,
+        abandonment_probability=abandoned,
+        exhaustion_probability=exhausted,
+        expected_attempts=attempts,
+        per_scenario=tuple(per_scenario),
+    )

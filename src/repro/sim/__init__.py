@@ -25,8 +25,17 @@ from .queues import (
     simulate_mm1k_response_times,
 )
 from .failures import simulate_ctmc_occupancy, simulate_web_service_availability
-from .sessions import SessionSimulation, estimate_user_availability
-from .endtoend import EndToEndResult, simulate_user_availability_over_time
+from .sessions import (
+    RetrySimulationResult,
+    SessionSimulation,
+    estimate_user_availability,
+    estimate_user_availability_with_retries,
+)
+from .endtoend import (
+    EndToEndResult,
+    FaultEvent,
+    simulate_user_availability_over_time,
+)
 
 __all__ = [
     "Simulator",
@@ -37,6 +46,9 @@ __all__ = [
     "simulate_web_service_availability",
     "SessionSimulation",
     "estimate_user_availability",
+    "estimate_user_availability_with_retries",
+    "RetrySimulationResult",
     "EndToEndResult",
+    "FaultEvent",
     "simulate_user_availability_over_time",
 ]

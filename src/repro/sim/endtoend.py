@@ -15,22 +15,83 @@ the hierarchical model (a Rao-Blackwellized estimator), and that
 probability is integrated against elapsed time.  Over long horizons the
 average converges to the analytic user availability, validating both the
 equation and the independence assumptions behind it.
+
+Fault injection
+---------------
+A run can additionally be driven by a timeline of :class:`FaultEvent`
+interventions — the mechanism the :mod:`repro.resilience` campaign
+engine uses to *violate* the model's independence assumptions on
+purpose.  An event can force a set of resources down regardless of their
+natural failure/repair process (correlated outages: LAN plus hosts
+failing together), release them again, and set per-service degradation
+factors in ``[0, 1]`` that multiply the conditional session-success
+probability while active (capacity degradation: a farm in a degraded
+coverage mode still serves, but drops a fraction of requests).  The
+natural two-state processes keep running *underneath* a forced window,
+so releasing a resource restores whatever latent state it reached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .._validation import check_positive, check_rate
+from .._validation import check_non_negative, check_positive, check_rate
 from ..availability import TwoStateAvailability
 from ..core import HierarchicalModel
-from ..errors import SimulationError
+from ..errors import SimulationError, ValidationError
 from ..profiles import UserClass
 
-__all__ = ["EndToEndResult", "simulate_user_availability_over_time"]
+__all__ = [
+    "EndToEndResult",
+    "FaultEvent",
+    "simulate_user_availability_over_time",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled intervention of a fault-injection timeline.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the intervention applies.
+    force_down:
+        Resources forced down from this instant (stacking: a resource
+        forced down twice needs two releases).
+    release:
+        Resources released from a previous ``force_down``.
+    service_factors:
+        Absolute degradation factors set per service name: ``1.0``
+        restores full capacity, ``0.7`` drops 30% of the sessions that
+        would otherwise succeed, ``0.0`` is a hard outage of the service.
+    """
+
+    time: float
+    force_down: FrozenSet[str] = frozenset()
+    release: FrozenSet[str] = frozenset()
+    service_factors: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        check_non_negative(self.time, "time")
+        object.__setattr__(self, "force_down", frozenset(self.force_down))
+        object.__setattr__(self, "release", frozenset(self.release))
+        factors = dict(self.service_factors)
+        for service, factor in factors.items():
+            if not 0.0 <= float(factor) <= 1.0:
+                raise ValidationError(
+                    f"service factor for {service!r} must be in [0, 1], "
+                    f"got {factor!r}"
+                )
+        object.__setattr__(self, "service_factors", factors)
+        if not (self.force_down or self.release or factors):
+            raise ValidationError(
+                "FaultEvent does nothing: set force_down, release, or "
+                "service_factors"
+            )
 
 
 @dataclass(frozen=True)
@@ -43,14 +104,16 @@ class EndToEndResult:
         Simulated time span (availability-model time unit).
     average_user_availability:
         Time average of the conditional per-session success probability —
-        converges to the analytic eq.-(10) value.
+        converges to the analytic eq.-(10) value (absent injected faults).
     fraction_fully_available:
         Fraction of time *every* service was up.
     fraction_total_outage:
         Fraction of time the success probability was zero (a common
         single point of failure was down).
     resource_transitions:
-        Number of failure/repair events simulated.
+        Number of natural failure/repair events simulated.
+    fault_events_applied:
+        Number of injected :class:`FaultEvent` interventions applied.
     """
 
     horizon: float
@@ -58,6 +121,7 @@ class EndToEndResult:
     fraction_fully_available: float
     fraction_total_outage: float
     resource_transitions: int
+    fault_events_applied: int = 0
 
 
 def _resource_rates(model: HierarchicalModel, default_repair_rate: float):
@@ -84,6 +148,31 @@ def _resource_rates(model: HierarchicalModel, default_repair_rate: float):
     return rates
 
 
+def _validated_timeline(
+    faults: Optional[Sequence[FaultEvent]],
+    model: HierarchicalModel,
+) -> Tuple[FaultEvent, ...]:
+    """Fault events sorted by time, with resource/service names checked."""
+    if not faults:
+        return ()
+    resources = set(model.resources)
+    services = set(model.services)
+    for event in faults:
+        unknown = (set(event.force_down) | set(event.release)) - resources
+        if unknown:
+            raise ValidationError(
+                f"fault event at t={event.time} names unknown resources: "
+                f"{sorted(unknown)}"
+            )
+        bad_services = set(event.service_factors) - services
+        if bad_services:
+            raise ValidationError(
+                f"fault event at t={event.time} names unknown services: "
+                f"{sorted(bad_services)}"
+            )
+    return tuple(sorted(faults, key=lambda e: e.time))
+
+
 def simulate_user_availability_over_time(
     model: HierarchicalModel,
     user_class: UserClass,
@@ -91,6 +180,7 @@ def simulate_user_availability_over_time(
     rng: np.random.Generator,
     default_repair_rate: float = 1.0,
     max_transitions: int = 20_000_000,
+    faults: Optional[Sequence[FaultEvent]] = None,
 ) -> EndToEndResult:
     """Simulate resource failures/repairs and integrate user availability.
 
@@ -110,6 +200,12 @@ def simulate_user_availability_over_time(
     default_repair_rate:
         Repair rate assigned to resources that only carry an
         availability number.
+    max_transitions:
+        Safety cap on natural failure/repair events; exceeding it raises
+        :class:`SimulationError` naming the count and sim-time reached.
+    faults:
+        Optional fault-injection timeline (see :class:`FaultEvent`);
+        events past the horizon are ignored.
 
     Returns
     -------
@@ -131,11 +227,23 @@ def simulate_user_availability_over_time(
     ...     rng=__import__("numpy").random.default_rng(5))
     >>> abs(result.average_user_availability - 1.0 / 1.2) < 0.01
     True
+
+    A scripted total outage of the only host for half the horizon caps
+    the availability accordingly:
+
+    >>> out = simulate_user_availability_over_time(
+    ...     model, users, horizon=10000.0,
+    ...     rng=__import__("numpy").random.default_rng(5),
+    ...     faults=[FaultEvent(time=0.0, force_down=frozenset({"host"})),
+    ...             FaultEvent(time=5000.0, release=frozenset({"host"}))])
+    >>> out.average_user_availability < 0.5
+    True
     """
     horizon = check_positive(horizon, "horizon")
     check_rate(default_repair_rate, "default_repair_rate")
     rates = _resource_rates(model, default_repair_rate)
     names = list(rates)
+    timeline = _validated_timeline(faults, model)
 
     # Initial states drawn from each resource's steady state, so the time
     # average starts unbiased rather than warming up from all-up.
@@ -150,6 +258,13 @@ def simulate_user_availability_over_time(
         up[name] = bool(rng.random() < process.availability)
         rate = process.failure_rate if up[name] else process.repair_rate
         next_event[name] = rng.exponential(1.0 / rate)
+
+    # Injection overlay: forced-down counts per resource and per-service
+    # degradation factors.  The *effective* resource state (natural state
+    # minus forced windows) is what services are evaluated against.
+    forced: Dict[str, int] = {}
+    factors: Dict[str, float] = {}
+    effective: Dict[str, bool] = dict(up)
 
     # Precompute, per scenario, the distribution of the union of services
     # a session touches (independent of availabilities).  With boolean
@@ -173,6 +288,21 @@ def simulate_user_availability_over_time(
                 (scenario.probability * probability, service_set)
             )
 
+    # Degradation factor of each weighted set; all 1.0 until a fault
+    # event sets a service factor, so the common no-degradation case
+    # stays a pure subset test.
+    set_factors = [1.0] * len(weighted_sets)
+    degraded = False
+
+    def refresh_set_factors() -> None:
+        nonlocal degraded
+        degraded = any(f != 1.0 for f in factors.values())
+        for k, (_, service_set) in enumerate(weighted_sets):
+            product = 1.0
+            for service in service_set:
+                product *= factors.get(service, 1.0)
+            set_factors[k] = product
+
     # Only services depending on a flipped resource need re-evaluation.
     dependents: Dict[str, list] = {name: [] for name in names}
     from ..rbd import structure_function
@@ -185,7 +315,7 @@ def simulate_user_availability_over_time(
             dependents.setdefault(resource_name, []).append(service)
 
     def service_state(service: str) -> bool:
-        return structure_function(service_structures[service], up)
+        return structure_function(service_structures[service], effective)
 
     up_services = {s for s in model.services if service_state(s)}
 
@@ -197,44 +327,86 @@ def simulate_user_availability_over_time(
                 up_services.discard(service)
 
     def conditional_user_availability() -> float:
+        if degraded:
+            return sum(
+                weight * set_factors[k]
+                for k, (weight, service_set) in enumerate(weighted_sets)
+                if service_set <= up_services
+            )
         return sum(
             weight
             for weight, service_set in weighted_sets
             if service_set <= up_services
         )
 
+    def apply_fault(event: FaultEvent) -> None:
+        touched = set(event.force_down) | set(event.release)
+        for name in event.force_down:
+            forced[name] = forced.get(name, 0) + 1
+        for name in event.release:
+            count = forced.get(name, 0)
+            if count <= 0:
+                raise SimulationError(
+                    f"fault event at t={event.time} releases {name!r}, "
+                    "which is not forced down"
+                )
+            forced[name] = count - 1
+        for name in touched:
+            effective[name] = up[name] and forced.get(name, 0) == 0
+            refresh_services(name)
+        if event.service_factors:
+            factors.update(event.service_factors)
+            refresh_set_factors()
+
     clock = 0.0
     weighted_availability = 0.0
     fully_up_time = 0.0
     outage_time = 0.0
     transitions = 0
+    applied = 0
+    next_fault = 0
     current = conditional_user_availability()
 
     while clock < horizon:
-        name = min(next_event, key=next_event.get)
-        event_time = next_event[name]
+        name = min(next_event, key=next_event.get) if next_event else None
+        resource_time = next_event[name] if name is not None else float("inf")
+        fault_time = (
+            timeline[next_fault].time
+            if next_fault < len(timeline)
+            else float("inf")
+        )
+        event_time = min(resource_time, fault_time)
         step_end = min(event_time, horizon)
         dt = step_end - clock
         weighted_availability += current * dt
-        if all(up[r] for r in names):
+        if all(effective[r] for r in names):
             fully_up_time += dt
         if current == 0.0:
             outage_time += dt
         clock = step_end
         if event_time > horizon:
             break
-        # Flip the resource and schedule its next transition.
-        up[name] = not up[name]
-        refresh_services(name)
-        process = rates[name]
-        rate = process.failure_rate if up[name] else process.repair_rate
-        next_event[name] = clock + rng.exponential(1.0 / rate)
-        transitions += 1
-        if transitions > max_transitions:
-            raise SimulationError(
-                f"exceeded {max_transitions} resource transitions before the "
-                "horizon; rates may be far larger than the horizon warrants"
-            )
+        if fault_time <= resource_time:
+            apply_fault(timeline[next_fault])
+            next_fault += 1
+            applied += 1
+        else:
+            # Flip the resource's natural state and schedule its next
+            # transition; the effective state honours forced windows.
+            up[name] = not up[name]
+            effective[name] = up[name] and forced.get(name, 0) == 0
+            refresh_services(name)
+            process = rates[name]
+            rate = process.failure_rate if up[name] else process.repair_rate
+            next_event[name] = clock + rng.exponential(1.0 / rate)
+            transitions += 1
+            if transitions > max_transitions:
+                raise SimulationError(
+                    f"exceeded max_transitions={max_transitions} after "
+                    f"{transitions} resource transitions at sim-time "
+                    f"{clock:.6g} of horizon {horizon:.6g}; rates may be far "
+                    "larger than the horizon warrants"
+                )
         current = conditional_user_availability()
 
     return EndToEndResult(
@@ -243,4 +415,5 @@ def simulate_user_availability_over_time(
         fraction_fully_available=fully_up_time / horizon,
         fraction_total_outage=outage_time / horizon,
         resource_transitions=transitions,
+        fault_events_applied=applied,
     )

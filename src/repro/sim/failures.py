@@ -45,6 +45,13 @@ def simulate_ctmc_occupancy(
     max_transitions:
         Safety cap against pathological rate configurations.
 
+    Raises
+    ------
+    SimulationError
+        When more than *max_transitions* transitions fire before the
+        horizon; the message reports the transition count and the
+        sim-time reached so the rate/horizon mismatch can be diagnosed.
+
     Examples
     --------
     >>> chain = CTMC(["up", "down"], [[-1.0, 1.0], [3.0, -3.0]])
@@ -72,8 +79,10 @@ def simulate_ctmc_occupancy(
         transitions += 1
         if transitions > max_transitions:
             raise SimulationError(
-                f"trajectory exceeded {max_transitions} transitions before the "
-                "horizon; rates may be far larger than the horizon warrants"
+                f"trajectory exceeded max_transitions={max_transitions} after "
+                f"{transitions} transitions at sim-time {clock:.6g} of "
+                f"horizon {horizon:.6g}; rates may be far larger than the "
+                "horizon warrants"
             )
     return {s: t / horizon for s, t in occupancy.items()}
 

@@ -1,6 +1,6 @@
 """Monte-Carlo simulation of user sessions.
 
-Two estimators:
+Three estimators:
 
 * :class:`SessionSimulation` samples sessions from an operational
   profile and tallies the observed scenario mix — the empirical
@@ -10,12 +10,20 @@ Two estimators:
   service, declaring the session successful when all services its
   functions touch are up.  This estimates the user-perceived
   availability (paper eq. 10) without any of the closed-form algebra.
+* :func:`estimate_user_availability_with_retries` extends the session
+  loop with a user retry model: failed sessions are retried after an
+  exponential backoff (scheduled through the event-driven
+  :class:`~repro.sim.des.Simulator` kernel) until they succeed, the
+  retry budget is exhausted, or the user abandons.  Its served fraction
+  converges to the closed-form retry-adjusted availability of
+  :mod:`repro.resilience.retry`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, Mapping
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping
 
 import numpy as np
 
@@ -23,8 +31,14 @@ from .._validation import check_positive_int, check_probability
 from ..core import HierarchicalModel
 from ..errors import ValidationError
 from ..profiles import OperationalProfile, Scenario, ScenarioDistribution, UserClass
+from .des import Simulator
 
-__all__ = ["SessionSimulation", "estimate_user_availability"]
+__all__ = [
+    "SessionSimulation",
+    "estimate_user_availability",
+    "estimate_user_availability_with_retries",
+    "RetrySimulationResult",
+]
 
 
 class SessionSimulation:
@@ -133,3 +147,156 @@ def estimate_user_availability(
         ):
             successes += 1
     return successes / sessions
+
+
+@dataclass(frozen=True)
+class RetrySimulationResult:
+    """Outcome of a session simulation with user retries.
+
+    Attributes
+    ----------
+    sessions:
+        Number of simulated sessions.
+    served_fraction:
+        Fraction of sessions that eventually succeeded — the retry-
+        adjusted user-perceived availability.
+    abandoned_fraction:
+        Fraction whose user gave up after a failure (persistence draw).
+    exhausted_fraction:
+        Fraction that failed every allowed attempt.
+    mean_attempts:
+        Average number of attempts per session.
+    mean_success_delay:
+        Average backoff delay accumulated by *successful* sessions
+        before they succeeded (0 when every session succeeds first try);
+        ``nan`` when no session succeeded.
+    """
+
+    sessions: int
+    served_fraction: float
+    abandoned_fraction: float
+    exhausted_fraction: float
+    mean_attempts: float
+    mean_success_delay: float
+
+
+def estimate_user_availability_with_retries(
+    model: HierarchicalModel,
+    user_class: UserClass,
+    policy,
+    sessions: int,
+    rng: np.random.Generator,
+) -> RetrySimulationResult:
+    """Session simulation with retries under exponential backoff.
+
+    Each session draws a scenario from the user class and attempts it;
+    a failed attempt is retried after ``policy.backoff_delay(retry)``
+    time units, provided the user persists (probability
+    ``policy.persistence`` per failure) and the retry budget
+    ``policy.max_retries`` is not exhausted.  Retries are scheduled as
+    discrete events on the :class:`~repro.sim.des.Simulator` kernel, so
+    backoff timing is part of the simulated timeline.
+
+    Service states are redrawn independently per attempt (each retry is
+    a fresh invocation against the steady-state model), which makes the
+    served fraction converge to the closed-form
+    :func:`repro.resilience.retry.retry_adjusted_user_availability` —
+    the analytic model this simulation cross-validates.  Correlation
+    *across* attempts (retrying into the same outage) is deliberately
+    out of scope here; the fault-injection campaign engine
+    (:mod:`repro.resilience.campaign`) measures that effect.
+
+    Parameters
+    ----------
+    model:
+        The hierarchical model supplying service availabilities.
+    user_class:
+        Scenario mix to sample sessions from.
+    policy:
+        Any object with ``max_retries``, ``persistence`` and
+        ``backoff_delay(retry_index)`` — typically a
+        :class:`repro.resilience.RetryPolicy`.
+    sessions:
+        Number of sessions to simulate.
+    rng:
+        Random generator.
+    """
+    sessions = check_positive_int(sessions, "sessions")
+    check_probability(policy.persistence, "policy.persistence")
+    if policy.max_retries < 0:
+        raise ValidationError(
+            f"policy.max_retries must be >= 0, got {policy.max_retries}"
+        )
+    scenarios = user_class.scenarios
+    probabilities = np.array([s.probability for s in scenarios])
+    probabilities = probabilities / probabilities.sum()
+    service_availability = model.service_availabilities()
+    usage_by_function = {
+        name: list(model.function_service_usage(name).items())
+        for name in model.functions
+    }
+    common = frozenset(model.common_services)
+
+    def attempt_succeeds(scenario: Scenario) -> bool:
+        needed = set(common)
+        for function in scenario.functions:
+            usage = usage_by_function[function]
+            if len(usage) == 1:
+                needed |= usage[0][0]
+            else:
+                weights = np.array([p for _, p in usage])
+                index = int(rng.choice(len(usage), p=weights / weights.sum()))
+                needed |= usage[index][0]
+        return all(
+            rng.random() < service_availability[service] for service in needed
+        )
+
+    sim = Simulator()
+    served = 0
+    abandoned = 0
+    exhausted = 0
+    total_attempts = 0
+    success_delays: List[float] = []
+
+    def run_attempt(scenario: Scenario, retry_index: int, started: float) -> None:
+        nonlocal served, abandoned, exhausted, total_attempts
+        total_attempts += 1
+        if attempt_succeeds(scenario):
+            served += 1
+            success_delays.append(sim.now - started)
+            return
+        if retry_index >= policy.max_retries:
+            exhausted += 1
+            return
+        if policy.persistence < 1.0 and rng.random() >= policy.persistence:
+            abandoned += 1
+            return
+        delay = policy.backoff_delay(retry_index)
+        sim.schedule(
+            delay,
+            lambda: run_attempt(scenario, retry_index + 1, started),
+        )
+
+    # Sessions arrive as a unit-rate Poisson stream; with per-attempt
+    # states redrawn independently the arrival pattern only affects the
+    # timeline, not the served fraction.
+    arrival = 0.0
+    for _ in range(sessions):
+        arrival += rng.exponential(1.0)
+        scenario = scenarios[int(rng.choice(len(scenarios), p=probabilities))]
+        sim.schedule_at(
+            arrival,
+            (lambda s, t: lambda: run_attempt(s, 0, t))(scenario, arrival),
+        )
+    sim.run()
+
+    return RetrySimulationResult(
+        sessions=sessions,
+        served_fraction=served / sessions,
+        abandoned_fraction=abandoned / sessions,
+        exhausted_fraction=exhausted / sessions,
+        mean_attempts=total_attempts / sessions,
+        mean_success_delay=(
+            float(np.mean(success_delays)) if success_delays else float("nan")
+        ),
+    )

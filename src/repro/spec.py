@@ -289,8 +289,17 @@ def load_model(path) -> Tuple[HierarchicalModel, Dict[str, UserClass]]:
     Returns
     -------
     (model, user_classes)
+
+    Raises
+    ------
+    ValidationError
+        When the file cannot be read, is not valid JSON, or the
+        specification itself is malformed.
     """
-    text = Path(path).read_text()
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ValidationError(f"cannot read spec file {path}: {exc}") from exc
     try:
         spec = json.loads(text)
     except json.JSONDecodeError as exc:

@@ -5,7 +5,8 @@ architecture and the assembled hierarchical model behind a small API
 that the examples and the benchmark harness drive:
 
 * per-level availabilities (service, function, user);
-* the Table 8 sweep over the number of reservation systems;
+* the Table 8 sweep over the number of reservation systems, with and
+  without the retry-adjusted column;
 * the Fig. 13 scenario-category decomposition;
 * a closed-form cross-check against the paper's eq. (10).
 """
@@ -119,6 +120,59 @@ class TravelAgencyModel:
             )
             results.append(
                 (count, model.user_availability(user_class).availability)
+            )
+        return results
+
+    def retry_adjusted_availability(
+        self, user_class: UserClass, policy=None
+    ):
+        """User-perceived availability with bounded user retries.
+
+        The closed-form extension of eq. (10) from
+        :func:`repro.resilience.retry.retry_adjusted_user_availability`:
+        failed sessions are retried up to ``policy.max_retries`` times
+        (persisting with probability ``policy.persistence`` per
+        failure), each attempt an independent draw from the steady
+        state.  Defaults to a three-retry fully-persistent policy.
+
+        Examples
+        --------
+        >>> from repro.ta import CLASS_A, TravelAgencyModel
+        >>> ta = TravelAgencyModel()
+        >>> result = ta.retry_adjusted_availability(CLASS_A)
+        >>> result.adjusted_availability > result.availability
+        True
+        """
+        from ..resilience.retry import RetryPolicy, retry_adjusted_user_availability
+
+        if policy is None:
+            policy = RetryPolicy()
+        return retry_adjusted_user_availability(self._model, user_class, policy)
+
+    def reservation_sweep_with_retries(
+        self,
+        user_class: UserClass,
+        counts: Iterable[int],
+        policy=None,
+    ) -> List[Tuple[int, float, float]]:
+        """Table 8 with a retry-adjusted column.
+
+        Per reservation-system count ``N_F = N_H = N_C``, the
+        single-submission eq.-(10) availability and the retry-adjusted
+        value under *policy* (default: three fully-persistent retries).
+        """
+        from ..resilience.retry import RetryPolicy
+
+        if policy is None:
+            policy = RetryPolicy()
+        results = []
+        for count in counts:
+            model = TravelAgencyModel(
+                self.params.with_reservation_systems(count), self.architecture
+            )
+            adjusted = model.retry_adjusted_availability(user_class, policy)
+            results.append(
+                (count, adjusted.availability, adjusted.adjusted_availability)
             )
         return results
 

@@ -1,11 +1,14 @@
 """Tests for repro.markov.solvers."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.errors import NotIrreducibleError, SolverError, ValidationError
 from repro.markov.solvers import (
     check_generator,
+    steady_state,
     steady_state_gth,
     steady_state_linear,
     steady_state_power,
@@ -136,6 +139,113 @@ class TestPower:
     def test_rejects_non_square(self):
         with pytest.raises(ValidationError):
             steady_state_power(np.zeros((2, 3)))
+
+
+class TestSteadyStateFallback:
+    def test_healthy_generator_solves_silently(self):
+        q = two_state_generator()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any fallback warning fails
+            pi = steady_state(q)
+        assert pi == pytest.approx(steady_state_gth(q), abs=1e-12)
+
+    def test_falls_back_to_linear_with_warning(self, monkeypatch):
+        q = two_state_generator()
+
+        def broken_gth(generator):
+            raise SolverError("synthetic GTH failure")
+
+        monkeypatch.setattr(
+            "repro.markov.solvers.steady_state_gth", broken_gth
+        )
+        with pytest.warns(UserWarning, match="falling back to linear"):
+            pi = steady_state(q)
+        assert pi == pytest.approx([1.0 / 1.2, 0.2 / 1.2], abs=1e-12)
+
+    def test_falls_back_to_power_iteration(self, monkeypatch):
+        q = two_state_generator()
+
+        def broken_linear(generator, sparse=None):
+            raise SolverError("synthetic failure")
+
+        def broken_gth(generator):
+            raise SolverError("synthetic failure")
+
+        monkeypatch.setattr(
+            "repro.markov.solvers.steady_state_linear", broken_linear
+        )
+        monkeypatch.setattr(
+            "repro.markov.solvers.steady_state_gth", broken_gth
+        )
+        with pytest.warns(UserWarning, match="falling back to power iteration"):
+            pi = steady_state(q)
+        assert pi == pytest.approx([1.0 / 1.2, 0.2 / 1.2], abs=1e-8)
+
+    def test_rejects_inaccurate_solution(self, monkeypatch):
+        q = two_state_generator()
+        expected = np.array([1.0 / 1.2, 0.2 / 1.2])
+
+        def sloppy_gth(generator):
+            return np.array([0.9, 0.1])  # wrong: fails the residual check
+
+        monkeypatch.setattr(
+            "repro.markov.solvers.steady_state_gth", sloppy_gth
+        )
+        with pytest.warns(UserWarning, match="residual"):
+            pi = steady_state(q)
+        assert pi == pytest.approx(expected, abs=1e-12)
+
+    def test_all_strategies_failing_raises_solver_error(self, monkeypatch):
+        q = two_state_generator()
+
+        def broken(generator, sparse=None):
+            raise SolverError("synthetic failure")
+
+        def broken_power(p, tol=1e-12, max_iterations=200_000):
+            raise SolverError("synthetic power failure")
+
+        monkeypatch.setattr(
+            "repro.markov.solvers.steady_state_linear", broken
+        )
+        monkeypatch.setattr("repro.markov.solvers.steady_state_gth", broken)
+        monkeypatch.setattr(
+            "repro.markov.solvers.steady_state_power", broken_power
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(
+                SolverError, match="all steady-state strategies failed"
+            ):
+                steady_state(q)
+
+    def test_reducible_chain_raises_immediately(self):
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no fallback warnings expected
+            with pytest.raises(NotIrreducibleError):
+                steady_state(q)
+
+    def test_stiff_availability_generator(self):
+        # The paper's regime: per-hour repairs against 1e-4/h failures
+        # across several orders of magnitude.
+        q = np.array(
+            [
+                [-1e-9, 1e-9, 0.0],
+                [1.0, -1.0 - 1e-9, 1e-9],
+                [0.0, 1.0, -1.0],
+            ]
+        )
+        pi = steady_state(q)
+        assert np.all(pi > 0)
+        assert np.abs(pi @ q).max() / np.abs(q).max() < 1e-9
+
+    def test_ctmc_auto_method_routes_through_robust_solver(self):
+        from repro.markov import CTMC
+
+        chain = CTMC.from_rates({("up", "down"): 0.2, ("down", "up"): 1.0})
+        auto = chain.steady_state()
+        gth = chain.steady_state(method="gth")
+        assert auto["up"] == pytest.approx(gth["up"], abs=1e-12)
 
 
 class TestSCC:

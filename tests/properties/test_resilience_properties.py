@@ -1,0 +1,119 @@
+"""Property-based tests for the resilience subsystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import (
+    RecurrentOutage,
+    RetryPolicy,
+    run_campaign,
+    session_outcome,
+)
+from repro.ta import CLASS_A, TravelAgencyModel
+
+TA = TravelAgencyModel()
+
+availabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+persistences = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+retry_budgets = st.integers(min_value=0, max_value=20)
+
+
+class TestSessionOutcomeProperties:
+    @given(availabilities, persistences, retry_budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_outcomes_form_a_distribution(self, a, p, k):
+        out = session_outcome(a, RetryPolicy(max_retries=k, persistence=p))
+        assert 0.0 <= out.served <= 1.0
+        assert 0.0 <= out.abandoned <= 1.0
+        assert 0.0 <= out.exhausted <= 1.0
+        assert out.served + out.abandoned + out.exhausted == pytest.approx(
+            1.0, abs=1e-9
+        )
+        assert 1.0 <= out.expected_attempts <= k + 1
+
+    @given(availabilities, persistences, retry_budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_served_monotone_in_retry_budget(self, a, p, k):
+        served_k = session_outcome(
+            a, RetryPolicy(max_retries=k, persistence=p)
+        ).served
+        served_k1 = session_outcome(
+            a, RetryPolicy(max_retries=k + 1, persistence=p)
+        ).served
+        assert served_k1 >= served_k - 1e-12
+
+    @given(availabilities, persistences)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_retries_equal_single_submission(self, a, p):
+        out = session_outcome(a, RetryPolicy(max_retries=0, persistence=p))
+        assert out.served == pytest.approx(a, abs=1e-12)
+        assert out.expected_attempts == 1.0
+
+    @given(availabilities, retry_budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_more_persistence_never_serves_less(self, a, k):
+        lazy = session_outcome(
+            a, RetryPolicy(max_retries=k, persistence=0.3)
+        ).served
+        eager = session_outcome(
+            a, RetryPolicy(max_retries=k, persistence=0.9)
+        ).served
+        assert eager >= lazy - 1e-12
+
+
+class TestRetryAdjustedModelProperties:
+    @given(retry_budgets)
+    @settings(max_examples=10, deadline=None)
+    def test_adjusted_availability_monotone_and_bounded(self, k):
+        lower = TA.retry_adjusted_availability(
+            CLASS_A, RetryPolicy(max_retries=k)
+        )
+        upper = TA.retry_adjusted_availability(
+            CLASS_A, RetryPolicy(max_retries=k + 1)
+        )
+        assert lower.availability <= lower.adjusted_availability <= 1.0
+        assert upper.adjusted_availability >= lower.adjusted_availability
+
+    def test_zero_retries_reproduce_eq_10_exactly(self):
+        result = TA.retry_adjusted_availability(
+            CLASS_A, RetryPolicy(max_retries=0)
+        )
+        assert result.adjusted_availability == pytest.approx(
+            result.availability, abs=1e-15
+        )
+
+
+class TestCampaignProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_campaign_reproducible_from_seed(self, seed):
+        kwargs = dict(horizon=400.0, replications=2, seed=seed)
+        first = run_campaign(TA.hierarchical_model, CLASS_A, **kwargs)
+        second = run_campaign(TA.hierarchical_model, CLASS_A, **kwargs)
+        assert first.values == second.values
+        assert first.analytic_availability == second.analytic_availability
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_scenario_compilation_reproducible_from_stream(self, seed):
+        scenario = RecurrentOutage(
+            frozenset({"lan-segment"}), episode_rate=0.05, mean_duration=5.0
+        )
+        events_a = scenario.compile(
+            TA.hierarchical_model, 2000.0, np.random.default_rng(seed)
+        )
+        events_b = scenario.compile(
+            TA.hierarchical_model, 2000.0, np.random.default_rng(seed)
+        )
+        assert events_a == events_b
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=3, deadline=None)
+    def test_simulated_availability_is_a_probability(self, seed):
+        result = run_campaign(
+            TA.hierarchical_model, CLASS_A,
+            horizon=300.0, replications=1, seed=seed,
+        )
+        assert 0.0 <= result.mean_availability <= 1.0

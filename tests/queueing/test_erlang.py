@@ -37,6 +37,40 @@ class TestErlangB:
             erlang_b(2, -1.0)
 
 
+class TestErlangBLargeFarms:
+    """Regression tests: the naive a**c / c! form overflows near c=171."""
+
+    def test_500_servers_at_high_load(self):
+        # a = 480 erlangs on 500 servers: small but strictly positive
+        # blocking; float overflow in the old formulation returned nan.
+        value = erlang_b(500, 480.0)
+        assert 0.0 < value < 0.05
+        assert math.isfinite(value)
+
+    def test_500_servers_recurrence_consistency(self):
+        # The inverse recurrence 1/B(c) = 1 + (c/a)/B(c-1) must hold
+        # exactly where both sides are representable.
+        a = 450.0
+        b_499 = erlang_b(499, a)
+        b_500 = erlang_b(500, a)
+        assert 1.0 / b_500 == pytest.approx(
+            1.0 + (500.0 / a) / b_499, rel=1e-12
+        )
+
+    def test_1000_servers_lightly_loaded_underflows_to_zero(self):
+        # Blocking is astronomically small; the recurrence saturates and
+        # reports exactly 0 instead of overflowing.
+        assert erlang_b(1000, 10.0) == 0.0
+
+    def test_heavy_traffic_limit(self):
+        # a >> c: blocking tends to 1 - c/a.
+        assert erlang_b(500, 5000.0) == pytest.approx(0.9, abs=1e-3)
+
+    def test_monotone_decreasing_in_servers_at_scale(self):
+        values = [erlang_b(c, 480.0) for c in (460, 480, 500, 520)]
+        assert values == sorted(values, reverse=True)
+
+
 class TestErlangC:
     def test_single_server_equals_rho(self):
         assert erlang_c(1, 0.5) == pytest.approx(0.5)
@@ -57,3 +91,9 @@ class TestErlangC:
     def test_rejects_saturated_load(self):
         with pytest.raises(ValidationError):
             erlang_c(2, 2.0)
+
+    def test_500_servers_finite(self):
+        value = erlang_c(500, 480.0)
+        assert 0.0 < value < 1.0
+        assert math.isfinite(value)
+        assert value >= erlang_b(500, 480.0)

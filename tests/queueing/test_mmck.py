@@ -117,3 +117,25 @@ class TestMMCKQueue:
         q = MMCKQueue(arrival_rate=150.0, service_rate=100.0, servers=2,
                       capacity=8)
         assert q.offered_load == pytest.approx(1.5)
+
+
+class TestLargeFarms:
+    """Regression: the scalar recurrence must survive c=500 farms."""
+
+    def test_500_servers_finite_and_positive(self):
+        value = mmck_blocking_probability(490.0, 500, 520)
+        assert 0.0 < value < 1.0
+        assert math.isfinite(value)
+
+    def test_500_servers_matches_erlang_b_when_k_equals_c(self):
+        from repro.queueing import erlang_b
+
+        assert mmck_blocking_probability(480.0, 500, 500) == pytest.approx(
+            erlang_b(500, 480.0), rel=1e-9
+        )
+
+    def test_large_k_renormalization_stays_stable(self):
+        # Long buffer at rho just under 1: thousands of recurrence steps.
+        value = mmck_blocking_probability(495.0, 500, 5000)
+        assert 0.0 <= value < 1.0
+        assert math.isfinite(value)

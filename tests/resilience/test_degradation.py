@@ -1,0 +1,151 @@
+"""Tests for admission-control graceful-degradation policies."""
+
+import pytest
+
+from repro.availability import WebServiceModel
+from repro.errors import ValidationError
+from repro.resilience import (
+    AdmitAll,
+    ClassLoad,
+    ShedClasses,
+    compare_policies,
+    conditional_class_availability,
+    degraded_service_factor,
+    evaluate_policy,
+)
+
+
+def farm(**overrides):
+    config = dict(
+        servers=4,
+        arrival_rate=350.0,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=1e-2,
+        repair_rate=1.0,
+        coverage=0.98,
+        reconfiguration_rate=12.0,
+    )
+    config.update(overrides)
+    return WebServiceModel(**config)
+
+
+LOADS = [
+    ClassLoad("low", 250.0, value=1.0),
+    ClassLoad("high", 100.0, value=5.0),
+]
+
+
+class TestClassLoad:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            ClassLoad("", 1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValidationError):
+            ClassLoad("x", 0.0)
+
+
+class TestPolicies:
+    def test_admit_all_admits_everywhere(self):
+        policy = AdmitAll()
+        assert policy.admits("anything", 0)
+        assert policy.admits("anything", 4)
+
+    def test_shedding_triggers_below_threshold(self):
+        policy = ShedClasses(frozenset({"low"}), below_servers=3)
+        assert not policy.admits("low", 2)
+        assert policy.admits("low", 3)
+        assert policy.admits("high", 1)
+
+    def test_rejects_empty_shed_set(self):
+        with pytest.raises(ValidationError):
+            ShedClasses(frozenset(), below_servers=2)
+
+
+class TestConditionalAvailability:
+    def test_zero_servers_serve_nobody(self):
+        result = conditional_class_availability(farm(), LOADS, AdmitAll(), 0)
+        assert result == {"low": 0.0, "high": 0.0}
+
+    def test_shed_class_gets_zero_and_kept_class_improves(self):
+        web = farm()
+        policy = ShedClasses(frozenset({"low"}), below_servers=3)
+        admit_all = conditional_class_availability(web, LOADS, AdmitAll(), 1)
+        shedding = conditional_class_availability(web, LOADS, policy, 1)
+        assert shedding["low"] == 0.0
+        assert shedding["high"] > admit_all["high"]
+
+    def test_full_farm_is_unaffected_by_shedding(self):
+        web = farm()
+        policy = ShedClasses(frozenset({"low"}), below_servers=3)
+        assert conditional_class_availability(
+            web, LOADS, policy, web.servers
+        ) == conditional_class_availability(
+            web, LOADS, AdmitAll(), web.servers
+        )
+
+
+class TestEvaluatePolicy:
+    def test_admit_all_classes_share_one_availability(self):
+        evaluation = evaluate_policy(farm(), LOADS, AdmitAll())
+        assert evaluation.class_availability["low"] == pytest.approx(
+            evaluation.class_availability["high"], abs=1e-15
+        )
+        assert 0.0 < evaluation.served_fraction <= 1.0
+
+    def test_shedding_trades_low_for_high(self):
+        admit_all, shedding = compare_policies(
+            farm(), LOADS,
+            [AdmitAll(), ShedClasses(frozenset({"low"}), below_servers=3)],
+        )
+        assert (
+            shedding.class_availability["high"]
+            > admit_all.class_availability["high"]
+        )
+        assert (
+            shedding.class_availability["low"]
+            < admit_all.class_availability["low"]
+        )
+
+    def test_value_rate_reflects_class_values(self):
+        evaluation = evaluate_policy(farm(), LOADS, AdmitAll())
+        expected = sum(
+            load.value * load.arrival_rate
+            * evaluation.class_availability[load.name]
+            for load in LOADS
+        )
+        assert evaluation.value_rate == pytest.approx(expected, abs=1e-9)
+
+    def test_rejects_duplicate_class_names(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            evaluate_policy(
+                farm(), [ClassLoad("x", 1.0), ClassLoad("x", 2.0)], AdmitAll()
+            )
+
+    def test_rejects_empty_load_list(self):
+        with pytest.raises(ValidationError):
+            evaluate_policy(farm(), [], AdmitAll())
+
+
+class TestDegradedServiceFactor:
+    def test_full_capacity_factor_is_one(self):
+        assert degraded_service_factor(farm()) == pytest.approx(1.0)
+
+    def test_fewer_servers_reduce_the_factor(self):
+        web = farm()
+        factors = [
+            degraded_service_factor(web, servers_up=c)
+            for c in range(web.servers, 0, -1)
+        ]
+        assert all(0.0 < f <= 1.0 for f in factors)
+        assert factors == sorted(factors, reverse=True)
+
+    def test_zero_servers_is_a_hard_outage(self):
+        assert degraded_service_factor(farm(), servers_up=0) == 0.0
+
+    def test_inflated_arrival_rate_reduces_the_factor(self):
+        web = farm()
+        assert degraded_service_factor(
+            web, arrival_rate=2.0 * web.arrival_rate
+        ) < 1.0

@@ -1,0 +1,60 @@
+"""Tests for the resilience report renderers."""
+
+from repro.availability import WebServiceModel
+from repro.resilience import (
+    AdmitAll,
+    ClassLoad,
+    RetryPolicy,
+    ShedClasses,
+    compare_policies,
+    format_campaign_table,
+    format_policy_table,
+    format_retry_table,
+    run_campaign,
+)
+from repro.ta import CLASS_A, TravelAgencyModel
+
+
+def test_campaign_table_renders_every_row():
+    ta = TravelAgencyModel()
+    result = run_campaign(
+        ta.hierarchical_model, CLASS_A, horizon=500.0, replications=2, seed=0
+    )
+    text = format_campaign_table([result])
+    assert "class A" in text
+    assert "null" in text
+    assert "analytic" in text
+    assert "+/-" in text
+
+
+def test_campaign_table_single_replication_shows_na():
+    ta = TravelAgencyModel()
+    result = run_campaign(
+        ta.hierarchical_model, CLASS_A, horizon=500.0, replications=1, seed=0
+    )
+    assert "n/a" in format_campaign_table([result])
+
+
+def test_retry_table_renders_policy_columns():
+    ta = TravelAgencyModel()
+    result = ta.retry_adjusted_availability(
+        CLASS_A, RetryPolicy(max_retries=2, persistence=0.9)
+    )
+    text = format_retry_table([result])
+    assert "class A" in text
+    assert "A adjusted" in text
+    assert "0.9" in text
+
+
+def test_policy_table_lists_every_policy_class_pair():
+    web = WebServiceModel(
+        servers=2, arrival_rate=150.0, service_rate=100.0,
+        buffer_capacity=8, failure_rate=1e-3, repair_rate=1.0,
+    )
+    loads = [ClassLoad("a", 100.0), ClassLoad("b", 50.0)]
+    evaluations = compare_policies(
+        web, loads, [AdmitAll(), ShedClasses(frozenset({"a"}), 2)]
+    )
+    text = format_policy_table(evaluations)
+    assert text.count("admit-all") == 2
+    assert text.count("shed-low-value") == 2

@@ -1,0 +1,145 @@
+"""Tests for the closed-form retry/abandonment model."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resilience import (
+    RetryPolicy,
+    retry_adjusted_user_availability,
+    session_outcome,
+)
+from repro.ta import CLASS_A, CLASS_B, TravelAgencyModel
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 3
+        assert policy.persistence == 1.0
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=2.0)
+        assert [policy.backoff_delay(i) for i in range(4)] == [
+            0.5, 1.0, 2.0, 4.0,
+        ]
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_cap=5.0)
+        assert policy.backoff_delay(3) == 5.0
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_retries=-1)
+
+    def test_rejects_bad_persistence(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(persistence=1.5)
+
+    def test_rejects_shrinking_backoff(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_infinite_cap_is_allowed(self):
+        assert RetryPolicy(backoff_cap=math.inf).backoff_delay(10) > 1000.0
+
+
+class TestSessionOutcome:
+    def test_outcomes_sum_to_one(self):
+        for a in (0.0, 0.3, 0.9, 0.999, 1.0):
+            for p in (0.0, 0.5, 1.0):
+                for k in (0, 1, 5):
+                    out = session_outcome(a, RetryPolicy(max_retries=k,
+                                                         persistence=p))
+                    assert out.served + out.abandoned + out.exhausted == (
+                        pytest.approx(1.0, abs=1e-12)
+                    )
+
+    def test_zero_retries_reproduce_single_submission(self):
+        out = session_outcome(0.97, RetryPolicy(max_retries=0))
+        assert out.served == pytest.approx(0.97)
+        assert out.expected_attempts == 1.0
+
+    def test_monotone_in_retry_budget(self):
+        served = [
+            session_outcome(0.8, RetryPolicy(max_retries=k)).served
+            for k in range(6)
+        ]
+        assert served == sorted(served)
+
+    def test_persistent_retries_approach_one(self):
+        out = session_outcome(0.5, RetryPolicy(max_retries=40))
+        assert out.served == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_availability_full_persistence_always_exhausts(self):
+        out = session_outcome(0.0, RetryPolicy(max_retries=3, persistence=1.0))
+        assert out.served == 0.0
+        assert out.exhausted == 1.0
+        assert out.expected_attempts == 4.0
+
+    def test_abandonment_splits_the_failure_mass(self):
+        out = session_outcome(0.8, RetryPolicy(max_retries=2, persistence=0.5))
+        # Explicit enumeration: fail(0.2) then abandon(0.5) -> 0.1; etc.
+        assert out.abandoned == pytest.approx(
+            0.2 * 0.5 + 0.2 * 0.5 * 0.2 * 0.5, abs=1e-12
+        )
+
+    def test_expected_attempts_geometric(self):
+        out = session_outcome(0.75, RetryPolicy(max_retries=10**3))
+        # q = 0.25; expected attempts -> 1/(1-q)
+        assert out.expected_attempts == pytest.approx(1.0 / 0.75, abs=1e-9)
+
+
+class TestRetryAdjustedUserAvailability:
+    def test_zero_retries_equal_eq_10(self):
+        ta = TravelAgencyModel()
+        for users in (CLASS_A, CLASS_B):
+            result = ta.retry_adjusted_availability(
+                users, RetryPolicy(max_retries=0)
+            )
+            assert result.adjusted_availability == pytest.approx(
+                result.availability, abs=1e-15
+            )
+
+    def test_improvement_is_nonnegative_and_monotone(self):
+        ta = TravelAgencyModel()
+        values = [
+            ta.retry_adjusted_availability(
+                CLASS_A, RetryPolicy(max_retries=k)
+            ).adjusted_availability
+            for k in range(5)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_per_scenario_weights_recompose_the_total(self):
+        ta = TravelAgencyModel()
+        result = ta.retry_adjusted_availability(CLASS_B, RetryPolicy())
+        total = sum(
+            item.scenario.probability * item.outcome.served
+            for item in result.per_scenario
+        )
+        assert result.adjusted_availability == pytest.approx(total, abs=1e-15)
+
+    def test_facade_and_module_function_agree(self):
+        ta = TravelAgencyModel()
+        policy = RetryPolicy(max_retries=2, persistence=0.8)
+        direct = retry_adjusted_user_availability(
+            ta.hierarchical_model, CLASS_A, policy
+        )
+        via_facade = ta.retry_adjusted_availability(CLASS_A, policy)
+        assert direct.adjusted_availability == pytest.approx(
+            via_facade.adjusted_availability, abs=1e-15
+        )
+
+    def test_sweep_with_retries_has_dominating_column(self):
+        ta = TravelAgencyModel()
+        sweep = ta.reservation_sweep_with_retries(
+            CLASS_A, (1, 3, 5), RetryPolicy(max_retries=2)
+        )
+        for _n, base, adjusted in sweep:
+            assert adjusted > base
+        bases = [base for _n, base, _adj in sweep]
+        assert bases == sorted(bases)

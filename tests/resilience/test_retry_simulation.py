@@ -1,0 +1,81 @@
+"""DES retry simulation vs the closed-form retry model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.resilience import RetryPolicy, retry_adjusted_user_availability
+from repro.sim import estimate_user_availability_with_retries
+from repro.ta import CLASS_A, TravelAgencyModel
+
+TA = TravelAgencyModel()
+SESSIONS = 20_000
+
+
+def simulate(policy, seed=13, sessions=SESSIONS):
+    return estimate_user_availability_with_retries(
+        TA.hierarchical_model, CLASS_A, policy, sessions,
+        np.random.default_rng(seed),
+    )
+
+
+class TestAgreementWithClosedForm:
+    def test_served_fraction_matches_within_monte_carlo_error(self):
+        policy = RetryPolicy(max_retries=2, persistence=0.9, backoff_base=0.5)
+        closed = retry_adjusted_user_availability(
+            TA.hierarchical_model, CLASS_A, policy
+        )
+        result = simulate(policy)
+        p = closed.adjusted_availability
+        sigma = math.sqrt(p * (1.0 - p) / SESSIONS)
+        assert result.served_fraction == pytest.approx(p, abs=4.0 * sigma)
+        assert result.mean_attempts == pytest.approx(
+            closed.expected_attempts, abs=0.02
+        )
+        assert result.abandoned_fraction == pytest.approx(
+            closed.abandonment_probability, abs=0.005
+        )
+
+    def test_zero_retries_match_single_submission(self):
+        policy = RetryPolicy(max_retries=0)
+        closed = retry_adjusted_user_availability(
+            TA.hierarchical_model, CLASS_A, policy
+        )
+        result = simulate(policy)
+        assert result.mean_attempts == 1.0
+        assert result.abandoned_fraction == 0.0
+        assert result.served_fraction == pytest.approx(
+            closed.availability, abs=0.01
+        )
+
+
+class TestSimulationMechanics:
+    def test_fractions_partition_the_sessions(self):
+        result = simulate(
+            RetryPolicy(max_retries=3, persistence=0.7), sessions=5000
+        )
+        assert (
+            result.served_fraction
+            + result.abandoned_fraction
+            + result.exhausted_fraction
+        ) == pytest.approx(1.0, abs=1e-12)
+
+    def test_backoff_accumulates_on_retried_successes(self):
+        # With availability < 1 and persistent retries, some successes
+        # happen on attempt >= 2 and carry a positive backoff delay.
+        result = simulate(
+            RetryPolicy(max_retries=3, backoff_base=2.0), sessions=5000
+        )
+        assert result.mean_success_delay > 0.0
+
+    def test_reproducible_from_seed(self):
+        policy = RetryPolicy(max_retries=2)
+        a = simulate(policy, seed=99, sessions=2000)
+        b = simulate(policy, seed=99, sessions=2000)
+        assert a == b
+
+    def test_rejects_zero_sessions(self):
+        with pytest.raises(ValidationError):
+            simulate(RetryPolicy(), sessions=0)

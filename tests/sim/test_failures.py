@@ -1,5 +1,7 @@
 """Failure/repair trajectory simulation vs analytic steady states."""
 
+import re
+
 import numpy as np
 import pytest
 
@@ -38,6 +40,22 @@ class TestOccupancy:
 
         with pytest.raises(ValidationError):
             simulate_ctmc_occupancy(chain, "up", 0.0, rng)
+
+    def test_transition_cap_reports_count_and_sim_time(self, rng):
+        from repro.errors import SimulationError
+
+        # Fast chain against a long horizon with a tiny cap: the error
+        # must carry the diagnostics needed to spot the mismatch.
+        chain = CTMC(["up", "down"], [[-100.0, 100.0], [100.0, -100.0]])
+        with pytest.raises(SimulationError) as excinfo:
+            simulate_ctmc_occupancy(
+                chain, "up", 1000.0, rng, max_transitions=50
+            )
+        message = str(excinfo.value)
+        assert "max_transitions=50" in message
+        assert re.search(r"after \d+ transitions", message)
+        assert "sim-time" in message
+        assert "horizon 1000" in message
 
 
 class TestWebServiceSimulation:

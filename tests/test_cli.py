@@ -105,6 +105,107 @@ class TestEvaluateCommand:
         assert main(["evaluate", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_missing_spec_file_is_a_one_line_error(self, tmp_path, capsys):
+        assert main(["evaluate", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read spec file" in err
+        assert "Traceback" not in err
+
+    def test_structurally_malformed_spec(self, tmp_path, capsys):
+        path = tmp_path / "malformed.json"
+        path.write_text(json.dumps({
+            "resources": {"host": 0.999},
+            "services": {"web": "ghost-resource"},
+            "functions": {"home": {"services": ["web"]}},
+        }))
+        assert main(["evaluate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_debug_flag_reraises(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["--debug", "evaluate", str(tmp_path / "nope.json")])
+
+
+class TestInjectCommand:
+    def test_null_campaign_calibrates(self, capsys):
+        assert main([
+            "inject", "--scenario", "null", "--user-class", "A",
+            "--horizon", "1500", "--replications", "3", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fault-injection campaign" in out
+        assert "agrees with the analytic" in out
+
+    def test_lan_host_campaign_reports_drop(self, capsys):
+        assert main([
+            "inject", "--scenario", "lan-host", "--user-class", "A",
+            "--horizon", "1000", "--replications", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recurrent-outage" in out
+        assert "drop" in out
+
+    def test_web_degradation_scenario(self, capsys):
+        assert main([
+            "inject", "--scenario", "web-degraded", "--user-class", "B",
+            "--horizon", "500", "--replications", "2",
+        ]) == 0
+        assert "recurrent-degradation" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "--scenario", "asteroid"])
+
+    def test_invalid_horizon_is_a_one_line_error(self, capsys):
+        assert main(["inject", "--horizon", "-5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestRetriesCommand:
+    def test_default_run(self, capsys):
+        assert main(["retries", "--user-class", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "Retry-adjusted" in out
+        assert "class A" in out
+
+    def test_zero_retries_reproduce_eq_10(self, capsys):
+        assert main([
+            "retries", "--user-class", "A", "--max-retries", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Both columns show the paper's single-submission value.
+        assert out.count("0.978817412") >= 2
+
+    def test_sweep_prints_retry_column(self, capsys):
+        assert main([
+            "retries", "--user-class", "A", "--sweep", "--max-retries", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8 with retries" in out
+        assert "0.84227" in out  # N = 1 single-submission value survives
+
+    def test_simulate_cross_validates(self, capsys):
+        assert main([
+            "retries", "--user-class", "A", "--max-retries", "1",
+            "--simulate", "2000", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DES cross-validation" in out
+        assert "closed form" in out
+
+    def test_invalid_persistence_is_a_one_line_error(self, capsys):
+        assert main(["retries", "--persistence", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
 
 class TestParser:
     def test_requires_command(self):

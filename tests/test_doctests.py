@@ -43,6 +43,11 @@ MODULES = [
     "repro.queueing.responsetime",
     "repro.rbd.blocks",
     "repro.rbd.evaluate",
+    "repro.resilience.campaign",
+    "repro.resilience.degradation",
+    "repro.resilience.faults",
+    "repro.resilience.report",
+    "repro.resilience.retry",
     "repro.reporting.downtime",
     "repro.reporting.series",
     "repro.reporting.tables",
