@@ -40,6 +40,10 @@ Package map
     Parameter sweeps and tornado analyses.
 ``repro.sim``
     Discrete-event simulation used to cross-validate analytic results.
+``repro.runtime``
+    Fault-tolerant execution substrate: budgets/deadlines, cooperative
+    cancellation, crash-consistent run journals, heartbeats, and
+    journaled solver escalation.
 ``repro.reporting``
     Downtime conversions and table formatting for the benches.
 """
@@ -52,6 +56,7 @@ from . import (
     profiles,
     queueing,
     rbd,
+    runtime,
 )
 
 __version__ = "1.0.0"
@@ -64,5 +69,6 @@ __all__ = [
     "profiles",
     "queueing",
     "rbd",
+    "runtime",
     "__version__",
 ]

@@ -23,6 +23,8 @@ __all__ = [
     "check_rate",
     "check_in_range",
     "check_distribution",
+    "check_finite",
+    "check_finite_array",
 ]
 
 _EPS = 1e-12
@@ -109,12 +111,50 @@ def check_distribution(
     return arr.copy()
 
 
+def check_finite(value: float, name: str = "value") -> float:
+    """Validate that *value* is a finite real number (rejects NaN and inf).
+
+    NaN is rejected with an explicit message: a NaN that slips into a
+    rate or probability fails every downstream comparison as False,
+    which surfaces as a confusing secondary error far from the source
+    (an "unstable" queue, a "non-normalized" distribution).  Naming NaN
+    at the boundary points at the actual bug.
+    """
+    return _as_float(value, name)
+
+
+def check_finite_array(
+    values: Iterable[float], name: str = "array"
+) -> np.ndarray:
+    """Validate that every entry of *values* is finite; returns float array.
+
+    NaN entries get the same explicit diagnosis as :func:`check_finite`
+    — in particular, NaN passes silently through ``<`` / ``>`` guards
+    (every comparison is False), so matrix validators must check
+    finiteness *before* sign- or sum-based structure checks.
+    """
+    arr = np.asarray(values, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        bad = np.argwhere(~np.isfinite(arr))
+        index = tuple(int(i) for i in bad[0])
+        index_repr = index[0] if len(index) == 1 else index
+        flat = arr[tuple(bad[0])] if arr.ndim else arr
+        kind = "NaN (not-a-number)" if np.isnan(flat) else "non-finite"
+        _fail(f"{name}[{index_repr}]", f"finite, not {kind}", flat)
+    return arr
+
+
 def _as_float(value, name: str) -> float:
     try:
         value = float(value)
     except (TypeError, ValueError):
         _fail(name, "a real number", value)
-    if math.isnan(value) or math.isinf(value):
+    if math.isnan(value):
+        # Explicit branch: NaN would otherwise fail range checks with
+        # messages about bounds ("must be in [0, 1], got nan") that
+        # mis-describe the problem.
+        _fail(name, "a number, not NaN (not-a-number)", value)
+    if math.isinf(value):
         _fail(name, "finite", value)
     return value
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows without writing Python:
+Six subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -23,6 +23,17 @@ Five subcommands cover the common workflows without writing Python:
     Retry-adjusted user-perceived availability — the closed-form
     extension of eq. (10) with bounded user retries, optionally
     cross-validated by discrete-event simulation.
+
+``repro resume``
+    Resume an interrupted ``repro inject --journal`` campaign from its
+    journal; completed replications are restored, only missing ones are
+    simulated, and the final result is bit-identical to an
+    uninterrupted run.
+
+Long runs are bounded and interruptible: ``inject`` and ``retries``
+take ``--deadline SECONDS`` (wall clock; exceeding it exits with code 2
+and, with ``--journal``, leaves a resumable journal) and ``--progress``
+(heartbeat lines on stderr).
 
 Run ``python -m repro <command> --help`` for the options of each.
 Errors are reported as a one-line message with exit code 2; pass
@@ -136,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent replications per campaign",
     )
     inject.add_argument("--seed", type=int, default=0)
+    _add_runtime_flags(inject, journal_help=(
+        "journal per-replication results to this JSONL file "
+        "(crash-consistent; resumable via `repro resume`); "
+        "requires --user-class A or B"
+    ))
 
     retries = commands.add_parser(
         "retries",
@@ -164,7 +180,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-validate with a discrete-event retry simulation",
     )
     retries.add_argument("--seed", type=int, default=0)
+    _add_runtime_flags(retries, journal_help=(
+        "append per-class retry results to this JSONL journal"
+    ))
+
+    resume = commands.add_parser(
+        "resume",
+        help="resume an interrupted `repro inject --journal` campaign",
+    )
+    resume.add_argument("journal", help="path to the campaign journal")
+    _add_runtime_flags(resume, journal=False)
     return parser
+
+
+def _add_runtime_flags(parser, journal: bool = True, journal_help: str = ""):
+    """The shared fault-tolerant-execution flags (see repro.runtime)."""
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "wall-clock budget; exceeding it aborts cleanly with exit "
+            "code 2 (journaled work is preserved)"
+        ),
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print heartbeat/liveness lines to stderr",
+    )
+    if journal:
+        parser.add_argument(
+            "--journal", default=None, metavar="PATH", help=journal_help
+        )
 
 
 def _fault_scenarios():
@@ -337,20 +382,59 @@ def _selected_classes(spec: str):
     return {"A": [CLASS_A], "B": [CLASS_B], "both": [CLASS_A, CLASS_B]}[spec]
 
 
+def _runtime_context(args):
+    """(cancellation, heartbeat) from the shared --deadline/--progress flags."""
+    from .runtime import Budget, ConsoleHeartbeat
+
+    cancellation = None
+    if args.deadline is not None:
+        cancellation = Budget(wall_clock=args.deadline).start()
+    heartbeat = ConsoleHeartbeat() if args.progress else None
+    return cancellation, heartbeat
+
+
 def _cmd_inject(args) -> int:
-    from .resilience import format_campaign_table, run_campaigns
+    from .errors import ValidationError
+    from .resilience import format_campaign_table, run_campaign, run_campaigns
     from .ta import TravelAgencyModel
 
+    cancellation, heartbeat = _runtime_context(args)
     model = TravelAgencyModel(architecture=args.architecture)
     scenario = _fault_scenarios()[args.scenario](model.hierarchical_model)
-    results = run_campaigns(
-        model.hierarchical_model,
-        _selected_classes(args.user_class),
-        [scenario],
-        horizon=args.horizon,
-        replications=args.replications,
-        seed=args.seed,
-    )
+    if args.journal is not None:
+        if args.user_class == "both":
+            raise ValidationError(
+                "--journal records a single campaign; pick --user-class A "
+                "or B (run two journaled campaigns for both classes)"
+            )
+        results = [run_campaign(
+            model.hierarchical_model,
+            _selected_classes(args.user_class)[0],
+            scenario,
+            horizon=args.horizon,
+            replications=args.replications,
+            seed=args.seed,
+            cancellation=cancellation,
+            heartbeat=heartbeat,
+            journal=args.journal,
+            journal_meta={
+                "cli": "inject",
+                "architecture": args.architecture,
+                "scenario": args.scenario,
+                "user_class": args.user_class,
+            },
+        )]
+    else:
+        results = run_campaigns(
+            model.hierarchical_model,
+            _selected_classes(args.user_class),
+            [scenario],
+            horizon=args.horizon,
+            replications=args.replications,
+            seed=args.seed,
+            cancellation=cancellation,
+            heartbeat=heartbeat,
+        )
     print(format_campaign_table(
         results,
         title=(
@@ -360,6 +444,59 @@ def _cmd_inject(args) -> int:
     ))
     if args.scenario == "null":
         calibrated = all(r.agrees_with_analytic() for r in results)
+        print()
+        print(
+            "calibration: simulated availability "
+            + ("agrees with" if calibrated else "DISAGREES with")
+            + " the analytic eq.-(10) value within 2 standard errors"
+        )
+        return 0 if calibrated else 1
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from .errors import ResumeError
+    from .resilience import format_campaign_table, resume_campaign
+    from .runtime import read_journal
+    from .ta import TravelAgencyModel
+
+    cancellation, heartbeat = _runtime_context(args)
+    records = read_journal(args.journal)
+    start = next(
+        (r for r in records if r.get("kind") == "campaign_start"), None
+    )
+    if start is None:
+        raise ResumeError(
+            f"journal {args.journal!r} holds no campaign_start record; "
+            "was the run interrupted before its first durable write?"
+        )
+    meta = start.get("meta") or {}
+    if meta.get("cli") != "inject":
+        raise ResumeError(
+            f"journal {args.journal!r} was not written by `repro inject "
+            "--journal`; resume it with repro.resilience.resume_campaign()"
+        )
+    model = TravelAgencyModel(architecture=meta["architecture"])
+    scenario = _fault_scenarios()[meta["scenario"]](model.hierarchical_model)
+    user_class = _selected_classes(meta["user_class"])[0]
+    result = resume_campaign(
+        args.journal,
+        model.hierarchical_model,
+        user_class,
+        scenario,
+        cancellation=cancellation,
+        heartbeat=heartbeat,
+    )
+    print(format_campaign_table(
+        [result],
+        title=(
+            f"Resumed fault-injection campaign — scenario "
+            f"{meta['scenario']!r}, {start['replications']} x "
+            f"{start['horizon']:g} h, seed {start['seed']}"
+        ),
+    ))
+    if meta["scenario"] == "null":
+        calibrated = result.agrees_with_analytic()
         print()
         print(
             "calibration: simulated availability "
@@ -381,6 +518,12 @@ def _cmd_retries(args) -> int:
     )
     from .ta import TravelAgencyModel
 
+    cancellation, _heartbeat = _runtime_context(args)
+    journal = None
+    if args.journal is not None:
+        from .runtime import Journal
+
+        journal = Journal(args.journal)
     model = TravelAgencyModel(architecture=args.architecture)
     classes = _selected_classes(args.user_class)
 
@@ -388,6 +531,17 @@ def _cmd_retries(args) -> int:
         model.retry_adjusted_availability(users, policy) for users in classes
     ]
     print(format_retry_table(results))
+    if journal is not None:
+        for users, result in zip(classes, results):
+            journal.append(
+                "retry_result",
+                user_class=users.name,
+                architecture=args.architecture,
+                max_retries=args.max_retries,
+                persistence=args.persistence,
+                base_availability=result.availability,
+                adjusted_availability=result.adjusted_availability,
+            )
 
     if args.sweep:
         print()
@@ -421,7 +575,17 @@ def _cmd_retries(args) -> int:
                 policy,
                 args.simulate,
                 np.random.default_rng(args.seed),
+                cancellation=cancellation,
             )
+            if journal is not None:
+                journal.append(
+                    "retry_simulation",
+                    user_class=users.name,
+                    sessions=args.simulate,
+                    seed=args.seed,
+                    served_fraction=sim.served_fraction,
+                    mean_attempts=sim.mean_attempts,
+                )
             rows.append([
                 users.name,
                 f"{analytic.adjusted_availability:.6f}",
@@ -433,6 +597,8 @@ def _cmd_retries(args) -> int:
             rows,
             title=f"DES cross-validation ({args.simulate} sessions)",
         ))
+    if journal is not None:
+        journal.close()
     return 0
 
 
@@ -446,6 +612,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "inject": _cmd_inject,
         "retries": _cmd_retries,
+        "resume": _cmd_resume,
     }
     from .errors import ReproError
 

@@ -16,6 +16,9 @@ __all__ = [
     "NotIrreducibleError",
     "CalibrationError",
     "SimulationError",
+    "CancelledError",
+    "DeadlineExceededError",
+    "ResumeError",
 ]
 
 
@@ -58,3 +61,40 @@ class CalibrationError(ReproError):
 
 class SimulationError(ReproError):
     """A discrete-event simulation was configured or driven incorrectly."""
+
+
+class CancelledError(ReproError):
+    """A run was cancelled through a :class:`repro.runtime.CancellationToken`.
+
+    Raised at the next cooperative cancellation point after
+    :meth:`~repro.runtime.CancellationToken.cancel` is called, so long
+    runs unwind cleanly (journals stay consistent, partial results are
+    preserved) instead of being killed from outside.
+    """
+
+    def __init__(self, message: str = "run was cancelled", reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(CancelledError):
+    """A run exhausted its :class:`repro.runtime.Budget` or deadline.
+
+    Subclasses :class:`CancelledError` because a budget overrun is a
+    cancellation initiated by the runtime rather than the caller; the
+    ``limit`` attribute names which bound tripped (``"wall_clock"``,
+    ``"max_events"``, or ``"max_iterations"``).
+    """
+
+    def __init__(self, message: str, limit: str = "wall_clock"):
+        super().__init__(message, reason=limit)
+        self.limit = limit
+
+
+class ResumeError(ReproError):
+    """A run journal could not be resumed.
+
+    Raised when a journal file is corrupt beyond its final record, was
+    written by an incompatible schema version, or does not match the
+    model/configuration it is being resumed against.
+    """

@@ -30,6 +30,7 @@ import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 import scipy.sparse.linalg as spla
 
+from .._validation import check_finite_array
 from ..errors import NotIrreducibleError, SolverError, ValidationError
 
 __all__ = [
@@ -54,6 +55,10 @@ def check_generator(matrix: np.ndarray, tol: float = 1e-8) -> np.ndarray:
     q = np.asarray(matrix, dtype=float)
     if q.ndim != 2 or q.shape[0] != q.shape[1]:
         raise ValidationError(f"generator must be square, got shape {q.shape}")
+    # Finiteness first: NaN entries sail through the sign and row-sum
+    # comparisons below (every NaN comparison is False) and would only
+    # surface as a confusing solver failure much later.
+    check_finite_array(q, "generator")
     off_diag = q - np.diag(np.diag(q))
     if np.any(off_diag < -tol):
         raise ValidationError("generator has negative off-diagonal entries")

@@ -13,12 +13,16 @@ naive matrix exponential of a stiff generator.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from .._validation import check_non_negative
 from ..errors import SolverError
 from .solvers import check_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..runtime.budget import CancellationToken
 
 __all__ = ["uniformization", "transient_distribution"]
 
@@ -33,6 +37,7 @@ def uniformization(
     initial: np.ndarray,
     time: float,
     tol: float = 1e-12,
+    cancellation: Optional["CancellationToken"] = None,
 ) -> np.ndarray:
     """Transient distribution ``p0 exp(Qt)`` via uniformization.
 
@@ -46,6 +51,11 @@ def uniformization(
         Elapsed time ``t >= 0``.
     tol:
         Truncation tolerance on the neglected Poisson tail mass.
+    cancellation:
+        Optional :class:`~repro.runtime.CancellationToken` charged one
+        iteration per series term, so a stiff solve honours wall-clock
+        deadlines and iteration budgets instead of grinding through
+        millions of terms.
 
     Returns
     -------
@@ -97,6 +107,8 @@ def uniformization(
     # the stable recurrence on log weights until they become representable.
     while weight == 0.0 and k < _MAX_TERMS:
         k += 1
+        if cancellation is not None:
+            cancellation.count_iteration()
         log_weight += math.log(poisson_rate) - math.log(k)
         term = term @ p_matrix
         if log_weight > -700:
@@ -110,6 +122,8 @@ def uniformization(
 
     while accumulated < 1.0 - tol:
         k += 1
+        if cancellation is not None:
+            cancellation.count_iteration()
         if k > _MAX_TERMS:
             raise SolverError(
                 f"uniformization did not converge within {_MAX_TERMS} terms "
@@ -138,6 +152,7 @@ def transient_distribution(
     initial: np.ndarray,
     times: np.ndarray,
     tol: float = 1e-12,
+    cancellation: Optional["CancellationToken"] = None,
 ) -> np.ndarray:
     """Vectorized transient solve over several time points.
 
@@ -146,5 +161,10 @@ def transient_distribution(
     """
     times = np.atleast_1d(np.asarray(times, dtype=float))
     return np.vstack(
-        [uniformization(generator, initial, float(t), tol=tol) for t in times]
+        [
+            uniformization(
+                generator, initial, float(t), tol=tol, cancellation=cancellation
+            )
+            for t in times
+        ]
     )

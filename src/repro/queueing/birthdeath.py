@@ -11,7 +11,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .._validation import check_non_negative
+from .._validation import check_finite, check_non_negative
 from ..errors import ValidationError
 
 __all__ = ["birth_death_distribution"]
@@ -55,7 +55,10 @@ def birth_death_distribution(
     running = 1.0
     for i in range(n):
         birth = check_non_negative(birth_rates[i], f"birth_rates[{i}]")
-        death = death_rates[i]
+        # check_finite first: a NaN death rate passes "death <= 0" (all
+        # NaN comparisons are False) and would poison the whole
+        # distribution instead of raising here.
+        death = check_finite(death_rates[i], f"death_rates[{i}]")
         if death <= 0:
             raise ValidationError(f"death_rates[{i}] must be > 0, got {death!r}")
         running *= birth / death

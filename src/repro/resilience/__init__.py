@@ -16,7 +16,12 @@ leaves out:
   farm states, evaluated through the M/M/c/K loss model.
 """
 
-from .campaign import CampaignResult, run_campaign, run_campaigns
+from .campaign import (
+    CampaignResult,
+    resume_campaign,
+    run_campaign,
+    run_campaigns,
+)
 from .degradation import (
     AdmissionPolicy,
     AdmitAll,
@@ -53,6 +58,7 @@ from .retry import (
 
 __all__ = [
     "CampaignResult",
+    "resume_campaign",
     "run_campaign",
     "run_campaigns",
     "AdmissionPolicy",

@@ -18,23 +18,53 @@ Two uses:
   assumptions behind eq. (10) on purpose; the measured availability
   drop quantifies how optimistic the analytic model is for that fault
   class.
+
+Fault tolerance
+---------------
+Campaigns are the longest-running code path in the library, so the
+runner is built on :mod:`repro.runtime`:
+
+* a :class:`~repro.runtime.CancellationToken` is polled between *and
+  inside* replications, so deadlines and interactive cancellation take
+  effect at a clean boundary;
+* with a :class:`~repro.runtime.Journal` attached, the campaign
+  configuration and every completed replication are durably recorded
+  (fsync per record), and :func:`resume_campaign` reconstructs the
+  completed work and re-runs only the missing replications.
+
+Because replication ``i`` always draws from stream ``i`` of
+``SeedSequence(seed).spawn(replications)`` — never from a shared
+generator — a resumed campaign is **bit-identical** to an uninterrupted
+run with the same seed, no matter where the interruption fell.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .._validation import check_positive, check_positive_int, check_rate
 from ..core import HierarchicalModel
+from ..errors import ResumeError
 from ..profiles import UserClass
+from ..runtime.budget import CancellationToken
+from ..runtime.heartbeat import HeartbeatCallback, ProgressEvent
+from ..runtime.journal import Journal, read_journal
 from ..sim.endtoend import EndToEndResult, simulate_user_availability_over_time
 from .faults import FaultScenario, NullScenario
 
-__all__ = ["CampaignResult", "run_campaign", "run_campaigns"]
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "run_campaigns",
+    "resume_campaign",
+]
+
+JournalLike = Union[Journal, str, "Path"]
 
 
 @dataclass(frozen=True)
@@ -109,6 +139,73 @@ class CampaignResult:
         )
 
 
+#: Journal-record fields of one replication, in EndToEndResult order.
+_REPLICATION_FIELDS = (
+    "horizon",
+    "average_user_availability",
+    "fraction_fully_available",
+    "fraction_total_outage",
+    "resource_transitions",
+    "fault_events_applied",
+)
+
+
+def _replication_record(index: int, result: EndToEndResult) -> dict:
+    record = {"index": index}
+    for name in _REPLICATION_FIELDS:
+        record[name] = getattr(result, name)
+    return record
+
+
+def _result_from_record(record: dict) -> EndToEndResult:
+    # JSON round-trips Python floats exactly (repr shortest-round-trip),
+    # so the reconstructed result is bit-identical to the one journaled.
+    return EndToEndResult(
+        horizon=float(record["horizon"]),
+        average_user_availability=float(record["average_user_availability"]),
+        fraction_fully_available=float(record["fraction_fully_available"]),
+        fraction_total_outage=float(record["fraction_total_outage"]),
+        resource_transitions=int(record["resource_transitions"]),
+        fault_events_applied=int(record["fault_events_applied"]),
+    )
+
+
+def _run_replication(
+    model: HierarchicalModel,
+    user_class: UserClass,
+    scenario: FaultScenario,
+    horizon: float,
+    stream: np.random.SeedSequence,
+    default_repair_rate: float,
+    cancellation: Optional[CancellationToken],
+) -> EndToEndResult:
+    """One replication from its dedicated seed stream (resume-stable)."""
+    rng = np.random.default_rng(stream)
+    faults = scenario.compile(model, horizon, rng)
+    return simulate_user_availability_over_time(
+        model,
+        user_class,
+        horizon=horizon,
+        rng=rng,
+        default_repair_rate=default_repair_rate,
+        faults=faults,
+        cancellation=cancellation,
+    )
+
+
+def _beat(
+    heartbeat: Optional[HeartbeatCallback],
+    phase: str,
+    completed: int,
+    total: int,
+    message: str = "",
+) -> None:
+    if heartbeat is not None:
+        heartbeat(ProgressEvent(
+            phase=phase, completed=completed, total=total, message=message
+        ))
+
+
 def run_campaign(
     model: HierarchicalModel,
     user_class: UserClass,
@@ -117,6 +214,10 @@ def run_campaign(
     replications: int = 8,
     seed: int = 0,
     default_repair_rate: float = 1.0,
+    cancellation: Optional[CancellationToken] = None,
+    journal: Optional[JournalLike] = None,
+    heartbeat: Optional[HeartbeatCallback] = None,
+    journal_meta: Optional[dict] = None,
 ) -> CampaignResult:
     """Run one fault-injection campaign.
 
@@ -141,6 +242,21 @@ def run_campaign(
     default_repair_rate:
         Passed through to the end-to-end simulator for resources that
         only carry an availability number.
+    cancellation:
+        Optional :class:`~repro.runtime.CancellationToken`; polled per
+        simulated transition and between replications.  On cancellation
+        or deadline the journal (if any) keeps every completed
+        replication, ready for :func:`resume_campaign`.
+    journal:
+        Optional :class:`~repro.runtime.Journal` (or a path to create
+        one).  The file must be empty/absent — resuming an existing
+        journal goes through :func:`resume_campaign` instead.
+    heartbeat:
+        Optional progress callback invoked after every replication.
+    journal_meta:
+        Free-form JSON-serializable dict stored in the
+        ``campaign_start`` record; the CLI stashes what it needs to
+        rebuild the model on ``repro resume``.
 
     Examples
     --------
@@ -157,29 +273,209 @@ def run_campaign(
     if scenario is None:
         scenario = NullScenario()
 
-    analytic = model.user_availability(user_class).availability
-    streams = np.random.SeedSequence(seed).spawn(replications)
-    results: List[EndToEndResult] = []
-    for stream in streams:
-        rng = np.random.default_rng(stream)
-        faults = scenario.compile(model, horizon, rng)
-        results.append(
-            simulate_user_availability_over_time(
-                model,
-                user_class,
-                horizon=horizon,
-                rng=rng,
-                default_repair_rate=default_repair_rate,
-                faults=faults,
+    owns_journal = journal is not None and not isinstance(journal, Journal)
+    if owns_journal:
+        path = Path(journal)
+        if path.exists() and read_journal(path):
+            raise ResumeError(
+                f"journal {path} already holds records; resume it with "
+                "resume_campaign() / `repro resume` instead of starting a "
+                "new campaign over it"
             )
+        journal = Journal(path)
+    elif isinstance(journal, Journal) and journal.next_seq:
+        raise ResumeError(
+            "journal already holds records; resume it with "
+            "resume_campaign() / `repro resume` instead"
         )
-    return CampaignResult(
-        user_class=user_class.name,
-        scenario=scenario.name,
-        analytic_availability=analytic,
-        replications=tuple(results),
-        seed=seed,
+
+    analytic = model.user_availability(user_class).availability
+    phase = f"campaign {user_class.name}/{scenario.name}"
+    try:
+        if journal is not None:
+            journal.append(
+                "campaign_start",
+                user_class=user_class.name,
+                scenario=scenario.name,
+                horizon=horizon,
+                replications=replications,
+                seed=seed,
+                default_repair_rate=default_repair_rate,
+                analytic_availability=analytic,
+                meta=journal_meta or {},
+            )
+        _beat(heartbeat, phase, 0, replications, "starting")
+        streams = np.random.SeedSequence(seed).spawn(replications)
+        results: List[EndToEndResult] = []
+        for index, stream in enumerate(streams):
+            if cancellation is not None:
+                cancellation.check()
+            result = _run_replication(
+                model, user_class, scenario, horizon, stream,
+                default_repair_rate, cancellation,
+            )
+            results.append(result)
+            if journal is not None:
+                journal.append(
+                    "replication", **_replication_record(index, result)
+                )
+            _beat(
+                heartbeat, phase, index + 1, replications,
+                f"A={result.average_user_availability:.6f}",
+            )
+        campaign = CampaignResult(
+            user_class=user_class.name,
+            scenario=scenario.name,
+            analytic_availability=analytic,
+            replications=tuple(results),
+            seed=seed,
+        )
+        if journal is not None:
+            journal.append(
+                "campaign_end",
+                mean_availability=campaign.mean_availability,
+                stderr=campaign.stderr,
+            )
+        return campaign
+    finally:
+        if owns_journal:
+            journal.close()
+
+
+def resume_campaign(
+    journal: JournalLike,
+    model: HierarchicalModel,
+    user_class: UserClass,
+    scenario: Optional[FaultScenario] = None,
+    cancellation: Optional[CancellationToken] = None,
+    heartbeat: Optional[HeartbeatCallback] = None,
+) -> CampaignResult:
+    """Resume an interrupted campaign from its journal.
+
+    Completed replications are reconstructed from the journal; only the
+    missing ones are simulated, each from the *same* spawned seed stream
+    it would have used originally.  The returned
+    :class:`CampaignResult` is therefore bit-identical to what the
+    uninterrupted run would have produced, and the journal ends up in
+    the same state as a never-interrupted journaled run.
+
+    Parameters
+    ----------
+    journal:
+        Journal (or path) written by :func:`run_campaign`; it will be
+        appended to.  A journal holding only a torn tail or nothing past
+        ``campaign_start`` resumes to a full fresh run.
+    model / user_class / scenario:
+        Must denote the same campaign the journal was started with;
+        names and the recomputed analytic availability are checked and a
+        mismatch raises :class:`~repro.errors.ResumeError`.
+    cancellation / heartbeat:
+        As in :func:`run_campaign`; a resume can itself be interrupted
+        and resumed again.
+
+    Raises
+    ------
+    ResumeError
+        On a corrupt journal, a missing ``campaign_start`` record, or a
+        model/configuration mismatch.
+    """
+    if scenario is None:
+        scenario = NullScenario()
+    owns_journal = not isinstance(journal, Journal)
+    path = journal.path if isinstance(journal, Journal) else Path(journal)
+    records = read_journal(path)
+    start = next(
+        (r for r in records if r.get("kind") == "campaign_start"), None
     )
+    if start is None:
+        raise ResumeError(
+            f"journal {path} has no campaign_start record; nothing to resume"
+        )
+    if start["user_class"] != user_class.name:
+        raise ResumeError(
+            f"journal {path} was recorded for user class "
+            f"{start['user_class']!r}, not {user_class.name!r}"
+        )
+    if start["scenario"] != scenario.name:
+        raise ResumeError(
+            f"journal {path} was recorded for scenario "
+            f"{start['scenario']!r}, not {scenario.name!r}"
+        )
+    horizon = float(start["horizon"])
+    replications = int(start["replications"])
+    seed = int(start["seed"])
+    default_repair_rate = float(start["default_repair_rate"])
+    recomputed = model.user_availability(user_class).availability
+    analytic = float(start["analytic_availability"])
+    # Tolerate last-ulp noise (float summation order can differ between
+    # processes under hash randomization) but catch real model drift.
+    # The journaled value is authoritative for the resumed result, which
+    # keeps it bit-identical to the uninterrupted run's.
+    if not math.isclose(recomputed, analytic, rel_tol=1e-9, abs_tol=1e-12):
+        raise ResumeError(
+            f"journal {path} was recorded against analytic availability "
+            f"{analytic!r}, but this model computes {recomputed!r}; the "
+            "model or its parameters changed"
+        )
+
+    completed: Dict[int, EndToEndResult] = {}
+    for record in records:
+        if record.get("kind") != "replication":
+            continue
+        index = int(record["index"])
+        if not 0 <= index < replications:
+            raise ResumeError(
+                f"journal {path} holds replication index {index} outside "
+                f"0..{replications - 1}"
+            )
+        completed[index] = _result_from_record(record)
+
+    phase = f"resume {user_class.name}/{scenario.name}"
+    _beat(
+        heartbeat, phase, len(completed), replications,
+        f"{len(completed)} replication(s) restored from journal",
+    )
+
+    if owns_journal:
+        journal = Journal(path)
+    try:
+        streams = np.random.SeedSequence(seed).spawn(replications)
+        results: List[EndToEndResult] = []
+        for index, stream in enumerate(streams):
+            if index in completed:
+                results.append(completed[index])
+                continue
+            if cancellation is not None:
+                cancellation.check()
+            result = _run_replication(
+                model, user_class, scenario, horizon, stream,
+                default_repair_rate, cancellation,
+            )
+            results.append(result)
+            journal.append(
+                "replication", **_replication_record(index, result)
+            )
+            _beat(
+                heartbeat, phase, index + 1, replications,
+                f"A={result.average_user_availability:.6f}",
+            )
+        campaign = CampaignResult(
+            user_class=user_class.name,
+            scenario=scenario.name,
+            analytic_availability=analytic,
+            replications=tuple(results),
+            seed=seed,
+        )
+        if not any(r.get("kind") == "campaign_end" for r in records):
+            journal.append(
+                "campaign_end",
+                mean_availability=campaign.mean_availability,
+                stderr=campaign.stderr,
+            )
+        return campaign
+    finally:
+        if owns_journal:
+            journal.close()
 
 
 def run_campaigns(
@@ -190,11 +486,15 @@ def run_campaigns(
     replications: int = 8,
     seed: int = 0,
     default_repair_rate: float = 1.0,
+    cancellation: Optional[CancellationToken] = None,
+    heartbeat: Optional[HeartbeatCallback] = None,
 ) -> List[CampaignResult]:
     """The full campaign grid: every user class under every scenario.
 
     Seeds are varied per cell so campaigns never share streams, while
-    the grid remains reproducible from the single *seed*.
+    the grid remains reproducible from the single *seed*.  The
+    cancellation token and heartbeat are shared across cells (one
+    deadline bounds the whole grid).
     """
     results: List[CampaignResult] = []
     for c, user_class in enumerate(user_classes):
@@ -208,6 +508,8 @@ def run_campaigns(
                     replications=replications,
                     seed=seed + 10_000 * c + 100 * s,
                     default_repair_rate=default_repair_rate,
+                    cancellation=cancellation,
+                    heartbeat=heartbeat,
                 )
             )
     return results

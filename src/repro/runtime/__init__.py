@@ -1,0 +1,42 @@
+"""Fault-tolerant execution runtime for long-running evaluations.
+
+Campaigns and solvers are the longest-running code paths in this
+library; this package is the substrate that makes them interruptible,
+bounded, and resumable:
+
+* :mod:`~repro.runtime.budget` — :class:`Budget`, :class:`Deadline`,
+  and the cooperative :class:`CancellationToken` threaded through the
+  simulation kernel, the end-to-end simulator, campaign runners, and
+  the uniformization solver;
+* :mod:`~repro.runtime.journal` — crash-consistent JSONL journaling
+  (atomic append + fsync, schema-versioned, torn-tail tolerant) used to
+  persist per-replication campaign results;
+* :mod:`~repro.runtime.heartbeat` — the progress-callback protocol the
+  CLI uses for liveness printing and tests use as a watchdog;
+* :mod:`~repro.runtime.solver_retry` — bounded, journaled retry with
+  dense → GTH → power escalation around steady-state solves.
+
+The campaign-specific resume logic lives with the campaign engine
+(:func:`repro.resilience.campaign.resume_campaign`) and builds entirely
+on this package.
+"""
+
+from .budget import Budget, CancellationToken, Deadline
+from .heartbeat import ConsoleHeartbeat, HeartbeatCallback, ProgressEvent, Watchdog
+from .journal import SCHEMA_VERSION, Journal, read_journal
+from .solver_retry import SolveAttempt, solve_steady_state_with_escalation
+
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "Deadline",
+    "ConsoleHeartbeat",
+    "HeartbeatCallback",
+    "ProgressEvent",
+    "Watchdog",
+    "SCHEMA_VERSION",
+    "Journal",
+    "read_journal",
+    "SolveAttempt",
+    "solve_steady_state_with_escalation",
+]

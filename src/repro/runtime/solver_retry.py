@@ -1,0 +1,205 @@
+"""Retry-with-escalation around steady-state solver calls.
+
+:func:`repro.markov.solvers.steady_state` already falls back between
+strategies, but it reports failures only through warnings and gives the
+caller no durable trace of *what* was tried.  This wrapper makes solver
+escalation a first-class, journaled operation for long campaigns:
+
+* strategies run in the escalation order **dense linear → GTH → power
+  iteration** (cheapest first, most robust last), each attempted a
+  bounded number of times;
+* every attempt — accepted, rejected on residual, or errored — is
+  appended to the run journal as a ``solver_attempt`` record with
+  structured diagnostics, so a resumed or post-mortem'd run can see the
+  full numerical history;
+* a :class:`~repro.runtime.budget.CancellationToken` is polled between
+  attempts, so a deadline interrupts an escalation chain rather than
+  waiting out a doomed solve sequence.
+
+Deterministic direct solvers do not benefit from *identical* re-runs, so
+``attempts_per_strategy`` retries perturb nothing; they exist for the
+power-iteration stage, where extra attempts continue from the previous
+iterate and effectively double the iteration budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..errors import NotIrreducibleError, SolverError
+from .budget import CancellationToken
+from .journal import Journal
+
+__all__ = ["SolveAttempt", "solve_steady_state_with_escalation"]
+
+#: Escalation order; each entry is (name, callable building pi from q).
+_ESCALATION = ("dense", "gth", "power")
+
+
+@dataclass(frozen=True)
+class SolveAttempt:
+    """Diagnostics of one solver attempt within an escalation chain.
+
+    Attributes
+    ----------
+    strategy:
+        ``"dense"``, ``"gth"``, or ``"power"``.
+    attempt:
+        1-based attempt number within the strategy.
+    outcome:
+        ``"accepted"`` (residual within tolerance), ``"rejected"``
+        (solved but residual too large), or ``"error"`` (solver raised).
+    residual:
+        Componentwise balance residual of the candidate, when one was
+        produced.
+    detail:
+        Error message for ``"error"`` outcomes, empty otherwise.
+    """
+
+    strategy: str
+    attempt: int
+    outcome: str
+    residual: Optional[float] = None
+    detail: str = ""
+
+    def as_record(self) -> dict:
+        """The attempt as journal-record fields."""
+        return {
+            "strategy": self.strategy,
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "residual": self.residual,
+            "detail": self.detail,
+        }
+
+
+def _solve_once(strategy: str, q: np.ndarray) -> np.ndarray:
+    from ..markov.solvers import (
+        steady_state_gth,
+        steady_state_linear,
+        steady_state_power,
+    )
+
+    if strategy == "dense":
+        return steady_state_linear(q, sparse=False)
+    if strategy == "gth":
+        return steady_state_gth(q)
+    max_exit = float(np.max(-np.diag(q)))
+    rate = max_exit * 1.05 if max_exit > 0 else 1.0
+    p = np.eye(q.shape[0]) + q / rate
+    pi, _iterations = steady_state_power(p)
+    return pi
+
+
+def solve_steady_state_with_escalation(
+    generator: np.ndarray,
+    residual_tol: float = 1e-9,
+    attempts_per_strategy: int = 1,
+    journal: Optional[Journal] = None,
+    cancellation: Optional[CancellationToken] = None,
+    strategies: Sequence[str] = _ESCALATION,
+) -> Tuple[np.ndarray, List[SolveAttempt]]:
+    """Steady-state solve with bounded, journaled strategy escalation.
+
+    Parameters
+    ----------
+    generator:
+        CTMC infinitesimal generator.
+    residual_tol:
+        Acceptance threshold on the componentwise balance residual.
+    attempts_per_strategy:
+        Bounded retry count per strategy before escalating.
+    journal:
+        Optional run journal; one ``solver_attempt`` record is appended
+        per attempt and one ``solver_failure`` record when the whole
+        chain is exhausted.
+    cancellation:
+        Polled between attempts.
+    strategies:
+        Escalation order; defaults to ``("dense", "gth", "power")``.
+
+    Returns
+    -------
+    (pi, attempts):
+        The accepted distribution and the full attempt history,
+        including the accepting attempt.
+
+    Raises
+    ------
+    SolverError
+        When every strategy exhausts its attempts.
+    """
+    from ..markov.solvers import _residual, check_generator
+
+    q = check_generator(generator)
+    attempts_per_strategy = check_positive_int(
+        attempts_per_strategy, "attempts_per_strategy"
+    )
+    history: List[SolveAttempt] = []
+
+    def note(attempt: SolveAttempt) -> None:
+        history.append(attempt)
+        if journal is not None:
+            journal.append("solver_attempt", **attempt.as_record())
+
+    for strategy in strategies:
+        if strategy not in _ESCALATION:
+            raise SolverError(
+                f"unknown solver strategy {strategy!r}; "
+                f"expected one of {_ESCALATION}"
+            )
+        for attempt_number in range(1, attempts_per_strategy + 1):
+            if cancellation is not None:
+                cancellation.check()
+            try:
+                pi = _solve_once(strategy, q)
+            except NotIrreducibleError:
+                # No escalation can conjure a unique steady state.
+                raise
+            except SolverError as exc:
+                note(SolveAttempt(
+                    strategy=strategy,
+                    attempt=attempt_number,
+                    outcome="error",
+                    detail=str(exc),
+                ))
+                continue
+            residual = _residual(q, pi)
+            if np.isfinite(residual) and residual <= residual_tol:
+                note(SolveAttempt(
+                    strategy=strategy,
+                    attempt=attempt_number,
+                    outcome="accepted",
+                    residual=residual,
+                ))
+                return pi, history
+            note(SolveAttempt(
+                strategy=strategy,
+                attempt=attempt_number,
+                outcome="rejected",
+                residual=float(residual),
+                detail=(
+                    f"residual {residual:.3e} above tolerance "
+                    f"{residual_tol:.3e}"
+                ),
+            ))
+
+    summary = "; ".join(
+        f"{a.strategy}#{a.attempt}:{a.outcome}"
+        + (f"({a.detail})" if a.detail else "")
+        for a in history
+    )
+    if journal is not None:
+        journal.append(
+            "solver_failure",
+            strategies=list(strategies),
+            attempts=[a.as_record() for a in history],
+        )
+    raise SolverError(
+        "steady-state escalation chain exhausted "
+        f"({len(history)} attempts): {summary}"
+    )

@@ -4,16 +4,28 @@ Events are callables scheduled at absolute times; ties break in
 scheduling order (FIFO), which keeps runs deterministic for a fixed
 random seed.  The kernel knows nothing about queues or failures — the
 domain simulators in this package build on it.
+
+Runaway protection
+------------------
+An event that unconditionally reschedules itself turns :meth:`Simulator.run`
+into an infinite loop.  Both drivers therefore take guards: ``max_events``
+and ``max_time`` raise a :class:`~repro.errors.SimulationError` naming
+the guard that tripped, and an optional
+:class:`~repro.runtime.CancellationToken` bounds a run by wall-clock
+deadline or an externally shared event budget.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from .._validation import check_non_negative
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..runtime.budget import CancellationToken
 
 __all__ = ["Simulator"]
 
@@ -22,6 +34,13 @@ Action = Callable[[], None]
 
 class Simulator:
     """An event queue with a simulation clock.
+
+    Parameters
+    ----------
+    cancellation:
+        Optional :class:`~repro.runtime.CancellationToken` polled after
+        every executed event; lets a deadline or caller cancel a long
+        run at a clean event boundary.
 
     Examples
     --------
@@ -32,13 +51,26 @@ class Simulator:
     >>> sim.run()
     >>> hits
     [1.0, 2.0]
+
+    A self-rescheduling event trips the ``max_events`` guard with a
+    diagnosable error instead of hanging:
+
+    >>> runaway = Simulator()
+    >>> def storm():
+    ...     runaway.schedule(1.0, storm)
+    >>> runaway.schedule(1.0, storm)
+    >>> runaway.run(max_events=10)
+    Traceback (most recent call last):
+        ...
+    repro.errors.SimulationError: run() executed max_events=10 events without draining the queue (1 still pending at sim-time 10); an event may be rescheduling itself forever
     """
 
-    def __init__(self):
+    def __init__(self, cancellation: Optional["CancellationToken"] = None):
         self._now = 0.0
         self._sequence = itertools.count()
         self._queue: List[Tuple[float, int, Action]] = []
         self._events_processed = 0
+        self._cancellation = cancellation
 
     @property
     def now(self) -> float:
@@ -49,6 +81,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events executed so far."""
         return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
 
     def schedule(self, delay: float, action: Action) -> None:
         """Schedule *action* to run *delay* time units from now."""
@@ -71,15 +108,52 @@ class Simulator:
         self._now = time
         self._events_processed += 1
         action()
+        if self._cancellation is not None:
+            self._cancellation.count_event()
         return True
 
-    def run(self, max_events: Optional[int] = None) -> None:
-        """Run until the queue drains (or *max_events* is hit)."""
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        max_time: Optional[float] = None,
+    ) -> None:
+        """Run until the queue drains.
+
+        Parameters
+        ----------
+        max_events:
+            Guard against runaway event loops: if this many events
+            execute and the queue is *still* not empty, a
+            :class:`~repro.errors.SimulationError` is raised.  Draining
+            exactly at the cap is not an error.
+        max_time:
+            Guard on simulated time: an event scheduled past *max_time*
+            raises instead of executing (the clock stops at the last
+            in-bounds event).  Use :meth:`run_until` for the
+            non-exceptional "integrate up to a horizon" semantics.
+        """
         executed = 0
-        while self.step():
+        while self._queue:
+            if max_time is not None and self._queue[0][0] > max_time:
+                raise SimulationError(
+                    f"run() reached max_time={max_time:g} with "
+                    f"{len(self._queue)} event(s) still pending (next at "
+                    f"sim-time {self._queue[0][0]:g}); an event may be "
+                    "rescheduling itself forever"
+                )
+            self.step()
             executed += 1
-            if max_events is not None and executed >= max_events:
-                return
+            if (
+                max_events is not None
+                and executed >= max_events
+                and self._queue
+            ):
+                raise SimulationError(
+                    f"run() executed max_events={max_events} events without "
+                    f"draining the queue ({len(self._queue)} still pending "
+                    f"at sim-time {self._now:g}); an event may be "
+                    "rescheduling itself forever"
+                )
 
     def run_until(self, horizon: float, max_events: int = 50_000_000) -> None:
         """Run all events with time <= *horizon*; the clock ends at *horizon*.

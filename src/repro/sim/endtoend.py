@@ -34,7 +34,7 @@ so releasing a resource restores whatever latent state it reached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from ..availability import TwoStateAvailability
 from ..core import HierarchicalModel
 from ..errors import SimulationError, ValidationError
 from ..profiles import UserClass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..runtime.budget import CancellationToken
 
 __all__ = [
     "EndToEndResult",
@@ -181,6 +184,7 @@ def simulate_user_availability_over_time(
     default_repair_rate: float = 1.0,
     max_transitions: int = 20_000_000,
     faults: Optional[Sequence[FaultEvent]] = None,
+    cancellation: Optional["CancellationToken"] = None,
 ) -> EndToEndResult:
     """Simulate resource failures/repairs and integrate user availability.
 
@@ -206,6 +210,12 @@ def simulate_user_availability_over_time(
     faults:
         Optional fault-injection timeline (see :class:`FaultEvent`);
         events past the horizon are ignored.
+    cancellation:
+        Optional :class:`~repro.runtime.CancellationToken` polled once
+        per simulated transition; lets a wall-clock deadline or an
+        event budget interrupt the run cleanly (the partial integral is
+        discarded — campaign-level journaling preserves only whole
+        replications, which is what resume needs).
 
     Returns
     -------
@@ -368,6 +378,8 @@ def simulate_user_availability_over_time(
     current = conditional_user_availability()
 
     while clock < horizon:
+        if cancellation is not None:
+            cancellation.count_event()
         name = min(next_event, key=next_event.get) if next_event else None
         resource_time = next_event[name] if name is not None else float("inf")
         fault_time = (

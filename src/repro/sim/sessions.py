@@ -186,6 +186,7 @@ def estimate_user_availability_with_retries(
     policy,
     sessions: int,
     rng: np.random.Generator,
+    cancellation=None,
 ) -> RetrySimulationResult:
     """Session simulation with retries under exponential backoff.
 
@@ -220,6 +221,10 @@ def estimate_user_availability_with_retries(
         Number of sessions to simulate.
     rng:
         Random generator.
+    cancellation:
+        Optional :class:`~repro.runtime.CancellationToken`; the event
+        kernel charges every attempt against it, so deadlines and event
+        budgets bound the retry simulation too.
     """
     sessions = check_positive_int(sessions, "sessions")
     check_probability(policy.persistence, "policy.persistence")
@@ -251,7 +256,7 @@ def estimate_user_availability_with_retries(
             rng.random() < service_availability[service] for service in needed
         )
 
-    sim = Simulator()
+    sim = Simulator(cancellation=cancellation)
     served = 0
     abandoned = 0
     exhausted = 0

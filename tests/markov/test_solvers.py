@@ -41,6 +41,19 @@ class TestCheckGenerator:
         q = check_generator(np.zeros((3, 3)))
         assert np.all(q == 0.0)
 
+    def test_rejects_nan_explicitly(self):
+        # A NaN entry passes the sign and row-sum comparisons (every NaN
+        # comparison is False), so without a dedicated finiteness check
+        # it would only surface as a confusing solver failure later.
+        q = np.array([[-1.0, 1.0], [np.nan, -1.0]])
+        with pytest.raises(ValidationError, match="NaN"):
+            check_generator(q)
+
+    def test_rejects_inf_explicitly(self):
+        q = np.array([[-np.inf, np.inf], [1.0, -1.0]])
+        with pytest.raises(ValidationError, match="finite"):
+            check_generator(q)
+
 
 class TestGTH:
     def test_two_state_closed_form(self):

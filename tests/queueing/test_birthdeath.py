@@ -47,3 +47,13 @@ class TestBirthDeathDistribution:
     def test_rejects_negative_birth(self):
         with pytest.raises(ValidationError):
             birth_death_distribution([-1.0], [1.0])
+
+    def test_rejects_nan_death_rate(self):
+        # NaN fails "death <= 0" as False and would silently poison the
+        # whole distribution; the finiteness check names the NaN instead.
+        with pytest.raises(ValidationError, match="NaN"):
+            birth_death_distribution([1.0], [float("nan")])
+
+    def test_rejects_nan_birth_rate(self):
+        with pytest.raises(ValidationError):
+            birth_death_distribution([float("nan")], [1.0])

@@ -1,0 +1,182 @@
+"""Tests for budgets, deadlines, and cooperative cancellation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    ValidationError,
+)
+from repro.runtime import Budget, CancellationToken, Deadline
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestDeadline:
+    def test_not_expired_before_limit(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(10.0)
+
+    def test_expires_when_clock_passes(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        clock.advance(10.5)
+        assert deadline.expired
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValidationError):
+            Deadline.after(0.0)
+
+
+class TestBudget:
+    def test_unbounded_by_default(self):
+        assert Budget().unbounded
+        assert not Budget(max_events=1).unbounded
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValidationError):
+            Budget(wall_clock=-1.0)
+        with pytest.raises(ValidationError):
+            Budget(max_events=0)
+
+    def test_start_builds_deadline_on_given_clock(self):
+        clock = FakeClock()
+        token = Budget(wall_clock=5.0).start(clock=clock)
+        token.clock_stride = 1
+        token.check()  # inside the deadline: fine
+        clock.advance(6.0)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            token.check()
+        assert excinfo.value.limit == "wall_clock"
+
+
+class TestCancellationToken:
+    def test_manual_cancel_raises_with_reason(self):
+        token = CancellationToken()
+        token.check()
+        token.cancel("user hit ctrl-c")
+        with pytest.raises(CancelledError, match="user hit ctrl-c"):
+            token.check()
+        assert token.cancelled
+        assert token.reason == "user hit ctrl-c"
+
+    def test_cancel_is_idempotent_and_keeps_first_reason(self):
+        token = CancellationToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+    def test_event_budget_exhausts(self):
+        token = Budget(max_events=3).start()
+        for _ in range(3):
+            token.count_event()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            token.count_event()
+        assert excinfo.value.limit == "max_events"
+        # DeadlineExceededError is a CancelledError, so one except
+        # clause covers every clean-interruption cause.
+        assert isinstance(excinfo.value, CancelledError)
+
+    def test_iteration_budget_exhausts(self):
+        token = Budget(max_iterations=2).start()
+        token.count_iteration(2)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            token.count_iteration()
+        assert excinfo.value.limit == "max_iterations"
+
+    def test_clock_polled_every_stride_checks(self):
+        calls = []
+
+        class CountingClock(FakeClock):
+            def __call__(self):
+                calls.append(len(calls))
+                return self.now
+
+        clock = CountingClock()
+        token = Budget(wall_clock=100.0).start(clock=clock)
+        token.check()  # the first poll reads the clock
+        baseline = len(calls)
+        for _ in range(token.clock_stride - 1):
+            token.check()
+        assert len(calls) == baseline  # amortized: no clock reads yet
+        token.check()
+        assert len(calls) == baseline + 1
+
+
+class TestThreadedCancellation:
+    def test_endtoend_simulation_honours_deadline(self):
+        from repro.availability import TwoStateAvailability
+        from repro.core import HierarchicalModel
+        from repro.profiles import UserClass
+        from repro.sim.endtoend import simulate_user_availability_over_time
+
+        model = HierarchicalModel()
+        model.add_resource(
+            "host", TwoStateAvailability(failure_rate=0.5, repair_rate=1.0)
+        )
+        model.add_service("web", "host")
+        model.add_function("home", services=["web"])
+        users = UserClass.from_probabilities(
+            "all", {frozenset({"home"}): 1.0}
+        )
+        token = Budget(max_events=50).start()
+        with pytest.raises(DeadlineExceededError):
+            simulate_user_availability_over_time(
+                model, users, horizon=1e6,
+                rng=np.random.default_rng(0), cancellation=token,
+            )
+        assert token.events > 50  # it was the budget that stopped the run
+
+    def test_uniformization_honours_iteration_budget(self):
+        from repro.markov.transient import uniformization
+
+        q = np.array([[-100.0, 100.0], [100.0, -100.0]])
+        token = Budget(max_iterations=5).start()
+        with pytest.raises(DeadlineExceededError):
+            uniformization(
+                q, np.array([1.0, 0.0]), time=50.0, cancellation=token
+            )
+
+    def test_uniformization_unbounded_token_is_harmless(self):
+        from repro.markov.transient import uniformization
+
+        q = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        token = CancellationToken()
+        with_token = uniformization(
+            q, np.array([1.0, 0.0]), time=3.0, cancellation=token
+        )
+        without = uniformization(q, np.array([1.0, 0.0]), time=3.0)
+        np.testing.assert_allclose(with_token, without)
+        assert token.iterations > 0
+
+    def test_retry_simulation_honours_event_budget(self):
+        from repro.resilience import RetryPolicy
+        from repro.sim import estimate_user_availability_with_retries
+        from repro.ta import CLASS_A, TravelAgencyModel
+
+        model = TravelAgencyModel()
+        token = Budget(max_events=10).start()
+        with pytest.raises(DeadlineExceededError):
+            estimate_user_availability_with_retries(
+                model.hierarchical_model,
+                CLASS_A,
+                RetryPolicy(max_retries=2),
+                sessions=500,
+                rng=np.random.default_rng(1),
+                cancellation=token,
+            )

@@ -1,0 +1,134 @@
+"""Tests for crash-consistent JSONL journaling."""
+
+import json
+
+import pytest
+
+from repro.errors import ResumeError, ValidationError
+from repro.runtime import SCHEMA_VERSION, Journal, read_journal
+
+
+class TestAppend:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("campaign_start", seed=3, horizon=100.0)
+            journal.append("replication", index=0, value=0.25)
+        records = read_journal(path)
+        assert [r["kind"] for r in records] == ["campaign_start", "replication"]
+        assert records[0]["seed"] == 3
+        assert records[1]["value"] == 0.25
+
+    def test_floats_round_trip_bit_identically(self, tmp_path):
+        value = 0.1 + 0.2  # famously not 0.3
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("replication", value=value)
+        assert read_journal(path)[0]["value"] == value
+
+    def test_records_are_schema_versioned_and_sequenced(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+            journal.append("b")
+        records = read_journal(path)
+        assert all(r["v"] == SCHEMA_VERSION for r in records)
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_reserved_fields_rejected(self, tmp_path):
+        with Journal(tmp_path / "run.jsonl") as journal:
+            with pytest.raises(ValidationError, match="reserved"):
+                journal.append("a", seq=99)
+
+    def test_append_after_close_fails(self, tmp_path):
+        journal = Journal(tmp_path / "run.jsonl")
+        journal.close()
+        with pytest.raises(ResumeError, match="closed"):
+            journal.append("a")
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+        with Journal(path) as journal:
+            assert journal.next_seq == 1
+            journal.append("b")
+        assert [r["seq"] for r in read_journal(path)] == [0, 1]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+        assert read_journal(path)[0]["kind"] == "a"
+
+
+class TestCrashConsistency:
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        assert read_journal(tmp_path / "never-written.jsonl") == []
+
+    def test_torn_final_line_is_discarded(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+            journal.append("b")
+        # Simulate a crash mid-append: a partial record with no newline.
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"v":1,"seq":2,"kind":"replic')
+        records = read_journal(path)
+        assert [r["kind"] for r in records] == ["a", "b"]
+
+    def test_torn_final_line_with_newline_is_discarded(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"v":1,"seq":1,"kin\n')
+        assert [r["kind"] for r in read_journal(path)] == ["a"]
+
+    def test_append_after_torn_tail_preserves_prefix(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"partial')
+        # Reopening for append sees one intact record and continues at
+        # seq 1; the torn bytes stay in the file but the reader keeps
+        # discarding the unterminated line.
+        with Journal(path) as journal:
+            assert journal.next_seq == 1
+
+    def test_corruption_before_the_tail_is_an_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+            journal.append("b")
+        lines = path.read_text().splitlines()
+        lines[0] = '{"not json'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ResumeError, match="corrupt at line 1"):
+            read_journal(path)
+
+    def test_wrong_schema_version_is_an_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        record = {"v": SCHEMA_VERSION + 1, "seq": 0, "kind": "a"}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ResumeError, match="schema version"):
+            read_journal(path)
+
+    def test_missing_records_detected_by_sequence_gap(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+            journal.append("b")
+            journal.append("c")
+        lines = path.read_text().splitlines()
+        del lines[1]  # lose the middle record, e.g. a bad copy
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ResumeError, match="missing records"):
+            read_journal(path)
+
+    def test_non_object_record_is_an_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("[1, 2]\n{}\n")
+        with pytest.raises(ResumeError, match="not a JSON object"):
+            read_journal(path)

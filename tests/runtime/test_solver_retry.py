@@ -1,0 +1,133 @@
+"""Tests for journaled retry-with-escalation around solver calls."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    NotIrreducibleError,
+    SolverError,
+)
+from repro.runtime import (
+    Budget,
+    CancellationToken,
+    Journal,
+    SolveAttempt,
+    read_journal,
+    solve_steady_state_with_escalation,
+)
+
+TWO_STATE = np.array([[-1.0, 1.0], [2.0, -2.0]])
+
+
+class TestHappyPath:
+    def test_dense_accepts_immediately(self):
+        pi, history = solve_steady_state_with_escalation(TWO_STATE)
+        np.testing.assert_allclose(pi, [2 / 3, 1 / 3])
+        assert len(history) == 1
+        assert history[0].strategy == "dense"
+        assert history[0].outcome == "accepted"
+        assert history[0].residual <= 1e-9
+
+    def test_stiff_generator_still_solved(self):
+        # Nine orders of magnitude between rates: the regime where GTH
+        # exists.  Whatever strategy accepts, the residual must certify it.
+        q = np.array([[-1e-5, 1e-5], [1e4, -1e4]])
+        pi, history = solve_steady_state_with_escalation(q)
+        assert history[-1].outcome == "accepted"
+        np.testing.assert_allclose(pi.sum(), 1.0)
+
+    def test_escalates_past_a_rejecting_strategy(self):
+        # An impossible tolerance for the dense solve, reachable by GTH's
+        # subtraction-free arithmetic on this easy chain... is not a thing
+        # we can force deterministically, so instead force escalation by
+        # dropping "dense" from the strategy list and checking order.
+        pi, history = solve_steady_state_with_escalation(
+            TWO_STATE, strategies=("gth", "power")
+        )
+        assert history[0].strategy == "gth"
+        assert history[0].outcome == "accepted"
+        np.testing.assert_allclose(pi, [2 / 3, 1 / 3])
+
+
+class TestEscalationAndFailure:
+    def test_exhaustion_raises_with_full_history(self, tmp_path):
+        journal = Journal(tmp_path / "solve.jsonl")
+        # An unattainable tolerance (even a residual of exactly 0.0
+        # fails it) rejects every strategy, exercising the full chain.
+        with pytest.raises(SolverError, match="exhausted"):
+            solve_steady_state_with_escalation(
+                TWO_STATE,
+                residual_tol=-1.0,
+                attempts_per_strategy=2,
+                journal=journal,
+            )
+        journal.close()
+        records = read_journal(journal.path)
+        attempts = [r for r in records if r["kind"] == "solver_attempt"]
+        failures = [r for r in records if r["kind"] == "solver_failure"]
+        # 3 strategies x 2 attempts, all journaled, plus the failure record.
+        assert len(attempts) == 6
+        assert {a["strategy"] for a in attempts} == {"dense", "gth", "power"}
+        assert all(a["outcome"] in ("rejected", "error") for a in attempts)
+        assert len(failures) == 1
+        assert len(failures[0]["attempts"]) == 6
+
+    def test_accepted_attempt_is_journaled(self, tmp_path):
+        with Journal(tmp_path / "solve.jsonl") as journal:
+            solve_steady_state_with_escalation(TWO_STATE, journal=journal)
+        records = read_journal(tmp_path / "solve.jsonl")
+        assert [r["kind"] for r in records] == ["solver_attempt"]
+        assert records[0]["outcome"] == "accepted"
+
+    def test_not_irreducible_raises_immediately(self):
+        # Two absorbing-ish components: no strategy can help, so the
+        # escalation chain must not swallow the structural error.
+        q = np.array([
+            [-1.0, 1.0, 0.0, 0.0],
+            [1.0, -1.0, 0.0, 0.0],
+            [0.0, 0.0, -2.0, 2.0],
+            [0.0, 0.0, 2.0, -2.0],
+        ])
+        with pytest.raises(NotIrreducibleError):
+            solve_steady_state_with_escalation(q)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SolverError, match="unknown solver strategy"):
+            solve_steady_state_with_escalation(
+                TWO_STATE, strategies=("cholesky",)
+            )
+
+    def test_cancellation_polled_between_attempts(self):
+        token = CancellationToken()
+        token.cancel("deadline hit mid-campaign")
+        with pytest.raises(CancelledError):
+            solve_steady_state_with_escalation(TWO_STATE, cancellation=token)
+
+    def test_expired_deadline_interrupts_chain(self):
+        class FakeClock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FakeClock()
+        token = Budget(wall_clock=1.0).start(clock=clock)
+        token.clock_stride = 1
+        clock.now = 2.0
+        with pytest.raises(DeadlineExceededError):
+            solve_steady_state_with_escalation(TWO_STATE, cancellation=token)
+
+
+class TestSolveAttempt:
+    def test_as_record_round_trips_through_journal(self, tmp_path):
+        attempt = SolveAttempt(
+            strategy="gth", attempt=1, outcome="rejected",
+            residual=1.5e-7, detail="residual above tolerance",
+        )
+        with Journal(tmp_path / "solve.jsonl") as journal:
+            journal.append("solver_attempt", **attempt.as_record())
+        record = read_journal(tmp_path / "solve.jsonl")[0]
+        assert record["strategy"] == "gth"
+        assert record["residual"] == 1.5e-7

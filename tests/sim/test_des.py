@@ -51,15 +51,59 @@ class TestSimulator:
         sim.run()
         assert log == [1, 5]
 
-    def test_run_max_events(self):
+    def test_run_max_events_guard_raises_instead_of_truncating(self):
+        # A silent truncation here used to hide runaway self-rescheduling
+        # bugs; the guard now names the symptom instead.
         sim = Simulator()
 
         def forever():
             sim.schedule(1.0, forever)
 
         sim.schedule(1.0, forever)
-        sim.run(max_events=10)
+        with pytest.raises(SimulationError, match="max_events=10"):
+            sim.run(max_events=10)
         assert sim.events_processed == 10
+        assert sim.pending == 1
+
+    def test_run_max_events_passes_when_queue_drains(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_run_max_time_guard(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(50.0, lambda: None)
+        with pytest.raises(SimulationError, match="max_time=10"):
+            sim.run(max_time=10.0)
+        # The guard fires before executing the out-of-range event.
+        assert sim.events_processed == 1
+        assert sim.pending == 1
+
+    def test_run_max_time_passes_when_all_events_in_range(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(max_time=10.0)
+        assert sim.events_processed == 1
+
+    def test_cancellation_token_counts_events(self):
+        from repro.errors import DeadlineExceededError
+        from repro.runtime import Budget
+
+        token = Budget(max_events=5).start()
+        sim = Simulator(cancellation=token)
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(DeadlineExceededError):
+            sim.run()
+        # The budget admits 5 events; the 6th executes, then its
+        # count_event() call trips the exhausted budget.
+        assert sim.events_processed == 6
 
     def test_cannot_schedule_in_past(self):
         sim = Simulator()

@@ -168,6 +168,114 @@ class TestInjectCommand:
         assert "Traceback" not in err
 
 
+class TestJournaledInject:
+    ARGS = [
+        "inject", "--scenario", "null", "--user-class", "A",
+        "--horizon", "800", "--replications", "3", "--seed", "4",
+    ]
+
+    def test_journaled_run_records_campaign(self, tmp_path, capsys):
+        from repro.runtime import read_journal
+
+        path = tmp_path / "campaign.jsonl"
+        assert main(self.ARGS + ["--journal", str(path)]) == 0
+        records = read_journal(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "campaign_start"
+        assert kinds.count("replication") == 3
+        assert kinds[-1] == "campaign_end"
+        assert records[0]["meta"]["cli"] == "inject"
+
+    def test_journal_requires_single_user_class(self, tmp_path, capsys):
+        path = tmp_path / "campaign.jsonl"
+        assert main([
+            "inject", "--scenario", "null", "--user-class", "both",
+            "--journal", str(path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "single campaign" in err
+        assert "Traceback" not in err
+
+    def test_deadline_exceeded_exits_2_with_resumable_journal(
+        self, tmp_path, capsys
+    ):
+        from repro.runtime import read_journal
+
+        path = tmp_path / "campaign.jsonl"
+        code = main([
+            "inject", "--scenario", "null", "--user-class", "A",
+            "--horizon", "200000", "--replications", "50", "--seed", "4",
+            "--journal", str(path), "--deadline", "0.3",
+        ])
+        assert code == 2
+        assert "deadline" in capsys.readouterr().err.lower()
+        records = read_journal(path)  # intact despite the interruption
+        assert records[0]["kind"] == "campaign_start"
+        completed = [r for r in records if r["kind"] == "replication"]
+        assert len(completed) < 50
+        assert not any(r["kind"] == "campaign_end" for r in records)
+
+    def test_resume_completes_and_matches_uninterrupted_output(
+        self, tmp_path, capsys
+    ):
+        # The uninterrupted journaled run is the reference...
+        full = tmp_path / "full.jsonl"
+        assert main(self.ARGS + ["--journal", str(full)]) == 0
+        reference = capsys.readouterr().out
+
+        # ...an interrupted run leaves a partial journal...
+        partial = tmp_path / "partial.jsonl"
+        code = main([
+            "inject", "--scenario", "null", "--user-class", "A",
+            "--horizon", "800", "--replications", "3", "--seed", "4",
+            "--journal", str(partial), "--deadline", "1e-9",
+        ])
+        assert code == 2
+        capsys.readouterr()
+
+        # ...and resume reproduces the reference numbers exactly.
+        assert main(["resume", str(partial)]) == 0
+        resumed = capsys.readouterr().out
+        assert "Resumed fault-injection campaign" in resumed
+        body = reference.split("\n", 1)[1]  # drop the differing title
+        assert body == resumed.split("\n", 1)[1]
+
+    def test_resume_of_completed_journal_reprints_result(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "campaign.jsonl"
+        assert main(self.ARGS + ["--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["resume", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 x 800 h" in out
+        assert "agrees with the analytic" in out
+
+    def test_resume_missing_journal_is_a_one_line_error(
+        self, tmp_path, capsys
+    ):
+        assert main(["resume", str(tmp_path / "ghost.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_resume_rejects_foreign_journal(self, tmp_path, capsys):
+        from repro.runtime import Journal
+
+        path = tmp_path / "foreign.jsonl"
+        with Journal(path) as journal:
+            journal.append("campaign_start", user_class="A", meta={})
+        assert main(["resume", str(path)]) == 2
+        assert "repro inject" in capsys.readouterr().err
+
+    def test_rerunning_over_existing_journal_refused(self, tmp_path, capsys):
+        path = tmp_path / "campaign.jsonl"
+        assert main(self.ARGS + ["--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--journal", str(path)]) == 2
+        assert "resume" in capsys.readouterr().err
+
+
 class TestRetriesCommand:
     def test_default_run(self, capsys):
         assert main(["retries", "--user-class", "A"]) == 0
@@ -199,6 +307,18 @@ class TestRetriesCommand:
         out = capsys.readouterr().out
         assert "DES cross-validation" in out
         assert "closed form" in out
+
+    def test_journal_records_results(self, tmp_path, capsys):
+        from repro.runtime import read_journal
+
+        path = tmp_path / "retries.jsonl"
+        assert main([
+            "retries", "--user-class", "A", "--max-retries", "1",
+            "--journal", str(path),
+        ]) == 0
+        records = read_journal(path)
+        assert [r["kind"] for r in records] == ["retry_result"]
+        assert records[0]["user_class"] == "class A"
 
     def test_invalid_persistence_is_a_one_line_error(self, capsys):
         assert main(["retries", "--persistence", "1.5"]) == 2

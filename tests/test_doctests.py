@@ -51,6 +51,10 @@ MODULES = [
     "repro.reporting.downtime",
     "repro.reporting.series",
     "repro.reporting.tables",
+    "repro.runtime.budget",
+    "repro.runtime.heartbeat",
+    "repro.runtime.journal",
+    "repro.runtime.solver_retry",
     "repro.sensitivity.sweep",
     "repro.sim.des",
     "repro.sim.endtoend",

@@ -7,6 +7,8 @@ import pytest
 
 from repro._validation import (
     check_distribution,
+    check_finite,
+    check_finite_array,
     check_in_range,
     check_non_negative,
     check_non_negative_int,
@@ -54,6 +56,45 @@ class TestScalarChecks:
     def test_error_message_names_argument(self):
         with pytest.raises(ValidationError, match="my_rate"):
             check_rate(-1.0, "my_rate")
+
+    def test_nan_gets_a_dedicated_message(self):
+        # NaN must never reach a comparison-based check: every NaN
+        # comparison is False, so a generic bound check would let it
+        # through silently.  The message says NaN, not just "a number".
+        with pytest.raises(ValidationError, match="NaN"):
+            check_positive(float("nan"), "rate")
+
+    def test_infinity_still_reported_as_non_finite(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive(float("inf"), "rate")
+
+
+class TestFiniteChecks:
+    def test_finite_passes_through(self):
+        assert check_finite(2.5) == 2.5
+        assert check_finite(-3) == -3.0
+        assert check_finite(0.0) == 0.0
+
+    def test_nan_and_inf_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValidationError):
+                check_finite(bad)
+
+    def test_nan_message_is_explicit(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_finite(float("nan"), "death_rate")
+
+    def test_array_passes_when_all_finite(self):
+        arr = check_finite_array([[1.0, -2.0], [0.0, 3.5]], "q")
+        assert isinstance(arr, np.ndarray)
+
+    def test_array_rejects_nan_naming_position(self):
+        with pytest.raises(ValidationError, match="q"):
+            check_finite_array([1.0, float("nan"), 3.0], "q")
+
+    def test_array_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_finite_array(np.array([1.0, np.inf]), "q")
 
 
 class TestIntChecks:
