@@ -5,9 +5,20 @@ fixture times the computation, and the printed output (visible with
 ``pytest benchmarks/ --benchmark-only -s``) reproduces the rows or
 series the paper reports.  Where the paper publishes numbers, they are
 printed side by side with ours.
+
+Because stdout is swallowed by pytest's capture (and never reaches the
+controller under ``pytest-xdist``), :func:`emit` also appends every
+table to a per-bench artifact file under ``benchmarks/artifacts/`` —
+named after the emitting test — so rendered output survives any runner
+configuration.  Point ``REPRO_BENCH_ARTIFACTS`` somewhere else to
+redirect the directory, or set it empty to disable the files.
 """
 
 from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,7 +30,37 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(709718)  # the paper's page range
 
 
+def _artifact_path() -> Path | None:
+    """The artifact file for the currently running bench, or None."""
+    root = os.environ.get(
+        "REPRO_BENCH_ARTIFACTS",
+        str(Path(__file__).parent / "artifacts"),
+    )
+    if not root:
+        return None
+    # PYTEST_CURRENT_TEST looks like "benchmarks/bench_x.py::test_y[p] (call)".
+    current = os.environ.get("PYTEST_CURRENT_TEST", "")
+    name = current.split("::")[-1].split(" ")[0] if current else "adhoc"
+    name = re.sub(r"[^A-Za-z0-9_.\-\[\]]", "_", name) or "adhoc"
+    return Path(root) / f"{name}.txt"
+
+
 def emit(text: str) -> None:
-    """Print a rendered table with surrounding whitespace."""
+    """Print a rendered table, and persist it to the bench's artifact file.
+
+    The print covers interactive ``-s`` runs; the artifact file covers
+    captured and ``pytest-xdist`` runs, where worker stdout is lost.
+    """
     print()
     print(text)
+    path = _artifact_path()
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n\n")
+    except OSError:
+        # A read-only checkout must not fail the bench over a side file.
+        pass

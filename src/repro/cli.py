@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows without writing Python:
+Seven subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -29,6 +29,13 @@ Six subcommands cover the common workflows without writing Python:
     journal; completed replications are restored, only missing ones are
     simulated, and the final result is bit-identical to an
     uninterrupted run.
+
+``repro sweep``
+    Regenerate a Fig. 11/12 sensitivity grid (unavailability vs number
+    of web servers, one curve per failure rate) through the batch
+    evaluation engine: ``--workers N`` parallelizes the cells with
+    bit-identical output, ``--cache-dir`` memoizes them across runs,
+    and ``--journal`` makes an interrupted sweep resumable.
 
 Long runs are bounded and interruptible: ``inject`` and ``retries``
 take ``--deadline SECONDS`` (wall clock; exceeding it exits with code 2
@@ -190,6 +197,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("journal", help="path to the campaign journal")
     _add_runtime_flags(resume, journal=False)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="regenerate a Fig. 11/12 grid through the evaluation engine",
+    )
+    sweep.add_argument(
+        "--figure", choices=("11", "12"), default="11",
+        help="11 = perfect coverage, 12 = coverage 0.98 with manual "
+             "reconfiguration at 12/h",
+    )
+    sweep.add_argument(
+        "--arrival-rate", type=float, default=100.0,
+        help="requests per second (the paper plots 50, 100 and 150)",
+    )
+    sweep.add_argument(
+        "--servers-max", type=int, default=10, metavar="N",
+        help="sweep NW over 1..N",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; output is bit-identical for any count",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk memo cache; a warm rerun recomputes nothing",
+    )
+    _add_runtime_flags(sweep, journal_help=(
+        "journal per-cell results to this JSONL file; re-running the "
+        "same sweep over it resumes instead of recomputing"
+    ))
     return parser
 
 
@@ -602,6 +639,97 @@ def _cmd_retries(args) -> int:
     return 0
 
 
+#: The failure-rate curves of Fig. 11/12, per hour.
+SWEEP_FAILURE_RATES = (1e-2, 1e-3, 1e-4)
+
+
+def _sweep_point(figure, arrival_rate, failure_rate, servers):
+    """One Fig. 11/12 grid cell (module-level: picklable for workers)."""
+    from .availability import WebServiceModel
+
+    imperfect = {}
+    if figure == "12":
+        imperfect = {"coverage": 0.98, "reconfiguration_rate": 12.0}
+    return WebServiceModel(
+        servers=int(servers),
+        arrival_rate=arrival_rate,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=failure_rate,
+        repair_rate=1.0,
+        **imperfect,
+    ).unavailability()
+
+
+def _cmd_sweep(args) -> int:
+    import functools
+    import time
+
+    from ._validation import check_positive, check_positive_int
+    from .engine import EvaluationEngine, canonical_key
+    from .reporting import format_series
+    from .sensitivity import grid_sweep
+
+    check_positive_int(args.servers_max, "servers-max")
+    check_positive(args.arrival_rate, "arrival-rate")
+    cancellation, heartbeat = _runtime_context(args)
+    engine = EvaluationEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cancellation=cancellation,
+        heartbeat=heartbeat,
+    )
+    servers = tuple(range(1, args.servers_max + 1))
+    # The key is the full cell spec: any parameter change misses.
+    keys = [
+        canonical_key(
+            "webservice-unavailability",
+            figure=args.figure,
+            arrival_rate=float(args.arrival_rate),
+            service_rate=100.0,
+            buffer_capacity=10,
+            failure_rate=float(lam),
+            repair_rate=1.0,
+            servers=int(nw),
+        )
+        for lam in SWEEP_FAILURE_RATES
+        for nw in servers
+    ]
+    started = time.monotonic()
+    grid = grid_sweep(
+        functools.partial(_sweep_point, args.figure, args.arrival_rate),
+        "failure rate", SWEEP_FAILURE_RATES,
+        "NW", servers,
+        engine=engine,
+        keys=keys,
+        journal=args.journal,
+    )
+    elapsed = time.monotonic() - started
+
+    series = {
+        f"lambda={lam:g}/h": grid.row(lam).outputs
+        for lam in SWEEP_FAILURE_RATES
+    }
+    coverage = "perfect coverage" if args.figure == "11" else "coverage = 0.98"
+    print(format_series(
+        "NW", servers, series,
+        log_bars=True, floor_exponent=-14,
+        title=(
+            f"Figure {args.figure} — {coverage}, "
+            f"alpha = {args.arrival_rate:g}/s"
+        ),
+    ))
+    stats = engine.cache.stats
+    rate = f"{stats.hit_rate:.1%}" if stats.lookups else "n/a"
+    print(
+        f"engine: workers={args.workers}, {len(keys)} cells in "
+        f"{elapsed:.2f}s; cache hits={stats.hits} misses={stats.misses} "
+        f"hit-rate={rate}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -613,6 +741,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inject": _cmd_inject,
         "retries": _cmd_retries,
         "resume": _cmd_resume,
+        "sweep": _cmd_sweep,
     }
     from .errors import ReproError
 

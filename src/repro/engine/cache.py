@@ -1,0 +1,314 @@
+"""Content-addressed memoization for model evaluations.
+
+Every evaluation unit the engine runs (a CTMC steady-state solve, an
+M/M/c/K blocking probability, a DES replication) is a pure function of
+its *spec*: the generator matrix bytes, the queue parameters, the seed.
+:func:`canonical_key` hashes such a spec into a stable hex digest, and
+:class:`MemoCache` maps digests to previously computed results — an
+in-memory LRU backed by an optional on-disk store, so a warm rerun of a
+sweep or a table regeneration skips every solver call it has already
+paid for.
+
+Key canonicalization rules (the *cache-key scheme*, also documented in
+``docs/PERFORMANCE.md``):
+
+* floats hash by their IEEE-754 bit pattern (``struct.pack('>d')``), so
+  two specs collide only when every parameter is bit-equal — ``0.1``
+  and ``0.1 + 1e-17`` are distinct keys, and ``0.0`` / ``-0.0`` are
+  distinct on purpose;
+* NumPy arrays hash dtype, shape, and C-contiguous buffer bytes —
+  changing *any* entry of a generator matrix changes the key;
+* containers hash recursively with type tags, so ``(1, 2)`` and
+  ``[1, 2]`` and ``"12"`` cannot collide; mapping items are hashed in
+  sorted-key order, making dict iteration order irrelevant;
+* every key embeds a *kind* label (``"ctmc-steady-state"``,
+  ``"mmck-blocking"``, ...) namespacing unrelated computations that
+  happen to share parameters.
+
+Unsupported value types raise :class:`~repro.errors.EngineError` rather
+than falling back to ``repr`` — a silently unstable key is a cache that
+returns wrong answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..errors import EngineError
+
+__all__ = ["canonical_key", "CacheStats", "MemoCache"]
+
+PathLike = Union[str, Path]
+
+
+def _feed(h, value: Any) -> None:
+    """Feed one value into hash *h* with an unambiguous type tag."""
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        # Before int: bool is an int subclass but must not collide with 0/1.
+        h.update(b"B1" if value else b"B0")
+    elif isinstance(value, (int, np.integer)):
+        encoded = str(int(value)).encode("ascii")
+        h.update(b"I" + struct.pack(">I", len(encoded)) + encoded)
+    elif isinstance(value, (float, np.floating)):
+        h.update(b"F" + struct.pack(">d", float(value)))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        h.update(b"S" + struct.pack(">I", len(encoded)) + encoded)
+    elif isinstance(value, bytes):
+        h.update(b"Y" + struct.pack(">I", len(value)) + value)
+    elif isinstance(value, np.ndarray):
+        dtype = str(value.dtype).encode("ascii")
+        h.update(b"A" + struct.pack(">I", len(dtype)) + dtype)
+        h.update(struct.pack(">I", value.ndim))
+        for dim in value.shape:
+            h.update(struct.pack(">Q", dim))
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (tuple, list)):
+        h.update(b"T" + struct.pack(">I", len(value)))
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, (frozenset, set)):
+        h.update(b"E" + struct.pack(">I", len(value)))
+        # Hash each element independently, combine order-free by XOR of
+        # digests — set iteration order is not deterministic.
+        combined = bytearray(32)
+        for item in value:
+            sub = hashlib.sha256()
+            _feed(sub, item)
+            for i, byte in enumerate(sub.digest()):
+                combined[i] ^= byte
+        h.update(bytes(combined))
+    elif isinstance(value, Mapping):
+        h.update(b"M" + struct.pack(">I", len(value)))
+        for key in sorted(value, key=lambda k: (str(type(k)), str(k))):
+            _feed(h, key)
+            _feed(h, value[key])
+    else:
+        raise EngineError(
+            f"cannot build a canonical cache key from a value of type "
+            f"{type(value).__name__!r}: {value!r} (supported: None, bool, "
+            "int, float, str, bytes, numpy arrays, sequences, sets, "
+            "mappings)"
+        )
+
+
+def canonical_key(kind: str, **fields: Any) -> str:
+    """The content-addressed key of one evaluation spec.
+
+    Parameters
+    ----------
+    kind:
+        Label namespacing the computation type (two different analyses
+        of the same parameters must not share results).
+    **fields:
+        The complete spec: every input that influences the result must
+        appear here, including seeds for stochastic computations.
+
+    Examples
+    --------
+    >>> a = canonical_key("mmck-blocking", load=1.0, servers=4, capacity=10)
+    >>> b = canonical_key("mmck-blocking", capacity=10, servers=4, load=1.0)
+    >>> a == b  # keyword order is irrelevant
+    True
+    >>> a == canonical_key("mmck-blocking", load=1.0, servers=5, capacity=10)
+    False
+    """
+    if not isinstance(kind, str) or not kind:
+        raise EngineError("cache-key kind must be a non-empty string")
+    h = hashlib.sha256()
+    _feed(h, kind)
+    _feed(h, fields)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of one :class:`MemoCache`.
+
+    The counters reconcile: ``hits + misses == lookups``, and
+    ``memory_hits + disk_hits == hits``.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (NaN before any lookup)."""
+        if not self.lookups:
+            return float("nan")
+        return self.hits / self.lookups
+
+    @property
+    def consistent(self) -> bool:
+        """True when the counters reconcile with each other."""
+        return (
+            self.hits + self.misses == self.lookups
+            and self.memory_hits + self.disk_hits == self.hits
+        )
+
+
+_MISSING = object()
+
+
+class MemoCache:
+    """In-memory LRU of evaluation results, with an optional disk store.
+
+    Parameters
+    ----------
+    maxsize:
+        Capacity of the in-memory LRU; the least recently used entry is
+        evicted when a store would exceed it.
+    cache_dir:
+        Optional directory for a persistent second level.  Every stored
+        value is also pickled to ``<cache_dir>/<key[:2]>/<key>.pkl``
+        (content-addressed, so concurrent writers of the *same* key are
+        idempotent), and a memory miss falls back to the disk copy.
+
+    Examples
+    --------
+    >>> cache = MemoCache(maxsize=2)
+    >>> key = canonical_key("demo", x=1.0)
+    >>> cache.get(key) is None
+    True
+    >>> cache.put(key, 42.0)
+    >>> cache.get(key)
+    42.0
+    >>> cache.stats.consistent
+    True
+    """
+
+    def __init__(self, maxsize: int = 4096, cache_dir: Optional[PathLike] = None):
+        self.maxsize = check_positive_int(maxsize, "maxsize")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._lookups = 0
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._stores = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` — distinguishes a miss from a cached ``None``."""
+        with self._lock:
+            self._lookups += 1
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._memory_hits += 1
+                return True, value
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                try:
+                    with open(path, "rb") as handle:
+                        value = pickle.load(handle)
+                except (OSError, pickle.UnpicklingError, EOFError,
+                        ValueError, AttributeError, ImportError):
+                    # A torn or unreadable disk entry is a miss, not an
+                    # error: the value is recomputed and rewritten.
+                    return False, None
+                with self._lock:
+                    self._disk_hits += 1
+                    self._insert(key, value)
+                return True, value
+        return False, None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value, or *default* on a miss."""
+        hit, value = self.lookup(key)
+        return value if hit else default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* under *key* in memory (and on disk when enabled)."""
+        with self._lock:
+            self._stores += 1
+            self._insert(key, value)
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a concurrent reader never sees a torn
+            # pickle; content addressing makes replacement idempotent.
+            tmp = path.with_suffix(f".tmp-{threading.get_ident()}")
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+
+    def _insert(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            memory_hits = self._memory_hits
+            disk_hits = self._disk_hits
+            hits = memory_hits + disk_hits
+            return CacheStats(
+                lookups=self._lookups,
+                hits=hits,
+                misses=self._lookups - hits,
+                memory_hits=memory_hits,
+                disk_hits=disk_hits,
+                stores=self._stores,
+                evictions=self._evictions,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self, statistics: bool = False) -> None:
+        """Drop every in-memory entry (disk entries survive).
+
+        With ``statistics=True`` the counters reset as well.
+        """
+        with self._lock:
+            self._entries.clear()
+            if statistics:
+                self._lookups = 0
+                self._memory_hits = 0
+                self._disk_hits = 0
+                self._stores = 0
+                self._evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats
+        disk = f", dir={str(self.cache_dir)!r}" if self.cache_dir else ""
+        return (
+            f"MemoCache(entries={len(self)}, maxsize={self.maxsize}, "
+            f"hits={stats.hits}, misses={stats.misses}{disk})"
+        )

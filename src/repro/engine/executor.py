@@ -1,0 +1,533 @@
+"""The batch evaluation engine: parallel, cache-aware, resumable.
+
+:class:`EvaluationEngine` executes homogeneous batches (:meth:`~EvaluationEngine.map`)
+and heterogeneous :class:`~repro.engine.tasks.TaskGraph`\\ s
+(:meth:`~EvaluationEngine.run_graph`) behind one set of guarantees:
+
+**Determinism.**  Results are assembled by task index/name, never by
+completion order, so a run with ``workers=4`` is bit-identical to
+``workers=1``.  Stochastic tasks must draw from per-task
+:class:`numpy.random.SeedSequence` streams carried in their arguments
+(the campaign and DES helpers already do); the engine itself introduces
+no randomness.
+
+**Caching.**  Tasks carrying a content-addressed key
+(:func:`~repro.engine.canonical_key`) are memoized in the engine's
+:class:`~repro.engine.MemoCache`; per-run hit/miss/eviction deltas are
+exposed on every result object.
+
+**Cancellation.**  A :class:`~repro.runtime.CancellationToken` is polled
+before every dispatch and between completions.  Cancellation is
+cooperative at task granularity: in-flight worker tasks finish, pending
+ones are dropped, and already-journaled results survive.
+
+**Resume.**  With a journal attached, every completed task is durably
+recorded (key + JSON value); re-running the same batch over the same
+journal restores completed tasks and computes only the rest — the same
+contract campaigns have, now for arbitrary parallel batches.
+
+The serial backend (``workers=1``, the default) is the reference
+implementation: the parallel backend must, and is tested to, reproduce
+its outputs bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .._validation import check_positive_int
+from ..errors import EngineError, ResumeError
+from ..runtime.budget import CancellationToken
+from ..runtime.heartbeat import HeartbeatCallback, ProgressEvent
+from ..runtime.journal import Journal, read_journal
+from .cache import CacheStats, MemoCache
+from .tasks import TaskGraph
+
+__all__ = ["EvaluationEngine", "BatchResult", "GraphResult"]
+
+JournalLike = Union[Journal, str, Path]
+
+
+def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
+    return CacheStats(
+        lookups=after.lookups - before.lookups,
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        memory_hits=after.memory_hits - before.memory_hits,
+        disk_hits=after.disk_hits - before.disk_hits,
+        stores=after.stores - before.stores,
+        evictions=after.evictions - before.evictions,
+    )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one :meth:`EvaluationEngine.map` call.
+
+    Attributes
+    ----------
+    outputs:
+        Task results in input order — independent of worker count and
+        completion order.
+    cache_stats:
+        Hit/miss/eviction counters for *this* run (deltas, not the
+        cache's lifetime totals).
+    executed:
+        Tasks actually computed this run.
+    restored:
+        Tasks restored from the journal instead of computed.
+    workers:
+        Worker processes used (1 = the serial reference backend).
+    elapsed:
+        Wall-clock seconds for the batch.
+    """
+
+    outputs: Tuple[Any, ...]
+    cache_stats: CacheStats
+    executed: int
+    restored: int
+    workers: int
+    elapsed: float
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+
+@dataclass(frozen=True)
+class GraphResult:
+    """Outcome of one :meth:`EvaluationEngine.run_graph` call.
+
+    ``values`` maps every task name to its result; the remaining fields
+    match :class:`BatchResult`.
+    """
+
+    values: Dict[str, Any]
+    cache_stats: CacheStats
+    executed: int
+    workers: int
+    elapsed: float
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[name]
+
+
+def _json_safe(value: Any) -> Any:
+    """Round-trip *value* through JSON, or raise EngineError."""
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError):
+        raise EngineError(
+            "journaled batches need JSON-serializable task results; got "
+            f"a value of type {type(value).__name__!r} (run without a "
+            "journal, or reduce the task output to plain numbers first)"
+        ) from None
+
+
+class EvaluationEngine:
+    """Cache-aware batch executor with serial and process-pool backends.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``1`` (default) runs everything in-process and
+        is the reference backend for equality tests.
+    cache:
+        A shared :class:`~repro.engine.MemoCache`; built internally from
+        *cache_dir*/*cache_size* when omitted.
+    cache_dir:
+        Optional on-disk cache directory (persists across processes and
+        runs).
+    cache_size:
+        In-memory LRU capacity when the engine builds its own cache.
+    cancellation:
+        Optional :class:`~repro.runtime.CancellationToken`, polled at
+        every dispatch and completion boundary.
+    heartbeat:
+        Optional progress callback (one event per completed task).
+
+    Examples
+    --------
+    >>> from math import sqrt
+    >>> engine = EvaluationEngine()
+    >>> result = engine.map(sqrt, [1.0, 4.0, 9.0])
+    >>> result.outputs
+    (1.0, 2.0, 3.0)
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[MemoCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache_size: int = 4096,
+        cancellation: Optional[CancellationToken] = None,
+        heartbeat: Optional[HeartbeatCallback] = None,
+    ):
+        self.workers = check_positive_int(workers, "workers")
+        if cache is not None and cache_dir is not None:
+            raise EngineError(
+                "pass either a prebuilt cache or a cache_dir, not both"
+            )
+        self.cache = (
+            cache
+            if cache is not None
+            else MemoCache(maxsize=cache_size, cache_dir=cache_dir)
+        )
+        self.cancellation = cancellation
+        self.heartbeat = heartbeat
+
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        if self.cancellation is not None:
+            self.cancellation.check()
+
+    def _beat(self, phase: str, completed: int, total: int, message: str = ""):
+        if self.heartbeat is not None:
+            self.heartbeat(ProgressEvent(
+                phase=phase, completed=completed, total=total, message=message
+            ))
+
+    @staticmethod
+    def _require_picklable(fn: Callable) -> None:
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise EngineError(
+                f"work function {fn!r} cannot be sent to worker processes "
+                f"({exc}); use a module-level function, or run with "
+                "workers=1"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        keys: Optional[Sequence[Optional[str]]] = None,
+        phase: str = "batch",
+        journal: Optional[JournalLike] = None,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> BatchResult:
+        """Evaluate ``fn(item)`` for every item, in parallel when possible.
+
+        Parameters
+        ----------
+        fn:
+            Work function of one argument.  With ``workers > 1`` it must
+            be picklable (module-level); its argument and result must be
+            picklable too.
+        items:
+            Task inputs; output order follows input order exactly.
+        keys:
+            Optional per-item content-addressed cache keys (``None``
+            entries bypass the cache).  A key must change whenever the
+            item's result could — build them with
+            :func:`~repro.engine.canonical_key` from the full spec.
+        phase:
+            Label for heartbeat events and journal records.
+        journal:
+            Optional journal (or path).  Completed tasks are appended as
+            JSON records; a journal that already holds records for this
+            phase/size resumes — restored tasks are not recomputed.
+        on_result:
+            Callback ``on_result(index, value)`` invoked once per task
+            computed *this run* (not for cache/journal restores), in
+            completion order.  Campaigns use it to journal their own
+            richer records.
+
+        Raises
+        ------
+        EngineError
+            On unpicklable work functions under a process pool, or
+            non-JSON-serializable results under a journal.
+        ResumeError
+            When the journal does not match this batch.
+        """
+        items = list(items)
+        total = len(items)
+        if keys is not None:
+            keys = list(keys)
+            if len(keys) != total:
+                raise EngineError(
+                    f"got {len(keys)} cache keys for {total} items"
+                )
+        before = self.cache.stats
+        started = time.monotonic()
+
+        owns_journal = journal is not None and not isinstance(journal, Journal)
+        restored: Dict[int, Any] = {}
+        if journal is not None:
+            path = journal.path if isinstance(journal, Journal) else Path(journal)
+            restored = self._restore_from_journal(path, phase, total, keys)
+            if owns_journal:
+                journal = Journal(path)
+            if journal.next_seq == 0:
+                journal.append("batch_start", phase=phase, total=total)
+
+        try:
+            outputs: List[Any] = [None] * total
+            done = 0
+            pending: List[int] = []
+            for index, item in enumerate(items):
+                if index in restored:
+                    outputs[index] = restored[index]
+                    done += 1
+                    continue
+                key = keys[index] if keys is not None else None
+                if key is not None:
+                    hit, value = self.cache.lookup(key)
+                    if hit:
+                        outputs[index] = value
+                        done += 1
+                        continue
+                pending.append(index)
+
+            self._beat(
+                phase, done, total,
+                f"{len(restored)} restored, {done - len(restored)} cached",
+            )
+
+            def complete(index: int, value: Any) -> None:
+                nonlocal done
+                outputs[index] = value
+                done += 1
+                key = keys[index] if keys is not None else None
+                if key is not None:
+                    self.cache.put(key, value)
+                if journal is not None:
+                    journal.append(
+                        "task_result",
+                        index=index,
+                        key=key,
+                        value=_json_safe(value),
+                    )
+                if on_result is not None:
+                    on_result(index, value)
+                self._beat(phase, done, total)
+
+            executed = len(pending)
+            if self.workers == 1 or len(pending) <= 1:
+                for index in pending:
+                    self._check()
+                    complete(index, fn(items[index]))
+            else:
+                self._map_parallel(fn, items, pending, complete)
+
+            if journal is not None and total and done == total:
+                # Idempotent end marker (skipped when resuming past one).
+                records = read_journal(journal.path)
+                if not any(r.get("kind") == "batch_end" for r in records):
+                    journal.append("batch_end", executed=executed)
+        finally:
+            if owns_journal and journal is not None:
+                journal.close()
+
+        return BatchResult(
+            outputs=tuple(outputs),
+            cache_stats=_stats_delta(before, self.cache.stats),
+            executed=executed,
+            restored=len(restored),
+            workers=self.workers,
+            elapsed=time.monotonic() - started,
+        )
+
+    def _map_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        pending: Sequence[int],
+        complete: Callable[[int, Any], None],
+    ) -> None:
+        self._require_picklable(fn)
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            try:
+                futures = {}
+                for index in pending:
+                    self._check()
+                    futures[pool.submit(fn, items[index])] = index
+                outstanding = set(futures)
+                while outstanding:
+                    self._check()
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        complete(futures[future], future.result())
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+
+    @staticmethod
+    def _restore_from_journal(
+        path: Path,
+        phase: str,
+        total: int,
+        keys: Optional[Sequence[Optional[str]]],
+    ) -> Dict[int, Any]:
+        records = read_journal(path)
+        if not records:
+            return {}
+        start = records[0]
+        if start.get("kind") != "batch_start":
+            raise ResumeError(
+                f"journal {path} was not written by the evaluation engine "
+                "(first record is not batch_start)"
+            )
+        if start.get("phase") != phase or start.get("total") != total:
+            raise ResumeError(
+                f"journal {path} records batch {start.get('phase')!r} of "
+                f"{start.get('total')} tasks, not {phase!r} of {total}"
+            )
+        restored: Dict[int, Any] = {}
+        for record in records:
+            if record.get("kind") != "task_result":
+                continue
+            index = int(record["index"])
+            if not 0 <= index < total:
+                raise ResumeError(
+                    f"journal {path} holds task index {index} outside "
+                    f"0..{total - 1}"
+                )
+            if keys is not None and record.get("key") != keys[index]:
+                raise ResumeError(
+                    f"journal {path} task {index} was computed under a "
+                    "different cache key; the batch spec changed"
+                )
+            restored[index] = record["value"]
+        return restored
+
+    # ------------------------------------------------------------------
+    def run_graph(self, graph: TaskGraph, phase: str = "graph") -> GraphResult:
+        """Execute a :class:`~repro.engine.tasks.TaskGraph`.
+
+        Tasks run as soon as their dependencies are available —
+        independent tasks in parallel under a process pool.  Keyed tasks
+        are memoized; results are returned by name.
+
+        Raises
+        ------
+        EngineError
+            On graph defects (via
+            :meth:`~repro.engine.tasks.TaskGraph.topological_order`) or
+            unpicklable task functions under a process pool.
+        """
+        order = graph.topological_order()
+        before = self.cache.stats
+        started = time.monotonic()
+        values: Dict[str, Any] = {}
+        executed = 0
+
+        def resolve(name: str) -> Tuple[bool, Any]:
+            task = graph.task(name)
+            if task.key is not None:
+                return self.cache.lookup(task.key)
+            return False, None
+
+        def call_args(name: str) -> Tuple[Any, ...]:
+            task = graph.task(name)
+            return task.args + tuple(values[dep] for dep in task.deps)
+
+        def finish(name: str, value: Any) -> None:
+            task = graph.task(name)
+            values[name] = value
+            if task.key is not None:
+                self.cache.put(task.key, value)
+            self._beat(phase, len(values), len(order), name)
+
+        if self.workers == 1:
+            for name in order:
+                self._check()
+                hit, value = resolve(name)
+                if hit:
+                    values[name] = value
+                    self._beat(phase, len(values), len(order), name)
+                    continue
+                executed += 1
+                finish(name, graph.task(name).fn(*call_args(name)))
+        else:
+            executed = self._run_graph_parallel(graph, order, resolve,
+                                                call_args, finish)
+
+        return GraphResult(
+            values=values,
+            cache_stats=_stats_delta(before, self.cache.stats),
+            executed=executed,
+            workers=self.workers,
+            elapsed=time.monotonic() - started,
+        )
+
+    def _run_graph_parallel(self, graph, order, resolve, call_args, finish):
+        waiting = {name: set(graph.task(name).deps) for name in order}
+        executed = 0
+        dependents: Dict[str, List[str]] = {name: [] for name in order}
+        for name in order:
+            for dep in graph.task(name).deps:
+                dependents[dep].append(name)
+        done: set = set()
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures: Dict[Any, str] = {}
+
+            def settle(name: str, value: Any) -> List[str]:
+                finish(name, value)
+                done.add(name)
+                freed = []
+                for dependent in dependents[name]:
+                    waiting[dependent].discard(name)
+                    if not waiting[dependent] and dependent not in done:
+                        freed.append(dependent)
+                return freed
+
+            def dispatch(name: str) -> List[str]:
+                # Cache hits (and their newly freed dependents) settle
+                # immediately; misses go to the pool.
+                self._check()
+                hit, value = resolve(name)
+                if hit:
+                    return settle(name, value)
+                task = graph.task(name)
+                self._require_picklable(task.fn)
+                futures[pool.submit(task.fn, *call_args(name))] = name
+                return []
+
+            try:
+                ready = [name for name in order if not waiting[name]]
+                while ready or futures:
+                    freed: List[str] = []
+                    for name in ready:
+                        freed.extend(dispatch(name))
+                    ready = freed
+                    if not ready and futures:
+                        self._check()
+                        finished, _ = wait(
+                            set(futures), return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            name = futures.pop(future)
+                            executed += 1
+                            ready.extend(settle(name, future.result()))
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        if len(done) != len(order):  # pragma: no cover - defensive
+            missing = [name for name in order if name not in done]
+            raise EngineError(f"graph execution stalled; unfinished: {missing}")
+        return executed

@@ -1,0 +1,286 @@
+"""Task graphs of evaluation units with explicit dependencies.
+
+A :class:`TaskGraph` names the units of work behind a table or figure —
+CTMC solves, queueing-formula batches, DES replications, and the derived
+cells combining them — and records which unit feeds which.  The engine
+(:meth:`repro.engine.EvaluationEngine.run_graph`) executes a graph in
+dependency order, running independent tasks in parallel and memoizing
+each unit under its content-addressed cache key.
+
+A task's function receives its static ``args`` first, then the results
+of its dependencies in declaration order::
+
+    graph = TaskGraph()
+    graph.add("pi", _solve_ctmc, args=(states, generator))
+    graph.add("pk", _mmck_grid, args=(loads, servers, capacity))
+    graph.add("cell", combine, deps=("pi", "pk"))   # combine(pi, pk)
+
+The four helper constructors below cover the evaluation units named
+above; anything else can be added with :meth:`TaskGraph.add` directly.
+Functions must be module-level (picklable) to run under a process-pool
+engine; closures and lambdas are fine for the serial backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EngineError
+from .cache import canonical_key
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "ctmc_steady_state_task",
+    "queueing_batch_task",
+    "des_replication_task",
+    "derived_task",
+]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One evaluation unit of a :class:`TaskGraph`.
+
+    Attributes
+    ----------
+    name:
+        Graph-unique identifier.
+    fn:
+        Work function, called as ``fn(*args, *dep_results)``.
+    args:
+        Static arguments (the task's spec).
+    deps:
+        Names of tasks whose results are appended to *args*.
+    key:
+        Optional content-addressed cache key
+        (:func:`~repro.engine.canonical_key`); keyed tasks are memoized
+        by the engine, unkeyed tasks always run.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    deps: Tuple[str, ...] = ()
+    key: Optional[str] = None
+
+
+class TaskGraph:
+    """A directed acyclic graph of named evaluation tasks."""
+
+    def __init__(self):
+        self._tasks: Dict[str, Task] = {}
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        deps: Sequence[str] = (),
+        key: Optional[str] = None,
+    ) -> Task:
+        """Add one task; returns it.  Names must be unique."""
+        if not isinstance(name, str) or not name:
+            raise EngineError("task name must be a non-empty string")
+        if name in self._tasks:
+            raise EngineError(f"duplicate task name {name!r}")
+        if not callable(fn):
+            raise EngineError(f"task {name!r} needs a callable, got {fn!r}")
+        task = Task(
+            name=name, fn=fn, args=tuple(args), deps=tuple(deps), key=key
+        )
+        self._tasks[name] = task
+        return task
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise EngineError(f"no task named {name!r} in the graph") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Task names in insertion order."""
+        return tuple(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """Task names in a deterministic dependency-respecting order.
+
+        Kahn's algorithm with insertion-order tie-breaking, so the same
+        graph always schedules identically (part of the determinism
+        contract).
+
+        Raises
+        ------
+        EngineError
+            On a dependency naming no task, or a dependency cycle.
+        """
+        for task in self:
+            for dep in task.deps:
+                if dep not in self._tasks:
+                    raise EngineError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+        remaining: Dict[str, set] = {
+            task.name: set(task.deps) for task in self
+        }
+        order = []
+        while remaining:
+            ready = [name for name, deps in remaining.items() if not deps]
+            if not ready:
+                cycle = sorted(remaining)
+                raise EngineError(
+                    f"task graph has a dependency cycle among {cycle}"
+                )
+            for name in ready:
+                order.append(name)
+                del remaining[name]
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        return tuple(order)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskGraph(tasks={len(self)})"
+
+
+# ----------------------------------------------------------------------
+# Module-level work functions: picklable for process-pool execution.
+# ----------------------------------------------------------------------
+
+def _solve_ctmc_steady_state(states, generator) -> Dict[Any, float]:
+    from ..markov import CTMC
+
+    return CTMC(states, generator).steady_state()
+
+
+def _evaluate_mmck_grid(offered_load, servers, capacity) -> np.ndarray:
+    from ..queueing import mmck_blocking_grid
+
+    return mmck_blocking_grid(offered_load, servers, capacity)
+
+
+def _run_des_replication(
+    model, user_class, horizon, stream, default_repair_rate, faults
+):
+    from ..sim.endtoend import simulate_user_availability_over_time
+
+    rng = np.random.default_rng(stream)
+    return simulate_user_availability_over_time(
+        model,
+        user_class,
+        horizon=horizon,
+        rng=rng,
+        default_repair_rate=default_repair_rate,
+        faults=faults,
+    )
+
+
+# ----------------------------------------------------------------------
+# Helper constructors for the canonical evaluation units.
+# ----------------------------------------------------------------------
+
+def ctmc_steady_state_task(graph: TaskGraph, name: str, states, generator) -> Task:
+    """A steady-state CTMC solve, keyed by the generator matrix bytes."""
+    generator = np.asarray(generator, dtype=float)
+    states = tuple(states)
+    key = canonical_key(
+        "ctmc-steady-state",
+        states=tuple(str(state) for state in states),
+        generator=generator,
+    )
+    return graph.add(
+        name, _solve_ctmc_steady_state, args=(states, generator), key=key
+    )
+
+
+def queueing_batch_task(
+    graph: TaskGraph, name: str, offered_load, servers, capacity
+) -> Task:
+    """A vectorized M/M/c/K blocking grid, keyed by the point arrays."""
+    offered_load = np.asarray(offered_load, dtype=float)
+    servers = np.asarray(servers, dtype=np.int64)
+    capacity = np.asarray(capacity, dtype=np.int64)
+    key = canonical_key(
+        "mmck-blocking-grid",
+        offered_load=offered_load,
+        servers=servers,
+        capacity=capacity,
+    )
+    return graph.add(
+        name,
+        _evaluate_mmck_grid,
+        args=(offered_load, servers, capacity),
+        key=key,
+    )
+
+
+def des_replication_task(
+    graph: TaskGraph,
+    name: str,
+    model,
+    user_class,
+    horizon: float,
+    stream: np.random.SeedSequence,
+    default_repair_rate: float = 1.0,
+    faults: Sequence = (),
+) -> Task:
+    """One end-to-end DES replication from a dedicated seed stream.
+
+    The cache key covers the seed stream's entropy and spawn position,
+    the horizon, and a pickle-based content digest of the model, user
+    class, and fault timeline — two replications share a key only when
+    every simulation input is identical.
+    """
+    import pickle
+
+    spawn_key = tuple(int(k) for k in stream.spawn_key)
+    entropy = stream.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = tuple(int(e) for e in entropy)
+    elif entropy is not None:
+        entropy = int(entropy)
+    key = canonical_key(
+        "des-replication",
+        entropy=entropy,
+        spawn_key=spawn_key,
+        horizon=float(horizon),
+        default_repair_rate=float(default_repair_rate),
+        content=pickle.dumps((model, user_class, tuple(faults)), protocol=4),
+    )
+    return graph.add(
+        name,
+        _run_des_replication,
+        args=(
+            model, user_class, float(horizon), stream,
+            float(default_repair_rate), tuple(faults),
+        ),
+        key=key,
+    )
+
+
+def derived_task(
+    graph: TaskGraph,
+    name: str,
+    fn: Callable[..., Any],
+    deps: Sequence[str],
+    args: Sequence[Any] = (),
+) -> Task:
+    """A derived cell: combines upstream results, never cached.
+
+    Derived cells (table rows, availability compositions) are cheap
+    arithmetic over their dependencies, so they re-run every time rather
+    than carrying a key that would have to hash upstream values.
+    """
+    return graph.add(name, fn, args=tuple(args), deps=tuple(deps))

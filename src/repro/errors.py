@@ -19,6 +19,7 @@ __all__ = [
     "CancelledError",
     "DeadlineExceededError",
     "ResumeError",
+    "EngineError",
 ]
 
 
@@ -97,4 +98,14 @@ class ResumeError(ReproError):
     Raised when a journal file is corrupt beyond its final record, was
     written by an incompatible schema version, or does not match the
     model/configuration it is being resumed against.
+    """
+
+
+class EngineError(ReproError):
+    """The batch evaluation engine was misused or failed structurally.
+
+    Raised for task-graph defects (cycles, unknown dependencies,
+    duplicate task names), cache-key specs containing unhashable value
+    types, and work functions that cannot be shipped to a process-pool
+    worker (unpicklable closures/lambdas with ``workers > 1``).
     """

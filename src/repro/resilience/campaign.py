@@ -206,6 +206,20 @@ def _beat(
         ))
 
 
+def _replication_payload(payload) -> EndToEndResult:
+    """Engine work function for one replication (module-level: picklable).
+
+    Cancellation is handled by the parent between completions, not
+    inside workers, so parallel cancellation has replication
+    granularity.
+    """
+    model, user_class, scenario, horizon, stream, default_repair_rate = payload
+    return _run_replication(
+        model, user_class, scenario, horizon, stream,
+        default_repair_rate, None,
+    )
+
+
 def run_campaign(
     model: HierarchicalModel,
     user_class: UserClass,
@@ -218,6 +232,7 @@ def run_campaign(
     journal: Optional[JournalLike] = None,
     heartbeat: Optional[HeartbeatCallback] = None,
     journal_meta: Optional[dict] = None,
+    workers: int = 1,
 ) -> CampaignResult:
     """Run one fault-injection campaign.
 
@@ -257,6 +272,15 @@ def run_campaign(
         Free-form JSON-serializable dict stored in the
         ``campaign_start`` record; the CLI stashes what it needs to
         rebuild the model on ``repro resume``.
+    workers:
+        Worker processes for the replications (default 1 = in-process).
+        Because replication ``i`` always draws from its own spawned
+        stream, the parallel result is **bit-identical** to the serial
+        one; results are assembled by replication index, and the journal
+        records each replication as it completes (indices may land out
+        of order — resume handles that).  With ``workers > 1``,
+        cancellation takes effect between replication completions rather
+        than inside a replication.
 
     Examples
     --------
@@ -269,6 +293,7 @@ def run_campaign(
     """
     horizon = check_positive(horizon, "horizon")
     replications = check_positive_int(replications, "replications")
+    workers = check_positive_int(workers, "workers")
     check_rate(default_repair_rate, "default_repair_rate")
     if scenario is None:
         scenario = NullScenario()
@@ -307,22 +332,50 @@ def run_campaign(
         _beat(heartbeat, phase, 0, replications, "starting")
         streams = np.random.SeedSequence(seed).spawn(replications)
         results: List[EndToEndResult] = []
-        for index, stream in enumerate(streams):
-            if cancellation is not None:
-                cancellation.check()
-            result = _run_replication(
-                model, user_class, scenario, horizon, stream,
-                default_repair_rate, cancellation,
-            )
-            results.append(result)
-            if journal is not None:
-                journal.append(
-                    "replication", **_replication_record(index, result)
+        if workers == 1 or replications == 1:
+            for index, stream in enumerate(streams):
+                if cancellation is not None:
+                    cancellation.check()
+                result = _run_replication(
+                    model, user_class, scenario, horizon, stream,
+                    default_repair_rate, cancellation,
                 )
-            _beat(
-                heartbeat, phase, index + 1, replications,
-                f"A={result.average_user_availability:.6f}",
-            )
+                results.append(result)
+                if journal is not None:
+                    journal.append(
+                        "replication", **_replication_record(index, result)
+                    )
+                _beat(
+                    heartbeat, phase, index + 1, replications,
+                    f"A={result.average_user_availability:.6f}",
+                )
+        else:
+            from ..engine import EvaluationEngine
+
+            completed_count = 0
+
+            def _on_result(index: int, result: EndToEndResult) -> None:
+                nonlocal completed_count
+                completed_count += 1
+                if journal is not None:
+                    journal.append(
+                        "replication", **_replication_record(index, result)
+                    )
+                _beat(
+                    heartbeat, phase, completed_count, replications,
+                    f"A={result.average_user_availability:.6f}",
+                )
+
+            payloads = [
+                (model, user_class, scenario, horizon, stream,
+                 default_repair_rate)
+                for stream in streams
+            ]
+            batch = EvaluationEngine(
+                workers=workers, cancellation=cancellation
+            ).map(_replication_payload, payloads, phase=phase,
+                  on_result=_on_result)
+            results = list(batch.outputs)
         campaign = CampaignResult(
             user_class=user_class.name,
             scenario=scenario.name,
@@ -488,13 +541,15 @@ def run_campaigns(
     default_repair_rate: float = 1.0,
     cancellation: Optional[CancellationToken] = None,
     heartbeat: Optional[HeartbeatCallback] = None,
+    workers: int = 1,
 ) -> List[CampaignResult]:
     """The full campaign grid: every user class under every scenario.
 
     Seeds are varied per cell so campaigns never share streams, while
     the grid remains reproducible from the single *seed*.  The
     cancellation token and heartbeat are shared across cells (one
-    deadline bounds the whole grid).
+    deadline bounds the whole grid); *workers* parallelizes the
+    replications within each cell.
     """
     results: List[CampaignResult] = []
     for c, user_class in enumerate(user_classes):
@@ -510,6 +565,7 @@ def run_campaigns(
                     default_repair_rate=default_repair_rate,
                     cancellation=cancellation,
                     heartbeat=heartbeat,
+                    workers=workers,
                 )
             )
     return results

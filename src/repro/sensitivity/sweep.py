@@ -1,11 +1,25 @@
-"""Parameter sweeps over model evaluation functions."""
+"""Parameter sweeps over model evaluation functions.
+
+Both :func:`sweep` and :func:`grid_sweep` evaluate point by point in a
+plain Python loop by default.  Passing an
+:class:`~repro.engine.EvaluationEngine` routes the evaluations through
+the batch engine instead — parallel across points when the engine has
+workers, memoized when cache *keys* are supplied — without changing a
+single output bit: results are assembled in sweep order regardless of
+completion order, and the serial engine backend is the reference the
+parallel one is tested against.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple
 
+from .._validation import check_non_negative
 from ..errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..engine import EvaluationEngine
 
 __all__ = ["sweep", "grid_sweep", "SweepResult", "GridSweepResult"]
 
@@ -37,19 +51,47 @@ class SweepResult:
         chooser = max if maximize else min
         return chooser(self.as_pairs(), key=lambda pair: pair[1])
 
-    def first_crossing(self, threshold: float, above: bool = True) -> Tuple[float, float]:
+    def first_crossing(
+        self, threshold: float, above: bool = True, tol: float = 0.0
+    ) -> Tuple[float, float]:
         """First (value, output) whose output crosses *threshold*.
 
         Used for design questions like "how many web servers to reach an
         unavailability below 5 minutes per year?".
 
+        The scan runs strictly in evaluation order and returns the
+        *first* point satisfying the predicate, so for non-monotone
+        outputs the answer is deterministic (earlier crossings win, even
+        when the output later un-crosses).
+
+        Parameters
+        ----------
+        threshold:
+            The output level to cross.
+        above:
+            When True (default) find ``output >= threshold - tol``;
+            otherwise ``output <= threshold + tol``.
+        tol:
+            Non-negative absolute tolerance.  An output within *tol* of
+            the threshold counts as crossed on either side — use it when
+            outputs land *exactly on* the threshold up to floating-point
+            rounding, where a last-ulp platform difference would
+            otherwise flip the answer between adjacent swept values.
+
         Raises
         ------
         ValidationError
-            If no swept point crosses the threshold.
+            If no swept point crosses the threshold, or *tol* is
+            negative.
         """
+        tol = check_non_negative(tol, "tol")
         for value, output in self.as_pairs():
-            if (output >= threshold) if above else (output <= threshold):
+            crossed = (
+                output >= threshold - tol
+                if above
+                else output <= threshold + tol
+            )
+            if crossed:
                 return value, output
         side = ">=" if above else "<="
         raise ValidationError(
@@ -93,12 +135,49 @@ class GridSweepResult:
         )
 
 
+class _GridCell:
+    """Picklable adapter turning ``fn(r, c)`` into ``fn(pair)``.
+
+    A module-level class (rather than a closure) so grid sweeps can ship
+    their model function to process-pool workers.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[float, float], float]):
+        self.fn = fn
+
+    def __call__(self, pair: Tuple[float, float]) -> float:
+        return float(self.fn(*pair))
+
+
 def sweep(
     model: Callable[[float], float],
     parameter: str,
     values: Iterable[float],
+    engine: Optional["EvaluationEngine"] = None,
+    keys: Optional[Sequence[Optional[str]]] = None,
+    journal=None,
 ) -> SweepResult:
     """Evaluate ``model(value)`` over *values*.
+
+    Parameters
+    ----------
+    model / parameter / values:
+        The function to evaluate, the swept parameter's name, and the
+        points to evaluate it at.
+    engine:
+        Optional :class:`~repro.engine.EvaluationEngine`; evaluations
+        run through it (parallel and/or memoized) with outputs in sweep
+        order — bit-identical to the default in-process loop.
+    keys:
+        Optional per-value content-addressed cache keys (see
+        :func:`repro.engine.canonical_key`); only meaningful with an
+        engine.
+    journal:
+        Optional journal (or path) passed to the engine: completed
+        points are durably recorded and an interrupted sweep resumes
+        when re-run over the same journal.  Requires *engine*.
 
     Examples
     --------
@@ -109,7 +188,16 @@ def sweep(
     values = tuple(values)
     if not values:
         raise ValidationError("sweep needs at least one value")
-    outputs = tuple(float(model(v)) for v in values)
+    if engine is None:
+        if journal is not None:
+            raise ValidationError("a journaled sweep needs an engine")
+        outputs = tuple(float(model(v)) for v in values)
+    else:
+        batch = engine.map(
+            model, values, keys=keys, phase=f"sweep {parameter}",
+            journal=journal,
+        )
+        outputs = tuple(float(output) for output in batch.outputs)
     return SweepResult(parameter=parameter, values=values, outputs=outputs)
 
 
@@ -119,19 +207,56 @@ def grid_sweep(
     row_values: Iterable[float],
     column_parameter: str,
     column_values: Iterable[float],
+    engine: Optional["EvaluationEngine"] = None,
+    keys: Optional[Sequence[Optional[str]]] = None,
+    journal=None,
 ) -> GridSweepResult:
     """Evaluate ``model(row_value, column_value)`` over a grid.
 
     The Fig. 11/12 studies are grid sweeps: failure rate x number of
     servers, one curve per row.
+
+    Parameters
+    ----------
+    engine:
+        Optional :class:`~repro.engine.EvaluationEngine`; grid cells
+        are evaluated through it as one flat batch (row-major order).
+    keys:
+        Optional per-cell cache keys, row-major, matching the flattened
+        grid.
+    journal:
+        Optional journal (or path) passed to the engine; an interrupted
+        grid resumes when re-run over the same journal.  Requires
+        *engine*.
     """
     row_values = tuple(row_values)
     column_values = tuple(column_values)
     if not row_values or not column_values:
         raise ValidationError("grid sweep needs at least one value per axis")
-    outputs = tuple(
-        tuple(float(model(r, c)) for c in column_values) for r in row_values
-    )
+    if engine is None:
+        if journal is not None:
+            raise ValidationError("a journaled sweep needs an engine")
+        outputs = tuple(
+            tuple(float(model(r, c)) for c in column_values)
+            for r in row_values
+        )
+    else:
+        cells = [(r, c) for r in row_values for c in column_values]
+        batch = engine.map(
+            _GridCell(model),
+            cells,
+            keys=keys,
+            phase=f"grid {row_parameter} x {column_parameter}",
+            journal=journal,
+        )
+        columns = len(column_values)
+        outputs = tuple(
+            tuple(
+                float(output)
+                for output in batch.outputs[i * columns:(i + 1) * columns]
+            )
+            for i in range(len(row_values))
+        )
     return GridSweepResult(
         row_parameter=row_parameter,
         column_parameter=column_parameter,

@@ -9,7 +9,7 @@ the paper's methodology.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from ..profiles import UserClass
 from ..reporting import format_downtime, format_table
@@ -17,7 +17,16 @@ from .economics import RevenueModel
 from .model import TravelAgencyModel
 from .userclasses import CLASS_A, CLASS_B, FUNCTIONS
 
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..engine import EvaluationEngine
+
 __all__ = ["availability_report"]
+
+
+def _user_level_cell(payload):
+    """Engine work function for one user-class evaluation (picklable)."""
+    model, users = payload
+    return model.user_availability(users), model.category_breakdown(users)
 
 
 def availability_report(
@@ -25,6 +34,7 @@ def availability_report(
     user_classes: Iterable[UserClass] = (CLASS_A, CLASS_B),
     session_rate: float = 100.0,
     average_revenue: float = 100.0,
+    engine: Optional["EvaluationEngine"] = None,
 ) -> str:
     """Render the full evaluation as a text document.
 
@@ -37,9 +47,39 @@ def availability_report(
     session_rate / average_revenue:
         Economics assumptions for the lost-revenue section (the paper
         uses 100 sessions/s and $100 per completed payment session).
+    engine:
+        Optional :class:`~repro.engine.EvaluationEngine`; the per-class
+        user-level evaluations (the expensive cells of the report) run
+        through it as one batch — in parallel across classes when the
+        engine has workers — with rendered output identical to the
+        serial path.
     """
     user_classes = list(user_classes)
     sections: List[str] = []
+
+    if engine is not None:
+        cells = engine.map(
+            _user_level_cell,
+            [(model, users) for users in user_classes],
+            phase="ta-report",
+        ).outputs
+        user_results = {
+            users.name: cell[0]
+            for users, cell in zip(user_classes, cells)
+        }
+        breakdowns = {
+            users.name: cell[1]
+            for users, cell in zip(user_classes, cells)
+        }
+    else:
+        user_results = {
+            users.name: model.user_availability(users)
+            for users in user_classes
+        }
+        breakdowns = {
+            users.name: model.category_breakdown(users)
+            for users in user_classes
+        }
 
     header = (
         f"USER-PERCEIVED AVAILABILITY REPORT\n"
@@ -53,10 +93,9 @@ def availability_report(
 
     # --- user level ----------------------------------------------------
     rows = []
-    results = {}
+    results = user_results
     for users in user_classes:
-        result = model.user_availability(users)
-        results[users.name] = result
+        result = results[users.name]
         rows.append([
             users.name,
             f"{result.availability:.5f}",
@@ -72,7 +111,7 @@ def availability_report(
     # --- category breakdown ---------------------------------------------
     rows = []
     for users in user_classes:
-        breakdown = model.category_breakdown(users)
+        breakdown = breakdowns[users.name]
         for category in sorted(breakdown):
             rows.append([
                 users.name, category,

@@ -1,0 +1,199 @@
+"""Tests for content-addressed cache keys and the memo cache."""
+
+import numpy as np
+import pytest
+
+from repro.engine import MemoCache, canonical_key
+from repro.errors import EngineError
+
+
+def generator_matrix():
+    """A small CTMC generator (2-server farm, lambda=0.01, mu=1)."""
+    return np.array([
+        [-0.02, 0.02, 0.0],
+        [1.0, -1.01, 0.01],
+        [0.0, 1.0, -1.0],
+    ])
+
+
+class TestCanonicalKey:
+    def test_deterministic(self):
+        a = canonical_key("demo", load=0.5, servers=4, capacity=10)
+        b = canonical_key("demo", load=0.5, servers=4, capacity=10)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_keyword_order_irrelevant(self):
+        a = canonical_key("demo", load=0.5, servers=4)
+        b = canonical_key("demo", servers=4, load=0.5)
+        assert a == b
+
+    def test_kind_namespaces_computations(self):
+        a = canonical_key("ctmc-steady-state", x=1.0)
+        b = canonical_key("mmck-blocking", x=1.0)
+        assert a != b
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(EngineError):
+            canonical_key("", x=1.0)
+
+    def test_any_generator_entry_changes_key(self):
+        """Perturbing any single matrix entry must change the key."""
+        base = generator_matrix()
+        reference = canonical_key("ctmc", generator=base)
+        for i in range(base.shape[0]):
+            for j in range(base.shape[1]):
+                perturbed = base.copy()
+                perturbed[i, j] += 1e-12
+                assert canonical_key("ctmc", generator=perturbed) != reference
+
+    def test_every_queue_param_changes_key(self):
+        base = dict(arrival_rate=100.0, service_rate=100.0,
+                    servers=4, capacity=10)
+        reference = canonical_key("mmck", **base)
+        for name, bumped in [
+            ("arrival_rate", 100.0 + 1e-9),
+            ("service_rate", 100.0 - 1e-9),
+            ("servers", 5),
+            ("capacity", 11),
+        ]:
+            changed = dict(base, **{name: bumped})
+            assert canonical_key("mmck", **changed) != reference
+
+    def test_floats_hash_by_bit_pattern(self):
+        assert canonical_key("f", x=0.0) != canonical_key("f", x=-0.0)
+        assert (canonical_key("f", x=1.0)
+                != canonical_key("f", x=1.0 + 2.0 ** -52))
+
+    def test_scalar_types_do_not_collide(self):
+        keys = {
+            canonical_key("t", x=1),
+            canonical_key("t", x=1.0),
+            canonical_key("t", x=True),
+            canonical_key("t", x="1"),
+            canonical_key("t", x=None),
+        }
+        assert len(keys) == 5
+
+    def test_array_shape_and_dtype_matter(self):
+        flat = np.arange(6, dtype=float)
+        assert (canonical_key("a", x=flat)
+                != canonical_key("a", x=flat.reshape(2, 3)))
+        assert (canonical_key("a", x=flat)
+                != canonical_key("a", x=flat.astype(np.float32)))
+
+    def test_containers_are_type_tagged(self):
+        assert (canonical_key("c", x=(1, 2))
+                == canonical_key("c", x=[1, 2]))  # both sequence-tagged
+        assert canonical_key("c", x=(1, 2)) != canonical_key("c", x="12")
+
+    def test_mapping_iteration_order_irrelevant(self):
+        a = canonical_key("m", params={"lam": 0.01, "mu": 1.0})
+        b = canonical_key("m", params={"mu": 1.0, "lam": 0.01})
+        assert a == b
+
+    def test_set_iteration_order_irrelevant(self):
+        a = canonical_key("s", members=frozenset({"web-1", "web-2", "db"}))
+        b = canonical_key("s", members=frozenset({"db", "web-2", "web-1"}))
+        assert a == b
+        assert a != canonical_key("s", members=frozenset({"web-1", "db"}))
+
+    def test_unsupported_type_raises_instead_of_guessing(self):
+        with pytest.raises(EngineError, match="canonical cache key"):
+            canonical_key("bad", x=object())
+
+
+class TestMemoCache:
+    def test_hit_returns_the_stored_value(self):
+        cache = MemoCache()
+        key = canonical_key("demo", x=1.0)
+        hit, _ = cache.lookup(key)
+        assert not hit
+        cache.put(key, (1.0, 2.0, 3.0))
+        hit, value = cache.lookup(key)
+        assert hit
+        assert value == (1.0, 2.0, 3.0)
+
+    def test_cached_none_is_a_hit(self):
+        cache = MemoCache()
+        key = canonical_key("demo", x=2.0)
+        cache.put(key, None)
+        hit, value = cache.lookup(key)
+        assert hit and value is None
+        assert cache.get(key, default="fallback") is None
+
+    def test_stats_reconcile(self):
+        cache = MemoCache()
+        keys = [canonical_key("demo", x=float(i)) for i in range(4)]
+        for key in keys:
+            cache.lookup(key)            # 4 misses
+        for key in keys[:2]:
+            cache.put(key, 0.0)
+        for key in keys:
+            cache.lookup(key)            # 2 hits, 2 misses
+        stats = cache.stats
+        assert stats.lookups == 8
+        assert stats.hits == 2
+        assert stats.misses == 6
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.memory_hits + stats.disk_hits == stats.hits
+        assert stats.consistent
+
+    def test_hit_rate(self):
+        cache = MemoCache()
+        assert np.isnan(cache.stats.hit_rate)
+        key = canonical_key("demo", x=0.0)
+        cache.put(key, 1.0)
+        cache.lookup(key)
+        assert cache.stats.hit_rate == 1.0
+
+    def test_lru_eviction(self):
+        cache = MemoCache(maxsize=2)
+        k1, k2, k3 = (canonical_key("demo", x=i) for i in range(3))
+        cache.put(k1, 1)
+        cache.put(k2, 2)
+        cache.get(k1)          # k1 is now most recently used
+        cache.put(k3, 3)       # evicts k2, the least recently used
+        assert k1 in cache and k3 in cache
+        assert k2 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_disk_store_survives_a_fresh_cache(self, tmp_path):
+        first = MemoCache(cache_dir=tmp_path)
+        key = canonical_key("demo", x=3.0)
+        first.put(key, {"value": 42.0})
+
+        second = MemoCache(cache_dir=tmp_path)
+        hit, value = second.lookup(key)
+        assert hit
+        assert value == {"value": 42.0}
+        assert second.stats.disk_hits == 1
+        # Promoted to memory: the next lookup does not touch disk again.
+        second.lookup(key)
+        assert second.stats.memory_hits == 1
+
+    def test_torn_disk_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache = MemoCache(cache_dir=tmp_path)
+        key = canonical_key("demo", x=4.0)
+        cache.put(key, 1.0)
+        path = tmp_path / key[:2] / f"{key}.pkl"
+        path.write_bytes(b"\x80 torn")
+        fresh = MemoCache(cache_dir=tmp_path)
+        hit, _ = fresh.lookup(key)
+        assert not hit
+        assert fresh.stats.consistent
+
+    def test_clear_drops_memory_but_not_disk(self, tmp_path):
+        cache = MemoCache(cache_dir=tmp_path)
+        key = canonical_key("demo", x=5.0)
+        cache.put(key, 7.0)
+        cache.clear()
+        assert len(cache) == 0
+        hit, value = cache.lookup(key)   # served from disk
+        assert hit and value == 7.0
+
+    def test_clear_statistics_resets_counters(self):
+        cache = MemoCache()
+        cache.lookup(canonical_key("demo", x=0.0))
+        cache.clear(statistics=True)
+        assert cache.stats == type(cache.stats)()

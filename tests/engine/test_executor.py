@@ -1,0 +1,223 @@
+"""Tests for the batch evaluation engine's executor.
+
+The serial backend (``workers=1``) is the reference implementation;
+every parallel/cached/resumed path must reproduce it bit for bit.
+"""
+
+import math
+
+import pytest
+
+from repro.engine import EvaluationEngine, MemoCache, canonical_key
+from repro.errors import CancelledError, EngineError, ResumeError
+from repro.runtime import read_journal
+
+
+def _cube(x):
+    """Module-level so process-pool workers can unpickle it."""
+    return x ** 3
+
+
+def _blocking(spec):
+    lam, nw = spec
+    from repro.availability import WebServiceModel
+
+    return WebServiceModel(
+        servers=int(nw), arrival_rate=100.0, service_rate=100.0,
+        buffer_capacity=10, failure_rate=lam, repair_rate=1.0,
+    ).unavailability()
+
+
+def _keys(items):
+    return [canonical_key("cube", x=float(x)) for x in items]
+
+
+class TestSerialMap:
+    def test_outputs_follow_input_order(self):
+        result = EvaluationEngine().map(_cube, [3.0, 1.0, 2.0])
+        assert result.outputs == (27.0, 1.0, 8.0)
+        assert result.executed == 3
+        assert result.restored == 0
+        assert result.workers == 1
+
+    def test_key_count_mismatch_rejected(self):
+        with pytest.raises(EngineError, match="cache keys"):
+            EvaluationEngine().map(_cube, [1.0, 2.0], keys=["only-one"])
+
+    def test_closures_are_fine_serially(self):
+        result = EvaluationEngine().map(lambda x: x + 1, [1, 2])
+        assert result.outputs == (2, 3)
+
+    def test_on_result_sees_computed_tasks_only(self):
+        engine = EvaluationEngine()
+        items = [1.0, 2.0]
+        engine.map(_cube, items, keys=_keys(items))
+        seen = []
+        engine.map(_cube, items, keys=_keys(items),
+                   on_result=lambda i, v: seen.append((i, v)))
+        assert seen == []  # everything was a cache hit
+
+
+class TestParallelMap:
+    def test_bit_identical_to_serial(self):
+        items = [(lam, nw) for lam in (1e-2, 1e-4) for nw in range(1, 5)]
+        serial = EvaluationEngine(workers=1).map(_blocking, items)
+        parallel = EvaluationEngine(workers=2).map(_blocking, items)
+        # == on floats: bit-identity, not approximate agreement.
+        assert parallel.outputs == serial.outputs
+        assert parallel.workers == 2
+
+    def test_unpicklable_work_function_is_an_engine_error(self):
+        with pytest.raises(EngineError, match="worker processes"):
+            EvaluationEngine(workers=2).map(lambda x: x, [1, 2, 3])
+
+    def test_single_pending_task_stays_in_process(self):
+        # One pending task never pays for a pool — closures still work.
+        engine = EvaluationEngine(workers=4)
+        assert engine.map(lambda x: -x, [5.0]).outputs == (-5.0,)
+
+
+class TestCaching:
+    def test_warm_rerun_skips_every_solver_call(self):
+        engine = EvaluationEngine()
+        items = [1.0, 2.0, 3.0, 4.0, 5.0]
+        cold = engine.map(_cube, items, keys=_keys(items))
+        assert cold.executed == 5
+        assert cold.cache_stats.misses == 5
+
+        warm = engine.map(_cube, items, keys=_keys(items))
+        assert warm.outputs == cold.outputs
+        assert warm.executed == 0              # no solver calls at all
+        assert warm.cache_stats.hits == 5
+        assert warm.cache_stats.hit_rate == 1.0
+
+    def test_key_change_forces_recomputation(self):
+        engine = EvaluationEngine()
+        items = [1.0, 2.0]
+        engine.map(_cube, items, keys=_keys(items))
+        changed = [canonical_key("cube", x=float(x), capacity=11)
+                   for x in items]
+        again = engine.map(_cube, items, keys=changed)
+        assert again.executed == 2
+        assert again.cache_stats.hits == 0
+
+    def test_disk_cache_shared_across_engines(self, tmp_path):
+        items = [1.0, 2.0, 3.0]
+        first = EvaluationEngine(cache_dir=tmp_path)
+        cold = first.map(_cube, items, keys=_keys(items))
+
+        second = EvaluationEngine(cache_dir=tmp_path)
+        warm = second.map(_cube, items, keys=_keys(items))
+        assert warm.outputs == cold.outputs
+        assert warm.executed == 0
+        assert warm.cache_stats.disk_hits == 3
+
+    def test_cache_stats_are_per_run_deltas(self):
+        engine = EvaluationEngine()
+        items = [1.0]
+        engine.map(_cube, items, keys=_keys(items))
+        second = engine.map(_cube, items, keys=_keys(items))
+        assert second.cache_stats.lookups == 1  # not cumulative
+
+    def test_prebuilt_cache_and_cache_dir_conflict(self, tmp_path):
+        with pytest.raises(EngineError, match="not both"):
+            EvaluationEngine(cache=MemoCache(), cache_dir=tmp_path)
+
+
+class TestCancellation:
+    def test_cancelled_before_dispatch(self):
+        from repro.runtime import Budget
+
+        budget = Budget(wall_clock=1e-9).start()
+        engine = EvaluationEngine(cancellation=budget)
+        with pytest.raises(CancelledError):
+            engine.map(_cube, [1.0, 2.0])
+
+
+class TestJournalResume:
+    def test_journaled_batch_resumes_bit_identically(self, tmp_path):
+        items = [1.0, 2.0, 3.0, 4.0]
+        reference = EvaluationEngine().map(_cube, items, keys=_keys(items))
+
+        # Seed a partial journal: the batch header plus two results.
+        from repro.runtime import Journal
+
+        path = tmp_path / "batch.jsonl"
+        with Journal(path) as journal:
+            journal.append("batch_start", phase="batch", total=4)
+            for index in (0, 2):
+                journal.append("task_result", index=index,
+                               key=_keys(items)[index],
+                               value=reference.outputs[index])
+
+        resumed = EvaluationEngine().map(
+            _cube, items, keys=_keys(items), journal=path
+        )
+        assert resumed.outputs == reference.outputs
+        assert resumed.restored == 2
+        assert resumed.executed == 2
+        kinds = [r["kind"] for r in read_journal(path)]
+        assert kinds.count("task_result") == 4
+        assert kinds[-1] == "batch_end"
+
+    def test_completed_journal_recomputes_nothing(self, tmp_path):
+        items = [1.0, 2.0]
+        path = tmp_path / "batch.jsonl"
+        first = EvaluationEngine().map(_cube, items, journal=path)
+        replay = EvaluationEngine().map(_cube, items, journal=path)
+        assert replay.outputs == first.outputs
+        assert replay.restored == 2
+        assert replay.executed == 0
+
+    def test_mismatched_journal_rejected(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        EvaluationEngine().map(_cube, [1.0, 2.0], journal=path)
+        with pytest.raises(ResumeError, match="not .* of"):
+            EvaluationEngine().map(_cube, [1.0, 2.0, 3.0], journal=path)
+
+    def test_changed_keys_rejected_on_resume(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        items = [1.0, 2.0]
+        EvaluationEngine().map(_cube, items, keys=_keys(items), journal=path)
+        changed = [canonical_key("cube", x=float(x), extra=1) for x in items]
+        with pytest.raises(ResumeError, match="different cache key"):
+            EvaluationEngine().map(_cube, items, keys=changed, journal=path)
+
+    def test_non_json_results_rejected_under_a_journal(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        with pytest.raises(EngineError, match="JSON"):
+            EvaluationEngine().map(
+                lambda x: {1, 2}, [0], journal=path
+            )
+
+
+class TestHeartbeat:
+    def test_one_event_per_completed_task(self):
+        events = []
+        engine = EvaluationEngine(heartbeat=events.append)
+        engine.map(_cube, [1.0, 2.0], phase="demo")
+        assert all(event.phase == "demo" for event in events)
+        assert events[-1].completed == 2
+        assert events[-1].total == 2
+
+
+class TestReportIntegration:
+    def test_report_is_identical_through_the_engine(self):
+        from repro.ta import TravelAgencyModel
+        from repro.ta.report import availability_report
+
+        model = TravelAgencyModel()
+        reference = availability_report(model)
+        engine = availability_report(model, engine=EvaluationEngine())
+        assert engine == reference
+
+    def test_report_is_identical_under_workers(self):
+        from repro.ta import TravelAgencyModel
+        from repro.ta.report import availability_report
+
+        model = TravelAgencyModel()
+        reference = availability_report(model)
+        parallel = availability_report(
+            model, engine=EvaluationEngine(workers=2)
+        )
+        assert parallel == reference

@@ -1,0 +1,107 @@
+"""Tests for the vectorized M/M/c/K batch kernel.
+
+The contract is *exact* parity: every grid entry must equal the scalar
+``mmck_blocking_probability`` bit for bit, because the engine's
+determinism guarantee (workers=N == workers=1) rests on it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.queueing import (
+    mm1k_blocking_probability,
+    mmck_blocking_grid,
+    mmck_blocking_grid_rates,
+    mmck_blocking_probability,
+)
+
+
+class TestExactParityWithScalar:
+    def test_fig11_grid_matches_scalar_bit_for_bit(self):
+        """The whole Fig. 11 operating range in one vectorized pass."""
+        loads = []
+        servers = []
+        for alpha in (0.5, 1.0, 1.5):
+            for c in range(1, 11):
+                loads.append(alpha)
+                servers.append(c)
+        loads = np.array(loads)
+        servers = np.array(servers)
+        capacity = np.full_like(servers, 10)
+
+        grid = mmck_blocking_grid(loads, servers, capacity)
+        for index in range(loads.size):
+            scalar = mmck_blocking_probability(
+                float(loads[index]), int(servers[index]), int(capacity[index])
+            )
+            assert grid[index] == scalar  # ==, not approx: bit-identity
+
+    def test_single_server_points_match_mm1k_exactly(self):
+        # c == 1 takes the closed-form M/M/1/K path; NumPy's SIMD pow
+        # differs from libm pow by an ulp, so parity here is the
+        # regression guard for the scalar fallback.
+        loads = np.array([0.1, 0.5, 0.9, 1.0, 1.5, 3.0])
+        grid = mmck_blocking_grid(loads, np.ones(6, dtype=int), 10)
+        for index, load in enumerate(loads):
+            assert grid[index] == mm1k_blocking_probability(float(load), 10)
+
+    def test_large_server_counts_survive_renormalization(self):
+        # Factorial-scale weights overflow float64 near c ~ 170; the
+        # kernel renormalizes mid-recurrence exactly like the scalar.
+        grid = mmck_blocking_grid([200.0], [500], [501])
+        scalar = mmck_blocking_probability(200.0, 500, 501)
+        assert grid[0] == scalar
+
+    @given(
+        st.floats(min_value=0.01, max_value=30.0, allow_nan=False),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_points_match_scalar(self, load, servers, extra):
+        capacity = servers + extra
+        grid = mmck_blocking_grid([load], [servers], [capacity])
+        assert grid[0] == mmck_blocking_probability(load, servers, capacity)
+
+
+class TestBroadcastingAndValidation:
+    def test_broadcasts_like_numpy(self):
+        loads = np.array([[0.5], [1.0]])          # (2, 1)
+        servers = np.array([1, 2, 3, 4])          # (4,)
+        grid = mmck_blocking_grid(loads, servers, 10)
+        assert grid.shape == (2, 4)
+        assert grid[1, 2] == mmck_blocking_probability(1.0, 3, 10)
+
+    def test_scalar_inputs_give_a_zero_dim_array(self):
+        grid = mmck_blocking_grid(0.5, 2, 10)
+        assert grid.shape == ()
+        assert float(grid) == mmck_blocking_probability(0.5, 2, 10)
+
+    def test_capacity_below_servers_rejected(self):
+        with pytest.raises(ValidationError):
+            mmck_blocking_grid([1.0], [4], [3])
+
+    def test_non_positive_load_rejected(self):
+        with pytest.raises(ValidationError):
+            mmck_blocking_grid([0.0], [1], [10])
+
+    def test_non_positive_servers_rejected(self):
+        with pytest.raises(ValidationError):
+            mmck_blocking_grid([1.0], [0], [10])
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ValidationError):
+            mmck_blocking_grid([1.0, 2.0], [1, 2, 3], 10)
+
+
+class TestRatesWrapper:
+    def test_rates_divide_to_offered_load(self):
+        grid = mmck_blocking_grid_rates([100.0], [100.0], [4], [10])
+        assert grid[0] == mmck_blocking_probability(1.0, 4, 10)
+
+    def test_non_positive_service_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            mmck_blocking_grid_rates([100.0], [0.0], [4], [10])

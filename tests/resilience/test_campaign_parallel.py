@@ -1,0 +1,84 @@
+"""Parallel fault-injection campaigns must be bit-identical to serial.
+
+Replications already draw from per-replication ``SeedSequence`` streams,
+so distributing them over worker processes must not change a single
+drawn number; the engine assembles results by replication index.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.resilience import RecurrentOutage, run_campaign
+from repro.ta import CLASS_A, CLASS_B, TravelAgencyModel
+
+TA = TravelAgencyModel()
+
+
+def _campaign(workers, **overrides):
+    kwargs = dict(horizon=400.0, replications=3, seed=7, workers=workers)
+    kwargs.update(overrides)
+    return run_campaign(TA.hierarchical_model, CLASS_A, **kwargs)
+
+
+class TestParallelEqualsSerial:
+    def test_null_campaign_bit_identical(self):
+        serial = _campaign(workers=1)
+        parallel = _campaign(workers=2)
+        # Tuple equality over floats: bit-identity, not statistics.
+        assert parallel.values == serial.values
+        assert parallel.replications == serial.replications
+        assert parallel.scenario == serial.scenario
+
+    def test_fault_scenario_bit_identical(self):
+        scenario = RecurrentOutage(
+            frozenset({"lan-segment"}), episode_rate=0.02, mean_duration=5.0
+        )
+        serial = _campaign(workers=1, scenario=scenario)
+        parallel = _campaign(workers=2, scenario=scenario)
+        assert parallel.values == serial.values
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        replications=st.integers(min_value=2, max_value=4),
+        user_class=st.sampled_from([CLASS_A, CLASS_B]),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_property_any_seed_and_size(self, seed, replications, user_class):
+        kwargs = dict(horizon=250.0, replications=replications, seed=seed)
+        serial = run_campaign(
+            TA.hierarchical_model, user_class, workers=1, **kwargs
+        )
+        parallel = run_campaign(
+            TA.hierarchical_model, user_class, workers=2, **kwargs
+        )
+        assert parallel.values == serial.values
+
+    def test_more_workers_than_replications(self):
+        serial = _campaign(workers=1, replications=2)
+        parallel = _campaign(workers=8, replications=2)
+        assert parallel.values == serial.values
+
+
+class TestWorkersParameter:
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            _campaign(workers=0)
+
+    def test_single_replication_stays_serial(self):
+        # One replication cannot be parallelized; no pool is paid for.
+        serial = _campaign(workers=1, replications=1)
+        parallel = _campaign(workers=4, replications=1)
+        assert parallel.values == serial.values
+
+    def test_parallel_campaign_journals_every_replication(self, tmp_path):
+        from repro.runtime import read_journal
+
+        path = tmp_path / "campaign.jsonl"
+        result = _campaign(workers=2, journal=path)
+        records = read_journal(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "campaign_start"
+        assert kinds.count("replication") == len(result.replications)
+        assert kinds[-1] == "campaign_end"

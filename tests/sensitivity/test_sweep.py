@@ -37,6 +37,31 @@ class TestSweep:
         with pytest.raises(ValidationError, match="no swept value"):
             result.first_crossing(0.9, above=True)
 
+    def test_first_crossing_non_monotone_returns_earliest(self):
+        # Output dips back below the threshold after crossing; the scan
+        # must still deterministically return the *first* crossing.
+        outputs = {1: 0.2, 2: 0.8, 3: 0.4, 4: 0.9}
+        result = sweep(lambda x: outputs[x], "x", [1, 2, 3, 4])
+        value, output = result.first_crossing(0.7, above=True)
+        assert (value, output) == (2, 0.8)
+
+    def test_first_crossing_tolerance_catches_boundary_outputs(self):
+        # 0.1 + 0.2 lands an ulp above 0.3; without a tolerance the
+        # "below 0.3" crossing would skip to the next swept value.
+        result = sweep(lambda x: x, "x", [0.1 + 0.2, 0.25])
+        assert result.first_crossing(0.3, above=False)[0] == 0.25
+        value, _ = result.first_crossing(0.3, above=False, tol=1e-12)
+        assert value == 0.1 + 0.2
+
+    def test_first_crossing_tolerance_applies_above_too(self):
+        result = sweep(lambda x: x, "x", [0.95, 1.0])
+        assert result.first_crossing(0.96, above=True, tol=0.02)[0] == 0.95
+
+    def test_first_crossing_negative_tolerance_rejected(self):
+        result = sweep(lambda x: x, "x", [1.0])
+        with pytest.raises(ValidationError):
+            result.first_crossing(0.5, tol=-0.1)
+
     def test_paper_design_question(self):
         """How many web servers for < 5 min/year? (Section 5.1)"""
         from repro.availability import WebServiceModel
@@ -77,3 +102,65 @@ class TestGridSweep:
     def test_empty_axis_rejected(self):
         with pytest.raises(ValidationError):
             grid_sweep(lambda r, c: 0.0, "row", [], "col", [1])
+
+
+def _farm_unavailability(nw):
+    """Module-level so an engine with workers can pickle it."""
+    from repro.availability import WebServiceModel
+
+    return WebServiceModel(
+        servers=int(nw), arrival_rate=100.0, service_rate=100.0,
+        buffer_capacity=10, failure_rate=1e-3, repair_rate=1.0,
+    ).unavailability()
+
+
+def _product_cell(r, c):
+    return r * c
+
+
+class TestEngineBackedSweeps:
+    def test_sweep_through_engine_is_bit_identical(self):
+        from repro.engine import EvaluationEngine
+
+        values = range(1, 6)
+        reference = sweep(_farm_unavailability, "NW", values)
+        serial = sweep(_farm_unavailability, "NW", values,
+                       engine=EvaluationEngine())
+        parallel = sweep(_farm_unavailability, "NW", values,
+                         engine=EvaluationEngine(workers=2))
+        assert serial.outputs == reference.outputs
+        assert parallel.outputs == reference.outputs
+
+    def test_grid_sweep_through_engine_is_bit_identical(self):
+        from repro.engine import EvaluationEngine
+
+        reference = grid_sweep(
+            _product_cell, "row", [1.0, 2.0], "col", [3.0, 4.0, 5.0]
+        )
+        parallel = grid_sweep(
+            _product_cell, "row", [1.0, 2.0], "col", [3.0, 4.0, 5.0],
+            engine=EvaluationEngine(workers=2),
+        )
+        assert parallel.outputs == reference.outputs
+
+    def test_cached_sweep_skips_recomputation(self):
+        from repro.engine import EvaluationEngine, canonical_key
+
+        engine = EvaluationEngine()
+        values = (1, 2, 3)
+        keys = [canonical_key("farm", servers=int(v)) for v in values]
+        first = sweep(_farm_unavailability, "NW", values,
+                      engine=engine, keys=keys)
+        assert engine.cache.stats.misses == 3
+        second = sweep(_farm_unavailability, "NW", values,
+                       engine=engine, keys=keys)
+        assert second.outputs == first.outputs
+        assert engine.cache.stats.hits == 3
+
+    def test_journal_without_engine_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="needs an engine"):
+            sweep(_farm_unavailability, "NW", [1],
+                  journal=tmp_path / "j.jsonl")
+        with pytest.raises(ValidationError, match="needs an engine"):
+            grid_sweep(_product_cell, "r", [1], "c", [2],
+                       journal=tmp_path / "j.jsonl")

@@ -327,6 +327,81 @@ class TestRetriesCommand:
         assert "Traceback" not in err
 
 
+class TestSweepCommand:
+    def test_default_run_prints_fig11_table(self, capsys):
+        assert main(["sweep"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 11" in captured.out
+        assert "lambda=0.01/h" in captured.out
+        assert "engine: workers=1" in captured.err
+
+    def test_figure_12_uses_imperfect_coverage(self, capsys):
+        assert main(["sweep", "--figure", "12", "--servers-max", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage = 0.98" in out
+
+    def test_workers_do_not_change_the_table(self, capsys):
+        assert main(["sweep", "--servers-max", "6"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", "--servers-max", "6", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial  # byte-identical stdout
+
+    def test_warm_cache_rerun_recomputes_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["sweep", "--servers-max", "5", "--cache-dir", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "misses=15" in cold.err
+
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "hits=15" in warm.err
+        assert "misses=0" in warm.err
+        assert "hit-rate=100.0%" in warm.err
+
+    def test_journaled_sweep_resumes(self, tmp_path, capsys):
+        from repro.runtime import read_journal
+
+        path = tmp_path / "sweep.jsonl"
+        args = ["sweep", "--servers-max", "4", "--journal", str(path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        records = read_journal(path)
+        assert records[0]["kind"] == "batch_start"
+        assert [r["kind"] for r in records].count("task_result") == 12
+
+        # Re-running over the same journal restores every cell.
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "misses=0" in captured.err
+
+    def test_changed_spec_against_old_journal_is_a_one_line_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "--servers-max", "4",
+                     "--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--servers-max", "4", "--figure", "12",
+                     "--journal", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_invalid_workers_is_a_one_line_error(self, capsys):
+        assert main(["sweep", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_invalid_servers_max_is_a_one_line_error(self, capsys):
+        assert main(["sweep", "--servers-max", "-1"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

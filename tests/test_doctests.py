@@ -33,6 +33,9 @@ MODULES = [
     "repro.profiles.classes",
     "repro.profiles.graph",
     "repro.profiles.scenarios",
+    "repro.engine.cache",
+    "repro.engine.executor",
+    "repro.queueing.batch",
     "repro.queueing.erlang",
     "repro.queueing.mg1",
     "repro.queueing.mm1",
