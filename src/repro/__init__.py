@@ -44,6 +44,11 @@ Package map
     Fault-tolerant execution substrate: budgets/deadlines, cooperative
     cancellation, crash-consistent run journals, heartbeats, and
     journaled solver escalation.
+``repro.obs``
+    Observability: metrics registry with OpenMetrics exposition and
+    order-invariant merging, span tracing in Chrome trace-event format
+    with cross-process propagation, and a profiling harness — near-zero
+    overhead when disabled.
 ``repro.reporting``
     Downtime conversions and table formatting for the benches.
 """

@@ -37,10 +37,21 @@ Seven subcommands cover the common workflows without writing Python:
     bit-identical output, ``--cache-dir`` memoizes them across runs,
     and ``--journal`` makes an interrupted sweep resumable.
 
+``repro stats``
+    Merge and render metrics snapshots written by ``--metrics`` — as a
+    sorted table (default), OpenMetrics text, or JSON.
+
 Long runs are bounded and interruptible: ``inject`` and ``retries``
 take ``--deadline SECONDS`` (wall clock; exceeding it exits with code 2
 and, with ``--journal``, leaves a resumable journal) and ``--progress``
 (heartbeat lines on stderr).
+
+Long runs are also observable: ``sweep``/``inject``/``retries``/
+``resume`` take ``--metrics PATH`` (a :mod:`repro.obs` registry
+snapshot, rendered by ``repro stats``) and ``--trace PATH`` (a Chrome
+trace-event JSONL span timeline); both files are written even when a
+deadline aborts the run.  Instrumentation never changes stdout — a
+``--metrics``/``--trace`` run prints byte-identical results.
 
 Run ``python -m repro <command> --help`` for the options of each.
 Errors are reported as a one-line message with exit code 2; pass
@@ -227,6 +238,20 @@ def build_parser() -> argparse.ArgumentParser:
         "journal per-cell results to this JSONL file; re-running the "
         "same sweep over it resumes instead of recomputing"
     ))
+
+    stats = commands.add_parser(
+        "stats",
+        help="merge and render metrics files written by --metrics",
+    )
+    stats.add_argument(
+        "files", nargs="+", metavar="METRICS",
+        help="one or more --metrics JSON snapshots (merged by name)",
+    )
+    stats.add_argument(
+        "--format", choices=("table", "openmetrics", "json"),
+        default="table",
+        help="output format (default: a sorted fixed-width table)",
+    )
     return parser
 
 
@@ -242,6 +267,20 @@ def _add_runtime_flags(parser, journal: bool = True, journal_help: str = ""):
     parser.add_argument(
         "--progress", action="store_true",
         help="print heartbeat/liveness lines to stderr",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help=(
+            "write a metrics snapshot (JSON) of the run; render it with "
+            "`repro stats`"
+        ),
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "write a span timeline as Chrome trace-event JSONL "
+            "(chrome://tracing / Perfetto compatible)"
+        ),
     )
     if journal:
         parser.add_argument(
@@ -730,6 +769,68 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    import json
+
+    from .obs import MetricsRegistry, merge_registries
+
+    merged = merge_registries(
+        MetricsRegistry.load(path) for path in args.files
+    )
+    if args.format == "openmetrics":
+        print(merged.render_openmetrics())
+        return 0
+    if args.format == "json":
+        print(json.dumps(merged.to_dict(), indent=2))
+        return 0
+    rows = []
+    for metric in merged:
+        labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+        if metric.kind == "histogram":
+            mean = f"{metric.mean:.6g}" if metric.count else "n/a"
+            value = f"count={metric.count} sum={metric.sum:.6g} mean={mean}"
+        else:
+            value = f"{metric.value:g}"
+        rows.append([metric.name, labels, metric.kind, value])
+    print(format_table(
+        ["metric", "labels", "kind", "value"],
+        rows,
+        title=(
+            f"{len(args.files)} metrics file(s), {len(merged)} series"
+        ),
+    ))
+    return 0
+
+
+def _setup_instrumentation(args):
+    """Activate ambient metrics/tracing per --metrics/--trace.
+
+    Returns a finalizer that deactivates and writes the requested files.
+    ``main`` runs it in a ``finally`` so a deadline abort (exit 2) still
+    lands the partial metrics/trace on disk — the observability analogue
+    of the journal's crash-consistency contract.
+    """
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if metrics_path is None and trace_path is None:
+        return lambda: None
+
+    from .obs import Instrumentation, MetricsRegistry, Tracer, activate, deactivate
+
+    registry = MetricsRegistry() if metrics_path is not None else None
+    tracer = Tracer() if trace_path is not None else None
+    activate(Instrumentation(metrics=registry, tracer=tracer))
+
+    def finalize() -> None:
+        deactivate()
+        if registry is not None:
+            registry.save(metrics_path)
+        if tracer is not None:
+            tracer.export(trace_path)
+
+    return finalize
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -742,9 +843,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "retries": _cmd_retries,
         "resume": _cmd_resume,
         "sweep": _cmd_sweep,
+        "stats": _cmd_stats,
     }
     from .errors import ReproError
 
+    finalize = _setup_instrumentation(args)
     try:
         return handlers[args.command](args)
     except ReproError as exc:
@@ -752,6 +855,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        finalize()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import json
 import pickle
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -53,11 +53,17 @@ from typing import (
 
 from .._validation import check_positive_int
 from ..errors import EngineError, ResumeError
+from ..obs.clock import monotonic
+from ..obs.context import active_metrics, active_tracer
 from ..runtime.budget import CancellationToken
 from ..runtime.heartbeat import HeartbeatCallback, ProgressEvent
 from ..runtime.journal import Journal, read_journal
 from .cache import CacheStats, MemoCache
 from .tasks import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.tracing import Tracer
 
 __all__ = ["EvaluationEngine", "BatchResult", "GraphResult"]
 
@@ -127,6 +133,45 @@ class GraphResult:
         return self.values[name]
 
 
+def _obs_call(
+    ctx: Optional[Dict[str, Any]],
+    phase: str,
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+) -> Tuple[Any, Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Run one task in a worker under fresh ambient instrumentation.
+
+    The worker builds its own registry (merged back by name) and, when a
+    :class:`~repro.obs.SpanContext` dict is shipped, its own tracer whose
+    root span parents under the submitting span.  Returns
+    ``(value, metrics_snapshot, trace_payload)`` — the parent unwraps the
+    value before assembly, so instrumented parallel outputs stay
+    bit-identical to uninstrumented ones.
+    """
+    from ..obs.context import instrumented
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.tracing import SpanContext, Tracer
+
+    registry = MetricsRegistry()
+    tracer = (
+        Tracer(context=SpanContext.from_dict(ctx)) if ctx is not None else None
+    )
+    with instrumented(metrics=registry, tracer=tracer):
+        started = monotonic()
+        if tracer is not None:
+            with tracer.span("engine task", category="engine", phase=phase):
+                value = fn(*args)
+        else:
+            value = fn(*args)
+        registry.histogram(
+            "engine_task_seconds",
+            help="Wall-clock latency of engine-executed tasks.",
+            phase=phase,
+        ).observe(monotonic() - started)
+    payload = tracer.payload() if tracer is not None else None
+    return value, registry.to_dict(), payload
+
+
 def _json_safe(value: Any) -> Any:
     """Round-trip *value* through JSON, or raise EngineError."""
     try:
@@ -160,6 +205,18 @@ class EvaluationEngine:
         every dispatch and completion boundary.
     heartbeat:
         Optional progress callback (one event per completed task).
+    metrics / tracer:
+        Optional :class:`~repro.obs.MetricsRegistry` /
+        :class:`~repro.obs.Tracer`; each defaults to the ambient one
+        (:func:`repro.obs.active_metrics` / :func:`repro.obs.active_tracer`).
+        When present, the engine records per-phase task counts and
+        latency histograms, re-exposes the memo cache's per-run
+        hit/miss/eviction deltas as counters, and wraps every batch and
+        task in spans — worker-process spans reattach under the
+        submitting task's span, and worker registries merge back by
+        name.  Instrumentation never changes outputs: parallel
+        instrumented runs stay bit-identical to serial uninstrumented
+        ones.
 
     Examples
     --------
@@ -178,6 +235,8 @@ class EvaluationEngine:
         cache_size: int = 4096,
         cancellation: Optional[CancellationToken] = None,
         heartbeat: Optional[HeartbeatCallback] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
     ):
         self.workers = check_positive_int(workers, "workers")
         if cache is not None and cache_dir is not None:
@@ -191,6 +250,8 @@ class EvaluationEngine:
         )
         self.cancellation = cancellation
         self.heartbeat = heartbeat
+        self._metrics = metrics if metrics is not None else active_metrics()
+        self._tracer = tracer if tracer is not None else active_tracer()
 
     # ------------------------------------------------------------------
     def _check(self) -> None:
@@ -213,6 +274,91 @@ class EvaluationEngine:
                 f"({exc}); use a module-level function, or run with "
                 "workers=1"
             ) from exc
+
+    # -- instrumentation helpers ---------------------------------------
+    def _call_task(
+        self, fn: Callable[..., Any], args: Tuple[Any, ...], phase: str,
+        **attrs: Any,
+    ) -> Any:
+        """Run one task in-process, spanned and latency-timed."""
+        if self._metrics is None and self._tracer is None:
+            return fn(*args)
+        started = monotonic()
+        if self._tracer is not None:
+            with self._tracer.span(
+                "engine task", category="engine", phase=phase, **attrs
+            ):
+                value = fn(*args)
+        else:
+            value = fn(*args)
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "engine_task_seconds",
+                help="Wall-clock latency of engine-executed tasks.",
+                phase=phase,
+            ).observe(monotonic() - started)
+        return value
+
+    def _submit_instrumented(
+        self, pool: ProcessPoolExecutor, fn: Callable[..., Any],
+        args: Tuple[Any, ...], phase: str, **attrs: Any,
+    ):
+        """Submit a task wrapped in :func:`_obs_call`.
+
+        The submit span is recorded immediately (its duration is the
+        submission cost); the worker's spans parent under its id and are
+        re-based onto this timeline when the result is unwrapped.
+        """
+        if self._tracer is not None:
+            with self._tracer.span(
+                "engine submit", category="engine", phase=phase, **attrs
+            ):
+                ctx = self._tracer.context().as_dict()
+        else:
+            ctx = None
+        return pool.submit(_obs_call, ctx, phase, fn, args)
+
+    def _unwrap_instrumented(self, result: Tuple[Any, ...]) -> Any:
+        value, snapshot, payload = result
+        if self._metrics is not None:
+            self._metrics.merge_snapshot(snapshot)
+        if self._tracer is not None and payload is not None:
+            self._tracer.absorb(payload)
+        return value
+
+    def _record_run_metrics(
+        self, phase: str, total: int, executed: int, restored: int,
+        delta: CacheStats,
+    ) -> None:
+        if self._metrics is None:
+            return
+        m = self._metrics
+        m.counter(
+            "engine_tasks", help="Tasks submitted to the engine.", phase=phase,
+        ).inc(total)
+        m.counter(
+            "engine_tasks_executed",
+            help="Tasks actually computed (not cached or restored).",
+            phase=phase,
+        ).inc(executed)
+        m.counter(
+            "engine_tasks_restored",
+            help="Tasks restored from a resume journal.",
+            phase=phase,
+        ).inc(restored)
+        m.counter(
+            "engine_tasks_cached",
+            help="Tasks satisfied by the memo cache before dispatch.",
+            phase=phase,
+        ).inc(total - executed - restored)
+        for field in (
+            "lookups", "hits", "misses", "memory_hits", "disk_hits",
+            "stores", "evictions",
+        ):
+            m.counter(
+                f"engine_cache_{field}",
+                help=f"Memo-cache {field.replace('_', ' ')} across engine runs.",
+            ).inc(getattr(delta, field))
 
     # ------------------------------------------------------------------
     def map(
@@ -259,6 +405,20 @@ class EvaluationEngine:
         ResumeError
             When the journal does not match this batch.
         """
+        if self._tracer is None:
+            return self._map(fn, items, keys, phase, journal, on_result)
+        with self._tracer.span(f"map {phase}", category="engine"):
+            return self._map(fn, items, keys, phase, journal, on_result)
+
+    def _map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        keys: Optional[Sequence[Optional[str]]],
+        phase: str,
+        journal: Optional[JournalLike],
+        on_result: Optional[Callable[[int, Any], None]],
+    ) -> BatchResult:
         items = list(items)
         total = len(items)
         if keys is not None:
@@ -268,7 +428,7 @@ class EvaluationEngine:
                     f"got {len(keys)} cache keys for {total} items"
                 )
         before = self.cache.stats
-        started = time.monotonic()
+        started = monotonic()
 
         owns_journal = journal is not None and not isinstance(journal, Journal)
         restored: Dict[int, Any] = {}
@@ -325,9 +485,12 @@ class EvaluationEngine:
             if self.workers == 1 or len(pending) <= 1:
                 for index in pending:
                     self._check()
-                    complete(index, fn(items[index]))
+                    complete(
+                        index,
+                        self._call_task(fn, (items[index],), phase, index=index),
+                    )
             else:
-                self._map_parallel(fn, items, pending, complete)
+                self._map_parallel(fn, items, pending, complete, phase)
 
             if journal is not None and total and done == total:
                 # Idempotent end marker (skipped when resuming past one).
@@ -338,13 +501,15 @@ class EvaluationEngine:
             if owns_journal and journal is not None:
                 journal.close()
 
+        delta = _stats_delta(before, self.cache.stats)
+        self._record_run_metrics(phase, total, executed, len(restored), delta)
         return BatchResult(
             outputs=tuple(outputs),
-            cache_stats=_stats_delta(before, self.cache.stats),
+            cache_stats=delta,
             executed=executed,
             restored=len(restored),
             workers=self.workers,
-            elapsed=time.monotonic() - started,
+            elapsed=monotonic() - started,
         )
 
     def _map_parallel(
@@ -353,15 +518,23 @@ class EvaluationEngine:
         items: Sequence[Any],
         pending: Sequence[int],
         complete: Callable[[int, Any], None],
+        phase: str,
     ) -> None:
         self._require_picklable(fn)
+        instrument = self._metrics is not None or self._tracer is not None
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             try:
                 futures = {}
                 for index in pending:
                     self._check()
-                    futures[pool.submit(fn, items[index])] = index
+                    if instrument:
+                        future = self._submit_instrumented(
+                            pool, fn, (items[index],), phase, index=index
+                        )
+                    else:
+                        future = pool.submit(fn, items[index])
+                    futures[future] = index
                 outstanding = set(futures)
                 while outstanding:
                     self._check()
@@ -369,7 +542,10 @@ class EvaluationEngine:
                         outstanding, return_when=FIRST_COMPLETED
                     )
                     for future in finished:
-                        complete(futures[future], future.result())
+                        value = future.result()
+                        if instrument:
+                            value = self._unwrap_instrumented(value)
+                        complete(futures[future], value)
             except BaseException:
                 for future in futures:
                     future.cancel()
@@ -429,9 +605,15 @@ class EvaluationEngine:
             :meth:`~repro.engine.tasks.TaskGraph.topological_order`) or
             unpicklable task functions under a process pool.
         """
+        if self._tracer is None:
+            return self._run_graph(graph, phase)
+        with self._tracer.span(f"run_graph {phase}", category="engine"):
+            return self._run_graph(graph, phase)
+
+    def _run_graph(self, graph: TaskGraph, phase: str) -> GraphResult:
         order = graph.topological_order()
         before = self.cache.stats
-        started = time.monotonic()
+        started = monotonic()
         values: Dict[str, Any] = {}
         executed = 0
 
@@ -461,20 +643,25 @@ class EvaluationEngine:
                     self._beat(phase, len(values), len(order), name)
                     continue
                 executed += 1
-                finish(name, graph.task(name).fn(*call_args(name)))
+                finish(name, self._call_task(
+                    graph.task(name).fn, call_args(name), phase, task=name,
+                ))
         else:
             executed = self._run_graph_parallel(graph, order, resolve,
-                                                call_args, finish)
+                                                call_args, finish, phase)
 
+        delta = _stats_delta(before, self.cache.stats)
+        self._record_run_metrics(phase, len(order), executed, 0, delta)
         return GraphResult(
             values=values,
-            cache_stats=_stats_delta(before, self.cache.stats),
+            cache_stats=delta,
             executed=executed,
             workers=self.workers,
-            elapsed=time.monotonic() - started,
+            elapsed=monotonic() - started,
         )
 
-    def _run_graph_parallel(self, graph, order, resolve, call_args, finish):
+    def _run_graph_parallel(self, graph, order, resolve, call_args, finish,
+                            phase):
         waiting = {name: set(graph.task(name).deps) for name in order}
         executed = 0
         dependents: Dict[str, List[str]] = {name: [] for name in order}
@@ -482,6 +669,7 @@ class EvaluationEngine:
             for dep in graph.task(name).deps:
                 dependents[dep].append(name)
         done: set = set()
+        instrument = self._metrics is not None or self._tracer is not None
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures: Dict[Any, str] = {}
 
@@ -504,7 +692,13 @@ class EvaluationEngine:
                     return settle(name, value)
                 task = graph.task(name)
                 self._require_picklable(task.fn)
-                futures[pool.submit(task.fn, *call_args(name))] = name
+                if instrument:
+                    future = self._submit_instrumented(
+                        pool, task.fn, call_args(name), phase, task=name
+                    )
+                else:
+                    future = pool.submit(task.fn, *call_args(name))
+                futures[future] = name
                 return []
 
             try:
@@ -522,7 +716,10 @@ class EvaluationEngine:
                         for future in finished:
                             name = futures.pop(future)
                             executed += 1
-                            ready.extend(settle(name, future.result()))
+                            value = future.result()
+                            if instrument:
+                                value = self._unwrap_instrumented(value)
+                            ready.extend(settle(name, value))
             except BaseException:
                 for future in futures:
                     future.cancel()

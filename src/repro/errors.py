@@ -20,6 +20,7 @@ __all__ = [
     "DeadlineExceededError",
     "ResumeError",
     "EngineError",
+    "ObservabilityError",
 ]
 
 
@@ -108,4 +109,14 @@ class EngineError(ReproError):
     duplicate task names), cache-key specs containing unhashable value
     types, and work functions that cannot be shipped to a process-pool
     worker (unpicklable closures/lambdas with ``workers > 1``).
+    """
+
+
+class ObservabilityError(ReproError):
+    """The observability subsystem was misused or fed bad data.
+
+    Raised for metric name/type conflicts, histogram bucket-bound
+    mismatches on merge, malformed metrics snapshots or trace files, and
+    span-context misuse (e.g. asking for a propagation context with no
+    open span).
     """

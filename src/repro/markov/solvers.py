@@ -32,6 +32,8 @@ import scipy.sparse.linalg as spla
 
 from .._validation import check_finite_array
 from ..errors import NotIrreducibleError, SolverError, ValidationError
+from ..obs.clock import monotonic
+from ..obs.context import active_metrics
 
 __all__ = [
     "steady_state",
@@ -226,6 +228,15 @@ def steady_state_power(
         smoothed = 0.5 * (nxt + nxt @ p)
         smoothed /= smoothed.sum()
         if np.abs(smoothed - pi).max() < tol:
+            metrics = active_metrics()
+            if metrics is not None:
+                from ..obs.metrics import DEFAULT_ITERATION_BOUNDS
+
+                metrics.histogram(
+                    "ctmc_power_iterations",
+                    bounds=DEFAULT_ITERATION_BOUNDS,
+                    help="Iterations used by converged power-iteration solves.",
+                ).observe(iteration)
             return smoothed, iteration
         pi = smoothed
     raise SolverError(
@@ -309,6 +320,9 @@ def steady_state(generator: np.ndarray, residual_tol: float = 1e-9) -> np.ndarra
             ("power iteration", _power),
         ]
 
+    metrics = active_metrics()
+    started = monotonic() if metrics is not None else 0.0
+
     failures: List[str] = []
     for index, (name, solve) in enumerate(strategies):
         try:
@@ -318,11 +332,27 @@ def steady_state(generator: np.ndarray, residual_tol: float = 1e-9) -> np.ndarra
                 raise SolverError(
                     f"{name} solution has residual {res:.3e} > {residual_tol:.3e}"
                 )
+            if metrics is not None:
+                metrics.histogram(
+                    "ctmc_steady_state_seconds",
+                    help="Wall-clock time of accepted steady-state solves.",
+                ).observe(monotonic() - started)
+                metrics.counter(
+                    "ctmc_solves",
+                    help="Accepted steady-state solves by winning strategy.",
+                    strategy=name,
+                ).inc()
             return pi
         except NotIrreducibleError:
             raise
         except SolverError as exc:
             failures.append(f"{name}: {exc}")
+            if metrics is not None:
+                metrics.counter(
+                    "ctmc_solver_fallbacks",
+                    help="Steady-state strategies that failed and fell back.",
+                    strategy=name,
+                ).inc()
             if index + 1 < len(strategies):
                 warnings.warn(
                     f"steady_state: {name} failed ({exc}); "

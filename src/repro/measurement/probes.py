@@ -53,8 +53,21 @@ class ProbeLog:
             )
         if times.size < 2:
             raise ValidationError("a probe log needs at least two probes")
-        if not np.all(np.isfinite(times)) or np.any(np.diff(times) <= 0):
-            raise ValidationError("timestamps must be finite and increasing")
+        finite = np.isfinite(times)
+        if not np.all(finite):
+            index = int(np.argmin(finite))
+            raise ValidationError(
+                f"timestamps must be finite: timestamps[{index}] is "
+                f"{times[index]}"
+            )
+        increasing = np.diff(times) > 0
+        if not np.all(increasing):
+            index = int(np.argmin(increasing)) + 1
+            raise ValidationError(
+                "timestamps must be strictly increasing: "
+                f"timestamps[{index}] = {times[index]:g} does not follow "
+                f"timestamps[{index - 1}] = {times[index - 1]:g}"
+            )
         self._times = times
         self._states = verdicts
 

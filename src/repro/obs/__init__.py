@@ -1,0 +1,95 @@
+"""Observability: metrics, span tracing, and profiling instrumentation.
+
+The evaluation pipeline produces one headline number (the eq.-(10)
+user-perceived availability); this package makes the pipeline itself
+observable — *why* is a run slow, *where* does a campaign spend its
+failures — without changing a single output bit:
+
+* :mod:`~repro.obs.metrics` — :class:`MetricsRegistry` holding
+  counters, gauges, and fixed-bucket histograms; lock-free per process,
+  mergeable across engine workers by name, exported as OpenMetrics text
+  or JSON snapshots (rendered by ``repro stats``);
+* :mod:`~repro.obs.tracing` — :class:`Tracer`/:class:`Span` with
+  monotonic-clock timing, parent/child nesting, per-span attributes,
+  JSONL export in Chrome trace-event format, and
+  :class:`SpanContext`-based propagation across the engine's
+  process-pool boundary so worker spans reattach under the submitting
+  task's span;
+* :mod:`~repro.obs.clock` — the one monotonic clock source shared by
+  heartbeats and spans;
+* :mod:`~repro.obs.context` — ambient activation with a **no-op
+  default**: with nothing activated, every instrumentation site in the
+  hot layers reduces to one ``is not None`` check
+  (``benchmarks/bench_obs_overhead.py`` guards the disabled-mode cost
+  at <= 3%);
+* :mod:`~repro.obs.profiling` — a :mod:`cProfile` harness for hot-path
+  investigations.
+
+Instrumented layers: the DES kernel (events, queue depths, per-event-type
+timing), the CTMC steady-state solvers (solve wall-time, strategy
+fallbacks, power iterations), the vectorized queueing kernels, the
+evaluation engine (task latencies, cache hit/miss/eviction counters),
+fault-injection campaigns (per-scenario failure/repair event counts),
+and the runtime journal (records/fsyncs).  The CLI wires it up via
+``--metrics PATH`` / ``--trace PATH`` on ``sweep``/``inject``/
+``retries``/``resume`` and renders metrics files with ``repro stats``.
+See ``docs/OBSERVABILITY.md`` for the full model.
+"""
+
+from .clock import monotonic, walltime
+from .context import (
+    Instrumentation,
+    activate,
+    active,
+    active_metrics,
+    active_tracer,
+    deactivate,
+    instrumented,
+)
+from .metrics import (
+    DEFAULT_DEPTH_BOUNDS,
+    DEFAULT_ITERATION_BOUNDS,
+    DEFAULT_TIME_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from .profiling import profiled, render_profile
+from .tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    chrome_trace_document,
+    read_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "monotonic",
+    "walltime",
+    "Instrumentation",
+    "activate",
+    "active",
+    "active_metrics",
+    "active_tracer",
+    "deactivate",
+    "instrumented",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_registries",
+    "DEFAULT_TIME_BOUNDS",
+    "DEFAULT_DEPTH_BOUNDS",
+    "DEFAULT_ITERATION_BOUNDS",
+    "profiled",
+    "render_profile",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace_document",
+    "read_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,32 @@
+"""The one monotonic clock source for elapsed-time measurements.
+
+Every piece of instrumentation in this library — heartbeat throttling,
+span timings, task-latency histograms — measures elapsed time against
+the *same* monotonic clock, so two timings taken by different layers of
+one run are directly comparable.  Mixing ``time.time()`` into elapsed
+math is a classic observability bug: wall clocks jump under NTP
+adjustment and DST, and a heartbeat that throttles on a different clock
+than the spans it narrates produces timelines that do not line up.
+
+* :func:`monotonic` — the shared monotonic clock (seconds, arbitrary
+  epoch).  Use it for **all** elapsed/duration math.
+* :func:`walltime` — the wall clock (seconds since the Unix epoch).
+  Use it **only** to anchor a monotonic timeline to calendar time (the
+  tracer stores one wall reading per trace so traces from different
+  processes can be aligned); never subtract two wall readings to get a
+  duration.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "walltime"]
+
+#: Shared monotonic clock; aliased (not wrapped) so the hot paths pay no
+#: extra function call.  Seconds from an arbitrary, never-decreasing epoch.
+monotonic = time.monotonic
+
+#: Wall clock, for *anchoring* monotonic timelines only — never for
+#: elapsed math.
+walltime = time.time

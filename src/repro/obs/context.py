@@ -1,0 +1,100 @@
+"""Ambient activation of instrumentation — the no-op default.
+
+Instrumented code in the hot layers (the DES kernel, the CTMC solvers,
+the engine, journals, campaigns) never *requires* a registry or tracer:
+each layer reads the ambient :class:`Instrumentation` once at a natural
+boundary (object construction, function entry) and guards every
+recording site with an ``is not None`` check.  With nothing activated —
+the default — the entire subsystem reduces to that one pointer check,
+which is what keeps disabled-mode overhead inside the benchmark-guarded
+3% budget (``benchmarks/bench_obs_overhead.py``).
+
+Activation is process-global and explicitly scoped:
+
+>>> from repro.obs import MetricsRegistry, instrumented
+>>> registry = MetricsRegistry()
+>>> with instrumented(metrics=registry):
+...     pass  # everything constructed here records into `registry`
+
+The evaluation engine re-creates an equivalent ambient scope inside
+each worker process, so instrumented code deep inside a task records
+into a worker-local registry that is merged back by name.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .metrics import MetricsRegistry
+    from .tracing import Tracer
+
+__all__ = [
+    "Instrumentation",
+    "activate",
+    "deactivate",
+    "active",
+    "active_metrics",
+    "active_tracer",
+    "instrumented",
+]
+
+
+@dataclass(frozen=True)
+class Instrumentation:
+    """The ambient bundle: a metrics registry and/or a tracer."""
+
+    metrics: Optional["MetricsRegistry"] = None
+    tracer: Optional["Tracer"] = None
+
+
+_ACTIVE: Optional[Instrumentation] = None
+
+
+def activate(instrumentation: Instrumentation) -> None:
+    """Make *instrumentation* the process-wide ambient bundle."""
+    global _ACTIVE
+    _ACTIVE = instrumentation
+
+
+def deactivate() -> None:
+    """Return to the no-op default."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[Instrumentation]:
+    """The ambient bundle, or None when instrumentation is disabled."""
+    return _ACTIVE
+
+
+def active_metrics() -> Optional["MetricsRegistry"]:
+    """The ambient registry, or None."""
+    return _ACTIVE.metrics if _ACTIVE is not None else None
+
+
+def active_tracer() -> Optional["Tracer"]:
+    """The ambient tracer, or None."""
+    return _ACTIVE.tracer if _ACTIVE is not None else None
+
+
+@contextmanager
+def instrumented(
+    metrics: Optional["MetricsRegistry"] = None,
+    tracer: Optional["Tracer"] = None,
+) -> Iterator[Instrumentation]:
+    """Activate an ambient bundle for the duration of the block.
+
+    The previous bundle (usually None) is restored on exit, even on
+    error, so scopes nest correctly.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    bundle = Instrumentation(metrics=metrics, tracer=tracer)
+    _ACTIVE = bundle
+    try:
+        yield bundle
+    finally:
+        _ACTIVE = previous

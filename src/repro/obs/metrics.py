@@ -1,0 +1,566 @@
+"""Counters, gauges, and fixed-bucket histograms, mergeable by name.
+
+A :class:`MetricsRegistry` is a per-process bag of named instruments:
+
+* :class:`Counter` — a monotonically increasing total (events processed,
+  cache hits); merges across registries by **summation**;
+* :class:`Gauge` — a high-water mark (max queue depth); merges by
+  **maximum**, which keeps merging order-free;
+* :class:`Histogram` — fixed-bucket distribution (task latencies, queue
+  depths) with cumulative bucket counts, a sum, and a count; merges
+  bucketwise.  Two histograms merge only when their bucket bounds are
+  identical.
+
+Instruments are identified by ``(name, labels)``; the same name must
+keep one type (and, for histograms, one set of bounds) everywhere, which
+is what makes registries from different worker processes mergeable by
+name.  Updates are plain attribute arithmetic — no locks — so the hot
+path costs one add; per-process registries merged at a join point are
+the concurrency model (the evaluation engine ships one snapshot per
+worker task back to the parent).
+
+Exports: :meth:`MetricsRegistry.render_openmetrics` produces OpenMetrics
+text exposition, :meth:`MetricsRegistry.save` a JSON snapshot that
+:meth:`MetricsRegistry.load` restores and ``repro stats`` renders.
+:func:`merge_registries` merges any number of snapshots with
+order-canonicalized float summation, so merging worker registries in
+*any* order yields bit-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_registries",
+    "DEFAULT_TIME_BOUNDS",
+    "DEFAULT_DEPTH_BOUNDS",
+    "DEFAULT_ITERATION_BOUNDS",
+]
+
+#: Log-spaced latency buckets (seconds): microseconds to ten minutes.
+DEFAULT_TIME_BOUNDS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0, 600.0,
+)
+
+#: Power-of-two depth/size buckets for queue depths and batch sizes.
+DEFAULT_DEPTH_BOUNDS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0,
+)
+
+#: Log-spaced iteration-count buckets for iterative solvers.
+DEFAULT_ITERATION_BOUNDS: Tuple[float, ...] = (
+    1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5,
+)
+
+#: JSON snapshot schema tag; bumped on incompatible layout changes.
+SNAPSHOT_SCHEMA = "repro.obs.metrics/1"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+Labels = Tuple[Tuple[str, str], ...]
+PathLike = Union[str, Path]
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ObservabilityError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def _canonical_labels(labels: Dict[str, Any]) -> Labels:
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ObservabilityError(
+                f"invalid label name {key!r}: must match [a-zA-Z_][a-zA-Z0-9_]*"
+            )
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Labels, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _render_value(value: float) -> str:
+    """Shortest-round-trip rendering: ints as ints, floats via repr."""
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing total.  Merge rule: sum."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Labels = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the running total."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount!r}))"
+            )
+        self.value += amount
+
+    def _merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def _to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+    def _samples(self) -> List[str]:
+        return [
+            f"{self.name}_total{_render_labels(self.labels)} "
+            f"{_render_value(self.value)}"
+        ]
+
+
+class Gauge:
+    """A high-water mark.  Merge rule: maximum (order-free)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Labels = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the value to *value* if it is higher (high-water mark)."""
+        if value > self.value:
+            self.value = float(value)
+
+    def _merge(self, other: "Gauge") -> None:
+        self.set_max(other.value)
+
+    def _to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+    def _samples(self) -> List[str]:
+        return [
+            f"{self.name}{_render_labels(self.labels)} "
+            f"{_render_value(self.value)}"
+        ]
+
+
+class Histogram:
+    """Fixed-bucket distribution.  Merge rule: bucketwise sum.
+
+    ``bounds`` are strictly increasing upper bucket edges; an implicit
+    ``+Inf`` bucket catches everything above the last edge.  Exposition
+    follows the OpenMetrics histogram convention (cumulative ``le``
+    buckets plus ``_sum`` and ``_count`` samples).
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        help: str = "",
+        labels: Labels = (),
+    ):
+        edges = tuple(float(b) for b in bounds)
+        if not edges or any(
+            later <= earlier for earlier, later in zip(edges, edges[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram {name!r} bounds must be non-empty and strictly "
+                f"increasing, got {edges}"
+            )
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bounds = edges
+        self.counts = [0] * (len(edges) + 1)  # last bucket = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (NaN before the first one)."""
+        return self.sum / self.count if self.count else float("nan")
+
+    def _merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ObservabilityError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ "
+                f"({self.bounds} vs {other.bounds})"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
+
+    def _to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def _samples(self) -> List[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            extra = (("le", _render_value(bound)),)
+            lines.append(
+                f"{self.name}_bucket{_render_labels(self.labels, extra)} "
+                f"{cumulative}"
+            )
+        cumulative += self.counts[-1]
+        lines.append(
+            f"{self.name}_bucket{_render_labels(self.labels, (('le', '+Inf'),))} "
+            f"{cumulative}"
+        )
+        lines.append(
+            f"{self.name}_count{_render_labels(self.labels)} {self.count}"
+        )
+        lines.append(
+            f"{self.name}_sum{_render_labels(self.labels)} "
+            f"{_render_value(self.sum)}"
+        )
+        return lines
+
+
+Metric = Union[Counter, Gauge, Histogram]
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """A per-process bag of named instruments.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("events", help="events processed").inc()
+    >>> registry.counter("events").inc(2)
+    >>> registry.counter("events").value
+    3.0
+    >>> print(registry.render_openmetrics())
+    # HELP events events processed
+    # TYPE events counter
+    events_total 3
+    # EOF
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], Metric] = {}
+        self._kinds: Dict[str, str] = {}
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+
+    # -- instrument accessors (get-or-create) --------------------------
+    def _get(self, cls, name: str, help: str, labels: Dict[str, Any], **kwargs):
+        _check_name(name)
+        key = (name, _canonical_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if metric.kind != cls.kind:
+                raise ObservabilityError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
+        declared = self._kinds.get(name)
+        if declared is not None and declared != cls.kind:
+            raise ObservabilityError(
+                f"metric name {name!r} is already declared as a {declared}"
+            )
+        metric = cls(name, help=help, labels=key[1], **kwargs)
+        if cls.kind == "histogram":
+            bounds = self._bounds.setdefault(name, metric.bounds)
+            if bounds != metric.bounds:
+                raise ObservabilityError(
+                    f"histogram {name!r} was declared with bounds {bounds}; "
+                    f"all label sets must share them (got {metric.bounds})"
+                )
+        self._metrics[key] = metric
+        self._kinds[name] = cls.kind
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        """The counter ``(name, labels)``, created on first use."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        """The gauge ``(name, labels)``, created on first use."""
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_TIME_BOUNDS,
+        help: str = "",
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram ``(name, labels)``, created on first use.
+
+        Every label set of one name must share the same *bounds*.
+        """
+        return self._get(Histogram, name, help, labels, bounds=bounds)
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        """Metrics in canonical (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def get(self, name: str, **labels: Any) -> Optional[Metric]:
+        """The instrument at ``(name, labels)``, or None."""
+        return self._metrics.get((name, _canonical_labels(labels)))
+
+    def value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        """Counter/gauge value at ``(name, labels)``; *default* if absent."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise ObservabilityError(
+                f"{name!r} is a histogram; read .count/.sum/.mean instead"
+            )
+        return metric.value
+
+    # -- snapshots ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot in canonical metric order."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "metrics": [metric._to_dict() for metric in self],
+        }
+
+    @classmethod
+    def from_dict(cls, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot."""
+        if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+            raise ObservabilityError(
+                "metrics snapshot must be an object with a 'metrics' list"
+            )
+        schema = snapshot.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ObservabilityError(
+                f"metrics snapshot has schema {schema!r}; this reader "
+                f"understands {SNAPSHOT_SCHEMA!r}"
+            )
+        registry = cls()
+        registry.merge_snapshot(snapshot)
+        return registry
+
+    def save(self, path: PathLike) -> None:
+        """Write the JSON snapshot atomically (write-then-rename)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "MetricsRegistry":
+        """Read a snapshot written by :meth:`save`."""
+        path = Path(path)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot read metrics file {path}: {exc}"
+            ) from exc
+        try:
+            snapshot = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"metrics file {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(snapshot)
+
+    # -- merging --------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Merge *other* into this registry in place; returns self.
+
+        Counters sum, gauges take the maximum, histograms add
+        bucketwise.  Integer-valued counters and bucket counts merge
+        exactly in any order; float sums merge in call order (use
+        :func:`merge_registries` when bit-identical permutation
+        invariance matters).
+        """
+        for metric in other:
+            self._adopt(metric._to_dict())
+        return self
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Merge a :meth:`to_dict` snapshot into this registry in place."""
+        metrics = snapshot.get("metrics")
+        if not isinstance(metrics, list):
+            raise ObservabilityError(
+                "metrics snapshot must carry a 'metrics' list"
+            )
+        for entry in metrics:
+            self._adopt(entry)
+        return self
+
+    def _adopt(self, entry: Dict[str, Any]) -> None:
+        try:
+            kind = entry["type"]
+            name = entry["name"]
+            labels = entry.get("labels", {})
+        except (TypeError, KeyError) as exc:
+            raise ObservabilityError(
+                f"malformed metrics snapshot entry: {entry!r}"
+            ) from exc
+        if kind not in _KINDS:
+            raise ObservabilityError(
+                f"unknown metric type {kind!r} in snapshot entry {name!r}"
+            )
+        help = entry.get("help", "")
+        if kind == "counter":
+            incoming: Metric = Counter(name, help=help)
+            incoming.value = float(entry["value"])
+            self.counter(name, help=help, **labels)._merge(incoming)
+        elif kind == "gauge":
+            incoming = Gauge(name, help=help)
+            incoming.value = float(entry["value"])
+            self.gauge(name, help=help, **labels)._merge(incoming)
+        else:
+            bounds = tuple(float(b) for b in entry["bounds"])
+            incoming = Histogram(name, bounds, help=help)
+            counts = [int(c) for c in entry["counts"]]
+            if len(counts) != len(incoming.counts):
+                raise ObservabilityError(
+                    f"histogram {name!r} snapshot has {len(counts)} bucket "
+                    f"counts for {len(bounds)} bounds"
+                )
+            incoming.counts = counts
+            incoming.sum = float(entry["sum"])
+            incoming.count = int(entry["count"])
+            self.histogram(name, bounds=bounds, help=help, **labels)._merge(
+                incoming
+            )
+
+    # -- exposition -----------------------------------------------------
+    def render_openmetrics(self) -> str:
+        """OpenMetrics text exposition, in canonical metric order.
+
+        Families are emitted sorted by name, samples sorted by labels,
+        so any two registries holding the same data render byte-identical
+        text regardless of insertion or merge order.
+        """
+        lines: List[str] = []
+        seen_family: set = set()
+        for metric in self:
+            if metric.name not in seen_family:
+                seen_family.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric._samples())
+        lines.append("# EOF")
+        return "\n".join(lines)
+
+
+def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Merge registries with order-canonicalized float summation.
+
+    Contributions to each counter value and histogram sum are added in
+    sorted order of their float values, so merging the same registries
+    in **any** permutation produces bit-identical results — the property
+    the cross-worker merge tests rely on.  (Pairwise :meth:`~MetricsRegistry.merge`
+    is exact for integer-valued data but sums floats in call order.)
+    """
+    registries = list(registries)
+    merged = MetricsRegistry()
+    contributions: Dict[Tuple[str, Labels], List[Dict[str, Any]]] = {}
+    for registry in registries:
+        for metric in registry:
+            contributions.setdefault(
+                (metric.name, metric.labels), []
+            ).append(metric._to_dict())
+    for key in sorted(contributions):
+        entries = contributions[key]
+        first = dict(entries[0])
+        kind = first["type"]
+        if kind == "counter":
+            first["value"] = sum(sorted(float(e["value"]) for e in entries))
+        elif kind == "gauge":
+            first["value"] = max(float(e["value"]) for e in entries)
+        else:
+            bounds = tuple(first["bounds"])
+            for entry in entries[1:]:
+                if tuple(entry["bounds"]) != bounds:
+                    raise ObservabilityError(
+                        f"cannot merge histogram {first['name']!r}: bucket "
+                        "bounds differ across registries"
+                    )
+            first["counts"] = [
+                sum(int(e["counts"][i]) for e in entries)
+                for i in range(len(first["counts"]))
+            ]
+            first["sum"] = sum(sorted(float(e["sum"]) for e in entries))
+            first["count"] = sum(int(e["count"]) for e in entries)
+        merged._adopt(first)
+    return merged

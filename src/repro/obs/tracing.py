@@ -1,0 +1,318 @@
+"""Span-based tracing with Chrome trace-event JSONL export.
+
+A :class:`Tracer` records :class:`Span`\\ s — named, nested, attributed
+time intervals measured on the shared monotonic clock
+(:mod:`repro.obs.clock`).  Finished spans are stored as Chrome
+trace-event dicts (``"ph": "X"`` complete events, microsecond ``ts`` /
+``dur``), so :meth:`Tracer.export` writes a JSONL file that
+:func:`read_trace` validates and :func:`chrome_trace_document` wraps
+into the ``{"traceEvents": [...]}`` object ``chrome://tracing`` and
+Perfetto load directly.
+
+Cross-process propagation
+-------------------------
+Worker processes cannot share the parent's tracer, and their monotonic
+clocks have unrelated epochs.  The protocol used by the evaluation
+engine:
+
+1. the parent calls :meth:`Tracer.context` inside the submitting task's
+   span and ships the resulting :class:`SpanContext` (parent span id +
+   the parent trace's wall-clock anchor) to the worker;
+2. the worker builds its own ``Tracer(context=ctx)`` — every worker
+   root span is parented under the submitting span id;
+3. the worker returns :meth:`Tracer.payload` with its results, and the
+   parent calls :meth:`Tracer.absorb`, which re-bases the worker's
+   timestamps onto the parent timeline using the two wall-clock anchors
+   (same machine, so the anchors agree to well under a millisecond).
+
+Span identity travels in ``args``: every event carries ``span_id`` and
+``parent_id`` (pid-qualified, unique across processes), which is what
+lets tests assert that worker spans reattach under their submitting
+tasks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..errors import ObservabilityError
+from .clock import monotonic, walltime
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "read_trace",
+    "chrome_trace_document",
+    "write_chrome_trace",
+]
+
+PathLike = Union[str, Path]
+
+#: Keys every exported trace event must carry (the schema tests check).
+EVENT_REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """What a worker needs to parent its spans under a remote span.
+
+    Attributes
+    ----------
+    parent_id:
+        Span id the worker's root spans attach under.
+    wall_anchor:
+        Wall-clock reading at the *parent* trace's timestamp origin;
+        lets :meth:`Tracer.absorb` re-base worker timestamps.
+    """
+
+    parent_id: str
+    wall_anchor: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"parent_id": self.parent_id, "wall_anchor": self.wall_anchor}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanContext":
+        return cls(
+            parent_id=str(data["parent_id"]),
+            wall_anchor=float(data["wall_anchor"]),
+        )
+
+
+class Span:
+    """One open span; finished spans live on as trace-event dicts.
+
+    Obtained from :meth:`Tracer.span`; :meth:`set` attaches attributes
+    that end up in the exported event's ``args``.
+    """
+
+    __slots__ = ("name", "category", "span_id", "parent_id", "_start", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+    ):
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start = start
+        self.attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+
+class Tracer:
+    """Collects spans on the shared monotonic clock.
+
+    Parameters
+    ----------
+    context:
+        Optional :class:`SpanContext` from a submitting process; root
+        spans of this tracer are parented under it, and exported
+        timestamps stay re-basable onto the submitter's timeline.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("solve", category="ctmc", states=12) as span:
+    ...     _ = span.set(iterations=3)
+    >>> event = tracer.events[0]
+    >>> event["name"], event["ph"], event["args"]["iterations"]
+    ('solve', 'X', 3)
+    """
+
+    def __init__(self, context: Optional[SpanContext] = None):
+        self._origin = monotonic()
+        # Wall-clock anchor of ts == 0, used only for cross-process
+        # re-basing — never for durations.
+        self.wall_anchor = walltime()
+        self._root_parent = context.parent_id if context is not None else None
+        self._pid = os.getpid()
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+        self.events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (monotonic() - self._origin) * 1e6
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **attrs: Any) -> Iterator[Span]:
+        """Open a span; it closes (and is recorded) when the block exits.
+
+        Nested ``span()`` blocks parent under the enclosing one; initial
+        *attrs* and any added via :meth:`Span.set` export as ``args``.
+        """
+        parent = (
+            self._stack[-1].span_id if self._stack else self._root_parent
+        )
+        span = Span(
+            name=name,
+            category=category,
+            span_id=f"{self._pid:x}-{next(self._ids):x}",
+            parent_id=parent,
+            start=self._now_us(),
+        )
+        span.attrs.update(attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            end = self._now_us()
+            self._stack.pop()
+            self.events.append(self._event(span, end))
+
+    def _event(self, span: Span, end_us: float) -> Dict[str, Any]:
+        args = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        return {
+            "name": span.name,
+            "cat": span.category or "repro",
+            "ph": "X",
+            "ts": round(span._start, 3),
+            "dur": round(max(end_us - span._start, 0.0), 3),
+            "pid": self._pid,
+            "tid": threading.get_ident() % 2**31,
+            "args": args,
+        }
+
+    # -- cross-process propagation --------------------------------------
+    def context(self) -> SpanContext:
+        """A :class:`SpanContext` for parenting remote spans here.
+
+        Raises :class:`~repro.errors.ObservabilityError` when no span is
+        open — remote work must attach under a concrete span.
+        """
+        if not self._stack:
+            raise ObservabilityError(
+                "Tracer.context() needs an open span to parent remote "
+                "spans under"
+            )
+        return SpanContext(
+            parent_id=self._stack[-1].span_id,
+            wall_anchor=self.wall_anchor,
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        """The tracer's events plus its wall anchor, for shipping back."""
+        return {"wall_anchor": self.wall_anchor, "events": self.events}
+
+    def absorb(self, payload: Dict[str, Any]) -> None:
+        """Merge a worker tracer's :meth:`payload` into this timeline.
+
+        Worker timestamps are re-based using the wall-clock anchors of
+        the two tracers; durations are untouched (both sides measured
+        them monotonically).
+        """
+        try:
+            shift_us = (float(payload["wall_anchor"]) - self.wall_anchor) * 1e6
+            events = payload["events"]
+        except (TypeError, KeyError) as exc:
+            raise ObservabilityError(
+                "malformed trace payload: expected {'wall_anchor', 'events'}"
+            ) from exc
+        for event in events:
+            moved = dict(event)
+            moved["ts"] = round(event["ts"] + shift_us, 3)
+            self.events.append(moved)
+
+    # -- export ---------------------------------------------------------
+    def export(self, path: PathLike) -> None:
+        """Write the trace as JSONL, one Chrome trace event per line.
+
+        Events are sorted by timestamp so the file reads chronologically
+        regardless of when worker payloads were absorbed.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        ordered = sorted(self.events, key=lambda e: (e["ts"], e["pid"]))
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for event in ordered:
+                handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+        tmp.replace(path)
+
+
+def read_trace(path: PathLike) -> List[Dict[str, Any]]:
+    """Read and schema-validate a JSONL trace written by :meth:`Tracer.export`.
+
+    Raises
+    ------
+    ObservabilityError
+        When the file is unreadable, a line is not a JSON object, or an
+        event is missing the required trace-event keys.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace file {path}: {exc}") from exc
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"trace file {path} line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(event, dict):
+            raise ObservabilityError(
+                f"trace file {path} line {lineno} is not a JSON object"
+            )
+        missing = [key for key in EVENT_REQUIRED_KEYS if key not in event]
+        if missing:
+            raise ObservabilityError(
+                f"trace file {path} line {lineno} is missing trace-event "
+                f"keys {missing}"
+            )
+        if event["ph"] != "X":
+            raise ObservabilityError(
+                f"trace file {path} line {lineno} has phase {event['ph']!r}; "
+                "this library emits complete ('X') events only"
+            )
+        events.append(event)
+    return events
+
+
+def chrome_trace_document(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap events into the JSON object ``chrome://tracing`` loads."""
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(jsonl_path: PathLike, out_path: PathLike) -> int:
+    """Convert a JSONL trace into a ``chrome://tracing``-loadable file.
+
+    Returns the number of events written.
+    """
+    events = read_trace(jsonl_path)
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(
+        json.dumps(chrome_trace_document(events)) + "\n", encoding="utf-8"
+    )
+    return len(events)

@@ -23,6 +23,8 @@ import numpy as np
 
 from .._validation import check_finite_array
 from ..errors import ValidationError
+from ..obs.clock import monotonic
+from ..obs.context import active_metrics
 from .mm1k import mm1k_blocking_probability
 
 __all__ = ["mmck_blocking_grid", "mmck_blocking_grid_rates"]
@@ -92,6 +94,9 @@ def mmck_blocking_grid(offered_load, servers, capacity) -> np.ndarray:
     >>> float(grid[1]) == mmck_blocking_probability(1.0, 4, 10)
     True
     """
+    metrics = active_metrics()
+    started = monotonic() if metrics is not None else 0.0
+
     a, c, k, shape = _broadcast_spec(offered_load, servers, capacity)
     out = np.empty(a.shape, dtype=float)
 
@@ -128,6 +133,16 @@ def mmck_blocking_grid(offered_load, servers, capacity) -> np.ndarray:
                     total = np.where(renorm, total / weight, total)
                 weight = np.where(renorm, 1.0, weight)
         out[multi] = weight / total
+
+    if metrics is not None:
+        metrics.counter(
+            "queueing_grid_points",
+            help="Grid points evaluated by the vectorized M/M/c/K kernel.",
+        ).inc(a.size)
+        metrics.histogram(
+            "queueing_grid_seconds",
+            help="Wall-clock time per vectorized M/M/c/K grid evaluation.",
+        ).observe(monotonic() - started)
 
     return out.reshape(shape)
 

@@ -50,6 +50,7 @@ import numpy as np
 from .._validation import check_positive, check_positive_int, check_rate
 from ..core import HierarchicalModel
 from ..errors import ResumeError
+from ..obs.context import active_metrics, active_tracer
 from ..profiles import UserClass
 from ..runtime.budget import CancellationToken
 from ..runtime.heartbeat import HeartbeatCallback, ProgressEvent
@@ -193,6 +194,29 @@ def _run_replication(
     )
 
 
+def _note_replication(metrics, scenario_name: str, class_name: str,
+                      result: EndToEndResult) -> None:
+    """Record one finished replication's fault/repair activity."""
+    if metrics is None:
+        return
+    metrics.counter(
+        "campaign_replications",
+        help="Fault-injection replications completed.",
+        scenario=scenario_name,
+        user_class=class_name,
+    ).inc()
+    metrics.counter(
+        "campaign_fault_events",
+        help="Injected failure/repair events applied, by scenario.",
+        scenario=scenario_name,
+    ).inc(result.fault_events_applied)
+    metrics.counter(
+        "campaign_resource_transitions",
+        help="Resource up/down transitions simulated, by scenario.",
+        scenario=scenario_name,
+    ).inc(result.resource_transitions)
+
+
 def _beat(
     heartbeat: Optional[HeartbeatCallback],
     phase: str,
@@ -330,17 +354,32 @@ def run_campaign(
                 meta=journal_meta or {},
             )
         _beat(heartbeat, phase, 0, replications, "starting")
+        metrics = active_metrics()
+        tracer = active_tracer()
         streams = np.random.SeedSequence(seed).spawn(replications)
         results: List[EndToEndResult] = []
         if workers == 1 or replications == 1:
             for index, stream in enumerate(streams):
                 if cancellation is not None:
                     cancellation.check()
-                result = _run_replication(
-                    model, user_class, scenario, horizon, stream,
-                    default_repair_rate, cancellation,
-                )
+                if tracer is not None:
+                    with tracer.span(
+                        "replication", category="campaign",
+                        scenario=scenario.name, index=index,
+                    ):
+                        result = _run_replication(
+                            model, user_class, scenario, horizon, stream,
+                            default_repair_rate, cancellation,
+                        )
+                else:
+                    result = _run_replication(
+                        model, user_class, scenario, horizon, stream,
+                        default_repair_rate, cancellation,
+                    )
                 results.append(result)
+                _note_replication(
+                    metrics, scenario.name, user_class.name, result
+                )
                 if journal is not None:
                     journal.append(
                         "replication", **_replication_record(index, result)
@@ -357,6 +396,9 @@ def run_campaign(
             def _on_result(index: int, result: EndToEndResult) -> None:
                 nonlocal completed_count
                 completed_count += 1
+                _note_replication(
+                    metrics, scenario.name, user_class.name, result
+                )
                 if journal is not None:
                     journal.append(
                         "replication", **_replication_record(index, result)
@@ -489,6 +531,15 @@ def resume_campaign(
         f"{len(completed)} replication(s) restored from journal",
     )
 
+    metrics = active_metrics()
+    if metrics is not None and completed:
+        metrics.counter(
+            "campaign_replications_restored",
+            help="Replications restored from resume journals.",
+            scenario=scenario.name,
+            user_class=user_class.name,
+        ).inc(len(completed))
+
     if owns_journal:
         journal = Journal(path)
     try:
@@ -505,6 +556,7 @@ def resume_campaign(
                 default_repair_rate, cancellation,
             )
             results.append(result)
+            _note_replication(metrics, scenario.name, user_class.name, result)
             journal.append(
                 "replication", **_replication_record(index, result)
             )

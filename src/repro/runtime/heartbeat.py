@@ -21,11 +21,11 @@ the crash/resume tests do exactly that.
 from __future__ import annotations
 
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, TextIO
 
 from ..errors import SimulationError
+from ..obs.clock import monotonic
 
 __all__ = ["ProgressEvent", "HeartbeatCallback", "ConsoleHeartbeat", "Watchdog"]
 
@@ -76,7 +76,7 @@ class ConsoleHeartbeat:
         self,
         stream: TextIO = sys.stderr,
         min_interval: float = 5.0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
     ):
         self._stream = stream
         self._min_interval = float(min_interval)
@@ -112,7 +112,7 @@ class Watchdog:
     1
     """
 
-    clock: Callable[[], float] = time.monotonic
+    clock: Callable[[], float] = monotonic
     beats: List[ProgressEvent] = field(default_factory=list)
     last_beat_at: Optional[float] = None
 

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..errors import ResumeError, ValidationError
+from ..obs.context import active_metrics
 
 __all__ = ["SCHEMA_VERSION", "Journal", "read_journal"]
 
@@ -68,6 +69,7 @@ class Journal:
         # Continue the sequence when appending to an existing journal.
         self._seq = len(read_journal(self._path)) if self._path.exists() else 0
         self._file = open(self._path, "a", encoding="utf-8")
+        self._metrics = active_metrics()
 
     @property
     def path(self) -> Path:
@@ -99,6 +101,20 @@ class Journal:
         self._file.flush()
         if self._fsync:
             os.fsync(self._file.fileno())
+        if self._metrics is not None:
+            self._metrics.counter(
+                "journal_records",
+                help="Records durably appended to run journals.",
+            ).inc()
+            self._metrics.counter(
+                "journal_bytes",
+                help="Payload bytes appended to run journals.",
+            ).inc(len(line) + 1)
+            if self._fsync:
+                self._metrics.counter(
+                    "journal_fsyncs",
+                    help="fsync calls issued by journal appends.",
+                ).inc()
         self._seq += 1
         return record
 

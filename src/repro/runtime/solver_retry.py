@@ -31,6 +31,7 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..errors import NotIrreducibleError, SolverError
+from ..obs.context import active_metrics
 from .budget import CancellationToken
 from .journal import Journal
 
@@ -141,10 +142,19 @@ def solve_steady_state_with_escalation(
     )
     history: List[SolveAttempt] = []
 
+    metrics = active_metrics()
+
     def note(attempt: SolveAttempt) -> None:
         history.append(attempt)
         if journal is not None:
             journal.append("solver_attempt", **attempt.as_record())
+        if metrics is not None:
+            metrics.counter(
+                "solver_escalation_attempts",
+                help="Escalation-chain solver attempts by strategy and outcome.",
+                strategy=attempt.strategy,
+                outcome=attempt.outcome,
+            ).inc()
 
     for strategy in strategies:
         if strategy not in _ESCALATION:

@@ -23,8 +23,11 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from .._validation import check_non_negative
 from ..errors import SimulationError
+from ..obs.clock import monotonic
+from ..obs.context import active_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..obs.metrics import Histogram, MetricsRegistry
     from ..runtime.budget import CancellationToken
 
 __all__ = ["Simulator"]
@@ -41,6 +44,13 @@ class Simulator:
         Optional :class:`~repro.runtime.CancellationToken` polled after
         every executed event; lets a deadline or caller cancel a long
         run at a clean event boundary.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; defaults to the
+        ambient one (:func:`repro.obs.active_metrics`).  When present,
+        the kernel records events processed, queue depths, and
+        per-event-type execution-time histograms.  When absent — the
+        default — every recording site is a single ``is not None``
+        check, so the uninstrumented kernel stays at its original speed.
 
     Examples
     --------
@@ -65,12 +75,53 @@ class Simulator:
     repro.errors.SimulationError: run() executed max_events=10 events without draining the queue (1 still pending at sim-time 10); an event may be rescheduling itself forever
     """
 
-    def __init__(self, cancellation: Optional["CancellationToken"] = None):
+    def __init__(
+        self,
+        cancellation: Optional["CancellationToken"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ):
         self._now = 0.0
         self._sequence = itertools.count()
         self._queue: List[Tuple[float, int, Action]] = []
         self._events_processed = 0
         self._cancellation = cancellation
+        self._metrics = metrics if metrics is not None else active_metrics()
+        if self._metrics is not None:
+            from ..obs.metrics import DEFAULT_DEPTH_BOUNDS
+
+            self._events_counter = self._metrics.counter(
+                "sim_events",
+                help="Events executed by the DES kernel.",
+            )
+            self._depth_gauge = self._metrics.gauge(
+                "sim_queue_depth_max",
+                help="High-water mark of the pending-event queue.",
+            )
+            self._depth_histogram = self._metrics.histogram(
+                "sim_queue_depth",
+                bounds=DEFAULT_DEPTH_BOUNDS,
+                help="Pending-event queue depth sampled before each event.",
+            )
+            self._action_histograms: dict = {}
+        self._step = (
+            self._step_instrumented if self._metrics is not None
+            else self._step_fast
+        )
+
+    def _action_histogram(self, action: Action) -> "Histogram":
+        """Per-event-type execution-time histogram, cached by type name."""
+        name = getattr(type(action), "__qualname__", "")
+        if name in ("function", "method"):
+            name = getattr(action, "__qualname__", name)
+        histogram = self._action_histograms.get(name)
+        if histogram is None:
+            histogram = self._metrics.histogram(
+                "sim_event_seconds",
+                help="Wall-clock execution time per event type.",
+                event=name,
+            )
+            self._action_histograms[name] = histogram
+        return histogram
 
     @property
     def now(self) -> float:
@@ -102,12 +153,34 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
+        return self._step()
+
+    def _step_fast(self) -> bool:
+        # The uninstrumented hot path: bound once in __init__ so the
+        # metrics check never runs per event.
         if not self._queue:
             return False
         time, _, action = heapq.heappop(self._queue)
         self._now = time
         self._events_processed += 1
         action()
+        if self._cancellation is not None:
+            self._cancellation.count_event()
+        return True
+
+    def _step_instrumented(self) -> bool:
+        if not self._queue:
+            return False
+        depth = len(self._queue)
+        self._events_counter.inc()
+        self._depth_gauge.set_max(depth)
+        self._depth_histogram.observe(depth)
+        time, _, action = heapq.heappop(self._queue)
+        self._now = time
+        self._events_processed += 1
+        started = monotonic()
+        action()
+        self._action_histogram(action).observe(monotonic() - started)
         if self._cancellation is not None:
             self._cancellation.count_event()
         return True
@@ -133,6 +206,7 @@ class Simulator:
             non-exceptional "integrate up to a horizon" semantics.
         """
         executed = 0
+        step = self._step
         while self._queue:
             if max_time is not None and self._queue[0][0] > max_time:
                 raise SimulationError(
@@ -141,7 +215,7 @@ class Simulator:
                     f"sim-time {self._queue[0][0]:g}); an event may be "
                     "rescheduling itself forever"
                 )
-            self.step()
+            step()
             executed += 1
             if (
                 max_events is not None
@@ -167,8 +241,9 @@ class Simulator:
                 f"horizon {horizon} is before current time {self._now}"
             )
         executed = 0
+        step = self._step
         while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+            step()
             executed += 1
             if executed >= max_events:
                 raise SimulationError(

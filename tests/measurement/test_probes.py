@@ -20,6 +20,27 @@ class TestConstruction:
         with pytest.raises(ValidationError):
             ProbeLog([0], [True])
 
+    def test_non_monotonic_error_names_offending_index(self):
+        # Regression: the error must point at the first out-of-order
+        # probe, not just say "not increasing".
+        with pytest.raises(ValidationError, match=r"timestamps\[2\]"):
+            ProbeLog([0, 2, 1, 3], [True, True, True, True])
+
+    def test_duplicate_timestamp_reports_both_values(self):
+        with pytest.raises(ValidationError) as excinfo:
+            ProbeLog([0, 1, 1, 2], [True, False, True, False])
+        message = str(excinfo.value)
+        assert "timestamps[2]" in message and "timestamps[1]" in message
+
+    def test_non_finite_error_names_offending_index(self):
+        with pytest.raises(ValidationError, match=r"timestamps\[1\]"):
+            ProbeLog([0, float("nan"), 2], [True, True, True])
+
+    def test_validation_error_is_a_value_error(self):
+        # Callers written against stdlib conventions must keep working.
+        with pytest.raises(ValueError):
+            ProbeLog([0, 2, 1], [True, True, True])
+
 
 class TestSummaries:
     def test_observed_availability(self):

@@ -1,0 +1,77 @@
+"""Merge associativity: any merge order renders identical OpenMetrics.
+
+The same harness style as the parallel-campaign bit-identity tests: the
+assertion is string equality over the rendered exposition, not
+approximate equality — merging worker registries in any permutation must
+be byte-for-byte indistinguishable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, merge_registries
+
+BOUNDS = (0.001, 0.1, 1.0, 10.0)
+
+
+def _registry(spec):
+    """Build one worker registry from a drawn spec."""
+    registry = MetricsRegistry()
+    for amount in spec["counts"]:
+        registry.counter("events", phase="x").inc(amount)
+    for value in spec["gauges"]:
+        registry.gauge("depth").set_max(value)
+    for value in spec["observations"]:
+        registry.histogram("latency", bounds=BOUNDS, phase="x").observe(value)
+    return registry
+
+
+registry_specs = st.fixed_dictionaries({
+    "counts": st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        max_size=5,
+    ),
+    "gauges": st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        max_size=3,
+    ),
+    "observations": st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        max_size=5,
+    ),
+})
+
+
+class TestMergePermutationInvariance:
+    @given(
+        specs=st.lists(registry_specs, min_size=2, max_size=5),
+        permutation_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_merge_order_is_bit_identical(self, specs, permutation_seed):
+        registries = [_registry(spec) for spec in specs]
+        shuffled = list(registries)
+        permutation_seed.shuffle(shuffled)
+        reference = merge_registries(registries).render_openmetrics()
+        permuted = merge_registries(shuffled).render_openmetrics()
+        assert permuted == reference
+
+    @given(specs=st.lists(registry_specs, min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_reversal_is_bit_identical(self, specs):
+        registries = [_registry(spec) for spec in specs]
+        forward = merge_registries(registries).render_openmetrics()
+        backward = merge_registries(reversed(registries)).render_openmetrics()
+        assert backward == forward
+
+    def test_integer_data_pairwise_merge_matches(self):
+        # For integer-valued counters pairwise merge() is exact too.
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        c = MetricsRegistry()
+        for registry, n in ((a, 1), (b, 2), (c, 4)):
+            registry.counter("n").inc(n)
+        left = MetricsRegistry().merge(a).merge(b).merge(c)
+        right = MetricsRegistry().merge(c).merge(b).merge(a)
+        assert left.render_openmetrics() == right.render_openmetrics()
+        assert left.value("n") == 7

@@ -1,0 +1,199 @@
+"""Tests for the metrics registry: instruments, snapshots, exposition."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_DEPTH_BOUNDS,
+    MetricsRegistry,
+    merge_registries,
+)
+
+
+class TestCounter:
+    def test_counts_and_defaults_to_one(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(2.5)
+        assert registry.value("events") == 3.5
+
+    def test_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            registry.counter("events").inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("solves", strategy="gth").inc()
+        registry.counter("solves", strategy="power").inc(4)
+        assert registry.value("solves", strategy="gth") == 1
+        assert registry.value("solves", strategy="power") == 4
+
+
+class TestGauge:
+    def test_set_and_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set_max(5)
+        gauge.set_max(3)
+        assert gauge.value == 5.0
+        gauge.set(1)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(55.55)
+        assert hist.mean == pytest.approx(55.55 / 4)
+
+    def test_rejects_non_increasing_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="strictly"):
+            registry.histogram("bad", bounds=(1.0, 1.0, 2.0))
+
+    def test_default_bounds_accepted(self):
+        registry = MetricsRegistry()
+        registry.histogram("t").observe(0.01)
+        registry.histogram("d", bounds=DEFAULT_DEPTH_BOUNDS).observe(3)
+        assert registry.get("t").count == 1
+
+    def test_bounds_must_match_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", bounds=(1.0, 2.0), phase="a")
+        with pytest.raises(ObservabilityError, match="bounds"):
+            registry.histogram("t", bounds=(1.0, 3.0), phase="b")
+
+
+class TestRegistryContract:
+    def test_name_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError, match="counter"):
+            registry.gauge("x")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("bad name")
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok", **{"0label": 1})
+
+    def test_iteration_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        registry.counter("mid", b="2")
+        registry.counter("mid", a="1")
+        names = [(m.name, m.labels) for m in registry]
+        assert names == sorted(names)
+
+    def test_histogram_value_read_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("t").observe(1.0)
+        with pytest.raises(ObservabilityError, match="histogram"):
+            registry.value("t")
+
+
+class TestSnapshots:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("events", help="n").inc(7)
+        registry.gauge("depth").set_max(9)
+        hist = registry.histogram("t", bounds=(0.5, 1.5), phase="x")
+        hist.observe(1.0)
+        hist.observe(2.0)
+        return registry
+
+    def test_save_load_round_trip(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "m.json"
+        registry.save(path)
+        loaded = MetricsRegistry.load(path)
+        assert loaded.render_openmetrics() == registry.render_openmetrics()
+
+    def test_snapshot_is_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        self._populated().save(path)
+        snapshot = json.loads(path.read_text())
+        assert snapshot["schema"] == "repro.obs.metrics/1"
+        assert len(snapshot["metrics"]) == 3
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("not json")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            MetricsRegistry.load(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"schema": "other/9", "metrics": []}))
+        with pytest.raises(ObservabilityError, match="schema"):
+            MetricsRegistry.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            MetricsRegistry.load(tmp_path / "ghost.json")
+
+
+class TestMerge:
+    def test_counters_sum_gauges_max_histograms_add(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("g").set_max(5)
+        b.gauge("g").set_max(9)
+        a.histogram("t", bounds=(1.0,)).observe(0.5)
+        b.histogram("t", bounds=(1.0,)).observe(2.0)
+        a.merge(b)
+        assert a.value("n") == 5
+        assert a.value("g") == 9
+        assert a.get("t").counts == [1, 1]
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("t", bounds=(1.0,)).observe(0.5)
+        b.histogram("t", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ObservabilityError, match="bounds"):
+            a.merge(b)
+
+    def test_merge_registries_disjoint_names_union(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("only_a").inc()
+        b.counter("only_b").inc(2)
+        merged = merge_registries([a, b])
+        assert merged.value("only_a") == 1
+        assert merged.value("only_b") == 2
+
+
+class TestOpenMetrics:
+    def test_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("events", help="things done").inc(3)
+        registry.histogram("t", bounds=(1.0, 10.0)).observe(0.5)
+        text = registry.render_openmetrics()
+        lines = text.splitlines()
+        assert "# HELP events things done" in lines
+        assert "# TYPE events counter" in lines
+        assert "events_total 3" in lines
+        assert 't_bucket{le="1"} 1' in lines
+        assert 't_bucket{le="+Inf"} 1' in lines
+        assert "t_count 1" in lines
+        assert "t_sum 0.5" in lines
+        assert lines[-1] == "# EOF"
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", what='say "hi"\n').inc()
+        text = registry.render_openmetrics()
+        assert 'c_total{what="say \\"hi\\"\\n"} 1' in text

@@ -1,0 +1,167 @@
+"""Tests for span tracing: nesting, propagation, Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    SpanContext,
+    Tracer,
+    chrome_trace_document,
+    read_trace,
+    write_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_complete_event_shape(self):
+        tracer = Tracer()
+        with tracer.span("solve", category="ctmc", states=12) as span:
+            span.set(iterations=3)
+        (event,) = tracer.events
+        assert event["name"] == "solve"
+        assert event["cat"] == "ctmc"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0.0
+        assert event["args"]["states"] == 12
+        assert event["args"]["iterations"] == 3
+
+    def test_nesting_parents_inner_under_outer(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"].get("parent_id") is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = tracer.events
+        root_id = root["args"]["span_id"]
+        assert a["args"]["parent_id"] == root_id
+        assert b["args"]["parent_id"] == root_id
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [e["args"]["span_id"] for e in tracer.events]
+        assert len(set(ids)) == 5
+
+    def test_timestamps_monotone_within_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+
+class TestPropagation:
+    def test_context_requires_open_span(self):
+        tracer = Tracer()
+        with pytest.raises(ObservabilityError, match="open span"):
+            tracer.context()
+
+    def test_context_round_trips_as_dict(self):
+        tracer = Tracer()
+        with tracer.span("submit"):
+            ctx = tracer.context()
+        rebuilt = SpanContext.from_dict(ctx.as_dict())
+        assert rebuilt == ctx
+
+    def test_worker_roots_parent_under_context(self):
+        parent = Tracer()
+        with parent.span("submit"):
+            ctx = parent.context()
+        worker = Tracer(context=ctx)
+        with worker.span("task"):
+            pass
+        (event,) = worker.events
+        assert event["args"]["parent_id"] == ctx.parent_id
+
+    def test_absorb_rebases_onto_parent_timeline(self):
+        parent = Tracer()
+        with parent.span("submit"):
+            ctx = parent.context()
+        worker = Tracer(context=ctx)
+        # Simulate a worker whose monotonic epoch is unrelated but whose
+        # wall anchor is 2s after the parent's.
+        worker.wall_anchor = parent.wall_anchor + 2.0
+        with worker.span("task"):
+            pass
+        parent.absorb(worker.payload())
+        absorbed = parent.events[-1]
+        assert absorbed["name"] == "task"
+        assert absorbed["ts"] >= 2.0 * 1e6  # shifted by the anchor delta
+
+    def test_absorb_rejects_malformed_payload(self):
+        tracer = Tracer()
+        with pytest.raises(ObservabilityError, match="malformed"):
+            tracer.absorb({"events": []})
+
+
+class TestExport:
+    def _trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", category="test"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export(path)
+        return path
+
+    def test_export_is_schema_valid_jsonl(self, tmp_path):
+        path = self._trace(tmp_path)
+        events = read_trace(path)
+        assert len(events) == 2
+        for line in path.read_text().splitlines():
+            event = json.loads(line)
+            for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid",
+                        "args"):
+                assert key in event
+
+    def test_export_sorted_by_timestamp(self, tmp_path):
+        events = read_trace(self._trace(tmp_path))
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_read_trace_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"name": "x", "ph": "X"}) + "\n")
+        with pytest.raises(ObservabilityError, match="missing"):
+            read_trace(path)
+
+    def test_read_trace_rejects_non_complete_phase(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        event = {"name": "x", "cat": "c", "ph": "B", "ts": 0, "dur": 0,
+                 "pid": 1, "tid": 1, "args": {}}
+        path.write_text(json.dumps(event) + "\n")
+        with pytest.raises(ObservabilityError, match="phase"):
+            read_trace(path)
+
+    def test_read_trace_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_chrome_trace_document_wrapper(self, tmp_path):
+        jsonl = self._trace(tmp_path)
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(jsonl, out)
+        assert count == 2
+        document = json.loads(out.read_text())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        assert len(document["traceEvents"]) == 2
+        assert chrome_trace_document([])["traceEvents"] == []

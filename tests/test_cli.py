@@ -402,6 +402,79 @@ class TestSweepCommand:
         assert capsys.readouterr().err.startswith("error:")
 
 
+class TestStatsCommand:
+    @pytest.fixture()
+    def metrics_files(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        paths = []
+        for index, amount in enumerate((2, 3)):
+            registry = MetricsRegistry()
+            registry.counter("engine_tasks", phase="sweep").inc(amount)
+            registry.histogram("t", bounds=(1.0,)).observe(0.5)
+            path = tmp_path / f"worker{index}.json"
+            registry.save(path)
+            paths.append(str(path))
+        return paths
+
+    def test_merges_files_into_table(self, metrics_files, capsys):
+        assert main(["stats", *metrics_files]) == 0
+        out = capsys.readouterr().out
+        assert "2 metrics file(s)" in out
+        assert "engine_tasks" in out
+        assert "phase=sweep" in out
+        assert " 5" in out  # counters summed across files
+        assert "count=2" in out  # histogram observations added
+
+    def test_openmetrics_format(self, metrics_files, capsys):
+        assert main(["stats", *metrics_files, "--format",
+                     "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert 'engine_tasks_total{phase="sweep"} 5' in out
+        assert "# EOF" in out
+
+    def test_json_format_round_trips(self, metrics_files, capsys):
+        assert main(["stats", metrics_files[0], "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == "repro.obs.metrics/1"
+
+    def test_corrupt_file_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_missing_file_is_a_one_line_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "ghost.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read" in err
+
+    def test_debug_flag_reraises(self, tmp_path):
+        from repro.errors import ObservabilityError
+
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ObservabilityError):
+            main(["--debug", "stats", str(path)])
+
+    def test_sweep_metrics_flag_writes_loadable_snapshot(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import MetricsRegistry
+
+        metrics_path = tmp_path / "m.json"
+        assert main(["sweep", "--servers-max", "2", "--metrics",
+                     str(metrics_path)]) == 0
+        capsys.readouterr()
+        registry = MetricsRegistry.load(metrics_path)
+        assert registry.value(
+            "engine_tasks", phase="grid failure rate x NW"
+        ) == 6  # three failure-rate curves x two server counts
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -30,6 +30,10 @@ MODULES = [
     "repro.measurement.estimators",
     "repro.measurement.probes",
     "repro.measurement.uncertainty",
+    "repro.obs.context",
+    "repro.obs.metrics",
+    "repro.obs.profiling",
+    "repro.obs.tracing",
     "repro.profiles.classes",
     "repro.profiles.graph",
     "repro.profiles.scenarios",
