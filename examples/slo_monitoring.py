@@ -1,0 +1,79 @@
+"""Streaming SLO monitoring: burn-rate alerts on a simulated outage.
+
+The paper evaluates user-perceived availability after the fact, from
+closed-form models and offline simulation.  An operator of the same
+Travel Agency would instead watch it **live**: stream session outcomes
+into sliding windows, compare the burn rate against the error budget
+implied by the analytic objective (eq. 10), and page when the budget
+burns too fast.  This example wires the repo's streaming
+``SLOMonitor`` onto a fault-injection campaign:
+
+* the objective is the analytic class-A availability — the monitor's
+  error budget is exactly what the paper's model promises;
+* a scheduled Internet-link outage at t = 1000 h burns the budget;
+* the multi-window (50 h / 500 h) burn-rate alert FIREs during the
+  outage and CLEARs after the repair, Google-SRE style;
+* a Poisson session sampler adds honest Wilson confidence intervals
+  from discrete session counts.
+
+Run:  python examples/slo_monitoring.py
+"""
+
+import numpy as np
+
+from repro.obs import PoissonSessionSampler, SLOMonitor, format_slo_report
+from repro.resilience import ScheduledOutage, run_campaign
+from repro.ta import CLASS_A, TravelAgencyModel
+
+
+def main() -> None:
+    model = TravelAgencyModel().hierarchical_model
+    objective = model.user_availability(CLASS_A).availability
+
+    print("=== SLO monitoring of a scheduled Internet-link outage ===")
+    print(f"objective (analytic eq. 10, class A): {objective:.9f}\n")
+
+    monitor = SLOMonitor(
+        objective=objective,
+        windows=(50.0, 500.0),
+        burn_threshold=5.0,
+        name="class A",
+    )
+    sampler = PoissonSessionSampler(
+        monitor, rate=2.0, rng=np.random.default_rng(7)
+    )
+    run_campaign(
+        model,
+        CLASS_A,
+        ScheduledOutage(
+            frozenset({"internet-link"}), start=1000.0, duration=60.0
+        ),
+        horizon=2500.0,
+        replications=1,
+        seed=11,
+        observer=sampler,
+    )
+
+    print(format_slo_report(
+        [monitor.summary()],
+        alerts=[(monitor.name, alert) for alert in monitor.alerts],
+        title="SLO report — 2500 h, outage at t = 1000 h for 60 h",
+    ))
+    print()
+
+    fired = [a for a in monitor.alerts if a.kind == "fire"]
+    cleared = [a for a in monitor.alerts if a.kind == "clear"]
+    if fired:
+        print(f"alert fired at t = {fired[0].time:.0f} h — every window's "
+              "burn rate crossed the 5x threshold during the outage")
+    if cleared:
+        print(f"alert cleared at t = {cleared[0].time:.0f} h — the short "
+              "window recovered first once the link was repaired")
+    print("\nThe alerts bracket the outage to within a window's width, "
+          "while the\ncumulative budget row only says '2x over' after "
+          "the fact — exactly why\nburn-rate windows, not lifetime "
+          "averages, drive paging decisions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows without writing Python:
+Eleven subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -40,6 +40,23 @@ Seven subcommands cover the common workflows without writing Python:
 ``repro stats``
     Merge and render metrics snapshots written by ``--metrics`` — as a
     sorted table (default), OpenMetrics text, or JSON.
+
+``repro slo``
+    Watch the user-perceived availability as an SLO: stream a simulated
+    fault-injection campaign through a multi-window burn-rate monitor
+    per user class (objective defaults to the analytic eq.-(10) value)
+    and report observed availability, Wilson confidence interval,
+    error-budget consumption, and the burn-rate alert log.
+
+``repro diff``
+    Compare two observability artifacts: metrics snapshots (series-by-
+    series deltas/ratios, histogram-aware) or ``BENCH_*.json`` records
+    (guarded overhead statistics against the committed baseline; a
+    regression beyond the guard threshold exits with code 1).
+
+``repro trace-report``
+    Analyze a ``--trace`` Chrome trace JSONL: critical path, self time
+    by category, top spans, and per-worker utilization.
 
 Long runs are bounded and interruptible: ``inject`` and ``retries``
 take ``--deadline SECONDS`` (wall clock; exceeding it exits with code 2
@@ -251,6 +268,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "openmetrics", "json"),
         default="table",
         help="output format (default: a sorted fixed-width table)",
+    )
+
+    slo = commands.add_parser(
+        "slo",
+        help=(
+            "monitor the user-perceived availability SLO over a "
+            "simulated campaign (multi-window burn-rate alerting)"
+        ),
+    )
+    slo.add_argument(
+        "--scenario", choices=sorted(FAULT_SCENARIOS), default="null",
+        help="fault scenario to inject while monitoring",
+    )
+    slo.add_argument(
+        "--architecture", choices=("basic", "redundant"), default="redundant",
+    )
+    slo.add_argument(
+        "--user-class", choices=("A", "B", "both"), default="both",
+    )
+    slo.add_argument(
+        "--horizon", type=float, default=5000.0,
+        help="simulated hours per replication",
+    )
+    slo.add_argument(
+        "--replications", type=int, default=4,
+        help="replications streamed back to back onto one timeline",
+    )
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument(
+        "--session-rate", type=float, default=1.0,
+        help="user sessions per simulated hour (Poisson sampling)",
+    )
+    slo.add_argument(
+        "--objective", type=float, default=None,
+        help=(
+            "availability objective in (0, 1); default is the analytic "
+            "eq.-(10) value of each user class"
+        ),
+    )
+    slo.add_argument(
+        "--short-window", type=float, default=50.0, metavar="HOURS",
+        help="short burn-rate window (also clears active alerts)",
+    )
+    slo.add_argument(
+        "--long-window", type=float, default=500.0, metavar="HOURS",
+        help="long burn-rate window (suppresses blips)",
+    )
+    slo.add_argument(
+        "--burn-threshold", type=float, default=5.0,
+        help="alert when every window burns at or above this rate",
+    )
+
+    diff = commands.add_parser(
+        "diff",
+        help=(
+            "diff two metrics snapshots or BENCH_*.json records "
+            "(bench regressions exit with code 1)"
+        ),
+    )
+    diff.add_argument("old", help="baseline artifact (JSON)")
+    diff.add_argument("new", help="current artifact (JSON)")
+    diff.add_argument(
+        "--include-unchanged", action="store_true",
+        help="metrics mode: also list series that did not move",
+    )
+    diff.add_argument(
+        "--threshold", type=float, default=None,
+        help=(
+            "bench mode: override the records' own guard_threshold for "
+            "the regression verdict"
+        ),
+    )
+
+    trace_report = commands.add_parser(
+        "trace-report",
+        help="analyze a --trace Chrome trace JSONL file",
+    )
+    # dest must not be "trace": _setup_instrumentation reads args.trace
+    # as the ambient --trace output path and would truncate the input.
+    trace_report.add_argument(
+        "trace_file", metavar="trace", help="path to the trace JSONL"
+    )
+    trace_report.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="number of spans in the top-spans table",
     )
     return parser
 
@@ -802,6 +904,118 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_slo(args) -> int:
+    import numpy as np
+
+    from ._validation import check_positive, check_positive_int
+    from .obs import PoissonSessionSampler, SLOMonitor, format_slo_report
+    from .resilience import run_campaign
+    from .ta import TravelAgencyModel
+
+    check_positive(args.session_rate, "session rate")
+    check_positive_int(args.replications, "replications")
+    model = TravelAgencyModel(architecture=args.architecture)
+    scenario = _fault_scenarios()[args.scenario](model.hierarchical_model)
+
+    summaries = []
+    alert_log = []
+    for user_class in _selected_classes(args.user_class):
+        objective = (
+            args.objective
+            if args.objective is not None
+            else model.hierarchical_model.user_availability(
+                user_class
+            ).availability
+        )
+        monitor = SLOMonitor(
+            objective=objective,
+            windows=(args.short_window, args.long_window),
+            burn_threshold=args.burn_threshold,
+            name=user_class.name,
+        )
+        sampler = PoissonSessionSampler(
+            monitor,
+            rate=args.session_rate,
+            rng=np.random.default_rng(args.seed),
+        )
+        run_campaign(
+            model.hierarchical_model,
+            user_class,
+            scenario,
+            horizon=args.horizon,
+            replications=args.replications,
+            seed=args.seed,
+            observer=sampler,
+        )
+        summaries.append(monitor.summary())
+        alert_log.extend((monitor.name, alert) for alert in monitor.alerts)
+
+    total = args.replications * args.horizon
+    print(format_slo_report(
+        summaries,
+        alerts=sorted(alert_log, key=lambda pair: pair[1].time),
+        title=(
+            f"SLO report — scenario {args.scenario!r}, {total:g} h "
+            f"simulated, ~{args.session_rate:g} sessions/h, "
+            f"windows {args.short_window:g}/{args.long_window:g} h, "
+            f"burn threshold {args.burn_threshold:g}x"
+        ),
+    ))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    import json
+
+    from .errors import ObservabilityError
+    from .obs import (
+        MetricsRegistry,
+        compare_bench_records,
+        diff_registries,
+        format_bench_comparison,
+        format_diff_table,
+    )
+    from .obs.metrics import SNAPSHOT_SCHEMA
+
+    def load(path):
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ObservabilityError(f"cannot read {path!r}: {exc}")
+
+    old, new = load(args.old), load(args.new)
+    bench_sides = [
+        isinstance(doc, dict) and "benchmark" in doc for doc in (old, new)
+    ]
+    if all(bench_sides):
+        comparison = compare_bench_records(
+            old, new, threshold=args.threshold
+        )
+        print(format_bench_comparison(comparison))
+        return 0 if comparison.ok else 1
+    if any(bench_sides):
+        raise ObservabilityError(
+            "cannot diff a bench record against a metrics snapshot: "
+            f"{args.old!r} and {args.new!r} are different kinds of artifact"
+        )
+    diff = diff_registries(
+        MetricsRegistry.from_dict(old), MetricsRegistry.from_dict(new)
+    )
+    print(format_diff_table(diff, include_unchanged=args.include_unchanged))
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    from ._validation import check_positive_int
+    from .obs.analysis import TraceAnalysis, format_trace_report
+
+    check_positive_int(args.top, "top")
+    analysis = TraceAnalysis.from_file(args.trace_file)
+    print(format_trace_report(analysis, top=args.top))
+    return 0
+
+
 def _setup_instrumentation(args):
     """Activate ambient metrics/tracing per --metrics/--trace.
 
@@ -844,6 +1058,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resume": _cmd_resume,
         "sweep": _cmd_sweep,
         "stats": _cmd_stats,
+        "slo": _cmd_slo,
+        "diff": _cmd_diff,
+        "trace-report": _cmd_trace_report,
     }
     from .errors import ReproError
 

@@ -216,7 +216,10 @@ class EvaluationEngine:
         submitting task's span, and worker registries merge back by
         name.  Instrumentation never changes outputs: parallel
         instrumented runs stay bit-identical to serial uninstrumented
-        ones.
+        ones.  Exported traces keep each worker's pid on its spans,
+        which is what ``repro trace-report`` aggregates into the
+        per-worker utilization table
+        (:meth:`repro.obs.analysis.TraceAnalysis.worker_utilization`).
 
     Examples
     --------

@@ -10,7 +10,9 @@ implements that measurement-to-model pipeline:
 * :func:`fit_two_state` — maximum-likelihood failure/repair rates from
   observed up/down durations, with exact gamma confidence intervals;
 * :func:`availability_confidence_interval` — Wilson interval for
-  probe-based availability estimates;
+  probe-based availability estimates (also consumed online by the
+  streaming :class:`repro.obs.slo.SLOMonitor`, whose session tallies
+  are exactly the successes/trials this interval expects);
 * :class:`ProbeLog` — a timeline of probe results (the raw output of a
   remote monitor), reduced to durations, rates and availabilities;
 * :mod:`repro.measurement.uncertainty` — propagation of parameter

@@ -23,7 +23,19 @@ failures — without changing a single output bit:
   (``benchmarks/bench_obs_overhead.py`` guards the disabled-mode cost
   at <= 3%);
 * :mod:`~repro.obs.profiling` — a :mod:`cProfile` harness for hot-path
-  investigations.
+  investigations;
+* :mod:`~repro.obs.slo` — the *consume* side for availability:
+  :class:`SLOMonitor`, a streaming multi-window burn-rate monitor of
+  the user-perceived availability SLO with error-budget accounting and
+  Wilson confidence intervals (rendered by ``repro slo``);
+* :mod:`~repro.obs.analysis` — trace analytics over exported Chrome
+  traces (:class:`TraceAnalysis`: critical path, per-category self
+  time, per-worker utilization; ``repro trace-report``) and
+  histogram-aware registry diffing (:func:`diff_registries`;
+  ``repro diff``);
+* :mod:`~repro.obs.regression` — the noise-robust paired-ratio overhead
+  statistic shared by every ``bench_*_overhead`` guard, plus
+  ``BENCH_*.json`` baseline comparison.
 
 Instrumented layers: the DES kernel (events, queue depths, per-event-type
 timing), the CTMC steady-state solvers (solve wall-time, strategy
@@ -56,7 +68,29 @@ from .metrics import (
     MetricsRegistry,
     merge_registries,
 )
+from .analysis import (
+    RegistryDiff,
+    SeriesDiff,
+    TraceAnalysis,
+    diff_registries,
+    format_diff_table,
+    format_trace_report,
+)
 from .profiling import profiled, render_profile
+from .regression import (
+    BenchComparison,
+    compare_bench_records,
+    format_bench_comparison,
+    paired_ratio_overhead,
+    time_variants,
+)
+from .slo import (
+    PoissonSessionSampler,
+    SLOAlert,
+    SLOMonitor,
+    SLOSummary,
+    format_slo_report,
+)
 from .tracing import (
     Span,
     SpanContext,
@@ -92,4 +126,20 @@ __all__ = [
     "chrome_trace_document",
     "read_trace",
     "write_chrome_trace",
+    "SLOMonitor",
+    "SLOAlert",
+    "SLOSummary",
+    "PoissonSessionSampler",
+    "format_slo_report",
+    "TraceAnalysis",
+    "format_trace_report",
+    "SeriesDiff",
+    "RegistryDiff",
+    "diff_registries",
+    "format_diff_table",
+    "BenchComparison",
+    "compare_bench_records",
+    "format_bench_comparison",
+    "paired_ratio_overhead",
+    "time_variants",
 ]

@@ -533,6 +533,11 @@ def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
     is exact for integer-valued data but sums floats in call order.)
     """
     registries = list(registries)
+    if not registries:
+        raise ObservabilityError(
+            "merge_registries needs at least one registry; an empty merge "
+            "has no schema to agree on"
+        )
     merged = MetricsRegistry()
     contributions: Dict[Tuple[str, Labels], List[Dict[str, Any]]] = {}
     for registry in registries:

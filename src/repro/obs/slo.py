@@ -1,0 +1,537 @@
+"""Streaming SLO monitoring of user-perceived availability.
+
+The paper's headline measure — the eq.-(10) user-perceived availability
+per user class — is, operationally, a *service-level objective*: a
+target fraction of user sessions that must succeed.  This module watches
+that objective **online**, as a discrete-event simulation or a
+fault-injection campaign streams its timeline, instead of judging one
+number after the run:
+
+* :class:`SLOMonitor` consumes two kinds of evidence on the simulated
+  timeline — *intervals* (a span of time with a known conditional
+  session-success probability, as produced by the end-to-end simulator)
+  and *session outcomes* (individual served/failed sessions, as produced
+  by the session simulators) — and maintains
+
+  - the cumulative time-weighted availability and its session-based
+    Wilson confidence interval (reusing
+    :func:`repro.measurement.estimators.availability_confidence_interval`),
+  - one :class:`BurnRateWindow` per configured window length: a sliding
+    window over the timeline whose **burn rate** is the observed
+    unavailability divided by the objective's error budget
+    ``1 - objective`` (burn rate 1 = exactly spending the budget),
+  - **error-budget accounting**: the fraction of the budget the run has
+    consumed so far, pro-rated to the observed timeline,
+  - an alert log: a :class:`SLOAlert` *fire* event when **every**
+    window's burn rate reaches the threshold (the long window proves the
+    budget spend is real, the short window proves it is current), and a
+    *clear* event as soon as the **shortest** window recovers — the
+    standard multi-window burn-rate policy, which both catches an
+    injected outage quickly and stops alerting soon after restore.
+
+* :class:`PoissonSessionSampler` adapts an interval stream into session
+  outcomes: sessions arrive as a Poisson process at a configured rate
+  and succeed with the interval's conditional probability, which gives
+  the monitor a statistically honest trial count for its confidence
+  interval without simulating individual sessions in the kernel.
+
+Monitors plug into :func:`repro.sim.endtoend.simulate_user_availability_over_time`
+(and, through it, :func:`repro.resilience.campaign.run_campaign`) via the
+``observer`` hook: any object with ``interval(start, end, availability)``
+and optionally ``fault(time, event)`` methods.  Both classes here
+implement that protocol.  The hook costs one ``is not None`` check per
+simulated transition when unused, and ``benchmarks/bench_slo_overhead.py``
+guards the *enabled* monitor's overhead on the DES hot path at <= 3%.
+
+Everything is pure Python over the simulated clock — no wall-clock,
+threads, or I/O — so monitored runs stay deterministic and the monitor
+is equally usable against recorded timelines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from .._validation import check_positive
+from ..errors import ObservabilityError
+
+__all__ = [
+    "SLOAlert",
+    "BurnRateWindow",
+    "SLOMonitor",
+    "SLOSummary",
+    "PoissonSessionSampler",
+    "format_slo_report",
+]
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One alert transition of an :class:`SLOMonitor`.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the transition.
+    kind:
+        ``"fire"`` when every window's burn rate reached the threshold,
+        ``"clear"`` when the shortest window recovered below it.
+    burn_rates:
+        Burn rate of each window at the transition, in the monitor's
+        window order (shortest first).
+    threshold:
+        The burn-rate threshold the transition was judged against.
+    """
+
+    time: float
+    kind: str
+    burn_rates: Tuple[float, ...]
+    threshold: float
+
+
+class BurnRateWindow:
+    """A sliding window of availability evidence over simulated time.
+
+    Evidence arrives as ``(time, good, total)`` contributions — for an
+    interval observation ``good = availability * dt`` and ``total = dt``;
+    for session outcomes ``good = successes`` and ``total = trials``.  A
+    contribution is evicted once the window has slid ``length`` past its
+    timestamp, so the window's availability is the ratio of the evidence
+    recorded in the trailing ``length`` of timeline.
+
+    Updates are O(1) amortized: running sums plus a deque of
+    contributions evicted from the front.
+    """
+
+    __slots__ = ("length", "_entries", "_good", "_total")
+
+    def __init__(self, length: float):
+        self.length = check_positive(length, "window length")
+        self._entries: Deque[Tuple[float, float, float]] = deque()
+        self._good = 0.0
+        self._total = 0.0
+
+    def add(self, time: float, good: float, total: float) -> None:
+        """Record a contribution at *time* and evict what slid out."""
+        self._entries.append((time, good, total))
+        self._good += good
+        self._total += total
+        self.advance(time)
+
+    def advance(self, time: float) -> None:
+        """Evict contributions older than ``time - length``."""
+        horizon = time - self.length
+        entries = self._entries
+        while entries and entries[0][0] <= horizon:
+            _, good, total = entries.popleft()
+            self._good -= good
+            self._total -= total
+
+    @property
+    def total(self) -> float:
+        """Evidence mass currently inside the window."""
+        return self._total
+
+    def availability(self) -> float:
+        """Availability over the window (1.0 while the window is empty)."""
+        if self._total <= 0.0:
+            return 1.0
+        # Clamp: float eviction drift can push the ratio an ulp outside
+        # [0, 1] after millions of updates.
+        return min(1.0, max(0.0, self._good / self._total))
+
+    def burn_rate(self, objective: float) -> float:
+        """Observed unavailability over the budget ``1 - objective``.
+
+        1.0 means the window is spending its error budget exactly as
+        fast as the objective allows; an outage drives it far above.
+        """
+        budget = 1.0 - objective
+        if budget <= 0.0:
+            return 0.0 if self.availability() >= 1.0 else float("inf")
+        return (1.0 - self.availability()) / budget
+
+
+@dataclass(frozen=True)
+class SLOSummary:
+    """Point-in-time summary of an :class:`SLOMonitor`.
+
+    Attributes
+    ----------
+    name:
+        The monitor's label (typically the user-class name).
+    objective:
+        The availability objective being watched.
+    elapsed:
+        Timeline observed so far (interval evidence only).
+    availability:
+        Cumulative time-weighted availability over the intervals, or the
+        session success fraction when only sessions were recorded
+        (``nan`` before any evidence).
+    sessions / served:
+        Session-outcome totals (0 when only intervals were recorded).
+    confidence_interval:
+        Wilson interval on the session outcomes, or ``None`` without
+        sessions.
+    budget_consumed:
+        Error budget consumed, as a fraction of the budget the objective
+        allows for the observed timeline (1.0 = the whole pro-rated
+        budget; >1 = the objective is being missed).
+    burn_rates:
+        Current burn rate per window, shortest window first.
+    alerts_fired:
+        Number of fire events so far.
+    alert_active:
+        Whether an alert is currently firing.
+    """
+
+    name: str
+    objective: float
+    elapsed: float
+    availability: float
+    sessions: int
+    served: int
+    confidence_interval: Optional[Tuple[float, float]]
+    budget_consumed: float
+    burn_rates: Tuple[float, ...]
+    alerts_fired: int
+    alert_active: bool
+
+
+class SLOMonitor:
+    """Streaming monitor of one availability objective.
+
+    Parameters
+    ----------
+    objective:
+        The availability target in ``(0, 1)`` — typically the analytic
+        eq.-(10) value of the user class being watched, so burn rate 1
+        means "failing exactly as often as the model predicts".
+    windows:
+        Sliding-window lengths on the simulated clock, any order; they
+        are kept sorted ascending.  The classic pairing is a short
+        window (alert currency) plus a long one (budget significance).
+    burn_threshold:
+        Burn rate at which every window must arrive for an alert to
+        fire; the alert clears when the shortest window drops back
+        below it.
+    name:
+        Label used in summaries and reports.
+    resolution:
+        Evaluation granularity on the simulated clock, defaulting to a
+        1/16 of the shortest window.  The end-to-end simulator emits one
+        ``interval()`` per resource transition — far finer than any
+        alerting window can resolve — so the monitor *coalesces*:
+        ``interval()`` only accumulates pending evidence (a few float
+        operations, the property ``bench_slo_overhead.py`` guards), and
+        the windows and alert logic advance once per resolution step.
+        Burn rates and alert timestamps are therefore quantized to the
+        resolution; every accessor drains pending evidence first, so
+        cumulative numbers (availability, budget, summary) are always
+        exact regardless of resolution.
+
+    Examples
+    --------
+    >>> monitor = SLOMonitor(objective=0.99, windows=(10.0, 100.0),
+    ...                      burn_threshold=5.0)
+    >>> for t in range(200):          # healthy: availability 1.0
+    ...     monitor.interval(float(t), float(t + 1), 1.0)
+    >>> for t in range(200, 240):     # a 40-time-unit total outage
+    ...     monitor.interval(float(t), float(t + 1), 0.0)
+    >>> [a.kind for a in monitor.alerts]
+    ['fire']
+    >>> for t in range(240, 400):     # restored
+    ...     monitor.interval(float(t), float(t + 1), 1.0)
+    >>> [a.kind for a in monitor.alerts]
+    ['fire', 'clear']
+    """
+
+    def __init__(
+        self,
+        objective: float,
+        windows: Sequence[float] = (50.0, 500.0),
+        burn_threshold: float = 5.0,
+        name: str = "",
+        resolution: Optional[float] = None,
+    ):
+        if not 0.0 < objective < 1.0:
+            raise ObservabilityError(
+                f"SLO objective must be in (0, 1), got {objective!r} — an "
+                "objective of exactly 1 leaves no error budget to burn"
+            )
+        if not windows:
+            raise ObservabilityError(
+                "SLOMonitor needs at least one window length"
+            )
+        check_positive(burn_threshold, "burn_threshold")
+        self.objective = float(objective)
+        self.burn_threshold = float(burn_threshold)
+        self.name = name
+        self.windows = tuple(
+            BurnRateWindow(length) for length in sorted(set(windows))
+        )
+        if resolution is None:
+            resolution = self.windows[0].length / 16.0
+        self.resolution = check_positive(resolution, "resolution")
+        self.alerts: List[SLOAlert] = []
+        self.alert_active = False
+        self._time = 0.0
+        self._up_time = 0.0
+        self._sessions = 0
+        self._served = 0
+        self._fault_times: List[Tuple[float, str]] = []
+        # Coalescing state: evidence accumulated since the last flush.
+        self._pending_good = 0.0
+        self._pending_dt = 0.0
+        self._last_end = 0.0
+        self._next_flush = float("-inf")
+
+    # -- observer protocol (sim.endtoend / campaign hook) ---------------
+    def interval(self, start: float, end: float, availability: float) -> None:
+        """Record a timeline interval with conditional availability.
+
+        The hot path: called once per simulated transition, so it only
+        accumulates; windows and alerting advance in :meth:`_flush`
+        once per resolution step.
+        """
+        dt = end - start
+        if dt <= 0.0:
+            return
+        self._pending_good += availability * dt
+        self._pending_dt += dt
+        self._last_end = end
+        if end >= self._next_flush:
+            self._flush(end)
+
+    def _flush(self, time: float) -> None:
+        """Fold pending evidence into the windows and evaluate alerts."""
+        dt = self._pending_dt
+        if dt > 0.0:
+            good = self._pending_good
+            self._pending_good = 0.0
+            self._pending_dt = 0.0
+            self._time += dt
+            self._up_time += good
+            for window in self.windows:
+                window.add(time, good, dt)
+            self._evaluate(time)
+        self._next_flush = time + self.resolution
+
+    def _drain(self) -> None:
+        """Make every cumulative accessor exact despite coalescing."""
+        if self._pending_dt > 0.0:
+            self._flush(self._last_end)
+
+    def fault(self, time: float, event: object) -> None:
+        """Note an injected fault/restore event (annotation only)."""
+        self._fault_times.append((time, repr(event)))
+
+    # -- session evidence ------------------------------------------------
+    def session(self, time: float, success: bool) -> None:
+        """Record one session outcome at *time*."""
+        self.sessions_at(time, int(bool(success)), 1)
+
+    def sessions_at(self, time: float, successes: int, trials: int) -> None:
+        """Record a batch of session outcomes at one timestamp."""
+        if trials < 0 or successes < 0 or successes > trials:
+            raise ObservabilityError(
+                f"session batch needs 0 <= successes <= trials, got "
+                f"{successes}/{trials}"
+            )
+        if trials == 0:
+            return
+        self._drain()
+        self._sessions += trials
+        self._served += successes
+        for window in self.windows:
+            window.add(time, float(successes), float(trials))
+        self._evaluate(time)
+
+    # -- alert evaluation ------------------------------------------------
+    def _evaluate(self, time: float) -> None:
+        rates = self.burn_rates()
+        if not self.alert_active:
+            if all(rate >= self.burn_threshold for rate in rates):
+                self.alert_active = True
+                self.alerts.append(SLOAlert(
+                    time=time, kind="fire", burn_rates=rates,
+                    threshold=self.burn_threshold,
+                ))
+        elif rates[0] < self.burn_threshold:
+            self.alert_active = False
+            self.alerts.append(SLOAlert(
+                time=time, kind="clear", burn_rates=rates,
+                threshold=self.burn_threshold,
+            ))
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Timeline covered by interval evidence so far."""
+        self._drain()
+        return self._time
+
+    @property
+    def sessions(self) -> int:
+        """Session outcomes recorded so far."""
+        return self._sessions
+
+    @property
+    def served(self) -> int:
+        """Successful sessions recorded so far."""
+        return self._served
+
+    def availability(self) -> float:
+        """Cumulative availability: time-weighted when intervals were
+        recorded, else the session success fraction, ``nan`` before any
+        evidence."""
+        self._drain()
+        if self._time > 0.0:
+            return self._up_time / self._time
+        if self._sessions:
+            return self._served / self._sessions
+        return float("nan")
+
+    def burn_rates(self) -> Tuple[float, ...]:
+        """Current burn rate of each window, shortest first."""
+        self._drain()
+        return tuple(
+            window.burn_rate(self.objective) for window in self.windows
+        )
+
+    def budget_consumed(self) -> float:
+        """Error budget consumed, pro-rated to the observed timeline.
+
+        1.0 means the run has spent exactly the downtime the objective
+        allows for the time observed so far; values above 1 mean the
+        objective is currently being missed.
+        """
+        availability = self.availability()
+        if availability != availability:  # NaN: no evidence yet
+            return 0.0
+        return (1.0 - availability) / (1.0 - self.objective)
+
+    def confidence_interval(
+        self, confidence: float = 0.95
+    ) -> Optional[Tuple[float, float]]:
+        """Wilson interval on the recorded session outcomes.
+
+        ``None`` when no sessions were recorded — interval evidence
+        carries no independent trial count to build an interval from.
+        """
+        if not self._sessions:
+            return None
+        from ..measurement.estimators import availability_confidence_interval
+
+        return availability_confidence_interval(
+            self._served, self._sessions, confidence
+        )
+
+    def summary(self) -> SLOSummary:
+        """The current :class:`SLOSummary`."""
+        return SLOSummary(
+            name=self.name,
+            objective=self.objective,
+            elapsed=self._time,
+            availability=self.availability(),
+            sessions=self._sessions,
+            served=self._served,
+            confidence_interval=self.confidence_interval(),
+            budget_consumed=self.budget_consumed(),
+            burn_rates=self.burn_rates(),
+            alerts_fired=sum(1 for a in self.alerts if a.kind == "fire"),
+            alert_active=self.alert_active,
+        )
+
+
+class PoissonSessionSampler:
+    """Adapts an interval stream into session outcomes for a monitor.
+
+    Sessions arrive as a Poisson process at *rate* per unit of simulated
+    time; each session drawn inside an interval succeeds with the
+    interval's conditional availability.  Both the interval itself and
+    the sampled outcomes are forwarded to the wrapped
+    :class:`SLOMonitor`, so the monitor gets burn-rate evidence *and* an
+    honest Bernoulli trial count for its Wilson interval from one
+    stream.
+
+    Implements the same observer protocol as the monitor, so it can be
+    passed directly as the end-to-end simulator's ``observer``.
+    """
+
+    def __init__(self, monitor: SLOMonitor, rate: float, rng):
+        self.monitor = monitor
+        self.rate = check_positive(rate, "session rate")
+        self._rng = rng
+
+    def interval(self, start: float, end: float, availability: float) -> None:
+        self.monitor.interval(start, end, availability)
+        dt = end - start
+        if dt <= 0.0:
+            return
+        trials = int(self._rng.poisson(self.rate * dt))
+        if not trials:
+            return
+        if availability <= 0.0:
+            successes = 0
+        elif availability >= 1.0:
+            successes = trials
+        else:
+            successes = int(self._rng.binomial(trials, availability))
+        self.monitor.sessions_at(end, successes, trials)
+
+    def fault(self, time: float, event: object) -> None:
+        self.monitor.fault(time, event)
+
+
+def format_slo_report(
+    summaries: Sequence[SLOSummary],
+    alerts: Sequence[Tuple[str, SLOAlert]] = (),
+    title: str = "SLO report",
+) -> str:
+    """Render monitor summaries (and an optional alert log) as text.
+
+    ``alerts`` pairs each alert with the name of the monitor that raised
+    it, so one report can interleave several monitors' logs.
+    """
+    from ..reporting import format_table
+
+    rows = []
+    for s in summaries:
+        if s.confidence_interval is not None:
+            low, high = s.confidence_interval
+            ci = f"[{low:.6f}, {high:.6f}]"
+        else:
+            ci = "n/a"
+        observed = "n/a" if s.availability != s.availability else (
+            f"{s.availability:.6f}"
+        )
+        rows.append([
+            s.name or "-",
+            f"{s.objective:.6f}",
+            observed,
+            f"{s.served}/{s.sessions}" if s.sessions else "n/a",
+            ci,
+            f"{s.budget_consumed:.2f}x",
+            "/".join(f"{rate:.2f}" for rate in s.burn_rates),
+            f"{s.alerts_fired}{' (active)' if s.alert_active else ''}",
+        ])
+    text = format_table(
+        ["class", "objective", "observed", "sessions", "95% CI",
+         "budget", "burn", "alerts"],
+        rows,
+        title=title,
+    )
+    if alerts:
+        lines = [text, "", "alert log:"]
+        for name, alert in alerts:
+            rates = ", ".join(f"{rate:.2f}" for rate in alert.burn_rates)
+            lines.append(
+                f"  t={alert.time:10.1f}  {alert.kind.upper():5s} "
+                f"{name}  burn [{rates}] vs threshold "
+                f"{alert.threshold:g}"
+            )
+        text = "\n".join(lines)
+    return text

@@ -49,7 +49,7 @@ import numpy as np
 
 from .._validation import check_positive, check_positive_int, check_rate
 from ..core import HierarchicalModel
-from ..errors import ResumeError
+from ..errors import ResumeError, ValidationError
 from ..obs.context import active_metrics, active_tracer
 from ..profiles import UserClass
 from ..runtime.budget import CancellationToken
@@ -179,6 +179,7 @@ def _run_replication(
     stream: np.random.SeedSequence,
     default_repair_rate: float,
     cancellation: Optional[CancellationToken],
+    observer=None,
 ) -> EndToEndResult:
     """One replication from its dedicated seed stream (resume-stable)."""
     rng = np.random.default_rng(stream)
@@ -191,7 +192,30 @@ def _run_replication(
         default_repair_rate=default_repair_rate,
         faults=faults,
         cancellation=cancellation,
+        observer=observer,
     )
+
+
+class _ShiftedObserver:
+    """Re-bases one replication's sim-time onto the campaign timeline.
+
+    Replication *i* simulates ``[0, horizon)``; the campaign observer
+    sees it as ``[i * horizon, (i + 1) * horizon)`` so sliding windows
+    (e.g. an :class:`repro.obs.slo.SLOMonitor`) span replication
+    boundaries instead of restarting at zero every time.
+    """
+
+    def __init__(self, observer, offset: float):
+        self._observer = observer
+        self._offset = offset
+
+    def interval(self, start: float, end: float, availability: float) -> None:
+        self._observer.interval(
+            start + self._offset, end + self._offset, availability
+        )
+
+    def fault(self, time: float, event) -> None:
+        self._observer.fault(time + self._offset, event)
 
 
 def _note_replication(metrics, scenario_name: str, class_name: str,
@@ -257,6 +281,7 @@ def run_campaign(
     heartbeat: Optional[HeartbeatCallback] = None,
     journal_meta: Optional[dict] = None,
     workers: int = 1,
+    observer=None,
 ) -> CampaignResult:
     """Run one fault-injection campaign.
 
@@ -305,6 +330,16 @@ def run_campaign(
         of order — resume handles that).  With ``workers > 1``,
         cancellation takes effect between replication completions rather
         than inside a replication.
+    observer:
+        Optional streaming consumer with ``interval(start, end,
+        availability)`` and ``fault(time, event)`` — typically an
+        :class:`repro.obs.slo.SLOMonitor` or
+        :class:`~repro.obs.slo.PoissonSessionSampler`.  Replication
+        ``i``'s events are re-based onto ``[i * horizon, (i + 1) *
+        horizon)`` so the observer sees one continuous campaign
+        timeline.  Streaming requires an ordered timeline, so it is
+        serial-only: combining ``observer`` with ``workers > 1`` raises
+        :class:`~repro.errors.ValidationError`.
 
     Examples
     --------
@@ -319,6 +354,11 @@ def run_campaign(
     replications = check_positive_int(replications, "replications")
     workers = check_positive_int(workers, "workers")
     check_rate(default_repair_rate, "default_repair_rate")
+    if observer is not None and workers > 1 and replications > 1:
+        raise ValidationError(
+            "a streaming observer needs the replications in timeline "
+            f"order; run with workers=1 (got workers={workers})"
+        )
     if scenario is None:
         scenario = NullScenario()
 
@@ -362,6 +402,11 @@ def run_campaign(
             for index, stream in enumerate(streams):
                 if cancellation is not None:
                     cancellation.check()
+                shifted = (
+                    _ShiftedObserver(observer, index * horizon)
+                    if observer is not None
+                    else None
+                )
                 if tracer is not None:
                     with tracer.span(
                         "replication", category="campaign",
@@ -369,12 +414,12 @@ def run_campaign(
                     ):
                         result = _run_replication(
                             model, user_class, scenario, horizon, stream,
-                            default_repair_rate, cancellation,
+                            default_repair_rate, cancellation, shifted,
                         )
                 else:
                     result = _run_replication(
                         model, user_class, scenario, horizon, stream,
-                        default_repair_rate, cancellation,
+                        default_repair_rate, cancellation, shifted,
                     )
                 results.append(result)
                 _note_replication(

@@ -185,6 +185,7 @@ def simulate_user_availability_over_time(
     max_transitions: int = 20_000_000,
     faults: Optional[Sequence[FaultEvent]] = None,
     cancellation: Optional["CancellationToken"] = None,
+    observer: Optional[object] = None,
 ) -> EndToEndResult:
     """Simulate resource failures/repairs and integrate user availability.
 
@@ -216,6 +217,16 @@ def simulate_user_availability_over_time(
         event budget interrupt the run cleanly (the partial integral is
         discarded — campaign-level journaling preserves only whole
         replications, which is what resume needs).
+    observer:
+        Optional streaming consumer of the simulated timeline, e.g. a
+        :class:`repro.obs.slo.SLOMonitor` or
+        :class:`~repro.obs.slo.PoissonSessionSampler`.  Duck-typed: it
+        must provide ``interval(start, end, availability)``, called for
+        every piecewise-constant segment of the conditional user
+        availability, and ``fault(time, event)``, called for every
+        applied :class:`FaultEvent`.  ``None`` (the default) costs one
+        ``is not None`` check per segment, preserving the additive-
+        observability guarantee: results are bit-identical either way.
 
     Returns
     -------
@@ -395,11 +406,16 @@ def simulate_user_availability_over_time(
             fully_up_time += dt
         if current == 0.0:
             outage_time += dt
+        if observer is not None and dt > 0.0:
+            observer.interval(clock, step_end, current)
         clock = step_end
         if event_time > horizon:
             break
         if fault_time <= resource_time:
-            apply_fault(timeline[next_fault])
+            event = timeline[next_fault]
+            apply_fault(event)
+            if observer is not None:
+                observer.fault(event.time, event)
             next_fault += 1
             applied += 1
         else:

@@ -92,6 +92,7 @@ def estimate_user_availability(
     user_class: UserClass,
     sessions: int,
     rng: np.random.Generator,
+    on_session=None,
 ) -> float:
     """Monte-Carlo estimate of the user-perceived availability.
 
@@ -112,6 +113,13 @@ def estimate_user_availability(
         Number of sessions to simulate.
     rng:
         Random generator.
+    on_session:
+        Optional callback ``on_session(time, success)`` invoked once per
+        simulated session with the session index (as a float pseudo-time)
+        and its boolean outcome — the hook a streaming consumer such as
+        :meth:`repro.obs.slo.SLOMonitor.session` plugs into.  ``None``
+        (the default) adds one ``is not None`` check per session; the
+        returned estimate is bit-identical either way.
 
     Returns
     -------
@@ -131,7 +139,7 @@ def estimate_user_availability(
     common = frozenset(model.common_services)
 
     successes = 0
-    for _ in range(sessions):
+    for i in range(sessions):
         scenario = scenarios[int(rng.choice(len(scenarios), p=probabilities))]
         needed = set(common)
         for function in scenario.functions:
@@ -142,10 +150,13 @@ def estimate_user_availability(
                 weights = np.array([p for _, p in usage])
                 index = int(rng.choice(len(usage), p=weights / weights.sum()))
                 needed |= usage[index][0]
-        if all(
+        success = all(
             rng.random() < service_availability[service] for service in needed
-        ):
+        )
+        if success:
             successes += 1
+        if on_session is not None:
+            on_session(float(i), success)
     return successes / sessions
 
 
@@ -187,6 +198,7 @@ def estimate_user_availability_with_retries(
     sessions: int,
     rng: np.random.Generator,
     cancellation=None,
+    on_session=None,
 ) -> RetrySimulationResult:
     """Session simulation with retries under exponential backoff.
 
@@ -225,6 +237,13 @@ def estimate_user_availability_with_retries(
         Optional :class:`~repro.runtime.CancellationToken`; the event
         kernel charges every attempt against it, so deadlines and event
         budgets bound the retry simulation too.
+    on_session:
+        Optional callback ``on_session(time, success)`` invoked once per
+        session at its *final* outcome (served, abandoned, or exhausted)
+        with the simulated time of that outcome; lets a streaming
+        consumer such as :meth:`repro.obs.slo.SLOMonitor.session` watch
+        the retry-adjusted availability online.  ``None`` (the default)
+        leaves the result bit-identical.
     """
     sessions = check_positive_int(sessions, "sessions")
     check_probability(policy.persistence, "policy.persistence")
@@ -269,12 +288,18 @@ def estimate_user_availability_with_retries(
         if attempt_succeeds(scenario):
             served += 1
             success_delays.append(sim.now - started)
+            if on_session is not None:
+                on_session(sim.now, True)
             return
         if retry_index >= policy.max_retries:
             exhausted += 1
+            if on_session is not None:
+                on_session(sim.now, False)
             return
         if policy.persistence < 1.0 and rng.random() >= policy.persistence:
             abandoned += 1
+            if on_session is not None:
+                on_session(sim.now, False)
             return
         delay = policy.backoff_delay(retry_index)
         sim.schedule(

@@ -1,0 +1,176 @@
+"""Tests for trace analytics and metrics diffing."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.analysis import (
+    TraceAnalysis,
+    diff_registries,
+    format_diff_table,
+    format_trace_report,
+)
+
+
+def event(name, ts, dur, span_id, parent_id=None, pid=1, cat="test", **args):
+    payload = {"span_id": span_id}
+    if parent_id is not None:
+        payload["parent_id"] = parent_id
+    payload.update(args)
+    return {
+        "name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+        "pid": pid, "tid": 1, "args": payload,
+    }
+
+
+class TestTraceAnalysis:
+    def tree(self):
+        return TraceAnalysis.from_events([
+            event("root", 0.0, 100.0, "a"),
+            event("child-long", 10.0, 60.0, "b", parent_id="a"),
+            event("child-short", 80.0, 10.0, "c", parent_id="a"),
+            event("leaf", 20.0, 30.0, "d", parent_id="b"),
+        ])
+
+    def test_tree_reconstruction_and_self_time(self):
+        analysis = self.tree()
+        (root,) = analysis.roots
+        assert root.name == "root"
+        assert sorted(c.name for c in root.children) == [
+            "child-long", "child-short"
+        ]
+        assert root.self_time == pytest.approx(30.0)  # 100 - 60 - 10
+        assert analysis.spans[1].self_time == pytest.approx(30.0)
+
+    def test_critical_path_descends_longest_children(self):
+        names = [node.name for node in self.tree().critical_path()]
+        assert names == ["root", "child-long", "leaf"]
+
+    def test_top_spans_sorted_by_duration(self):
+        top = self.tree().top_spans(2)
+        assert [s.name for s in top] == ["root", "child-long"]
+
+    def test_category_self_times_sum_to_wall_time(self):
+        totals = self.tree().category_self_times()
+        assert sum(totals.values()) == pytest.approx(100.0)
+
+    def test_worker_utilization_merges_overlaps(self):
+        analysis = TraceAnalysis.from_events([
+            event("w1", 0.0, 50.0, "a", pid=1),
+            event("w1-again", 25.0, 50.0, "b", pid=1),  # overlaps w1
+            event("w2", 0.0, 25.0, "c", pid=2),
+        ])
+        by_pid = {u.pid: u for u in analysis.worker_utilization()}
+        assert by_pid[1].busy == pytest.approx(75.0)  # union, not sum
+        assert by_pid[2].busy == pytest.approx(25.0)
+        assert by_pid[1].utilization == pytest.approx(1.0)
+
+    def test_orphan_parent_becomes_root(self):
+        analysis = TraceAnalysis.from_events([
+            event("stray", 0.0, 10.0, "x", parent_id="never-exported"),
+        ])
+        assert len(analysis.roots) == 1
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(ObservabilityError):
+            TraceAnalysis.from_events([{"name": "incomplete"}])
+
+    def test_empty_trace(self):
+        analysis = TraceAnalysis.from_events([])
+        assert len(analysis) == 0
+        assert analysis.critical_path() == []
+        assert analysis.worker_utilization() == []
+
+    def test_from_real_tracer_export(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", category="engine"):
+            with tracer.span("inner", category="solver"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export(path)
+        analysis = TraceAnalysis.from_file(path)
+        assert len(analysis) == 2
+        assert [n.name for n in analysis.critical_path()] == [
+            "outer", "inner"
+        ]
+
+    def test_report_renders_all_sections(self):
+        text = format_trace_report(self.tree())
+        assert "critical path" in text
+        assert "self time by category" in text
+        assert "top" in text
+        assert "per-worker utilization" in text
+
+    def test_report_on_empty_trace(self):
+        text = format_trace_report(TraceAnalysis.from_events([]))
+        assert "0 span(s)" in text
+
+
+class TestDiffRegistries:
+    def test_counter_delta_and_ratio(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.counter("solves").inc(2)
+        new.counter("solves").inc(5)
+        (entry,) = diff_registries(old, new).entries
+        assert entry.status == "changed"
+        assert entry.delta == pytest.approx(3.0)
+        assert entry.ratio == pytest.approx(2.5)
+
+    def test_added_and_removed_series(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.counter("gone").inc()
+        new.counter("fresh").inc()
+        diff = diff_registries(old, new)
+        assert [e.name for e in diff.added] == ["fresh"]
+        assert [e.name for e in diff.removed] == ["gone"]
+
+    def test_labelled_series_align_by_labels(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.counter("n", kind="a").inc(1)
+        old.counter("n", kind="b").inc(1)
+        new.counter("n", kind="a").inc(1)
+        new.counter("n", kind="b").inc(9)
+        diff = diff_registries(old, new)
+        changed = {dict(e.labels)["kind"] for e in diff.changed}
+        assert changed == {"b"}
+
+    def test_histogram_compares_count_and_mean(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.histogram("t", bounds=(1.0, 2.0)).observe(0.5)
+        new.histogram("t", bounds=(1.0, 2.0)).observe(0.5)
+        new.histogram("t", bounds=(1.0, 2.0)).observe(1.5)
+        (entry,) = diff_registries(old, new).entries
+        assert entry.kind == "histogram"
+        assert entry.status == "changed"
+        assert entry.old_count == 1 and entry.new_count == 2
+
+    def test_unchanged_series(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.gauge("depth").set(4)
+        new.gauge("depth").set(4)
+        (entry,) = diff_registries(old, new).entries
+        assert entry.status == "unchanged"
+
+    def test_mismatched_histogram_bounds_named(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.histogram("queue_wait", bounds=(1.0,)).observe(0.5)
+        new.histogram("queue_wait", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ObservabilityError, match="queue_wait"):
+            diff_registries(old, new)
+
+    def test_kind_mismatch_named(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.counter("x").inc()
+        new.gauge("x").set(1)
+        with pytest.raises(ObservabilityError, match="'x'"):
+            diff_registries(old, new)
+
+    def test_format_hides_unchanged_by_default(self):
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.counter("same").inc()
+        new.counter("same").inc()
+        old.counter("moved").inc(1)
+        new.counter("moved").inc(2)
+        diff = diff_registries(old, new)
+        assert "same" not in format_diff_table(diff)
+        assert "same" in format_diff_table(diff, include_unchanged=True)

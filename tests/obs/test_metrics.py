@@ -166,6 +166,20 @@ class TestMerge:
         with pytest.raises(ObservabilityError, match="bounds"):
             a.merge(b)
 
+    def test_merge_registries_rejects_empty_input(self):
+        with pytest.raises(ObservabilityError, match="at least one"):
+            merge_registries([])
+        with pytest.raises(ObservabilityError, match="at least one"):
+            merge_registries(iter(()))  # generators drain to empty too
+
+    def test_merge_registries_mismatched_bounds_names_family(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("queue_wait", bounds=(1.0,)).observe(0.5)
+        b.histogram("queue_wait", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ObservabilityError, match="queue_wait"):
+            merge_registries([a, b])
+
     def test_merge_registries_disjoint_names_union(self):
         a = MetricsRegistry()
         b = MetricsRegistry()

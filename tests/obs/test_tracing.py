@@ -165,3 +165,47 @@ class TestExport:
         assert set(document) == {"traceEvents", "displayTimeUnit"}
         assert len(document["traceEvents"]) == 2
         assert chrome_trace_document([])["traceEvents"] == []
+
+    def test_export_of_empty_tracer_writes_readable_empty_file(
+        self, tmp_path
+    ):
+        path = tmp_path / "empty.jsonl"
+        Tracer().export(path)
+        assert path.exists()
+        assert path.read_text() == ""
+        assert read_trace(path) == []
+
+    def test_span_unclosed_at_export_is_omitted_until_closed(
+        self, tmp_path
+    ):
+        tracer = Tracer()
+        path = tmp_path / "trace.jsonl"
+        with tracer.span("closed"):
+            pass
+        with tracer.span("still-open"):
+            tracer.export(path)  # mid-span: only the closed span lands
+            assert [e["name"] for e in read_trace(path)] == ["closed"]
+        tracer.export(path)
+        assert sorted(e["name"] for e in read_trace(path)) == [
+            "closed", "still-open"
+        ]
+
+
+class TestContextAfterParentEnded:
+    def test_reattachment_links_to_the_ended_span(self):
+        parent = Tracer()
+        with parent.span("submit"):
+            ctx = parent.context()
+        # The parent span has ended by the time the worker starts — the
+        # shipped context must still parent the worker's roots under it.
+        worker = Tracer(context=SpanContext.from_dict(ctx.as_dict()))
+        with worker.span("late-task"):
+            pass
+        (event,) = worker.events
+        assert event["args"]["parent_id"] == ctx.parent_id
+        parent.absorb(worker.payload())
+        by_name = {e["name"]: e for e in parent.events}
+        assert (
+            by_name["late-task"]["args"]["parent_id"]
+            == by_name["submit"]["args"]["span_id"]
+        )

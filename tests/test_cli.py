@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -473,6 +474,136 @@ class TestStatsCommand:
         assert registry.value(
             "engine_tasks", phase="grid failure rate x NW"
         ) == 6  # three failure-rate curves x two server counts
+
+
+class TestSloCommand:
+    def test_null_scenario_reports_monitor_summary(self, capsys):
+        assert main([
+            "slo", "--scenario", "null", "--user-class", "A",
+            "--horizon", "600", "--replications", "1", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "class A" in out
+        assert "objective" in out and "burn" in out
+
+    def test_outage_scenario_logs_fire_and_clear(self, capsys):
+        assert main([
+            "slo", "--scenario", "net-outage", "--user-class", "A",
+            "--horizon", "2500", "--replications", "1", "--seed", "3",
+            "--session-rate", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "alert log:" in out
+        assert "FIRE" in out and "CLEAR" in out
+
+    def test_invalid_session_rate_is_a_one_line_error(self, capsys):
+        assert main([
+            "slo", "--scenario", "null", "--session-rate", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestDiffCommand:
+    def snapshot(self, tmp_path, name, amount):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("engine_tasks").inc(amount)
+        path = tmp_path / name
+        registry.save(path)
+        return str(path)
+
+    def bench(self, tmp_path, name, overhead):
+        record = {
+            "benchmark": "bench-x",
+            "disabled_overhead": overhead,
+            "guard_threshold": 0.03,
+            "guarded": ["disabled_overhead"],
+        }
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_metrics_diff_prints_changed_series(self, tmp_path, capsys):
+        old = self.snapshot(tmp_path, "old.json", 2)
+        new = self.snapshot(tmp_path, "new.json", 5)
+        assert main(["diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "engine_tasks" in out
+        assert "changed" in out
+
+    def test_bench_regression_exits_1(self, tmp_path, capsys):
+        old = self.bench(tmp_path, "old.json", 0.01)
+        new = self.bench(tmp_path, "new.json", 0.20)
+        assert main(["diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "disabled_overhead" in out
+
+    def test_bench_within_guard_exits_0(self, tmp_path, capsys):
+        old = self.bench(tmp_path, "old.json", 0.01)
+        new = self.bench(tmp_path, "new.json", 0.02)
+        assert main(["diff", old, new]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_mixed_artifact_kinds_rejected(self, tmp_path, capsys):
+        snap = self.snapshot(tmp_path, "snap.json", 1)
+        bench = self.bench(tmp_path, "bench.json", 0.01)
+        assert main(["diff", snap, bench]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "different kinds" in err
+
+    def test_missing_file_is_a_one_line_error(self, tmp_path, capsys):
+        snap = self.snapshot(tmp_path, "snap.json", 1)
+        assert main(["diff", snap, str(tmp_path / "ghost.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read" in err
+
+
+class TestTraceReportCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with tracer.span("outer", category="engine"):
+            with tracer.span("inner", category="solver"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export(path)
+        return str(path)
+
+    def test_renders_report_sections(self, trace_file, capsys):
+        assert main(["trace-report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "outer" in out and "inner" in out
+
+    def test_input_trace_survives_the_report(self, trace_file, capsys):
+        # The positional must not collide with the ambient --trace
+        # output path, which main's finalizer would write (and truncate
+        # the input) on exit.
+        before = Path(trace_file).read_text()
+        assert main(["trace-report", trace_file]) == 0
+        capsys.readouterr()
+        assert Path(trace_file).read_text() == before
+
+    def test_top_flag_validated(self, trace_file, capsys):
+        assert main(["trace-report", trace_file, "--top", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_missing_trace_is_a_one_line_error(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "ghost.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
 
 
 class TestParser:
