@@ -1,0 +1,91 @@
+"""Which client-side resilience policy maximizes availability?
+
+The paper's users submit once (or naively retry).  Modern clients run
+richer policies — circuit breakers, request timeouts, hedged requests —
+and each trades availability differently as the farm degrades.  This
+example puts the four policies of :mod:`repro.resilience.policies` on
+the paper's four-server web farm and asks the question the paper never
+could: *which client policy maximizes user-perceived availability under
+farm faults?*
+
+Three observations worth the run:
+
+* a persistent retry dominates when per-attempt availability stays
+  high — re-drawing attempts hides blocking almost completely;
+* a circuit breaker tracks the per-attempt availability closely when
+  healthy but pays a protection cost exactly when attempts start
+  failing — the price of shedding load off a struggling farm;
+* hedging is great on a provisioned farm and *catastrophic* on a
+  saturated one: its duplicate requests feed back into the queue they
+  are trying to outrun.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.queueing import MMCKQueue
+from repro.resilience import (
+    CircuitBreakerPolicy,
+    FarmFaultScenario,
+    HedgePolicy,
+    RetryPolicy,
+    TimeoutPolicy,
+    compare_client_policies,
+    format_policy_comparison,
+    request_policy_availability,
+)
+
+
+def main() -> None:
+    policies = [
+        RetryPolicy(max_retries=3),
+        CircuitBreakerPolicy(failure_threshold=3, reset_timeout=30.0),
+        TimeoutPolicy(0.05),
+        HedgePolicy(0.05, 0.02),
+    ]
+    scenarios = [
+        FarmFaultScenario("nominal", servers_up=4, weight=0.70),
+        FarmFaultScenario("surge", servers_up=4, arrival_factor=1.5,
+                          weight=0.15),
+        FarmFaultScenario("degraded", servers_up=2,
+                          service_availability=0.95, weight=0.10),
+        FarmFaultScenario("critical", servers_up=1,
+                          service_availability=0.90, weight=0.05),
+    ]
+    report = compare_client_policies(
+        policies, scenarios,
+        arrival_rate=100.0, service_rate=100.0, capacity=10,
+    )
+    print("Client policies on the paper's 4-server farm")
+    print("=" * 44)
+    print()
+    print(format_policy_comparison(report))
+    print()
+    best = report.best
+    print(f"Best policy: {best.policy} "
+          f"(weighted mean availability {best.mean_availability:.9g})")
+
+    # The hedge feedback effect, isolated: the same hedge policy on a
+    # provisioned farm vs a saturated single server.
+    print()
+    print("Hedge load feedback")
+    print("-" * 19)
+    for label, queue in [
+        ("provisioned (4 servers)", MMCKQueue(
+            arrival_rate=100.0, service_rate=100.0, servers=4, capacity=10)),
+        ("saturated (1 server)", MMCKQueue(
+            arrival_rate=100.0, service_rate=100.0, servers=1, capacity=10)),
+    ]:
+        timeout = request_policy_availability(queue, TimeoutPolicy(0.05))
+        hedge = request_policy_availability(queue, HedgePolicy(0.05, 0.02))
+        gain = hedge.availability - timeout.availability
+        print(
+            f"{label}: timeout {timeout.availability:.6f}, "
+            f"hedge {hedge.availability:.6f} "
+            f"({'+' if gain >= 0 else ''}{gain:.6f}; effective rate "
+            f"{hedge.effective_arrival_rate:.1f}/s from "
+            f"{queue.arrival_rate:.0f}/s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

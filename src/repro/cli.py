@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven subcommands cover the common workflows without writing Python:
+Twelve subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -36,6 +36,12 @@ Eleven subcommands cover the common workflows without writing Python:
     evaluation engine: ``--workers N`` parallelizes the cells with
     bit-identical output, ``--cache-dir`` memoizes them across runs,
     and ``--journal`` makes an interrupted sweep resumable.
+
+``repro policies``
+    Rank client-side resilience policies — retry, circuit breaker,
+    request timeout, hedged requests — by user-perceived availability
+    across a grid of farm fault scenarios, evaluated through the same
+    engine (``--workers``/``--cache-dir``) with bit-identical output.
 
 ``repro stats``
     Merge and render metrics snapshots written by ``--metrics`` — as a
@@ -255,6 +261,63 @@ def build_parser() -> argparse.ArgumentParser:
         "journal per-cell results to this JSONL file; re-running the "
         "same sweep over it resumes instead of recomputing"
     ))
+
+    policies = commands.add_parser(
+        "policies",
+        help=(
+            "rank client-side resilience policies (retry, circuit "
+            "breaker, timeout, hedge) across farm fault scenarios"
+        ),
+    )
+    policies.add_argument(
+        "--arrival-rate", type=float, default=100.0,
+        help="nominal requests per second offered to the farm",
+    )
+    policies.add_argument(
+        "--service-rate", type=float, default=100.0,
+        help="per-server service rate (requests per second)",
+    )
+    policies.add_argument(
+        "--servers", type=int, default=4,
+        help="web servers in the nominal farm (paper: NW = 4)",
+    )
+    policies.add_argument(
+        "--buffer", type=int, default=10,
+        help="total buffer capacity K of the farm queue",
+    )
+    policies.add_argument(
+        "--timeout", type=float, default=0.05, metavar="SECONDS",
+        help="request timeout of the timeout and hedge policies",
+    )
+    policies.add_argument(
+        "--hedge-delay", type=float, default=0.02, metavar="SECONDS",
+        help="delay before the hedge policy issues its spare request",
+    )
+    policies.add_argument(
+        "--max-retries", type=int, default=3,
+        help="retry budget of the retry policy",
+    )
+    policies.add_argument(
+        "--persistence", type=float, default=1.0,
+        help="per-failure retry probability of the retry policy",
+    )
+    policies.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failures that trip the circuit breaker",
+    )
+    policies.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
+        help="mean open-state dwell before a recovery probe",
+    )
+    policies.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; output is bit-identical for any count",
+    )
+    policies.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk memo cache; a warm rerun recomputes nothing",
+    )
+    _add_runtime_flags(policies, journal=False)
 
     stats = commands.add_parser(
         "stats",
@@ -871,6 +934,87 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_policies(args) -> int:
+    import time
+
+    from ._validation import check_positive, check_positive_int
+    from .engine import EvaluationEngine
+    from .resilience import (
+        CircuitBreakerPolicy,
+        FarmFaultScenario,
+        HedgePolicy,
+        RetryPolicy,
+        TimeoutPolicy,
+        compare_client_policies,
+        format_policy_comparison,
+    )
+
+    check_positive(args.arrival_rate, "arrival-rate")
+    check_positive(args.service_rate, "service-rate")
+    check_positive_int(args.servers, "servers")
+    check_positive_int(args.buffer, "buffer")
+    cancellation, heartbeat = _runtime_context(args)
+    engine = EvaluationEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cancellation=cancellation,
+        heartbeat=heartbeat,
+    )
+    policies = [
+        RetryPolicy(
+            max_retries=args.max_retries, persistence=args.persistence
+        ),
+        CircuitBreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            reset_timeout=args.breaker_reset,
+        ),
+        TimeoutPolicy(args.timeout),
+        HedgePolicy(args.timeout, args.hedge_delay),
+    ]
+    # The default fault axis: weights approximate how much steady-state
+    # time a lightly-faulted farm spends in each regime.
+    scenarios = [
+        FarmFaultScenario("nominal", servers_up=args.servers, weight=0.70),
+        FarmFaultScenario(
+            "surge", servers_up=args.servers, arrival_factor=1.5,
+            weight=0.15,
+        ),
+        FarmFaultScenario(
+            "degraded", servers_up=max(1, args.servers // 2),
+            service_availability=0.95, weight=0.10,
+        ),
+        FarmFaultScenario(
+            "critical", servers_up=1, service_availability=0.90,
+            weight=0.05,
+        ),
+    ]
+    started = time.monotonic()
+    report = compare_client_policies(
+        policies,
+        scenarios,
+        arrival_rate=args.arrival_rate,
+        service_rate=args.service_rate,
+        capacity=args.buffer,
+        engine=engine,
+    )
+    elapsed = time.monotonic() - started
+    print(format_policy_comparison(report))
+    best = report.best
+    print(
+        f"\nbest policy: {best.policy} "
+        f"(weighted mean {best.mean_availability:.9g})"
+    )
+    stats = engine.cache.stats
+    rate = f"{stats.hit_rate:.1%}" if stats.lookups else "n/a"
+    print(
+        f"engine: workers={args.workers}, {len(report.cells)} cells in "
+        f"{elapsed:.2f}s; cache hits={stats.hits} misses={stats.misses} "
+        f"hit-rate={rate}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import json
 
@@ -1057,6 +1201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "retries": _cmd_retries,
         "resume": _cmd_resume,
         "sweep": _cmd_sweep,
+        "policies": _cmd_policies,
         "stats": _cmd_stats,
         "slo": _cmd_slo,
         "diff": _cmd_diff,

@@ -36,6 +36,7 @@ from .executor import BatchResult, EvaluationEngine, GraphResult
 from .tasks import (
     Task,
     TaskGraph,
+    client_policy_task,
     ctmc_steady_state_task,
     derived_task,
     des_replication_task,
@@ -51,6 +52,7 @@ __all__ = [
     "Task",
     "TaskGraph",
     "canonical_key",
+    "client_policy_task",
     "ctmc_steady_state_task",
     "derived_task",
     "des_replication_task",

@@ -37,6 +37,7 @@ __all__ = [
     "ctmc_steady_state_task",
     "queueing_batch_task",
     "des_replication_task",
+    "client_policy_task",
     "derived_task",
 ]
 
@@ -265,6 +266,54 @@ def des_replication_task(
         args=(
             model, user_class, float(horizon), stream,
             float(default_repair_rate), tuple(faults),
+        ),
+        key=key,
+    )
+
+
+def _evaluate_client_policy_cell(
+    policy, scenario, arrival_rate, service_rate, capacity
+):
+    from ..resilience.policies import evaluate_policy_cell
+
+    return evaluate_policy_cell(
+        policy, scenario, arrival_rate, service_rate, capacity
+    )
+
+
+def client_policy_task(
+    graph: TaskGraph,
+    name: str,
+    policy,
+    scenario,
+    arrival_rate: float,
+    service_rate: float,
+    capacity: int,
+) -> Task:
+    """One client-policy x farm-fault-scenario availability cell.
+
+    The unit behind the ``repro policies`` comparison grid: evaluates a
+    retry / circuit-breaker / timeout / hedge policy against one
+    :class:`~repro.resilience.FarmFaultScenario`, keyed by the nominal
+    farm parameters plus a pickle digest of the policy and scenario
+    dataclasses — so a warm cache skips every unchanged cell when only
+    part of the grid moves.
+    """
+    import pickle
+
+    key = canonical_key(
+        "client-policy-cell",
+        arrival_rate=float(arrival_rate),
+        service_rate=float(service_rate),
+        capacity=int(capacity),
+        content=pickle.dumps((policy, scenario), protocol=4),
+    )
+    return graph.add(
+        name,
+        _evaluate_client_policy_cell,
+        args=(
+            policy, scenario, float(arrival_rate), float(service_rate),
+            int(capacity),
         ),
         key=key,
     )

@@ -217,15 +217,20 @@ def response_time_quantile(queue: MMCKQueue, probability: float) -> float:
     """The *probability*-quantile of an accepted request's response time.
 
     E.g. ``response_time_quantile(q, 0.99)`` is the 99th-percentile
-    latency — the quantity SLOs are written against.
+    latency — the quantity SLOs are written against.  *probability* must
+    lie strictly inside (0, 1): the response time of an accepted request
+    has unbounded support, so the 0- and 1-quantiles are degenerate.
     """
-    from .._validation import check_probability
-
-    probability = check_probability(probability, "probability")
-    if probability == 0.0:
-        return 0.0
-    if probability == 1.0:
-        raise ValidationError("the response time has unbounded support")
+    if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+        raise ValidationError(
+            f"probability must be a number in (0, 1), got {probability!r}"
+        )
+    probability = float(probability)
+    if math.isnan(probability) or not 0.0 < probability < 1.0:
+        raise ValidationError(
+            "probability must be strictly inside the open interval (0, 1), "
+            f"got {probability!r}"
+        )
     target = 1.0 - probability
 
     def objective(t: float) -> float:

@@ -13,7 +13,13 @@ leaves out:
   discrete-event retry simulation in :mod:`repro.sim.sessions`;
 * **graceful degradation** (:mod:`~repro.resilience.degradation`) —
   admission-control policies that shed low-value classes in degraded
-  farm states, evaluated through the M/M/c/K loss model.
+  farm states, evaluated through the M/M/c/K loss model;
+* **client policies** (:mod:`~repro.resilience.policies`) — circuit
+  breakers (a closed/open/half-open user-level CTMC), request timeouts
+  and hedged requests (closed forms over the M/M/c/K response-time
+  distribution, with hedge load feedback), and a policy-comparison
+  campaign ranking {retry, breaker, timeout, hedge} across farm fault
+  scenarios through the :mod:`repro.engine` machinery.
 """
 
 from .campaign import (
@@ -42,8 +48,26 @@ from .faults import (
     ScheduledOutage,
     ServiceDegradation,
 )
+from .policies import (
+    CircuitBreakerPolicy,
+    CircuitBreakerResult,
+    FarmFaultScenario,
+    HedgePolicy,
+    PolicyCell,
+    PolicyComparisonReport,
+    PolicyRank,
+    RequestPolicyResult,
+    TimeoutPolicy,
+    circuit_breaker_availability,
+    circuit_breaker_chain,
+    compare_client_policies,
+    evaluate_policy_cell,
+    policy_label,
+    request_policy_availability,
+)
 from .report import (
     format_campaign_table,
+    format_policy_comparison,
     format_policy_table,
     format_retry_table,
 )
@@ -77,7 +101,23 @@ __all__ = [
     "RecurrentOutage",
     "ScheduledOutage",
     "ServiceDegradation",
+    "CircuitBreakerPolicy",
+    "CircuitBreakerResult",
+    "FarmFaultScenario",
+    "HedgePolicy",
+    "PolicyCell",
+    "PolicyComparisonReport",
+    "PolicyRank",
+    "RequestPolicyResult",
+    "TimeoutPolicy",
+    "circuit_breaker_availability",
+    "circuit_breaker_chain",
+    "compare_client_policies",
+    "evaluate_policy_cell",
+    "policy_label",
+    "request_policy_availability",
     "format_campaign_table",
+    "format_policy_comparison",
     "format_policy_table",
     "format_retry_table",
     "RetryAdjustedResult",

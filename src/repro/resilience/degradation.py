@@ -80,6 +80,15 @@ class AdmissionPolicy:
         """True when *class_name* is admitted with that many servers up."""
         raise NotImplementedError
 
+    def referenced_classes(self) -> FrozenSet[str]:
+        """Class names this policy refers to by name.
+
+        Evaluations check these against the offered
+        :class:`ClassLoad` names, so a typo in a policy fails loudly
+        instead of silently shedding nothing.
+        """
+        return frozenset()
+
 
 @dataclass(frozen=True)
 class AdmitAll(AdmissionPolicy):
@@ -118,6 +127,9 @@ class ShedClasses(AdmissionPolicy):
         if class_name not in self.shed:
             return True
         return operational_servers >= self.below_servers
+
+    def referenced_classes(self) -> FrozenSet[str]:
+        return self.shed
 
 
 @dataclass(frozen=True)
@@ -161,6 +173,20 @@ def _operational_state_probabilities(web: WebServiceModel) -> Dict[int, float]:
     return dict(operational)
 
 
+def _check_policy_classes(
+    loads: Sequence[ClassLoad], policy: AdmissionPolicy
+) -> None:
+    """Reject a policy naming classes absent from the offered loads."""
+    referenced = getattr(policy, "referenced_classes", frozenset)()
+    unknown = sorted(frozenset(referenced) - {load.name for load in loads})
+    if unknown:
+        raise ValidationError(
+            f"policy {policy.name!r} references unknown class "
+            f"name(s) {unknown}; offered classes are "
+            f"{sorted(load.name for load in loads)}"
+        )
+
+
 def _admitted_loss(
     web: WebServiceModel,
     loads: Sequence[ClassLoad],
@@ -196,6 +222,7 @@ def conditional_class_availability(
     admitted classes) does not overflow.
     """
     servers_up = check_non_negative_int(servers_up, "servers_up")
+    _check_policy_classes(loads, policy)
     if servers_up == 0:
         return {load.name: 0.0 for load in loads}
     loss, admitted = _admitted_loss(web, loads, policy, servers_up)
@@ -231,6 +258,7 @@ def evaluate_policy(
     names = [load.name for load in loads]
     if len(set(names)) != len(names):
         raise ValidationError(f"duplicate class load names: {names}")
+    _check_policy_classes(loads, policy)
     states = _operational_state_probabilities(web)
     availability = {load.name: 0.0 for load in loads}
     for servers_up, probability in states.items():

@@ -14,6 +14,7 @@ __all__ = [
     "format_campaign_table",
     "format_retry_table",
     "format_policy_table",
+    "format_policy_comparison",
 ]
 
 
@@ -109,3 +110,44 @@ def format_policy_table(
         rows,
         title=title,
     )
+
+
+def format_policy_comparison(report) -> str:
+    """Two tables for a :class:`~repro.resilience.PolicyComparisonReport`.
+
+    The ranking table has one row per policy (weighted mean, worst-case
+    scenario); the cell table one row per (policy, scenario) in grid
+    order, with the per-attempt availability the policy worked against.
+    """
+    ranking_rows: List[Sequence[object]] = []
+    for position, rank in enumerate(report.ranking, start=1):
+        ranking_rows.append(
+            [
+                position,
+                rank.policy,
+                _sig(rank.mean_availability, 9),
+                _sig(rank.worst_availability, 9),
+                rank.worst_scenario,
+            ]
+        )
+    ranking = format_table(
+        ["rank", "policy", "weighted mean", "worst", "worst scenario"],
+        ranking_rows,
+        title="Client-policy ranking",
+    )
+    cell_rows: List[Sequence[object]] = []
+    for cell in report.cells:
+        cell_rows.append(
+            [
+                cell.policy,
+                cell.scenario,
+                _sig(cell.attempt_availability, 9),
+                _sig(cell.availability, 9),
+            ]
+        )
+    cells = format_table(
+        ["policy", "scenario", "attempt A", "effective A"],
+        cell_rows,
+        title="Policy x scenario cells",
+    )
+    return f"{ranking}\n\n{cells}"

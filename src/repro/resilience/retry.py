@@ -105,12 +105,19 @@ class RetryPolicy:
             )
 
     def backoff_delay(self, retry_index: int) -> float:
-        """Backoff before retry number *retry_index* (0-based)."""
+        """Backoff before retry number *retry_index* (0-based).
+
+        Always finite once a cap is set: the exponential term saturates
+        at the cap instead of overflowing for large indices.
+        """
         retry_index = check_non_negative_int(retry_index, "retry_index")
-        return min(
-            self.backoff_cap,
-            self.backoff_base * self.backoff_factor**retry_index,
-        )
+        try:
+            delay = self.backoff_base * self.backoff_factor**retry_index
+        except OverflowError:
+            # factor**index exceeded float range; every such delay is
+            # above any finite cap (and inf under no cap).
+            delay = math.inf if self.backoff_base > 0.0 else 0.0
+        return min(self.backoff_cap, delay)
 
 
 @dataclass(frozen=True)

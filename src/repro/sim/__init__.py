@@ -36,6 +36,12 @@ from .endtoend import (
     FaultEvent,
     simulate_user_availability_over_time,
 )
+from .clients import (
+    CircuitBreakerSimulationResult,
+    RequestPolicySimulationResult,
+    simulate_circuit_breaker_clients,
+    simulate_request_policy,
+)
 
 __all__ = [
     "Simulator",
@@ -51,4 +57,8 @@ __all__ = [
     "EndToEndResult",
     "FaultEvent",
     "simulate_user_availability_over_time",
+    "CircuitBreakerSimulationResult",
+    "RequestPolicySimulationResult",
+    "simulate_circuit_breaker_clients",
+    "simulate_request_policy",
 ]

@@ -1,0 +1,299 @@
+"""Simulation of client-side resilience policies.
+
+Two estimators, each the stochastic cross-check of a closed form in
+:mod:`repro.resilience.policies`:
+
+* :func:`simulate_circuit_breaker_clients` runs one circuit-breaker
+  client as a discrete-event simulation on the
+  :class:`~repro.sim.des.Simulator` kernel — Poisson demand, the
+  closed/open/half-open machine with consecutive-failure trip,
+  exponential reset timer, and probe thinning in half-open.  Its served
+  fraction converges to
+  :func:`repro.resilience.policies.circuit_breaker_availability`
+  (a population of independent, identical clients averages to the same
+  number, so one long-run client *is* the population estimate).
+* :func:`simulate_request_policy` Monte-Carlo-samples timeout and hedge
+  sessions over the farm's analytic arrival-state mixture (PASTA: an
+  arriving request sees the stationary M/M/c/K state; its response time
+  is an Erlang wait behind the queue plus its own service), converging
+  to :func:`repro.resilience.policies.request_policy_availability`.
+  Queue-state correlation between a session's original and its hedge is
+  deliberately out of scope — both draw from the stationary mixture,
+  matching the i.i.d. assumption of the closed form (the same modeling
+  boundary as :func:`~repro.sim.sessions.estimate_user_availability_with_retries`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability
+from ..errors import ValidationError
+from ..queueing.mmck import MMCKQueue
+from .des import Simulator
+
+__all__ = [
+    "CircuitBreakerSimulationResult",
+    "simulate_circuit_breaker_clients",
+    "RequestPolicySimulationResult",
+    "simulate_request_policy",
+]
+
+
+@dataclass(frozen=True)
+class CircuitBreakerSimulationResult:
+    """Outcome of one circuit-breaker client simulation.
+
+    Attributes
+    ----------
+    requests:
+        Demanded requests (every arrival, whatever the breaker did).
+    served_fraction:
+        Fraction of demand that reached the service and succeeded — the
+        DES estimate of the user-perceived availability.
+    short_circuit_fraction:
+        Fraction of demand the breaker rejected locally (open state plus
+        the non-probed share of half-open arrivals).
+    trips:
+        Times the breaker tripped open from closed or half-open.
+    horizon:
+        Simulated time consumed by the run.
+    """
+
+    requests: int
+    served_fraction: float
+    short_circuit_fraction: float
+    trips: int
+    horizon: float
+
+
+def simulate_circuit_breaker_clients(
+    availability: float,
+    policy,
+    requests: int,
+    rng: np.random.Generator,
+    cancellation=None,
+) -> CircuitBreakerSimulationResult:
+    """Discrete-event simulation of a circuit-breaker client population.
+
+    One client demands the service as a Poisson stream at
+    ``policy.request_rate``.  While closed, each attempt succeeds with
+    probability *availability*; ``policy.failure_threshold`` consecutive
+    failures trip the breaker.  The open sojourn is drawn exponential
+    with mean ``policy.reset_timeout`` (matching the Markov closed form;
+    same mean occupancy as a deterministic timer).  In half-open, an
+    arrival probes with probability ``probe_rate / request_rate`` —
+    success closes the breaker, failure re-opens it — and is
+    short-circuited otherwise.
+
+    Parameters
+    ----------
+    availability:
+        Per-attempt availability the breaker observes.
+    policy:
+        A :class:`repro.resilience.CircuitBreakerPolicy` (anything with
+        ``failure_threshold``, ``reset_timeout``, ``request_rate`` and
+        ``probe_rate`` works).
+    requests:
+        Demanded requests to simulate.
+    rng:
+        Random generator; the caller owns seeding.
+    cancellation:
+        Optional :class:`~repro.runtime.CancellationToken`; the event
+        kernel charges every arrival against it.
+
+    Examples
+    --------
+    >>> from repro.resilience import CircuitBreakerPolicy
+    >>> result = simulate_circuit_breaker_clients(
+    ...     0.95, CircuitBreakerPolicy(failure_threshold=3,
+    ...                                reset_timeout=5.0),
+    ...     requests=4000, rng=np.random.default_rng(7))
+    >>> 0.8 < result.served_fraction <= 1.0
+    True
+    """
+    availability = check_probability(availability, "availability")
+    requests = check_positive_int(requests, "requests")
+    probe_share = policy.probe_rate / policy.request_rate
+    mean_gap = 1.0 / policy.request_rate
+    threshold = policy.failure_threshold
+
+    sim = Simulator(cancellation=cancellation)
+    state = {"mode": "closed", "streak": 0}
+    counts = {"demanded": 0, "served": 0, "short": 0, "trips": 0}
+
+    def trip_open() -> None:
+        state["mode"] = "open"
+        counts["trips"] += 1
+        sim.schedule(rng.exponential(policy.reset_timeout), half_open)
+
+    def half_open() -> None:
+        state["mode"] = "half-open"
+
+    def attempt_succeeds() -> bool:
+        return bool(rng.random() < availability)
+
+    def arrival() -> None:
+        counts["demanded"] += 1
+        mode = state["mode"]
+        if mode == "closed":
+            if attempt_succeeds():
+                counts["served"] += 1
+                state["streak"] = 0
+            else:
+                state["streak"] += 1
+                if state["streak"] >= threshold:
+                    state["streak"] = 0
+                    trip_open()
+        elif mode == "open":
+            counts["short"] += 1
+        else:  # half-open
+            if probe_share >= 1.0 or rng.random() < probe_share:
+                if attempt_succeeds():
+                    counts["served"] += 1
+                    state["mode"] = "closed"
+                else:
+                    trip_open()
+            else:
+                counts["short"] += 1
+        if counts["demanded"] < requests:
+            sim.schedule(rng.exponential(mean_gap), arrival)
+
+    sim.schedule(rng.exponential(mean_gap), arrival)
+    sim.run()  # at most one reset timer can outlive the last arrival
+    return CircuitBreakerSimulationResult(
+        requests=requests,
+        served_fraction=counts["served"] / requests,
+        short_circuit_fraction=counts["short"] / requests,
+        trips=counts["trips"],
+        horizon=sim.now,
+    )
+
+
+@dataclass(frozen=True)
+class RequestPolicySimulationResult:
+    """Outcome of a timeout/hedge request-policy simulation.
+
+    Attributes
+    ----------
+    sessions:
+        Simulated sessions.
+    served_fraction:
+        Fraction of sessions that got a timely, correct response — the
+        Monte-Carlo estimate of the policy's effective availability.
+    hedged_fraction:
+        Fraction that issued the spare request (0 for a plain timeout).
+    blocked_fraction:
+        Fraction whose *original* request was rejected by the buffer.
+    """
+
+    sessions: int
+    served_fraction: float
+    hedged_fraction: float
+    blocked_fraction: float
+
+
+def simulate_request_policy(
+    queue: MMCKQueue,
+    policy,
+    sessions: int,
+    rng: np.random.Generator,
+    attempt_availability: float = 1.0,
+) -> RequestPolicySimulationResult:
+    """Monte-Carlo estimate of a timeout or hedge policy's availability.
+
+    Each request samples the queue state an arriving (Poisson) customer
+    sees — the stationary distribution, by PASTA.  State ``K`` means the
+    buffer rejects it; otherwise its response time is the Erlang wait
+    behind the customers ahead plus its own exponential service, the
+    exact representation behind
+    :func:`repro.queueing.responsetime.response_time_survival`.  Session
+    logic then follows the policy: a timeout session succeeds when the
+    response beats the timeout; a hedge session issues a spare
+    immediately on rejection or at the hedge delay, succeeding when
+    either copy responds in time.  A session-level Bernoulli with
+    *attempt_availability* models service-correctness (shared by both
+    copies, matching the closed form).
+
+    For a :class:`~repro.resilience.HedgePolicy`, pass the
+    *load-adjusted* queue — e.g.
+    ``analytic.effective_queue(nominal_queue)`` from
+    :func:`repro.resilience.request_policy_availability` — so the sample
+    sees the hedge-inflated farm state the closed form resolves via its
+    fixed point.
+
+    Parameters
+    ----------
+    queue:
+        The farm queue the requests sample (see above for hedging).
+    policy:
+        A :class:`repro.resilience.TimeoutPolicy` or
+        :class:`repro.resilience.HedgePolicy`.
+    sessions:
+        Sessions to simulate.
+    rng:
+        Random generator; the caller owns seeding.
+    attempt_availability:
+        Session-level service-correctness probability.
+    """
+    from ..resilience.policies import HedgePolicy, TimeoutPolicy
+
+    sessions = check_positive_int(sessions, "sessions")
+    m = check_probability(attempt_availability, "attempt_availability")
+    if not isinstance(policy, (TimeoutPolicy, HedgePolicy)):
+        raise ValidationError(
+            f"policy must be a TimeoutPolicy or HedgePolicy, got {policy!r}"
+        )
+    dist = queue.state_distribution()
+    capacity = queue.capacity
+    servers = queue.servers
+    mu = queue.service_rate
+
+    def draw_arrivals() -> np.ndarray:
+        return rng.choice(capacity + 1, size=sessions, p=dist)
+
+    def response_times(states: np.ndarray) -> np.ndarray:
+        # Erlang(n - c + 1, c mu) wait behind the queue (for n >= c),
+        # plus the request's own Exp(mu) service.
+        ahead = np.maximum(states - servers + 1, 1)
+        wait = rng.gamma(ahead, 1.0 / (servers * mu))
+        wait = np.where(states >= servers, wait, 0.0)
+        return wait + rng.exponential(1.0 / mu, size=sessions)
+
+    tau = policy.timeout
+    first = draw_arrivals()
+    blocked = first == capacity
+    response = response_times(first)
+    if isinstance(policy, TimeoutPolicy):
+        timely = ~blocked & (response <= tau)
+        hedged = np.zeros(sessions, dtype=bool)
+    else:
+        delay = policy.hedge_delay
+        spare_states = draw_arrivals()
+        spare_blocked = spare_states == capacity
+        spare_response = response_times(spare_states)
+        # Rejected original: the spare runs alone from time 0.  Accepted
+        # original: it wins outright within tau, or the spare (issued at
+        # the hedge delay, if accepted) finishes within the remainder.
+        timely = np.where(
+            blocked,
+            ~spare_blocked & (spare_response <= tau),
+            (response <= tau)
+            | (
+                (response > delay)
+                & ~spare_blocked
+                & (spare_response <= tau - delay)
+            ),
+        )
+        hedged = blocked | (~blocked & (response > delay))
+    correct = rng.random(sessions) < m if m < 1.0 else np.ones(sessions, dtype=bool)
+    served = timely & correct
+    return RequestPolicySimulationResult(
+        sessions=sessions,
+        served_fraction=float(np.mean(served)),
+        hedged_fraction=float(np.mean(hedged)),
+        blocked_fraction=float(np.mean(blocked)),
+    )

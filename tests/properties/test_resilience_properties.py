@@ -85,6 +85,84 @@ class TestRetryAdjustedModelProperties:
         )
 
 
+bases = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+factors = st.floats(min_value=1.0, max_value=1e3, allow_nan=False)
+caps = st.one_of(
+    st.just(float("inf")),
+    st.floats(min_value=1e-6, max_value=1e9, allow_nan=False),
+)
+retry_indices = st.integers(min_value=0, max_value=5000)
+
+
+class TestBackoffDelayProperties:
+    @given(bases, factors, caps, retry_indices)
+    @settings(max_examples=200, deadline=None)
+    def test_delay_non_negative_and_capped(self, base, factor, cap, index):
+        policy = RetryPolicy(
+            backoff_base=base, backoff_factor=factor, backoff_cap=cap
+        )
+        delay = policy.backoff_delay(index)
+        assert delay >= 0.0
+        assert delay <= cap
+
+    @given(bases, factors, caps, retry_indices)
+    @settings(max_examples=200, deadline=None)
+    def test_delay_monotone_in_retry_index(self, base, factor, cap, index):
+        # Jitter-free exponential backoff never shrinks with the index.
+        policy = RetryPolicy(
+            backoff_base=base, backoff_factor=factor, backoff_cap=cap
+        )
+        assert policy.backoff_delay(index + 1) >= policy.backoff_delay(index)
+
+    @given(bases, caps)
+    @settings(max_examples=100, deadline=None)
+    def test_huge_indices_saturate_instead_of_overflowing(self, base, cap):
+        # factor**index overflows a float for large indices; the delay
+        # must saturate at the cap (or inf when uncapped), not raise.
+        policy = RetryPolicy(
+            backoff_base=base, backoff_factor=2.0, backoff_cap=cap
+        )
+        delay = policy.backoff_delay(10_000)
+        if base > 0.0:
+            assert delay == cap
+        else:
+            assert delay == 0.0
+
+
+class TestSessionOutcomeEdgeCases:
+    @given(persistences, retry_budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_dead_service_never_serves(self, p, k):
+        out = session_outcome(0.0, RetryPolicy(max_retries=k, persistence=p))
+        assert out.served == 0.0
+        assert out.abandoned + out.exhausted == pytest.approx(1.0, abs=1e-12)
+        if p == 1.0:  # nobody abandons: every session exhausts the budget
+            assert out.exhausted == 1.0
+            assert out.expected_attempts == k + 1
+
+    @given(persistences, retry_budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_service_serves_first_try(self, p, k):
+        out = session_outcome(1.0, RetryPolicy(max_retries=k, persistence=p))
+        assert out.served == 1.0
+        assert out.abandoned == 0.0
+        assert out.exhausted == 0.0
+        assert out.expected_attempts == 1.0
+
+    @given(availabilities, persistences)
+    @settings(max_examples=100, deadline=None)
+    def test_retry_index_at_the_cap_is_valid(self, a, p):
+        # The last allowed retry index is max_retries - 1; delays up to
+        # and including the cap index must be finite under a cap.
+        policy = RetryPolicy(
+            max_retries=3, persistence=p, backoff_cap=60.0
+        )
+        for index in range(policy.max_retries):
+            assert 0.0 <= policy.backoff_delay(index) <= 60.0
+        out = session_outcome(a, policy)
+        assert 1.0 <= out.expected_attempts <= policy.max_retries + 1
+
+
 class TestCampaignProperties:
     @given(st.integers(min_value=0, max_value=2**31 - 1))
     @settings(max_examples=5, deadline=None)

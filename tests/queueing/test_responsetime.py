@@ -190,7 +190,18 @@ class TestQuantile:
         q999 = response_time_quantile(multi_server, 0.999)
         assert q50 < q95 < q999
 
-    def test_extremes(self, single_server):
-        assert response_time_quantile(single_server, 0.0) == 0.0
-        with pytest.raises(ValidationError):
-            response_time_quantile(single_server, 1.0)
+    def test_rejects_probabilities_outside_open_interval(self, single_server):
+        # The response time has unbounded support, so only p strictly
+        # inside (0, 1) has a meaningful quantile; the error names the
+        # offending argument.
+        for p in (0.0, 1.0, -0.1, 1.5, float("nan")):
+            with pytest.raises(ValidationError, match="probability"):
+                response_time_quantile(single_server, p)
+
+    def test_rejects_non_numeric_probability(self, single_server):
+        with pytest.raises(ValidationError, match="probability"):
+            response_time_quantile(single_server, "0.5")
+
+    def test_survival_rejects_negative_time(self, single_server):
+        with pytest.raises(ValidationError, match="t"):
+            response_time_survival(single_server, -1e-9)

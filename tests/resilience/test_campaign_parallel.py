@@ -72,6 +72,35 @@ class TestWorkersParameter:
         parallel = _campaign(workers=4, replications=1)
         assert parallel.values == serial.values
 
+    def test_streaming_observer_with_workers_rejected(self):
+        # A streaming observer needs replications in timeline order,
+        # which a worker pool cannot guarantee; the error says how to
+        # fix the call and names the offending worker count.
+        class Recorder:
+            def interval(self, start, end, availability):
+                pass
+
+            def fault(self, time, event):
+                pass
+
+        with pytest.raises(ValidationError, match="workers=3") as excinfo:
+            _campaign(workers=3, observer=Recorder())
+        assert "workers=1" in str(excinfo.value)
+
+    def test_streaming_observer_fine_with_single_worker(self):
+        intervals = []
+
+        class Recorder:
+            def interval(self, start, end, availability):
+                intervals.append((start, end, availability))
+
+            def fault(self, time, event):
+                pass
+
+        result = _campaign(workers=1, observer=Recorder())
+        assert intervals
+        assert len(result.replications) == 3
+
     def test_parallel_campaign_journals_every_replication(self, tmp_path):
         from repro.runtime import read_journal
 

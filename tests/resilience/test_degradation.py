@@ -128,6 +128,36 @@ class TestEvaluatePolicy:
             evaluate_policy(farm(), [], AdmitAll())
 
 
+class TestUnknownClassNames:
+    def test_evaluate_policy_names_the_unknown_class(self):
+        policy = ShedClasses(frozenset({"lwo"}), below_servers=3)  # typo
+        with pytest.raises(ValidationError, match="'lwo'"):
+            evaluate_policy(farm(), LOADS, policy)
+
+    def test_conditional_availability_names_the_unknown_class(self):
+        policy = ShedClasses(frozenset({"bronze"}), below_servers=3)
+        with pytest.raises(ValidationError, match="'bronze'") as excinfo:
+            conditional_class_availability(farm(), LOADS, policy, 2)
+        # The message also lists what classes *are* offered.
+        assert "high" in str(excinfo.value)
+        assert "low" in str(excinfo.value)
+
+    def test_every_unknown_class_is_reported(self):
+        policy = ShedClasses(frozenset({"ghost", "low"}), below_servers=3)
+        with pytest.raises(ValidationError, match="ghost"):
+            evaluate_policy(farm(), LOADS, policy)
+
+    def test_known_classes_still_accepted(self):
+        policy = ShedClasses(frozenset({"low"}), below_servers=3)
+        evaluation = evaluate_policy(farm(), LOADS, policy)
+        assert evaluation.policy == "shed-low-value"
+
+    def test_referenced_classes_default_is_empty(self):
+        assert AdmitAll().referenced_classes() == frozenset()
+        policy = ShedClasses(frozenset({"a", "b"}), below_servers=1)
+        assert policy.referenced_classes() == frozenset({"a", "b"})
+
+
 class TestDegradedServiceFactor:
     def test_full_capacity_factor_is_one(self):
         assert degraded_service_factor(farm()) == pytest.approx(1.0)

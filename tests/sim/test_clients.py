@@ -1,0 +1,181 @@
+"""Cross-validation of client-policy simulations against the closed forms.
+
+The tier-1 agreement contract for :mod:`repro.resilience.policies`:
+
+* circuit breaker — the DES client (`simulate_circuit_breaker_clients`)
+  must agree with the CTMC closed form at every parameter point within
+  ``|mean - analytic| <= Z_TOL * stderr + ABS_FLOOR``;
+* timeout / hedge — the Monte-Carlo session sampler
+  (`simulate_request_policy`) must agree with the analytic
+  response-time-distribution value under the same tolerance.
+
+``Z_TOL = 4`` standard errors keeps the false-failure probability of
+each comparison around ``6e-5`` while still catching any systematic
+model drift well below a tenth of a percent of availability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import MMCKQueue
+from repro.resilience import (
+    CircuitBreakerPolicy,
+    HedgePolicy,
+    TimeoutPolicy,
+    circuit_breaker_availability,
+    request_policy_availability,
+)
+from repro.sim import (
+    simulate_circuit_breaker_clients,
+    simulate_request_policy,
+)
+
+Z_TOL = 4.0        # accepted |z| in stderr units
+ABS_FLOOR = 5e-4   # guard against vanishing stderr at extreme parameters
+
+
+def breaker_estimate(availability, policy, replications=8, requests=20_000,
+                     seed=42):
+    streams = np.random.SeedSequence(seed).spawn(replications)
+    estimates = [
+        simulate_circuit_breaker_clients(
+            availability, policy, requests, np.random.default_rng(stream)
+        ).served_fraction
+        for stream in streams
+    ]
+    mean = float(np.mean(estimates))
+    stderr = float(np.std(estimates, ddof=1) / np.sqrt(replications))
+    return mean, stderr
+
+
+class TestCircuitBreakerCrossValidation:
+    # Three regimes: healthy (rarely trips), mid (trips and recovers
+    # constantly), failing (mostly open).
+    POINTS = [
+        (0.95, CircuitBreakerPolicy(failure_threshold=3, reset_timeout=10.0,
+                                    request_rate=1.0)),
+        (0.70, CircuitBreakerPolicy(failure_threshold=2, reset_timeout=5.0,
+                                    request_rate=2.0, probe_rate=1.0)),
+        (0.30, CircuitBreakerPolicy(failure_threshold=4, reset_timeout=2.0,
+                                    request_rate=1.0)),
+    ]
+
+    @pytest.mark.parametrize(
+        "availability,policy", POINTS,
+        ids=["healthy", "mid", "failing"],
+    )
+    def test_des_matches_ctmc_within_tolerance(self, availability, policy):
+        analytic = circuit_breaker_availability(availability, policy)
+        mean, stderr = breaker_estimate(availability, policy)
+        tolerance = Z_TOL * stderr + ABS_FLOOR
+        assert abs(mean - analytic.availability) <= tolerance, (
+            f"DES {mean:.5f} vs CTMC {analytic.availability:.5f} "
+            f"(tolerance {tolerance:.5f})"
+        )
+
+    def test_boundary_availabilities_are_exact(self):
+        policy = CircuitBreakerPolicy(failure_threshold=2, reset_timeout=5.0)
+        rng = np.random.default_rng(3)
+        perfect = simulate_circuit_breaker_clients(1.0, policy, 2000, rng)
+        assert perfect.served_fraction == 1.0
+        assert perfect.trips == 0
+        dead = simulate_circuit_breaker_clients(0.0, policy, 2000, rng)
+        assert dead.served_fraction == 0.0
+        assert dead.trips >= 1
+
+    def test_fractions_account_for_all_demand(self):
+        policy = CircuitBreakerPolicy(failure_threshold=2, reset_timeout=5.0)
+        result = simulate_circuit_breaker_clients(
+            0.6, policy, 5000, np.random.default_rng(11)
+        )
+        # Demand is served, short-circuited, or failed at the service.
+        assert 0.0 <= result.served_fraction <= 1.0
+        assert 0.0 <= result.short_circuit_fraction <= 1.0
+        assert result.served_fraction + result.short_circuit_fraction <= 1.0
+        assert result.horizon > 0.0
+
+    def test_rejects_nonpositive_requests(self):
+        policy = CircuitBreakerPolicy(failure_threshold=1, reset_timeout=1.0)
+        with pytest.raises(ValidationError, match="requests"):
+            simulate_circuit_breaker_clients(
+                0.5, policy, 0, np.random.default_rng(0)
+            )
+
+
+def policy_estimate(queue, policy, attempt_availability=1.0,
+                    replications=6, sessions=100_000, seed=7):
+    streams = np.random.SeedSequence(seed).spawn(replications)
+    estimates = [
+        simulate_request_policy(
+            queue, policy, sessions, np.random.default_rng(stream),
+            attempt_availability=attempt_availability,
+        ).served_fraction
+        for stream in streams
+    ]
+    mean = float(np.mean(estimates))
+    stderr = float(np.std(estimates, ddof=1) / np.sqrt(replications))
+    return mean, stderr
+
+
+class TestRequestPolicyCrossValidation:
+    FARMS = [
+        MMCKQueue(arrival_rate=350.0, service_rate=100.0, servers=4,
+                  capacity=10),
+        MMCKQueue(arrival_rate=100.0, service_rate=100.0, servers=1,
+                  capacity=10),
+        MMCKQueue(arrival_rate=100.0, service_rate=100.0, servers=4,
+                  capacity=10),
+    ]
+
+    @pytest.mark.parametrize(
+        "queue", FARMS, ids=["loaded", "saturated-single", "provisioned"],
+    )
+    def test_timeout_analytic_matches_simulation(self, queue):
+        policy = TimeoutPolicy(0.05)
+        analytic = request_policy_availability(
+            queue, policy, attempt_availability=0.97
+        )
+        mean, stderr = policy_estimate(
+            queue, policy, attempt_availability=0.97
+        )
+        tolerance = Z_TOL * stderr + ABS_FLOOR
+        assert abs(mean - analytic.availability) <= tolerance
+
+    @pytest.mark.parametrize(
+        "queue", FARMS, ids=["loaded", "saturated-single", "provisioned"],
+    )
+    def test_hedge_analytic_matches_simulation(self, queue):
+        policy = HedgePolicy(0.05, 0.01)
+        analytic = request_policy_availability(queue, policy)
+        # The sampler sees the hedge-inflated farm state the fixed
+        # point resolved — the load-feedback half of the contract.
+        loaded = analytic.effective_queue(queue)
+        mean, stderr = policy_estimate(loaded, policy)
+        tolerance = Z_TOL * stderr + ABS_FLOOR
+        assert abs(mean - analytic.availability) <= tolerance
+
+    def test_hedged_fraction_matches_the_fixed_point(self):
+        queue = self.FARMS[0]
+        policy = HedgePolicy(0.05, 0.01)
+        analytic = request_policy_availability(queue, policy)
+        loaded = analytic.effective_queue(queue)
+        result = simulate_request_policy(
+            loaded, policy, 200_000, np.random.default_rng(5)
+        )
+        assert result.hedged_fraction == pytest.approx(
+            analytic.hedge_probability, abs=5e-3
+        )
+
+    def test_timeout_sessions_never_hedge(self):
+        result = simulate_request_policy(
+            self.FARMS[0], TimeoutPolicy(0.05), 1000,
+            np.random.default_rng(1),
+        )
+        assert result.hedged_fraction == 0.0
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValidationError, match="policy"):
+            simulate_request_policy(
+                self.FARMS[0], object(), 100, np.random.default_rng(0)
+            )

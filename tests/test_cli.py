@@ -403,6 +403,75 @@ class TestSweepCommand:
         assert capsys.readouterr().err.startswith("error:")
 
 
+class TestPoliciesCommand:
+    def test_default_run_prints_ranking_and_cells(self, capsys):
+        assert main(["policies"]) == 0
+        captured = capsys.readouterr()
+        assert "Client-policy ranking" in captured.out
+        assert "Policy x scenario cells" in captured.out
+        assert "best policy:" in captured.out
+        for label in ("retry(", "breaker(", "timeout(", "hedge("):
+            assert label in captured.out
+        for scenario in ("nominal", "surge", "degraded", "critical"):
+            assert scenario in captured.out
+        assert "engine: workers=1" in captured.err
+
+    def test_workers_do_not_change_the_output(self, capsys):
+        assert main(["policies"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["policies", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial  # byte-identical stdout
+
+    def test_warm_cache_rerun_recomputes_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["policies", "--cache-dir", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "misses=16" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "hits=16" in warm.err
+        assert "misses=0" in warm.err
+
+    def test_policy_flags_reach_the_labels(self, capsys):
+        assert main([
+            "policies", "--max-retries", "5", "--persistence", "0.8",
+            "--timeout", "0.1", "--hedge-delay", "0.03",
+            "--breaker-threshold", "2", "--breaker-reset", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "retry(k=5, p=0.8)" in out
+        assert "breaker(f=2, reset=10)" in out
+        assert "timeout(t=0.1)" in out
+        assert "hedge(t=0.1, d=0.03)" in out
+
+    def test_invalid_hedge_delay_is_a_one_line_error(self, capsys):
+        assert main(["policies", "--hedge-delay", "0.2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "hedge_delay" in err
+
+    def test_invalid_farm_is_a_one_line_error(self, capsys):
+        assert main(["policies", "--servers", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_and_trace_artifacts(self, tmp_path, capsys):
+        metrics = tmp_path / "policies-metrics.json"
+        trace = tmp_path / "policies-trace.jsonl"
+        assert main([
+            "policies", "--metrics", str(metrics), "--trace", str(trace),
+        ]) == 0
+        instrumented = capsys.readouterr().out
+        assert metrics.exists()
+        assert trace.exists()
+        assert trace.read_text().strip()
+        # Instrumentation never changes stdout.
+        assert main(["policies"]) == 0
+        assert capsys.readouterr().out == instrumented
+
+
 class TestStatsCommand:
     @pytest.fixture()
     def metrics_files(self, tmp_path):
