@@ -1,0 +1,91 @@
+"""Chaos recovery overhead — what a survived fault costs the engine.
+
+Runs a Fig. 11-shaped grid through the engine four ways: undisturbed
+serial (the reference), undisturbed parallel, parallel with a chaos
+worker kill (pool respawn + re-dispatch), and parallel with transient
+task faults under the default retry policy.  Every disturbed run must
+reproduce the reference *bit for bit* — the recovery contract — and the
+emitted table reports what each recovery path cost in wall-clock terms.
+
+Timings are reported, never asserted: respawning a process pool costs a
+fork plus interpreter start per worker, which varies wildly across
+machines; the equality and counter assertions hold everywhere.
+"""
+
+import time
+
+from conftest import emit
+from repro.availability import WebServiceModel
+from repro.chaos import plan_transient_faults, plan_worker_kills
+from repro.engine import EvaluationEngine, TaskRetryPolicy
+from repro.reporting import format_table
+
+FAILURE_RATES = (1e-2, 1e-3, 1e-4)
+SERVER_RANGE = tuple(range(1, 9))
+SEED = 0
+FAULTS = 2
+
+
+def unavailability(spec):
+    """One grid cell; module-level so worker processes can unpickle it."""
+    failure_rate, servers = spec
+    return WebServiceModel(
+        servers=int(servers), arrival_rate=100.0, service_rate=100.0,
+        buffer_capacity=10, failure_rate=failure_rate, repair_rate=1.0,
+    ).unavailability()
+
+
+def _cells():
+    return [(lam, nw) for lam in FAILURE_RATES for nw in SERVER_RANGE]
+
+
+def _timed(engine, cells):
+    started = time.perf_counter()
+    batch = engine.map(unavailability, cells)
+    return batch, time.perf_counter() - started
+
+
+def test_chaos_recovery_is_bit_identical(benchmark, tmp_path):
+    cells = _cells()
+    reference, _ = benchmark.pedantic(
+        lambda: _timed(EvaluationEngine(), cells), rounds=3, warmup_rounds=1
+    )
+
+    clean, clean_s = _timed(EvaluationEngine(workers=2), cells)
+    assert clean.outputs == reference.outputs
+
+    kill_plan = plan_worker_kills(
+        len(cells), seed=SEED, count=FAULTS, state_dir=str(tmp_path / "kill")
+    )
+    killed, killed_s = _timed(
+        EvaluationEngine(workers=2, chaos=kill_plan), cells
+    )
+    assert killed.outputs == reference.outputs
+    assert killed.respawns >= 1
+    assert kill_plan.fired() == FAULTS
+
+    flaky_plan = plan_transient_faults(
+        len(cells), seed=SEED, count=FAULTS, state_dir=str(tmp_path / "flaky")
+    )
+    retried, retried_s = _timed(
+        EvaluationEngine(workers=2, chaos=flaky_plan, retry=TaskRetryPolicy()),
+        cells,
+    )
+    assert retried.outputs == reference.outputs
+    assert retried.retries == FAULTS
+    assert retried.respawns == 0
+
+    rows = [
+        ["parallel, undisturbed", f"{clean_s:.3f}", "0", "0"],
+        [f"parallel, {FAULTS} worker kill(s)", f"{killed_s:.3f}",
+         str(killed.retries), str(killed.respawns)],
+        [f"parallel, {FAULTS} transient fault(s)", f"{retried_s:.3f}",
+         str(retried.retries), str(retried.respawns)],
+    ]
+    emit(format_table(
+        ["run", "seconds", "retries", "respawns"], rows,
+        title=(
+            f"Chaos recovery on a {len(cells)}-cell grid "
+            "(every run bit-identical to serial)"
+        ),
+    ))

@@ -1,0 +1,35 @@
+"""Deterministic chaos harness for the evaluation engine.
+
+Fault tolerance that is never exercised is fault tolerance that does
+not exist.  This package injects the faults the engine claims to
+survive — worker deaths, transient task failures, cache corruption,
+torn journals — *deterministically* (every injection site is drawn from
+a :class:`numpy.random.SeedSequence`), then lets the caller verify the
+recovery contract: the disturbed run's output must be byte-identical to
+the undisturbed serial reference.
+
+* :mod:`~repro.chaos.plan` — :class:`ChaosPlan`: in-band injections
+  wired into :class:`repro.engine.EvaluationEngine` task dispatch
+  (worker kills via ``os._exit``, transient
+  :class:`~repro.errors.TransientTaskError` faults), with sentinel-file
+  once-only semantics that hold across pool respawns;
+* :mod:`~repro.chaos.injectors` — at-rest damage:
+  :func:`corrupt_cache_entries` breaks checksum-framed memo-cache files,
+  :func:`truncate_journal_tail` tears a resume journal the way a crash
+  mid-append does.
+
+The ``repro chaos`` CLI subcommand runs a Fig. 11 sweep under each
+injector and checks bit-identity against a clean run; see
+``docs/RESILIENCE.md`` ("Engine fault tolerance & chaos testing").
+"""
+
+from .injectors import corrupt_cache_entries, truncate_journal_tail
+from .plan import ChaosPlan, plan_transient_faults, plan_worker_kills
+
+__all__ = [
+    "ChaosPlan",
+    "corrupt_cache_entries",
+    "plan_transient_faults",
+    "plan_worker_kills",
+    "truncate_journal_tail",
+]

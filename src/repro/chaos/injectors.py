@@ -1,0 +1,107 @@
+"""Host-side chaos injectors: damage state at rest, deterministically.
+
+:class:`~repro.chaos.ChaosPlan` hurts *running* tasks; these injectors
+hurt the *artifacts* a run leaves behind — the on-disk memo cache and
+the resume journal — so the recovery paths of
+:class:`repro.engine.MemoCache` (checksum validation + quarantine) and
+:class:`repro.runtime.Journal` (torn-tail repair + resume) can be
+exercised end to end.  Both are driven by a
+:class:`numpy.random.SeedSequence`, so a given ``(seed, target)`` pair
+always damages the same bytes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import ChaosError
+
+__all__ = ["corrupt_cache_entries", "truncate_journal_tail"]
+
+PathLike = Union[str, Path]
+
+
+def _cache_entry_files(cache_dir: Path) -> List[Path]:
+    """Every framed cache entry under *cache_dir*, in sorted order.
+
+    Entries live in two-hex-digit shard directories; the ``quarantine/``
+    directory (already-detected damage) is not a target.
+    """
+    files = [
+        path
+        for path in sorted(cache_dir.glob("??/*.pkl"))
+        if path.parent.name != "quarantine"
+    ]
+    return files
+
+
+def corrupt_cache_entries(
+    cache_dir: PathLike, seed: int, count: int = 1
+) -> List[Path]:
+    """Damage *count* seed-chosen on-disk cache entries; returns them.
+
+    Two damage modes, also seed-chosen per entry: truncation to half the
+    file (a torn write) and payload byte flips (bit rot).  Either breaks
+    the entry's checksum frame, so the next lookup must detect it,
+    quarantine the file, and recompute.
+    """
+    cache_dir = Path(cache_dir)
+    files = _cache_entry_files(cache_dir)
+    if not files:
+        raise ChaosError(
+            f"no cache entries to corrupt under {cache_dir}"
+        )
+    if count < 1:
+        raise ChaosError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    chosen = rng.choice(len(files), size=min(count, len(files)),
+                        replace=False)
+    corrupted: List[Path] = []
+    for file_index in sorted(int(i) for i in chosen):
+        path = files[file_index]
+        raw = path.read_bytes()
+        if rng.integers(2) == 0 and len(raw) > 1:
+            # Torn write: keep only the first half of the file.
+            path.write_bytes(raw[: len(raw) // 2])
+        else:
+            # Bit rot: flip three bytes spread over the payload.
+            damaged = bytearray(raw)
+            for offset in rng.integers(len(raw), size=3):
+                damaged[int(offset)] ^= 0xFF
+            path.write_bytes(bytes(damaged))
+        corrupted.append(path)
+    return corrupted
+
+
+def truncate_journal_tail(
+    path: PathLike, seed: int, records: int = 1
+) -> int:
+    """Tear the tail off a journal: drop its last *records* records.
+
+    The last dropped record is replaced by a seed-chosen partial prefix
+    of its bytes (no trailing newline) — exactly the torn write a crash
+    mid-append leaves.  Returns the number of complete records removed.
+    A resume must restore everything before the tear and recompute the
+    rest.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ChaosError(f"journal {path} does not exist; nothing to tear")
+    raw = path.read_bytes()
+    lines = [line for line in raw.splitlines(keepends=True) if line.strip()]
+    if records < 1:
+        raise ChaosError(f"records must be >= 1, got {records}")
+    if len(lines) <= records:
+        raise ChaosError(
+            f"journal {path} holds only {len(lines)} records; cannot tear "
+            f"{records} and keep a non-empty prefix"
+        )
+    kept, dropped = lines[:-records], lines[-records:]
+    torn_source = dropped[0].rstrip(b"\n")
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    cut = int(rng.integers(1, max(2, len(torn_source) - 1)))
+    path.write_bytes(b"".join(kept) + torn_source[:cut])
+    return len(dropped)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Twelve subcommands cover the common workflows without writing Python:
+Thirteen subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -42,6 +42,14 @@ Twelve subcommands cover the common workflows without writing Python:
     request timeout, hedged requests — by user-perceived availability
     across a grid of farm fault scenarios, evaluated through the same
     engine (``--workers``/``--cache-dir``) with bit-identical output.
+
+``repro chaos``
+    Run a Fig. 11/12 sweep under deterministic fault injection — worker
+    kills, transient task faults, cache corruption, or a torn journal —
+    and verify the recovery contract: stdout must be byte-identical to
+    the undisturbed serial run, with the recovery visible in the
+    ``--metrics`` counters (``engine_worker_respawns``,
+    ``engine_task_retries``, ``engine_cache_corruptions``).
 
 ``repro stats``
     Merge and render metrics snapshots written by ``--metrics`` — as a
@@ -188,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent replications per campaign",
     )
     inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for replications; output is bit-identical "
+             "for any count",
+    )
     _add_runtime_flags(inject, journal_help=(
         "journal per-replication results to this JSONL file "
         "(crash-consistent; resumable via `repro resume`); "
@@ -221,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-validate with a discrete-event retry simulation",
     )
     retries.add_argument("--seed", type=int, default=0)
+    retries.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the --simulate cross-validation; "
+             "output is bit-identical for any count",
+    )
     _add_runtime_flags(retries, journal_help=(
         "append per-class retry results to this JSONL journal"
     ))
@@ -318,6 +336,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk memo cache; a warm rerun recomputes nothing",
     )
     _add_runtime_flags(policies, journal=False)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help=(
+            "run a Fig. 11/12 sweep under deterministic fault injection "
+            "and verify byte-identical recovery"
+        ),
+    )
+    chaos.add_argument(
+        "--injector", required=True,
+        choices=("kill-worker", "transient", "corrupt-cache",
+                 "truncate-journal"),
+        help=(
+            "fault class to inject: kill pool workers mid-task, raise "
+            "transient task faults, corrupt on-disk cache entries, or "
+            "tear the tail off a resume journal"
+        ),
+    )
+    chaos.add_argument(
+        "--figure", choices=("11", "12"), default="11",
+        help="the sensitivity grid to run under injection",
+    )
+    chaos.add_argument(
+        "--arrival-rate", type=float, default=100.0,
+        help="requests per second (matches `repro sweep`)",
+    )
+    chaos.add_argument(
+        "--servers-max", type=int, default=10, metavar="N",
+        help="sweep NW over 1..N",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (kill-worker needs >= 2)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed choosing the injection sites")
+    chaos.add_argument(
+        "--faults", type=int, default=2,
+        help="planned injections (kills, transient faults, corrupted "
+             "cache entries, or torn journal records)",
+    )
+    _add_runtime_flags(chaos, journal=False)
 
     stats = commands.add_parser(
         "stats",
@@ -451,6 +511,15 @@ def _add_runtime_flags(parser, journal: bool = True, journal_help: str = ""):
         parser.add_argument(
             "--journal", default=None, metavar="PATH", help=journal_help
         )
+
+
+def _check_workers(value: int) -> int:
+    """Validate a ``--workers`` flag value, naming the flag on failure."""
+    from .errors import ValidationError
+
+    if not isinstance(value, int) or value < 1:
+        raise ValidationError(f"--workers must be >= 1, got {value}")
+    return value
 
 
 def _fault_scenarios():
@@ -639,6 +708,7 @@ def _cmd_inject(args) -> int:
     from .resilience import format_campaign_table, run_campaign, run_campaigns
     from .ta import TravelAgencyModel
 
+    _check_workers(args.workers)
     cancellation, heartbeat = _runtime_context(args)
     model = TravelAgencyModel(architecture=args.architecture)
     scenario = _fault_scenarios()[args.scenario](model.hierarchical_model)
@@ -655,6 +725,7 @@ def _cmd_inject(args) -> int:
             horizon=args.horizon,
             replications=args.replications,
             seed=args.seed,
+            workers=args.workers,
             cancellation=cancellation,
             heartbeat=heartbeat,
             journal=args.journal,
@@ -673,6 +744,7 @@ def _cmd_inject(args) -> int:
             horizon=args.horizon,
             replications=args.replications,
             seed=args.seed,
+            workers=args.workers,
             cancellation=cancellation,
             heartbeat=heartbeat,
         )
@@ -748,10 +820,36 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _retry_sim_cell(spec):
+    """One retry DES cross-validation cell (module-level: picklable)."""
+    import numpy as np
+
+    from .resilience import RetryPolicy
+    from .sim import estimate_user_availability_with_retries
+    from .ta import TravelAgencyModel
+
+    architecture, class_name, max_retries, persistence, sessions, seed = spec
+    model = TravelAgencyModel(architecture=architecture)
+    users = next(
+        u
+        for u in _selected_classes("both")
+        if u.name == class_name
+    )
+    sim = estimate_user_availability_with_retries(
+        model.hierarchical_model,
+        users,
+        RetryPolicy(max_retries=max_retries, persistence=persistence),
+        sessions,
+        np.random.default_rng(seed),
+    )
+    return sim.served_fraction, sim.mean_attempts
+
+
 def _cmd_retries(args) -> int:
     from ._validation import check_positive_int
     from .resilience import RetryPolicy, format_retry_table
 
+    _check_workers(args.workers)
     if args.simulate is not None:
         check_positive_int(args.simulate, "sessions")
     policy = RetryPolicy(
@@ -808,30 +906,50 @@ def _cmd_retries(args) -> int:
         from .sim import estimate_user_availability_with_retries
 
         print()
+        if args.workers > 1:
+            # Parallelize the per-class simulations through the engine;
+            # each cell re-seeds its own rng, so outputs are
+            # bit-identical to the serial loop below.
+            from .engine import EvaluationEngine
+
+            specs = [
+                (args.architecture, users.name, args.max_retries,
+                 args.persistence, args.simulate, args.seed)
+                for users in classes
+            ]
+            sims = EvaluationEngine(
+                workers=args.workers, cancellation=cancellation
+            ).map(_retry_sim_cell, specs, phase="retry DES").outputs
+        else:
+            sims = []
+            for users in classes:
+                sim = estimate_user_availability_with_retries(
+                    model.hierarchical_model,
+                    users,
+                    policy,
+                    args.simulate,
+                    np.random.default_rng(args.seed),
+                    cancellation=cancellation,
+                )
+                sims.append((sim.served_fraction, sim.mean_attempts))
         rows = []
-        for users, analytic in zip(classes, results):
-            sim = estimate_user_availability_with_retries(
-                model.hierarchical_model,
-                users,
-                policy,
-                args.simulate,
-                np.random.default_rng(args.seed),
-                cancellation=cancellation,
-            )
+        for users, analytic, (served, attempts) in zip(
+            classes, results, sims
+        ):
             if journal is not None:
                 journal.append(
                     "retry_simulation",
                     user_class=users.name,
                     sessions=args.simulate,
                     seed=args.seed,
-                    served_fraction=sim.served_fraction,
-                    mean_attempts=sim.mean_attempts,
+                    served_fraction=served,
+                    mean_attempts=attempts,
                 )
             rows.append([
                 users.name,
                 f"{analytic.adjusted_availability:.6f}",
-                f"{sim.served_fraction:.6f}",
-                f"{sim.mean_attempts:.4f}",
+                f"{served:.6f}",
+                f"{attempts:.4f}",
             ])
         print(format_table(
             ["class", "closed form", "simulated", "attempts"],
@@ -865,15 +983,74 @@ def _sweep_point(figure, arrival_rate, failure_rate, servers):
     ).unavailability()
 
 
-def _cmd_sweep(args) -> int:
+def _sweep_grid(args, engine, journal=None):
+    """Run the Fig. 11/12 grid, through *engine* or the plain loop.
+
+    Shared by ``repro sweep`` and ``repro chaos``: the chaos harness
+    runs the same grid once undisturbed (``engine=None``, the in-process
+    reference loop) and once under injection, then compares the rendered
+    output byte for byte.
+    """
     import functools
+
+    from .engine import canonical_key
+    from .sensitivity import grid_sweep
+
+    servers = tuple(range(1, args.servers_max + 1))
+    keys = None
+    if engine is not None:
+        # The key is the full cell spec: any parameter change misses.
+        keys = [
+            canonical_key(
+                "webservice-unavailability",
+                figure=args.figure,
+                arrival_rate=float(args.arrival_rate),
+                service_rate=100.0,
+                buffer_capacity=10,
+                failure_rate=float(lam),
+                repair_rate=1.0,
+                servers=int(nw),
+            )
+            for lam in SWEEP_FAILURE_RATES
+            for nw in servers
+        ]
+    return grid_sweep(
+        functools.partial(_sweep_point, args.figure, args.arrival_rate),
+        "failure rate", SWEEP_FAILURE_RATES,
+        "NW", servers,
+        engine=engine,
+        keys=keys,
+        journal=journal,
+    )
+
+
+def _sweep_series_text(args, grid) -> str:
+    """The stdout rendering of one Fig. 11/12 grid (sweep and chaos)."""
+    from .reporting import format_series
+
+    servers = tuple(range(1, args.servers_max + 1))
+    series = {
+        f"lambda={lam:g}/h": grid.row(lam).outputs
+        for lam in SWEEP_FAILURE_RATES
+    }
+    coverage = "perfect coverage" if args.figure == "11" else "coverage = 0.98"
+    return format_series(
+        "NW", servers, series,
+        log_bars=True, floor_exponent=-14,
+        title=(
+            f"Figure {args.figure} — {coverage}, "
+            f"alpha = {args.arrival_rate:g}/s"
+        ),
+    )
+
+
+def _cmd_sweep(args) -> int:
     import time
 
     from ._validation import check_positive, check_positive_int
-    from .engine import EvaluationEngine, canonical_key
-    from .reporting import format_series
-    from .sensitivity import grid_sweep
+    from .engine import EvaluationEngine
 
+    _check_workers(args.workers)
     check_positive_int(args.servers_max, "servers-max")
     check_positive(args.arrival_rate, "arrival-rate")
     cancellation, heartbeat = _runtime_context(args)
@@ -883,55 +1060,150 @@ def _cmd_sweep(args) -> int:
         cancellation=cancellation,
         heartbeat=heartbeat,
     )
-    servers = tuple(range(1, args.servers_max + 1))
-    # The key is the full cell spec: any parameter change misses.
-    keys = [
-        canonical_key(
-            "webservice-unavailability",
-            figure=args.figure,
-            arrival_rate=float(args.arrival_rate),
-            service_rate=100.0,
-            buffer_capacity=10,
-            failure_rate=float(lam),
-            repair_rate=1.0,
-            servers=int(nw),
-        )
-        for lam in SWEEP_FAILURE_RATES
-        for nw in servers
-    ]
     started = time.monotonic()
-    grid = grid_sweep(
-        functools.partial(_sweep_point, args.figure, args.arrival_rate),
-        "failure rate", SWEEP_FAILURE_RATES,
-        "NW", servers,
-        engine=engine,
-        keys=keys,
-        journal=args.journal,
-    )
+    grid = _sweep_grid(args, engine, journal=args.journal)
     elapsed = time.monotonic() - started
-
-    series = {
-        f"lambda={lam:g}/h": grid.row(lam).outputs
-        for lam in SWEEP_FAILURE_RATES
-    }
-    coverage = "perfect coverage" if args.figure == "11" else "coverage = 0.98"
-    print(format_series(
-        "NW", servers, series,
-        log_bars=True, floor_exponent=-14,
-        title=(
-            f"Figure {args.figure} — {coverage}, "
-            f"alpha = {args.arrival_rate:g}/s"
-        ),
-    ))
+    print(_sweep_series_text(args, grid))
+    cells = len(SWEEP_FAILURE_RATES) * args.servers_max
     stats = engine.cache.stats
     rate = f"{stats.hit_rate:.1%}" if stats.lookups else "n/a"
     print(
-        f"engine: workers={args.workers}, {len(keys)} cells in "
+        f"engine: workers={args.workers}, {cells} cells in "
         f"{elapsed:.2f}s; cache hits={stats.hits} misses={stats.misses} "
         f"hit-rate={rate}",
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ._validation import check_positive, check_positive_int
+    from .chaos import (
+        corrupt_cache_entries,
+        plan_transient_faults,
+        plan_worker_kills,
+        truncate_journal_tail,
+    )
+    from .engine import EvaluationEngine, TaskRetryPolicy
+    from .errors import ValidationError
+    from .obs import MetricsRegistry
+    from .obs.context import active_metrics
+    from .runtime import read_journal
+
+    _check_workers(args.workers)
+    check_positive_int(args.servers_max, "servers-max")
+    check_positive(args.arrival_rate, "arrival-rate")
+    check_positive_int(args.faults, "faults")
+    if args.injector == "kill-worker" and args.workers < 2:
+        raise ValidationError(
+            "--injector kill-worker terminates pool workers; it needs "
+            f"--workers >= 2, got {args.workers}"
+        )
+
+    # Counters land in the ambient --metrics registry when one is
+    # active, so the recovery evidence survives in the artifact.
+    registry = active_metrics()
+    if registry is None:
+        registry = MetricsRegistry()
+
+    def engine_for(**extra):
+        return EvaluationEngine(
+            workers=args.workers, metrics=registry, **extra
+        )
+
+    n_tasks = len(SWEEP_FAILURE_RATES) * args.servers_max
+    reference = _sweep_series_text(args, _sweep_grid(args, engine=None))
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    evidence = ""
+    try:
+        if args.injector == "kill-worker":
+            plan = plan_worker_kills(
+                n_tasks, args.seed, args.faults, str(workdir / "state")
+            )
+            disturbed = _sweep_series_text(
+                args, _sweep_grid(args, engine_for(chaos=plan))
+            )
+            fired = plan.fired()
+            respawns = registry.value("engine_worker_respawns")
+            recovered = fired >= 1 and respawns >= 1
+            evidence = (
+                f"killed {fired} worker(s) at task indices "
+                f"{plan.kill_tasks}; {respawns:g} pool respawn(s)"
+            )
+        elif args.injector == "transient":
+            plan = plan_transient_faults(
+                n_tasks, args.seed, args.faults, str(workdir / "state")
+            )
+            disturbed = _sweep_series_text(
+                args,
+                _sweep_grid(
+                    args, engine_for(chaos=plan, retry=TaskRetryPolicy())
+                ),
+            )
+            fired = plan.fired()
+            retries = registry.value("engine_task_retries")
+            recovered = fired >= 1 and retries >= 1
+            evidence = (
+                f"injected {fired} transient fault(s) at task indices "
+                f"{plan.transient_tasks}; {retries:g} task retry(ies)"
+            )
+        elif args.injector == "corrupt-cache":
+            cache_dir = workdir / "cache"
+            # Cold run seeds the on-disk cache, then damage it and make
+            # a fresh engine read through the corruption.
+            _sweep_grid(args, engine_for(cache_dir=str(cache_dir)))
+            corrupted = corrupt_cache_entries(
+                cache_dir, args.seed, args.faults
+            )
+            disturbed = _sweep_series_text(
+                args, _sweep_grid(args, engine_for(cache_dir=str(cache_dir)))
+            )
+            corruptions = registry.value("engine_cache_corruptions")
+            quarantined = len(list((cache_dir / "quarantine").glob("*.pkl")))
+            recovered = corruptions >= len(corrupted) >= 1
+            evidence = (
+                f"corrupted {len(corrupted)} cache entry(ies); "
+                f"{corruptions:g} detected, {quarantined} quarantined, "
+                "recomputed"
+            )
+        else:  # truncate-journal
+            journal_path = workdir / "sweep.jsonl"
+            _sweep_grid(args, engine_for(), journal=str(journal_path))
+            # +1: the tear must reach past the batch_end marker to cost
+            # actual task results.
+            truncate_journal_tail(
+                journal_path, args.seed, records=args.faults + 1
+            )
+            surviving = sum(
+                1 for r in read_journal(journal_path, missing_ok=True)
+                if r.get("kind") == "task_result"
+            )
+            disturbed = _sweep_series_text(
+                args,
+                _sweep_grid(args, engine_for(), journal=str(journal_path)),
+            )
+            recomputed = n_tasks - surviving
+            recovered = surviving >= 1 and recomputed >= 1
+            evidence = (
+                f"tore {recomputed} record(s) off the journal; resume "
+                f"restored {surviving}, recomputed {recomputed}"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    identical = disturbed == reference
+    print(disturbed)
+    print(
+        f"chaos: injector={args.injector}, seed={args.seed}; {evidence}; "
+        f"output {'IDENTICAL' if identical else 'DIFFERS'} vs "
+        "undisturbed serial run",
+        file=sys.stderr,
+    )
+    return 0 if identical and recovered else 1
 
 
 def _cmd_policies(args) -> int:
@@ -949,6 +1221,7 @@ def _cmd_policies(args) -> int:
         format_policy_comparison,
     )
 
+    _check_workers(args.workers)
     check_positive(args.arrival_rate, "arrival-rate")
     check_positive(args.service_rate, "service-rate")
     check_positive_int(args.servers, "servers")
@@ -1202,6 +1475,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resume": _cmd_resume,
         "sweep": _cmd_sweep,
         "policies": _cmd_policies,
+        "chaos": _cmd_chaos,
         "stats": _cmd_stats,
         "slo": _cmd_slo,
         "diff": _cmd_diff,

@@ -11,10 +11,12 @@ single digit of their results:
   with explicit dependencies, plus helper constructors for the four
   canonical unit types;
 * :mod:`~repro.engine.executor` — :class:`EvaluationEngine`: a serial
-  reference backend and a process-pool backend producing bit-identical
-  outputs, with cooperative cancellation
-  (:class:`~repro.runtime.CancellationToken`), heartbeats, and journaled
-  resume for interrupted parallel runs;
+  reference backend and a *supervised* process-pool backend producing
+  bit-identical outputs, with cooperative cancellation
+  (:class:`~repro.runtime.CancellationToken`), heartbeats, journaled
+  resume for interrupted parallel runs, worker-crash respawn, and
+  per-task retry under a :class:`TaskRetryPolicy`
+  (:mod:`~repro.engine.retry`);
 * :mod:`~repro.engine.cache` — :class:`MemoCache`: a content-addressed
   memo store (in-memory LRU + optional on-disk level) keyed by
   :func:`canonical_key` hashes of the full evaluation spec, with
@@ -33,6 +35,7 @@ and the cache-key scheme.
 
 from .cache import CacheStats, MemoCache, canonical_key
 from .executor import BatchResult, EvaluationEngine, GraphResult
+from .retry import TaskRetryPolicy
 from .tasks import (
     Task,
     TaskGraph,
@@ -51,6 +54,7 @@ __all__ = [
     "MemoCache",
     "Task",
     "TaskGraph",
+    "TaskRetryPolicy",
     "canonical_key",
     "client_policy_task",
     "ctmc_steady_state_task",

@@ -28,14 +28,27 @@ Key canonicalization rules (the *cache-key scheme*, also documented in
 Unsupported value types raise :class:`~repro.errors.EngineError` rather
 than falling back to ``repr`` — a silently unstable key is a cache that
 returns wrong answers.
+
+On-disk entries are *checksum framed*: every file starts with a magic
+tag, the SHA-256 digest of the pickled payload, and the payload length,
+so a corrupt, truncated, or foreign file is detected before a single
+byte is unpickled.  A bad entry is treated as a miss, moved to
+``<cache_dir>/quarantine/`` for post-mortem, and counted in
+:attr:`CacheStats.corruptions` — a damaged cache degrades to
+recomputation, never to a crashed (or worse, silently wrong) sweep.
+Disk *write* failures (full disk, revoked permissions) likewise degrade
+the cache to memory-only with a one-time warning instead of aborting
+the run.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import struct
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -138,7 +151,11 @@ class CacheStats:
     """Counter snapshot of one :class:`MemoCache`.
 
     The counters reconcile: ``hits + misses == lookups``, and
-    ``memory_hits + disk_hits == hits``.
+    ``memory_hits + disk_hits == hits``.  ``corruptions`` counts disk
+    entries that failed integrity validation (quarantined, served as
+    misses); ``disk_write_failures`` counts on-disk stores that could
+    not be written (after the first, the disk level is disabled and the
+    cache continues memory-only).
     """
 
     lookups: int = 0
@@ -148,6 +165,8 @@ class CacheStats:
     disk_hits: int = 0
     stores: int = 0
     evictions: int = 0
+    corruptions: int = 0
+    disk_write_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -167,6 +186,12 @@ class CacheStats:
 
 _MISSING = object()
 
+# On-disk entry framing: MAGIC + sha256(payload) + len(payload) + payload.
+# The digest is checked before unpickling, so truncation, bit rot, and
+# foreign files are all caught without executing any pickle opcodes.
+_MAGIC = b"RMC1"
+_HEADER = struct.Struct(">32sQ")  # sha256 digest, payload length
+
 
 class MemoCache:
     """In-memory LRU of evaluation results, with an optional disk store.
@@ -181,6 +206,8 @@ class MemoCache:
         value is also pickled to ``<cache_dir>/<key[:2]>/<key>.pkl``
         (content-addressed, so concurrent writers of the *same* key are
         idempotent), and a memory miss falls back to the disk copy.
+        Entries are checksum framed; a corrupt or truncated file is a
+        miss, quarantined to ``<cache_dir>/quarantine/``.
 
     Examples
     --------
@@ -207,10 +234,54 @@ class MemoCache:
         self._disk_hits = 0
         self._stores = 0
         self._evictions = 0
+        self._corruptions = 0
+        self._disk_write_failures = 0
+        self._disk_disabled = False
 
     # ------------------------------------------------------------------
     def _disk_path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    @property
+    def quarantine_dir(self) -> Optional[Path]:
+        """Where corrupt disk entries are moved (``None`` without a disk)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside for post-mortem; never raises."""
+        with self._lock:
+            self._corruptions += 1
+        try:
+            target_dir = self.quarantine_dir
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                # Unremovable (read-only filesystem): leave it; every
+                # future lookup of this key re-detects the corruption.
+                pass
+
+    @staticmethod
+    def _decode_entry(raw: bytes) -> Any:
+        """Unframe and unpickle one disk entry; raises on any damage."""
+        header_size = len(_MAGIC) + _HEADER.size
+        if len(raw) < header_size or raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("bad cache-entry frame")
+        digest, length = _HEADER.unpack_from(raw, len(_MAGIC))
+        payload = raw[header_size:]
+        if len(payload) != length or hashlib.sha256(payload).digest() != digest:
+            raise ValueError("cache-entry checksum mismatch")
+        return pickle.loads(payload)
+
+    @staticmethod
+    def _encode_entry(value: Any) -> bytes:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).digest()
+        return _MAGIC + _HEADER.pack(digest, len(payload)) + payload
 
     def lookup(self, key: str) -> Tuple[bool, Any]:
         """``(hit, value)`` — distinguishes a miss from a cached ``None``."""
@@ -225,12 +296,19 @@ class MemoCache:
             path = self._disk_path(key)
             if path.exists():
                 try:
-                    with open(path, "rb") as handle:
-                        value = pickle.load(handle)
-                except (OSError, pickle.UnpicklingError, EOFError,
-                        ValueError, AttributeError, ImportError):
-                    # A torn or unreadable disk entry is a miss, not an
-                    # error: the value is recomputed and rewritten.
+                    raw = path.read_bytes()
+                except OSError:
+                    # Unreadable (permissions, I/O error): a miss — the
+                    # value is recomputed; the file is left untouched.
+                    return False, None
+                try:
+                    value = self._decode_entry(raw)
+                except (ValueError, pickle.UnpicklingError, EOFError,
+                        AttributeError, ImportError, IndexError,
+                        MemoryError):
+                    # Corrupt, truncated, or foreign entry: quarantine
+                    # it and serve a miss — recompute, never crash.
+                    self._quarantine(path)
                     return False, None
                 with self._lock:
                     self._disk_hits += 1
@@ -248,15 +326,31 @@ class MemoCache:
         with self._lock:
             self._stores += 1
             self._insert(key, value)
-        if self.cache_dir is not None:
+        if self.cache_dir is not None and not self._disk_disabled:
             path = self._disk_path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Write-then-rename so a concurrent reader never sees a torn
-            # pickle; content addressing makes replacement idempotent.
-            tmp = path.with_suffix(f".tmp-{threading.get_ident()}")
-            with open(tmp, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                # Write-then-rename so a concurrent reader never sees a
+                # torn entry; content addressing makes replacement
+                # idempotent.
+                tmp = path.with_suffix(f".tmp-{threading.get_ident()}")
+                with open(tmp, "wb") as handle:
+                    handle.write(self._encode_entry(value))
+                tmp.replace(path)
+            except OSError as exc:
+                # Full disk, revoked permissions, dead mount: degrade to
+                # memory-only caching instead of failing the sweep.
+                with self._lock:
+                    self._disk_write_failures += 1
+                    already = self._disk_disabled
+                    self._disk_disabled = True
+                if not already:
+                    warnings.warn(
+                        f"memo cache disk store disabled after write "
+                        f"failure ({exc}); continuing memory-only",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
     def _insert(self, key: str, value: Any) -> None:
         self._entries[key] = value
@@ -281,6 +375,8 @@ class MemoCache:
                 disk_hits=disk_hits,
                 stores=self._stores,
                 evictions=self._evictions,
+                corruptions=self._corruptions,
+                disk_write_failures=self._disk_write_failures,
             )
 
     def __len__(self) -> int:
@@ -304,6 +400,8 @@ class MemoCache:
                 self._disk_hits = 0
                 self._stores = 0
                 self._evictions = 0
+                self._corruptions = 0
+                self._disk_write_failures = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stats = self.stats

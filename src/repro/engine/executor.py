@@ -26,6 +26,19 @@ recorded (key + JSON value); re-running the same batch over the same
 journal restores completed tasks and computes only the rest — the same
 contract campaigns have, now for arbitrary parallel batches.
 
+**Fault tolerance.**  The process-pool backends are *supervised*: a
+worker that dies mid-task (OOM kill, segfault, chaos injection) breaks
+the pool, and the engine responds by respawning a fresh pool and
+re-dispatching only the tasks that had not completed — up to
+``max_respawns`` pool generations before giving up with
+:class:`~repro.errors.EngineError`.  Attaching a
+:class:`~repro.engine.TaskRetryPolicy` additionally retries individual
+tasks that fail with *retryable* exceptions (by default
+:class:`~repro.errors.TransientTaskError`); exhausted retries re-raise
+the last failure.  Both mechanisms preserve determinism — results are
+still assembled by index/name, so a run that survived crashes is
+bit-identical to an undisturbed serial run.
+
 The serial backend (``workers=1``, the default) is the reference
 implementation: the parallel backend must, and is tested to, reproduce
 its outputs bit for bit.
@@ -35,7 +48,13 @@ from __future__ import annotations
 
 import json
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -47,6 +66,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -59,9 +79,11 @@ from ..runtime.budget import CancellationToken
 from ..runtime.heartbeat import HeartbeatCallback, ProgressEvent
 from ..runtime.journal import Journal, read_journal
 from .cache import CacheStats, MemoCache
+from .retry import TaskRetryPolicy
 from .tasks import TaskGraph
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..chaos.plan import ChaosPlan
     from ..obs.metrics import MetricsRegistry
     from ..obs.tracing import Tracer
 
@@ -79,7 +101,27 @@ def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
         disk_hits=after.disk_hits - before.disk_hits,
         stores=after.stores - before.stores,
         evictions=after.evictions - before.evictions,
+        corruptions=after.corruptions - before.corruptions,
+        disk_write_failures=(
+            after.disk_write_failures - before.disk_write_failures
+        ),
     )
+
+
+class _RunCounters:
+    """Mutable fault-tolerance tallies for one engine run.
+
+    Mutable on purpose: a pool pass that dies mid-flight must not lose
+    the retries it already performed, so passes update this in place and
+    the supervisor reads whatever survived.
+    """
+
+    __slots__ = ("executed", "retries", "respawns")
+
+    def __init__(self):
+        self.executed = 0
+        self.retries = 0
+        self.respawns = 0
 
 
 @dataclass(frozen=True)
@@ -102,6 +144,12 @@ class BatchResult:
         Worker processes used (1 = the serial reference backend).
     elapsed:
         Wall-clock seconds for the batch.
+    retries:
+        Task attempts re-run under the engine's
+        :class:`~repro.engine.TaskRetryPolicy` after transient failures.
+    respawns:
+        Worker-pool generations spawned to replace dead workers (0 on an
+        undisturbed run).
     """
 
     outputs: Tuple[Any, ...]
@@ -110,6 +158,8 @@ class BatchResult:
     restored: int
     workers: int
     elapsed: float
+    retries: int = 0
+    respawns: int = 0
 
     def __len__(self) -> int:
         return len(self.outputs)
@@ -128,6 +178,8 @@ class GraphResult:
     executed: int
     workers: int
     elapsed: float
+    retries: int = 0
+    respawns: int = 0
 
     def __getitem__(self, name: str) -> Any:
         return self.values[name]
@@ -172,6 +224,28 @@ def _obs_call(
     return value, registry.to_dict(), payload
 
 
+def _worker_call(
+    chaos: Optional["ChaosPlan"],
+    index: int,
+    instrument: bool,
+    ctx: Optional[Dict[str, Any]],
+    phase: str,
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+) -> Any:
+    """Worker-side task entry point when a chaos plan is attached.
+
+    Runs the plan's injection point (which may kill this worker process
+    or raise a transient fault) before delegating to the plain or
+    instrumented call path.  Module-level so it pickles.
+    """
+    if chaos is not None:
+        chaos.before_task(index, in_worker=True)
+    if instrument:
+        return _obs_call(ctx, phase, fn, args)
+    return fn(*args)
+
+
 def _json_safe(value: Any) -> Any:
     """Round-trip *value* through JSON, or raise EngineError."""
     try:
@@ -205,6 +279,20 @@ class EvaluationEngine:
         every dispatch and completion boundary.
     heartbeat:
         Optional progress callback (one event per completed task).
+    retry:
+        Optional :class:`~repro.engine.TaskRetryPolicy`.  Tasks failing
+        with one of its retryable exception types are re-run (same
+        worker pool, capped backoff) up to ``max_attempts`` times;
+        anything else — and the last retryable failure once attempts are
+        exhausted — propagates unchanged.
+    chaos:
+        Optional :class:`~repro.chaos.ChaosPlan` wired into every
+        :meth:`map` task (serial and worker-side), used by the
+        deterministic chaos harness to inject worker kills and transient
+        faults at planned task indices.  Production runs leave it None.
+    max_respawns:
+        Worker-pool generations the supervisor may spawn to replace dead
+        workers before declaring the batch failed.
     metrics / tracer:
         Optional :class:`~repro.obs.MetricsRegistry` /
         :class:`~repro.obs.Tracer`; each defaults to the ambient one
@@ -240,8 +328,14 @@ class EvaluationEngine:
         heartbeat: Optional[HeartbeatCallback] = None,
         metrics: Optional["MetricsRegistry"] = None,
         tracer: Optional["Tracer"] = None,
+        retry: Optional[TaskRetryPolicy] = None,
+        chaos: Optional["ChaosPlan"] = None,
+        max_respawns: int = 3,
     ):
         self.workers = check_positive_int(workers, "workers")
+        self.retry = retry
+        self.chaos = chaos
+        self.max_respawns = check_positive_int(max_respawns, "max_respawns")
         if cache is not None and cache_dir is not None:
             raise EngineError(
                 "pass either a prebuilt cache or a cache_dir, not both"
@@ -302,6 +396,91 @@ class EvaluationEngine:
             ).observe(monotonic() - started)
         return value
 
+    # -- fault tolerance helpers ---------------------------------------
+    def _should_retry(self, exc: BaseException, attempt: int) -> bool:
+        return (
+            self.retry is not None
+            and self.retry.is_retryable(exc)
+            and attempt < self.retry.max_attempts
+        )
+
+    def _retry_pause(self, attempt: int) -> None:
+        delay = self.retry.backoff_delay(attempt - 1)
+        if delay > 0.0:
+            time.sleep(delay)
+
+    def _call_serial(
+        self,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        phase: str,
+        chaos_index: Optional[int],
+        counters: _RunCounters,
+        **attrs: Any,
+    ) -> Tuple[Any, int]:
+        """Run one task in-process under the retry policy.
+
+        Returns ``(value, attempts)``.  Chaos injections (when a plan is
+        attached and the task has a map index) fire before each attempt,
+        exactly as they do inside pool workers.
+        """
+        attempt = 1
+        while True:
+            try:
+                if self.chaos is not None and chaos_index is not None:
+                    self.chaos.before_task(chaos_index, in_worker=False)
+                return self._call_task(fn, args, phase, **attrs), attempt
+            except BaseException as exc:
+                if not self._should_retry(exc, attempt):
+                    raise
+                counters.retries += 1
+                self._retry_pause(attempt)
+                attempt += 1
+
+    def _submit_map_task(
+        self,
+        pool: ProcessPoolExecutor,
+        fn: Callable[[Any], Any],
+        item: Any,
+        phase: str,
+        index: int,
+    ):
+        """Submit one map task, routing through the chaos/obs wrappers."""
+        instrument = self._metrics is not None or self._tracer is not None
+        if self.chaos is None and not instrument:
+            return pool.submit(fn, item)
+        if instrument:
+            if self._tracer is not None:
+                with self._tracer.span(
+                    "engine submit", category="engine", phase=phase,
+                    index=index,
+                ):
+                    ctx = self._tracer.context().as_dict()
+            else:
+                ctx = None
+            if self.chaos is None:
+                return pool.submit(_obs_call, ctx, phase, fn, (item,))
+            return pool.submit(
+                _worker_call, self.chaos, index, True, ctx, phase, fn,
+                (item,),
+            )
+        return pool.submit(
+            _worker_call, self.chaos, index, False, None, phase, fn, (item,),
+        )
+
+    def _respawn_or_give_up(
+        self, respawns: int, phase: str, remaining: int,
+        counters: _RunCounters,
+    ) -> None:
+        """Account one dead pool; raise once the respawn budget is spent."""
+        counters.respawns += 1
+        if respawns > self.max_respawns:
+            raise EngineError(
+                f"worker pool for {phase!r} died {respawns} times "
+                f"(max_respawns={self.max_respawns}); giving up with "
+                f"{remaining} tasks incomplete"
+            )
+
     def _submit_instrumented(
         self, pool: ProcessPoolExecutor, fn: Callable[..., Any],
         args: Tuple[Any, ...], phase: str, **attrs: Any,
@@ -331,11 +510,19 @@ class EvaluationEngine:
 
     def _record_run_metrics(
         self, phase: str, total: int, executed: int, restored: int,
-        delta: CacheStats,
+        delta: CacheStats, retries: int = 0, respawns: int = 0,
     ) -> None:
         if self._metrics is None:
             return
         m = self._metrics
+        m.counter(
+            "engine_task_retries",
+            help="Task attempts re-run after retryable failures.",
+        ).inc(retries)
+        m.counter(
+            "engine_worker_respawns",
+            help="Worker pools respawned after a worker death.",
+        ).inc(respawns)
         m.counter(
             "engine_tasks", help="Tasks submitted to the engine.", phase=phase,
         ).inc(total)
@@ -356,7 +543,7 @@ class EvaluationEngine:
         ).inc(total - executed - restored)
         for field in (
             "lookups", "hits", "misses", "memory_hits", "disk_hits",
-            "stores", "evictions",
+            "stores", "evictions", "corruptions", "disk_write_failures",
         ):
             m.counter(
                 f"engine_cache_{field}",
@@ -466,7 +653,9 @@ class EvaluationEngine:
                 f"{len(restored)} restored, {done - len(restored)} cached",
             )
 
-            def complete(index: int, value: Any) -> None:
+            counters = _RunCounters()
+
+            def complete(index: int, value: Any, attempts: int = 1) -> None:
                 nonlocal done
                 outputs[index] = value
                 done += 1
@@ -479,6 +668,7 @@ class EvaluationEngine:
                         index=index,
                         key=key,
                         value=_json_safe(value),
+                        attempts=attempts,
                     )
                 if on_result is not None:
                     on_result(index, value)
@@ -488,16 +678,18 @@ class EvaluationEngine:
             if self.workers == 1 or len(pending) <= 1:
                 for index in pending:
                     self._check()
-                    complete(
-                        index,
-                        self._call_task(fn, (items[index],), phase, index=index),
+                    value, attempts = self._call_serial(
+                        fn, (items[index],), phase, index, counters,
+                        index=index,
                     )
+                    complete(index, value, attempts)
             else:
-                self._map_parallel(fn, items, pending, complete, phase)
+                self._map_parallel(fn, items, pending, complete, phase,
+                                   counters)
 
             if journal is not None and total and done == total:
                 # Idempotent end marker (skipped when resuming past one).
-                records = read_journal(journal.path)
+                records = read_journal(journal.path, missing_ok=True)
                 if not any(r.get("kind") == "batch_end" for r in records):
                     journal.append("batch_end", executed=executed)
         finally:
@@ -505,7 +697,9 @@ class EvaluationEngine:
                 journal.close()
 
         delta = _stats_delta(before, self.cache.stats)
-        self._record_run_metrics(phase, total, executed, len(restored), delta)
+        self._record_run_metrics(phase, total, executed, len(restored), delta,
+                                 retries=counters.retries,
+                                 respawns=counters.respawns)
         return BatchResult(
             outputs=tuple(outputs),
             cache_stats=delta,
@@ -513,6 +707,8 @@ class EvaluationEngine:
             restored=len(restored),
             workers=self.workers,
             elapsed=monotonic() - started,
+            retries=counters.retries,
+            respawns=counters.respawns,
         )
 
     def _map_parallel(
@@ -520,23 +716,50 @@ class EvaluationEngine:
         fn: Callable[[Any], Any],
         items: Sequence[Any],
         pending: Sequence[int],
-        complete: Callable[[int, Any], None],
+        complete: Callable[..., None],
         phase: str,
+        counters: _RunCounters,
     ) -> None:
+        """Supervised process-pool backend for :meth:`map`.
+
+        Each *pool pass* drives one ``ProcessPoolExecutor`` until every
+        remaining task completes or the pool breaks (a worker died).  A
+        broken pool costs one respawn from the ``max_respawns`` budget;
+        the next pass re-dispatches exactly the tasks that had not
+        completed, so supervised output is bit-identical to serial.
+        """
         self._require_picklable(fn)
-        instrument = self._metrics is not None or self._tracer is not None
-        max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        remaining: Set[int] = set(pending)
+        attempts: Dict[int, int] = {}
+        respawns = 0
+        while remaining:
             try:
-                futures = {}
-                for index in pending:
+                self._map_pool_pass(fn, items, remaining, attempts, complete,
+                                    phase, counters)
+            except BrokenExecutor:
+                respawns += 1
+                self._respawn_or_give_up(respawns, phase, len(remaining),
+                                         counters)
+
+    def _map_pool_pass(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        remaining: Set[int],
+        attempts: Dict[int, int],
+        complete: Callable[..., None],
+        phase: str,
+        counters: _RunCounters,
+    ) -> None:
+        instrument = self._metrics is not None or self._tracer is not None
+        max_workers = min(self.workers, len(remaining))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures: Dict[Any, int] = {}
+            try:
+                for index in sorted(remaining):
                     self._check()
-                    if instrument:
-                        future = self._submit_instrumented(
-                            pool, fn, (items[index],), phase, index=index
-                        )
-                    else:
-                        future = pool.submit(fn, items[index])
+                    future = self._submit_map_task(pool, fn, items[index],
+                                                   phase, index)
                     futures[future] = index
                 outstanding = set(futures)
                 while outstanding:
@@ -545,10 +768,28 @@ class EvaluationEngine:
                         outstanding, return_when=FIRST_COMPLETED
                     )
                     for future in finished:
-                        value = future.result()
+                        index = futures.pop(future)
+                        try:
+                            value = future.result()
+                        except BrokenExecutor:
+                            raise  # dead worker: the supervisor respawns
+                        except BaseException as exc:
+                            attempt = attempts.get(index, 1)
+                            if not self._should_retry(exc, attempt):
+                                raise
+                            attempts[index] = attempt + 1
+                            counters.retries += 1
+                            self._retry_pause(attempt)
+                            retry_future = self._submit_map_task(
+                                pool, fn, items[index], phase, index
+                            )
+                            futures[retry_future] = index
+                            outstanding.add(retry_future)
+                            continue
                         if instrument:
                             value = self._unwrap_instrumented(value)
-                        complete(futures[future], value)
+                        complete(index, value, attempts.get(index, 1))
+                        remaining.discard(index)
             except BaseException:
                 for future in futures:
                     future.cancel()
@@ -561,7 +802,7 @@ class EvaluationEngine:
         total: int,
         keys: Optional[Sequence[Optional[str]]],
     ) -> Dict[int, Any]:
-        records = read_journal(path)
+        records = read_journal(path, missing_ok=True)
         if not records:
             return {}
         start = records[0]
@@ -618,7 +859,7 @@ class EvaluationEngine:
         before = self.cache.stats
         started = monotonic()
         values: Dict[str, Any] = {}
-        executed = 0
+        counters = _RunCounters()
 
         def resolve(name: str) -> Tuple[bool, Any]:
             task = graph.task(name)
@@ -645,33 +886,62 @@ class EvaluationEngine:
                     values[name] = value
                     self._beat(phase, len(values), len(order), name)
                     continue
-                executed += 1
-                finish(name, self._call_task(
-                    graph.task(name).fn, call_args(name), phase, task=name,
-                ))
+                counters.executed += 1
+                value, _ = self._call_serial(
+                    graph.task(name).fn, call_args(name), phase, None,
+                    counters, task=name,
+                )
+                finish(name, value)
         else:
-            executed = self._run_graph_parallel(graph, order, resolve,
-                                                call_args, finish, phase)
+            self._run_graph_parallel(graph, order, resolve, call_args,
+                                     finish, phase, counters)
 
         delta = _stats_delta(before, self.cache.stats)
-        self._record_run_metrics(phase, len(order), executed, 0, delta)
+        self._record_run_metrics(phase, len(order), counters.executed, 0,
+                                 delta, retries=counters.retries,
+                                 respawns=counters.respawns)
         return GraphResult(
             values=values,
             cache_stats=delta,
-            executed=executed,
+            executed=counters.executed,
             workers=self.workers,
             elapsed=monotonic() - started,
+            retries=counters.retries,
+            respawns=counters.respawns,
         )
 
     def _run_graph_parallel(self, graph, order, resolve, call_args, finish,
-                            phase):
+                            phase, counters: _RunCounters):
+        """Supervised process-pool backend for :meth:`run_graph`.
+
+        Like :meth:`_map_parallel`, runs one pool pass at a time; a pass
+        that loses a worker forfeits its in-flight futures, and the next
+        pass re-dispatches every task that is not yet settled (their
+        dependencies stay settled, so no completed work is repeated).
+        """
         waiting = {name: set(graph.task(name).deps) for name in order}
-        executed = 0
         dependents: Dict[str, List[str]] = {name: [] for name in order}
         for name in order:
             for dep in graph.task(name).deps:
                 dependents[dep].append(name)
         done: set = set()
+        attempts: Dict[str, int] = {}
+        respawns = 0
+        while len(done) < len(order):
+            try:
+                self._graph_pool_pass(graph, order, waiting, dependents,
+                                      done, attempts, resolve, call_args,
+                                      finish, phase, counters)
+            except BrokenExecutor:
+                respawns += 1
+                self._respawn_or_give_up(
+                    respawns, phase, len(order) - len(done), counters
+                )
+        return counters.executed
+
+    def _graph_pool_pass(self, graph, order, waiting, dependents, done,
+                         attempts, resolve, call_args, finish, phase,
+                         counters: _RunCounters):
         instrument = self._metrics is not None or self._tracer is not None
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures: Dict[Any, str] = {}
@@ -686,13 +956,7 @@ class EvaluationEngine:
                         freed.append(dependent)
                 return freed
 
-            def dispatch(name: str) -> List[str]:
-                # Cache hits (and their newly freed dependents) settle
-                # immediately; misses go to the pool.
-                self._check()
-                hit, value = resolve(name)
-                if hit:
-                    return settle(name, value)
+            def submit(name: str) -> None:
                 task = graph.task(name)
                 self._require_picklable(task.fn)
                 if instrument:
@@ -702,10 +966,22 @@ class EvaluationEngine:
                 else:
                     future = pool.submit(task.fn, *call_args(name))
                 futures[future] = name
+
+            def dispatch(name: str) -> List[str]:
+                # Cache hits (and their newly freed dependents) settle
+                # immediately; misses go to the pool.
+                self._check()
+                hit, value = resolve(name)
+                if hit:
+                    return settle(name, value)
+                submit(name)
                 return []
 
             try:
-                ready = [name for name in order if not waiting[name]]
+                # On a respawn pass this re-collects exactly the tasks
+                # whose dependencies are settled but which are not.
+                ready = [name for name in order
+                         if name not in done and not waiting[name]]
                 while ready or futures:
                     freed: List[str] = []
                     for name in ready:
@@ -718,8 +994,20 @@ class EvaluationEngine:
                         )
                         for future in finished:
                             name = futures.pop(future)
-                            executed += 1
-                            value = future.result()
+                            try:
+                                value = future.result()
+                            except BrokenExecutor:
+                                raise  # dead worker: supervisor respawns
+                            except BaseException as exc:
+                                attempt = attempts.get(name, 1)
+                                if not self._should_retry(exc, attempt):
+                                    raise
+                                attempts[name] = attempt + 1
+                                counters.retries += 1
+                                self._retry_pause(attempt)
+                                submit(name)
+                                continue
+                            counters.executed += 1
                             if instrument:
                                 value = self._unwrap_instrumented(value)
                             ready.extend(settle(name, value))
@@ -730,4 +1018,3 @@ class EvaluationEngine:
         if len(done) != len(order):  # pragma: no cover - defensive
             missing = [name for name in order if name not in done]
             raise EngineError(f"graph execution stalled; unfinished: {missing}")
-        return executed

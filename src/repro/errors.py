@@ -20,6 +20,8 @@ __all__ = [
     "DeadlineExceededError",
     "ResumeError",
     "EngineError",
+    "TransientTaskError",
+    "ChaosError",
     "ObservabilityError",
 ]
 
@@ -109,6 +111,27 @@ class EngineError(ReproError):
     duplicate task names), cache-key specs containing unhashable value
     types, and work functions that cannot be shipped to a process-pool
     worker (unpicklable closures/lambdas with ``workers > 1``).
+    """
+
+
+class TransientTaskError(ReproError):
+    """A task failed in a way that is expected to succeed on retry.
+
+    The default retryable exception of the engine's
+    :class:`repro.engine.TaskRetryPolicy`: raise it from a task body (or
+    let the chaos harness inject it) to mark a failure as transient.
+    When every allowed attempt fails, the engine re-raises the *last*
+    instance, so exhausted retries surface the original diagnostic.
+    """
+
+
+class ChaosError(ReproError):
+    """The deterministic chaos harness was misconfigured.
+
+    Raised for invalid injection plans (negative task indices, an
+    unusable state directory) and for injections that would destroy the
+    run they are supposed to exercise — e.g. a kill-worker injection
+    executing inside the supervising process instead of a pool worker.
     """
 
 

@@ -76,6 +76,7 @@ from .retry import (
     RetryAdjustedScenario,
     RetryOutcome,
     RetryPolicy,
+    backoff_delay,
     retry_adjusted_user_availability,
     session_outcome,
 )
@@ -124,6 +125,7 @@ __all__ = [
     "RetryAdjustedScenario",
     "RetryOutcome",
     "RetryPolicy",
+    "backoff_delay",
     "retry_adjusted_user_availability",
     "session_outcome",
 ]

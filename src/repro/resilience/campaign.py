@@ -365,7 +365,7 @@ def run_campaign(
     owns_journal = journal is not None and not isinstance(journal, Journal)
     if owns_journal:
         path = Path(journal)
-        if path.exists() and read_journal(path):
+        if path.exists() and read_journal(path, missing_ok=True):
             raise ResumeError(
                 f"journal {path} already holds records; resume it with "
                 "resume_campaign() / `repro resume` instead of starting a "

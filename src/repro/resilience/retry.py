@@ -49,9 +49,41 @@ __all__ = [
     "RetryOutcome",
     "RetryAdjustedScenario",
     "RetryAdjustedResult",
+    "backoff_delay",
     "session_outcome",
     "retry_adjusted_user_availability",
 ]
+
+
+def backoff_delay(
+    retry_index: int,
+    base: float = 1.0,
+    factor: float = 2.0,
+    cap: float = math.inf,
+) -> float:
+    """Capped exponential backoff before retry number *retry_index*.
+
+    The shared backoff law of the library: user retry models
+    (:class:`RetryPolicy`) and the engine's task retry policy
+    (:class:`repro.engine.TaskRetryPolicy`) both delegate here.  Always
+    finite once a cap is set — the exponential term saturates at the cap
+    instead of overflowing for large indices.
+
+    Examples
+    --------
+    >>> [backoff_delay(i, base=0.5) for i in range(3)]
+    [0.5, 1.0, 2.0]
+    >>> backoff_delay(10_000, base=0.5, cap=30.0)
+    30.0
+    """
+    retry_index = check_non_negative_int(retry_index, "retry_index")
+    try:
+        delay = base * factor ** retry_index
+    except OverflowError:
+        # factor**index exceeded float range; every such delay is above
+        # any finite cap (and inf under no cap).
+        delay = math.inf if base > 0.0 else 0.0
+    return min(cap, delay)
 
 
 @dataclass(frozen=True)
@@ -108,16 +140,15 @@ class RetryPolicy:
         """Backoff before retry number *retry_index* (0-based).
 
         Always finite once a cap is set: the exponential term saturates
-        at the cap instead of overflowing for large indices.
+        at the cap instead of overflowing for large indices (see the
+        module-level :func:`backoff_delay`, which implements the law).
         """
-        retry_index = check_non_negative_int(retry_index, "retry_index")
-        try:
-            delay = self.backoff_base * self.backoff_factor**retry_index
-        except OverflowError:
-            # factor**index exceeded float range; every such delay is
-            # above any finite cap (and inf under no cap).
-            delay = math.inf if self.backoff_base > 0.0 else 0.0
-        return min(self.backoff_cap, delay)
+        return backoff_delay(
+            retry_index,
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            cap=self.backoff_cap,
+        )
 
 
 @dataclass(frozen=True)

@@ -66,10 +66,28 @@ class Journal:
         self._path = Path(path)
         self._fsync = bool(fsync)
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        # Continue the sequence when appending to an existing journal.
-        self._seq = len(read_journal(self._path)) if self._path.exists() else 0
+        # Continue the sequence when appending to an existing journal,
+        # first truncating any torn final line — appending after a torn
+        # tail would weld the new record onto the partial one and corrupt
+        # the journal *mid-file*, which readers rightly refuse.
+        if self._path.exists():
+            self._repair_torn_tail()
+            self._seq = len(read_journal(self._path, missing_ok=True))
+        else:
+            self._seq = 0
         self._file = open(self._path, "a", encoding="utf-8")
         self._metrics = active_metrics()
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate the file to its durable prefix of complete records."""
+        raw = self._path.read_bytes()
+        durable = _durable_prefix(raw)
+        if durable < len(raw):
+            with open(self._path, "r+b") as handle:
+                handle.truncate(durable)
+            if self._fsync:
+                with open(self._path, "rb") as handle:
+                    os.fsync(handle.fileno())
 
     @property
     def path(self) -> Path:
@@ -132,24 +150,59 @@ class Journal:
         return f"Journal({str(self._path)!r}, records={self._seq})"
 
 
-def read_journal(path: PathLike) -> List[Record]:
+def _durable_prefix(raw: bytes) -> int:
+    """Byte length of the longest prefix of complete, parsable lines.
+
+    Walks *raw* line by line (newlines kept) and stops at the first line
+    that is not newline-terminated or does not parse as JSON — the torn
+    tail a crash can leave.  Blank lines are tolerated, matching
+    :func:`read_journal`.
+    """
+    end = 0
+    for line in raw.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break
+        stripped = line.strip()
+        if stripped:
+            try:
+                json.loads(stripped.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                break
+        end += len(line)
+    return end
+
+
+def read_journal(path: PathLike, missing_ok: bool = False) -> List[Record]:
     """Read a journal, tolerating a torn final line.
 
-    Returns the list of records.  A file that does not exist reads as an
-    empty journal (a campaign that was interrupted before its first
+    Returns the list of records.  A missing or empty file raises
+    :class:`~repro.errors.ResumeError` naming the path — resuming from a
+    journal that was never written is almost always a mistyped path, and
+    silently treating it as "no progress" would rerun a whole campaign.
+    Pass ``missing_ok=True`` to read such a file as the empty journal
+    (the writer-side convention: a campaign interrupted before its first
     durable append).
 
     Raises
     ------
     ResumeError
-        When a record before the final line is unparsable, when schema
+        When the file is missing or empty (unless ``missing_ok``), when
+        a record before the final line is unparsable, when schema
         versions don't match :data:`SCHEMA_VERSION`, or when sequence
         numbers are not the contiguous run ``0, 1, 2, ...``.
     """
     path = Path(path)
     if not path.exists():
-        return []
+        if missing_ok:
+            return []
+        raise ResumeError(
+            f"journal {path} does not exist; nothing to resume"
+        )
     raw = path.read_text(encoding="utf-8")
+    if not raw.strip() and not missing_ok:
+        raise ResumeError(
+            f"journal {path} is empty; nothing to resume"
+        )
     lines = raw.split("\n")
     # A well-formed journal ends with "\n", leaving one empty trailing
     # element; anything else on the last element is a torn write.

@@ -150,8 +150,12 @@ def estimate_user_availability(
                 weights = np.array([p for _, p in usage])
                 index = int(rng.choice(len(usage), p=weights / weights.sum()))
                 needed |= usage[index][0]
+        # Sorted: set iteration order varies with PYTHONHASHSEED, and the
+        # short-circuiting draws would consume the rng stream differently
+        # across processes (breaking the engine's bit-identity contract).
         success = all(
-            rng.random() < service_availability[service] for service in needed
+            rng.random() < service_availability[service]
+            for service in sorted(needed)
         )
         if success:
             successes += 1
@@ -271,8 +275,11 @@ def estimate_user_availability_with_retries(
                 weights = np.array([p for _, p in usage])
                 index = int(rng.choice(len(usage), p=weights / weights.sum()))
                 needed |= usage[index][0]
+        # Sorted for the same cross-process rng-stream stability as
+        # :func:`estimate_user_availability`.
         return all(
-            rng.random() < service_availability[service] for service in needed
+            rng.random() < service_availability[service]
+            for service in sorted(needed)
         )
 
     sim = Simulator(cancellation=cancellation)

@@ -1,0 +1,146 @@
+"""Tests for the deterministic chaos harness.
+
+The harness's whole value is determinism: a given seed must plan the
+same injections every time, each injection must fire exactly once, and
+every injector must leave the system able to recover to bit-identical
+output (the recovery itself is exercised in
+``tests/engine/test_executor.py`` and the ``repro chaos`` CLI tests).
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosPlan,
+    corrupt_cache_entries,
+    plan_transient_faults,
+    plan_worker_kills,
+    truncate_journal_tail,
+)
+from repro.engine import MemoCache, canonical_key
+from repro.errors import ChaosError, TransientTaskError
+from repro.runtime import Journal, read_journal
+
+
+class TestChaosPlan:
+    def test_planners_are_deterministic_in_the_seed(self, tmp_path):
+        a = plan_worker_kills(20, seed=7, count=3,
+                              state_dir=str(tmp_path / "a"))
+        b = plan_worker_kills(20, seed=7, count=3,
+                              state_dir=str(tmp_path / "b"))
+        assert a.kill_tasks == b.kill_tasks
+        assert len(a.kill_tasks) == 3
+        assert all(0 <= i < 20 for i in a.kill_tasks)
+
+        t = plan_transient_faults(20, seed=7, count=3,
+                                  state_dir=str(tmp_path / "c"), failures=2)
+        assert t.transient_tasks == a.kill_tasks  # same seed, same draw
+        assert t.transient_failures == 2
+
+    def test_transient_fires_once_per_planned_attempt(self, tmp_path):
+        plan = ChaosPlan(state_dir=str(tmp_path), transient_tasks=(3,),
+                         transient_failures=2)
+        for _ in range(2):
+            with pytest.raises(TransientTaskError, match="task 3"):
+                plan.before_task(3, in_worker=False)
+        plan.before_task(3, in_worker=False)  # exhausted: no-op
+        plan.before_task(0, in_worker=False)  # unplanned: no-op
+        assert plan.fired() == 2
+
+    def test_once_only_holds_across_plan_copies(self, tmp_path):
+        # Pool workers get pickled copies sharing the state_dir; a fault
+        # claimed by one copy must not fire again from another.
+        first = ChaosPlan(state_dir=str(tmp_path), transient_tasks=(0,))
+        second = ChaosPlan(state_dir=str(tmp_path), transient_tasks=(0,))
+        with pytest.raises(TransientTaskError):
+            first.before_task(0, in_worker=False)
+        second.before_task(0, in_worker=False)  # already claimed
+        assert second.fired() == 1
+
+    def test_invalid_plans_rejected(self, tmp_path):
+        with pytest.raises(ChaosError, match="state_dir"):
+            ChaosPlan(state_dir="")
+        with pytest.raises(ChaosError, match=">= 0"):
+            ChaosPlan(state_dir=str(tmp_path), kill_tasks=(-1,))
+        with pytest.raises(ChaosError, match="transient_failures"):
+            ChaosPlan(state_dir=str(tmp_path), transient_failures=0)
+        with pytest.raises(ChaosError, match="n_tasks"):
+            plan_worker_kills(0, seed=0, count=1, state_dir=str(tmp_path))
+        with pytest.raises(ChaosError, match="count"):
+            plan_transient_faults(5, seed=0, count=0,
+                                  state_dir=str(tmp_path))
+
+
+class TestCorruptCacheEntries:
+    @staticmethod
+    def _seeded_cache(tmp_path, n=4):
+        cache = MemoCache(cache_dir=tmp_path)
+        keys = [canonical_key("demo", x=float(i)) for i in range(n)]
+        for i, key in enumerate(keys):
+            cache.put(key, float(i))
+        return keys
+
+    def test_damage_is_deterministic_and_detected(self, tmp_path):
+        self._seeded_cache(tmp_path)
+        first = corrupt_cache_entries(tmp_path, seed=1, count=2)
+        assert len(first) == 2
+        # The same seed picks the same victims on an identically seeded
+        # cache (content addressing makes the file set reproducible).
+        other = tmp_path.parent / "other-cache"
+        self._seeded_cache(other)
+        assert [p.name for p in corrupt_cache_entries(other, seed=1, count=2)
+                ] == [p.name for p in first]
+
+        fresh = MemoCache(cache_dir=tmp_path)
+        for key in self._seeded_cache(tmp_path.parent / "reference"):
+            fresh.lookup(key)
+        assert fresh.stats.corruptions == 2
+
+    def test_empty_cache_rejected(self, tmp_path):
+        with pytest.raises(ChaosError, match="no cache entries"):
+            corrupt_cache_entries(tmp_path, seed=0)
+
+    def test_quarantine_is_not_a_target(self, tmp_path):
+        self._seeded_cache(tmp_path, n=2)
+        cache = MemoCache(cache_dir=tmp_path)
+        corrupt_cache_entries(tmp_path, seed=0, count=2)
+        for i in range(2):
+            cache.lookup(canonical_key("demo", x=float(i)))
+        assert cache.stats.corruptions == 2
+        # All damage now lives in quarantine; nothing left to corrupt.
+        with pytest.raises(ChaosError, match="no cache entries"):
+            corrupt_cache_entries(tmp_path, seed=0)
+
+
+class TestTruncateJournalTail:
+    @staticmethod
+    def _journal(tmp_path, records=5):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("batch_start", phase="demo", total=records)
+            for i in range(records):
+                journal.append("task_result", index=i, value=float(i))
+        return path
+
+    def test_tear_drops_records_and_resume_repairs(self, tmp_path):
+        path = self._journal(tmp_path)
+        dropped = truncate_journal_tail(path, seed=0, records=2)
+        assert dropped == 2
+        # The torn partial line is invisible to readers...
+        surviving = read_journal(path, missing_ok=True)
+        assert [r["kind"] for r in surviving] == (
+            ["batch_start"] + ["task_result"] * 3
+        )
+        # ...and reopening repairs the tail so appends are clean.
+        with Journal(path) as journal:
+            assert journal.next_seq == 4
+            journal.append("task_result", index=3, value=3.0)
+        assert len(read_journal(path)) == 5
+
+    def test_tearing_everything_is_rejected(self, tmp_path):
+        path = self._journal(tmp_path, records=1)
+        with pytest.raises(ChaosError, match="cannot tear"):
+            truncate_journal_tail(path, seed=0, records=2)
+
+    def test_missing_journal_rejected(self, tmp_path):
+        with pytest.raises(ChaosError, match="does not exist"):
+            truncate_journal_tail(tmp_path / "ghost.jsonl", seed=0)

@@ -1,5 +1,8 @@
 """Tests for content-addressed cache keys and the memo cache."""
 
+import pickle
+import warnings
+
 import numpy as np
 import pytest
 
@@ -197,3 +200,71 @@ class TestMemoCache:
         cache.lookup(canonical_key("demo", x=0.0))
         cache.clear(statistics=True)
         assert cache.stats == type(cache.stats)()
+
+
+class TestCacheIntegrity:
+    """Checksum framing: damaged disk entries are misses, never crashes."""
+
+    @staticmethod
+    def _seed_entry(tmp_path, value=(1.0, 2.0)):
+        cache = MemoCache(cache_dir=tmp_path)
+        key = canonical_key("demo", x=6.0)
+        cache.put(key, value)
+        return key, tmp_path / key[:2] / f"{key}.pkl"
+
+    def _assert_quarantined(self, tmp_path, key, path):
+        fresh = MemoCache(cache_dir=tmp_path)
+        hit, _ = fresh.lookup(key)
+        assert not hit
+        assert fresh.stats.corruptions == 1
+        assert fresh.stats.consistent
+        assert not path.exists()
+        assert (fresh.quarantine_dir / path.name).exists()
+        # Recompute-and-store heals the entry for the next reader.
+        fresh.put(key, (1.0, 2.0))
+        healed = MemoCache(cache_dir=tmp_path)
+        assert healed.get(key) == (1.0, 2.0)
+        assert healed.stats.corruptions == 0
+
+    def test_flipped_payload_byte_is_quarantined(self, tmp_path):
+        key, path = self._seed_entry(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        self._assert_quarantined(tmp_path, key, path)
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        key, path = self._seed_entry(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        self._assert_quarantined(tmp_path, key, path)
+
+    def test_empty_file_is_quarantined(self, tmp_path):
+        key, path = self._seed_entry(tmp_path)
+        path.write_bytes(b"")
+        self._assert_quarantined(tmp_path, key, path)
+
+    def test_unframed_legacy_entry_is_quarantined(self, tmp_path):
+        # A bare pickle (the pre-framing format) has no magic/checksum:
+        # treated as foreign, not trusted.
+        key, path = self._seed_entry(tmp_path)
+        path.write_bytes(pickle.dumps((1.0, 2.0)))
+        self._assert_quarantined(tmp_path, key, path)
+
+    def test_disk_write_failure_degrades_to_memory_only(self, tmp_path):
+        cache = MemoCache(cache_dir=tmp_path)
+        key = canonical_key("demo", x=9.0)
+        # Block the shard directory with a plain file: the store's mkdir
+        # fails with the same OSError a read-only cache_dir raises (a
+        # chmod-based setup is a no-op under root).
+        (tmp_path / key[:2]).touch()
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            cache.put(key, 1.0)
+        assert cache.stats.disk_write_failures == 1
+        assert cache.get(key) == 1.0  # the memory level still serves
+        # Degradation is sticky and warns exactly once.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.put(canonical_key("demo", x=10.0), 2.0)
+        assert cache.stats.disk_write_failures == 1
+        assert cache.stats.consistent

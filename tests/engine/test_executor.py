@@ -5,17 +5,52 @@ every parallel/cached/resumed path must reproduce it bit for bit.
 """
 
 import math
+import os
 
 import pytest
 
-from repro.engine import EvaluationEngine, MemoCache, canonical_key
-from repro.errors import CancelledError, EngineError, ResumeError
+from repro.chaos import ChaosPlan, plan_transient_faults
+from repro.engine import (
+    EvaluationEngine,
+    MemoCache,
+    TaskGraph,
+    TaskRetryPolicy,
+    canonical_key,
+)
+from repro.errors import (
+    CancelledError,
+    ChaosError,
+    EngineError,
+    ResumeError,
+    TransientTaskError,
+)
 from repro.runtime import read_journal
 
 
 def _cube(x):
     """Module-level so process-pool workers can unpickle it."""
     return x ** 3
+
+
+def _die(x):
+    """Poison task: kills whichever worker runs it, every time."""
+    os._exit(113)
+
+
+def _die_once(marker, x):
+    """Kills its worker on the first call ever (across processes)."""
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return x * 2
+    os.close(fd)
+    os._exit(113)
+
+
+def _boom_on_42(x):
+    if x == 42:
+        raise ValueError("boom 42")
+    return x
 
 
 def _blocking(spec):
@@ -189,6 +224,109 @@ class TestJournalResume:
             EvaluationEngine().map(
                 lambda x: {1, 2}, [0], journal=path
             )
+
+
+class TestSupervision:
+    def test_worker_kill_recovers_bit_identically(self, tmp_path):
+        items = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        reference = EvaluationEngine().map(_cube, items)
+        plan = ChaosPlan(state_dir=str(tmp_path / "state"), kill_tasks=(2,))
+        survived = EvaluationEngine(workers=2, chaos=plan).map(_cube, items)
+        assert survived.outputs == reference.outputs
+        assert survived.respawns == 1
+        assert plan.fired() == 1
+
+    def test_poison_task_exhausts_the_respawn_budget(self):
+        engine = EvaluationEngine(workers=2, max_respawns=2)
+        with pytest.raises(EngineError, match="died 3 times.*giving up"):
+            engine.map(_die, [1, 2, 3, 4])
+
+    def test_kill_reaching_the_serial_backend_is_a_chaos_error(self, tmp_path):
+        # A kill can only take down a pool worker; firing it in the
+        # supervising process is a harness misconfiguration.
+        plan = ChaosPlan(state_dir=str(tmp_path / "state"), kill_tasks=(0,))
+        with pytest.raises(ChaosError, match="workers >= 2"):
+            EvaluationEngine(chaos=plan).map(_cube, [1.0, 2.0])
+
+    def test_graph_survives_a_worker_kill(self, tmp_path):
+        marker = tmp_path / "die-once"
+
+        def build():
+            graph = TaskGraph()
+            for i in range(4):
+                graph.add(f"t{i}", _die_once, args=(str(marker), float(i)))
+            return graph
+
+        # Disarm the kill for the in-process reference run: an armed
+        # marker would take down the test process itself.
+        marker.touch()
+        reference = EvaluationEngine().run_graph(build())
+
+        marker.unlink()  # re-arm for the supervised pool run
+        survived = EvaluationEngine(workers=2).run_graph(build())
+        assert survived.values == reference.values
+        assert survived.respawns == 1
+
+
+class TestTaskRetry:
+    def test_transient_faults_retry_to_identical_outputs(self, tmp_path):
+        items = [1.0, 2.0, 3.0, 4.0, 5.0]
+        reference = EvaluationEngine().map(_cube, items)
+        for workers in (1, 2):
+            plan = plan_transient_faults(
+                len(items), seed=0, count=2,
+                state_dir=str(tmp_path / f"state-{workers}"),
+            )
+            result = EvaluationEngine(
+                workers=workers, chaos=plan, retry=TaskRetryPolicy()
+            ).map(_cube, items)
+            assert result.outputs == reference.outputs
+            assert result.retries == 2
+            assert plan.fired() == 2
+
+    def test_exhausted_retries_reraise_the_original_error(self, tmp_path):
+        plan = ChaosPlan(
+            state_dir=str(tmp_path / "state"),
+            transient_tasks=(0,), transient_failures=5,
+        )
+        engine = EvaluationEngine(
+            chaos=plan, retry=TaskRetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(TransientTaskError, match="injected transient"):
+            engine.map(_cube, [1.0])
+        assert plan.fired() == 2  # exactly max_attempts attempts were made
+
+    def test_non_retryable_errors_are_not_retried(self):
+        engine = EvaluationEngine(retry=TaskRetryPolicy())
+        with pytest.raises(ValueError, match="boom 42"):
+            engine.map(_boom_on_42, [41, 42])
+
+    def test_attempt_counts_recorded_in_the_journal(self, tmp_path):
+        plan = ChaosPlan(
+            state_dir=str(tmp_path / "state"), transient_tasks=(1,)
+        )
+        path = tmp_path / "batch.jsonl"
+        EvaluationEngine(chaos=plan, retry=TaskRetryPolicy()).map(
+            _cube, [1.0, 2.0, 3.0], journal=path
+        )
+        by_index = {
+            r["index"]: r for r in read_journal(path)
+            if r["kind"] == "task_result"
+        }
+        assert by_index[0]["attempts"] == 1
+        assert by_index[1]["attempts"] == 2
+        assert by_index[2]["attempts"] == 1
+
+
+class TestExceptionPropagation:
+    def test_worker_errors_match_serial_type_and_message(self):
+        items = [40, 41, 42, 43]
+        with pytest.raises(ValueError) as serial_exc:
+            EvaluationEngine().map(_boom_on_42, items)
+        with pytest.raises(ValueError) as parallel_exc:
+            EvaluationEngine(workers=2).map(_boom_on_42, items)
+        assert type(parallel_exc.value) is type(serial_exc.value)
+        assert str(parallel_exc.value) == str(serial_exc.value) == "boom 42"
 
 
 class TestHeartbeat:

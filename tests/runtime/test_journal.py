@@ -63,8 +63,37 @@ class TestAppend:
 
 
 class TestCrashConsistency:
-    def test_missing_file_reads_as_empty(self, tmp_path):
-        assert read_journal(tmp_path / "never-written.jsonl") == []
+    def test_missing_file_is_an_error_naming_the_path(self, tmp_path):
+        path = tmp_path / "never-written.jsonl"
+        with pytest.raises(ResumeError, match="never-written.jsonl"):
+            read_journal(path)
+
+    def test_missing_file_reads_as_empty_with_missing_ok(self, tmp_path):
+        assert read_journal(tmp_path / "never-written.jsonl",
+                            missing_ok=True) == []
+
+    def test_empty_file_is_an_error_naming_the_path(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ResumeError, match="empty.jsonl"):
+            read_journal(path)
+        assert read_journal(path, missing_ok=True) == []
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("a")
+            journal.append("b")
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"v":1,"seq":2,"kind":"replic')
+        with Journal(path) as journal:
+            assert journal.next_seq == 2
+            journal.append("c")
+        # The torn bytes are gone: the repaired journal is a clean,
+        # contiguous record sequence.
+        records = read_journal(path)
+        assert [r["kind"] for r in records] == ["a", "b", "c"]
+        assert [r["seq"] for r in records] == [0, 1, 2]
 
     def test_torn_final_line_is_discarded(self, tmp_path):
         path = tmp_path / "run.jsonl"
@@ -91,11 +120,11 @@ class TestCrashConsistency:
             journal.append("a")
         with open(path, "a", encoding="utf-8") as f:
             f.write('{"partial')
-        # Reopening for append sees one intact record and continues at
-        # seq 1; the torn bytes stay in the file but the reader keeps
-        # discarding the unterminated line.
+        # Reopening for append truncates the torn bytes and continues
+        # at seq 1 from the intact prefix.
         with Journal(path) as journal:
             assert journal.next_seq == 1
+        assert not path.read_text().endswith('{"partial')
 
     def test_corruption_before_the_tail_is_an_error(self, tmp_path):
         path = tmp_path / "run.jsonl"

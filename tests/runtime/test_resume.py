@@ -194,7 +194,7 @@ class TestResumeValidation:
     def test_empty_journal_refused(self, model, tmp_path):
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        with pytest.raises(ResumeError, match="campaign_start"):
+        with pytest.raises(ResumeError, match="empty.jsonl"):
             resume_campaign(path, model, CLASS_A)
 
     def test_resume_of_completed_campaign_is_a_no_op_rerun(

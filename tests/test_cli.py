@@ -168,6 +168,23 @@ class TestInjectCommand:
         assert err.startswith("error:")
         assert "Traceback" not in err
 
+    def test_workers_do_not_change_the_report(self, capsys):
+        args = [
+            "inject", "--scenario", "null", "--user-class", "A",
+            "--horizon", "800", "--replications", "3", "--seed", "4",
+        ]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_invalid_workers_is_a_one_line_error(self, capsys):
+        assert main(["inject", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--workers" in err
+        assert "Traceback" not in err
+
 
 class TestJournaledInject:
     ARGS = [
@@ -327,6 +344,19 @@ class TestRetriesCommand:
         assert err.startswith("error:")
         assert "Traceback" not in err
 
+    def test_workers_do_not_change_the_simulation(self, capsys):
+        args = ["retries", "--simulate", "300", "--seed", "5"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial  # byte-identical stdout
+
+    def test_invalid_workers_is_a_one_line_error(self, capsys):
+        assert main(["retries", "--workers", "-2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--workers" in err
+
 
 class TestSweepCommand:
     def test_default_run_prints_fig11_table(self, capsys):
@@ -457,6 +487,12 @@ class TestPoliciesCommand:
         assert main(["policies", "--servers", "0"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_invalid_workers_is_a_one_line_error(self, capsys):
+        assert main(["policies", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--workers" in err
+
     def test_metrics_and_trace_artifacts(self, tmp_path, capsys):
         metrics = tmp_path / "policies-metrics.json"
         trace = tmp_path / "policies-trace.jsonl"
@@ -470,6 +506,53 @@ class TestPoliciesCommand:
         # Instrumentation never changes stdout.
         assert main(["policies"]) == 0
         assert capsys.readouterr().out == instrumented
+
+
+class TestChaosCommand:
+    INJECTORS = (
+        "kill-worker", "transient", "corrupt-cache", "truncate-journal",
+    )
+
+    def test_every_injector_recovers_bit_identically(self, capsys):
+        assert main(["sweep", "--servers-max", "3"]) == 0
+        clean = capsys.readouterr().out
+        for injector in self.INJECTORS:
+            assert main([
+                "chaos", "--injector", injector, "--servers-max", "3",
+            ]) == 0, injector
+            captured = capsys.readouterr()
+            assert captured.out == clean, injector
+            assert "IDENTICAL" in captured.err
+
+    def test_metrics_artifact_counts_the_recovery(self, tmp_path, capsys):
+        path = tmp_path / "chaos-metrics.json"
+        assert main([
+            "chaos", "--injector", "transient", "--servers-max", "3",
+            "--metrics", str(path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        series = {
+            m["name"]: m["value"] for m in payload["metrics"]
+            if not m.get("labels")
+        }
+        assert series["engine_task_retries"] >= 1
+
+    def test_kill_worker_needs_a_pool(self, capsys):
+        assert main([
+            "chaos", "--injector", "kill-worker", "--workers", "1",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "workers" in err
+
+    def test_invalid_workers_is_a_one_line_error(self, capsys):
+        assert main([
+            "chaos", "--injector", "transient", "--workers", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--workers" in err
 
 
 class TestStatsCommand:

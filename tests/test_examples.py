@@ -20,6 +20,7 @@ FAST_EXAMPLES = {
     "custom_application.py": "day traders",
     "declarative_model.py": "two routes, same numbers",
     "latency_slo.py": "Percentile latencies",
+    "chaos_sweep.py": "every injector recovered to a byte-identical sweep",
     "policy_comparison.py": "Best policy: retry(k=3, p=1)",
     "slo_monitoring.py": "SLO monitoring of a scheduled Internet-link",
 }
