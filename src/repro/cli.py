@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Thirteen subcommands cover the common workflows without writing Python:
+Fourteen subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -72,6 +72,13 @@ Thirteen subcommands cover the common workflows without writing Python:
     Analyze a ``--trace`` Chrome trace JSONL: critical path, self time
     by category, top spans, and per-worker utilization.
 
+``repro serve``
+    Run the evaluation server (:mod:`repro.server`): an asyncio HTTP
+    job API over the same workloads (sweeps, policy comparisons,
+    campaigns), with SSE streaming, an OpenMetrics ``/metrics``
+    endpoint, and an M/M/c/K admission controller that models the
+    server itself (``GET /v1/self``).
+
 Long runs are bounded and interruptible: ``inject`` and ``retries``
 take ``--deadline SECONDS`` (wall clock; exceeding it exits with code 2
 and, with ``--journal``, leaves a resumable journal) and ``--progress``
@@ -92,10 +99,12 @@ Errors are reported as a one-line message with exit code 2; pass
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
 from .reporting import format_downtime, format_table
+from .workloads import FAULT_SCENARIOS, SWEEP_FAILURE_RATES
 
 __all__ = ["main", "build_parser"]
 
@@ -477,6 +486,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, metavar="K",
         help="number of spans in the top-spans table",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the evaluation server (HTTP job API, SSE streaming, "
+            "OpenMetrics /metrics, M/M/c/K self-modeling admission)"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8033,
+        help="TCP port; 0 picks an ephemeral port",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent evaluation slots c (the M/M/c/K servers)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help=(
+            "admission capacity K: running + queued jobs; a submission "
+            "finding K jobs in the system is rejected with 503"
+        ),
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help=(
+            "journal job submissions/results to this JSONL file; a "
+            "restart restores results and re-runs interrupted jobs"
+        ),
+    )
+    serve.add_argument(
+        "--slo-objective", type=float, default=0.999,
+        help="admission availability objective watched by the SLO monitor",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help=(
+            "write the bound port to this file once listening (for "
+            "scripts using --port 0)"
+        ),
+    )
     return parser
 
 
@@ -513,48 +567,46 @@ def _add_runtime_flags(parser, journal: bool = True, journal_help: str = ""):
         )
 
 
-def _check_workers(value: int) -> int:
-    """Validate a ``--workers`` flag value, naming the flag on failure."""
+def _check_int_flag(
+    value: int,
+    flag: str,
+    minimum: int = 1,
+    maximum: Optional[int] = None,
+) -> int:
+    """Validate an integer CLI flag, naming the flag on failure.
+
+    Every integer flag goes through this helper so bad values fail the
+    same way: one line naming the flag (``error: --workers must be >=
+    1, got 0``), exit code 2.
+    """
     from .errors import ValidationError
 
-    if not isinstance(value, int) or value < 1:
-        raise ValidationError(f"--workers must be >= 1, got {value}")
+    bad = (
+        not isinstance(value, int)
+        or isinstance(value, bool)
+        or value < minimum
+        or (maximum is not None and value > maximum)
+    )
+    if bad:
+        expected = (
+            f"in {minimum}..{maximum}"
+            if maximum is not None
+            else f">= {minimum}"
+        )
+        raise ValidationError(f"--{flag} must be {expected}, got {value}")
     return value
+
+
+def _check_workers(value: int) -> int:
+    """Validate a ``--workers`` flag value, naming the flag on failure."""
+    return _check_int_flag(value, "workers")
 
 
 def _fault_scenarios():
     """Named fault scenarios for ``repro inject`` (built lazily)."""
-    from .resilience import (
-        NullScenario,
-        RecurrentDegradation,
-        RecurrentOutage,
-        ScheduledOutage,
-    )
+    from .workloads import fault_scenario_factories
 
-    def lan_host(model):
-        hosts = frozenset(
-            name for name in model.resources if name.startswith("app-host")
-        )
-        return RecurrentOutage(
-            frozenset({"lan-segment"}) | hosts,
-            episode_rate=0.01,
-            mean_duration=5.0,
-        )
-
-    return {
-        "null": lambda model: NullScenario(),
-        "lan-host": lan_host,
-        "net-outage": lambda model: ScheduledOutage(
-            frozenset({"internet-link"}), start=1000.0, duration=50.0
-        ),
-        "web-degraded": lambda model: RecurrentDegradation(
-            "web", factor=0.9, episode_rate=0.02, mean_duration=10.0
-        ),
-    }
-
-
-#: Scenario names accepted by ``repro inject --scenario``.
-FAULT_SCENARIOS = ("null", "lan-host", "net-outage", "web-degraded")
+    return fault_scenario_factories()
 
 
 def _cmd_ta(args) -> int:
@@ -562,6 +614,7 @@ def _cmd_ta(args) -> int:
 
     params = TAParameters()
     if args.reservations is not None:
+        _check_int_flag(args.reservations, "reservations")
         params = params.with_reservation_systems(args.reservations)
     model = TravelAgencyModel(params, architecture=args.architecture)
 
@@ -622,6 +675,8 @@ def _cmd_ta(args) -> int:
 def _cmd_web(args) -> int:
     from .availability import WebServiceModel
 
+    _check_int_flag(args.servers, "servers")
+    _check_int_flag(args.buffer, "buffer", minimum=0)
     model = WebServiceModel(
         servers=args.servers,
         arrival_rate=args.arrival_rate,
@@ -687,9 +742,9 @@ def _cmd_evaluate(args) -> int:
 
 
 def _selected_classes(spec: str):
-    from .ta import CLASS_A, CLASS_B
+    from .workloads import selected_classes
 
-    return {"A": [CLASS_A], "B": [CLASS_B], "both": [CLASS_A, CLASS_B]}[spec]
+    return selected_classes(spec)
 
 
 def _runtime_context(args):
@@ -705,10 +760,13 @@ def _runtime_context(args):
 
 def _cmd_inject(args) -> int:
     from .errors import ValidationError
-    from .resilience import format_campaign_table, run_campaign, run_campaigns
+    from .resilience import run_campaign, run_campaigns
     from .ta import TravelAgencyModel
+    from .workloads import campaign_text
 
     _check_workers(args.workers)
+    _check_int_flag(args.replications, "replications")
+    _check_int_flag(args.seed, "seed", minimum=0)
     cancellation, heartbeat = _runtime_context(args)
     model = TravelAgencyModel(architecture=args.architecture)
     scenario = _fault_scenarios()[args.scenario](model.hierarchical_model)
@@ -748,30 +806,21 @@ def _cmd_inject(args) -> int:
             cancellation=cancellation,
             heartbeat=heartbeat,
         )
-    print(format_campaign_table(
-        results,
-        title=(
-            f"Fault-injection campaign — scenario {args.scenario!r}, "
-            f"{args.replications} x {args.horizon:g} h, seed {args.seed}"
-        ),
-    ))
-    if args.scenario == "null":
-        calibrated = all(r.agrees_with_analytic() for r in results)
-        print()
-        print(
-            "calibration: simulated availability "
-            + ("agrees with" if calibrated else "DISAGREES with")
-            + " the analytic eq.-(10) value within 2 standard errors"
-        )
+    text, calibrated = campaign_text(
+        results, args.scenario, args.horizon, args.replications, args.seed
+    )
+    print(text)
+    if calibrated is not None:
         return 0 if calibrated else 1
     return 0
 
 
 def _cmd_resume(args) -> int:
     from .errors import ResumeError
-    from .resilience import format_campaign_table, resume_campaign
+    from .resilience import resume_campaign
     from .runtime import read_journal
     from .ta import TravelAgencyModel
+    from .workloads import campaign_text
 
     cancellation, heartbeat = _runtime_context(args)
     records = read_journal(args.journal)
@@ -800,22 +849,16 @@ def _cmd_resume(args) -> int:
         cancellation=cancellation,
         heartbeat=heartbeat,
     )
-    print(format_campaign_table(
+    text, calibrated = campaign_text(
         [result],
-        title=(
-            f"Resumed fault-injection campaign — scenario "
-            f"{meta['scenario']!r}, {start['replications']} x "
-            f"{start['horizon']:g} h, seed {start['seed']}"
-        ),
-    ))
-    if meta["scenario"] == "null":
-        calibrated = result.agrees_with_analytic()
-        print()
-        print(
-            "calibration: simulated availability "
-            + ("agrees with" if calibrated else "DISAGREES with")
-            + " the analytic eq.-(10) value within 2 standard errors"
-        )
+        meta["scenario"],
+        start["horizon"],
+        start["replications"],
+        start["seed"],
+        title_prefix="Resumed fault-injection campaign",
+    )
+    print(text)
+    if calibrated is not None:
         return 0 if calibrated else 1
     return 0
 
@@ -846,12 +889,13 @@ def _retry_sim_cell(spec):
 
 
 def _cmd_retries(args) -> int:
-    from ._validation import check_positive_int
     from .resilience import RetryPolicy, format_retry_table
 
     _check_workers(args.workers)
+    _check_int_flag(args.max_retries, "max-retries", minimum=0)
+    _check_int_flag(args.seed, "seed", minimum=0)
     if args.simulate is not None:
-        check_positive_int(args.simulate, "sessions")
+        _check_int_flag(args.simulate, "simulate")
     policy = RetryPolicy(
         max_retries=args.max_retries, persistence=args.persistence
     )
@@ -961,97 +1005,34 @@ def _cmd_retries(args) -> int:
     return 0
 
 
-#: The failure-rate curves of Fig. 11/12, per hour.
-SWEEP_FAILURE_RATES = (1e-2, 1e-3, 1e-4)
-
-
-def _sweep_point(figure, arrival_rate, failure_rate, servers):
-    """One Fig. 11/12 grid cell (module-level: picklable for workers)."""
-    from .availability import WebServiceModel
-
-    imperfect = {}
-    if figure == "12":
-        imperfect = {"coverage": 0.98, "reconfiguration_rate": 12.0}
-    return WebServiceModel(
-        servers=int(servers),
-        arrival_rate=arrival_rate,
-        service_rate=100.0,
-        buffer_capacity=10,
-        failure_rate=failure_rate,
-        repair_rate=1.0,
-        **imperfect,
-    ).unavailability()
-
-
 def _sweep_grid(args, engine, journal=None):
-    """Run the Fig. 11/12 grid, through *engine* or the plain loop.
+    """The Fig. 11/12 grid for the parsed CLI flags (see repro.workloads)."""
+    from .workloads import run_fig_sweep
 
-    Shared by ``repro sweep`` and ``repro chaos``: the chaos harness
-    runs the same grid once undisturbed (``engine=None``, the in-process
-    reference loop) and once under injection, then compares the rendered
-    output byte for byte.
-    """
-    import functools
-
-    from .engine import canonical_key
-    from .sensitivity import grid_sweep
-
-    servers = tuple(range(1, args.servers_max + 1))
-    keys = None
-    if engine is not None:
-        # The key is the full cell spec: any parameter change misses.
-        keys = [
-            canonical_key(
-                "webservice-unavailability",
-                figure=args.figure,
-                arrival_rate=float(args.arrival_rate),
-                service_rate=100.0,
-                buffer_capacity=10,
-                failure_rate=float(lam),
-                repair_rate=1.0,
-                servers=int(nw),
-            )
-            for lam in SWEEP_FAILURE_RATES
-            for nw in servers
-        ]
-    return grid_sweep(
-        functools.partial(_sweep_point, args.figure, args.arrival_rate),
-        "failure rate", SWEEP_FAILURE_RATES,
-        "NW", servers,
+    return run_fig_sweep(
+        args.figure,
+        args.arrival_rate,
+        args.servers_max,
         engine=engine,
-        keys=keys,
         journal=journal,
     )
 
 
 def _sweep_series_text(args, grid) -> str:
     """The stdout rendering of one Fig. 11/12 grid (sweep and chaos)."""
-    from .reporting import format_series
+    from .workloads import fig_sweep_text
 
-    servers = tuple(range(1, args.servers_max + 1))
-    series = {
-        f"lambda={lam:g}/h": grid.row(lam).outputs
-        for lam in SWEEP_FAILURE_RATES
-    }
-    coverage = "perfect coverage" if args.figure == "11" else "coverage = 0.98"
-    return format_series(
-        "NW", servers, series,
-        log_bars=True, floor_exponent=-14,
-        title=(
-            f"Figure {args.figure} — {coverage}, "
-            f"alpha = {args.arrival_rate:g}/s"
-        ),
-    )
+    return fig_sweep_text(args.figure, args.arrival_rate, args.servers_max, grid)
 
 
 def _cmd_sweep(args) -> int:
     import time
 
-    from ._validation import check_positive, check_positive_int
+    from ._validation import check_positive
     from .engine import EvaluationEngine
 
     _check_workers(args.workers)
-    check_positive_int(args.servers_max, "servers-max")
+    _check_int_flag(args.servers_max, "servers-max")
     check_positive(args.arrival_rate, "arrival-rate")
     cancellation, heartbeat = _runtime_context(args)
     engine = EvaluationEngine(
@@ -1081,7 +1062,7 @@ def _cmd_chaos(args) -> int:
     import tempfile
     from pathlib import Path
 
-    from ._validation import check_positive, check_positive_int
+    from ._validation import check_positive
     from .chaos import (
         corrupt_cache_entries,
         plan_transient_faults,
@@ -1095,9 +1076,10 @@ def _cmd_chaos(args) -> int:
     from .runtime import read_journal
 
     _check_workers(args.workers)
-    check_positive_int(args.servers_max, "servers-max")
+    _check_int_flag(args.servers_max, "servers-max")
     check_positive(args.arrival_rate, "arrival-rate")
-    check_positive_int(args.faults, "faults")
+    _check_int_flag(args.faults, "faults")
+    _check_int_flag(args.seed, "seed", minimum=0)
     if args.injector == "kill-worker" and args.workers < 2:
         raise ValidationError(
             "--injector kill-worker terminates pool workers; it needs "
@@ -1209,23 +1191,22 @@ def _cmd_chaos(args) -> int:
 def _cmd_policies(args) -> int:
     import time
 
-    from ._validation import check_positive, check_positive_int
+    from ._validation import check_positive
     from .engine import EvaluationEngine
-    from .resilience import (
-        CircuitBreakerPolicy,
-        FarmFaultScenario,
-        HedgePolicy,
-        RetryPolicy,
-        TimeoutPolicy,
-        compare_client_policies,
-        format_policy_comparison,
+    from .workloads import (
+        default_client_policies,
+        default_farm_scenarios,
+        policy_comparison_text,
+        run_policy_comparison,
     )
 
     _check_workers(args.workers)
     check_positive(args.arrival_rate, "arrival-rate")
     check_positive(args.service_rate, "service-rate")
-    check_positive_int(args.servers, "servers")
-    check_positive_int(args.buffer, "buffer")
+    _check_int_flag(args.servers, "servers")
+    _check_int_flag(args.buffer, "buffer")
+    _check_int_flag(args.max_retries, "max-retries", minimum=0)
+    _check_int_flag(args.breaker_threshold, "breaker-threshold")
     cancellation, heartbeat = _runtime_context(args)
     engine = EvaluationEngine(
         workers=args.workers,
@@ -1233,50 +1214,27 @@ def _cmd_policies(args) -> int:
         cancellation=cancellation,
         heartbeat=heartbeat,
     )
-    policies = [
-        RetryPolicy(
-            max_retries=args.max_retries, persistence=args.persistence
-        ),
-        CircuitBreakerPolicy(
-            failure_threshold=args.breaker_threshold,
-            reset_timeout=args.breaker_reset,
-        ),
-        TimeoutPolicy(args.timeout),
-        HedgePolicy(args.timeout, args.hedge_delay),
-    ]
-    # The default fault axis: weights approximate how much steady-state
-    # time a lightly-faulted farm spends in each regime.
-    scenarios = [
-        FarmFaultScenario("nominal", servers_up=args.servers, weight=0.70),
-        FarmFaultScenario(
-            "surge", servers_up=args.servers, arrival_factor=1.5,
-            weight=0.15,
-        ),
-        FarmFaultScenario(
-            "degraded", servers_up=max(1, args.servers // 2),
-            service_availability=0.95, weight=0.10,
-        ),
-        FarmFaultScenario(
-            "critical", servers_up=1, service_availability=0.90,
-            weight=0.05,
-        ),
-    ]
+    policies = default_client_policies(
+        max_retries=args.max_retries,
+        persistence=args.persistence,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        timeout=args.timeout,
+        hedge_delay=args.hedge_delay,
+    )
+    scenarios = default_farm_scenarios(args.servers)
     started = time.monotonic()
-    report = compare_client_policies(
-        policies,
-        scenarios,
+    report = run_policy_comparison(
         arrival_rate=args.arrival_rate,
         service_rate=args.service_rate,
-        capacity=args.buffer,
+        servers=args.servers,
+        buffer=args.buffer,
         engine=engine,
+        policies=policies,
+        scenarios=scenarios,
     )
     elapsed = time.monotonic() - started
-    print(format_policy_comparison(report))
-    best = report.best
-    print(
-        f"\nbest policy: {best.policy} "
-        f"(weighted mean {best.mean_availability:.9g})"
-    )
+    print(policy_comparison_text(report))
     stats = engine.cache.stats
     rate = f"{stats.hit_rate:.1%}" if stats.lookups else "n/a"
     print(
@@ -1324,13 +1282,14 @@ def _cmd_stats(args) -> int:
 def _cmd_slo(args) -> int:
     import numpy as np
 
-    from ._validation import check_positive, check_positive_int
+    from ._validation import check_positive
     from .obs import PoissonSessionSampler, SLOMonitor, format_slo_report
     from .resilience import run_campaign
     from .ta import TravelAgencyModel
 
     check_positive(args.session_rate, "session rate")
-    check_positive_int(args.replications, "replications")
+    _check_int_flag(args.replications, "replications")
+    _check_int_flag(args.seed, "seed", minimum=0)
     model = TravelAgencyModel(architecture=args.architecture)
     scenario = _fault_scenarios()[args.scenario](model.hierarchical_model)
 
@@ -1424,13 +1383,75 @@ def _cmd_diff(args) -> int:
 
 
 def _cmd_trace_report(args) -> int:
-    from ._validation import check_positive_int
     from .obs.analysis import TraceAnalysis, format_trace_report
 
-    check_positive_int(args.top, "top")
+    _check_int_flag(args.top, "top")
     analysis = TraceAnalysis.from_file(args.trace_file)
     print(format_trace_report(analysis, top=args.top))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .errors import ValidationError
+    from .server import ReproServer
+
+    _check_int_flag(args.port, "port", minimum=0, maximum=65535)
+    _check_int_flag(args.workers, "workers")
+    _check_int_flag(args.queue_limit, "queue-limit")
+    if args.queue_limit < args.workers:
+        raise ValidationError(
+            "--queue-limit is the admission capacity K (running + queued "
+            f"jobs) and must be >= --workers, got {args.queue_limit} < "
+            f"{args.workers}"
+        )
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        slots=args.workers,
+        queue_limit=args.queue_limit,
+        journal=args.journal,
+        slo_objective=args.slo_objective,
+    )
+
+    async def _run_server() -> int:
+        import signal
+
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(c={args.workers} slots, K={args.queue_limit} capacity)",
+            file=sys.stderr,
+        )
+        if args.port_file is not None:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{server.port}\n")
+        serving = asyncio.ensure_future(server.serve_forever())
+        loop = asyncio.get_running_loop()
+        try:
+            # SIGINT arrives as KeyboardInterrupt; SIGTERM needs an
+            # explicit handler for graceful shutdown under supervisors
+            # (and shells that start background jobs with SIGINT
+            # ignored).
+            loop.add_signal_handler(signal.SIGTERM, serving.cancel)
+        except (NotImplementedError, RuntimeError):
+            pass
+        try:
+            await serving
+        except asyncio.CancelledError:
+            pass
+        finally:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.remove_signal_handler(signal.SIGTERM)
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_run_server())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped", file=sys.stderr)
+        return 0
 
 
 def _setup_instrumentation(args):
@@ -1480,6 +1501,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "slo": _cmd_slo,
         "diff": _cmd_diff,
         "trace-report": _cmd_trace_report,
+        "serve": _cmd_serve,
     }
     from .errors import ReproError
 

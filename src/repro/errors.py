@@ -23,6 +23,7 @@ __all__ = [
     "TransientTaskError",
     "ChaosError",
     "ObservabilityError",
+    "ServerError",
 ]
 
 
@@ -142,4 +143,14 @@ class ObservabilityError(ReproError):
     mismatches on merge, malformed metrics snapshots or trace files, and
     span-context misuse (e.g. asking for a propagation context with no
     open span).
+    """
+
+
+class ServerError(ReproError):
+    """The evaluation server was misconfigured or a request failed.
+
+    Raised for malformed/oversized HTTP requests (the protocol layer
+    maps these to 4xx responses), unusable bind addresses, client-side
+    transport failures, and server responses the thin client cannot
+    interpret.
     """

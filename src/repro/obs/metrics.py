@@ -312,6 +312,7 @@ class MetricsRegistry:
         self._metrics: Dict[Tuple[str, Labels], Metric] = {}
         self._kinds: Dict[str, str] = {}
         self._bounds: Dict[str, Tuple[float, ...]] = {}
+        self._render_cache: Optional[Tuple[Any, str]] = None
 
     # -- instrument accessors (get-or-create) --------------------------
     def _get(self, cls, name: str, help: str, labels: Dict[str, Any], **kwargs):
@@ -503,13 +504,43 @@ class MetricsRegistry:
             )
 
     # -- exposition -----------------------------------------------------
+    def _snapshot_fingerprint(self) -> Tuple:
+        """The exposition-relevant state, cheap to compare.
+
+        Instruments mutate without going through the registry
+        (``counter.inc()`` touches the instrument directly), so the
+        exposition cache cannot be invalidated eagerly; instead every
+        render re-derives this fingerprint — no string formatting, just
+        tuples over the live values — and compares it to the cached one.
+        """
+        parts = []
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            if metric.kind == "histogram":
+                state: Any = (tuple(metric.counts), metric.count, metric.sum)
+            else:
+                state = metric.value
+            parts.append((key, metric.kind, metric.help, state))
+        return tuple(parts)
+
     def render_openmetrics(self) -> str:
         """OpenMetrics text exposition, in canonical metric order.
 
         Families are emitted sorted by name, samples sorted by labels,
         so any two registries holding the same data render byte-identical
         text regardless of insertion or merge order.
+
+        Consecutive renders of an unchanged registry are a snapshot-hash
+        fast path: the second call returns the *identical* string object
+        without re-rendering (a server scrapes ``/metrics`` far more
+        often than values change).
         """
+        fingerprint = self._snapshot_fingerprint()
+        if (
+            self._render_cache is not None
+            and self._render_cache[0] == fingerprint
+        ):
+            return self._render_cache[1]
         lines: List[str] = []
         seen_family: set = set()
         for metric in self:
@@ -520,7 +551,9 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {metric.name} {metric.kind}")
             lines.extend(metric._samples())
         lines.append("# EOF")
-        return "\n".join(lines)
+        text = "\n".join(lines)
+        self._render_cache = (fingerprint, text)
+        return text
 
 
 def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:

@@ -1,0 +1,38 @@
+"""Availability-as-a-service: the library as a long-running server.
+
+``repro.server`` wraps the batch evaluation library in an asyncio HTTP
+service with **no dependencies beyond the standard library**:
+
+* :mod:`~repro.server.http` — minimal HTTP/1.1 + SSE on asyncio
+  streams;
+* :mod:`~repro.server.admission` — the M/M/c/K admission controller
+  that models the server itself ("the evaluator evaluates itself");
+* :mod:`~repro.server.jobs` — the job table, bounded queue, worker
+  slots, cancellation, and journal-backed restart;
+* :mod:`~repro.server.work` — job-spec validation and execution on the
+  canonical :mod:`repro.workloads`;
+* :mod:`~repro.server.app` — :class:`ReproServer` (routes, SSE, SLO,
+  ``/metrics``) and the :class:`ServerThread` test harness;
+* :mod:`~repro.server.client` — the thin stdlib :class:`ServerClient`.
+
+Start one from the command line with ``repro serve``; the full API is
+documented in ``docs/SERVER.md``.
+"""
+
+from .admission import AdmissionController
+from .app import ReproServer, ServerThread
+from .client import ServerClient
+from .jobs import Job, JobManager, TERMINAL_STATUSES
+from .work import execute_job, parse_spec
+
+__all__ = [
+    "AdmissionController",
+    "ReproServer",
+    "ServerThread",
+    "ServerClient",
+    "Job",
+    "JobManager",
+    "TERMINAL_STATUSES",
+    "execute_job",
+    "parse_spec",
+]

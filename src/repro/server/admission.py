@@ -1,0 +1,232 @@
+"""The server's own M/M/c/K model — the evaluator evaluating itself.
+
+The job queue is literally an instance of the paper's web-farm model:
+``c`` worker slots (parallel servers), a bounded system of capacity
+``K`` (running + queued jobs), Poisson-ish job arrivals, and a 503 for
+every arrival that finds the system full — the paper's eq. (3) blocking
+probability made operational.
+
+:class:`AdmissionController` owns the occupancy decision and keeps the
+measurements needed to close the loop: it estimates the arrival rate
+``lambda`` from observed inter-arrival times and the service rate
+``mu`` from completed-job slot-holding times, feeds both into the
+repo's analytic :class:`~repro.queueing.mmck.MMCKQueue` kernel for the
+server's *own* (c, K), and cross-checks the predicted blocking
+probability against the observed rejection ratio with a Wilson
+confidence interval (``GET /v1/self``).
+
+Model caveats, deliberately visible in the report rather than hidden:
+service times are whatever the submitted jobs take (exponential only if
+the traffic makes them so), and a job cancelled while still queued
+leaves the system without receiving service — both deviations from the
+textbook M/M/c/K are tiny under the saturation tests that exercise the
+cross-check with exponential probe jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from .._validation import check_positive_int
+from ..errors import ValidationError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-occupancy admission with self-measurement.
+
+    Parameters
+    ----------
+    slots:
+        Concurrent job slots ``c`` (the worker count).
+    capacity:
+        Total system capacity ``K >= c`` — running plus queued jobs; an
+        arrival finding ``K`` jobs in the system is rejected (503).
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        capacity: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.slots = check_positive_int(slots, "slots")
+        self.capacity = check_positive_int(capacity, "capacity")
+        if self.capacity < self.slots:
+            raise ValidationError(
+                f"capacity ({capacity}) must be >= slots ({slots})"
+            )
+        self._clock = clock
+        self.arrivals = 0
+        self.accepted = 0
+        self.rejections = 0
+        self.completed = 0
+        self.service_seconds = 0.0
+        self._in_system = 0
+        self._first_arrival: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+
+    # -- occupancy ------------------------------------------------------
+    @property
+    def in_system(self) -> int:
+        """Jobs currently running or queued."""
+        return self._in_system
+
+    def try_admit(self) -> bool:
+        """Record one arrival; True when it fits, False when rejected."""
+        now = self._clock()
+        if self._first_arrival is None:
+            self._first_arrival = now
+        self._last_arrival = now
+        self.arrivals += 1
+        if self._in_system >= self.capacity:
+            self.rejections += 1
+            return False
+        self.accepted += 1
+        self._in_system += 1
+        return True
+
+    def occupy(self) -> None:
+        """Claim a slot without counting an arrival (journal restore)."""
+        if self._in_system >= self.capacity:
+            raise ValidationError(
+                f"cannot restore a job into a full system "
+                f"({self._in_system}/{self.capacity})"
+            )
+        self._in_system += 1
+
+    def release(self) -> None:
+        """A job left without receiving service (cancelled while queued)."""
+        if self._in_system <= 0:
+            raise ValidationError("release() without a job in the system")
+        self._in_system -= 1
+
+    def complete(self, service_seconds: float) -> None:
+        """A job finished after holding a slot for *service_seconds*."""
+        if self._in_system <= 0:
+            raise ValidationError("complete() without a job in the system")
+        self._in_system -= 1
+        self.completed += 1
+        self.service_seconds += max(0.0, float(service_seconds))
+
+    # -- measured rates -------------------------------------------------
+    def observation_seconds(self) -> float:
+        """Span of the arrival observation window."""
+        if self._first_arrival is None or self._last_arrival is None:
+            return 0.0
+        return self._last_arrival - self._first_arrival
+
+    def arrival_rate(self) -> Optional[float]:
+        """Measured ``lambda`` (arrivals/s); None below two arrivals.
+
+        With ``n`` arrivals spanning ``T`` seconds there are ``n - 1``
+        inter-arrival gaps, so the unbiased-through-the-window estimate
+        is ``(n - 1) / T``.
+        """
+        window = self.observation_seconds()
+        if self.arrivals < 2 or window <= 0.0:
+            return None
+        return (self.arrivals - 1) / window
+
+    def service_rate(self) -> Optional[float]:
+        """Measured ``mu`` (1 / mean slot-holding time); None before
+        the first completion."""
+        if self.completed == 0 or self.service_seconds <= 0.0:
+            return None
+        return self.completed / self.service_seconds
+
+    def rejection_ratio(self) -> Optional[float]:
+        """Observed 503 fraction; None before the first arrival."""
+        if self.arrivals == 0:
+            return None
+        return self.rejections / self.arrivals
+
+    # -- the self-model -------------------------------------------------
+    def self_model(self):
+        """The analytic M/M/c/K of this server at its measured rates.
+
+        Returns the :class:`~repro.queueing.metrics.QueueMetrics`, or
+        None while either rate is still unmeasurable.
+        """
+        from ..queueing import MMCKQueue
+
+        arrival = self.arrival_rate()
+        service = self.service_rate()
+        if arrival is None or service is None or arrival <= 0.0:
+            return None
+        return MMCKQueue(
+            arrival_rate=arrival,
+            service_rate=service,
+            servers=self.slots,
+            capacity=self.capacity,
+        ).metrics()
+
+    def report(self, confidence: float = 0.95) -> dict:
+        """The full ``GET /v1/self`` payload.
+
+        ``observed`` is raw counting, ``measured`` the rate estimates,
+        ``model`` the analytic M/M/c/K evaluated at those estimates, and
+        ``cross_check`` compares the predicted blocking probability with
+        the Wilson interval around the observed rejection ratio.
+        """
+        payload = {
+            "config": {"slots": self.slots, "capacity": self.capacity},
+            "observed": {
+                "arrivals": self.arrivals,
+                "accepted": self.accepted,
+                "rejected": self.rejections,
+                "completed": self.completed,
+                "in_system": self._in_system,
+                "rejection_ratio": self.rejection_ratio(),
+                "window_seconds": self.observation_seconds(),
+            },
+            "measured": None,
+            "model": None,
+            "cross_check": None,
+        }
+        arrival = self.arrival_rate()
+        service = self.service_rate()
+        if arrival is not None or service is not None:
+            payload["measured"] = {
+                "arrival_rate": arrival,
+                "service_rate": service,
+                "mean_service_seconds": (
+                    self.service_seconds / self.completed
+                    if self.completed
+                    else None
+                ),
+                "offered_load": (
+                    arrival / service
+                    if arrival is not None and service is not None
+                    else None
+                ),
+            }
+        metrics = self.self_model()
+        if metrics is not None:
+            payload["model"] = {
+                "blocking_probability": metrics.blocking_probability,
+                "availability": 1.0 - metrics.blocking_probability,
+                "utilization": metrics.utilization,
+                "mean_number_in_system": metrics.mean_number_in_system,
+                "mean_response_seconds": metrics.mean_response_time,
+                "throughput": metrics.throughput,
+            }
+            if self.arrivals >= 1:
+                from ..measurement import availability_confidence_interval
+
+                low, high = availability_confidence_interval(
+                    self.rejections, self.arrivals, confidence=confidence
+                )
+                predicted = metrics.blocking_probability
+                payload["cross_check"] = {
+                    "predicted_blocking": predicted,
+                    "observed_rejection_ratio": self.rejection_ratio(),
+                    "confidence": confidence,
+                    "rejection_ci": [low, high],
+                    "within_ci": bool(low <= predicted <= high),
+                }
+        return payload

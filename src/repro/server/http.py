@@ -1,0 +1,245 @@
+"""Minimal HTTP/1.1 + SSE on :mod:`asyncio` streams.
+
+The server deliberately speaks a small, strict subset of HTTP/1.1 with
+no third-party dependencies, so CI stays hermetic and the whole wire
+layer fits in one reviewable module:
+
+* request line + headers + ``Content-Length`` bodies (no chunked
+  uploads, no continuation lines, no trailers);
+* ``keep-alive`` connection reuse (the default in HTTP/1.1), honoring
+  ``Connection: close``;
+* Server-Sent Events responses for the ``/v1/events`` stream.
+
+Every protocol violation raises :class:`HttpProtocolError` carrying the
+status code the connection handler should answer with before closing.
+Hard limits bound each request: header block, header count, and body
+size — a malformed or hostile peer cannot make the server buffer an
+unbounded request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ServerError
+
+__all__ = [
+    "HttpProtocolError",
+    "Request",
+    "Response",
+    "json_response",
+    "read_request",
+    "write_response",
+    "SSEStream",
+    "MAX_HEADER_BYTES",
+    "MAX_HEADERS",
+    "MAX_BODY_BYTES",
+]
+
+#: Longest accepted request line or single header line, bytes.
+MAX_HEADER_BYTES = 16384
+#: Most headers accepted on one request.
+MAX_HEADERS = 100
+#: Largest accepted request body, bytes (model specs are small).
+MAX_BODY_BYTES = 1 << 20
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(ServerError):
+    """A request violated the supported HTTP subset.
+
+    ``status`` is the response code the connection handler answers with
+    before closing the connection (the stream position is unknown after
+    a parse failure, so the connection is never reused).
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: str
+    headers: Dict[str, str]
+    body: bytes
+    #: Path parameters captured by the router (e.g. the job id).
+    params: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object (empty body = empty object)."""
+        if not self.body:
+            return {}
+        try:
+            document = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpProtocolError(
+                400, f"request body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise HttpProtocolError(
+                400,
+                "request body must be a JSON object, got "
+                f"{type(document).__name__}",
+            )
+        return document
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response to be serialized by :func:`write_response`."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json; charset=utf-8"
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+
+def json_response(status: int, payload) -> Response:
+    """A JSON response (newline-terminated, stable for curl and tests)."""
+    return Response(
+        status=status,
+        body=(json.dumps(payload) + "\n").encode("utf-8"),
+    )
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise HttpProtocolError(400, "header line too long") from exc
+    if len(line) > MAX_HEADER_BYTES:
+        raise HttpProtocolError(400, "header line too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; None when the peer closed between requests."""
+    line = await _read_line(reader)
+    if not line:
+        return None  # clean EOF before a new request
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise HttpProtocolError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpProtocolError(400, f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await _read_line(reader)
+        if not raw or raw in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpProtocolError(400, "too many headers")
+        name, separator, value = raw.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpProtocolError(400, f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpProtocolError(400, "chunked request bodies are unsupported")
+    length_field = headers.get("content-length", "0")
+    try:
+        length = int(length_field)
+    except ValueError as exc:
+        raise HttpProtocolError(
+            400, f"invalid Content-Length {length_field!r}"
+        ) from exc
+    if length < 0:
+        raise HttpProtocolError(400, f"invalid Content-Length {length}")
+    if length > MAX_BODY_BYTES:
+        raise HttpProtocolError(
+            413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpProtocolError(
+                400, "connection closed mid-body"
+            ) from exc
+
+    path, _, query = target.partition("?")
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, headers: Sequence[Tuple[str, str]]) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: Response,
+    keep_alive: bool = True,
+) -> None:
+    """Serialize *response* with explicit framing headers."""
+    headers = [
+        ("content-type", response.content_type),
+        ("content-length", str(len(response.body))),
+        ("connection", "keep-alive" if keep_alive else "close"),
+        *response.headers,
+    ]
+    writer.write(_head(response.status, headers) + response.body)
+    await writer.drain()
+
+
+class SSEStream:
+    """A Server-Sent Events response on an open connection.
+
+    The stream claims the connection (``Connection: close``): SSE never
+    ends with a length-delimited body, so the connection cannot be
+    reused afterwards.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+
+    async def start(self) -> None:
+        self._writer.write(_head(200, [
+            ("content-type", "text/event-stream"),
+            ("cache-control", "no-cache"),
+            ("connection", "close"),
+        ]))
+        await self._writer.drain()
+
+    async def send(self, event: str, data) -> None:
+        """Emit one event with a JSON payload."""
+        frame = f"event: {event}\ndata: {json.dumps(data)}\n\n"
+        self._writer.write(frame.encode("utf-8"))
+        await self._writer.drain()

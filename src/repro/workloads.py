@@ -1,0 +1,336 @@
+"""The canonical workloads, as plain functions.
+
+``repro.cli`` and ``repro.server`` present the same evaluations through
+two front ends — a command line and an HTTP job API.  Both must render
+byte-identical output for the same inputs (the server's contract is
+that a sweep submitted over HTTP returns exactly what ``repro sweep``
+prints), so the workload definitions live here, in one place:
+
+* the Fig. 11/12 sensitivity grids (``run_fig_sweep`` /
+  ``fig_sweep_text``),
+* the named fault scenarios of ``repro inject`` and the campaign
+  rendering (``run_fault_campaigns`` / ``campaign_text``),
+* the client-policy comparison of ``repro policies``
+  (``default_client_policies`` / ``default_farm_scenarios`` /
+  ``policy_comparison_text``).
+
+Everything here is importable without side effects and the work
+functions are module-level, so they stay picklable for the engine's
+process-pool backend.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "SWEEP_FAILURE_RATES",
+    "FAULT_SCENARIOS",
+    "sweep_point",
+    "sweep_cell_keys",
+    "run_fig_sweep",
+    "fig_sweep_text",
+    "fault_scenario_factories",
+    "run_fault_campaigns",
+    "campaign_text",
+    "default_client_policies",
+    "default_farm_scenarios",
+    "run_policy_comparison",
+    "policy_comparison_text",
+]
+
+#: The failure-rate curves of Fig. 11/12, per hour.
+SWEEP_FAILURE_RATES = (1e-2, 1e-3, 1e-4)
+
+#: Scenario names accepted by ``repro inject --scenario``.
+FAULT_SCENARIOS = ("null", "lan-host", "net-outage", "web-degraded")
+
+
+# -- Fig. 11/12 sensitivity grids --------------------------------------
+
+def sweep_point(figure, arrival_rate, failure_rate, servers):
+    """One Fig. 11/12 grid cell (module-level: picklable for workers)."""
+    from .availability import WebServiceModel
+
+    imperfect = {}
+    if figure == "12":
+        imperfect = {"coverage": 0.98, "reconfiguration_rate": 12.0}
+    return WebServiceModel(
+        servers=int(servers),
+        arrival_rate=arrival_rate,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=failure_rate,
+        repair_rate=1.0,
+        **imperfect,
+    ).unavailability()
+
+
+def sweep_cell_keys(figure, arrival_rate, servers) -> List[str]:
+    """Content-addressed cache keys for every cell of one grid.
+
+    The key is the full cell spec: any parameter change misses.
+    """
+    from .engine import canonical_key
+
+    return [
+        canonical_key(
+            "webservice-unavailability",
+            figure=figure,
+            arrival_rate=float(arrival_rate),
+            service_rate=100.0,
+            buffer_capacity=10,
+            failure_rate=float(lam),
+            repair_rate=1.0,
+            servers=int(nw),
+        )
+        for lam in SWEEP_FAILURE_RATES
+        for nw in servers
+    ]
+
+
+def run_fig_sweep(
+    figure: str,
+    arrival_rate: float,
+    servers_max: int,
+    engine=None,
+    journal=None,
+):
+    """Run the Fig. 11/12 grid, through *engine* or the plain loop.
+
+    Shared by ``repro sweep``, ``repro chaos``, and the server's sweep
+    jobs: the chaos harness runs the same grid once undisturbed
+    (``engine=None``, the in-process reference loop) and once under
+    injection, then compares the rendered output byte for byte.
+    """
+    from .sensitivity import grid_sweep
+
+    servers = tuple(range(1, servers_max + 1))
+    keys = None
+    if engine is not None:
+        keys = sweep_cell_keys(figure, arrival_rate, servers)
+    return grid_sweep(
+        functools.partial(sweep_point, figure, arrival_rate),
+        "failure rate", SWEEP_FAILURE_RATES,
+        "NW", servers,
+        engine=engine,
+        keys=keys,
+        journal=journal,
+    )
+
+
+def fig_sweep_text(figure, arrival_rate, servers_max, grid) -> str:
+    """The stdout rendering of one Fig. 11/12 grid (sweep and chaos)."""
+    from .reporting import format_series
+
+    servers = tuple(range(1, servers_max + 1))
+    series = {
+        f"lambda={lam:g}/h": grid.row(lam).outputs
+        for lam in SWEEP_FAILURE_RATES
+    }
+    coverage = "perfect coverage" if figure == "11" else "coverage = 0.98"
+    return format_series(
+        "NW", servers, series,
+        log_bars=True, floor_exponent=-14,
+        title=(
+            f"Figure {figure} — {coverage}, "
+            f"alpha = {arrival_rate:g}/s"
+        ),
+    )
+
+
+# -- fault-injection campaigns -----------------------------------------
+
+def fault_scenario_factories():
+    """Named fault scenarios for ``repro inject`` (built lazily)."""
+    from .resilience import (
+        NullScenario,
+        RecurrentDegradation,
+        RecurrentOutage,
+        ScheduledOutage,
+    )
+
+    def lan_host(model):
+        hosts = frozenset(
+            name for name in model.resources if name.startswith("app-host")
+        )
+        return RecurrentOutage(
+            frozenset({"lan-segment"}) | hosts,
+            episode_rate=0.01,
+            mean_duration=5.0,
+        )
+
+    return {
+        "null": lambda model: NullScenario(),
+        "lan-host": lan_host,
+        "net-outage": lambda model: ScheduledOutage(
+            frozenset({"internet-link"}), start=1000.0, duration=50.0
+        ),
+        "web-degraded": lambda model: RecurrentDegradation(
+            "web", factor=0.9, episode_rate=0.02, mean_duration=10.0
+        ),
+    }
+
+
+def selected_classes(spec: str):
+    """Map a ``--user-class`` value to the Table 1 class objects."""
+    from .ta import CLASS_A, CLASS_B
+
+    return {"A": [CLASS_A], "B": [CLASS_B], "both": [CLASS_A, CLASS_B]}[spec]
+
+
+def run_fault_campaigns(
+    scenario: str,
+    architecture: str = "redundant",
+    user_class: str = "both",
+    horizon: float = 5000.0,
+    replications: int = 6,
+    seed: int = 0,
+    workers: int = 1,
+    cancellation=None,
+    heartbeat=None,
+):
+    """The ``repro inject`` campaign grid for one named scenario."""
+    from .resilience import run_campaigns
+    from .ta import TravelAgencyModel
+
+    model = TravelAgencyModel(architecture=architecture)
+    built = fault_scenario_factories()[scenario](model.hierarchical_model)
+    return run_campaigns(
+        model.hierarchical_model,
+        selected_classes(user_class),
+        [built],
+        horizon=horizon,
+        replications=replications,
+        seed=seed,
+        workers=workers,
+        cancellation=cancellation,
+        heartbeat=heartbeat,
+    )
+
+
+def campaign_text(
+    results,
+    scenario: str,
+    horizon: float,
+    replications: int,
+    seed: int,
+    title_prefix: str = "Fault-injection campaign",
+) -> Tuple[str, Optional[bool]]:
+    """The stdout rendering of a campaign, plus the calibration verdict.
+
+    Returns ``(text, calibrated)`` where *calibrated* is None for fault
+    scenarios and the eq.-(10) agreement verdict for the null scenario
+    (which drives the CLI exit code).
+    """
+    from .resilience import format_campaign_table
+
+    text = format_campaign_table(
+        results,
+        title=(
+            f"{title_prefix} — scenario {scenario!r}, "
+            f"{replications} x {horizon:g} h, seed {seed}"
+        ),
+    )
+    calibrated: Optional[bool] = None
+    if scenario == "null":
+        calibrated = all(r.agrees_with_analytic() for r in results)
+        text += (
+            "\n\ncalibration: simulated availability "
+            + ("agrees with" if calibrated else "DISAGREES with")
+            + " the analytic eq.-(10) value within 2 standard errors"
+        )
+    return text, calibrated
+
+
+# -- client-policy comparison ------------------------------------------
+
+def default_client_policies(
+    max_retries: int = 3,
+    persistence: float = 1.0,
+    breaker_threshold: int = 3,
+    breaker_reset: float = 30.0,
+    timeout: float = 0.05,
+    hedge_delay: float = 0.02,
+):
+    """The four policies ranked by ``repro policies``, CLI defaults."""
+    from .resilience import (
+        CircuitBreakerPolicy,
+        HedgePolicy,
+        RetryPolicy,
+        TimeoutPolicy,
+    )
+
+    return [
+        RetryPolicy(max_retries=max_retries, persistence=persistence),
+        CircuitBreakerPolicy(
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset,
+        ),
+        TimeoutPolicy(timeout),
+        HedgePolicy(timeout, hedge_delay),
+    ]
+
+
+def default_farm_scenarios(servers: int):
+    """The default fault axis of ``repro policies``.
+
+    Weights approximate how much steady-state time a lightly-faulted
+    farm spends in each regime.
+    """
+    from .resilience import FarmFaultScenario
+
+    return [
+        FarmFaultScenario("nominal", servers_up=servers, weight=0.70),
+        FarmFaultScenario(
+            "surge", servers_up=servers, arrival_factor=1.5,
+            weight=0.15,
+        ),
+        FarmFaultScenario(
+            "degraded", servers_up=max(1, servers // 2),
+            service_availability=0.95, weight=0.10,
+        ),
+        FarmFaultScenario(
+            "critical", servers_up=1, service_availability=0.90,
+            weight=0.05,
+        ),
+    ]
+
+
+def run_policy_comparison(
+    arrival_rate: float = 100.0,
+    service_rate: float = 100.0,
+    servers: int = 4,
+    buffer: int = 10,
+    engine=None,
+    policies=None,
+    scenarios=None,
+):
+    """The ``repro policies`` comparison grid with CLI-default axes."""
+    from .resilience import compare_client_policies
+
+    if policies is None:
+        policies = default_client_policies()
+    if scenarios is None:
+        scenarios = default_farm_scenarios(servers)
+    return compare_client_policies(
+        policies,
+        scenarios,
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        capacity=buffer,
+        engine=engine,
+    )
+
+
+def policy_comparison_text(report) -> str:
+    """The stdout rendering of a policy comparison (table + verdict)."""
+    from .resilience import format_policy_comparison
+
+    best = report.best
+    return (
+        format_policy_comparison(report)
+        + f"\n\nbest policy: {best.policy} "
+        f"(weighted mean {best.mean_availability:.9g})"
+    )

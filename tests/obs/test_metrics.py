@@ -211,3 +211,54 @@ class TestOpenMetrics:
         registry.counter("c", what='say "hi"\n').inc()
         text = registry.render_openmetrics()
         assert 'c_total{what="say \\"hi\\"\\n"} 1' in text
+
+
+class TestExpositionFastPath:
+    """Satellite: the snapshot-hash render cache for hot /metrics."""
+
+    def test_consecutive_expositions_are_byte_identical(self):
+        registry = MetricsRegistry()
+        registry.counter("events", help="e").inc(3)
+        registry.histogram("t", bounds=(1.0,)).observe(0.5)
+        registry.gauge("depth").set(2.0)
+        first = registry.render_openmetrics()
+        second = registry.render_openmetrics()
+        assert first == second
+        # The fast path returns the identical string object, not a
+        # re-render that happens to compare equal.
+        assert first is second
+
+    def test_any_update_invalidates_the_cache(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc()
+        first = registry.render_openmetrics()
+        counter.inc()
+        second = registry.render_openmetrics()
+        assert second is not first
+        assert "events_total 2" in second
+        registry.gauge("depth").set(1.0)
+        third = registry.render_openmetrics()
+        assert "depth 1" in third
+        registry.histogram("t", bounds=(1.0,)).observe(0.2)
+        fourth = registry.render_openmetrics()
+        assert "t_count 1" in fourth
+        assert len({id(first), id(second), id(third), id(fourth)}) == 4
+
+    def test_equal_state_registries_render_the_same_bytes(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for registry in (a, b):
+            registry.counter("events", help="e", kind="x").inc(2)
+            registry.histogram("t", bounds=(1.0, 2.0)).observe(1.5)
+        assert a.render_openmetrics() == b.render_openmetrics()
+
+    def test_histogram_observation_of_zero_value_invalidates(self):
+        # sum stays 0.0 but counts change: the fingerprint must see it.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", bounds=(1.0,))
+        first = registry.render_openmetrics()
+        histogram.observe(0.0)
+        second = registry.render_openmetrics()
+        assert second is not first
+        assert "t_count 1" in second

@@ -1,0 +1,147 @@
+"""Tests for the M/M/c/K admission controller (the self-model)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.queueing import MMCKQueue
+from repro.server import AdmissionController
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestOccupancy:
+    def test_admits_until_capacity_then_rejects(self):
+        controller = AdmissionController(slots=2, capacity=3)
+        assert [controller.try_admit() for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+        assert controller.in_system == 3
+        assert controller.arrivals == 5
+        assert controller.accepted == 3
+        assert controller.rejections == 2
+
+    def test_complete_frees_a_slot(self):
+        controller = AdmissionController(slots=1, capacity=1)
+        assert controller.try_admit()
+        assert not controller.try_admit()
+        controller.complete(0.5)
+        assert controller.try_admit()
+
+    def test_release_frees_without_counting_service(self):
+        controller = AdmissionController(slots=1, capacity=2)
+        controller.try_admit()
+        controller.release()
+        assert controller.in_system == 0
+        assert controller.completed == 0
+        assert controller.service_seconds == 0.0
+
+    def test_occupy_claims_without_an_arrival(self):
+        controller = AdmissionController(slots=1, capacity=2)
+        controller.occupy()
+        assert controller.in_system == 1
+        assert controller.arrivals == 0
+
+    def test_occupy_into_full_system_rejected(self):
+        controller = AdmissionController(slots=1, capacity=1)
+        controller.occupy()
+        with pytest.raises(ValidationError):
+            controller.occupy()
+
+    def test_release_or_complete_on_empty_system_rejected(self):
+        controller = AdmissionController(slots=1, capacity=1)
+        with pytest.raises(ValidationError):
+            controller.release()
+        with pytest.raises(ValidationError):
+            controller.complete(1.0)
+
+    def test_capacity_below_slots_rejected(self):
+        with pytest.raises(ValidationError):
+            AdmissionController(slots=4, capacity=2)
+
+
+class TestMeasuredRates:
+    def test_rates_unmeasurable_at_start(self):
+        controller = AdmissionController(slots=2, capacity=4)
+        assert controller.arrival_rate() is None
+        assert controller.service_rate() is None
+        assert controller.rejection_ratio() is None
+        assert controller.self_model() is None
+
+    def test_arrival_rate_is_gaps_over_window(self):
+        clock = FakeClock()
+        controller = AdmissionController(slots=2, capacity=8, clock=clock)
+        for _ in range(5):
+            controller.try_admit()
+            clock.advance(0.25)
+        # 5 arrivals at t = 0, .25, .5, .75, 1.0 -> 4 gaps over 1 s.
+        assert controller.arrival_rate() == pytest.approx(4.0)
+
+    def test_service_rate_is_inverse_mean_holding_time(self):
+        controller = AdmissionController(slots=2, capacity=8)
+        controller.try_admit()
+        controller.try_admit()
+        controller.complete(0.2)
+        controller.complete(0.3)
+        assert controller.service_rate() == pytest.approx(2 / 0.5)
+
+    def test_self_model_matches_direct_mmck(self):
+        clock = FakeClock()
+        controller = AdmissionController(slots=2, capacity=4, clock=clock)
+        for _ in range(11):
+            controller.try_admit()
+            controller.complete(0.1)
+            clock.advance(0.05)
+        metrics = controller.self_model()
+        reference = MMCKQueue(
+            arrival_rate=controller.arrival_rate(),
+            service_rate=controller.service_rate(),
+            servers=2,
+            capacity=4,
+        ).metrics()
+        assert metrics.blocking_probability == pytest.approx(
+            reference.blocking_probability
+        )
+
+
+class TestReport:
+    def test_report_structure_when_measured(self):
+        clock = FakeClock()
+        controller = AdmissionController(slots=1, capacity=2, clock=clock)
+        for _ in range(10):
+            admitted = controller.try_admit()
+            if admitted:
+                controller.complete(0.4)
+            clock.advance(0.2)
+        report = controller.report()
+        assert report["config"] == {"slots": 1, "capacity": 2}
+        assert report["observed"]["arrivals"] == 10
+        assert report["measured"]["offered_load"] == pytest.approx(
+            report["measured"]["arrival_rate"]
+            / report["measured"]["service_rate"]
+        )
+        model = report["model"]
+        assert 0.0 <= model["blocking_probability"] <= 1.0
+        assert model["availability"] == pytest.approx(
+            1.0 - model["blocking_probability"]
+        )
+        check = report["cross_check"]
+        low, high = check["rejection_ci"]
+        assert 0.0 <= low <= high <= 1.0
+        assert check["observed_rejection_ratio"] == pytest.approx(
+            report["observed"]["rejected"] / report["observed"]["arrivals"]
+        )
+
+    def test_report_before_traffic_has_null_model(self):
+        report = AdmissionController(slots=1, capacity=1).report()
+        assert report["measured"] is None
+        assert report["model"] is None
+        assert report["cross_check"] is None

@@ -1,0 +1,114 @@
+"""Tests for the minimal HTTP/1.1 parser and SSE framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    HttpProtocolError,
+    MAX_BODY_BYTES,
+    Request,
+    json_response,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    """Feed *raw* to the parser through a real StreamReader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/jobs?limit=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/jobs"
+        assert request.query == "limit=3"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"figure": "11"}).encode()
+        raw = (
+            b"POST /v1/sweeps HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.json() == {"figure": "11"}
+
+    def test_eof_between_requests_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_protocol_version(self):
+        with pytest.raises(HttpProtocolError):
+            parse(b"GET / SPDY/99\r\n\r\n")
+
+    def test_chunked_upload_rejected(self):
+        with pytest.raises(HttpProtocolError):
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+
+    def test_oversized_body_is_413(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 413
+
+    def test_invalid_content_length(self):
+        with pytest.raises(HttpProtocolError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+
+    def test_truncated_body(self):
+        with pytest.raises(HttpProtocolError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        closed = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not closed.keep_alive
+
+
+class TestRequestJson:
+    def make(self, body: bytes) -> Request:
+        return Request(
+            method="POST", target="/", path="/", query="",
+            headers={}, body=body,
+        )
+
+    def test_empty_body_is_empty_object(self):
+        assert self.make(b"").json() == {}
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(HttpProtocolError):
+            self.make(b"[1, 2]").json()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(HttpProtocolError):
+            self.make(b"{nope").json()
+
+
+class TestJsonResponse:
+    def test_newline_terminated_json(self):
+        response = json_response(202, {"id": "job-000001"})
+        assert response.status == 202
+        assert response.body.endswith(b"\n")
+        assert json.loads(response.body) == {"id": "job-000001"}

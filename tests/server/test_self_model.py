@@ -1,0 +1,105 @@
+"""The evaluator evaluates itself: M/M/c/K cross-check under load.
+
+Drives a c=2, K=4 server with Poisson probe traffic — exponential
+inter-arrival gaps, exponential slot-holding times — so the admission
+controller faces exactly the traffic its analytic self-model assumes.
+The observed 503 ratio must land inside the Wilson confidence interval
+around the model's predicted blocking probability (``within_ci`` in
+``GET /v1/self``), closing the loop between the paper's eq. (3) and a
+live queueing system.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.queueing import MMCKQueue
+from repro.server import ServerClient, ServerThread
+
+ARRIVALS = 250
+MEAN_GAP = 0.02  # ~50 arrivals/s offered
+MEAN_HOLD = 0.08  # ~12.5/s service rate per slot -> offered load ~4
+
+
+@pytest.fixture(scope="module")
+def saturated_report():
+    rng = np.random.default_rng(20030625)
+    gaps = rng.exponential(MEAN_GAP, size=ARRIVALS)
+    holds = np.minimum(rng.exponential(MEAN_HOLD, size=ARRIVALS), 1.0)
+    with ServerThread(slots=2, queue_limit=4) as handle:
+        client = ServerClient(port=handle.port)
+        rejected = 0
+        for gap, hold in zip(gaps, holds):
+            document = client.submit(
+                "probe", {"hold": float(hold)}, raise_for_reject=False
+            )
+            if document.get("rejected"):
+                rejected += 1
+            time.sleep(gap)
+        # Let the tail of accepted probes drain before reading rates.
+        deadline = time.monotonic() + 30.0
+        while client.self_report()["observed"]["in_system"]:
+            assert time.monotonic() < deadline, "probes did not drain"
+            time.sleep(0.05)
+        report = client.self_report()
+        metrics_text = client.metrics_text()
+    return report, rejected, metrics_text
+
+
+class TestSelfModelUnderSaturation:
+    def test_saturation_produced_rejections(self, saturated_report):
+        report, rejected, _ = saturated_report
+        assert report["observed"]["arrivals"] == ARRIVALS
+        assert report["observed"]["rejected"] == rejected
+        assert rejected >= 10, "load was meant to saturate the queue"
+
+    def test_measured_rates_are_close_to_the_offered_traffic(
+        self, saturated_report
+    ):
+        report, _, _ = saturated_report
+        measured = report["measured"]
+        # Loose sanity bounds: sleep jitter inflates both estimates'
+        # denominators, so only the magnitude is pinned.
+        assert measured["arrival_rate"] == pytest.approx(
+            1.0 / MEAN_GAP, rel=0.5
+        )
+        assert measured["service_rate"] == pytest.approx(
+            1.0 / MEAN_HOLD, rel=0.5
+        )
+
+    def test_predicted_blocking_within_ci_of_observed_ratio(
+        self, saturated_report
+    ):
+        report, _, _ = saturated_report
+        check = report["cross_check"]
+        low, high = check["rejection_ci"]
+        assert low <= check["predicted_blocking"] <= high
+        assert check["within_ci"] is True
+
+    def test_model_matches_direct_kernel_evaluation(self, saturated_report):
+        report, _, _ = saturated_report
+        measured = report["measured"]
+        reference = MMCKQueue(
+            arrival_rate=measured["arrival_rate"],
+            service_rate=measured["service_rate"],
+            servers=2,
+            capacity=4,
+        ).metrics()
+        assert report["model"]["blocking_probability"] == pytest.approx(
+            reference.blocking_probability
+        )
+        assert report["model"]["utilization"] == pytest.approx(
+            reference.utilization
+        )
+
+    def test_rejection_counter_matches_observed(self, saturated_report):
+        report, _, metrics_text = saturated_report
+        expected = float(report["observed"]["rejected"])
+        line = next(
+            line for line in metrics_text.splitlines()
+            if line.startswith(
+                'server_admission_rejections_total{kind="probe"}'
+            )
+        )
+        assert float(line.split()[-1]) == expected

@@ -1,0 +1,205 @@
+"""End-to-end tests: a real server on an ephemeral port.
+
+The server's headline contract is byte-identity with the offline CLI:
+a sweep submitted over HTTP returns exactly what ``repro sweep``
+prints, serial or parallel, and ``/metrics`` renders the same
+OpenMetrics exposition ``repro stats --format openmetrics`` does.
+"""
+
+import contextlib
+import io
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ServerError
+from repro.obs import MetricsRegistry
+from repro.server import ServerClient, ServerThread
+
+
+def cli_stdout(argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer), contextlib.redirect_stderr(
+        io.StringIO()
+    ):
+        code = main(argv)
+    assert code == 0
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(slots=2, queue_limit=8) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    return ServerClient(port=server.port)
+
+
+class TestSweepByteIdentity:
+    ARGS = ["--figure", "11", "--arrival-rate", "60", "--servers-max", "4"]
+
+    def test_serial_sweep_matches_cli(self, client):
+        offline = cli_stdout(["sweep"] + self.ARGS)
+        text = client.sweep_text(figure="11", arrival_rate=60.0,
+                                 servers_max=4)
+        assert text + "\n" == offline
+
+    def test_parallel_sweep_matches_cli(self, client):
+        offline = cli_stdout(["sweep"] + self.ARGS)
+        text = client.sweep_text(figure="11", arrival_rate=60.0,
+                                 servers_max=4, workers=2)
+        assert text + "\n" == offline
+
+
+class TestOtherWorkloads:
+    def test_policies_matches_cli(self, client):
+        offline = cli_stdout(["policies"])
+        done = client.run("policies", {})
+        assert done["result"]["text"] + "\n" == offline
+        assert done["result"]["best"]["policy"]
+
+    def test_campaign_matches_cli(self, client):
+        argv = ["inject", "--scenario", "null", "--user-class", "A",
+                "--horizon", "50", "--replications", "2"]
+        offline = cli_stdout(argv)
+        done = client.run("campaign", {
+            "scenario": "null", "user_class": "A",
+            "horizon": 50.0, "replications": 2,
+        })
+        assert done["result"]["text"] + "\n" == offline
+        assert done["result"]["calibrated"] is True
+
+
+class TestJobApi:
+    def test_job_lifecycle_and_listing(self, client):
+        job = client.submit_probe(hold=0.0)
+        assert job["status"] in ("queued", "running")
+        done = client.wait(job["id"])
+        assert done["status"] == "done"
+        assert done["result"] == {"held_seconds": 0.0}
+        listed = {entry["id"] for entry in client.jobs()}
+        assert job["id"] in listed
+
+    def test_bad_spec_is_400_with_message(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.submit_sweep(figure="13")
+        assert "400" in str(excinfo.value)
+        assert "figure" in str(excinfo.value)
+
+    def test_unknown_spec_key_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.submit_sweep(figur="11")
+        assert "400" in str(excinfo.value)
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.job("job-424242")
+        assert "404" in str(excinfo.value)
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._json("GET", "/v2/anything")
+        assert "404" in str(excinfo.value)
+
+    def test_wrong_method_is_405(self, client):
+        status, _body = client._request("DELETE", "/v1/sweeps")
+        assert status == 405
+
+    def test_cancel_running_probe(self, client):
+        job = client.submit_probe(hold=30.0)
+        cancelled = client.cancel(job["id"])
+        assert cancelled["cancel_requested"] or (
+            cancelled["status"] == "cancelled"
+        )
+        done = client.wait(job["id"])
+        assert done["status"] == "cancelled"
+
+    def test_health_and_readiness(self, client):
+        assert client.healthz()["status"] == "ok"
+        assert client.readyz() is True
+
+
+class TestSelfEndpoint:
+    def test_self_report_shape(self, client):
+        # The module-scoped server has seen traffic from earlier tests.
+        report = client.self_report()
+        assert report["config"] == {"slots": 2, "capacity": 8}
+        assert report["uptime_seconds"] > 0.0
+        assert report["observed"]["arrivals"] >= 1
+        assert report["slo"]["name"] == "admission"
+        assert 0.0 <= report["slo"]["objective"] <= 1.0
+
+
+class TestEvents:
+    def test_stream_delivers_hello_then_job_events(self, client):
+        job = client.submit_probe(hold=1.0)
+        events = client.events(count=2, timeout=15.0)
+        assert events[0][0] == "hello"
+        assert events[0][1]["capacity"] == 8
+        kinds = {name for name, _ in events}
+        assert kinds & {"job", "progress", "heartbeat", "slo"}
+        done = client.wait(job["id"])
+        assert done["status"] == "done"
+
+
+class TestMetricsExposition:
+    def test_openmetrics_families_present(self, client):
+        client.healthz()
+        text = client.metrics_text()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE server_requests counter" in text
+        assert 'server_requests_total{' in text
+        assert "# TYPE server_request_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "# TYPE server_queue_depth gauge" in text
+
+    def test_matches_repro_stats_exposition(self, tmp_path):
+        # A dedicated server whose registry we hold, so the scrape can
+        # be compared byte-for-byte against the CLI exposition of the
+        # same snapshot.
+        registry = MetricsRegistry()
+        with ServerThread(slots=1, queue_limit=2,
+                          metrics=registry) as handle:
+            client = ServerClient(port=handle.port)
+            client.wait(client.submit_probe(hold=0.0)["id"])
+            client.metrics_text()  # the scrape that lands in the snapshot
+            # The request is observed after its response is written;
+            # wait for that observation before freezing the snapshot.
+            deadline = time.monotonic() + 10.0
+            while not registry.value(
+                "server_requests", method="GET", route="/metrics",
+                code="200",
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            snapshot = tmp_path / "server-metrics.json"
+            registry.save(snapshot)
+            scrape = client.metrics_text()
+        offline = cli_stdout(["stats", "--format", "openmetrics",
+                              str(snapshot)])
+        assert scrape == offline
+
+
+class TestJournalRestartOverHttp:
+    def test_interrupted_job_reruns_after_restart(self, tmp_path):
+        journal = tmp_path / "server-jobs.jsonl"
+        with ServerThread(slots=1, queue_limit=4,
+                          journal=journal) as handle:
+            client = ServerClient(port=handle.port)
+            finished = client.wait(client.submit_probe(hold=0.0)["id"])
+            interrupted = client.submit_probe(hold=30.0)
+        # Shutdown interrupted the running probe; restart re-runs it.
+        with ServerThread(slots=1, queue_limit=4,
+                          journal=journal) as handle:
+            client = ServerClient(port=handle.port)
+            restored = client.job(finished["id"])
+            assert restored["status"] == "done"
+            assert restored["result"] == {"held_seconds": 0.0}
+            rerun = client.job(interrupted["id"])
+            assert rerun["status"] in ("queued", "running")
+            client.cancel(interrupted["id"])
+            assert client.wait(interrupted["id"])["status"] == "cancelled"

@@ -1,0 +1,91 @@
+"""Tests for job-spec validation and execution."""
+
+import pytest
+
+from repro.errors import CancelledError, ValidationError
+from repro.runtime import CancellationToken
+from repro.server import execute_job, parse_spec
+
+
+class TestParseSpec:
+    def test_sweep_defaults(self):
+        spec = parse_spec("sweep", {})
+        assert spec == {
+            "figure": "11",
+            "arrival_rate": 100.0,
+            "servers_max": 10,
+            "workers": 1,
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            parse_spec("frobnicate", {})
+        assert "frobnicate" in str(excinfo.value)
+
+    def test_unknown_key_rejected_with_allowed_list(self):
+        with pytest.raises(ValidationError) as excinfo:
+            parse_spec("sweep", {"figur": "11"})
+        message = str(excinfo.value)
+        assert "figur" in message and "figure" in message
+
+    def test_non_object_spec_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_spec("sweep", [1, 2])
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_spec("sweep", {"figure": "13"})
+
+    def test_campaign_defaults_and_scenario_check(self):
+        spec = parse_spec("campaign", {"scenario": "lan-host"})
+        assert spec["scenario"] == "lan-host"
+        assert spec["horizon"] == 100.0
+        assert spec["replications"] == 4
+        with pytest.raises(ValidationError):
+            parse_spec("campaign", {"scenario": "meteor-strike"})
+
+    def test_campaign_seed_must_be_int(self):
+        with pytest.raises(ValidationError):
+            parse_spec("campaign", {"seed": True})
+
+    def test_probe_hold_bounded(self):
+        assert parse_spec("probe", {"hold": 0.5}) == {"hold": 0.5}
+        with pytest.raises(ValidationError):
+            parse_spec("probe", {"hold": 3600.0})
+        with pytest.raises(ValidationError):
+            parse_spec("probe", {"hold": -1.0})
+
+    def test_policies_validates_positive_ints(self):
+        with pytest.raises(ValidationError):
+            parse_spec("policies", {"servers": 0})
+
+
+class TestExecuteJob:
+    def test_probe_returns_held_seconds(self):
+        result = execute_job("probe", {"hold": 0.0})
+        assert result == {"held_seconds": 0.0}
+
+    def test_probe_cancellation_is_prompt(self):
+        token = CancellationToken()
+        token.cancel("test stop")
+        with pytest.raises(CancelledError):
+            execute_job("probe", parse_spec("probe", {"hold": 30.0}),
+                        token=token)
+
+    def test_sweep_result_document(self):
+        spec = parse_spec("sweep", {"servers_max": 3})
+        result = execute_job("sweep", spec)
+        assert result["cells"] == 9
+        assert "Figure 11" in result["text"]
+        assert set(result["series"]) == {"0.01", "0.001", "0.0001"}
+        assert all(len(v) == 3 for v in result["series"].values())
+
+    def test_campaign_result_document(self):
+        spec = parse_spec("campaign", {
+            "scenario": "null", "user_class": "A",
+            "horizon": 50.0, "replications": 2,
+        })
+        result = execute_job("campaign", spec)
+        assert result["calibrated"] in (True, False)
+        assert len(result["campaigns"]) == 1
+        assert result["campaigns"][0]["user_class"] == "class A"

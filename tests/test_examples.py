@@ -23,6 +23,7 @@ FAST_EXAMPLES = {
     "chaos_sweep.py": "every injector recovered to a byte-identical sweep",
     "policy_comparison.py": "Best policy: retry(k=3, p=1)",
     "slo_monitoring.py": "SLO monitoring of a scheduled Internet-link",
+    "server_client.py": "The evaluator evaluates itself",
 }
 
 
