@@ -36,10 +36,16 @@ Package map
 ``repro.ta``
     The Travel Agency case study: architectures, user classes,
     closed-form equations, economics.
+``repro.bayes``
+    Cloud-era models: Bayesian networks of binary availability nodes
+    with exact variable-elimination inference, k-out-of-n replica sets
+    under common-cause zonal failures, the autoscaling M/M/c/K farm,
+    and service-function chains (``repro cloud``).
 ``repro.sensitivity``
     Parameter sweeps and tornado analyses.
 ``repro.sim``
-    Discrete-event simulation used to cross-validate analytic results.
+    Discrete-event simulation used to cross-validate analytic results,
+    including Monte-Carlo sampling of the Bayesian-network models.
 ``repro.runtime``
     Fault-tolerant execution substrate: budgets/deadlines, cooperative
     cancellation, crash-consistent run journals, heartbeats, and

@@ -1,0 +1,73 @@
+"""Cloud-era availability models: Bayesian networks and service chains.
+
+The paper's hierarchy assumes independent services composed in
+series/parallel.  Cloud deployments break that assumption — replicas
+share availability zones (common-cause failure), quorum systems are
+k-out-of-n, and an autoscaled farm's capacity *depends on* which zones
+survive.  This package models all of that exactly:
+
+* :mod:`~repro.bayes.network` — a discrete Bayesian-network core:
+  binary up/down nodes with CPTs, exact inference by variable
+  elimination, a brute-force enumeration oracle, and
+  ``BayesianNetwork.from_spec`` JSON-style parsing with one-line
+  validation errors naming the node/CPT;
+* :mod:`~repro.bayes.cloud` — the cloud building blocks (k-out-of-n
+  replica sets, zonal common-cause roots, the autoscaling M/M/c/K farm
+  node) plus their closed-form marginals;
+* :mod:`~repro.bayes.chains` — service-function chains composing
+  user-perceived availability through the existing four-level
+  hierarchy, and :class:`CloudTravelAgency`, the Table 6 functions
+  recast on a multi-zone deployment;
+* :mod:`~repro.bayes.scenarios` — the ranked deployment comparison
+  behind ``repro cloud`` and the server's ``cloud`` job kind.
+
+Every closed form is cross-validated against Monte-Carlo sampling of
+the network (:mod:`repro.sim.bayes`) as tier-1 tests, the same
+discipline the repo applies to eq. (10) and the client policies.  See
+``docs/CLOUD.md``.
+"""
+
+from .network import BayesianNetwork, Node
+from .cloud import (
+    CloudModelBuilder,
+    farm_availability,
+    k_of_n_cpt,
+    replica_set_availability,
+)
+from .chains import (
+    CLOUD_CHAINS,
+    CloudDeployment,
+    CloudTravelAgency,
+    ServiceFunctionChain,
+    chain_availability,
+    chain_user_availability,
+)
+from .scenarios import (
+    CloudComparisonReport,
+    CloudScenario,
+    CloudScenarioResult,
+    compare_cloud_scenarios,
+    evaluate_cloud_scenario,
+    format_cloud_comparison,
+)
+
+__all__ = [
+    "BayesianNetwork",
+    "CLOUD_CHAINS",
+    "CloudComparisonReport",
+    "CloudDeployment",
+    "CloudModelBuilder",
+    "CloudScenario",
+    "CloudScenarioResult",
+    "CloudTravelAgency",
+    "Node",
+    "ServiceFunctionChain",
+    "chain_availability",
+    "chain_user_availability",
+    "compare_cloud_scenarios",
+    "evaluate_cloud_scenario",
+    "farm_availability",
+    "format_cloud_comparison",
+    "k_of_n_cpt",
+    "replica_set_availability",
+]

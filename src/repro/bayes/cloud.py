@@ -1,0 +1,307 @@
+"""Cloud availability building blocks on the Bayesian-network core.
+
+Three constructs recast the paper's 2003 web farm onto a cloud
+deployment:
+
+* **k-out-of-n replica sets** — a service is up while at least *k* of
+  its *n* replicas are (``k_of_n_cpt`` builds the deterministic CPT);
+* **zonal common-cause failure** — each availability zone is a root
+  node; every replica placed in a zone has it as a parent and is down
+  whenever the zone is, which correlates same-zone replicas exactly the
+  way independence-based RBD models cannot;
+* **an autoscaling web farm** — a node whose conditional availability
+  given the set of surviving zones is the paper's parametric M/M/c/K
+  blocking model (:class:`~repro.availability.WebServiceModel`) with
+  ``c = zones_up * servers_per_zone``: losing a zone does not just
+  remove capacity, it re-solves the queueing model at the smaller farm.
+
+:func:`replica_set_availability` and :func:`farm_availability` are the
+closed forms for the marginals of those constructs; the tier-1 tests
+check them against both exact network inference and Monte-Carlo
+sampling (:mod:`repro.sim.bayes`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from ..errors import ValidationError
+from .network import BayesianNetwork
+
+__all__ = [
+    "CloudModelBuilder",
+    "farm_availability",
+    "k_of_n_cpt",
+    "replica_set_availability",
+]
+
+
+def k_of_n_cpt(n: int, k: int) -> Tuple[float, ...]:
+    """The deterministic CPT of a k-out-of-n node over *n* parents.
+
+    Row value is 1.0 when at least *k* of the *n* parent bits are set
+    (``k = 1`` is a parallel/OR block, ``k = n`` a series/AND block).
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if k > n:
+        raise ValidationError(f"k must be in 1..{n} (n replicas), got {k}")
+    return tuple(
+        1.0 if bin(row).count("1") >= k else 0.0 for row in range(1 << n)
+    )
+
+
+def replica_set_availability(
+    replicas_per_zone: Sequence[int],
+    quorum: int,
+    replica_availability: float,
+    zone_availability: float = 1.0,
+) -> float:
+    """Closed-form availability of a zoned k-out-of-n replica set.
+
+    Each zone is up independently with probability *zone_availability*;
+    a replica is up with probability *replica_availability* if its zone
+    is up and down otherwise.  The set serves while at least *quorum*
+    replicas are up.  Exact: the up-replica count is a convolution of
+    per-zone zero-inflated binomials.
+    """
+    counts = [check_positive_int(m, "replicas_per_zone") for m in replicas_per_zone]
+    if not counts:
+        raise ValidationError(
+            "replicas_per_zone must name at least one zone, got []"
+        )
+    total = sum(counts)
+    quorum = check_positive_int(quorum, "quorum")
+    if quorum > total:
+        raise ValidationError(
+            f"quorum must be in 1..{total} (total replicas), got {quorum}"
+        )
+    a = check_probability(replica_availability, "replica_availability")
+    zone = check_probability(zone_availability, "zone_availability")
+    pmf = np.array([1.0])
+    for m in counts:
+        binom = np.array(
+            [
+                math.comb(m, j) * a**j * (1.0 - a) ** (m - j)
+                for j in range(m + 1)
+            ]
+        )
+        zone_pmf = zone * binom
+        zone_pmf[0] += 1.0 - zone
+        pmf = np.convolve(pmf, zone_pmf)
+    return float(pmf[quorum:].sum())
+
+
+def farm_availability(
+    zones: int,
+    zone_availability: float,
+    servers_per_zone: int,
+    arrival_rate: float,
+    service_rate: float,
+    buffer_capacity: int,
+    failure_rate: float,
+    repair_rate: float,
+) -> float:
+    """Closed-form availability of the autoscaling multi-zone web farm.
+
+    Conditions on the number of surviving zones (binomial, zones are
+    exchangeable) and weighs each regime by the paper's composite
+    M/M/c/K web-service availability at the surviving capacity; zero
+    surviving zones means the farm is down.
+    """
+    zones = check_positive_int(zones, "zones")
+    zone = check_probability(zone_availability, "zone_availability")
+    value = 0.0
+    for up in range(1, zones + 1):
+        weight = (
+            math.comb(zones, up)
+            * zone**up
+            * (1.0 - zone) ** (zones - up)
+        )
+        value += weight * _farm_regime_availability(
+            up * servers_per_zone,
+            arrival_rate,
+            service_rate,
+            buffer_capacity,
+            failure_rate,
+            repair_rate,
+        )
+    return value
+
+
+def _farm_regime_availability(
+    servers: int,
+    arrival_rate: float,
+    service_rate: float,
+    buffer_capacity: int,
+    failure_rate: float,
+    repair_rate: float,
+) -> float:
+    from ..availability import WebServiceModel
+
+    return WebServiceModel(
+        servers=servers,
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        buffer_capacity=buffer_capacity,
+        failure_rate=failure_rate,
+        repair_rate=repair_rate,
+    ).availability()
+
+
+class CloudModelBuilder:
+    """Assemble a cloud deployment as a :class:`BayesianNetwork`.
+
+    Declare zones first, then place replica sets and farms into them;
+    :meth:`build` returns the network (validating the DAG).  Node
+    naming: a replica set *name* adds replicas ``name-1 .. name-n``
+    plus the quorum node *name* itself.
+
+    Examples
+    --------
+    >>> builder = CloudModelBuilder()
+    >>> z1 = builder.add_zone("zone-1", 0.999)
+    >>> z2 = builder.add_zone("zone-2", 0.999)
+    >>> _ = builder.add_replica_set("db", [z1, z1, z2], quorum=2,
+    ...                             replica_availability=0.99)
+    >>> net = builder.build()
+    >>> net.marginal("db") < 0.999 * 0.99  # same-zone pair correlates
+    True
+    """
+
+    def __init__(self) -> None:
+        self._network = BayesianNetwork()
+        self._zones: Dict[str, float] = {}
+
+    def add_zone(self, name: str, availability: float) -> str:
+        """One availability zone: a common-cause root node."""
+        check_probability(availability, f"zone {name!r} availability")
+        self._network.add_node(name, cpt=float(availability))
+        self._zones[name] = float(availability)
+        return name
+
+    def add_service(self, name: str, availability: float) -> str:
+        """An independent root service (internet, payment gateway, ...)."""
+        check_probability(availability, f"service {name!r} availability")
+        self._network.add_node(name, cpt=float(availability))
+        return name
+
+    def add_replica_set(
+        self,
+        name: str,
+        zones: Sequence[Optional[str]],
+        quorum: int,
+        replica_availability: float,
+    ) -> str:
+        """A k-out-of-n replica set, one *zones* entry per replica.
+
+        A ``None`` zone entry makes that replica an independent root
+        (externally hosted); a named zone makes the replica down
+        whenever the zone is.
+        """
+        if not zones:
+            raise ValidationError(
+                f"replica set {name!r} needs at least one replica, got "
+                "an empty zone list"
+            )
+        quorum = check_positive_int(quorum, f"replica set {name!r} quorum")
+        if quorum > len(zones):
+            raise ValidationError(
+                f"replica set {name!r} quorum must be in 1..{len(zones)} "
+                f"(replicas), got {quorum}"
+            )
+        a = check_probability(
+            replica_availability, f"replica set {name!r} availability"
+        )
+        replicas: List[str] = []
+        for i, zone in enumerate(zones):
+            replica = f"{name}-{i + 1}"
+            if zone is None:
+                self._network.add_node(replica, cpt=a)
+            else:
+                self._check_zone(name, zone)
+                self._network.add_node(replica, parents=(zone,), cpt=(0.0, a))
+            replicas.append(replica)
+        self._network.add_node(
+            name,
+            parents=tuple(replicas),
+            cpt=k_of_n_cpt(len(replicas), quorum),
+        )
+        return name
+
+    def add_farm(
+        self,
+        name: str,
+        zones: Sequence[str],
+        servers_per_zone: int,
+        arrival_rate: float,
+        service_rate: float,
+        buffer_capacity: int,
+        failure_rate: float,
+        repair_rate: float,
+    ) -> str:
+        """The autoscaling web farm node, parented on its zones.
+
+        Each CPT row solves the paper's composite M/M/c/K model at the
+        surviving capacity ``zones_up * servers_per_zone``.
+        """
+        if not zones:
+            raise ValidationError(
+                f"farm {name!r} needs at least one zone, got an empty list"
+            )
+        if len(set(zones)) != len(zones):
+            raise ValidationError(
+                f"farm {name!r} lists a duplicate zone: {list(zones)}"
+            )
+        for zone in zones:
+            self._check_zone(name, zone)
+        servers_per_zone = check_positive_int(
+            servers_per_zone, f"farm {name!r} servers_per_zone"
+        )
+        check_positive_int(buffer_capacity, f"farm {name!r} buffer_capacity")
+        if buffer_capacity < len(zones) * servers_per_zone:
+            raise ValidationError(
+                f"farm {name!r} buffer_capacity must be >= "
+                f"{len(zones) * servers_per_zone} (the full farm), got "
+                f"{buffer_capacity}"
+            )
+        check_positive(arrival_rate, f"farm {name!r} arrival_rate")
+        check_positive(service_rate, f"farm {name!r} service_rate")
+        check_positive(failure_rate, f"farm {name!r} failure_rate")
+        check_positive(repair_rate, f"farm {name!r} repair_rate")
+        table = []
+        regimes: Dict[int, float] = {0: 0.0}
+        for row in range(1 << len(zones)):
+            up = bin(row).count("1")
+            if up not in regimes:
+                regimes[up] = _farm_regime_availability(
+                    up * servers_per_zone,
+                    arrival_rate,
+                    service_rate,
+                    buffer_capacity,
+                    failure_rate,
+                    repair_rate,
+                )
+            table.append(regimes[up])
+        self._network.add_node(name, parents=tuple(zones), cpt=table)
+        return name
+
+    def build(self) -> BayesianNetwork:
+        """The assembled network; validates the DAG."""
+        self._network.topological_order()
+        return self._network
+
+    def _check_zone(self, owner: str, zone: str) -> None:
+        if zone not in self._zones:
+            raise ValidationError(
+                f"{owner!r} references undeclared zone {zone!r}; declared "
+                f"zones: {sorted(self._zones)}"
+            )

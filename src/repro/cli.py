@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Fourteen subcommands cover the common workflows without writing Python:
+Fifteen subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -42,6 +42,13 @@ Fourteen subcommands cover the common workflows without writing Python:
     request timeout, hedged requests — by user-perceived availability
     across a grid of farm fault scenarios, evaluated through the same
     engine (``--workers``/``--cache-dir``) with bit-identical output.
+
+``repro cloud``
+    Rank cloud deployments of the Travel Agency — multi-zone placement
+    with common-cause zonal failures, database quorums, and an
+    autoscaling M/M/c/K web farm — by user-perceived availability
+    (exact Bayesian-network inference, see :mod:`repro.bayes`),
+    evaluated through the engine with bit-identical output.
 
 ``repro chaos``
     Run a Fig. 11/12 sweep under deterministic fault injection — worker
@@ -346,6 +353,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_flags(policies, journal=False)
 
+    cloud = commands.add_parser(
+        "cloud",
+        help=(
+            "rank cloud deployments of the Travel Agency (multi-zone "
+            "replica sets, zonal common-cause failures, autoscaling "
+            "M/M/c/K farm) by user-perceived availability"
+        ),
+    )
+    cloud.add_argument(
+        "--arrival-rate", type=float, default=100.0,
+        help="requests per second offered to the web farm",
+    )
+    cloud.add_argument(
+        "--service-rate", type=float, default=100.0,
+        help="per-server service rate (requests per second)",
+    )
+    cloud.add_argument(
+        "--zone-availability", type=float, default=0.9995,
+        help="availability of each zone (the common-cause root nodes)",
+    )
+    cloud.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; output is bit-identical for any count",
+    )
+    cloud.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk memo cache; a warm rerun recomputes nothing",
+    )
+    _add_runtime_flags(cloud, journal=False)
+
     chaos = commands.add_parser(
         "chaos",
         help=(
@@ -597,6 +634,57 @@ def _check_int_flag(
     return value
 
 
+def _check_float_flag(
+    value: float,
+    flag: str,
+    low: Optional[float] = 0.0,
+    high: Optional[float] = None,
+    low_inclusive: bool = False,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate a float CLI flag, naming the flag on failure.
+
+    The float counterpart of :func:`_check_int_flag`: every float flag
+    of every subcommand goes through this helper so bad values fail the
+    same way — one line naming the flag (``error: --arrival-rate must
+    be > 0, got -1``), exit code 2.  ``argparse``'s ``type=float``
+    happily parses ``nan`` and ``inf``; both are rejected here, where
+    the message can still name the flag.  ``low=None`` skips the range
+    check (any finite number is accepted).
+    """
+    import math
+
+    from .errors import ValidationError
+
+    if low is None and high is None:
+        expected = "a finite number"
+    elif high is None:
+        expected = f"{'>=' if low_inclusive else '>'} {low:g}"
+    else:
+        expected = (
+            f"in {'[' if low_inclusive else '('}{low:g}, "
+            f"{high:g}{']' if high_inclusive else ')'}"
+        )
+
+    def fail() -> None:
+        raise ValidationError(f"--{flag} must be {expected}, got {value}")
+
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail()
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        fail()
+    if low is not None and (
+        value < low or (value == low and not low_inclusive)
+    ):
+        fail()
+    if high is not None and (
+        value > high or (value == high and not high_inclusive)
+    ):
+        fail()
+    return value
+
+
 def _check_workers(value: int) -> int:
     """Validate a ``--workers`` flag value, naming the flag on failure."""
     return _check_int_flag(value, "workers")
@@ -677,6 +765,17 @@ def _cmd_web(args) -> int:
 
     _check_int_flag(args.servers, "servers")
     _check_int_flag(args.buffer, "buffer", minimum=0)
+    _check_float_flag(args.arrival_rate, "arrival-rate")
+    _check_float_flag(args.service_rate, "service-rate")
+    _check_float_flag(args.failure_rate, "failure-rate")
+    _check_float_flag(args.repair_rate, "repair-rate")
+    if args.coverage is not None:
+        _check_float_flag(
+            args.coverage, "coverage", low=0.0, high=1.0, low_inclusive=True
+        )
+    _check_float_flag(args.reconfiguration_rate, "reconfiguration-rate")
+    if args.deadline is not None:
+        _check_float_flag(args.deadline, "deadline")
     model = WebServiceModel(
         servers=args.servers,
         arrival_rate=args.arrival_rate,
@@ -753,6 +852,7 @@ def _runtime_context(args):
 
     cancellation = None
     if args.deadline is not None:
+        _check_float_flag(args.deadline, "deadline")
         cancellation = Budget(wall_clock=args.deadline).start()
     heartbeat = ConsoleHeartbeat() if args.progress else None
     return cancellation, heartbeat
@@ -767,6 +867,7 @@ def _cmd_inject(args) -> int:
     _check_workers(args.workers)
     _check_int_flag(args.replications, "replications")
     _check_int_flag(args.seed, "seed", minimum=0)
+    _check_float_flag(args.horizon, "horizon")
     cancellation, heartbeat = _runtime_context(args)
     model = TravelAgencyModel(architecture=args.architecture)
     scenario = _fault_scenarios()[args.scenario](model.hierarchical_model)
@@ -894,6 +995,10 @@ def _cmd_retries(args) -> int:
     _check_workers(args.workers)
     _check_int_flag(args.max_retries, "max-retries", minimum=0)
     _check_int_flag(args.seed, "seed", minimum=0)
+    _check_float_flag(
+        args.persistence, "persistence", low=0.0, high=1.0,
+        low_inclusive=True,
+    )
     if args.simulate is not None:
         _check_int_flag(args.simulate, "simulate")
     policy = RetryPolicy(
@@ -1028,12 +1133,11 @@ def _sweep_series_text(args, grid) -> str:
 def _cmd_sweep(args) -> int:
     import time
 
-    from ._validation import check_positive
     from .engine import EvaluationEngine
 
     _check_workers(args.workers)
     _check_int_flag(args.servers_max, "servers-max")
-    check_positive(args.arrival_rate, "arrival-rate")
+    _check_float_flag(args.arrival_rate, "arrival-rate")
     cancellation, heartbeat = _runtime_context(args)
     engine = EvaluationEngine(
         workers=args.workers,
@@ -1062,7 +1166,6 @@ def _cmd_chaos(args) -> int:
     import tempfile
     from pathlib import Path
 
-    from ._validation import check_positive
     from .chaos import (
         corrupt_cache_entries,
         plan_transient_faults,
@@ -1077,7 +1180,7 @@ def _cmd_chaos(args) -> int:
 
     _check_workers(args.workers)
     _check_int_flag(args.servers_max, "servers-max")
-    check_positive(args.arrival_rate, "arrival-rate")
+    _check_float_flag(args.arrival_rate, "arrival-rate")
     _check_int_flag(args.faults, "faults")
     _check_int_flag(args.seed, "seed", minimum=0)
     if args.injector == "kill-worker" and args.workers < 2:
@@ -1191,7 +1294,6 @@ def _cmd_chaos(args) -> int:
 def _cmd_policies(args) -> int:
     import time
 
-    from ._validation import check_positive
     from .engine import EvaluationEngine
     from .workloads import (
         default_client_policies,
@@ -1201,8 +1303,15 @@ def _cmd_policies(args) -> int:
     )
 
     _check_workers(args.workers)
-    check_positive(args.arrival_rate, "arrival-rate")
-    check_positive(args.service_rate, "service-rate")
+    _check_float_flag(args.arrival_rate, "arrival-rate")
+    _check_float_flag(args.service_rate, "service-rate")
+    _check_float_flag(args.timeout, "timeout")
+    _check_float_flag(args.hedge_delay, "hedge-delay")
+    _check_float_flag(
+        args.persistence, "persistence", low=0.0, high=1.0,
+        low_inclusive=True,
+    )
+    _check_float_flag(args.breaker_reset, "breaker-reset")
     _check_int_flag(args.servers, "servers")
     _check_int_flag(args.buffer, "buffer")
     _check_int_flag(args.max_retries, "max-retries", minimum=0)
@@ -1235,6 +1344,45 @@ def _cmd_policies(args) -> int:
     )
     elapsed = time.monotonic() - started
     print(policy_comparison_text(report))
+    stats = engine.cache.stats
+    rate = f"{stats.hit_rate:.1%}" if stats.lookups else "n/a"
+    print(
+        f"engine: workers={args.workers}, {len(report.cells)} cells in "
+        f"{elapsed:.2f}s; cache hits={stats.hits} misses={stats.misses} "
+        f"hit-rate={rate}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cloud(args) -> int:
+    import time
+
+    from .engine import EvaluationEngine
+    from .workloads import cloud_comparison_text, run_cloud_comparison
+
+    _check_workers(args.workers)
+    _check_float_flag(args.arrival_rate, "arrival-rate")
+    _check_float_flag(args.service_rate, "service-rate")
+    _check_float_flag(args.zone_availability, "zone-availability", high=1.0)
+    cancellation, heartbeat = _runtime_context(args)
+    engine = EvaluationEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cancellation=cancellation,
+        heartbeat=heartbeat,
+    )
+    started = time.monotonic()
+    report = run_cloud_comparison(
+        arrival_rate=args.arrival_rate,
+        service_rate=args.service_rate,
+        zone_availability=args.zone_availability,
+        engine=engine,
+    )
+    elapsed = time.monotonic() - started
+    print(cloud_comparison_text(
+        report, args.arrival_rate, args.zone_availability
+    ))
     stats = engine.cache.stats
     rate = f"{stats.hit_rate:.1%}" if stats.lookups else "n/a"
     print(
@@ -1282,12 +1430,20 @@ def _cmd_stats(args) -> int:
 def _cmd_slo(args) -> int:
     import numpy as np
 
-    from ._validation import check_positive
     from .obs import PoissonSessionSampler, SLOMonitor, format_slo_report
     from .resilience import run_campaign
     from .ta import TravelAgencyModel
 
-    check_positive(args.session_rate, "session rate")
+    _check_float_flag(args.session_rate, "session-rate")
+    _check_float_flag(args.horizon, "horizon")
+    if args.objective is not None:
+        _check_float_flag(
+            args.objective, "objective", low=0.0, high=1.0,
+            high_inclusive=False,
+        )
+    _check_float_flag(args.short_window, "short-window")
+    _check_float_flag(args.long_window, "long-window")
+    _check_float_flag(args.burn_threshold, "burn-threshold")
     _check_int_flag(args.replications, "replications")
     _check_int_flag(args.seed, "seed", minimum=0)
     model = TravelAgencyModel(architecture=args.architecture)
@@ -1360,6 +1516,11 @@ def _cmd_diff(args) -> int:
         except (OSError, ValueError) as exc:
             raise ObservabilityError(f"cannot read {path!r}: {exc}")
 
+    if args.threshold is not None:
+        # Guard thresholds may legitimately be zero or negative (a
+        # "must be at least this much faster" bench), so only reject
+        # non-finite values here.
+        _check_float_flag(args.threshold, "threshold", low=None)
     old, new = load(args.old), load(args.new)
     bench_sides = [
         isinstance(doc, dict) and "benchmark" in doc for doc in (old, new)
@@ -1400,6 +1561,10 @@ def _cmd_serve(args) -> int:
     _check_int_flag(args.port, "port", minimum=0, maximum=65535)
     _check_int_flag(args.workers, "workers")
     _check_int_flag(args.queue_limit, "queue-limit")
+    _check_float_flag(
+        args.slo_objective, "slo-objective", low=0.0, high=1.0,
+        high_inclusive=False,
+    )
     if args.queue_limit < args.workers:
         raise ValidationError(
             "--queue-limit is the admission capacity K (running + queued "
@@ -1496,6 +1661,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resume": _cmd_resume,
         "sweep": _cmd_sweep,
         "policies": _cmd_policies,
+        "cloud": _cmd_cloud,
         "chaos": _cmd_chaos,
         "stats": _cmd_stats,
         "slo": _cmd_slo,

@@ -40,6 +40,7 @@ from .tasks import (
     Task,
     TaskGraph,
     client_policy_task,
+    cloud_scenario_task,
     ctmc_steady_state_task,
     derived_task,
     des_replication_task,
@@ -57,6 +58,7 @@ __all__ = [
     "TaskRetryPolicy",
     "canonical_key",
     "client_policy_task",
+    "cloud_scenario_task",
     "ctmc_steady_state_task",
     "derived_task",
     "des_replication_task",

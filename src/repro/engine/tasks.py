@@ -38,6 +38,7 @@ __all__ = [
     "queueing_batch_task",
     "des_replication_task",
     "client_policy_task",
+    "cloud_scenario_task",
     "derived_task",
 ]
 
@@ -315,6 +316,34 @@ def client_policy_task(
             policy, scenario, float(arrival_rate), float(service_rate),
             int(capacity),
         ),
+        key=key,
+    )
+
+
+def _evaluate_cloud_scenario_cell(scenario):
+    from ..bayes.scenarios import evaluate_cloud_scenario
+
+    return evaluate_cloud_scenario(scenario)
+
+
+def cloud_scenario_task(graph: TaskGraph, name: str, scenario) -> Task:
+    """One cloud deployment scenario of the ``repro cloud`` grid.
+
+    Evaluates a :class:`~repro.bayes.CloudScenario` — both user
+    classes through exact Bayesian-network inference plus the farm
+    marginal — keyed by a pickle digest of the full scenario, so a
+    warm cache skips every deployment whose parameters did not move.
+    """
+    import pickle
+
+    key = canonical_key(
+        "cloud-scenario",
+        content=pickle.dumps(scenario, protocol=4),
+    )
+    return graph.add(
+        name,
+        _evaluate_cloud_scenario_cell,
+        args=(scenario,),
         key=key,
     )
 

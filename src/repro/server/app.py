@@ -61,6 +61,7 @@ _SUBMIT_ROUTES = {
     "sweeps": "sweep",
     "policies": "policies",
     "campaigns": "campaign",
+    "clouds": "cloud",
     "probes": "probe",
 }
 
@@ -194,7 +195,7 @@ class ReproServer:
     # -- routing --------------------------------------------------------
     def _build_routes(self):
         return [
-            ("POST", re.compile(r"^/v1/(sweeps|policies|campaigns|probes)$"),
+            ("POST", re.compile(r"^/v1/(sweeps|policies|campaigns|clouds|probes)$"),
              "/v1/{kind}", self._handle_submit),
             ("GET", re.compile(r"^/v1/jobs$"), "/v1/jobs",
              self._handle_jobs),

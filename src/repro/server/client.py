@@ -99,6 +99,7 @@ class ServerClient:
             "sweep": "/v1/sweeps",
             "policies": "/v1/policies",
             "campaign": "/v1/campaigns",
+            "cloud": "/v1/clouds",
             "probe": "/v1/probes",
         }
         try:
@@ -119,6 +120,9 @@ class ServerClient:
 
     def submit_campaign(self, **spec) -> dict:
         return self.submit("campaign", spec)
+
+    def submit_cloud(self, **spec) -> dict:
+        return self.submit("cloud", spec)
 
     def submit_probe(self, **spec) -> dict:
         return self.submit("probe", spec)
@@ -162,6 +166,10 @@ class ServerClient:
     def sweep_text(self, **spec) -> str:
         """Run a sweep job and return its rendered grid text."""
         return self.run("sweep", spec)["result"]["text"]
+
+    def cloud_text(self, **spec) -> str:
+        """Run a cloud comparison job and return its rendered text."""
+        return self.run("cloud", spec)["result"]["text"]
 
     # -- introspection --------------------------------------------------
     def self_report(self) -> dict:

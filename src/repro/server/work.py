@@ -10,6 +10,8 @@ library's canonical workloads from :mod:`repro.workloads`:
     The client-policy comparison; ``text`` matches ``repro policies``.
 ``campaign``
     A fault-injection campaign; ``text`` matches ``repro inject``.
+``cloud``
+    The cloud deployment comparison; ``text`` matches ``repro cloud``.
 ``probe``
     A synthetic job that holds a worker slot for ``hold`` seconds —
     traffic with *known* (exponential, if the client draws them so)
@@ -135,6 +137,29 @@ def _parse_campaign(spec: dict) -> dict:
     }
 
 
+def _parse_cloud(spec: dict) -> dict:
+    _check_keys(
+        spec,
+        frozenset({"arrival_rate", "service_rate", "zone_availability",
+                   "workers"}),
+        "cloud",
+    )
+    zone = check_positive(
+        spec.get("zone_availability", 0.9995), "zone_availability"
+    )
+    check_in_range(zone, 0.0, 1.0, "zone_availability")
+    return {
+        "arrival_rate": check_positive(
+            spec.get("arrival_rate", 100.0), "arrival_rate"
+        ),
+        "service_rate": check_positive(
+            spec.get("service_rate", 100.0), "service_rate"
+        ),
+        "zone_availability": zone,
+        "workers": check_positive_int(spec.get("workers", 1), "workers"),
+    }
+
+
 def _parse_probe(spec: dict) -> dict:
     _check_keys(spec, frozenset({"hold"}), "probe")
     hold = check_non_negative(spec.get("hold", 0.0), "hold")
@@ -147,6 +172,7 @@ JOB_KINDS: Dict[str, Callable[[dict], dict]] = {
     "sweep": _parse_sweep,
     "policies": _parse_policies,
     "campaign": _parse_campaign,
+    "cloud": _parse_cloud,
     "probe": _parse_probe,
 }
 
@@ -230,6 +256,26 @@ def execute_job(
                 "worst_availability": best.worst_availability,
                 "worst_scenario": best.worst_scenario,
             },
+            "cells": len(report.cells),
+        }
+    if kind == "cloud":
+        report = workloads.run_cloud_comparison(
+            arrival_rate=spec["arrival_rate"],
+            service_rate=spec["service_rate"],
+            zone_availability=spec["zone_availability"],
+            engine=_engine(spec, token, progress, metrics),
+        )
+        best = report.best
+        return {
+            "text": workloads.cloud_comparison_text(
+                report, spec["arrival_rate"], spec["zone_availability"]
+            ),
+            "best": {
+                "deployment": best.scenario,
+                "zones": best.zones,
+                "mean_availability": best.mean,
+            },
+            "ranking": [cell.scenario for cell in report.ranking],
             "cells": len(report.cells),
         }
     if kind == "campaign":

@@ -12,7 +12,11 @@ simulators aligned with the three analytic layers —
 * :class:`SessionSimulation` — user sessions sampled from an operational
   profile; the observed scenario mix converges to the exact visited-set
   distribution, and a Monte-Carlo user-availability estimator converges
-  to eq. (10).
+  to eq. (10);
+* :mod:`~repro.sim.bayes` — ancestral sampling and session replay over
+  the :mod:`repro.bayes` cloud models; the estimators converge to the
+  exact variable-elimination inference and to the chain-composition
+  form of eq. (10).
 
 All simulators take an explicit :class:`numpy.random.Generator`; the
 caller owns seeding and reproducibility.
@@ -42,6 +46,13 @@ from .clients import (
     simulate_circuit_breaker_clients,
     simulate_request_policy,
 )
+from .bayes import (
+    ChainSessionEstimate,
+    JointAvailabilityEstimate,
+    estimate_chain_user_availability,
+    estimate_joint_availability,
+    sample_node_states,
+)
 
 __all__ = [
     "Simulator",
@@ -61,4 +72,9 @@ __all__ = [
     "RequestPolicySimulationResult",
     "simulate_circuit_breaker_clients",
     "simulate_request_policy",
+    "ChainSessionEstimate",
+    "JointAvailabilityEstimate",
+    "estimate_chain_user_availability",
+    "estimate_joint_availability",
+    "sample_node_states",
 ]

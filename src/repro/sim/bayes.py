@@ -1,0 +1,170 @@
+"""Monte-Carlo cross-validation of the :mod:`repro.bayes` closed forms.
+
+Two estimators mirror the two analytic layers:
+
+* :func:`estimate_joint_availability` — ancestral sampling of the
+  network (roots first, each child drawn from its CPT row given the
+  sampled parents), estimating any joint up-probability; it converges
+  to :meth:`~repro.bayes.BayesianNetwork.probability_of`, so it checks
+  the replica-set and zonal-common-cause closed forms through the
+  network marginals;
+* :func:`estimate_chain_user_availability` — replayed user sessions:
+  each session samples one node-state world and one scenario from the
+  user class's operational profile, and succeeds when every service on
+  the union of its functions' chains is up; the served fraction
+  converges to :func:`~repro.bayes.chain_user_availability`.
+
+Both take an explicit :class:`numpy.random.Generator` (the caller owns
+seeding) and draw in a fixed, sorted order so estimates are
+bit-reproducible across processes.  Tolerances in the tier-1 tests are
+``4 * stderr`` plus a small absolute floor, the house convention from
+:mod:`repro.sim.clients`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..errors import ValidationError
+
+__all__ = [
+    "ChainSessionEstimate",
+    "JointAvailabilityEstimate",
+    "estimate_chain_user_availability",
+    "estimate_joint_availability",
+    "sample_node_states",
+]
+
+
+@dataclass(frozen=True)
+class JointAvailabilityEstimate:
+    """A sampled joint up-probability with its binomial standard error."""
+
+    samples: int
+    availability: float
+    stderr: float
+
+
+@dataclass(frozen=True)
+class ChainSessionEstimate:
+    """A replayed-session estimate of chain user availability."""
+
+    sessions: int
+    served_fraction: float
+    stderr: float
+
+
+def sample_node_states(
+    network,
+    samples: int,
+    rng: np.random.Generator,
+    cancellation=None,
+) -> Dict[str, np.ndarray]:
+    """Ancestral sampling: *samples* joint states of every node.
+
+    Returns ``{node name: boolean array}``.  Nodes are drawn in
+    topological order; a child's CPT row index is packed from its
+    sampled parent bits (``parents[0]`` most significant), matching the
+    row convention of :class:`~repro.bayes.Node`.
+    """
+    samples = check_positive_int(samples, "samples")
+    states: Dict[str, np.ndarray] = {}
+    for name in network.topological_order():
+        if cancellation is not None:
+            cancellation.check()
+        node = network.node(name)
+        table = np.asarray(node.table)
+        if node.parents:
+            rows = np.zeros(samples, dtype=np.int64)
+            for parent in node.parents:
+                rows = (rows << 1) | states[parent].astype(np.int64)
+            up_probability = table[rows]
+        else:
+            up_probability = table[0]
+        states[name] = rng.random(samples) < up_probability
+    return states
+
+
+def estimate_joint_availability(
+    network,
+    nodes: Sequence[str],
+    samples: int,
+    rng: np.random.Generator,
+    cancellation=None,
+) -> JointAvailabilityEstimate:
+    """Monte-Carlo estimate of ``P(every node in *nodes* is up)``."""
+    if not nodes:
+        raise ValidationError(
+            "estimate_joint_availability needs at least one node name"
+        )
+    for name in nodes:
+        network.node(name)
+    states = sample_node_states(network, samples, rng, cancellation)
+    up = np.ones(samples, dtype=bool)
+    for name in sorted(set(nodes)):
+        up &= states[name]
+    fraction = float(up.mean())
+    return JointAvailabilityEstimate(
+        samples=samples,
+        availability=fraction,
+        stderr=float(np.sqrt(fraction * (1.0 - fraction) / samples)),
+    )
+
+
+def estimate_chain_user_availability(
+    network,
+    chains: Mapping[str, object],
+    user_class,
+    sessions: int,
+    rng: np.random.Generator,
+    cancellation=None,
+) -> ChainSessionEstimate:
+    """Replay *sessions* user sessions against sampled node states.
+
+    Each session observes one sampled world and visits one scenario
+    drawn from the class's operational profile; it is served when every
+    service on the union of its functions' chains is up.  Converges to
+    :func:`repro.bayes.chain_user_availability`.
+    """
+    sessions = check_positive_int(sessions, "sessions")
+    scenarios = user_class.scenarios
+    service_sets = []
+    for scenario in scenarios:
+        services = set()
+        for function in sorted(scenario.functions):
+            if function not in chains:
+                raise ValidationError(
+                    f"no service chain for function {function!r}; chains "
+                    f"cover {sorted(chains)}"
+                )
+            services.update(chains[function].services)
+        for service in services:
+            network.node(service)
+        service_sets.append(tuple(sorted(services)))
+
+    states = sample_node_states(network, sessions, rng, cancellation)
+    weights = np.asarray([s.probability for s in scenarios], dtype=float)
+    weights = weights / weights.sum()
+    visited = rng.choice(len(scenarios), size=sessions, p=weights)
+
+    served = np.zeros(sessions, dtype=bool)
+    for i, services in enumerate(service_sets):
+        if cancellation is not None:
+            cancellation.check()
+        mask = visited == i
+        if not mask.any():
+            continue
+        ok = np.ones(sessions, dtype=bool)
+        for service in services:
+            ok &= states[service]
+        served[mask] = ok[mask]
+    fraction = float(served.mean())
+    return ChainSessionEstimate(
+        sessions=sessions,
+        served_fraction=fraction,
+        stderr=float(np.sqrt(fraction * (1.0 - fraction) / sessions)),
+    )

@@ -12,7 +12,10 @@ prints), so the workload definitions live here, in one place:
   rendering (``run_fault_campaigns`` / ``campaign_text``),
 * the client-policy comparison of ``repro policies``
   (``default_client_policies`` / ``default_farm_scenarios`` /
-  ``policy_comparison_text``).
+  ``policy_comparison_text``),
+* the cloud deployment comparison of ``repro cloud``
+  (``default_cloud_scenarios`` / ``run_cloud_comparison`` /
+  ``cloud_comparison_text``).
 
 Everything here is importable without side effects and the work
 functions are module-level, so they stay picklable for the engine's
@@ -38,6 +41,9 @@ __all__ = [
     "default_farm_scenarios",
     "run_policy_comparison",
     "policy_comparison_text",
+    "default_cloud_scenarios",
+    "run_cloud_comparison",
+    "cloud_comparison_text",
 ]
 
 #: The failure-rate curves of Fig. 11/12, per hour.
@@ -333,4 +339,90 @@ def policy_comparison_text(report) -> str:
         format_policy_comparison(report)
         + f"\n\nbest policy: {best.policy} "
         f"(weighted mean {best.mean_availability:.9g})"
+    )
+
+
+# -- cloud deployment comparison ---------------------------------------
+
+def default_cloud_scenarios(
+    arrival_rate: float = 100.0,
+    service_rate: float = 100.0,
+    zone_availability: float = 0.9995,
+):
+    """The deployment alternatives ranked by ``repro cloud``.
+
+    Five placements of the same Travel Agency — one to three zones,
+    relaxed vs strict database quorums, and an overprovisioned two-zone
+    farm — all serving the same traffic, so the ranking isolates the
+    availability effect of the deployment shape.
+    """
+    from .bayes import CloudDeployment, CloudScenario
+
+    shared = dict(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        zone_availability=zone_availability,
+    )
+    return [
+        CloudScenario("single-zone", CloudDeployment(
+            zones=1, web_servers_per_zone=4, db_replicas=2, db_quorum=1,
+            **shared,
+        )),
+        CloudScenario("two-zone", CloudDeployment(
+            zones=2, web_servers_per_zone=2, db_replicas=2, db_quorum=1,
+            **shared,
+        )),
+        CloudScenario("two-zone-overprovisioned", CloudDeployment(
+            zones=2, web_servers_per_zone=4, db_replicas=4, db_quorum=2,
+            **shared,
+        )),
+        CloudScenario("three-zone", CloudDeployment(
+            zones=3, web_servers_per_zone=2, db_replicas=3, db_quorum=2,
+            **shared,
+        )),
+        CloudScenario("three-zone-strict-quorum", CloudDeployment(
+            zones=3, web_servers_per_zone=2, db_replicas=3, db_quorum=3,
+            **shared,
+        )),
+    ]
+
+
+def run_cloud_comparison(
+    arrival_rate: float = 100.0,
+    service_rate: float = 100.0,
+    zone_availability: float = 0.9995,
+    engine=None,
+    scenarios=None,
+):
+    """The ``repro cloud`` comparison grid with CLI-default scenarios."""
+    from .bayes import compare_cloud_scenarios
+
+    if scenarios is None:
+        scenarios = default_cloud_scenarios(
+            arrival_rate=arrival_rate,
+            service_rate=service_rate,
+            zone_availability=zone_availability,
+        )
+    return compare_cloud_scenarios(scenarios, engine=engine)
+
+
+def cloud_comparison_text(
+    report, arrival_rate: float, zone_availability: float
+) -> str:
+    """The stdout rendering of a cloud comparison (table + verdict)."""
+    from .bayes import format_cloud_comparison
+    from .reporting import format_downtime
+
+    best = report.best
+    return (
+        format_cloud_comparison(
+            report,
+            title=(
+                f"Cloud Travel Agency — alpha = {arrival_rate:g}/s, "
+                f"zone availability {zone_availability:g}"
+            ),
+        )
+        + f"\n\nbest deployment: {best.scenario} "
+        f"(mean availability {best.mean:.9g}, "
+        f"{format_downtime(best.mean)})"
     )

@@ -1,0 +1,179 @@
+"""Service-function chains and the cloud Travel Agency.
+
+Chain composition is a *joint* inference query — the tests pin the
+common-cause correlation that distinguishes it from a product of
+marginals, and check the eq.-(10) aggregation over the Table 1 user
+classes against a hand-rolled scenario sum.
+"""
+
+import pytest
+
+from repro.bayes import (
+    CLOUD_CHAINS,
+    CloudDeployment,
+    CloudTravelAgency,
+    ServiceFunctionChain,
+    chain_availability,
+    chain_user_availability,
+)
+from repro.bayes.network import BayesianNetwork
+from repro.errors import ValidationError
+from repro.ta import CLASS_A, CLASS_B
+from repro.ta.userclasses import BOOK, BROWSE, FUNCTIONS, HOME, PAY, SEARCH
+
+EXACT = 1e-12
+
+
+def tiny_network():
+    """Two chains sharing one zone: web in-zone, db in-zone, pay not."""
+    net = BayesianNetwork()
+    net.add_node("zone", cpt=0.99)
+    net.add_node("web", parents=("zone",), cpt=(0.0, 0.999))
+    net.add_node("db", parents=("zone",), cpt=(0.0, 0.998))
+    net.add_node("pay", cpt=0.9995)
+    return net
+
+
+class TestServiceFunctionChain:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="name must be non-empty"):
+            ServiceFunctionChain("", ("web",))
+        with pytest.raises(ValidationError, match="at least one service"):
+            ServiceFunctionChain("browse", ())
+        with pytest.raises(ValidationError, match="duplicate service"):
+            ServiceFunctionChain("browse", ("web", "web"))
+
+    def test_chain_availability_is_joint_not_product(self):
+        net = tiny_network()
+        chain = ServiceFunctionChain("browse", ("web", "db"))
+        joint = chain_availability(net, chain)
+        # P(web, db) = P(zone) * 0.999 * 0.998 — NOT marginal product.
+        assert joint == pytest.approx(0.99 * 0.999 * 0.998, abs=EXACT)
+        assert joint > net.marginal("web") * net.marginal("db")
+
+
+class TestChainUserAvailability:
+    CHAINS = {
+        HOME: ServiceFunctionChain(HOME, ("web",)),
+        BROWSE: ServiceFunctionChain(BROWSE, ("web", "db")),
+        SEARCH: ServiceFunctionChain(SEARCH, ("web", "db")),
+        BOOK: ServiceFunctionChain(BOOK, ("web", "db")),
+        PAY: ServiceFunctionChain(PAY, ("web", "db", "pay")),
+    }
+
+    def test_matches_hand_rolled_scenario_sum(self):
+        net = tiny_network()
+        result = chain_user_availability(net, self.CHAINS, CLASS_A)
+        expected = 0.0
+        for scenario in CLASS_A.scenarios:
+            services = set()
+            for function in scenario.functions:
+                services.update(self.CHAINS[function].services)
+            expected += scenario.probability * net.probability_all_up(
+                tuple(services)
+            )
+        assert result.availability == pytest.approx(expected, abs=EXACT)
+        assert result.user_class == CLASS_A.name
+        assert len(result.per_scenario) == len(CLASS_A.scenarios)
+
+    def test_missing_chain_named(self):
+        net = tiny_network()
+        chains = dict(self.CHAINS)
+        del chains[PAY]
+        with pytest.raises(
+            ValidationError, match="no service chain for function 'pay'"
+        ):
+            chain_user_availability(net, chains, CLASS_A)
+
+
+class TestCloudDeployment:
+    def test_defaults_valid(self):
+        deployment = CloudDeployment()
+        assert deployment.zones == 3
+        assert deployment.db_quorum == 2
+
+    def test_quorum_bound(self):
+        with pytest.raises(
+            ValidationError, match=r"db_quorum must be in 1\.\.3"
+        ):
+            CloudDeployment(db_replicas=3, db_quorum=4)
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValidationError, match="zone_availability"):
+            CloudDeployment(zone_availability=1.01)
+
+
+class TestCloudTravelAgency:
+    def test_every_table6_function_has_a_chain(self):
+        assert sorted(CLOUD_CHAINS) == sorted(FUNCTIONS)
+
+    def test_function_availabilities_ordered_by_chain_length(self):
+        agency = CloudTravelAgency()
+        home = agency.function_availability(HOME)
+        browse = agency.function_availability(BROWSE)
+        search = agency.function_availability(SEARCH)
+        # Longer chains can only lose availability.
+        assert home >= browse >= search
+
+    def test_unknown_function_rejected(self):
+        agency = CloudTravelAgency()
+        with pytest.raises(ValidationError, match="unknown function 'ftp'"):
+            agency.function_availability("ftp")
+
+    def test_marginals_match_closed_forms(self):
+        from repro.bayes import farm_availability, replica_set_availability
+
+        deployment = CloudDeployment()
+        agency = CloudTravelAgency(deployment)
+        assert agency.web_availability() == pytest.approx(
+            farm_availability(
+                deployment.zones,
+                deployment.zone_availability,
+                deployment.web_servers_per_zone,
+                deployment.arrival_rate,
+                deployment.service_rate,
+                deployment.buffer_capacity,
+                deployment.web_failure_rate,
+                deployment.web_repair_rate,
+            ),
+            abs=EXACT,
+        )
+        # Round-robin over 3 zones with 3 replicas = one per zone.
+        assert agency.db_availability() == pytest.approx(
+            replica_set_availability(
+                [1, 1, 1],
+                deployment.db_quorum,
+                deployment.db_replica_availability,
+                deployment.zone_availability,
+            ),
+            abs=EXACT,
+        )
+
+    def test_user_availability_reuses_core_result(self):
+        agency = CloudTravelAgency()
+        result = agency.user_availability(CLASS_A)
+        assert result.user_class == CLASS_A.name
+        assert 0.99 < result.availability < 1.0
+        # Class A visits pay-heavy scenarios less often than class B
+        # books/pays — both classes land in the same neighbourhood.
+        other = agency.user_availability(CLASS_B)
+        assert abs(result.availability - other.availability) < 1e-3
+
+    def test_strict_quorum_hurts(self):
+        relaxed = CloudTravelAgency(
+            CloudDeployment(db_replicas=3, db_quorum=2)
+        )
+        strict = CloudTravelAgency(
+            CloudDeployment(db_replicas=3, db_quorum=3)
+        )
+        assert (
+            strict.user_availability(CLASS_A).availability
+            < relaxed.user_availability(CLASS_A).availability
+        )
+
+    def test_single_zone_deployment_builds(self):
+        agency = CloudTravelAgency(
+            CloudDeployment(zones=1, db_replicas=2, db_quorum=1)
+        )
+        assert agency.network.node("db-2").parents == ("zone-1",)
+        assert 0.9 < agency.user_availability(CLASS_B).availability < 1.0

@@ -1,0 +1,237 @@
+"""Cloud building blocks: k-of-n CPTs, closed forms, the model builder.
+
+The closed forms (`replica_set_availability`, `farm_availability`) are
+checked against exact network inference over the corresponding
+Bayesian-network constructs at several parameter points; the
+Monte-Carlo leg of the contract lives in ``test_cross_validation.py``.
+"""
+
+import pytest
+
+from repro.availability import WebServiceModel
+from repro.bayes import (
+    CloudModelBuilder,
+    farm_availability,
+    k_of_n_cpt,
+    replica_set_availability,
+)
+from repro.errors import ValidationError
+
+# Exact closed form vs exact inference: only float-noise apart.
+EXACT = 1e-12
+
+
+class TestKofNCpt:
+    def test_k_equals_one_is_or(self):
+        # Only the all-down row is 0.
+        table = k_of_n_cpt(3, 1)
+        assert table[0] == 0.0
+        assert all(v == 1.0 for v in table[1:])
+
+    def test_k_equals_n_is_and(self):
+        # Only the all-up row is 1.
+        table = k_of_n_cpt(3, 3)
+        assert table[-1] == 1.0
+        assert all(v == 0.0 for v in table[:-1])
+
+    def test_majority_rows(self):
+        table = k_of_n_cpt(3, 2)
+        # Rows with >= 2 set bits: 3, 5, 6, 7.
+        assert [i for i, v in enumerate(table) if v == 1.0] == [3, 5, 6, 7]
+
+    def test_k_above_n_rejected(self):
+        with pytest.raises(
+            ValidationError, match=r"k must be in 1\.\.3 \(n replicas\), got 4"
+        ):
+            k_of_n_cpt(3, 4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValidationError, match="k must be"):
+            k_of_n_cpt(3, 0)
+        with pytest.raises(ValidationError, match="n must be"):
+            k_of_n_cpt(0, 1)
+
+
+class TestReplicaSetClosedForm:
+    def test_single_replica_single_zone(self):
+        assert replica_set_availability(
+            [1], 1, 0.95, zone_availability=0.99
+        ) == pytest.approx(0.99 * 0.95, abs=EXACT)
+
+    def test_parallel_pair_perfect_zones(self):
+        a = 0.9
+        assert replica_set_availability([1, 1], 1, a) == pytest.approx(
+            1.0 - (1.0 - a) ** 2, abs=EXACT
+        )
+
+    def test_series_pair_perfect_zones(self):
+        a = 0.9
+        assert replica_set_availability([1, 1], 2, a) == pytest.approx(
+            a * a, abs=EXACT
+        )
+
+    def test_same_zone_pair_correlates(self):
+        # Both replicas share one zone: the common cause makes the OR
+        # block strictly worse than the independent two-zone placement.
+        together = replica_set_availability([2], 1, 0.95, 0.99)
+        apart = replica_set_availability([1, 1], 1, 0.95, 0.99)
+        assert together < apart
+        # Conditional-on-zone closed form for the single-zone pair.
+        assert together == pytest.approx(
+            0.99 * (1.0 - 0.05**2), abs=EXACT
+        )
+
+    @pytest.mark.parametrize(
+        "zones, quorum, replica_a, zone_a",
+        [
+            ([1, 1, 1], 2, 0.9999, 0.9995),
+            ([2, 2], 2, 0.999, 0.999),
+            ([2, 1], 3, 0.95, 0.99),
+            ([3], 2, 0.98, 0.995),
+        ],
+    )
+    def test_matches_network_inference(self, zones, quorum, replica_a, zone_a):
+        builder = CloudModelBuilder()
+        placement = []
+        for i, count in enumerate(zones):
+            zone = builder.add_zone(f"zone-{i + 1}", zone_a)
+            placement.extend([zone] * count)
+        builder.add_replica_set(
+            "set", placement, quorum=quorum, replica_availability=replica_a
+        )
+        network = builder.build()
+        assert network.marginal("set") == pytest.approx(
+            replica_set_availability(zones, quorum, replica_a, zone_a),
+            abs=EXACT,
+        )
+
+    def test_quorum_out_of_range(self):
+        with pytest.raises(
+            ValidationError, match=r"quorum must be in 1\.\.3"
+        ):
+            replica_set_availability([2, 1], 4, 0.9)
+
+    def test_empty_zones_rejected(self):
+        with pytest.raises(ValidationError, match="at least one zone"):
+            replica_set_availability([], 1, 0.9)
+
+
+class TestFarmClosedForm:
+    FARM = dict(
+        servers_per_zone=2,
+        arrival_rate=100.0,
+        service_rate=100.0,
+        buffer_capacity=10,
+        failure_rate=1e-4,
+        repair_rate=1.0,
+    )
+
+    def test_perfect_zones_reduce_to_web_service_model(self):
+        full = WebServiceModel(
+            servers=3 * self.FARM["servers_per_zone"],
+            arrival_rate=self.FARM["arrival_rate"],
+            service_rate=self.FARM["service_rate"],
+            buffer_capacity=self.FARM["buffer_capacity"],
+            failure_rate=self.FARM["failure_rate"],
+            repair_rate=self.FARM["repair_rate"],
+        ).availability()
+        assert farm_availability(
+            zones=3, zone_availability=1.0, **self.FARM
+        ) == pytest.approx(full, abs=EXACT)
+
+    @pytest.mark.parametrize("zones, zone_a", [(1, 0.999), (2, 0.9995), (3, 0.995)])
+    def test_matches_network_inference(self, zones, zone_a):
+        builder = CloudModelBuilder()
+        names = [
+            builder.add_zone(f"zone-{i + 1}", zone_a) for i in range(zones)
+        ]
+        builder.add_farm("web", names, **self.FARM)
+        network = builder.build()
+        assert network.marginal("web") == pytest.approx(
+            farm_availability(zones, zone_a, **self.FARM), abs=EXACT
+        )
+
+    def test_more_zones_help(self):
+        one = farm_availability(1, 0.999, **self.FARM)
+        three = farm_availability(3, 0.999, **self.FARM)
+        assert three > one
+
+
+class TestCloudModelBuilder:
+    def test_undeclared_zone_named(self):
+        builder = CloudModelBuilder()
+        with pytest.raises(
+            ValidationError,
+            match="'db' references undeclared zone 'zone-9'",
+        ):
+            builder.add_replica_set(
+                "db", ["zone-9"], quorum=1, replica_availability=0.9
+            )
+
+    def test_replica_quorum_bounds(self):
+        builder = CloudModelBuilder()
+        zone = builder.add_zone("zone-1", 0.999)
+        with pytest.raises(
+            ValidationError, match=r"quorum must be in 1\.\.2"
+        ):
+            builder.add_replica_set(
+                "db", [zone, zone], quorum=3, replica_availability=0.9
+            )
+
+    def test_empty_replica_set_rejected(self):
+        builder = CloudModelBuilder()
+        with pytest.raises(ValidationError, match="at least one replica"):
+            builder.add_replica_set(
+                "db", [], quorum=1, replica_availability=0.9
+            )
+
+    def test_zoneless_replicas_are_independent_roots(self):
+        builder = CloudModelBuilder()
+        builder.add_replica_set(
+            "flight", [None, None], quorum=1, replica_availability=0.9
+        )
+        network = builder.build()
+        assert network.node("flight-1").parents == ()
+        assert network.marginal("flight") == pytest.approx(
+            1.0 - 0.1**2, abs=EXACT
+        )
+
+    def test_farm_buffer_must_cover_full_farm(self):
+        builder = CloudModelBuilder()
+        zones = [builder.add_zone(f"z{i}", 0.999) for i in range(3)]
+        with pytest.raises(
+            ValidationError,
+            match=r"farm 'web' buffer_capacity must be >= 6",
+        ):
+            builder.add_farm(
+                "web",
+                zones,
+                servers_per_zone=2,
+                arrival_rate=100.0,
+                service_rate=100.0,
+                buffer_capacity=5,
+                failure_rate=1e-4,
+                repair_rate=1.0,
+            )
+
+    def test_farm_duplicate_zone_rejected(self):
+        builder = CloudModelBuilder()
+        zone = builder.add_zone("z1", 0.999)
+        with pytest.raises(ValidationError, match="duplicate zone"):
+            builder.add_farm(
+                "web",
+                [zone, zone],
+                servers_per_zone=1,
+                arrival_rate=1.0,
+                service_rate=1.0,
+                buffer_capacity=4,
+                failure_rate=1e-4,
+                repair_rate=1.0,
+            )
+
+    def test_zone_availability_validated(self):
+        builder = CloudModelBuilder()
+        with pytest.raises(
+            ValidationError, match="zone 'z1' availability"
+        ):
+            builder.add_zone("z1", 1.5)

@@ -1,0 +1,195 @@
+"""DES cross-validation of every ``repro.bayes`` closed form.
+
+The tier-1 agreement contract for the cloud models: ancestral sampling
+(:func:`repro.sim.estimate_joint_availability`) and replayed sessions
+(:func:`repro.sim.estimate_chain_user_availability`) must agree with
+
+* the replica-set closed form (zero-inflated binomial convolution),
+* the zonal common-cause farm closed form (binomial regime mixture),
+* the service-chain eq.-(10) composition,
+
+each at three or more parameter points, within
+``|estimate - closed form| <= Z_TOL * stderr + ABS_FLOOR`` — the house
+tolerance convention from ``tests/sim/test_clients.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes import (
+    CLOUD_CHAINS,
+    CloudDeployment,
+    CloudModelBuilder,
+    CloudTravelAgency,
+    chain_user_availability,
+    farm_availability,
+    replica_set_availability,
+)
+from repro.sim import (
+    estimate_chain_user_availability,
+    estimate_joint_availability,
+    sample_node_states,
+)
+from repro.ta import CLASS_A, CLASS_B
+
+Z_TOL = 4.0        # accepted |z| in stderr units
+ABS_FLOOR = 5e-4   # guard against vanishing stderr at extreme parameters
+
+SAMPLES = 60_000
+
+
+def assert_agrees(estimate, stderr, analytic):
+    tolerance = Z_TOL * stderr + ABS_FLOOR
+    assert abs(estimate - analytic) <= tolerance, (
+        f"simulation {estimate:.6f} vs closed form {analytic:.6f} "
+        f"(tolerance {tolerance:.6f})"
+    )
+
+
+class TestReplicaSetCrossValidation:
+    # Three placements: singleton zone, spread pair, mixed 2+1 quorum.
+    POINTS = [
+        ([2], 1, 0.95, 0.99),
+        ([1, 1, 1], 2, 0.98, 0.995),
+        ([2, 1], 2, 0.9, 0.97),
+    ]
+
+    @pytest.mark.parametrize("zones, quorum, replica_a, zone_a", POINTS)
+    def test_sampled_quorum_matches_closed_form(
+        self, zones, quorum, replica_a, zone_a
+    ):
+        builder = CloudModelBuilder()
+        placement = []
+        for i, count in enumerate(zones):
+            zone = builder.add_zone(f"zone-{i + 1}", zone_a)
+            placement.extend([zone] * count)
+        builder.add_replica_set(
+            "set", placement, quorum=quorum, replica_availability=replica_a
+        )
+        network = builder.build()
+        estimate = estimate_joint_availability(
+            network, ("set",), SAMPLES, np.random.default_rng(7)
+        )
+        assert_agrees(
+            estimate.availability,
+            estimate.stderr,
+            replica_set_availability(zones, quorum, replica_a, zone_a),
+        )
+
+
+class TestFarmCrossValidation:
+    # Three farm shapes: single zone, wide two-zone, lossy three-zone.
+    POINTS = [
+        (1, 0.99, 4, 100.0, 100.0, 10),
+        (2, 0.995, 2, 150.0, 100.0, 8),
+        (3, 0.97, 2, 300.0, 100.0, 10),
+    ]
+
+    @pytest.mark.parametrize(
+        "zones, zone_a, spz, arrival, service, buffer", POINTS
+    )
+    def test_sampled_farm_matches_closed_form(
+        self, zones, zone_a, spz, arrival, service, buffer
+    ):
+        builder = CloudModelBuilder()
+        names = [
+            builder.add_zone(f"zone-{i + 1}", zone_a) for i in range(zones)
+        ]
+        builder.add_farm(
+            "web",
+            names,
+            servers_per_zone=spz,
+            arrival_rate=arrival,
+            service_rate=service,
+            buffer_capacity=buffer,
+            failure_rate=1e-4,
+            repair_rate=1.0,
+        )
+        network = builder.build()
+        estimate = estimate_joint_availability(
+            network, ("web",), SAMPLES, np.random.default_rng(11)
+        )
+        assert_agrees(
+            estimate.availability,
+            estimate.stderr,
+            farm_availability(
+                zones, zone_a, spz, arrival, service, buffer, 1e-4, 1.0
+            ),
+        )
+
+    def test_sampled_common_cause_joint(self):
+        # The farm AND a same-zoned replica set jointly: correlation
+        # through the shared zones, not just the marginals.
+        deployment = CloudDeployment(zone_availability=0.98)
+        agency = CloudTravelAgency(deployment)
+        network = agency.network
+        estimate = estimate_joint_availability(
+            network, ("web", "db"), SAMPLES, np.random.default_rng(13)
+        )
+        assert_agrees(
+            estimate.availability,
+            estimate.stderr,
+            network.probability_all_up(("web", "db")),
+        )
+
+
+class TestChainCrossValidation:
+    # Three (deployment, user class) points across both Table 1 classes.
+    POINTS = [
+        (CloudDeployment(zone_availability=0.99), CLASS_A),
+        (CloudDeployment(zone_availability=0.99), CLASS_B),
+        (
+            CloudDeployment(
+                zones=2,
+                zone_availability=0.97,
+                db_replicas=2,
+                db_quorum=1,
+                reservation_availability=0.98,
+            ),
+            CLASS_A,
+        ),
+    ]
+
+    @pytest.mark.parametrize("deployment, user_class", POINTS)
+    def test_replayed_sessions_match_eq10_composition(
+        self, deployment, user_class
+    ):
+        agency = CloudTravelAgency(deployment)
+        estimate = estimate_chain_user_availability(
+            agency.network,
+            CLOUD_CHAINS,
+            user_class,
+            SAMPLES,
+            np.random.default_rng(17),
+        )
+        analytic = chain_user_availability(
+            agency.network, CLOUD_CHAINS, user_class
+        )
+        assert_agrees(
+            estimate.served_fraction, estimate.stderr, analytic.availability
+        )
+
+
+class TestSamplerContracts:
+    def test_sampling_is_seed_deterministic(self):
+        network = CloudTravelAgency().network
+        a = sample_node_states(network, 500, np.random.default_rng(3))
+        b = sample_node_states(network, 500, np.random.default_rng(3))
+        assert sorted(a) == sorted(b)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_child_respects_sampled_parents(self):
+        # A replica can never be up while its zone is sampled down.
+        builder = CloudModelBuilder()
+        zone = builder.add_zone("zone-1", 0.5)
+        builder.add_replica_set(
+            "db", [zone, zone], quorum=1, replica_availability=0.9
+        )
+        states = sample_node_states(
+            builder.build(), 4_000, np.random.default_rng(5)
+        )
+        down = ~states["zone-1"]
+        assert down.any()
+        assert not states["db-1"][down].any()
+        assert not states["db"][down].any()

@@ -1,0 +1,111 @@
+"""The cloud comparison grid: engine execution, ranking, rendering.
+
+The comparison is the unit behind ``repro cloud`` and the server's
+``cloud`` job kind, so its determinism contract (serial == workers,
+cache-warm == cache-cold) is pinned here at the library level.
+"""
+
+import pytest
+
+from repro.bayes import (
+    CloudDeployment,
+    CloudScenario,
+    compare_cloud_scenarios,
+    evaluate_cloud_scenario,
+    format_cloud_comparison,
+)
+from repro.engine import EvaluationEngine
+from repro.errors import ValidationError
+from repro.workloads import (
+    cloud_comparison_text,
+    default_cloud_scenarios,
+    run_cloud_comparison,
+)
+
+
+def small_grid():
+    return (
+        CloudScenario("one-zone", CloudDeployment(zones=1, db_replicas=2,
+                                                  db_quorum=1)),
+        CloudScenario("three-zone", CloudDeployment()),
+    )
+
+
+class TestEvaluateCloudScenario:
+    def test_result_fields(self):
+        result = evaluate_cloud_scenario(small_grid()[1])
+        assert result.scenario == "three-zone"
+        assert result.zones == 3
+        assert 0.99 < result.class_a < 1.0
+        assert 0.99 < result.class_b < 1.0
+        assert result.mean == pytest.approx(
+            (result.class_a + result.class_b) / 2.0
+        )
+        assert result.downtime_hours_per_year == pytest.approx(
+            (1.0 - result.mean) * 8760.0
+        )
+
+
+class TestCompareCloudScenarios:
+    def test_ranking_is_sorted_best_first(self):
+        report = compare_cloud_scenarios(small_grid())
+        assert len(report.cells) == 2
+        means = [cell.mean for cell in report.ranking]
+        assert means == sorted(means, reverse=True)
+        assert report.best is report.ranking[0]
+
+    def test_workers_bit_identical(self):
+        serial = compare_cloud_scenarios(small_grid())
+        parallel = compare_cloud_scenarios(
+            small_grid(), engine=EvaluationEngine(workers=2)
+        )
+        assert serial.cells == parallel.cells
+        assert serial.ranking == parallel.ranking
+
+    def test_cache_warm_bit_identical(self, tmp_path):
+        cold = compare_cloud_scenarios(
+            small_grid(), engine=EvaluationEngine(cache_dir=tmp_path)
+        )
+        entries = list(tmp_path.rglob("*"))
+        assert entries  # the keyed scenario cells were persisted
+        warm = compare_cloud_scenarios(
+            small_grid(), engine=EvaluationEngine(cache_dir=tmp_path)
+        )
+        assert warm.cells == cold.cells
+        # Nothing new was written on the warm run: every cell restored.
+        assert list(tmp_path.rglob("*")) == entries
+
+    def test_empty_and_duplicate_rejected(self):
+        with pytest.raises(ValidationError, match="at least one scenario"):
+            compare_cloud_scenarios(())
+        twin = small_grid()[0]
+        with pytest.raises(ValidationError, match="must be unique"):
+            compare_cloud_scenarios((twin, twin))
+
+
+class TestFormatting:
+    def test_table_lists_best_first_with_downtime(self):
+        report = compare_cloud_scenarios(small_grid())
+        text = format_cloud_comparison(report, title="cloud grid")
+        lines = text.splitlines()
+        assert lines[0] == "cloud grid"
+        assert "deployment" in text and "downtime" in text
+        body = [line for line in lines if line.startswith(("one-", "three-"))]
+        assert body[0].startswith(report.best.scenario)
+
+
+class TestWorkloads:
+    def test_default_grid_names_are_unique(self):
+        scenarios = default_cloud_scenarios()
+        names = [s.name for s in scenarios]
+        assert len(set(names)) == len(names)
+        assert len(scenarios) >= 4
+        zones = {s.deployment.zones for s in scenarios}
+        assert {1, 2, 3} <= zones
+
+    def test_run_cloud_comparison_text(self):
+        report = run_cloud_comparison(zone_availability=0.999)
+        text = cloud_comparison_text(report, 100.0, 0.999)
+        assert "best deployment:" in text
+        assert report.best.scenario in text
+        assert "zone availability 0.999" in text

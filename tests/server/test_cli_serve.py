@@ -74,6 +74,62 @@ class TestSharedIntFlagValidation:
         assert main(["retries", "--max-retries", "0"]) == 0
 
 
+class TestSharedFloatFlagValidation:
+    """Every float flag fails the same way, naming the flag.
+
+    ``argparse``'s ``type=float`` accepts ``nan`` and ``inf``; the
+    shared ``_check_float_flag`` helper rejects both with the same
+    one-line error as an out-of-range value.
+    """
+
+    @pytest.mark.parametrize("argv,flag", [
+        (["web", "--arrival-rate", "0"], "--arrival-rate"),
+        (["web", "--service-rate", "-1"], "--service-rate"),
+        (["web", "--failure-rate", "nan"], "--failure-rate"),
+        (["web", "--repair-rate", "inf"], "--repair-rate"),
+        (["web", "--coverage", "1.5"], "--coverage"),
+        (["web", "--reconfiguration-rate", "0"], "--reconfiguration-rate"),
+        (["web", "--deadline", "0"], "--deadline"),
+        (["sweep", "--arrival-rate", "0"], "--arrival-rate"),
+        (["chaos", "--injector", "transient", "--arrival-rate", "-5"],
+         "--arrival-rate"),
+        (["inject", "--horizon", "0"], "--horizon"),
+        (["retries", "--persistence", "1.5"], "--persistence"),
+        (["retries", "--persistence", "-0.1"], "--persistence"),
+        (["policies", "--arrival-rate", "inf"], "--arrival-rate"),
+        (["policies", "--service-rate", "0"], "--service-rate"),
+        (["policies", "--timeout", "0"], "--timeout"),
+        (["policies", "--hedge-delay", "-0.5"], "--hedge-delay"),
+        (["policies", "--hedge-delay", "0"], "--hedge-delay"),
+        (["policies", "--breaker-reset", "0"], "--breaker-reset"),
+        (["slo", "--session-rate", "0"], "--session-rate"),
+        (["slo", "--horizon", "nan"], "--horizon"),
+        (["slo", "--objective", "1"], "--objective"),
+        (["slo", "--objective", "0"], "--objective"),
+        (["slo", "--short-window", "0"], "--short-window"),
+        (["slo", "--long-window", "-1"], "--long-window"),
+        (["slo", "--burn-threshold", "0"], "--burn-threshold"),
+        (["diff", "a.json", "b.json", "--threshold", "inf"], "--threshold"),
+        (["serve", "--slo-objective", "1"], "--slo-objective"),
+        (["cloud", "--arrival-rate", "0"], "--arrival-rate"),
+        (["cloud", "--service-rate", "nan"], "--service-rate"),
+        (["cloud", "--zone-availability", "0"], "--zone-availability"),
+        (["cloud", "--zone-availability", "1.0001"], "--zone-availability"),
+    ])
+    def test_bad_value_exits_2_naming_the_flag(self, capsys, argv, flag):
+        one_line_error(capsys, argv, flag)
+
+    def test_negative_diff_threshold_stays_valid(self, tmp_path, capsys):
+        # Speedup guards are negative thresholds; only non-finite values
+        # are rejected for --threshold.
+        record = '{"benchmark": "t", "guarded": [], "results": {}}'
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(record)
+        b.write_text(record)
+        assert main(["diff", str(a), str(b), "--threshold", "-0.5"]) == 0
+
+
 class TestServeBoot:
     # SIGTERM must also shut down cleanly: supervisors send it, and
     # non-interactive shells start background jobs with SIGINT ignored.

@@ -73,6 +73,20 @@ class TestOtherWorkloads:
         assert done["result"]["text"] + "\n" == offline
         assert done["result"]["calibrated"] is True
 
+    def test_cloud_matches_cli(self, client):
+        offline = cli_stdout(["cloud", "--zone-availability", "0.999"])
+        text = client.cloud_text(zone_availability=0.999)
+        assert text + "\n" == offline
+
+    def test_parallel_cloud_matches_cli(self, client):
+        offline = cli_stdout(["cloud", "--zone-availability", "0.999"])
+        done = client.run("cloud", {"zone_availability": 0.999,
+                                    "workers": 2})
+        assert done["result"]["text"] + "\n" == offline
+        assert done["result"]["ranking"][0] == (
+            done["result"]["best"]["deployment"]
+        )
+
 
 class TestJobApi:
     def test_job_lifecycle_and_listing(self, client):

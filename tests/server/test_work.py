@@ -59,6 +59,31 @@ class TestParseSpec:
         with pytest.raises(ValidationError):
             parse_spec("policies", {"servers": 0})
 
+    def test_cloud_defaults(self):
+        spec = parse_spec("cloud", {})
+        assert spec == {
+            "arrival_rate": 100.0,
+            "service_rate": 100.0,
+            "zone_availability": 0.9995,
+            "workers": 1,
+        }
+
+    def test_cloud_unknown_key_rejected_with_allowed_list(self):
+        with pytest.raises(ValidationError) as excinfo:
+            parse_spec("cloud", {"zone_avail": 0.99})
+        message = str(excinfo.value)
+        assert "zone_avail" in message and "zone_availability" in message
+
+    def test_cloud_validates_values(self):
+        with pytest.raises(ValidationError):
+            parse_spec("cloud", {"arrival_rate": 0})
+        with pytest.raises(ValidationError):
+            parse_spec("cloud", {"zone_availability": 1.5})
+        with pytest.raises(ValidationError):
+            parse_spec("cloud", {"zone_availability": -0.1})
+        with pytest.raises(ValidationError):
+            parse_spec("cloud", {"workers": 0})
+
 
 class TestExecuteJob:
     def test_probe_returns_held_seconds(self):
@@ -89,3 +114,13 @@ class TestExecuteJob:
         assert result["calibrated"] in (True, False)
         assert len(result["campaigns"]) == 1
         assert result["campaigns"][0]["user_class"] == "class A"
+
+    def test_cloud_result_document(self):
+        spec = parse_spec("cloud", {})
+        result = execute_job("cloud", spec)
+        assert result["cells"] == 5
+        assert "best deployment:" in result["text"]
+        assert result["best"]["deployment"] in result["ranking"]
+        assert result["ranking"][0] == result["best"]["deployment"]
+        assert 0.99 < result["best"]["mean_availability"] < 1.0
+        assert sorted(result["ranking"]) == sorted(set(result["ranking"]))

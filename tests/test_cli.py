@@ -508,6 +508,73 @@ class TestPoliciesCommand:
         assert capsys.readouterr().out == instrumented
 
 
+class TestCloudCommand:
+    def test_default_run_prints_ranked_grid(self, capsys):
+        assert main(["cloud"]) == 0
+        captured = capsys.readouterr()
+        assert "Cloud Travel Agency" in captured.out
+        assert "best deployment:" in captured.out
+        for scenario in (
+            "single-zone", "two-zone", "two-zone-overprovisioned",
+            "three-zone", "three-zone-strict-quorum",
+        ):
+            assert scenario in captured.out
+        assert "downtime" in captured.out
+        assert "engine: workers=1, 5 cells" in captured.err
+
+    def test_workers_do_not_change_the_output(self, capsys):
+        assert main(["cloud"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["cloud", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial  # byte-identical stdout
+
+    def test_warm_cache_rerun_recomputes_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["cloud", "--cache-dir", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "misses=5" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "hits=5" in warm.err
+        assert "misses=0" in warm.err
+
+    def test_zone_availability_moves_the_ranking_inputs(self, capsys):
+        assert main(["cloud"]) == 0
+        nominal = capsys.readouterr().out
+        assert main(["cloud", "--zone-availability", "0.99"]) == 0
+        degraded = capsys.readouterr().out
+        assert degraded != nominal
+        assert "zone availability 0.99" in degraded
+
+    def test_invalid_flags_are_one_line_errors(self, capsys):
+        for argv, flag in (
+            (["cloud", "--arrival-rate", "0"], "--arrival-rate"),
+            (["cloud", "--service-rate", "-1"], "--service-rate"),
+            (["cloud", "--zone-availability", "1.5"], "--zone-availability"),
+            (["cloud", "--zone-availability", "nan"], "--zone-availability"),
+            (["cloud", "--workers", "0"], "--workers"),
+        ):
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error:")
+            assert err.count("\n") == 1
+            assert flag in err
+
+    def test_metrics_artifact_counts_inference_queries(self, tmp_path, capsys):
+        metrics = tmp_path / "cloud-metrics.json"
+        assert main(["cloud", "--metrics", str(metrics)]) == 0
+        instrumented = capsys.readouterr().out
+        payload = json.loads(metrics.read_text())
+        names = {metric["name"] for metric in payload["metrics"]}
+        assert "bayes_inference_queries" in names
+        # Instrumentation never changes stdout.
+        assert main(["cloud"]) == 0
+        assert capsys.readouterr().out == instrumented
+
+
 class TestChaosCommand:
     INJECTORS = (
         "kill-worker", "transient", "corrupt-cache", "truncate-journal",

@@ -21,6 +21,7 @@ FAST_EXAMPLES = {
     "declarative_model.py": "two routes, same numbers",
     "latency_slo.py": "Percentile latencies",
     "chaos_sweep.py": "every injector recovered to a byte-identical sweep",
+    "cloud_availability.py": "placement alone decides the quorum's fate",
     "policy_comparison.py": "Best policy: retry(k=3, p=1)",
     "slo_monitoring.py": "SLO monitoring of a scheduled Internet-link",
     "server_client.py": "The evaluator evaluates itself",
