@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Fifteen subcommands cover the common workflows without writing Python:
+Sixteen subcommands cover the common workflows without writing Python:
 
 ``repro ta``
     Evaluate the paper's Travel Agency: user availability per class,
@@ -86,6 +86,14 @@ Fifteen subcommands cover the common workflows without writing Python:
     endpoint, and an M/M/c/K admission controller that models the
     server itself (``GET /v1/self``).
 
+``repro profile``
+    Run another subcommand under performance attribution
+    (:mod:`repro.obs.perf`): per-event-type kernel accounting, an
+    engine phase/idle :class:`~repro.obs.AttributionReport` (compute
+    vs serialization vs IPC vs idle vs cache), and a deterministic
+    counter-triggered flamegraph.  Stdout stays byte-identical to the
+    unwrapped run; the artifacts land in ``--out``.
+
 Long runs are bounded and interruptible: ``inject`` and ``retries``
 take ``--deadline SECONDS`` (wall clock; exceeding it exits with code 2
 and, with ``--journal``, leaves a resumable journal) and ``--progress``
@@ -94,9 +102,11 @@ and, with ``--journal``, leaves a resumable journal) and ``--progress``
 Long runs are also observable: ``sweep``/``inject``/``retries``/
 ``resume`` take ``--metrics PATH`` (a :mod:`repro.obs` registry
 snapshot, rendered by ``repro stats``) and ``--trace PATH`` (a Chrome
-trace-event JSONL span timeline); both files are written even when a
-deadline aborts the run.  Instrumentation never changes stdout — a
-``--metrics``/``--trace`` run prints byte-identical results.
+trace-event JSONL span timeline), plus ``--profile DIR`` (performance-
+attribution artifacts, also reachable as ``repro profile <command>``);
+all files are written even when a deadline aborts the run.
+Instrumentation never changes stdout — a ``--metrics``/``--trace``/
+``--profile`` run prints byte-identical results.
 
 Run ``python -m repro <command> --help`` for the options of each.
 Errors are reported as a one-line message with exit code 2; pass
@@ -568,6 +578,29 @@ def build_parser() -> argparse.ArgumentParser:
             "scripts using --port 0)"
         ),
     )
+
+    profile = commands.add_parser(
+        "profile",
+        help=(
+            "run another subcommand under performance attribution "
+            "(kernel accounting, phase/idle timelines, flamegraph); "
+            "stdout stays byte-identical, artifacts land in --out"
+        ),
+    )
+    profile.add_argument(
+        "--out", default="profile-artifacts", metavar="DIR",
+        help=(
+            "directory for attribution.json/.txt, profile.collapsed, "
+            "and profile.speedscope.json (default: %(default)s)"
+        ),
+    )
+    profile.add_argument(
+        "wrapped", nargs=argparse.REMAINDER, metavar="COMMAND ...",
+        help=(
+            "the subcommand to profile, with its own flags "
+            "(e.g. `repro profile sweep --figure 11 --workers 2`)"
+        ),
+    )
     return parser
 
 
@@ -596,6 +629,14 @@ def _add_runtime_flags(parser, journal: bool = True, journal_help: str = ""):
         help=(
             "write a span timeline as Chrome trace-event JSONL "
             "(chrome://tracing / Perfetto compatible)"
+        ),
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help=(
+            "write performance-attribution artifacts (attribution "
+            "report, kernel accounting, flamegraph) to this directory; "
+            "stdout stays byte-identical"
         ),
     )
     if journal:
@@ -1619,24 +1660,67 @@ def _cmd_serve(args) -> int:
         return 0
 
 
+#: Subcommands `repro profile` can wrap — exactly those that take the
+#: runtime/artifact flags (--metrics/--trace/--profile).
+PROFILEABLE_COMMANDS = (
+    "sweep", "policies", "cloud", "inject", "retries", "resume", "chaos",
+)
+
+
+def _cmd_profile(args) -> int:
+    from .errors import ValidationError
+
+    wrapped = list(args.wrapped)
+    # argparse.REMAINDER keeps a leading "--" separator if one was used
+    # to fence off the wrapped command's flags.
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        raise ValidationError(
+            "profile needs a subcommand to wrap, e.g. "
+            "`repro profile sweep --figure 11`"
+        )
+    command = wrapped[0]
+    if command not in PROFILEABLE_COMMANDS:
+        raise ValidationError(
+            f"cannot profile {command!r}; profileable subcommands are: "
+            + ", ".join(PROFILEABLE_COMMANDS)
+        )
+    # Inject --profile right after the subcommand so an explicit
+    # --profile in the wrapped flags still wins (argparse last-wins).
+    argv = [command, "--profile", args.out] + wrapped[1:]
+    if args.debug:
+        argv.insert(0, "--debug")
+    return main(argv)
+
+
 def _setup_instrumentation(args):
-    """Activate ambient metrics/tracing per --metrics/--trace.
+    """Activate ambient metrics/tracing/perf per --metrics/--trace/--profile.
 
     Returns a finalizer that deactivates and writes the requested files.
     ``main`` runs it in a ``finally`` so a deadline abort (exit 2) still
-    lands the partial metrics/trace on disk — the observability analogue
-    of the journal's crash-consistency contract.
+    lands the partial metrics/trace/profile on disk — the observability
+    analogue of the journal's crash-consistency contract.
     """
     metrics_path = getattr(args, "metrics", None)
     trace_path = getattr(args, "trace", None)
-    if metrics_path is None and trace_path is None:
+    profile_dir = getattr(args, "profile", None)
+    if metrics_path is None and trace_path is None and profile_dir is None:
         return lambda: None
 
-    from .obs import Instrumentation, MetricsRegistry, Tracer, activate, deactivate
+    from .obs import (
+        Instrumentation,
+        MetricsRegistry,
+        PerfRecorder,
+        Tracer,
+        activate,
+        deactivate,
+    )
 
     registry = MetricsRegistry() if metrics_path is not None else None
     tracer = Tracer() if trace_path is not None else None
-    activate(Instrumentation(metrics=registry, tracer=tracer))
+    recorder = PerfRecorder() if profile_dir is not None else None
+    activate(Instrumentation(metrics=registry, tracer=tracer, perf=recorder))
 
     def finalize() -> None:
         deactivate()
@@ -1644,6 +1728,8 @@ def _setup_instrumentation(args):
             registry.save(metrics_path)
         if tracer is not None:
             tracer.export(trace_path)
+        if recorder is not None:
+            recorder.write_artifacts(profile_dir)
 
     return finalize
 
@@ -1668,6 +1754,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "trace-report": _cmd_trace_report,
         "serve": _cmd_serve,
+        "profile": _cmd_profile,
     }
     from .errors import ReproError
 

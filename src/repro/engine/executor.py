@@ -47,6 +47,7 @@ its outputs bit for bit.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 import time
 from concurrent.futures import (
@@ -73,8 +74,8 @@ from typing import (
 
 from .._validation import check_positive_int
 from ..errors import EngineError, ResumeError
-from ..obs.clock import monotonic
-from ..obs.context import active_metrics, active_tracer
+from ..obs.clock import monotonic, walltime
+from ..obs.context import active_metrics, active_perf, active_tracer
 from ..runtime.budget import CancellationToken
 from ..runtime.heartbeat import HeartbeatCallback, ProgressEvent
 from ..runtime.journal import Journal, read_journal
@@ -85,6 +86,7 @@ from .tasks import TaskGraph
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..chaos.plan import ChaosPlan
     from ..obs.metrics import MetricsRegistry
+    from ..obs.perf import BatchPerf, PerfRecorder
     from ..obs.tracing import Tracer
 
 __all__ = ["EvaluationEngine", "BatchResult", "GraphResult"]
@@ -190,15 +192,21 @@ def _obs_call(
     phase: str,
     fn: Callable[..., Any],
     args: Tuple[Any, ...],
-) -> Tuple[Any, Dict[str, Any], Optional[Dict[str, Any]]]:
+    perf: bool = False,
+) -> Tuple[Any, Dict[str, Any], Optional[Dict[str, Any]],
+           Optional[Dict[str, Any]]]:
     """Run one task in a worker under fresh ambient instrumentation.
 
     The worker builds its own registry (merged back by name) and, when a
     :class:`~repro.obs.SpanContext` dict is shipped, its own tracer whose
-    root span parents under the submitting span.  Returns
-    ``(value, metrics_snapshot, trace_payload)`` — the parent unwraps the
-    value before assembly, so instrumented parallel outputs stay
-    bit-identical to uninstrumented ones.
+    root span parents under the submitting span.  With *perf*, it also
+    builds a worker-local :class:`~repro.obs.PerfRecorder` — DES kernels
+    constructed inside the task account per-event-type self-time into it
+    — and ships back its execute window (pid + wall start + duration) for
+    the parent's :class:`~repro.obs.AttributionReport`.  Returns
+    ``(value, metrics_snapshot, trace_payload, perf_record)`` — the
+    parent unwraps the value before assembly, so instrumented parallel
+    outputs stay bit-identical to uninstrumented ones.
     """
     from ..obs.context import instrumented
     from ..obs.metrics import MetricsRegistry
@@ -208,20 +216,35 @@ def _obs_call(
     tracer = (
         Tracer(context=SpanContext.from_dict(ctx)) if ctx is not None else None
     )
-    with instrumented(metrics=registry, tracer=tracer):
+    recorder = None
+    if perf:
+        from ..obs.perf import PerfRecorder
+
+        recorder = PerfRecorder()
+        recorder.profiler.tick_task(leaf=f"task:{phase}")
+    with instrumented(metrics=registry, tracer=tracer, perf=recorder):
+        wall_start = walltime()
         started = monotonic()
         if tracer is not None:
             with tracer.span("engine task", category="engine", phase=phase):
                 value = fn(*args)
         else:
             value = fn(*args)
+        duration = monotonic() - started
         registry.histogram(
             "engine_task_seconds",
             help="Wall-clock latency of engine-executed tasks.",
             phase=phase,
-        ).observe(monotonic() - started)
+        ).observe(duration)
     payload = tracer.payload() if tracer is not None else None
-    return value, registry.to_dict(), payload
+    record = None
+    if recorder is not None:
+        from ..obs.perf import worker_perf_record
+
+        record = worker_perf_record(recorder)
+        record["wall_start"] = wall_start
+        record["duration"] = duration
+    return value, registry.to_dict(), payload, record
 
 
 def _worker_call(
@@ -232,6 +255,7 @@ def _worker_call(
     phase: str,
     fn: Callable[..., Any],
     args: Tuple[Any, ...],
+    perf: bool = False,
 ) -> Any:
     """Worker-side task entry point when a chaos plan is attached.
 
@@ -242,7 +266,7 @@ def _worker_call(
     if chaos is not None:
         chaos.before_task(index, in_worker=True)
     if instrument:
-        return _obs_call(ctx, phase, fn, args)
+        return _obs_call(ctx, phase, fn, args, perf)
     return fn(*args)
 
 
@@ -308,6 +332,16 @@ class EvaluationEngine:
         which is what ``repro trace-report`` aggregates into the
         per-worker utilization table
         (:meth:`repro.obs.analysis.TraceAnalysis.worker_utilization`).
+    perf:
+        Optional :class:`~repro.obs.PerfRecorder`; defaults to the
+        ambient one (:func:`repro.obs.active_perf`).  When present,
+        every batch builds an :class:`~repro.obs.AttributionReport`
+        decomposing ``workers x elapsed`` capacity into compute,
+        serialization, IPC, idle, and cache time — worker execute
+        windows, parent-side pickle/cache timing, and queue-depth
+        samples — and worker-side kernel accounting and profiler
+        samples merge back like metrics do.  Like the other
+        instrumentation, it never changes outputs.
 
     Examples
     --------
@@ -331,6 +365,7 @@ class EvaluationEngine:
         retry: Optional[TaskRetryPolicy] = None,
         chaos: Optional["ChaosPlan"] = None,
         max_respawns: int = 3,
+        perf: Optional["PerfRecorder"] = None,
     ):
         self.workers = check_positive_int(workers, "workers")
         self.retry = retry
@@ -349,6 +384,7 @@ class EvaluationEngine:
         self.heartbeat = heartbeat
         self._metrics = metrics if metrics is not None else active_metrics()
         self._tracer = tracer if tracer is not None else active_tracer()
+        self._perf = perf if perf is not None else active_perf()
 
     # ------------------------------------------------------------------
     def _check(self) -> None:
@@ -446,7 +482,10 @@ class EvaluationEngine:
         index: int,
     ):
         """Submit one map task, routing through the chaos/obs wrappers."""
-        instrument = self._metrics is not None or self._tracer is not None
+        perf = self._perf is not None
+        instrument = (
+            self._metrics is not None or self._tracer is not None or perf
+        )
         if self.chaos is None and not instrument:
             return pool.submit(fn, item)
         if instrument:
@@ -459,10 +498,10 @@ class EvaluationEngine:
             else:
                 ctx = None
             if self.chaos is None:
-                return pool.submit(_obs_call, ctx, phase, fn, (item,))
+                return pool.submit(_obs_call, ctx, phase, fn, (item,), perf)
             return pool.submit(
                 _worker_call, self.chaos, index, True, ctx, phase, fn,
-                (item,),
+                (item,), perf,
             )
         return pool.submit(
             _worker_call, self.chaos, index, False, None, phase, fn, (item,),
@@ -498,15 +537,44 @@ class EvaluationEngine:
                 ctx = self._tracer.context().as_dict()
         else:
             ctx = None
-        return pool.submit(_obs_call, ctx, phase, fn, args)
+        return pool.submit(
+            _obs_call, ctx, phase, fn, args, self._perf is not None
+        )
 
-    def _unwrap_instrumented(self, result: Tuple[Any, ...]) -> Any:
-        value, snapshot, payload = result
+    def _unwrap_instrumented(
+        self, result: Tuple[Any, ...],
+        batch: Optional["BatchPerf"] = None,
+    ) -> Any:
+        value, snapshot, payload, record = result
         if self._metrics is not None:
             self._metrics.merge_snapshot(snapshot)
         if self._tracer is not None and payload is not None:
             self._tracer.absorb(payload)
+        if self._perf is not None and record is not None:
+            self._perf.merge_worker(record)
+            if batch is not None:
+                batch.task_executed(
+                    record["pid"], record["wall_start"], record["duration"]
+                )
         return value
+
+    def _time_serialization(
+        self, batch: Optional["BatchPerf"], fn: Callable[..., Any], item: Any,
+    ) -> None:
+        """Measure what shipping this task costs in pickle time/bytes.
+
+        The pool pickles ``(fn, item)`` itself on submit; re-pickling
+        here is the measured proxy for that cost (only when a perf
+        recorder is attached), credited to the serialization bucket.
+        """
+        if batch is None:
+            return
+        started = monotonic()
+        try:
+            payload = pickle.dumps((fn, item))
+        except Exception:
+            return
+        batch.add_serialization(monotonic() - started, len(payload))
 
     def _record_run_metrics(
         self, phase: str, total: int, executed: int, restored: int,
@@ -619,6 +687,11 @@ class EvaluationEngine:
                 )
         before = self.cache.stats
         started = monotonic()
+        bperf = (
+            self._perf.start_batch(phase, self.workers, total)
+            if self._perf is not None
+            else None
+        )
 
         owns_journal = journal is not None and not isinstance(journal, Journal)
         restored: Dict[int, Any] = {}
@@ -641,7 +714,12 @@ class EvaluationEngine:
                     continue
                 key = keys[index] if keys is not None else None
                 if key is not None:
-                    hit, value = self.cache.lookup(key)
+                    if bperf is not None:
+                        lookup_started = monotonic()
+                        hit, value = self.cache.lookup(key)
+                        bperf.add_cache(monotonic() - lookup_started)
+                    else:
+                        hit, value = self.cache.lookup(key)
                     if hit:
                         outputs[index] = value
                         done += 1
@@ -661,8 +739,14 @@ class EvaluationEngine:
                 done += 1
                 key = keys[index] if keys is not None else None
                 if key is not None:
-                    self.cache.put(key, value)
+                    if bperf is not None:
+                        put_started = monotonic()
+                        self.cache.put(key, value)
+                        bperf.add_cache(monotonic() - put_started)
+                    else:
+                        self.cache.put(key, value)
                 if journal is not None:
+                    append_started = monotonic() if bperf is not None else 0.0
                     journal.append(
                         "task_result",
                         index=index,
@@ -670,6 +754,8 @@ class EvaluationEngine:
                         value=_json_safe(value),
                         attempts=attempts,
                     )
+                    if bperf is not None:
+                        bperf.add_serialization(monotonic() - append_started)
                 if on_result is not None:
                     on_result(index, value)
                 self._beat(phase, done, total)
@@ -678,14 +764,23 @@ class EvaluationEngine:
             if self.workers == 1 or len(pending) <= 1:
                 for index in pending:
                     self._check()
+                    if bperf is not None:
+                        self._perf.profiler.tick_task(leaf=f"task:{phase}")
+                        wall_start = walltime()
+                        exec_started = monotonic()
                     value, attempts = self._call_serial(
                         fn, (items[index],), phase, index, counters,
                         index=index,
                     )
+                    if bperf is not None:
+                        bperf.task_executed(
+                            os.getpid(), wall_start,
+                            monotonic() - exec_started,
+                        )
                     complete(index, value, attempts)
             else:
                 self._map_parallel(fn, items, pending, complete, phase,
-                                   counters)
+                                   counters, bperf)
 
             if journal is not None and total and done == total:
                 # Idempotent end marker (skipped when resuming past one).
@@ -696,6 +791,8 @@ class EvaluationEngine:
             if owns_journal and journal is not None:
                 journal.close()
 
+        if bperf is not None:
+            bperf.finish()
         delta = _stats_delta(before, self.cache.stats)
         self._record_run_metrics(phase, total, executed, len(restored), delta,
                                  retries=counters.retries,
@@ -719,6 +816,7 @@ class EvaluationEngine:
         complete: Callable[..., None],
         phase: str,
         counters: _RunCounters,
+        bperf: Optional["BatchPerf"] = None,
     ) -> None:
         """Supervised process-pool backend for :meth:`map`.
 
@@ -735,7 +833,7 @@ class EvaluationEngine:
         while remaining:
             try:
                 self._map_pool_pass(fn, items, remaining, attempts, complete,
-                                    phase, counters)
+                                    phase, counters, bperf)
             except BrokenExecutor:
                 respawns += 1
                 self._respawn_or_give_up(respawns, phase, len(remaining),
@@ -750,20 +848,28 @@ class EvaluationEngine:
         complete: Callable[..., None],
         phase: str,
         counters: _RunCounters,
+        bperf: Optional["BatchPerf"] = None,
     ) -> None:
-        instrument = self._metrics is not None or self._tracer is not None
+        instrument = (
+            self._metrics is not None
+            or self._tracer is not None
+            or self._perf is not None
+        )
         max_workers = min(self.workers, len(remaining))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures: Dict[Any, int] = {}
             try:
                 for index in sorted(remaining):
                     self._check()
+                    self._time_serialization(bperf, fn, items[index])
                     future = self._submit_map_task(pool, fn, items[index],
                                                    phase, index)
                     futures[future] = index
                 outstanding = set(futures)
                 while outstanding:
                     self._check()
+                    if bperf is not None:
+                        bperf.sample_queue_depth(len(outstanding))
                     finished, outstanding = wait(
                         outstanding, return_when=FIRST_COMPLETED
                     )
@@ -787,7 +893,7 @@ class EvaluationEngine:
                             outstanding.add(retry_future)
                             continue
                         if instrument:
-                            value = self._unwrap_instrumented(value)
+                            value = self._unwrap_instrumented(value, bperf)
                         complete(index, value, attempts.get(index, 1))
                         remaining.discard(index)
             except BaseException:
@@ -858,12 +964,22 @@ class EvaluationEngine:
         order = graph.topological_order()
         before = self.cache.stats
         started = monotonic()
+        bperf = (
+            self._perf.start_batch(phase, self.workers, len(order))
+            if self._perf is not None
+            else None
+        )
         values: Dict[str, Any] = {}
         counters = _RunCounters()
 
         def resolve(name: str) -> Tuple[bool, Any]:
             task = graph.task(name)
             if task.key is not None:
+                if bperf is not None:
+                    lookup_started = monotonic()
+                    outcome = self.cache.lookup(task.key)
+                    bperf.add_cache(monotonic() - lookup_started)
+                    return outcome
                 return self.cache.lookup(task.key)
             return False, None
 
@@ -875,7 +991,12 @@ class EvaluationEngine:
             task = graph.task(name)
             values[name] = value
             if task.key is not None:
-                self.cache.put(task.key, value)
+                if bperf is not None:
+                    put_started = monotonic()
+                    self.cache.put(task.key, value)
+                    bperf.add_cache(monotonic() - put_started)
+                else:
+                    self.cache.put(task.key, value)
             self._beat(phase, len(values), len(order), name)
 
         if self.workers == 1:
@@ -887,15 +1008,25 @@ class EvaluationEngine:
                     self._beat(phase, len(values), len(order), name)
                     continue
                 counters.executed += 1
+                if bperf is not None:
+                    self._perf.profiler.tick_task(leaf=f"task:{phase}")
+                    wall_start = walltime()
+                    exec_started = monotonic()
                 value, _ = self._call_serial(
                     graph.task(name).fn, call_args(name), phase, None,
                     counters, task=name,
                 )
+                if bperf is not None:
+                    bperf.task_executed(
+                        os.getpid(), wall_start, monotonic() - exec_started
+                    )
                 finish(name, value)
         else:
             self._run_graph_parallel(graph, order, resolve, call_args,
-                                     finish, phase, counters)
+                                     finish, phase, counters, bperf)
 
+        if bperf is not None:
+            bperf.finish()
         delta = _stats_delta(before, self.cache.stats)
         self._record_run_metrics(phase, len(order), counters.executed, 0,
                                  delta, retries=counters.retries,
@@ -911,7 +1042,8 @@ class EvaluationEngine:
         )
 
     def _run_graph_parallel(self, graph, order, resolve, call_args, finish,
-                            phase, counters: _RunCounters):
+                            phase, counters: _RunCounters,
+                            bperf: Optional["BatchPerf"] = None):
         """Supervised process-pool backend for :meth:`run_graph`.
 
         Like :meth:`_map_parallel`, runs one pool pass at a time; a pass
@@ -931,7 +1063,7 @@ class EvaluationEngine:
             try:
                 self._graph_pool_pass(graph, order, waiting, dependents,
                                       done, attempts, resolve, call_args,
-                                      finish, phase, counters)
+                                      finish, phase, counters, bperf)
             except BrokenExecutor:
                 respawns += 1
                 self._respawn_or_give_up(
@@ -941,8 +1073,13 @@ class EvaluationEngine:
 
     def _graph_pool_pass(self, graph, order, waiting, dependents, done,
                          attempts, resolve, call_args, finish, phase,
-                         counters: _RunCounters):
-        instrument = self._metrics is not None or self._tracer is not None
+                         counters: _RunCounters,
+                         bperf: Optional["BatchPerf"] = None):
+        instrument = (
+            self._metrics is not None
+            or self._tracer is not None
+            or self._perf is not None
+        )
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures: Dict[Any, str] = {}
 
@@ -959,6 +1096,7 @@ class EvaluationEngine:
             def submit(name: str) -> None:
                 task = graph.task(name)
                 self._require_picklable(task.fn)
+                self._time_serialization(bperf, task.fn, call_args(name))
                 if instrument:
                     future = self._submit_instrumented(
                         pool, task.fn, call_args(name), phase, task=name
@@ -989,6 +1127,8 @@ class EvaluationEngine:
                     ready = freed
                     if not ready and futures:
                         self._check()
+                        if bperf is not None:
+                            bperf.sample_queue_depth(len(futures))
                         finished, _ = wait(
                             set(futures), return_when=FIRST_COMPLETED
                         )
@@ -1009,7 +1149,8 @@ class EvaluationEngine:
                                 continue
                             counters.executed += 1
                             if instrument:
-                                value = self._unwrap_instrumented(value)
+                                value = self._unwrap_instrumented(value,
+                                                                  bperf)
                             ready.extend(settle(name, value))
             except BaseException:
                 for future in futures:

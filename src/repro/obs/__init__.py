@@ -22,6 +22,12 @@ failures — without changing a single output bit:
   hot layers reduces to one ``is not None`` check
   (``benchmarks/bench_obs_overhead.py`` guards the disabled-mode cost
   at <= 3%);
+* :mod:`~repro.obs.perf` — performance attribution: per-event-type
+  kernel accounting, engine phase/idle timelines rolled into an
+  :class:`AttributionReport` (compute vs serialization vs IPC vs idle
+  vs cache), and a deterministic counter-triggered sampling profiler
+  with collapsed-stack / speedscope flamegraph export (``repro profile``,
+  ``--profile DIR``; guarded by ``benchmarks/bench_perf_attribution.py``);
 * :mod:`~repro.obs.profiling` — a :mod:`cProfile` harness for hot-path
   investigations;
 * :mod:`~repro.obs.slo` — the *consume* side for availability:
@@ -54,6 +60,7 @@ from .context import (
     activate,
     active,
     active_metrics,
+    active_perf,
     active_tracer,
     deactivate,
     instrumented,
@@ -75,6 +82,17 @@ from .analysis import (
     diff_registries,
     format_diff_table,
     format_trace_report,
+)
+from .perf import (
+    AttributionReport,
+    BatchPerf,
+    CounterProfiler,
+    KernelAccounting,
+    PerfRecorder,
+    WorkerTimeline,
+    format_attribution,
+    format_kernel_accounting,
+    speedscope_document,
 )
 from .profiling import profiled, render_profile
 from .regression import (
@@ -107,6 +125,7 @@ __all__ = [
     "activate",
     "active",
     "active_metrics",
+    "active_perf",
     "active_tracer",
     "deactivate",
     "instrumented",
@@ -118,6 +137,15 @@ __all__ = [
     "DEFAULT_TIME_BOUNDS",
     "DEFAULT_DEPTH_BOUNDS",
     "DEFAULT_ITERATION_BOUNDS",
+    "AttributionReport",
+    "BatchPerf",
+    "CounterProfiler",
+    "KernelAccounting",
+    "PerfRecorder",
+    "WorkerTimeline",
+    "format_attribution",
+    "format_kernel_accounting",
+    "speedscope_document",
     "profiled",
     "render_profile",
     "Span",

@@ -274,6 +274,33 @@ class TraceAnalysis:
             ))
         return summaries
 
+    def wall_attribution(self) -> Dict[str, Any]:
+        """Decompose trace capacity (wall x pids) into busy vs idle.
+
+        The trace-side counterpart of the engine's
+        :class:`~repro.obs.AttributionReport`: every process observed in
+        the trace occupies one slot of the wall span; the union of its
+        top-level spans is busy time, the rest idle.  Busy time is
+        further attributed by span category (self time).  All values in
+        microseconds.
+        """
+        start, end = self.wall_span
+        wall = end - start
+        workers = self.worker_utilization()
+        slots = len(workers)
+        capacity = wall * slots
+        busy = sum(worker.busy for worker in workers)
+        idle = max(capacity - busy, 0.0)
+        return {
+            "wall": wall,
+            "pids": slots,
+            "capacity": capacity,
+            "busy": busy,
+            "idle": idle,
+            "busy_fraction": busy / capacity if capacity > 0.0 else 0.0,
+            "categories": self.category_self_times(),
+        }
+
 
 def _us(value: float) -> str:
     """Microseconds rendered at a human scale."""
@@ -343,6 +370,26 @@ def format_trace_report(analysis: TraceAnalysis, top: int = 10) -> str:
             rows,
             title="per-worker utilization",
         ))
+
+    attribution = analysis.wall_attribution()
+    if attribution["capacity"] > 0.0:
+        busy_share = attribution["busy_fraction"]
+        lines = [
+            "attribution",
+            f"  wall {_us(attribution['wall'])} across "
+            f"{attribution['pids']} pid(s) -> capacity "
+            f"{_us(attribution['capacity'])}",
+            f"  busy {_us(attribution['busy'])} ({busy_share:.1%}), "
+            f"idle {_us(attribution['idle'])} ({1.0 - busy_share:.1%})",
+        ]
+        total_self = sum(attribution["categories"].values())
+        if total_self > 0.0:
+            shares = ", ".join(
+                f"{category or '-'} {self_time / total_self:.1%}"
+                for category, self_time in attribution["categories"].items()
+            )
+            lines.append(f"  busy self-time by category: {shares}")
+        sections.append("\n".join(lines))
 
     return "\n\n".join(sections)
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from .metrics import MetricsRegistry
+    from .perf import PerfRecorder
     from .tracing import Tracer
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "deactivate",
     "active",
     "active_metrics",
+    "active_perf",
     "active_tracer",
     "instrumented",
 ]
@@ -44,10 +46,11 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Instrumentation:
-    """The ambient bundle: a metrics registry and/or a tracer."""
+    """The ambient bundle: metrics, a tracer, and/or a perf recorder."""
 
     metrics: Optional["MetricsRegistry"] = None
     tracer: Optional["Tracer"] = None
+    perf: Optional["PerfRecorder"] = None
 
 
 _ACTIVE: Optional[Instrumentation] = None
@@ -80,10 +83,16 @@ def active_tracer() -> Optional["Tracer"]:
     return _ACTIVE.tracer if _ACTIVE is not None else None
 
 
+def active_perf() -> Optional["PerfRecorder"]:
+    """The ambient performance recorder, or None."""
+    return _ACTIVE.perf if _ACTIVE is not None else None
+
+
 @contextmanager
 def instrumented(
     metrics: Optional["MetricsRegistry"] = None,
     tracer: Optional["Tracer"] = None,
+    perf: Optional["PerfRecorder"] = None,
 ) -> Iterator[Instrumentation]:
     """Activate an ambient bundle for the duration of the block.
 
@@ -92,7 +101,7 @@ def instrumented(
     """
     global _ACTIVE
     previous = _ACTIVE
-    bundle = Instrumentation(metrics=metrics, tracer=tracer)
+    bundle = Instrumentation(metrics=metrics, tracer=tracer, perf=perf)
     _ACTIVE = bundle
     try:
         yield bundle

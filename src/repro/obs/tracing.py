@@ -262,14 +262,23 @@ def read_trace(path: PathLike) -> List[Dict[str, Any]]:
     Raises
     ------
     ObservabilityError
-        When the file is unreadable, a line is not a JSON object, or an
-        event is missing the required trace-event keys.
+        When the file is unreadable or not UTF-8, a line is truncated or
+        not a JSON object, or an event is missing or mistypes the
+        required trace-event keys.  The message always names the file
+        and (for per-event defects) the line number, so ``repro
+        trace-report`` can fail with one actionable line instead of a
+        traceback.
     """
     path = Path(path)
     try:
         raw = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise ObservabilityError(f"cannot read trace file {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise ObservabilityError(
+            f"trace file {path} is not UTF-8 text ({exc}); is it really a "
+            "JSONL trace?"
+        ) from exc
     events: List[Dict[str, Any]] = []
     for lineno, line in enumerate(raw.splitlines(), start=1):
         if not line.strip():
@@ -294,6 +303,25 @@ def read_trace(path: PathLike) -> List[Dict[str, Any]]:
             raise ObservabilityError(
                 f"trace file {path} line {lineno} has phase {event['ph']!r}; "
                 "this library emits complete ('X') events only"
+            )
+        for key in ("ts", "dur"):
+            if not isinstance(event[key], (int, float)) or isinstance(
+                event[key], bool
+            ):
+                raise ObservabilityError(
+                    f"trace file {path} line {lineno} has non-numeric "
+                    f"{key!r}: {event[key]!r}"
+                )
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int) or isinstance(event[key], bool):
+                raise ObservabilityError(
+                    f"trace file {path} line {lineno} has non-integer "
+                    f"{key!r}: {event[key]!r}"
+                )
+        if not isinstance(event["args"], dict):
+            raise ObservabilityError(
+                f"trace file {path} line {lineno} has non-object 'args': "
+                f"{event['args']!r}"
             )
         events.append(event)
     return events

@@ -9,6 +9,8 @@ loop:
   when full), and answer 202 with the job document;
 * ``GET /v1/jobs`` / ``GET /v1/jobs/{id}`` / ``DELETE /v1/jobs/{id}``
   — job table, job status/result, cooperative cancellation;
+* ``GET /v1/jobs/{id}/profile`` — the performance-attribution document
+  of a job submitted with ``"profile": true`` (404 otherwise);
 * ``GET /v1/self`` — the server's own analytic M/M/c/K availability at
   its measured arrival/service rates, cross-checked against the
   observed rejection ratio;
@@ -201,6 +203,8 @@ class ReproServer:
              self._handle_jobs),
             ("GET", re.compile(r"^/v1/jobs/([^/]+)$"), "/v1/jobs/{id}",
              self._handle_job),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/profile$"),
+             "/v1/jobs/{id}/profile", self._handle_job_profile),
             ("DELETE", re.compile(r"^/v1/jobs/([^/]+)$"), "/v1/jobs/{id}",
              self._handle_cancel),
             ("GET", re.compile(r"^/v1/self$"), "/v1/self",
@@ -349,6 +353,20 @@ class ReproServer:
     async def _handle_job(self, request: Request) -> Response:
         job = self.jobs.get(request.params["1"])  # KeyError -> 404
         return json_response(200, job.to_dict())
+
+    async def _handle_job_profile(self, request: Request) -> Response:
+        job = self.jobs.get(request.params["1"])  # KeyError -> 404
+        result = job.result if isinstance(job.result, dict) else {}
+        profile = result.get("profile")
+        if profile is None:
+            return json_response(404, {
+                "error": (
+                    f"job {job.id!r} has no profile; submit with "
+                    '"profile": true in the spec (status: '
+                    f"{job.status})"
+                ),
+            })
+        return json_response(200, profile)
 
     async def _handle_cancel(self, request: Request) -> Response:
         job = self.jobs.cancel(request.params["1"])  # KeyError -> 404

@@ -137,6 +137,14 @@ class ServerClient:
     def cancel(self, job_id: str) -> dict:
         return self._json("DELETE", f"/v1/jobs/{job_id}")
 
+    def job_profile(self, job_id: str) -> dict:
+        """The performance-attribution document of a profiled job.
+
+        404 (no ``"profile": true`` in the spec, or not finished yet)
+        raises :class:`~repro.errors.ServerError`.
+        """
+        return self._json("GET", f"/v1/jobs/{job_id}/profile")
+
     def wait(
         self, job_id: str, timeout: float = 120.0, poll: float = 0.05
     ) -> dict:

@@ -72,7 +72,14 @@ class Job:
             "error": self.error,
         }
         if include_result:
-            document["result"] = self.result
+            result = self.result
+            # The profile document (flamegraph + attribution) can dwarf
+            # the rest of the result; the job document carries a link
+            # and GET /v1/jobs/{id}/profile serves the real thing.
+            if isinstance(result, dict) and "profile" in result:
+                result = dict(result)
+                result["profile"] = {"href": f"/v1/jobs/{self.id}/profile"}
+            document["result"] = result
         return document
 
 

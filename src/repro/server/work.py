@@ -18,6 +18,12 @@ library's canonical workloads from :mod:`repro.workloads`:
     service times, used to exercise the admission controller's
     M/M/c/K self-model under saturation.
 
+The engine-backed kinds (``sweep``/``policies``/``cloud``) accept an
+optional ``"profile": true`` spec key: the job runs under an explicit
+:class:`~repro.obs.PerfRecorder` and the result carries a ``profile``
+document (attribution report, kernel accounting, collapsed/speedscope
+flamegraph) served at ``GET /v1/jobs/<id>/profile``.
+
 Specs are validated eagerly at submission time through the repo's
 :mod:`repro._validation` helpers — a bad spec is a 400 before the job
 ever enters the queue — and execution takes the engine's standard
@@ -54,10 +60,22 @@ def _check_keys(spec: dict, allowed: frozenset, kind: str) -> None:
         )
 
 
+def _check_profile(spec: dict, kind: str) -> bool:
+    """The optional ``profile`` spec key (performance attribution)."""
+    profile = spec.get("profile", False)
+    if not isinstance(profile, bool):
+        raise ValidationError(
+            f"{kind} spec key 'profile' must be a boolean, got "
+            f"{profile!r}"
+        )
+    return profile
+
+
 def _parse_sweep(spec: dict) -> dict:
     _check_keys(
         spec,
-        frozenset({"figure", "arrival_rate", "servers_max", "workers"}),
+        frozenset({"figure", "arrival_rate", "servers_max", "workers",
+                   "profile"}),
         "sweep",
     )
     figure = str(spec.get("figure", "11"))
@@ -74,6 +92,7 @@ def _parse_sweep(spec: dict) -> dict:
             spec.get("servers_max", 10), "servers_max"
         ),
         "workers": check_positive_int(spec.get("workers", 1), "workers"),
+        "profile": _check_profile(spec, "sweep"),
     }
 
 
@@ -81,7 +100,7 @@ def _parse_policies(spec: dict) -> dict:
     _check_keys(
         spec,
         frozenset({"arrival_rate", "service_rate", "servers", "buffer",
-                   "workers"}),
+                   "workers", "profile"}),
         "policies",
     )
     return {
@@ -94,6 +113,7 @@ def _parse_policies(spec: dict) -> dict:
         "servers": check_positive_int(spec.get("servers", 4), "servers"),
         "buffer": check_positive_int(spec.get("buffer", 10), "buffer"),
         "workers": check_positive_int(spec.get("workers", 1), "workers"),
+        "profile": _check_profile(spec, "policies"),
     }
 
 
@@ -141,7 +161,7 @@ def _parse_cloud(spec: dict) -> dict:
     _check_keys(
         spec,
         frozenset({"arrival_rate", "service_rate", "zone_availability",
-                   "workers"}),
+                   "workers", "profile"}),
         "cloud",
     )
     zone = check_positive(
@@ -157,6 +177,7 @@ def _parse_cloud(spec: dict) -> dict:
         ),
         "zone_availability": zone,
         "workers": check_positive_int(spec.get("workers", 1), "workers"),
+        "profile": _check_profile(spec, "cloud"),
     }
 
 
@@ -194,7 +215,7 @@ def parse_spec(kind: str, spec: dict) -> dict:
     return parser(spec)
 
 
-def _engine(spec: dict, token, progress, metrics):
+def _engine(spec: dict, token, progress, metrics, perf=None):
     from ..engine import EvaluationEngine
 
     return EvaluationEngine(
@@ -202,7 +223,41 @@ def _engine(spec: dict, token, progress, metrics):
         cancellation=token,
         heartbeat=progress,
         metrics=metrics,
+        perf=perf,
     )
+
+
+def _job_recorder(spec: dict):
+    """A :class:`~repro.obs.PerfRecorder` when the spec asks for one.
+
+    Server jobs run on concurrent worker threads, so the recorder is
+    passed to the engine *explicitly* — the ambient activation used by
+    the CLI is process-global and would mix concurrent jobs' timelines.
+    A serial job therefore gets engine attribution but no in-process
+    kernel accounting (pool workers still activate the recorder
+    ambiently inside their own process and ship accounting back).
+    """
+    if not spec.get("profile"):
+        return None
+    from ..obs import PerfRecorder
+
+    return PerfRecorder()
+
+
+def _profile_document(recorder) -> dict:
+    """The JSON-safe profile attachment for a job result."""
+    from ..obs import format_attribution, format_kernel_accounting
+
+    return {
+        "attribution": recorder.to_dict(),
+        "text": (
+            format_attribution(recorder.batches)
+            + "\n\n"
+            + format_kernel_accounting(recorder.kernel)
+        ),
+        "collapsed": recorder.profiler.collapsed(),
+        "speedscope": recorder.profiler.speedscope(),
+    }
 
 
 def execute_job(
@@ -222,16 +277,17 @@ def execute_job(
     if kind == "probe":
         return _execute_probe(spec, token)
     if kind == "sweep":
+        recorder = _job_recorder(spec)
         grid = workloads.run_fig_sweep(
             spec["figure"],
             spec["arrival_rate"],
             spec["servers_max"],
-            engine=_engine(spec, token, progress, metrics),
+            engine=_engine(spec, token, progress, metrics, perf=recorder),
         )
         text = workloads.fig_sweep_text(
             spec["figure"], spec["arrival_rate"], spec["servers_max"], grid
         )
-        return {
+        result = {
             "text": text,
             "series": {
                 f"{lam:g}": list(grid.row(lam).outputs)
@@ -239,16 +295,20 @@ def execute_job(
             },
             "cells": len(workloads.SWEEP_FAILURE_RATES) * spec["servers_max"],
         }
+        if recorder is not None:
+            result["profile"] = _profile_document(recorder)
+        return result
     if kind == "policies":
+        recorder = _job_recorder(spec)
         report = workloads.run_policy_comparison(
             arrival_rate=spec["arrival_rate"],
             service_rate=spec["service_rate"],
             servers=spec["servers"],
             buffer=spec["buffer"],
-            engine=_engine(spec, token, progress, metrics),
+            engine=_engine(spec, token, progress, metrics, perf=recorder),
         )
         best = report.best
-        return {
+        result = {
             "text": workloads.policy_comparison_text(report),
             "best": {
                 "policy": best.policy,
@@ -258,15 +318,19 @@ def execute_job(
             },
             "cells": len(report.cells),
         }
+        if recorder is not None:
+            result["profile"] = _profile_document(recorder)
+        return result
     if kind == "cloud":
+        recorder = _job_recorder(spec)
         report = workloads.run_cloud_comparison(
             arrival_rate=spec["arrival_rate"],
             service_rate=spec["service_rate"],
             zone_availability=spec["zone_availability"],
-            engine=_engine(spec, token, progress, metrics),
+            engine=_engine(spec, token, progress, metrics, perf=recorder),
         )
         best = report.best
-        return {
+        result = {
             "text": workloads.cloud_comparison_text(
                 report, spec["arrival_rate"], spec["zone_availability"]
             ),
@@ -278,6 +342,9 @@ def execute_job(
             "ranking": [cell.scenario for cell in report.ranking],
             "cells": len(report.cells),
         }
+        if recorder is not None:
+            result["profile"] = _profile_document(recorder)
+        return result
     if kind == "campaign":
         results = workloads.run_fault_campaigns(
             spec["scenario"],

@@ -24,15 +24,24 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 from .._validation import check_non_negative
 from ..errors import SimulationError
 from ..obs.clock import monotonic
-from ..obs.context import active_metrics
+from ..obs.context import active_metrics, active_perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..obs.metrics import Histogram, MetricsRegistry
+    from ..obs.perf import PerfRecorder
     from ..runtime.budget import CancellationToken
 
 __all__ = ["Simulator"]
 
 Action = Callable[[], None]
+
+
+def _action_name(action: Action) -> str:
+    """A stable per-event-type name (class, or function qualname)."""
+    name = getattr(type(action), "__qualname__", "")
+    if name in ("function", "method"):
+        name = getattr(action, "__qualname__", name)
+    return name
 
 
 class Simulator:
@@ -51,6 +60,12 @@ class Simulator:
         per-event-type execution-time histograms.  When absent — the
         default — every recording site is a single ``is not None``
         check, so the uninstrumented kernel stays at its original speed.
+    perf:
+        Optional :class:`~repro.obs.PerfRecorder`; defaults to the
+        ambient one (:func:`repro.obs.active_perf`).  When present, the
+        kernel accounts per-event-type counts and self-time and ticks
+        the deterministic counter profiler — bound at construction like
+        the metrics step, so disabled runs pay nothing.
 
     Examples
     --------
@@ -79,6 +94,7 @@ class Simulator:
         self,
         cancellation: Optional["CancellationToken"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        perf: Optional["PerfRecorder"] = None,
     ):
         self._now = 0.0
         self._sequence = itertools.count()
@@ -86,6 +102,7 @@ class Simulator:
         self._events_processed = 0
         self._cancellation = cancellation
         self._metrics = metrics if metrics is not None else active_metrics()
+        self._perf = perf if perf is not None else active_perf()
         if self._metrics is not None:
             from ..obs.metrics import DEFAULT_DEPTH_BOUNDS
 
@@ -103,16 +120,20 @@ class Simulator:
                 help="Pending-event queue depth sampled before each event.",
             )
             self._action_histograms: dict = {}
-        self._step = (
-            self._step_instrumented if self._metrics is not None
-            else self._step_fast
-        )
+        # Bound once at construction — the disabled kernel never pays a
+        # per-event check for either metrics or perf accounting.
+        if self._perf is not None:
+            self._accounting = self._perf.kernel
+            self._profiler = self._perf.profiler
+            self._step = self._step_profiled
+        elif self._metrics is not None:
+            self._step = self._step_instrumented
+        else:
+            self._step = self._step_fast
 
     def _action_histogram(self, action: Action) -> "Histogram":
         """Per-event-type execution-time histogram, cached by type name."""
-        name = getattr(type(action), "__qualname__", "")
-        if name in ("function", "method"):
-            name = getattr(action, "__qualname__", name)
+        name = _action_name(action)
         histogram = self._action_histograms.get(name)
         if histogram is None:
             histogram = self._metrics.histogram(
@@ -181,6 +202,34 @@ class Simulator:
         started = monotonic()
         action()
         self._action_histogram(action).observe(monotonic() - started)
+        if self._cancellation is not None:
+            self._cancellation.count_event()
+        return True
+
+    def _step_profiled(self) -> bool:
+        # The perf-accounting step: per-event-type self-time into the
+        # recorder's KernelAccounting, a deterministic profiler tick,
+        # and (when metrics are *also* active) everything the
+        # instrumented step records.
+        if not self._queue:
+            return False
+        metrics = self._metrics
+        if metrics is not None:
+            depth = len(self._queue)
+            self._events_counter.inc()
+            self._depth_gauge.set_max(depth)
+            self._depth_histogram.observe(depth)
+        time, _, action = heapq.heappop(self._queue)
+        self._now = time
+        self._events_processed += 1
+        name = _action_name(action)
+        self._profiler.tick_kernel(leaf=f"event:{name}")
+        started = monotonic()
+        action()
+        elapsed = monotonic() - started
+        self._accounting.record(name, elapsed)
+        if metrics is not None:
+            self._action_histogram(action).observe(elapsed)
         if self._cancellation is not None:
             self._cancellation.count_event()
         return True

@@ -1,0 +1,260 @@
+"""Edge cases for trace analytics: degenerate traces and bad files.
+
+Complements ``test_analysis.py`` (the happy-path span-tree tests) with
+the shapes real engine runs produce at the margins — empty exports,
+serial single-pid traces, zero-duration spans, worker spans whose
+``engine submit`` parent never made it into the export — plus the
+:func:`~repro.obs.tracing.read_trace` hardening contract: every
+malformed file is one :class:`~repro.errors.ObservabilityError` naming
+the file (and line, where there is one), surfaced by ``repro
+trace-report`` as a one-line ``error:`` with exit code 2.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.obs import Tracer
+from repro.obs.analysis import TraceAnalysis, format_trace_report
+from repro.obs.tracing import read_trace
+
+
+def event(name, ts, dur, span_id, parent_id=None, pid=1, cat="test"):
+    args = {"span_id": span_id}
+    if parent_id is not None:
+        args["parent_id"] = parent_id
+    return {
+        "name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+        "pid": pid, "tid": 1, "args": args,
+    }
+
+
+def write_trace(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+class TestDegenerateTraces:
+    def test_empty_trace_attribution_is_all_zero(self):
+        analysis = TraceAnalysis.from_events([])
+        assert analysis.wall_span == (0.0, 0.0)
+        attribution = analysis.wall_attribution()
+        assert attribution["capacity"] == 0.0
+        assert attribution["busy_fraction"] == 0.0
+        assert attribution["categories"] == {}
+
+    def test_empty_trace_report_has_no_attribution_section(self):
+        text = format_trace_report(TraceAnalysis.from_events([]))
+        assert "0 span(s)" in text
+        assert "attribution" not in text
+
+    def test_single_pid_trace(self):
+        analysis = TraceAnalysis.from_events([
+            event("batch", 0.0, 100.0, "a", pid=7),
+            event("task", 10.0, 80.0, "b", parent_id="a", pid=7),
+        ])
+        (worker,) = analysis.worker_utilization()
+        assert worker.pid == 7
+        assert worker.spans == 2
+        # Only the top-level span counts toward busy time.
+        assert worker.busy == pytest.approx(100.0)
+        assert worker.utilization == pytest.approx(1.0)
+        attribution = analysis.wall_attribution()
+        assert attribution["pids"] == 1
+        assert attribution["capacity"] == pytest.approx(100.0)
+        assert attribution["idle"] == pytest.approx(0.0)
+
+    def test_zero_duration_spans(self):
+        # Identical start and end timestamps: wall span collapses to
+        # zero, so every ratio must degrade to 0.0 rather than divide.
+        analysis = TraceAnalysis.from_events([
+            event("instant-a", 50.0, 0.0, "a", pid=1),
+            event("instant-b", 50.0, 0.0, "b", pid=2),
+        ])
+        assert analysis.wall_span == (50.0, 50.0)
+        for worker in analysis.worker_utilization():
+            assert worker.busy == 0.0
+            assert worker.utilization == 0.0
+        attribution = analysis.wall_attribution()
+        assert attribution["wall"] == 0.0
+        assert attribution["capacity"] == 0.0
+        assert attribution["busy_fraction"] == 0.0
+        # And the report must still render without an attribution
+        # section (capacity is zero) or a ZeroDivisionError.
+        text = format_trace_report(analysis)
+        assert "2 span(s)" in text
+
+    def test_zero_duration_child_keeps_parent_self_time_nonnegative(self):
+        analysis = TraceAnalysis.from_events([
+            event("parent", 0.0, 0.0, "a"),
+            event("child", 0.0, 0.0, "b", parent_id="a"),
+        ])
+        by_name = {node.name: node for node in analysis.spans}
+        assert by_name["parent"].self_time == 0.0
+        assert by_name["child"].self_time == 0.0
+        assert [n.name for n in analysis.critical_path()] == [
+            "parent", "child"
+        ]
+
+    def test_worker_span_with_missing_submit_parent(self):
+        # A worker exported its span but the parent "engine submit"
+        # span never made it into the file (e.g. the parent process
+        # crashed before export).  The orphan must become a root and
+        # count as top-level busy time for its own pid.
+        analysis = TraceAnalysis.from_events([
+            event("engine batch", 0.0, 100.0, "root", pid=1),
+            event(
+                "engine task", 10.0, 40.0, "w",
+                parent_id="submit-never-exported", pid=2,
+            ),
+        ])
+        assert sorted(n.name for n in analysis.roots) == [
+            "engine batch", "engine task"
+        ]
+        by_pid = {u.pid: u for u in analysis.worker_utilization()}
+        assert by_pid[2].busy == pytest.approx(40.0)
+        attribution = analysis.wall_attribution()
+        assert attribution["pids"] == 2
+        assert attribution["busy"] == pytest.approx(140.0)
+
+    def test_cross_pid_parent_still_counts_as_top_level(self):
+        # A worker span correctly parented under an "engine submit"
+        # span of *another process*: the tree nests it, but for
+        # utilization it is top-level within its own pid.
+        analysis = TraceAnalysis.from_events([
+            event("engine submit", 0.0, 100.0, "s", pid=1),
+            event("engine task", 20.0, 50.0, "t", parent_id="s", pid=2),
+        ])
+        (root,) = analysis.roots
+        assert [c.name for c in root.children] == ["engine task"]
+        by_pid = {u.pid: u for u in analysis.worker_utilization()}
+        assert by_pid[2].busy == pytest.approx(50.0)
+
+
+class TestReadTraceHardening:
+    def test_binary_file_names_the_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_bytes(b"\x93\xff\x00binary")
+        with pytest.raises(ObservabilityError, match="not UTF-8") as exc:
+            read_trace(path)
+        assert "trace.jsonl" in str(exc.value)
+
+    def test_truncated_json_names_file_and_line(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        good = json.dumps(event("ok", 0.0, 1.0, "a"))
+        write_trace(path, [good, good[: len(good) // 2]])
+        with pytest.raises(
+            ObservabilityError, match="line 2 is not valid JSON"
+        ) as exc:
+            read_trace(path)
+        assert "cut.jsonl" in str(exc.value)
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, ["[1, 2, 3]"])
+        with pytest.raises(
+            ObservabilityError, match="line 1 is not a JSON object"
+        ):
+            read_trace(path)
+
+    def test_missing_keys_named(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [json.dumps({"name": "incomplete", "ph": "X"})])
+        with pytest.raises(
+            ObservabilityError, match="missing trace-event keys"
+        ) as exc:
+            read_trace(path)
+        assert "line 1" in str(exc.value)
+
+    def test_wrong_phase_rejected(self, tmp_path):
+        bad = event("b", 0.0, 1.0, "a")
+        bad["ph"] = "B"
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [json.dumps(bad)])
+        with pytest.raises(ObservabilityError, match="phase 'B'"):
+            read_trace(path)
+
+    @pytest.mark.parametrize("key,value", [
+        ("ts", "yesterday"), ("dur", None), ("ts", True),
+    ])
+    def test_non_numeric_timestamps(self, tmp_path, key, value):
+        bad = event("b", 0.0, 1.0, "a")
+        bad[key] = value
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [json.dumps(bad)])
+        with pytest.raises(
+            ObservabilityError, match=f"non-numeric {key!r}"
+        ):
+            read_trace(path)
+
+    @pytest.mark.parametrize("key,value", [
+        ("pid", 1.5), ("tid", "main"), ("pid", False),
+    ])
+    def test_non_integer_process_ids(self, tmp_path, key, value):
+        bad = event("b", 0.0, 1.0, "a")
+        bad[key] = value
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [json.dumps(bad)])
+        with pytest.raises(
+            ObservabilityError, match=f"non-integer {key!r}"
+        ):
+            read_trace(path)
+
+    def test_non_object_args(self, tmp_path):
+        bad = event("b", 0.0, 1.0, "a")
+        bad["args"] = ["span_id", "a"]
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [json.dumps(bad)])
+        with pytest.raises(ObservabilityError, match="non-object 'args'"):
+            read_trace(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [
+            "", json.dumps(event("ok", 0.0, 1.0, "a")), "   ",
+        ])
+        assert len(read_trace(path)) == 1
+
+
+class TestTraceReportCli:
+    def test_malformed_trace_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        write_trace(path, ['{"name": "truncated'])
+        assert main(["trace-report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "broken.jsonl" in err
+        assert "line 1" in err
+        assert "Traceback" not in err
+
+    def test_missing_file_is_a_one_line_error(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "ghost.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read trace file" in err
+        assert "Traceback" not in err
+
+    def test_binary_file_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "blob.jsonl"
+        path.write_bytes(b"\x89PNG\r\n\x1a\n\x00\x00")
+        assert main(["trace-report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not UTF-8" in err
+
+    def test_real_export_renders_attribution_section(
+        self, tmp_path, capsys
+    ):
+        tracer = Tracer()
+        with tracer.span("outer", category="engine"):
+            with tracer.span("inner", category="solver"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export(path)
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "attribution" in out
+        assert "capacity" in out
+        assert "busy self-time by category" in out

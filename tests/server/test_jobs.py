@@ -29,6 +29,28 @@ def make_manager(**kwargs):
     return JobManager(execute_job, **kwargs)
 
 
+class TestJobDocument:
+    def test_profile_swapped_for_link(self):
+        from repro.server.jobs import Job
+
+        job = Job(id="job-7", kind="sweep", spec={}, status="done")
+        job.result = {"text": "t", "profile": {"attribution": {}}}
+        document = job.to_dict()
+        assert document["result"]["profile"] == {
+            "href": "/v1/jobs/job-7/profile"
+        }
+        # The stored result keeps the real document (it backs the
+        # /profile route and the journal).
+        assert job.result["profile"] == {"attribution": {}}
+
+    def test_profile_free_result_passes_through(self):
+        from repro.server.jobs import Job
+
+        job = Job(id="job-8", kind="sweep", spec={}, status="done")
+        job.result = {"text": "t"}
+        assert job.to_dict()["result"] == {"text": "t"}
+
+
 class TestCancellationRaces:
     def test_cancel_queued_job_never_runs(self):
         async def scenario():

@@ -88,6 +88,41 @@ class TestOtherWorkloads:
         )
 
 
+class TestJobProfiles:
+    def test_profiled_job_serves_profile_document(self, client):
+        done = client.run("sweep", {"servers_max": 3, "profile": True})
+        # The job document links to the profile instead of inlining it.
+        assert done["result"]["profile"] == {
+            "href": f"/v1/jobs/{done['id']}/profile"
+        }
+        profile = client.job_profile(done["id"])
+        assert set(profile) == {
+            "attribution", "text", "collapsed", "speedscope"
+        }
+        (batch,) = profile["attribution"]["batches"]
+        assert batch["coverage"] >= 0.95
+        assert "speedscope" in profile["speedscope"]["$schema"]
+
+    def test_profiled_sweep_text_stays_byte_identical(self, client):
+        offline = cli_stdout(["sweep", "--servers-max", "3"])
+        done = client.run("sweep", {"servers_max": 3, "profile": True})
+        assert done["result"]["text"] + "\n" == offline
+
+    def test_unprofiled_job_profile_is_404(self, client):
+        done = client.run("sweep", {"servers_max": 2})
+        assert "profile" not in done["result"]
+        with pytest.raises(ServerError) as excinfo:
+            client.job_profile(done["id"])
+        assert "404" in str(excinfo.value)
+        assert "no profile" in str(excinfo.value)
+
+    def test_non_boolean_profile_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.run("sweep", {"profile": "yes"})
+        assert "400" in str(excinfo.value)
+        assert "boolean" in str(excinfo.value)
+
+
 class TestJobApi:
     def test_job_lifecycle_and_listing(self, client):
         job = client.submit_probe(hold=0.0)

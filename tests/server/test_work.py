@@ -15,6 +15,7 @@ class TestParseSpec:
             "arrival_rate": 100.0,
             "servers_max": 10,
             "workers": 1,
+            "profile": False,
         }
 
     def test_unknown_kind_rejected(self):
@@ -66,6 +67,7 @@ class TestParseSpec:
             "service_rate": 100.0,
             "zone_availability": 0.9995,
             "workers": 1,
+            "profile": False,
         }
 
     def test_cloud_unknown_key_rejected_with_allowed_list(self):
@@ -73,6 +75,20 @@ class TestParseSpec:
             parse_spec("cloud", {"zone_avail": 0.99})
         message = str(excinfo.value)
         assert "zone_avail" in message and "zone_availability" in message
+
+    @pytest.mark.parametrize("kind", ["sweep", "policies", "cloud"])
+    def test_profile_key_accepted_on_engine_kinds(self, kind):
+        assert parse_spec(kind, {"profile": True})["profile"] is True
+
+    @pytest.mark.parametrize("value", ["yes", 1, None])
+    def test_profile_key_must_be_boolean(self, value):
+        with pytest.raises(ValidationError) as excinfo:
+            parse_spec("sweep", {"profile": value})
+        assert "'profile' must be a boolean" in str(excinfo.value)
+
+    def test_profile_key_rejected_on_campaign(self):
+        with pytest.raises(ValidationError):
+            parse_spec("campaign", {"profile": True})
 
     def test_cloud_validates_values(self):
         with pytest.raises(ValidationError):
@@ -124,3 +140,28 @@ class TestExecuteJob:
         assert result["ranking"][0] == result["best"]["deployment"]
         assert 0.99 < result["best"]["mean_availability"] < 1.0
         assert sorted(result["ranking"]) == sorted(set(result["ranking"]))
+
+    def test_unprofiled_result_has_no_profile(self):
+        spec = parse_spec("sweep", {"servers_max": 2})
+        assert "profile" not in execute_job("sweep", spec)
+
+    def test_profiled_sweep_attaches_profile_document(self):
+        spec = parse_spec("sweep", {"servers_max": 3, "profile": True})
+        result = execute_job("sweep", spec)
+        profile = result["profile"]
+        assert set(profile) == {
+            "attribution", "text", "collapsed", "speedscope"
+        }
+        (batch,) = profile["attribution"]["batches"]
+        assert batch["tasks"] == 9
+        assert batch["coverage"] >= 0.95
+        assert "performance attribution" in profile["text"]
+        # The profiled text is a side document: the job's headline text
+        # stays byte-identical to the unprofiled run.
+        plain = execute_job("sweep", parse_spec("sweep", {"servers_max": 3}))
+        assert result["text"] == plain["text"]
+
+    def test_profiled_policies_attaches_profile_document(self):
+        spec = parse_spec("policies", {"profile": True})
+        result = execute_job("policies", spec)
+        assert result["profile"]["attribution"]["batches"]

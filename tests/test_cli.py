@@ -825,6 +825,61 @@ class TestTraceReportCommand:
         assert "Traceback" not in err
 
 
+class TestProfileCommand:
+    ARTIFACTS = [
+        "attribution.json", "attribution.txt",
+        "profile.collapsed", "profile.speedscope.json",
+    ]
+
+    def test_wraps_sweep_with_identical_stdout(self, tmp_path, capsys):
+        assert main(["sweep", "--servers-max", "4"]) == 0
+        plain = capsys.readouterr().out
+        out = tmp_path / "perf"
+        assert main([
+            "profile", "--out", str(out), "sweep", "--servers-max", "4",
+        ]) == 0
+        assert capsys.readouterr().out == plain  # byte-identical
+        for name in self.ARTIFACTS:
+            assert (out / name).stat().st_size > 0
+
+    def test_profile_flag_writes_artifacts_directly(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "direct"
+        assert main([
+            "sweep", "--servers-max", "4", "--profile", str(out),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads((out / "attribution.json").read_text())
+        (batch,) = document["batches"]
+        assert batch["phase"] == "grid failure rate x NW"
+        assert batch["coverage"] >= 0.95
+
+    def test_double_dash_separator_is_stripped(self, tmp_path, capsys):
+        out = tmp_path / "sep"
+        assert main([
+            "profile", "--out", str(out), "--",
+            "sweep", "--servers-max", "4",
+        ]) == 0
+        capsys.readouterr()
+        assert (out / "attribution.json").exists()
+
+    def test_unprofileable_command_is_a_one_line_error(self, capsys):
+        assert main(["profile", "stats"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot profile 'stats'" in err
+        assert "sweep" in err  # lists the profileable commands
+        assert "Traceback" not in err
+
+    def test_empty_wrapped_command_is_a_one_line_error(self, capsys):
+        assert main(["profile"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "needs a subcommand" in err
+        assert "Traceback" not in err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
